@@ -1,0 +1,36 @@
+"""Shared helpers for the figure-regeneration benchmarks.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each ``test_figXX`` regenerates one figure of the paper's Section 6 and
+prints the series as a table (also teed into ``bench_output.txt`` by the
+top-level instructions).  The workload scale defaults to the fast
+``small`` preset; set ``CASPER_BENCH_SCALE=paper`` for the paper's full
+50K-user / 10K-target setup.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def show(capsys):
+    """Print a panel dict through pytest's capture so it reaches the
+    terminal (and any tee) even without ``-s``."""
+
+    def _show(panels: dict) -> None:
+        with capsys.disabled():
+            print()
+            for key in sorted(panels):
+                panels[key].print()
+
+    return _show
+
+
+def run_once(benchmark, fn):
+    """Benchmark ``fn`` with a single timed round (the experiments are
+    full parameter sweeps; pytest-benchmark records their wall time)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,84 @@
+"""Ablation: the adaptive pyramid's footprint adapts to privacy demand.
+
+Section 4.2's design argument quantified: the incomplete pyramid
+maintains only the cells the population's profiles can use, so its size
+(and hence its maintenance surface) should collapse as profiles get
+stricter, while the basic pyramid's cell count is fixed by the height.
+Also measures the split/merge churn a commuter tide induces.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.anonymizer import AdaptiveAnonymizer, PrivacyProfile
+from repro.evaluation.experiments.common import UNIT
+from repro.evaluation.results import ExperimentResult
+from repro.mobility import CommuterGenerator, generate_trace, synthetic_county_map
+from repro.workloads import PAPER_K_GROUPS, uniform_profiles
+
+HEIGHT = 9
+NUM_USERS = 4_000
+#: Complete pyramid size at HEIGHT, the basic anonymizer's footprint.
+COMPLETE_CELLS = sum(4**level for level in range(HEIGHT + 1))
+
+
+def _run() -> dict[str, ExperimentResult]:
+    trace = generate_trace(NUM_USERS, 0, seed=0)
+    labels = [f"[{lo}-{hi}]" for lo, hi in PAPER_K_GROUPS]
+    panel = ExperimentResult(
+        "Ablation A4a", "Adaptive pyramid footprint vs privacy demand",
+        "k range", "maintained cells (basic pyramid: "
+        f"{COMPLETE_CELLS:,} cells)", labels,
+    )
+    cells, fractions = [], []
+    for k_lo, k_hi in PAPER_K_GROUPS:
+        profiles = uniform_profiles(
+            NUM_USERS, UNIT, k_range=(k_lo, k_hi), seed=1
+        )
+        anonymizer = AdaptiveAnonymizer(UNIT, HEIGHT)
+        for uid in sorted(trace.initial):
+            anonymizer.register(uid, trace.initial[uid], profiles[uid])
+        cells.append(anonymizer.num_maintained_cells)
+        fractions.append(anonymizer.num_maintained_cells / COMPLETE_CELLS)
+    panel.add_series("maintained cells", cells)
+    panel.add_series("fraction of complete pyramid", fractions)
+
+    # Tide churn: a commuting population forces splits downtown by day
+    # and merges at night.
+    network = synthetic_county_map(seed=2)
+    commuters = CommuterGenerator(network, 1_500, seed=3, dwell_range=(2.0, 5.0))
+    anonymizer = AdaptiveAnonymizer(UNIT, 8)
+    for uid, point in commuters.positions().items():
+        anonymizer.register(uid, point, PrivacyProfile(k=10))
+    ticks = list(range(0, 24, 4))
+    sizes, splits, merges = [], [], []
+    last_split = last_merge = 0
+    for tick in range(24):
+        for update in commuters.step(1.0):
+            anonymizer.update(update.uid, update.point)
+        if tick % 4 == 0:
+            sizes.append(anonymizer.num_maintained_cells)
+            splits.append(anonymizer.stats.splits - last_split)
+            merges.append(anonymizer.stats.merges - last_merge)
+            last_split = anonymizer.stats.splits
+            last_merge = anonymizer.stats.merges
+    tide = ExperimentResult(
+        "Ablation A4b", "Adaptive pyramid under a commuter tide",
+        "tick", "cells / splits / merges in window", ticks,
+    )
+    tide.add_series("maintained cells", sizes)
+    tide.add_series("splits in window", splits)
+    tide.add_series("merges in window", merges)
+    return {"a": panel, "b": tide}
+
+
+def test_ablation_adaptive_memory(benchmark, show):
+    panels = run_once(benchmark, _run)
+    show(panels)
+    cells = panels["a"].series_by_label("maintained cells").values
+    # Strict profiles collapse the maintained structure.
+    assert cells[-1] < cells[0]
+    assert cells[-1] < COMPLETE_CELLS / 100
+    # The tide keeps restructuring the pyramid in both directions.
+    assert sum(panels["b"].series_by_label("splits in window").values) > 0
+    assert sum(panels["b"].series_by_label("merges in window").values) > 0

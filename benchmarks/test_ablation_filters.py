@@ -1,0 +1,83 @@
+"""Ablation: candidate-list quality across answer strategies.
+
+Extends Figures 13-16 with the two naive extremes of Figure 4 (center-NN
+and ship-everything) so the whole design space is on one table: answer
+size, exactness, and processing time per strategy.
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.conftest import run_once
+from repro.evaluation.experiments.common import UNIT, active_scale, cloaked_query_regions
+from repro.evaluation.results import ExperimentResult
+from repro.geometry import Point, Rect
+from repro.processor import naive_center_nn, naive_send_all, private_nn_over_public
+from repro.spatial import RTreeIndex
+from repro.utils.rng import ensure_rng
+from repro.workloads import uniform_points
+
+
+def _run(scale) -> dict[str, ExperimentResult]:
+    targets = uniform_points(scale.num_targets, UNIT, seed=0)
+    index = RTreeIndex()
+    index.bulk_load({oid: Rect.point(p) for oid, p in targets.items()})
+    queries = cloaked_query_regions(scale.num_users, scale.num_queries, seed=0)
+    rng = ensure_rng(1)
+
+    strategies = ["center-NN", "1 filter", "2 filters", "4 filters", "ship-all"]
+    panel = ExperimentResult(
+        "Ablation A1", "Answer strategies on private NN over public data",
+        "strategy", "avg size / exact-rate / avg seconds", strategies,
+        notes="exact-rate: fraction of random user positions whose true NN "
+        "is recoverable from the answer",
+    )
+    sizes, exact_rates, times = [], [], []
+    for strategy in strategies:
+        total_size = 0
+        exact = 0
+        trials = 0
+        start = time.perf_counter()
+        answers = []
+        for area in queries:
+            if strategy == "center-NN":
+                answers.append(naive_center_nn(index, area))
+            elif strategy == "ship-all":
+                answers.append(naive_send_all(index, area))
+            else:
+                nf = int(strategy.split()[0])
+                answers.append(private_nn_over_public(index, area, nf))
+        elapsed = time.perf_counter() - start
+        for area, answer in zip(queries, answers):
+            total_size += len(answer)
+            for _ in range(5):
+                u = Point(
+                    float(rng.uniform(area.x_min, area.x_max)),
+                    float(rng.uniform(area.y_min, area.y_max)),
+                )
+                truth = index.nearest(u)
+                trials += 1
+                if truth in answer.oids():
+                    exact += 1
+        sizes.append(total_size / len(queries))
+        exact_rates.append(exact / trials)
+        times.append(elapsed / len(queries))
+    panel.add_series("avg candidate size", sizes)
+    panel.add_series("exact-answer rate", exact_rates)
+    panel.add_series("avg seconds per query", times)
+    return {"a": panel}
+
+
+def test_ablation_filters(benchmark, show):
+    scale = active_scale()
+    panels = run_once(benchmark, lambda: _run(scale))
+    show(panels)
+    panel = panels["a"]
+    sizes = panel.series_by_label("avg candidate size").values
+    rates = panel.series_by_label("exact-answer rate").values
+    # center-NN is tiny but inexact; all Casper variants are exact;
+    # ship-all is exact but maximal; 4 filters beats 1 filter on size.
+    assert rates[0] < 1.0
+    assert all(r == 1.0 for r in rates[1:])
+    assert sizes[3] < sizes[1] < sizes[4]

@@ -1,0 +1,24 @@
+"""Regenerates Figure 10 (pyramid-height effects)."""
+
+from benchmarks.conftest import run_once
+from repro.evaluation.experiments import run_fig10
+from repro.evaluation.experiments.common import active_scale
+
+
+def test_fig10_pyramid_height(benchmark, show):
+    scale = active_scale()
+    panels = run_once(
+        benchmark,
+        lambda: run_fig10(
+            num_users=scale.num_users,
+            num_cloaks=scale.num_cloaks,
+            trace_ticks=scale.trace_ticks,
+        ),
+    )
+    show(panels)
+    # Paper shape: basic maintenance cost grows with pyramid height and
+    # exceeds adaptive at the tallest pyramid.
+    basic = panels["b"].series_by_label("basic").values
+    adaptive = panels["b"].series_by_label("adaptive").values
+    assert basic[-1] > basic[0]
+    assert adaptive[-1] < basic[-1]

@@ -1,0 +1,28 @@
+"""Regenerates Figure 11 (scalability in the number of users)."""
+
+from benchmarks.conftest import run_once
+from repro.evaluation.experiments import run_fig11
+from repro.evaluation.experiments.common import active_scale
+
+
+def test_fig11_scalability(benchmark, show):
+    scale = active_scale()
+    panels = run_once(
+        benchmark,
+        lambda: run_fig11(
+            user_counts=scale.user_counts,
+            num_cloaks=scale.num_cloaks,
+            trace_ticks=scale.trace_ticks,
+        ),
+    )
+    show(panels)
+    # Paper shape: adaptive cloaking is never slower than basic at the
+    # largest population, and its update cost stays below basic's.
+    assert (
+        panels["a"].series_by_label("adaptive").values[-1]
+        <= panels["a"].series_by_label("basic").values[-1] * 1.25
+    )
+    assert (
+        panels["b"].series_by_label("adaptive").values[-1]
+        < panels["b"].series_by_label("basic").values[-1]
+    )

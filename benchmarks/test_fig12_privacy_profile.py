@@ -1,0 +1,24 @@
+"""Regenerates Figure 12 (effect of the k-anonymity requirement)."""
+
+from benchmarks.conftest import run_once
+from repro.evaluation.experiments import run_fig12
+from repro.evaluation.experiments.common import active_scale
+
+
+def test_fig12_privacy_profile(benchmark, show):
+    scale = active_scale()
+    panels = run_once(
+        benchmark,
+        lambda: run_fig12(
+            num_users=scale.num_users,
+            num_cloaks=scale.num_cloaks,
+            trace_ticks=scale.trace_ticks,
+        ),
+    )
+    show(panels)
+    # Paper shape: basic cloaking gets slower as k tightens; adaptive
+    # maintenance gets cheaper as k tightens.
+    basic_cloak = panels["a"].series_by_label("basic").values
+    assert basic_cloak[-1] > basic_cloak[0]
+    adaptive_updates = panels["b"].series_by_label("adaptive").values
+    assert adaptive_updates[-1] < adaptive_updates[0]

@@ -1,0 +1,24 @@
+"""Regenerates Figure 13 (scalability in public target objects)."""
+
+from benchmarks.conftest import run_once
+from repro.evaluation.experiments import run_fig13
+from repro.evaluation.experiments.common import active_scale
+
+
+def test_fig13_public_targets(benchmark, show):
+    scale = active_scale()
+    panels = run_once(
+        benchmark,
+        lambda: run_fig13(
+            target_counts=scale.target_counts,
+            num_users=scale.num_users,
+            num_queries=scale.num_queries,
+        ),
+    )
+    show(panels)
+    # Paper shape: four filters produce the smallest candidate lists —
+    # roughly half of one filter at the largest target count.
+    sizes1 = panels["a"].series_by_label("1 filter").values
+    sizes4 = panels["a"].series_by_label("4 filters").values
+    assert sizes4[-1] < sizes1[-1]
+    assert sizes4[-1] < 0.8 * sizes1[-1]

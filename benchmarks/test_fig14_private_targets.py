@@ -1,0 +1,26 @@
+"""Regenerates Figure 14 (scalability in private target objects)."""
+
+from benchmarks.conftest import run_once
+from repro.evaluation.experiments import run_fig14
+from repro.evaluation.experiments.common import active_scale
+
+
+def test_fig14_private_targets(benchmark, show):
+    scale = active_scale()
+    panels = run_once(
+        benchmark,
+        lambda: run_fig14(
+            target_counts=scale.target_counts,
+            num_users=scale.num_users,
+            num_queries=scale.num_queries,
+        ),
+    )
+    show(panels)
+    # Paper shape: four filters still shrink the candidate list, but
+    # private-data processing makes them the *slowest* variant.
+    sizes1 = panels["a"].series_by_label("1 filter").values
+    sizes4 = panels["a"].series_by_label("4 filters").values
+    assert sizes4[-1] < sizes1[-1]
+    t1 = panels["b"].series_by_label("1 filter").values
+    t4 = panels["b"].series_by_label("4 filters").values
+    assert sum(t4) > sum(t1)

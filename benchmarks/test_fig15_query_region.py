@@ -1,0 +1,23 @@
+"""Regenerates Figure 15 (effect of the cloaked query-region size)."""
+
+from benchmarks.conftest import run_once
+from repro.evaluation.experiments import run_fig15
+from repro.evaluation.experiments.common import active_scale
+
+
+def test_fig15_query_region(benchmark, show):
+    scale = active_scale()
+    panels = run_once(
+        benchmark,
+        lambda: run_fig15(
+            num_targets=scale.num_targets,
+            num_queries=scale.num_queries,
+        ),
+    )
+    show(panels)
+    # Paper shape: candidate size grows with the query region for every
+    # filter count, and four filters is smallest at the largest region.
+    for series in panels["a"].series:
+        assert series.values[-1] > series.values[0]
+    sizes = {s.label: s.values[-1] for s in panels["a"].series}
+    assert sizes["4 filters"] <= min(sizes.values()) * 1.0001

@@ -1,0 +1,23 @@
+"""Regenerates Figure 16 (effect of the private data-region size)."""
+
+from benchmarks.conftest import run_once
+from repro.evaluation.experiments import run_fig16
+from repro.evaluation.experiments.common import active_scale
+
+
+def test_fig16_data_region(benchmark, show):
+    scale = active_scale()
+    panels = run_once(
+        benchmark,
+        lambda: run_fig16(
+            num_targets=scale.num_targets,
+            num_users=scale.num_users,
+            num_queries=scale.num_queries,
+        ),
+    )
+    show(panels)
+    # Paper shape: four filters decrease candidate size at every data
+    # region size while increasing processing time.
+    sizes1 = panels["a"].series_by_label("1 filter").values
+    sizes4 = panels["a"].series_by_label("4 filters").values
+    assert all(s4 <= s1 for s4, s1 in zip(sizes4, sizes1))

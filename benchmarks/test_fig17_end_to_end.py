@@ -1,0 +1,30 @@
+"""Regenerates Figure 17 (Casper end-to-end performance)."""
+
+from benchmarks.conftest import run_once
+from repro.evaluation.experiments import run_fig17
+from repro.evaluation.experiments.common import active_scale
+
+
+def test_fig17_end_to_end(benchmark, show):
+    scale = active_scale()
+    # The paper's end-to-end setup is 10K users / 10K targets.
+    users = 10_000 if scale.name == "paper" else scale.num_users
+    targets = 10_000 if scale.name == "paper" else scale.num_targets
+    panels = run_once(
+        benchmark,
+        lambda: run_fig17(
+            num_users=users,
+            num_targets=targets,
+            num_queries=scale.num_queries,
+        ),
+    )
+    show(panels)
+    # Paper shape: anonymizer time is negligible; for strict k the
+    # transmission time dominates the public-data end-to-end cost.
+    panel = panels["b"]
+    anon = panel.series_by_label("public anonymizer").values
+    proc = panel.series_by_label("public processing").values
+    trans = panel.series_by_label("public transmission").values
+    assert all(a < p for a, p in zip(anon, proc))
+    assert trans[-1] > trans[0]
+    assert trans[-1] > proc[-1]

@@ -1,0 +1,82 @@
+"""Continuous queries: "keep me posted on my nearest coffee shops".
+
+Shows the incremental monitor from ``repro.continuous``: a handful of
+commuters register standing private NN and range queries, the whole city
+keeps moving, coffee shops open and close — and the monitor re-evaluates
+only the queries each event can affect, reporting answer deltas.
+
+Run:  python examples/continuous_monitor.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.anonymizer import PrivacyProfile
+from repro.continuous import ContinuousQueryMonitor
+from repro.geometry import Point, Rect
+from repro.mobility import NetworkGenerator, synthetic_county_map
+from repro.server import Casper
+from repro.workloads import uniform_points
+
+BOUNDS = Rect(0.0, 0.0, 1.0, 1.0)
+NUM_COMMUTERS = 800
+NUM_SHOPS = 250
+TICKS = 8
+
+
+def main() -> None:
+    network = synthetic_county_map(seed=41)
+    generator = NetworkGenerator(network, NUM_COMMUTERS, seed=42)
+    rng = np.random.default_rng(43)
+
+    casper = Casper(BOUNDS, pyramid_height=8, anonymizer="adaptive")
+    casper.add_public_targets(uniform_points(NUM_SHOPS, BOUNDS, seed=44))
+    for uid, point in generator.positions().items():
+        casper.register_user(
+            uid, point, PrivacyProfile(k=int(rng.integers(1, 35)))
+        )
+
+    monitor = ContinuousQueryMonitor(casper)
+    watched = [0, 1, 2, 3, 4]
+    for uid in watched:
+        initial = monitor.register_nn(f"nn:{uid}", uid)
+        print(f"commuter {uid}: watching nearest shop "
+              f"({len(initial)} initial candidates)")
+    monitor.register_range("rg:0", 0, radius=0.06)
+    print("commuter 0: also watching shops within 0.06\n")
+
+    next_shop = NUM_SHOPS
+    for tick in range(TICKS):
+        # The city moves.
+        for update in generator.step(1.0):
+            monitor.on_user_moved(update.uid, update.point)
+        # Retail churn: one shop closes, one opens.
+        closing = f"T{int(rng.integers(1, NUM_SHOPS))}"
+        if closing in casper.server.public_index:
+            monitor.on_target_update(closing, None)
+        opening = f"T{next_shop + 1}"
+        next_shop += 1
+        monitor.on_target_update(
+            opening, Point(float(rng.random()), float(rng.random()))
+        )
+
+        changes = monitor.flush()
+        print(f"tick {tick}: {len(changes)} of {monitor.num_queries} standing "
+              f"queries changed "
+              f"(closed {closing}, opened {opening})")
+        for change in changes:
+            delta = []
+            if change.added:
+                delta.append(f"+{sorted(map(str, change.added))[:3]}")
+            if change.removed:
+                delta.append(f"-{sorted(map(str, change.removed))[:3]}")
+            print(f"   {change.query_id}: {' '.join(delta)}")
+
+    print("\nEvery re-evaluation touched only the queries whose extended "
+          "search region the event intersected — the shared-execution "
+          "integration Section 5 of the paper defers to.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""Privacy audit: what does Casper actually leak, and to whom?
+
+Two lenses from ``repro.privacy`` applied to a live deployment:
+
+1. **AnonymityAuditor** — replays every cloaked report against the true
+   population (which only we, the omniscient narrator, can see) and
+   verifies the promised k-anonymity is always delivered.
+2. **RegionIntersectionAttack** — an adversary who can *link* a
+   pseudonym's successive reports (e.g. a standing query) and knows a
+   speed bound intersects them over time.  The audit shows single
+   reports leak nothing (Section 4.3's uniformity guarantee) while
+   linked streams narrow the feasible set — and how raising k buys
+   headroom against that.
+
+Run:  python examples/privacy_audit.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.anonymizer import PrivacyProfile
+from repro.geometry import Rect
+from repro.mobility import NetworkGenerator, synthetic_county_map
+from repro.privacy import AnonymityAuditor, RegionIntersectionAttack
+from repro.server import Casper
+
+BOUNDS = Rect(0.0, 0.0, 1.0, 1.0)
+NUM_USERS = 1_200
+TICKS = 10
+MAX_SPEED = 0.05 * 1.3  # honest bound: highway speed x jitter headroom
+
+
+def main() -> None:
+    network = synthetic_county_map(seed=61)
+    generator = NetworkGenerator(network, NUM_USERS, seed=62)
+    rng = np.random.default_rng(63)
+    casper = Casper(BOUNDS, pyramid_height=9, anonymizer="adaptive")
+    promised = {}
+    for uid, point in generator.positions().items():
+        k = int(rng.integers(2, 60))
+        promised[uid] = k
+        casper.register_user(uid, point, PrivacyProfile(k=k))
+
+    auditor = AnonymityAuditor()
+    victims = {uid: RegionIntersectionAttack(MAX_SPEED) for uid in (0, 1, 2)}
+
+    for tick in range(TICKS):
+        for update in generator.step(1.0):
+            casper.update_location(update.uid, update.point)
+        positions = {
+            uid: casper.anonymizer.location_of(uid) for uid in range(NUM_USERS)
+        }
+        # Audit a sample of fresh reports.
+        for uid in rng.choice(NUM_USERS, size=40, replace=False):
+            uid = int(uid)
+            region = casper.anonymizer.cloak(uid).region
+            auditor.audit(uid, region, promised[uid], positions)
+        # The linkage adversary follows three pseudonyms.
+        for uid, attack in victims.items():
+            region = casper.anonymizer.cloak(uid).region
+            attack.observe(region, float(tick))
+            assert attack.contains(positions[uid])  # soundness
+
+    print("=== k-anonymity audit (single reports) ===")
+    print(auditor.summary())
+    print("Every report delivered at least the promised k — the paper's "
+          "accuracy requirement, verified against ground truth.\n")
+
+    print("=== linkage adversary (continuous reports) ===")
+    print(f"{'victim':>6} {'k':>4} {'last cloak':>11} {'feasible':>11} "
+          f"{'narrowing':>10}")
+    for uid, attack in victims.items():
+        region = casper.anonymizer.cloak(uid).region
+        factor = attack.narrowing_factor(region)
+        print(f"{uid:>6} {promised[uid]:>4} {region.area:>11.6f} "
+              f"{attack.feasible.area:>11.6f} {factor:>10.3f}")
+    print("\nA factor below 1.0 means linked reports told the adversary "
+          "more than any single cloak — the continuous-disclosure "
+          "threat the post-Casper literature tackles. Raising k keeps "
+          "the *absolute* feasible area large even under linkage "
+          "(see benchmarks/test_ablation_privacy.py).")
+
+
+if __name__ == "__main__":
+    main()

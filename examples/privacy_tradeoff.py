@@ -1,0 +1,64 @@
+"""The personal privacy / quality-of-service trade-off, quantified.
+
+Section 3: "mobile users have the ability to adjust a personal trade-off
+between the amount of information they would like to reveal about their
+locations and the quality of service."  This example sweeps one user's
+privacy profile — both the k dial and the A_min dial — and tabulates
+what each setting costs: cloak size, candidate-list size, transmission
+time, and end-to-end latency.
+
+Run:  python examples/privacy_tradeoff.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.anonymizer import PrivacyProfile
+from repro.geometry import Point, Rect
+from repro.server import Casper, MobileClient
+from repro.workloads import uniform_points
+
+BOUNDS = Rect(0.0, 0.0, 1.0, 1.0)
+NUM_USERS = 3_000
+NUM_STATIONS = 1_000
+
+
+def main() -> None:
+    rng = np.random.default_rng(31)
+    casper = Casper(BOUNDS, pyramid_height=9, anonymizer="adaptive")
+    casper.add_public_targets(uniform_points(NUM_STATIONS, BOUNDS, seed=32))
+    for i, (x, y) in enumerate(rng.random((NUM_USERS, 2))):
+        casper.register_user(
+            i, Point(float(x), float(y)), PrivacyProfile(k=int(rng.integers(1, 50)))
+        )
+
+    me = MobileClient(casper, "me", Point(0.37, 0.58), PrivacyProfile(k=1))
+
+    print("--- the k dial (A_min = 0) ---")
+    print(f"{'k':>5} {'cloak area':>11} {'users hidden':>13} "
+          f"{'candidates':>11} {'transmit us':>12} {'total ms':>9}")
+    for k in (1, 5, 10, 25, 50, 100, 250, 500):
+        me.change_profile(PrivacyProfile(k=k))
+        result = me.nearest_public()
+        print(f"{k:>5} {result.cloak.area:>11.6f} "
+              f"{result.cloak.achieved_k:>13} {result.candidate_count:>11} "
+              f"{result.transmission_seconds * 1e6:>12.1f} "
+              f"{result.total_seconds * 1e3:>9.3f}")
+
+    print("\n--- the A_min dial (k = 1) ---")
+    print(f"{'A_min %':>8} {'cloak area':>11} {'candidates':>11} "
+          f"{'transmit us':>12}")
+    for fraction in (0.0, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1):
+        me.change_profile(PrivacyProfile(k=1, a_min=fraction * BOUNDS.area))
+        result = me.nearest_public()
+        print(f"{fraction * 100:>8.4f} {result.cloak.area:>11.6f} "
+              f"{result.candidate_count:>11} "
+              f"{result.transmission_seconds * 1e6:>12.1f}")
+
+    print("\nEvery answer above was exact — stricter profiles only cost "
+          "bandwidth and latency, never correctness (Theorems 1-2).")
+
+
+if __name__ == "__main__":
+    main()

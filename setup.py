@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Kept so that ``pip install -e .`` works in offline environments where the
+``wheel`` package (required by the PEP 660 editable path of older
+setuptools) is unavailable.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

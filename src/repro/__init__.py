@@ -1,0 +1,53 @@
+"""Reproduction of *The New Casper: Query Processing for Location
+Services without Compromising Privacy* (Mokbel, Chow, Aref; VLDB 2006).
+
+The most common entry points are re-exported here::
+
+    from repro import Casper, MobileClient, PrivacyProfile, Point, Rect
+
+See README.md for a tour, DESIGN.md for the system inventory, and
+EXPERIMENTS.md for the figure-by-figure reproduction record.
+"""
+
+from repro.anonymizer import (
+    AdaptiveAnonymizer,
+    BasicAnonymizer,
+    CloakedRegion,
+    PrivacyProfile,
+)
+from repro.errors import (
+    CasperError,
+    DuplicateUserError,
+    EmptyDatasetError,
+    InvalidProfileError,
+    OutOfBoundsError,
+    ProfileUnsatisfiableError,
+    UnknownUserError,
+)
+from repro.geometry import Point, Rect
+from repro.processor import CandidateList
+from repro.server import Casper, LocationServer, MobileClient, TransmissionModel
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "Casper",
+    "MobileClient",
+    "LocationServer",
+    "TransmissionModel",
+    "PrivacyProfile",
+    "BasicAnonymizer",
+    "AdaptiveAnonymizer",
+    "CloakedRegion",
+    "CandidateList",
+    "Point",
+    "Rect",
+    "CasperError",
+    "UnknownUserError",
+    "DuplicateUserError",
+    "InvalidProfileError",
+    "ProfileUnsatisfiableError",
+    "OutOfBoundsError",
+    "EmptyDatasetError",
+]

@@ -1,0 +1,25 @@
+"""The Casper location anonymizer (Section 4) and baseline competitors.
+
+Two pyramid-based anonymizers (basic: complete pyramid; adaptive:
+incomplete pyramid with cell splitting/merging) share the bottom-up
+cloaking of Algorithm 1 and the ``(k, A_min)`` privacy-profile model.
+"""
+
+from repro.anonymizer.adaptive import AdaptiveAnonymizer
+from repro.anonymizer.basic import BasicAnonymizer
+from repro.anonymizer.cells import CellGrid, CellId
+from repro.anonymizer.cloak import CloakedRegion, bottom_up_cloak
+from repro.anonymizer.profile import PUBLIC_PROFILE, PrivacyProfile
+from repro.anonymizer.stats import MaintenanceStats
+
+__all__ = [
+    "AdaptiveAnonymizer",
+    "BasicAnonymizer",
+    "CellGrid",
+    "CellId",
+    "CloakedRegion",
+    "bottom_up_cloak",
+    "PrivacyProfile",
+    "PUBLIC_PROFILE",
+    "MaintenanceStats",
+]

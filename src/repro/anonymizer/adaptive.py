@@ -1,0 +1,348 @@
+"""The *adaptive* location anonymizer (Section 4.2).
+
+Maintains an *incomplete* pyramid [Aref & Samet 1990]: only cells that
+could actually serve as cloaking regions for the current user population
+exist.  The maintained cells form a quadtree cut — the root always
+exists, and a cell is either a *leaf* (its children are not maintained)
+or fully split (all four children maintained).  The per-user hash table
+points at the lowest *maintained* cell, so both location updates and
+Algorithm 1 touch far fewer cells than the basic anonymizer when users
+have strict privacy profiles.
+
+Cell *splitting* and *merging* follow Section 4.2's criteria:
+
+* a leaf at level ``i < H`` splits when at least one user inside it has a
+  profile that some cell at level ``i + 1`` would satisfy;
+* four sibling leaves merge into their parent when no user under the
+  parent has a profile satisfiable at the children's level.
+
+Per the paper, the check is driven by tracking each cell's *most relaxed
+user*: a cheap aggregate test gates the exact per-user check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.anonymizer.cells import CellGrid, CellId
+from repro.anonymizer.cloak import CloakedRegion, bottom_up_cloak
+from repro.anonymizer.profile import PrivacyProfile
+from repro.anonymizer.stats import MaintenanceStats
+from repro.errors import DuplicateUserError, UnknownUserError
+from repro.geometry import Point, Rect
+
+__all__ = ["AdaptiveAnonymizer"]
+
+
+@dataclass
+class _UserRecord:
+    profile: PrivacyProfile
+    point: Point
+    leaf: CellId
+
+
+@dataclass
+class _Cell:
+    """One maintained pyramid cell.
+
+    ``count`` is the user population under the cell.  ``users`` is
+    populated only while the cell is a leaf; internal cells keep just the
+    counter (mirroring the paper's ``(cid, N)`` contents).
+    """
+
+    count: int = 0
+    is_leaf: bool = True
+    users: set[object] = field(default_factory=set)
+
+
+class AdaptiveAnonymizer:
+    """Incomplete-pyramid location anonymizer."""
+
+    def __init__(self, bounds: Rect, height: int = 9) -> None:
+        self.grid = CellGrid(bounds, height)
+        self.stats = MaintenanceStats()
+        self._cells: dict[CellId, _Cell] = {CellId(0, 0, 0): _Cell()}
+        self._users: dict[object, _UserRecord] = {}
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def bounds(self) -> Rect:
+        return self.grid.bounds
+
+    @property
+    def height(self) -> int:
+        return self.grid.height
+
+    @property
+    def num_users(self) -> int:
+        return len(self._users)
+
+    @property
+    def num_maintained_cells(self) -> int:
+        """Size of the incomplete pyramid (the adaptive structure's
+        memory footprint; the basic anonymizer's equivalent is fixed at
+        ``sum(4**level)``)."""
+        return len(self._cells)
+
+    def __contains__(self, uid: object) -> bool:
+        return uid in self._users
+
+    def profile_of(self, uid: object) -> PrivacyProfile:
+        return self._record(uid).profile
+
+    def location_of(self, uid: object) -> Point:
+        return self._record(uid).point
+
+    def cell_count(self, cell: CellId) -> int:
+        """Population of a *maintained* cell (0 for absent cells, which
+        only occurs below the maintained cut, where the population would
+        indeed require splitting to know)."""
+        entry = self._cells.get(cell)
+        return entry.count if entry is not None else 0
+
+    def users_in_rect(self, rect: Rect) -> int:
+        """Exact population of an arbitrary rectangle (verification aid)."""
+        return sum(1 for rec in self._users.values() if rect.contains_point(rec.point))
+
+    def _record(self, uid: object) -> _UserRecord:
+        try:
+            return self._users[uid]
+        except KeyError:
+            raise UnknownUserError(uid) from None
+
+    # ------------------------------------------------------------------
+    # Leaf location
+    # ------------------------------------------------------------------
+    def leaf_for_point(self, point: Point) -> CellId:
+        """Descend the maintained cut to the leaf containing ``point``."""
+        cell = CellId(0, 0, 0)
+        while not self._cells[cell].is_leaf:
+            cell = self.grid.cell_of(point, cell.level + 1)
+        return cell
+
+    # ------------------------------------------------------------------
+    # Registration and location updates
+    # ------------------------------------------------------------------
+    def register(self, uid: object, point: Point, profile: PrivacyProfile) -> None:
+        if uid in self._users:
+            raise DuplicateUserError(uid)
+        leaf = self.leaf_for_point(point)
+        self._users[uid] = _UserRecord(profile, point, leaf)
+        self._add_to_leaf(uid, leaf)
+        self.stats.registrations += 1
+        self._maybe_split(leaf)
+
+    def deregister(self, uid: object) -> None:
+        record = self._record(uid)
+        self._remove_from_leaf(uid, record.leaf)
+        del self._users[uid]
+        self.stats.deregistrations += 1
+        self._maybe_merge(record.leaf)
+
+    def set_profile(self, uid: object, profile: PrivacyProfile) -> None:
+        """Change a user's profile; may reshape the pyramid around them."""
+        record = self._record(uid)
+        record.profile = profile
+        self._maybe_split(record.leaf)
+        self._maybe_merge(record.leaf)
+
+    def update(self, uid: object, point: Point) -> int:
+        """Process a location update; returns its counter-update cost."""
+        record = self._record(uid)
+        record.point = point
+        self.stats.location_updates += 1
+        new_leaf = self.leaf_for_point(point)
+        if new_leaf == record.leaf:
+            return 0
+        old_leaf = record.leaf
+        cost = self._move_between_leaves(uid, old_leaf, new_leaf)
+        record.leaf = new_leaf
+        self.stats.counter_updates += cost
+        self.stats.cell_changes += 1
+        self._maybe_split(new_leaf)
+        self._maybe_merge(old_leaf)
+        return cost
+
+    def _move_between_leaves(self, uid: object, old: CellId, new: CellId) -> int:
+        """Transfer one user between leaves, updating branch counters;
+        returns the number of counters touched."""
+        self._cells[old].users.discard(uid)
+        self._cells[new].users.add(uid)
+        # Walk both branches up to the common ancestor (exclusive).
+        old_path = self.grid.path_to_root(old)
+        new_path = self.grid.path_to_root(new)
+        common = {c for c in new_path}
+        cost = 0
+        for cell in old_path:
+            if cell in common:
+                break
+            self._cells[cell].count -= 1
+            cost += 1
+        stop_at = None
+        for cell in old_path:
+            if cell in common:
+                stop_at = cell
+                break
+        for cell in new_path:
+            if cell == stop_at:
+                break
+            self._cells[cell].count += 1
+            cost += 1
+        return cost
+
+    def _add_to_leaf(self, uid: object, leaf: CellId) -> None:
+        self._cells[leaf].users.add(uid)
+        path = self.grid.path_to_root(leaf)
+        for cell in path:
+            self._cells[cell].count += 1
+        self.stats.counter_updates += len(path)
+
+    def _remove_from_leaf(self, uid: object, leaf: CellId) -> None:
+        self._cells[leaf].users.discard(uid)
+        path = self.grid.path_to_root(leaf)
+        for cell in path:
+            self._cells[cell].count -= 1
+        self.stats.counter_updates += len(path)
+
+    # ------------------------------------------------------------------
+    # Splitting and merging
+    # ------------------------------------------------------------------
+    def _maybe_split(self, leaf: CellId) -> None:
+        """Split ``leaf`` (recursively) while Section 4.2's criterion
+        holds: some user inside could be satisfied one level deeper."""
+        while True:
+            entry = self._cells.get(leaf)
+            if entry is None or not entry.is_leaf or leaf.level >= self.height:
+                return
+            if not entry.users:
+                return
+            child_area = self.grid.cell_area(leaf.level + 1)
+            # Cheap gate via the most relaxed user: if even the minimum
+            # requirements in this cell rule out level i+1, skip the
+            # exact check.
+            min_a = min(self._users[u].profile.a_min for u in entry.users)
+            min_k = min(self._users[u].profile.k for u in entry.users)
+            if child_area < min_a - 1e-15 or entry.count < min_k:
+                return
+            # Exact check: distribute users over the four children and
+            # test each user against the child that would contain them.
+            child_users: dict[CellId, set[object]] = {
+                c: set() for c in leaf.children()
+            }
+            for uid in entry.users:
+                child = self.grid.cell_of(self._users[uid].point, leaf.level + 1)
+                child_users[child].add(uid)
+            satisfiable = None
+            for child, members in child_users.items():
+                for uid in members:
+                    profile = self._users[uid].profile
+                    if profile.is_satisfied_by(len(members), child_area):
+                        satisfiable = child
+                        break
+                if satisfiable is not None:
+                    break
+            if satisfiable is None:
+                return
+            self._split(leaf, child_users)
+            # A fresh leaf may itself be splittable; continue there.
+            leaf = satisfiable
+
+    def _split(self, leaf: CellId, child_users: dict[CellId, set[object]]) -> None:
+        entry = self._cells[leaf]
+        entry.is_leaf = False
+        entry.users = set()
+        for child, members in child_users.items():
+            self._cells[child] = _Cell(
+                count=len(members), is_leaf=True, users=members
+            )
+            for uid in members:
+                self._users[uid].leaf = child
+        self.stats.splits += 1
+        # Restructuring cost: four new counters plus one hash-table
+        # relocation per affected user.
+        self.stats.counter_updates += 4 + sum(len(m) for m in child_users.values())
+
+    def _maybe_merge(self, leaf: CellId) -> None:
+        """Merge ``leaf``'s sibling group (recursively upward) while no
+        user under the parent needs cells at the leaves' level."""
+        while leaf.level > 0:
+            parent = leaf.parent()
+            children = parent.children()
+            entries = [self._cells.get(c) for c in children]
+            if any(e is None or not e.is_leaf for e in entries):
+                return
+            child_area = self.grid.cell_area(leaf.level)
+            # A child level is still needed if any user in any child has
+            # a profile that child satisfies.
+            for child, entry in zip(children, entries):
+                for uid in entry.users:
+                    if self._users[uid].profile.is_satisfied_by(
+                        entry.count, child_area
+                    ):
+                        return
+            merged_users: set[object] = set()
+            for entry in entries:
+                merged_users |= entry.users
+            parent_entry = self._cells[parent]
+            parent_entry.is_leaf = True
+            parent_entry.users = merged_users
+            for uid in merged_users:
+                self._users[uid].leaf = parent
+            for child in children:
+                del self._cells[child]
+            self.stats.merges += 1
+            self.stats.counter_updates += 4 + len(merged_users)
+            leaf = parent
+
+    # ------------------------------------------------------------------
+    # Cloaking
+    # ------------------------------------------------------------------
+    def cloak(self, uid: object) -> CloakedRegion:
+        """Blur ``uid``'s location, starting Algorithm 1 from their
+        lowest *maintained* cell."""
+        record = self._record(uid)
+        self.stats.cloak_requests += 1
+        return bottom_up_cloak(self.grid, self.cell_count, record.profile, record.leaf)
+
+    def cloak_location(self, point: Point, profile: PrivacyProfile) -> CloakedRegion:
+        """One-shot cloak of an arbitrary location (query anonymization)."""
+        leaf = self.leaf_for_point(point)
+        self.stats.cloak_requests += 1
+        return bottom_up_cloak(self.grid, self.cell_count, profile, leaf)
+
+    # ------------------------------------------------------------------
+    # Diagnostics
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Assert incomplete-pyramid consistency."""
+        root = CellId(0, 0, 0)
+        assert root in self._cells, "root must always be maintained"
+        leaf_population = 0
+        for cell, entry in self._cells.items():
+            if entry.is_leaf:
+                leaf_population += entry.count
+                assert entry.count == len(entry.users), f"leaf {cell} count drift"
+                for uid in entry.users:
+                    rec = self._users[uid]
+                    assert rec.leaf == cell, f"hash table stale for {uid!r}"
+                    assert cell.is_ancestor_of(
+                        self.grid.cell_of(rec.point)
+                    ), f"user {uid!r} outside its leaf"
+                # Cut property: no child of a leaf is maintained.
+                if cell.level < self.height:
+                    for child in cell.children():
+                        assert child not in self._cells, "leaf with children"
+            else:
+                children = cell.children()
+                assert all(c in self._cells for c in children), "partial split"
+                assert entry.count == sum(
+                    self._cells[c].count for c in children
+                ), f"internal {cell} count != children sum"
+                assert not entry.users, "internal cell holds users"
+            if not cell.is_root:
+                assert cell.parent() in self._cells, "orphan maintained cell"
+                assert not self._cells[cell.parent()].is_leaf, "parent is leaf"
+        assert leaf_population == len(self._users), "population drift"
+        assert self._cells[root].count == len(self._users)

@@ -1,0 +1,16 @@
+"""Baseline location anonymizers from the paper's related work."""
+
+from repro.anonymizer.baselines.clique_cloak import CliqueCloak, CliqueRequest
+from repro.anonymizer.baselines.interval_cloak import IntervalCloak
+from repro.anonymizer.baselines.temporal_cloak import (
+    TemporalCloak,
+    TemporalCloakResult,
+)
+
+__all__ = [
+    "CliqueCloak",
+    "CliqueRequest",
+    "IntervalCloak",
+    "TemporalCloak",
+    "TemporalCloakResult",
+]

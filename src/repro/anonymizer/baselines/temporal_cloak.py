@@ -1,0 +1,120 @@
+"""Temporal cloaking baseline (Gruteser & Grunwald, MobiSys 2003).
+
+Besides spatial cloaking, the original paper proposes *temporal*
+cloaking: instead of enlarging the reported region, the middleware
+delays (or backdates) the report until at least ``k`` distinct users
+have visited the reported cell — trading answer freshness for
+anonymity.  Casper deliberately avoids this trade (location-based
+queries need fresh positions); this baseline exists so the ablation
+suite can quantify the delay such a scheme would impose under the same
+movement workloads.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.errors import ProfileUnsatisfiableError
+from repro.geometry import Point, Rect
+
+__all__ = ["TemporalCloak", "TemporalCloakResult"]
+
+
+@dataclass(frozen=True, slots=True)
+class TemporalCloakResult:
+    """A temporally cloaked report.
+
+    ``delay`` is how stale the report had to be made: the age of the
+    oldest visit inside the window that accumulates ``k`` distinct
+    visitors for the cell.
+    """
+
+    region: Rect
+    delay: float
+    visitors: int
+
+
+class TemporalCloak:
+    """Per-cell visit history with k-visitor temporal cloaking."""
+
+    def __init__(
+        self,
+        bounds: Rect,
+        k: int,
+        resolution: int = 32,
+        history_horizon: float = float("inf"),
+    ) -> None:
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        if resolution < 1:
+            raise ValueError("resolution must be >= 1")
+        if bounds.area <= 0:
+            raise ValueError("bounds must have positive area")
+        self.bounds = bounds
+        self.k = k
+        self.resolution = resolution
+        self.history_horizon = history_horizon
+        # cell -> deque of (time, uid) visits, oldest first.
+        self._visits: dict[tuple[int, int], deque[tuple[float, object]]] = {}
+        self._clock = 0.0
+
+    # ------------------------------------------------------------------
+    # Observation stream
+    # ------------------------------------------------------------------
+    def _cell_of(self, point: Point) -> tuple[int, int]:
+        fx = (point.x - self.bounds.x_min) / self.bounds.width
+        fy = (point.y - self.bounds.y_min) / self.bounds.height
+        ix = min(max(int(fx * self.resolution), 0), self.resolution - 1)
+        iy = min(max(int(fy * self.resolution), 0), self.resolution - 1)
+        return ix, iy
+
+    def cell_rect(self, cell: tuple[int, int]) -> Rect:
+        w = self.bounds.width / self.resolution
+        h = self.bounds.height / self.resolution
+        x0 = self.bounds.x_min + cell[0] * w
+        y0 = self.bounds.y_min + cell[1] * h
+        return Rect(x0, y0, x0 + w, y0 + h)
+
+    def observe(self, uid: object, point: Point, time: float) -> None:
+        """Record that ``uid`` was seen at ``point`` at ``time``.
+
+        Times must be non-decreasing (a replayable update stream).
+        """
+        if time < self._clock:
+            raise ValueError("observations must be time-ordered")
+        self._clock = time
+        cell = self._cell_of(point)
+        history = self._visits.setdefault(cell, deque())
+        history.append((time, uid))
+        cutoff = time - self.history_horizon
+        while history and history[0][0] < cutoff:
+            history.popleft()
+
+    # ------------------------------------------------------------------
+    # Cloaking
+    # ------------------------------------------------------------------
+    def cloak(self, point: Point, now: float | None = None) -> TemporalCloakResult:
+        """Temporally cloak a report from ``point``.
+
+        Walks the cell's visit history backwards until ``k`` distinct
+        visitors are covered; the report must then be delayed by the age
+        of the window.  Raises when the history never accumulated ``k``
+        visitors.
+        """
+        if now is None:
+            now = self._clock
+        cell = self._cell_of(point)
+        history = self._visits.get(cell, deque())
+        seen: set[object] = set()
+        for time, uid in reversed(history):
+            seen.add(uid)
+            if len(seen) >= self.k:
+                return TemporalCloakResult(
+                    region=self.cell_rect(cell),
+                    delay=max(now - time, 0.0),
+                    visitors=len(seen),
+                )
+        raise ProfileUnsatisfiableError(
+            f"cell has only {len(seen)} distinct visitors, k={self.k}"
+        )

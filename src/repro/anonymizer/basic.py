@@ -1,0 +1,185 @@
+"""The *basic* location anonymizer (Section 4.1).
+
+Maintains a complete pyramid: every level from the root down to the
+configured height holds a counter per grid cell, kept consistent under
+continuous location updates.  A hash table maps each registered user to
+``(profile, lowest-level cell)``.  Cloaking runs Algorithm 1 starting
+from the user's lowest-level cell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.anonymizer.cells import CellGrid, CellId
+from repro.anonymizer.cloak import CloakedRegion, bottom_up_cloak
+from repro.anonymizer.profile import PrivacyProfile
+from repro.anonymizer.stats import MaintenanceStats
+from repro.errors import DuplicateUserError, UnknownUserError
+from repro.geometry import Point, Rect
+
+__all__ = ["BasicAnonymizer"]
+
+
+@dataclass
+class _UserRecord:
+    profile: PrivacyProfile
+    point: Point
+    cell: CellId
+
+
+class BasicAnonymizer:
+    """Complete-pyramid location anonymizer.
+
+    Parameters
+    ----------
+    bounds:
+        The service area.
+    height:
+        Pyramid height ``H``; the lowest level has ``4**H`` cells.
+    """
+
+    def __init__(self, bounds: Rect, height: int = 9) -> None:
+        self.grid = CellGrid(bounds, height)
+        self.stats = MaintenanceStats()
+        # counts[level] is a (side, side) int array, indexed [ix, iy].
+        self._counts: list[np.ndarray] = [
+            np.zeros((1 << level, 1 << level), dtype=np.int64)
+            for level in range(height + 1)
+        ]
+        self._users: dict[object, _UserRecord] = {}
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def bounds(self) -> Rect:
+        return self.grid.bounds
+
+    @property
+    def height(self) -> int:
+        return self.grid.height
+
+    @property
+    def num_users(self) -> int:
+        return len(self._users)
+
+    def __contains__(self, uid: object) -> bool:
+        return uid in self._users
+
+    def profile_of(self, uid: object) -> PrivacyProfile:
+        """The registered privacy profile of ``uid``."""
+        return self._record(uid).profile
+
+    def location_of(self, uid: object) -> Point:
+        """The exact location of ``uid`` — known only to this trusted
+        third party, never shipped to the database server."""
+        return self._record(uid).point
+
+    def cell_count(self, cell: CellId) -> int:
+        """The number of users currently inside ``cell``."""
+        return int(self._counts[cell.level][cell.ix, cell.iy])
+
+    def users_in_rect(self, rect: Rect) -> int:
+        """Exact population of an arbitrary rectangle (linear scan;
+        used by accuracy verification, not by the hot path)."""
+        return sum(1 for rec in self._users.values() if rect.contains_point(rec.point))
+
+    def _record(self, uid: object) -> _UserRecord:
+        try:
+            return self._users[uid]
+        except KeyError:
+            raise UnknownUserError(uid) from None
+
+    # ------------------------------------------------------------------
+    # Registration and location updates
+    # ------------------------------------------------------------------
+    def register(self, uid: object, point: Point, profile: PrivacyProfile) -> None:
+        """Register a new user at ``point`` with the given profile."""
+        if uid in self._users:
+            raise DuplicateUserError(uid)
+        cell = self.grid.cell_of(point)
+        self._users[uid] = _UserRecord(profile, point, cell)
+        self._apply_delta(cell, +1)
+        self.stats.registrations += 1
+
+    def deregister(self, uid: object) -> None:
+        """Remove a user entirely (quitting the service)."""
+        record = self._record(uid)
+        self._apply_delta(record.cell, -1)
+        del self._users[uid]
+        self.stats.deregistrations += 1
+
+    def set_profile(self, uid: object, profile: PrivacyProfile) -> None:
+        """Change a user's privacy profile (the flexibility requirement)."""
+        self._record(uid).profile = profile
+
+    def update(self, uid: object, point: Point) -> int:
+        """Process a location update; returns the number of counter
+        updates it required (the Figure 10b cost unit)."""
+        record = self._record(uid)
+        new_cell = self.grid.cell_of(point)
+        record.point = point
+        self.stats.location_updates += 1
+        if new_cell == record.cell:
+            return 0
+        # Counters change on both branches strictly below the common
+        # ancestor of the old and new lowest-level cells.
+        ancestor_level = self.grid.common_ancestor_level(record.cell, new_cell)
+        cost = 0
+        old, new = record.cell, new_cell
+        for level in range(record.cell.level, ancestor_level, -1):
+            self._counts[level][old.ix, old.iy] -= 1
+            self._counts[level][new.ix, new.iy] += 1
+            cost += 2
+            if level - 1 > ancestor_level:
+                old = old.parent()
+                new = new.parent()
+        record.cell = new_cell
+        self.stats.counter_updates += cost
+        self.stats.cell_changes += 1
+        return cost
+
+    def _apply_delta(self, cell: CellId, delta: int) -> None:
+        for ancestor in self.grid.path_to_root(cell):
+            self._counts[ancestor.level][ancestor.ix, ancestor.iy] += delta
+        self.stats.counter_updates += cell.level + 1
+
+    # ------------------------------------------------------------------
+    # Cloaking
+    # ------------------------------------------------------------------
+    def cloak(self, uid: object) -> CloakedRegion:
+        """Blur ``uid``'s current location per their privacy profile."""
+        record = self._record(uid)
+        self.stats.cloak_requests += 1
+        return bottom_up_cloak(self.grid, self.cell_count, record.profile, record.cell)
+
+    def cloak_location(self, point: Point, profile: PrivacyProfile) -> CloakedRegion:
+        """Blur an arbitrary location under ``profile`` without
+        registering it — used for one-shot query cloaking."""
+        cell = self.grid.cell_of(point)
+        self.stats.cloak_requests += 1
+        return bottom_up_cloak(self.grid, self.cell_count, profile, cell)
+
+    # ------------------------------------------------------------------
+    # Diagnostics
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Assert pyramid consistency; O(cells + users)."""
+        # Each non-leaf counter equals the sum of its children.
+        for level in range(self.height):
+            child = self._counts[level + 1]
+            summed = (
+                child[0::2, 0::2] + child[1::2, 0::2]
+                + child[0::2, 1::2] + child[1::2, 1::2]
+            )
+            assert np.array_equal(self._counts[level], summed), (
+                f"level {level} counters inconsistent with level {level + 1}"
+            )
+        # Root counter equals the registered population.
+        assert int(self._counts[0][0, 0]) == len(self._users)
+        # Every hash-table cell contains the user's point.
+        for uid, rec in self._users.items():
+            assert rec.cell == self.grid.cell_of(rec.point), f"stale cell for {uid!r}"

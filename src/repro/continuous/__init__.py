@@ -1,0 +1,5 @@
+"""Continuous private query monitoring (incremental re-evaluation)."""
+
+from repro.continuous.monitor import AnswerChange, ContinuousQueryMonitor
+
+__all__ = ["AnswerChange", "ContinuousQueryMonitor"]

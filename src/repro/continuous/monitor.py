@@ -1,0 +1,272 @@
+"""Continuous private queries (Section 5's deferred integration).
+
+The paper evaluates snapshot queries and notes that "supporting
+continuous queries ... can be achieved by seamless integration of the
+Casper framework into any scalable and/or incremental location-based
+query processor" (citing SINA and conceptual partitioning).  This module
+is that integration: a shared-execution monitor that keeps many
+outstanding private NN / range queries up to date as users and targets
+move, re-evaluating only the queries an update can actually affect.
+
+The incremental argument mirrors conceptual partitioning's: a query's
+answer can only change when
+
+* the *querying user's cloak* changes (their movement or profile edit), or
+* a target update touches the query's extended search region ``A_EXT``
+  — entering it, leaving it, or moving within it.
+
+A target strictly outside ``A_EXT`` can never be (or unseat) a filter:
+Algorithm 2's filters are each within their vertex's nearest-target
+distance, which the per-edge expansion dominates, so any target close
+enough to matter is inside ``A_EXT`` already.  Registered queries index
+their ``A_EXT`` rectangles in a bucket grid; each target update probes
+the grid with its old and new positions and marks only the overlapping
+queries dirty.  ``flush()`` recomputes the dirty set and reports answer
+deltas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.geometry import Point, Rect
+from repro.processor import CandidateList, private_nn_over_public, private_range_over_public
+from repro.server.casper import Casper
+from repro.spatial import GridIndex
+
+__all__ = ["AnswerChange", "ContinuousQueryMonitor"]
+
+
+@dataclass(frozen=True)
+class AnswerChange:
+    """The delta produced by one re-evaluation of a continuous query."""
+
+    query_id: object
+    added: frozenset
+    removed: frozenset
+    candidates: CandidateList
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.added or self.removed)
+
+
+@dataclass
+class _Query:
+    query_id: object
+    uid: object
+    kind: str  # "nn" or "range"
+    num_filters: int
+    radius: float
+    cloak: Rect
+    a_ext: Rect
+    answer: frozenset
+
+
+class ContinuousQueryMonitor:
+    """Shared-execution monitor for continuous private queries over the
+    public target data of a :class:`~repro.server.Casper` deployment.
+
+    Consistency contract: after :meth:`flush`, every registered query's
+    answer equals a from-scratch evaluation against the current state —
+    including cloak drift caused by *other* users moving through the
+    querying user's pyramid cells, which ``flush`` detects with a cheap
+    re-cloak scan before deciding what to re-evaluate.
+    """
+
+    def __init__(self, casper: Casper, grid_resolution: int = 32) -> None:
+        self.casper = casper
+        # Maps query_id -> A_EXT for the spatial join with target updates.
+        self._regions = GridIndex(casper.bounds, grid_resolution)
+        self._queries: dict[object, _Query] = {}
+        self._queries_of_user: dict[object, set[object]] = {}
+        self._dirty: set[object] = set()
+
+    # ------------------------------------------------------------------
+    # Query registration
+    # ------------------------------------------------------------------
+    @property
+    def num_queries(self) -> int:
+        return len(self._queries)
+
+    def register_nn(
+        self, query_id: object, uid: object, num_filters: int = 4
+    ) -> CandidateList:
+        """Register a continuous "nearest public target" query; returns
+        the initial candidate list."""
+        return self._register(query_id, uid, "nn", num_filters, 0.0)
+
+    def register_range(
+        self, query_id: object, uid: object, radius: float
+    ) -> CandidateList:
+        """Register a continuous "targets within radius" query."""
+        if radius < 0:
+            raise ValueError("radius must be non-negative")
+        return self._register(query_id, uid, "range", 0, radius)
+
+    def register_buddy(
+        self, query_id: object, uid: object, num_filters: int = 4
+    ) -> CandidateList:
+        """Register a continuous "nearest other user" query — private
+        query over private data, kept fresh as everyone's stored cloaks
+        change.
+
+        A moving user's stored region can invalidate a buddy answer only
+        when its old or new cloak touches the query's ``A_EXT`` (a
+        strictly-outside region can never hold or become a pessimistic
+        filter: a region beating the current filter's max-distance lies
+        entirely inside the filter disc, hence inside ``A_EXT``), so the
+        same grid probe drives incrementality.
+        """
+        return self._register(query_id, uid, "buddy", num_filters, 0.0)
+
+    def _register(
+        self, query_id: object, uid: object, kind: str, num_filters: int,
+        radius: float,
+    ) -> CandidateList:
+        if query_id in self._queries:
+            raise ValueError(f"query id {query_id!r} already registered")
+        cloak = self.casper.anonymizer.cloak(uid)
+        candidates = self._evaluate(kind, cloak.region, num_filters, radius, uid)
+        query = _Query(
+            query_id=query_id,
+            uid=uid,
+            kind=kind,
+            num_filters=num_filters,
+            radius=radius,
+            cloak=cloak.region,
+            a_ext=candidates.search_region,
+            answer=frozenset(candidates.oids()),
+        )
+        self._queries[query_id] = query
+        self._queries_of_user.setdefault(uid, set()).add(query_id)
+        self._regions.insert(query_id, candidates.search_region)
+        return candidates
+
+    def deregister(self, query_id: object) -> None:
+        query = self._queries.pop(query_id)
+        self._queries_of_user[query.uid].discard(query_id)
+        self._regions.remove(query_id)
+        self._dirty.discard(query_id)
+
+    # ------------------------------------------------------------------
+    # Update notifications
+    # ------------------------------------------------------------------
+    def on_user_moved(self, uid: object, point: Point) -> None:
+        """Route a location update through Casper and mark the affected
+        queries dirty: the mover's own queries (when their cloak
+        changed) plus any buddy query whose ``A_EXT`` the mover's old or
+        new stored region touches."""
+        private_index = self.casper.server.private_index
+        old_region = (
+            private_index.rect_of(uid) if uid in private_index else None
+        )
+        cloak = self.casper.update_location(uid, point)
+        self.notify_user_moved(uid, old_region, cloak.region)
+
+    def notify_user_moved(
+        self, uid: object, old_region: Rect | None, new_region: Rect
+    ) -> None:
+        """Dirty-marking half of :meth:`on_user_moved`, for callers that
+        applied the location update to Casper themselves (``old_region``
+        is the user's previously stored cloak, ``new_region`` the fresh
+        one)."""
+        for query_id in self._queries_of_user.get(uid, ()):
+            if self._queries[query_id].cloak != new_region:
+                self._dirty.add(query_id)
+        for probe in (old_region, new_region):
+            if probe is None:
+                continue
+            for query_id in self._regions.range_search(probe):
+                if self._queries[query_id].kind == "buddy":
+                    self._dirty.add(query_id)
+
+    def on_target_update(
+        self,
+        oid: object,
+        new_position: Point | None,
+        old_position: Point | None = None,
+    ) -> None:
+        """Apply a public-target insert / move / delete and mark the
+        queries whose ``A_EXT`` the update touches."""
+        if old_position is None and oid in self.casper.server.public_index:
+            old_position = self.casper.server.public_index.rect_of(oid).center
+        if new_position is None:
+            self.casper.server.remove_public(oid)
+        else:
+            self.casper.server.add_public(oid, new_position)
+        for probe in (old_position, new_position):
+            if probe is None:
+                continue
+            for query_id in self._regions.range_search(Rect.point(probe)):
+                self._dirty.add(query_id)
+
+    def mark_all_dirty(self) -> None:
+        """Force every query to re-evaluate at the next flush.
+
+        Escape hatch for out-of-band state changes the monitor has no
+        hook for (profile edits, user registration/removal done directly
+        on the Casper facade).
+        """
+        self._dirty.update(self._queries)
+
+    # ------------------------------------------------------------------
+    # Re-evaluation
+    # ------------------------------------------------------------------
+    def flush(self) -> list[AnswerChange]:
+        """Re-evaluate every dirty query; returns the non-empty answer
+        deltas (re-evaluations that changed nothing are suppressed).
+
+        Before re-evaluating, every registered query is re-cloaked (a
+        microsecond pyramid walk) and marked dirty if its cloak drifted —
+        this catches cloak changes caused by *other* users' movement
+        through the querying user's pyramid cells, so answers are fully
+        consistent with a from-scratch evaluation at each flush boundary.
+        """
+        fresh_cloaks: dict[object, Rect] = {}
+        for query_id, query in self._queries.items():
+            region = self.casper.anonymizer.cloak(query.uid).region
+            fresh_cloaks[query_id] = region
+            if region != query.cloak:
+                self._dirty.add(query_id)
+        changes: list[AnswerChange] = []
+        for query_id in sorted(self._dirty, key=str):
+            query = self._queries[query_id]
+            cloak_region = fresh_cloaks[query_id]
+            candidates = self._evaluate(
+                query.kind, cloak_region, query.num_filters, query.radius,
+                query.uid,
+            )
+            new_answer = frozenset(candidates.oids())
+            change = AnswerChange(
+                query_id=query_id,
+                added=new_answer - query.answer,
+                removed=query.answer - new_answer,
+                candidates=candidates,
+            )
+            query.cloak = cloak_region
+            query.answer = new_answer
+            if query.a_ext != candidates.search_region:
+                self._regions.insert(query_id, candidates.search_region)
+                query.a_ext = candidates.search_region
+            if change.changed:
+                changes.append(change)
+        self._dirty.clear()
+        return changes
+
+    def answer_of(self, query_id: object) -> frozenset:
+        """The current (last flushed) answer set of a query."""
+        return self._queries[query_id].answer
+
+    def _evaluate(
+        self, kind: str, cloak: Rect, num_filters: int, radius: float,
+        uid: object,
+    ) -> CandidateList:
+        if kind == "buddy":
+            return self.casper.server.nn_private(
+                cloak, num_filters, exclude=uid
+            )
+        index = self.casper.server.public_index
+        if kind == "nn":
+            return private_nn_over_public(index, cloak, num_filters)
+        return private_range_over_public(index, cloak, radius)

@@ -1,0 +1,58 @@
+"""Exception hierarchy for the Casper reproduction.
+
+Every error the library raises deliberately derives from
+:class:`CasperError` so applications can catch the whole family with one
+``except`` clause while tests can assert on the precise subclass.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "CasperError",
+    "UnknownUserError",
+    "DuplicateUserError",
+    "ProfileUnsatisfiableError",
+    "InvalidProfileError",
+    "OutOfBoundsError",
+    "EmptyDatasetError",
+]
+
+
+class CasperError(Exception):
+    """Base class of all library-specific errors."""
+
+
+class UnknownUserError(CasperError, KeyError):
+    """An operation referenced a user id that is not registered."""
+
+    def __init__(self, uid: object) -> None:
+        super().__init__(f"unknown user id: {uid!r}")
+        self.uid = uid
+
+
+class DuplicateUserError(CasperError, ValueError):
+    """A registration reused an already-registered user id."""
+
+    def __init__(self, uid: object) -> None:
+        super().__init__(f"user id already registered: {uid!r}")
+        self.uid = uid
+
+
+class InvalidProfileError(CasperError, ValueError):
+    """A privacy profile had out-of-range parameters."""
+
+
+class ProfileUnsatisfiableError(CasperError):
+    """A privacy profile cannot be satisfied by the current system state.
+
+    Raised when ``k`` exceeds the registered population or ``A_min``
+    exceeds the service area — the preconditions Algorithm 1 states.
+    """
+
+
+class OutOfBoundsError(CasperError, ValueError):
+    """A location or region fell outside the service area."""
+
+
+class EmptyDatasetError(CasperError):
+    """A query requires at least one target object but none are stored."""

@@ -1,0 +1,5 @@
+"""Evaluation harness: metrics containers and per-figure experiments."""
+
+from repro.evaluation.results import ExperimentResult, Series
+
+__all__ = ["ExperimentResult", "Series"]

@@ -1,0 +1,85 @@
+"""Terminal-friendly charts for experiment results.
+
+The paper presents its evaluation as line charts; the harness renders
+the same series as ASCII charts so a text console (or EXPERIMENTS.md)
+can show the *shape* of each result next to the raw numbers.
+"""
+
+from __future__ import annotations
+
+from repro.evaluation.results import ExperimentResult
+
+__all__ = ["render_chart"]
+
+#: Glyphs assigned to series in order.
+_MARKERS = "o*x+#@%&"
+
+
+def _format_value(value: float) -> str:
+    if value == 0:
+        return "0"
+    if abs(value) >= 1000:
+        return f"{value:,.0f}"
+    if abs(value) >= 1:
+        return f"{value:.2f}"
+    return f"{value:.2e}"
+
+
+def render_chart(
+    result: ExperimentResult, width: int = 60, height: int = 14
+) -> str:
+    """Render one panel as an ASCII line chart.
+
+    X positions are the (categorical) x-values, evenly spaced; Y is
+    linearly scaled to the data range.  NaN points are skipped.
+    """
+    if not result.series or not result.x_values:
+        return f"== {result.figure}: {result.title} == (no data)"
+    values = [
+        v
+        for s in result.series
+        for v in s.values
+        if v == v  # drop NaN
+    ]
+    if not values:
+        return f"== {result.figure}: {result.title} == (all NaN)"
+    lo, hi = min(values), max(values)
+    if hi == lo:
+        hi = lo + 1.0
+    n = len(result.x_values)
+    columns = [
+        0 if n == 1 else round(i * (width - 1) / (n - 1)) for i in range(n)
+    ]
+    grid = [[" "] * width for _ in range(height)]
+    for s_idx, series in enumerate(result.series):
+        marker = _MARKERS[s_idx % len(_MARKERS)]
+        for i, value in enumerate(series.values):
+            if value != value:
+                continue
+            row = round((value - lo) / (hi - lo) * (height - 1))
+            grid[height - 1 - row][columns[i]] = marker
+
+    lines = [f"== {result.figure}: {result.title} =="]
+    top_label = _format_value(hi)
+    bottom_label = _format_value(lo)
+    pad = max(len(top_label), len(bottom_label))
+    for r, row in enumerate(grid):
+        if r == 0:
+            label = top_label.rjust(pad)
+        elif r == height - 1:
+            label = bottom_label.rjust(pad)
+        else:
+            label = " " * pad
+        lines.append(f"{label} |{''.join(row)}|")
+    axis = " " * pad + " +" + "-" * width + "+"
+    lines.append(axis)
+    first_x, last_x = str(result.x_values[0]), str(result.x_values[-1])
+    gap = max(width - len(first_x) - len(last_x), 1)
+    lines.append(" " * (pad + 2) + first_x + " " * gap + last_x)
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {s.label}"
+        for i, s in enumerate(result.series)
+    )
+    lines.append(" " * (pad + 2) + f"x: {result.x_label}   y: {result.y_label}")
+    lines.append(" " * (pad + 2) + legend)
+    return "\n".join(lines)

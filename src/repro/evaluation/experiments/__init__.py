@@ -1,0 +1,21 @@
+"""One module per figure of the paper's Section 6 evaluation."""
+
+from repro.evaluation.experiments.fig10_pyramid_height import run_fig10
+from repro.evaluation.experiments.fig11_scalability import run_fig11
+from repro.evaluation.experiments.fig12_privacy_profile import run_fig12
+from repro.evaluation.experiments.fig13_public_targets import run_fig13
+from repro.evaluation.experiments.fig14_private_targets import run_fig14
+from repro.evaluation.experiments.fig15_query_region import run_fig15
+from repro.evaluation.experiments.fig16_data_region import run_fig16
+from repro.evaluation.experiments.fig17_end_to_end import run_fig17
+
+__all__ = [
+    "run_fig10",
+    "run_fig11",
+    "run_fig12",
+    "run_fig13",
+    "run_fig14",
+    "run_fig15",
+    "run_fig16",
+    "run_fig17",
+]

@@ -1,0 +1,127 @@
+"""Figure 10 — effect of the pyramid height.
+
+Four panels: (a) average cloaking time per request, (b) average counter
+updates per location update, (c) k-accuracy ``k'/k`` per user group,
+(d) area-accuracy ``A'/A_min`` per user group; all versus pyramid
+height 4..9.
+
+Paper-shape expectations: the adaptive anonymizer's cloaking time beats
+the basic one beyond ~6 levels; basic's update cost grows with height
+while adaptive's saturates; both accuracy ratios approach 1 (optimal)
+with taller pyramids, fastest for relaxed users.
+"""
+
+from __future__ import annotations
+
+from statistics import mean
+
+from repro.errors import ProfileUnsatisfiableError
+from repro.evaluation.experiments.common import (
+    UNIT,
+    make_anonymizer,
+    register_population,
+    replay_updates,
+    standard_trace,
+    timed_cloaks,
+)
+from repro.evaluation.results import ExperimentResult
+from repro.utils.rng import ensure_rng
+from repro.workloads import profiles_for_k_range, uniform_profiles
+
+__all__ = ["run_fig10", "DEFAULT_HEIGHTS"]
+
+DEFAULT_HEIGHTS = (4, 5, 6, 7, 8, 9)
+
+#: User groups for panel (c): the paper's relaxed-to-restrictive k ranges.
+K_GROUPS = ((1, 10), (30, 50), (150, 200))
+
+#: A_min groups (fractions of the space) for panel (d), k = 1.
+AMIN_FRACTION_GROUPS = ((5e-6, 1e-5), (5e-5, 1e-4), (5e-4, 1e-3))
+
+
+def run_fig10(
+    num_users: int = 4_000,
+    heights: tuple[int, ...] = DEFAULT_HEIGHTS,
+    num_cloaks: int = 400,
+    trace_ticks: int = 3,
+    seed: int = 0,
+) -> dict[str, ExperimentResult]:
+    """Run all four Figure 10 panels; returns them keyed 'a'..'d'."""
+    trace = standard_trace(num_users, trace_ticks, seed=seed)
+    profiles = uniform_profiles(num_users, UNIT, seed=seed)
+    rng = ensure_rng(seed + 1)
+    sample = [int(u) for u in rng.choice(num_users, size=min(num_cloaks, num_users), replace=False)]
+
+    panel_a = ExperimentResult(
+        "Figure 10a", "Cloaking time vs pyramid height", "height",
+        "avg cloaking time per request (seconds)", list(heights),
+    )
+    panel_b = ExperimentResult(
+        "Figure 10b", "Maintenance cost vs pyramid height", "height",
+        "avg counter updates per location update", list(heights),
+    )
+    for kind in ("basic", "adaptive"):
+        cloak_times: list[float] = []
+        update_costs: list[float] = []
+        for height in heights:
+            anonymizer = make_anonymizer(kind, height)
+            register_population(anonymizer, trace, profiles)
+            cloak_times.append(timed_cloaks(anonymizer, sample))
+            anonymizer.stats.reset()
+            replay_updates(anonymizer, trace)
+            update_costs.append(anonymizer.stats.updates_per_location_update)
+        panel_a.add_series(kind, cloak_times)
+        panel_b.add_series(kind, update_costs)
+
+    panel_c = ExperimentResult(
+        "Figure 10c", "k-accuracy vs pyramid height", "height",
+        "k'/k (1.0 optimal)", list(heights),
+        notes="basic and adaptive produce the same regions; measured on basic",
+    )
+    for k_lo, k_hi in K_GROUPS:
+        group_profiles = profiles_for_k_range(
+            num_users, (k_lo, k_hi), seed=seed + 2, a_min=0.0
+        )
+        ratios_by_height: list[float] = []
+        for height in heights:
+            anonymizer = make_anonymizer("basic", height)
+            register_population(anonymizer, trace, group_profiles)
+            ratios = []
+            for uid in sample:
+                try:
+                    region = anonymizer.cloak(uid)
+                except ProfileUnsatisfiableError:
+                    continue
+                ratios.append(region.accuracy_k(group_profiles[uid]))
+            ratios_by_height.append(mean(ratios) if ratios else float("nan"))
+        panel_c.add_series(f"k in [{k_lo}-{k_hi}]", ratios_by_height)
+
+    panel_d = ExperimentResult(
+        "Figure 10d", "Area accuracy vs pyramid height", "height",
+        "A'/A_min (1.0 optimal)", list(heights),
+        notes="k = 1 for all users; A_min groups are fractions of the space",
+    )
+    from repro.anonymizer import PrivacyProfile
+
+    for f_lo, f_hi in AMIN_FRACTION_GROUPS:
+        amin_rng = ensure_rng(seed + 3)
+        group_profiles = [
+            # k = 1; uniform A_min inside the group's fraction band.
+            PrivacyProfile(k=1, a_min=float(amin_rng.uniform(f_lo, f_hi)) * UNIT.area)
+            for _ in range(num_users)
+        ]
+        ratios_by_height = []
+        for height in heights:
+            anonymizer = make_anonymizer("basic", height)
+            register_population(anonymizer, trace, group_profiles)
+            ratios = []
+            for uid in sample:
+                try:
+                    region = anonymizer.cloak(uid)
+                except ProfileUnsatisfiableError:
+                    continue
+                ratios.append(region.accuracy_area(group_profiles[uid]))
+            ratios_by_height.append(mean(ratios) if ratios else float("nan"))
+        panel_d.add_series(f"A_min in [{f_lo:.0e}-{f_hi:.0e}]", ratios_by_height)
+
+    return {"a": panel_a, "b": panel_b, "c": panel_c, "d": panel_d}

@@ -1,0 +1,71 @@
+"""Figure 11 — scalability with the number of registered users.
+
+Two panels over 1K..50K users (scaled presets available): (a) average
+cloaking time, (b) average counter updates per location update, basic vs
+adaptive.
+
+Paper-shape expectations: basic's cloaking time *falls* as users grow
+(denser cells satisfy k lower in the pyramid) while remaining above the
+adaptive anonymizer; adaptive's update cost stays below basic's at every
+population size.
+"""
+
+from __future__ import annotations
+
+from repro.evaluation.experiments.common import (
+    UNIT,
+    make_anonymizer,
+    register_population,
+    replay_updates,
+    standard_trace,
+    timed_cloaks,
+)
+from repro.evaluation.results import ExperimentResult
+from repro.utils.rng import ensure_rng
+from repro.workloads import uniform_profiles
+
+__all__ = ["run_fig11"]
+
+
+def run_fig11(
+    user_counts: tuple[int, ...] = (500, 1_000, 2_000, 4_000, 8_000),
+    height: int = 9,
+    num_cloaks: int = 400,
+    trace_ticks: int = 3,
+    seed: int = 0,
+) -> dict[str, ExperimentResult]:
+    """Run both Figure 11 panels; returns them keyed 'a' and 'b'."""
+    panel_a = ExperimentResult(
+        "Figure 11a", "Cloaking time vs number of users", "users",
+        "avg cloaking time per request (seconds)", list(user_counts),
+    )
+    panel_b = ExperimentResult(
+        "Figure 11b", "Maintenance cost vs number of users", "users",
+        "avg counter updates per location update", list(user_counts),
+    )
+    results: dict[str, dict[str, list[float]]] = {
+        kind: {"cloak": [], "update": []} for kind in ("basic", "adaptive")
+    }
+    for num_users in user_counts:
+        trace = standard_trace(num_users, trace_ticks, seed=seed)
+        profiles = uniform_profiles(num_users, UNIT, seed=seed)
+        rng = ensure_rng(seed + 1)
+        sample = [
+            int(u)
+            for u in rng.choice(
+                num_users, size=min(num_cloaks, num_users), replace=False
+            )
+        ]
+        for kind in ("basic", "adaptive"):
+            anonymizer = make_anonymizer(kind, height)
+            register_population(anonymizer, trace, profiles)
+            results[kind]["cloak"].append(timed_cloaks(anonymizer, sample))
+            anonymizer.stats.reset()
+            replay_updates(anonymizer, trace)
+            results[kind]["update"].append(
+                anonymizer.stats.updates_per_location_update
+            )
+    for kind in ("basic", "adaptive"):
+        panel_a.add_series(kind, results[kind]["cloak"])
+        panel_b.add_series(kind, results[kind]["update"])
+    return {"a": panel_a, "b": panel_b}

@@ -1,0 +1,62 @@
+"""Figure 13 — scalability with the number of *public* target objects.
+
+Two panels over 1K..10K targets for 1 / 2 / 4 filters: (a) average
+candidate-list size, (b) average query processing time.
+
+Paper-shape expectations: more filters → smaller candidate lists (4
+filters roughly halves 1 filter at 10K targets) *and* faster public-data
+processing (the extra filter NN lookups are repaid by the smaller range
+query).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.evaluation.experiments.common import UNIT, cloaked_query_regions
+from repro.evaluation.results import ExperimentResult
+from repro.processor import private_nn_over_public
+from repro.spatial import RTreeIndex
+from repro.geometry import Rect
+from repro.workloads import uniform_points
+
+__all__ = ["run_fig13", "FILTER_COUNTS"]
+
+FILTER_COUNTS = (1, 2, 4)
+
+
+def run_fig13(
+    target_counts: tuple[int, ...] = (500, 1_000, 2_000, 4_000),
+    num_users: int = 4_000,
+    num_queries: int = 60,
+    height: int = 9,
+    seed: int = 0,
+) -> dict[str, ExperimentResult]:
+    """Run both Figure 13 panels; returns them keyed 'a' and 'b'."""
+    queries = cloaked_query_regions(num_users, num_queries, height, seed=seed)
+    panel_a = ExperimentResult(
+        "Figure 13a", "Candidate list size vs public targets", "targets",
+        "avg candidate list size", list(target_counts),
+    )
+    panel_b = ExperimentResult(
+        "Figure 13b", "Query time vs public targets", "targets",
+        "avg query processing time (seconds)", list(target_counts),
+    )
+    sizes: dict[int, list[float]] = {nf: [] for nf in FILTER_COUNTS}
+    times: dict[int, list[float]] = {nf: [] for nf in FILTER_COUNTS}
+    for count in target_counts:
+        targets = uniform_points(count, UNIT, seed=seed + count)
+        index = RTreeIndex()
+        index.bulk_load({oid: Rect.point(p) for oid, p in targets.items()})
+        for nf in FILTER_COUNTS:
+            total_size = 0
+            start = time.perf_counter()
+            for area in queries:
+                total_size += len(private_nn_over_public(index, area, nf))
+            elapsed = time.perf_counter() - start
+            sizes[nf].append(total_size / len(queries))
+            times[nf].append(elapsed / len(queries))
+    for nf in FILTER_COUNTS:
+        panel_a.add_series(f"{nf} filter{'s' if nf > 1 else ''}", sizes[nf])
+        panel_b.add_series(f"{nf} filter{'s' if nf > 1 else ''}", times[nf])
+    return {"a": panel_a, "b": panel_b}

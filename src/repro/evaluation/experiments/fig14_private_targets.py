@@ -1,0 +1,66 @@
+"""Figure 14 — scalability with the number of *private* target objects.
+
+Two panels over target counts for 1 / 2 / 4 filters: (a) average
+candidate-list size, (b) average query processing time.  Private targets
+carry cloaked regions of [1-64] lowest-level cells.
+
+Paper-shape expectations: candidate sizes behave as in Figure 13 (more
+filters → smaller lists), but the *time* ordering flips — four filters
+cost the most because pessimistic NN search over regions is expensive;
+the paper argues the smaller candidate list still wins end-to-end
+(Figure 17).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.evaluation.experiments.common import UNIT, cloaked_query_regions
+from repro.evaluation.results import ExperimentResult
+from repro.processor import private_nn_over_private
+from repro.spatial import RTreeIndex
+from repro.workloads import uniform_private_regions
+
+__all__ = ["run_fig14"]
+
+FILTER_COUNTS = (1, 2, 4)
+
+
+def run_fig14(
+    target_counts: tuple[int, ...] = (500, 1_000, 2_000, 4_000),
+    num_users: int = 4_000,
+    num_queries: int = 60,
+    height: int = 9,
+    data_cells_range: tuple[float, float] = (1, 64),
+    seed: int = 0,
+) -> dict[str, ExperimentResult]:
+    """Run both Figure 14 panels; returns them keyed 'a' and 'b'."""
+    queries = cloaked_query_regions(num_users, num_queries, height, seed=seed)
+    panel_a = ExperimentResult(
+        "Figure 14a", "Candidate list size vs private targets", "targets",
+        "avg candidate list size", list(target_counts),
+    )
+    panel_b = ExperimentResult(
+        "Figure 14b", "Query time vs private targets", "targets",
+        "avg query processing time (seconds)", list(target_counts),
+    )
+    sizes: dict[int, list[float]] = {nf: [] for nf in FILTER_COUNTS}
+    times: dict[int, list[float]] = {nf: [] for nf in FILTER_COUNTS}
+    for count in target_counts:
+        regions = uniform_private_regions(
+            count, UNIT, height, cells_range=data_cells_range, seed=seed + count
+        )
+        index = RTreeIndex()
+        index.bulk_load(dict(regions))
+        for nf in FILTER_COUNTS:
+            total_size = 0
+            start = time.perf_counter()
+            for area in queries:
+                total_size += len(private_nn_over_private(index, area, nf))
+            elapsed = time.perf_counter() - start
+            sizes[nf].append(total_size / len(queries))
+            times[nf].append(elapsed / len(queries))
+    for nf in FILTER_COUNTS:
+        panel_a.add_series(f"{nf} filter{'s' if nf > 1 else ''}", sizes[nf])
+        panel_b.add_series(f"{nf} filter{'s' if nf > 1 else ''}", times[nf])
+    return {"a": panel_a, "b": panel_b}

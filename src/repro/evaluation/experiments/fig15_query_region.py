@@ -1,0 +1,63 @@
+"""Figure 15 — effect of the cloaked query-region size (public data).
+
+Two panels over query areas of 4..1024 lowest-level cells for 1 / 2 / 4
+filters: (a) average candidate-list size, (b) average query time.
+
+Paper-shape expectations: both grow with the region size; four filters
+consistently wins on both metrics for public data.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.evaluation.experiments.common import UNIT
+from repro.evaluation.results import ExperimentResult
+from repro.geometry import Rect
+from repro.processor import private_nn_over_public
+from repro.spatial import RTreeIndex
+from repro.workloads import query_regions_of_cells, uniform_points
+
+__all__ = ["run_fig15"]
+
+FILTER_COUNTS = (1, 2, 4)
+DEFAULT_CELL_SIZES = (4, 16, 64, 256, 1024)
+
+
+def run_fig15(
+    num_targets: int = 2_000,
+    query_cells: tuple[int, ...] = DEFAULT_CELL_SIZES,
+    num_queries: int = 60,
+    height: int = 9,
+    seed: int = 0,
+) -> dict[str, ExperimentResult]:
+    """Run both Figure 15 panels; returns them keyed 'a' and 'b'."""
+    targets = uniform_points(num_targets, UNIT, seed=seed)
+    index = RTreeIndex()
+    index.bulk_load({oid: Rect.point(p) for oid, p in targets.items()})
+    panel_a = ExperimentResult(
+        "Figure 15a", "Candidate list size vs query region size",
+        "query cells", "avg candidate list size", list(query_cells),
+    )
+    panel_b = ExperimentResult(
+        "Figure 15b", "Query time vs query region size",
+        "query cells", "avg query processing time (seconds)", list(query_cells),
+    )
+    sizes: dict[int, list[float]] = {nf: [] for nf in FILTER_COUNTS}
+    times: dict[int, list[float]] = {nf: [] for nf in FILTER_COUNTS}
+    for cells in query_cells:
+        queries = query_regions_of_cells(
+            num_queries, cells, UNIT, height, seed=seed + cells
+        )
+        for nf in FILTER_COUNTS:
+            total = 0
+            start = time.perf_counter()
+            for area in queries:
+                total += len(private_nn_over_public(index, area, nf))
+            elapsed = time.perf_counter() - start
+            sizes[nf].append(total / len(queries))
+            times[nf].append(elapsed / len(queries))
+    for nf in FILTER_COUNTS:
+        panel_a.add_series(f"{nf} filter{'s' if nf > 1 else ''}", sizes[nf])
+        panel_b.add_series(f"{nf} filter{'s' if nf > 1 else ''}", times[nf])
+    return {"a": panel_a, "b": panel_b}

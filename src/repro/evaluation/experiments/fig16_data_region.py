@@ -1,0 +1,64 @@
+"""Figure 16 — effect of the *data* region size (private targets).
+
+Two panels over target cloaked regions of 4..256 cells for 1 / 2 / 4
+filters: (a) average candidate-list size, (b) average query time.
+
+Paper-shape expectations: four filters significantly shrinks the
+candidate list at every data-region size while *increasing* query time
+(pessimistic region search is the expensive part).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.evaluation.experiments.common import UNIT, cloaked_query_regions
+from repro.evaluation.results import ExperimentResult
+from repro.processor import private_nn_over_private
+from repro.spatial import RTreeIndex
+from repro.workloads import uniform_private_regions
+
+__all__ = ["run_fig16"]
+
+FILTER_COUNTS = (1, 2, 4)
+DEFAULT_DATA_CELLS = (4, 16, 64, 256)
+
+
+def run_fig16(
+    num_targets: int = 2_000,
+    data_cells: tuple[int, ...] = DEFAULT_DATA_CELLS,
+    num_users: int = 4_000,
+    num_queries: int = 60,
+    height: int = 9,
+    seed: int = 0,
+) -> dict[str, ExperimentResult]:
+    """Run both Figure 16 panels; returns them keyed 'a' and 'b'."""
+    queries = cloaked_query_regions(num_users, num_queries, height, seed=seed)
+    panel_a = ExperimentResult(
+        "Figure 16a", "Candidate list size vs data region size",
+        "data cells", "avg candidate list size", list(data_cells),
+    )
+    panel_b = ExperimentResult(
+        "Figure 16b", "Query time vs data region size",
+        "data cells", "avg query processing time (seconds)", list(data_cells),
+    )
+    sizes: dict[int, list[float]] = {nf: [] for nf in FILTER_COUNTS}
+    times: dict[int, list[float]] = {nf: [] for nf in FILTER_COUNTS}
+    for cells in data_cells:
+        regions = uniform_private_regions(
+            num_targets, UNIT, height, cells_range=(cells, cells), seed=seed + cells
+        )
+        index = RTreeIndex()
+        index.bulk_load(dict(regions))
+        for nf in FILTER_COUNTS:
+            total = 0
+            start = time.perf_counter()
+            for area in queries:
+                total += len(private_nn_over_private(index, area, nf))
+            elapsed = time.perf_counter() - start
+            sizes[nf].append(total / len(queries))
+            times[nf].append(elapsed / len(queries))
+    for nf in FILTER_COUNTS:
+        panel_a.add_series(f"{nf} filter{'s' if nf > 1 else ''}", sizes[nf])
+        panel_b.add_series(f"{nf} filter{'s' if nf > 1 else ''}", times[nf])
+    return {"a": panel_a, "b": panel_b}

@@ -1,0 +1,92 @@
+"""Result containers and table rendering for the experiment harness.
+
+Every experiment function returns :class:`ExperimentResult` objects —
+one per figure panel — that print the same series the paper plots, as
+aligned text tables (the benchmark harness tees them into
+``bench_output.txt`` for EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Series", "ExperimentResult"]
+
+
+@dataclass
+class Series:
+    """One plotted line: a label and y-values aligned with the panel's
+    x-values."""
+
+    label: str
+    values: list[float]
+
+    def __post_init__(self) -> None:
+        self.values = [float(v) for v in self.values]
+
+
+@dataclass
+class ExperimentResult:
+    """One figure panel's data."""
+
+    figure: str
+    title: str
+    x_label: str
+    y_label: str
+    x_values: list[object]
+    series: list[Series] = field(default_factory=list)
+    notes: str = ""
+
+    def add_series(self, label: str, values: list[float]) -> None:
+        if len(values) != len(self.x_values):
+            raise ValueError(
+                f"series {label!r} has {len(values)} values for "
+                f"{len(self.x_values)} x-values"
+            )
+        self.series.append(Series(label, list(values)))
+
+    def series_by_label(self, label: str) -> Series:
+        for s in self.series:
+            if s.label == label:
+                return s
+        raise KeyError(label)
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def format_table(self) -> str:
+        """Render the panel as an aligned text table."""
+        headers = [self.x_label] + [s.label for s in self.series]
+        rows = []
+        for i, x in enumerate(self.x_values):
+            row = [str(x)]
+            for s in self.series:
+                value = s.values[i]
+                if value == 0:
+                    row.append("0")
+                elif abs(value) >= 1000:
+                    row.append(f"{value:,.0f}")
+                elif abs(value) >= 1:
+                    row.append(f"{value:.3f}")
+                else:
+                    row.append(f"{value:.6f}")
+            rows.append(row)
+        widths = [
+            max(len(headers[c]), *(len(r[c]) for r in rows)) if rows else len(headers[c])
+            for c in range(len(headers))
+        ]
+        lines = [
+            f"== {self.figure}: {self.title} ==",
+            f"   ({self.y_label})",
+            "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+            "  ".join("-" * w for w in widths),
+        ]
+        for row in rows:
+            lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+        if self.notes:
+            lines.append(f"   note: {self.notes}")
+        return "\n".join(lines)
+
+    def print(self) -> None:
+        print(self.format_table())
+        print()

@@ -1,0 +1,144 @@
+"""One-call experiment runner.
+
+``run_experiments`` executes any subset of the paper's figures at the
+active scale preset and returns the panels; ``format_report`` renders
+them (tables + ASCII charts) as a Markdown-ish document — the engine
+behind ``python -m repro figures``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from repro.evaluation.ascii_chart import render_chart
+from repro.evaluation.experiments import (
+    run_fig10,
+    run_fig11,
+    run_fig12,
+    run_fig13,
+    run_fig14,
+    run_fig15,
+    run_fig16,
+    run_fig17,
+)
+from repro.evaluation.experiments.common import ScalePreset, active_scale
+from repro.evaluation.results import ExperimentResult
+
+__all__ = ["FIGURES", "run_experiments", "format_report"]
+
+
+def _fig10(scale: ScalePreset):
+    return run_fig10(
+        num_users=scale.num_users,
+        num_cloaks=scale.num_cloaks,
+        trace_ticks=scale.trace_ticks,
+    )
+
+
+def _fig11(scale: ScalePreset):
+    return run_fig11(
+        user_counts=scale.user_counts,
+        num_cloaks=scale.num_cloaks,
+        trace_ticks=scale.trace_ticks,
+    )
+
+
+def _fig12(scale: ScalePreset):
+    return run_fig12(
+        num_users=scale.num_users,
+        num_cloaks=scale.num_cloaks,
+        trace_ticks=scale.trace_ticks,
+    )
+
+
+def _fig13(scale: ScalePreset):
+    return run_fig13(
+        target_counts=scale.target_counts,
+        num_users=scale.num_users,
+        num_queries=scale.num_queries,
+    )
+
+
+def _fig14(scale: ScalePreset):
+    return run_fig14(
+        target_counts=scale.target_counts,
+        num_users=scale.num_users,
+        num_queries=scale.num_queries,
+    )
+
+
+def _fig15(scale: ScalePreset):
+    return run_fig15(num_targets=scale.num_targets, num_queries=scale.num_queries)
+
+
+def _fig16(scale: ScalePreset):
+    return run_fig16(
+        num_targets=scale.num_targets,
+        num_users=scale.num_users,
+        num_queries=scale.num_queries,
+    )
+
+
+def _fig17(scale: ScalePreset):
+    users = 10_000 if scale.name == "paper" else scale.num_users
+    targets = 10_000 if scale.name == "paper" else scale.num_targets
+    return run_fig17(
+        num_users=users, num_targets=targets, num_queries=scale.num_queries
+    )
+
+
+#: Figure name -> runner taking a scale preset.
+FIGURES: dict[str, Callable[[ScalePreset], dict[str, ExperimentResult]]] = {
+    "fig10": _fig10,
+    "fig11": _fig11,
+    "fig12": _fig12,
+    "fig13": _fig13,
+    "fig14": _fig14,
+    "fig15": _fig15,
+    "fig16": _fig16,
+    "fig17": _fig17,
+}
+
+
+def run_experiments(
+    names: list[str] | None = None, scale: ScalePreset | None = None
+) -> dict[str, dict[str, ExperimentResult]]:
+    """Run the named figures (all by default); returns
+    ``{figure_name: {panel_key: result}}``."""
+    if scale is None:
+        scale = active_scale()
+    if names is None:
+        names = list(FIGURES)
+    unknown = [n for n in names if n not in FIGURES]
+    if unknown:
+        raise ValueError(f"unknown figures: {unknown}; known: {list(FIGURES)}")
+    return {name: FIGURES[name](scale) for name in names}
+
+
+def format_report(
+    results: dict[str, dict[str, ExperimentResult]],
+    charts: bool = True,
+) -> str:
+    """Render experiment results as a text report."""
+    blocks: list[str] = []
+    for name, panels in results.items():
+        blocks.append(f"# {name}")
+        for key in sorted(panels):
+            panel = panels[key]
+            blocks.append(panel.format_table())
+            if charts:
+                blocks.append(render_chart(panel))
+        blocks.append("")
+    return "\n\n".join(blocks)
+
+
+def main(names: list[str] | None = None, charts: bool = True) -> None:
+    """Run and print (used by ``python -m repro figures``)."""
+    scale = active_scale()
+    print(f"scale preset: {scale.name} "
+          f"({scale.num_users} users, {scale.num_targets} targets)")
+    start = time.perf_counter()
+    results = run_experiments(names, scale)
+    print(format_report(results, charts=charts))
+    print(f"total experiment time: {time.perf_counter() - start:.1f} s")

@@ -1,0 +1,297 @@
+"""Axis-aligned rectangles.
+
+Rectangles are the universal currency of this reproduction: pyramid cells,
+cloaked spatial regions, R-tree bounding boxes, the extended search area
+``A_EXT`` of Algorithm 2, and private target regions are all ``Rect``
+instances.
+
+Vertex numbering follows the paper's Figure 5: a cloaked area ``A`` has
+vertices :math:`v_1` (top-left), :math:`v_2` (top-right), :math:`v_3`
+(bottom-left) and :math:`v_4` (bottom-right), and four edges
+:math:`e_{12}` (top), :math:`e_{13}` (left), :math:`e_{24}` (right) and
+:math:`e_{34}` (bottom).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.geometry.point import EPSILON, Point
+
+__all__ = ["Rect", "Edge"]
+
+
+@dataclass(frozen=True, slots=True)
+class Edge:
+    """One side of a rectangle: two vertices plus its outward direction.
+
+    ``direction`` is one of ``"top"``, ``"bottom"``, ``"left"``,
+    ``"right"`` and names the side of the rectangle the edge lies on,
+    which is also the direction in which Algorithm 2 expands ``A_EXT``
+    for this edge.
+    """
+
+    vi: Point
+    vj: Point
+    direction: str
+
+    def length(self) -> float:
+        """Length of the edge."""
+        return self.vi.distance_to(self.vj)
+
+
+@dataclass(frozen=True, slots=True)
+class Rect:
+    """A closed axis-aligned rectangle ``[x_min, x_max] x [y_min, y_max]``.
+
+    Degenerate rectangles (zero width and/or height) are permitted; they
+    represent exact point locations stored uniformly with cloaked regions.
+    """
+
+    x_min: float
+    y_min: float
+    x_max: float
+    y_max: float
+
+    def __post_init__(self) -> None:
+        if self.x_min > self.x_max or self.y_min > self.y_max:
+            raise ValueError(
+                f"invalid rect: ({self.x_min}, {self.y_min}, "
+                f"{self.x_max}, {self.y_max})"
+            )
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_points(a: Point, b: Point) -> "Rect":
+        """The bounding rectangle of two points."""
+        return Rect(min(a.x, b.x), min(a.y, b.y), max(a.x, b.x), max(a.y, b.y))
+
+    @staticmethod
+    def from_center(center: Point, width: float, height: float) -> "Rect":
+        """A rectangle of the given size centred on ``center``."""
+        if width < 0 or height < 0:
+            raise ValueError("width and height must be non-negative")
+        return Rect(
+            center.x - width / 2.0,
+            center.y - height / 2.0,
+            center.x + width / 2.0,
+            center.y + height / 2.0,
+        )
+
+    @staticmethod
+    def point(p: Point) -> "Rect":
+        """A degenerate rectangle covering exactly the point ``p``."""
+        return Rect(p.x, p.y, p.x, p.y)
+
+    # ------------------------------------------------------------------
+    # Basic measures
+    # ------------------------------------------------------------------
+    @property
+    def width(self) -> float:
+        return self.x_max - self.x_min
+
+    @property
+    def height(self) -> float:
+        return self.y_max - self.y_min
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def center(self) -> Point:
+        return Point((self.x_min + self.x_max) / 2.0, (self.y_min + self.y_max) / 2.0)
+
+    def is_degenerate(self) -> bool:
+        """True when the rectangle has zero area."""
+        return self.width <= 0.0 or self.height <= 0.0
+
+    # ------------------------------------------------------------------
+    # Vertices and edges (paper's Figure 5 numbering)
+    # ------------------------------------------------------------------
+    @property
+    def top_left(self) -> Point:
+        return Point(self.x_min, self.y_max)
+
+    @property
+    def top_right(self) -> Point:
+        return Point(self.x_max, self.y_max)
+
+    @property
+    def bottom_left(self) -> Point:
+        return Point(self.x_min, self.y_min)
+
+    @property
+    def bottom_right(self) -> Point:
+        return Point(self.x_max, self.y_min)
+
+    def vertices(self) -> tuple[Point, Point, Point, Point]:
+        """The vertices ``(v1, v2, v3, v4)`` in the paper's order:
+        top-left, top-right, bottom-left, bottom-right."""
+        return (self.top_left, self.top_right, self.bottom_left, self.bottom_right)
+
+    def corners(self) -> tuple[Point, Point, Point, Point]:
+        """All four corners (alias of :meth:`vertices`)."""
+        return self.vertices()
+
+    def edges(self) -> tuple[Edge, Edge, Edge, Edge]:
+        """The four edges with their outward expansion directions."""
+        v1, v2, v3, v4 = self.vertices()
+        return (
+            Edge(v1, v2, "top"),
+            Edge(v1, v3, "left"),
+            Edge(v2, v4, "right"),
+            Edge(v3, v4, "bottom"),
+        )
+
+    def farthest_corner_from(self, p: Point) -> Point:
+        """The corner of this rectangle farthest from ``p``.
+
+        This is the "furthest corner" used by the private-data variant of
+        Algorithm 2 (Section 5.2.1): the pessimistic position of a cloaked
+        target as seen from a query-region vertex.
+        """
+        x = self.x_min if abs(p.x - self.x_min) >= abs(p.x - self.x_max) else self.x_max
+        y = self.y_min if abs(p.y - self.y_min) >= abs(p.y - self.y_max) else self.y_max
+        return Point(x, y)
+
+    def nearest_point_to(self, p: Point) -> Point:
+        """The point of this (closed) rectangle nearest to ``p``."""
+        return Point(
+            min(max(p.x, self.x_min), self.x_max),
+            min(max(p.y, self.y_min), self.y_max),
+        )
+
+    # ------------------------------------------------------------------
+    # Distances
+    # ------------------------------------------------------------------
+    def min_distance_to_point(self, p: Point) -> float:
+        """Minimum distance from ``p`` to any point of the rectangle
+        (zero when ``p`` is inside)."""
+        dx = max(self.x_min - p.x, 0.0, p.x - self.x_max)
+        dy = max(self.y_min - p.y, 0.0, p.y - self.y_max)
+        return math.hypot(dx, dy)
+
+    def max_distance_to_point(self, p: Point) -> float:
+        """Maximum distance from ``p`` to any point of the rectangle,
+        attained at :meth:`farthest_corner_from`."""
+        dx = max(abs(p.x - self.x_min), abs(p.x - self.x_max))
+        dy = max(abs(p.y - self.y_min), abs(p.y - self.y_max))
+        return math.hypot(dx, dy)
+
+    def min_distance_to_rect(self, other: "Rect") -> float:
+        """Minimum distance between two rectangles (zero on overlap)."""
+        dx = max(other.x_min - self.x_max, 0.0, self.x_min - other.x_max)
+        dy = max(other.y_min - self.y_max, 0.0, self.y_min - other.y_max)
+        return math.hypot(dx, dy)
+
+    def max_distance_to_rect(self, other: "Rect") -> float:
+        """Maximum distance between any point of ``self`` and any point of
+        ``other``."""
+        dx = max(self.x_max - other.x_min, other.x_max - self.x_min)
+        dy = max(self.y_max - other.y_min, other.y_max - self.y_min)
+        return math.hypot(max(dx, 0.0), max(dy, 0.0))
+
+    # ------------------------------------------------------------------
+    # Predicates
+    # ------------------------------------------------------------------
+    def contains_point(self, p: Point, tol: float = EPSILON) -> bool:
+        """True when ``p`` lies in the closed rectangle (within ``tol``)."""
+        return (
+            self.x_min - tol <= p.x <= self.x_max + tol
+            and self.y_min - tol <= p.y <= self.y_max + tol
+        )
+
+    def contains_rect(self, other: "Rect", tol: float = EPSILON) -> bool:
+        """True when ``other`` is fully inside the closed rectangle."""
+        return (
+            self.x_min - tol <= other.x_min
+            and self.y_min - tol <= other.y_min
+            and other.x_max <= self.x_max + tol
+            and other.y_max <= self.y_max + tol
+        )
+
+    def intersects(self, other: "Rect", tol: float = EPSILON) -> bool:
+        """True when the closed rectangles share at least one point."""
+        return (
+            self.x_min <= other.x_max + tol
+            and other.x_min <= self.x_max + tol
+            and self.y_min <= other.y_max + tol
+            and other.y_min <= self.y_max + tol
+        )
+
+    # ------------------------------------------------------------------
+    # Combinators
+    # ------------------------------------------------------------------
+    def union(self, other: "Rect") -> "Rect":
+        """The smallest rectangle covering both operands."""
+        return Rect(
+            min(self.x_min, other.x_min),
+            min(self.y_min, other.y_min),
+            max(self.x_max, other.x_max),
+            max(self.y_max, other.y_max),
+        )
+
+    def intersection(self, other: "Rect") -> "Rect | None":
+        """The overlap rectangle, or ``None`` when disjoint."""
+        x_min = max(self.x_min, other.x_min)
+        y_min = max(self.y_min, other.y_min)
+        x_max = min(self.x_max, other.x_max)
+        y_max = min(self.y_max, other.y_max)
+        if x_min > x_max or y_min > y_max:
+            return None
+        return Rect(x_min, y_min, x_max, y_max)
+
+    def overlap_area(self, other: "Rect") -> float:
+        """Area of the overlap with ``other`` (zero when disjoint)."""
+        overlap = self.intersection(other)
+        return 0.0 if overlap is None else overlap.area
+
+    def overlap_fraction(self, other: "Rect") -> float:
+        """Fraction of ``self``'s area that lies inside ``other``.
+
+        Degenerate ``self`` (a point) yields 1.0 when contained, else 0.0 —
+        the natural limit used by the probabilistic candidate policies.
+        """
+        if self.area <= 0.0:
+            return 1.0 if other.contains_rect(self) else 0.0
+        return self.overlap_area(other) / self.area
+
+    def expanded(
+        self,
+        left: float = 0.0,
+        right: float = 0.0,
+        bottom: float = 0.0,
+        top: float = 0.0,
+    ) -> "Rect":
+        """A copy grown outward by the given per-side amounts.
+
+        This implements the per-edge ``max_d`` expansion of Algorithm 2's
+        extended-area step; negative amounts shrink the rectangle and raise
+        ``ValueError`` when they would invert it.
+        """
+        return Rect(
+            self.x_min - left,
+            self.y_min - bottom,
+            self.x_max + right,
+            self.y_max + top,
+        )
+
+    def expanded_uniform(self, amount: float) -> "Rect":
+        """A copy grown by ``amount`` on every side (Minkowski sum with a
+        square); used by private range queries."""
+        return self.expanded(amount, amount, amount, amount)
+
+    def clipped_to(self, bounds: "Rect") -> "Rect":
+        """This rectangle clipped to ``bounds``; raises when disjoint."""
+        clipped = self.intersection(bounds)
+        if clipped is None:
+            raise ValueError(f"{self} does not intersect bounds {bounds}")
+        return clipped
+
+    def as_tuple(self) -> tuple[float, float, float, float]:
+        """The rectangle as ``(x_min, y_min, x_max, y_max)``."""
+        return (self.x_min, self.y_min, self.x_max, self.y_max)

@@ -1,0 +1,171 @@
+"""Line segments and the perpendicular-bisector construction of Algorithm 2.
+
+The *middle point step* of the privacy-aware NN algorithm needs, for an
+edge :math:`e_{ij} = v_i v_j` of the cloaked region and the two filter
+targets :math:`t_i, t_j`, the point :math:`m_{ij}` on the edge that is
+equidistant from both targets.  Geometrically :math:`m_{ij}` is the
+intersection of the perpendicular bisector of the segment
+:math:`t_i t_j` with the edge.  :func:`bisector_intersection` computes it
+robustly, including the degenerate configurations that arise in practice
+(equal targets, bisector parallel to the edge, intersection outside the
+edge because of floating-point jitter).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.geometry.point import EPSILON, Point
+
+__all__ = ["Segment", "bisector_intersection", "equidistant_point_on_segment"]
+
+
+@dataclass(frozen=True, slots=True)
+class Segment:
+    """A directed line segment from ``a`` to ``b``."""
+
+    a: Point
+    b: Point
+
+    def length(self) -> float:
+        return self.a.distance_to(self.b)
+
+    def midpoint(self) -> Point:
+        return self.a.midpoint(self.b)
+
+    def point_at(self, t: float) -> Point:
+        """The point ``a + t * (b - a)``; ``t`` in ``[0, 1]`` stays on the
+        segment."""
+        return Point(
+            self.a.x + t * (self.b.x - self.a.x),
+            self.a.y + t * (self.b.y - self.a.y),
+        )
+
+    def contains_point(self, p: Point, tol: float = 1e-9) -> bool:
+        """True when ``p`` lies on the segment within ``tol``."""
+        return self.distance_to_point(p) <= tol
+
+    def distance_to_point(self, p: Point) -> float:
+        """Distance from ``p`` to the nearest point of the segment."""
+        return p.distance_to(self.closest_point_to(p))
+
+    def closest_point_to(self, p: Point) -> Point:
+        """The point of the segment nearest to ``p``."""
+        dx = self.b.x - self.a.x
+        dy = self.b.y - self.a.y
+        denom = dx * dx + dy * dy
+        if denom <= EPSILON:
+            return self.a
+        t = ((p.x - self.a.x) * dx + (p.y - self.a.y) * dy) / denom
+        t = min(max(t, 0.0), 1.0)
+        return self.point_at(t)
+
+
+def bisector_intersection(edge: Segment, ti: Point, tj: Point) -> Point | None:
+    """Intersect the perpendicular bisector of ``ti tj`` with ``edge``.
+
+    Returns the paper's point :math:`m_{ij}`, or ``None`` when it does not
+    exist:
+
+    * ``ti`` and ``tj`` coincide — every point is equidistant, and the
+      paper treats :math:`m_{ij}` as absent (``d_m = 0``);
+    * the bisector is parallel to (and off) the edge's supporting line;
+    * the intersection falls strictly outside the closed edge.
+
+    The bisector of :math:`t_i t_j` is the locus of points ``p`` with
+    ``|p - ti| = |p - tj|``.  We solve for the parameter ``t`` of the edge
+    point ``e(t) = vi + t (vj - vi)`` satisfying that equation; it is
+    linear in ``t``.
+    """
+    vi, vj = edge.a, edge.b
+    # Signed "which target is closer" potential: f(p) = |p-ti|^2 - |p-tj|^2
+    # is linear in p, so f(e(t)) is linear in t and m_ij is its root.
+    fi = vi.squared_distance_to(ti) - vi.squared_distance_to(tj)
+    fj = vj.squared_distance_to(ti) - vj.squared_distance_to(tj)
+    if abs(fi - fj) <= EPSILON:
+        # f is constant along the edge: either the whole edge is
+        # equidistant (fi == 0) or the bisector never meets it.
+        if abs(fi) <= EPSILON:
+            return edge.midpoint()
+        return None
+    t = fi / (fi - fj)
+    if t < -EPSILON or t > 1.0 + EPSILON:
+        return None
+    t = min(max(t, 0.0), 1.0)
+    return edge.point_at(t)
+
+
+def equidistant_point_on_segment(
+    edge: Segment, ti: Point, tj: Point
+) -> tuple[Point | None, float]:
+    """The middle point :math:`m_{ij}` and the distance :math:`d_m`.
+
+    Convenience wrapper for Algorithm 2 line 14: when :math:`m_{ij}`
+    exists, :math:`d_m` is its (common) distance to both targets; when it
+    does not, the paper sets :math:`d_m = 0`.
+    """
+    if ti.almost_equals(tj):
+        return None, 0.0
+    m = bisector_intersection(edge, ti, tj)
+    if m is None:
+        return None, 0.0
+    # By construction |m - ti| == |m - tj| up to rounding; use the max to
+    # stay conservative (inclusiveness over minimality at the 1e-15 scale).
+    return m, max(m.distance_to(ti), m.distance_to(tj))
+
+
+def orientation(a: Point, b: Point, c: Point) -> float:
+    """Twice the signed area of triangle ``abc``; positive when ``c`` is to
+    the left of the directed line ``a -> b``."""
+    return (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x)
+
+
+def segments_intersect(s1: Segment, s2: Segment) -> bool:
+    """True when two closed segments share at least one point."""
+    d1 = orientation(s2.a, s2.b, s1.a)
+    d2 = orientation(s2.a, s2.b, s1.b)
+    d3 = orientation(s1.a, s1.b, s2.a)
+    d4 = orientation(s1.a, s1.b, s2.b)
+    if ((d1 > 0 and d2 < 0) or (d1 < 0 and d2 > 0)) and (
+        (d3 > 0 and d4 < 0) or (d3 < 0 and d4 > 0)
+    ):
+        return True
+
+    def on_segment(s: Segment, p: Point) -> bool:
+        return (
+            min(s.a.x, s.b.x) - EPSILON <= p.x <= max(s.a.x, s.b.x) + EPSILON
+            and min(s.a.y, s.b.y) - EPSILON <= p.y <= max(s.a.y, s.b.y) + EPSILON
+        )
+
+    if abs(d1) <= EPSILON and on_segment(s2, s1.a):
+        return True
+    if abs(d2) <= EPSILON and on_segment(s2, s1.b):
+        return True
+    if abs(d3) <= EPSILON and on_segment(s1, s2.a):
+        return True
+    if abs(d4) <= EPSILON and on_segment(s1, s2.b):
+        return True
+    return False
+
+
+def project_point_to_line(p: Point, a: Point, b: Point) -> Point:
+    """Orthogonal projection of ``p`` onto the infinite line through
+    ``a`` and ``b`` (``a != b``)."""
+    dx = b.x - a.x
+    dy = b.y - a.y
+    denom = dx * dx + dy * dy
+    if denom <= EPSILON:
+        raise ValueError("line is degenerate: a == b")
+    t = ((p.x - a.x) * dx + (p.y - a.y) * dy) / denom
+    return Point(a.x + t * dx, a.y + t * dy)
+
+
+def unit_vector(a: Point, b: Point) -> tuple[float, float]:
+    """The unit direction from ``a`` to ``b``; raises on zero length."""
+    dx = b.x - a.x
+    dy = b.y - a.y
+    norm = math.hypot(dx, dy)
+    if norm <= EPSILON:
+        raise ValueError("cannot normalise zero-length vector")
+    return dx / norm, dy / norm

@@ -1,0 +1,34 @@
+"""Mobility substrate: road networks and network-based moving objects.
+
+Stands in for the paper's Hennepin County map + Brinkhoff generator; see
+the substitution table in DESIGN.md.
+"""
+
+from repro.mobility.commuter import CommuterGenerator
+from repro.mobility.generator import LocationUpdate, MovingObject, NetworkGenerator
+from repro.mobility.roadnet import (
+    ARTERIAL,
+    HIGHWAY,
+    LOCAL,
+    RoadClass,
+    RoadEdge,
+    RoadNetwork,
+    synthetic_county_map,
+)
+from repro.mobility.trace import Trace, generate_trace
+
+__all__ = [
+    "LocationUpdate",
+    "MovingObject",
+    "NetworkGenerator",
+    "CommuterGenerator",
+    "RoadClass",
+    "RoadEdge",
+    "RoadNetwork",
+    "synthetic_county_map",
+    "HIGHWAY",
+    "ARTERIAL",
+    "LOCAL",
+    "Trace",
+    "generate_trace",
+]

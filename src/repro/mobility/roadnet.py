@@ -1,0 +1,285 @@
+"""Road networks and a synthetic county map.
+
+The paper drives its evaluation with the Brinkhoff network-based
+generator of moving objects [9] over the road map of Hennepin County,
+Minnesota.  That map is not redistributable, so (per DESIGN.md's
+substitution table) we build a deterministic synthetic county: a jittered
+arterial grid, two diagonal highways, and randomised local streets.  What
+matters to the experiments is only that objects move along a connected
+planar network with heterogeneous speeds, producing realistic non-uniform
+population density — which this map delivers.
+
+The network is a simple undirected graph with its own Dijkstra; routes
+are weighted by travel *time* so highways attract through traffic exactly
+as in Brinkhoff's generator.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field
+
+from repro.geometry import Point, Rect
+from repro.utils.rng import SeedLike, ensure_rng
+
+__all__ = ["RoadClass", "RoadEdge", "RoadNetwork", "synthetic_county_map"]
+
+
+@dataclass(frozen=True, slots=True)
+class RoadClass:
+    """A category of road with an associated free-flow speed.
+
+    Speeds are in space-units per time-unit; with the unit-square service
+    area one space unit is "the county diameter", so the defaults below
+    give highway objects roughly 60 grid cells of a 2^9 pyramid per step.
+    """
+
+    name: str
+    speed: float
+
+    def __post_init__(self) -> None:
+        if self.speed <= 0:
+            raise ValueError("road speed must be positive")
+
+
+#: Default road classes of the synthetic county (relative speeds 5:3:1.5,
+#: mirroring highway / arterial / residential free-flow ratios).
+HIGHWAY = RoadClass("highway", 0.050)
+ARTERIAL = RoadClass("arterial", 0.030)
+LOCAL = RoadClass("local", 0.015)
+
+
+@dataclass(frozen=True, slots=True)
+class RoadEdge:
+    """An undirected road segment between two node ids."""
+
+    u: int
+    v: int
+    road_class: RoadClass
+    length: float
+
+    @property
+    def travel_time(self) -> float:
+        return self.length / self.road_class.speed
+
+    def other(self, node: int) -> int:
+        """The endpoint opposite ``node``."""
+        if node == self.u:
+            return self.v
+        if node == self.v:
+            return self.u
+        raise ValueError(f"node {node} not on edge ({self.u}, {self.v})")
+
+
+class RoadNetwork:
+    """An undirected road graph with positions, edges and routing."""
+
+    def __init__(self) -> None:
+        self._positions: list[Point] = []
+        self._edges: list[RoadEdge] = []
+        self._adjacency: list[list[int]] = []  # node -> list of edge indexes
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_node(self, point: Point) -> int:
+        """Add a node; returns its id."""
+        self._positions.append(point)
+        self._adjacency.append([])
+        return len(self._positions) - 1
+
+    def add_edge(self, u: int, v: int, road_class: RoadClass) -> int:
+        """Add an undirected edge between existing nodes; returns edge id."""
+        if u == v:
+            raise ValueError("self-loops are not allowed")
+        for node in (u, v):
+            if not 0 <= node < len(self._positions):
+                raise ValueError(f"unknown node id {node}")
+        length = self._positions[u].distance_to(self._positions[v])
+        if length <= 0:
+            raise ValueError("zero-length edge (coincident nodes)")
+        edge = RoadEdge(u, v, road_class, length)
+        self._edges.append(edge)
+        eid = len(self._edges) - 1
+        self._adjacency[u].append(eid)
+        self._adjacency[v].append(eid)
+        return eid
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return len(self._positions)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._edges)
+
+    def node_position(self, node: int) -> Point:
+        return self._positions[node]
+
+    def edge(self, eid: int) -> RoadEdge:
+        return self._edges[eid]
+
+    def edges_of(self, node: int) -> list[int]:
+        """Edge ids incident to ``node``."""
+        return list(self._adjacency[node])
+
+    def edges(self) -> list[RoadEdge]:
+        return list(self._edges)
+
+    def bounding_box(self) -> Rect:
+        """The tight bounding box of all node positions."""
+        if not self._positions:
+            raise ValueError("empty network has no bounding box")
+        xs = [p.x for p in self._positions]
+        ys = [p.y for p in self._positions]
+        return Rect(min(xs), min(ys), max(xs), max(ys))
+
+    def point_along_edge(self, eid: int, offset: float) -> Point:
+        """The point ``offset`` space-units along edge ``eid`` from
+        its ``u`` endpoint (clamped to the edge)."""
+        edge = self._edges[eid]
+        a = self._positions[edge.u]
+        b = self._positions[edge.v]
+        t = min(max(offset / edge.length, 0.0), 1.0)
+        return Point(a.x + t * (b.x - a.x), a.y + t * (b.y - a.y))
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def shortest_path(self, source: int, target: int) -> list[int]:
+        """Edge-id sequence of the fastest route (by travel time).
+
+        Returns an empty list when ``source == target``; raises
+        ``ValueError`` when unreachable.
+        """
+        if source == target:
+            return []
+        dist = {source: 0.0}
+        prev_edge: dict[int, int] = {}
+        heap: list[tuple[float, int]] = [(0.0, source)]
+        while heap:
+            d, node = heapq.heappop(heap)
+            if node == target:
+                break
+            if d > dist.get(node, math.inf):
+                continue
+            for eid in self._adjacency[node]:
+                edge = self._edges[eid]
+                neighbor = edge.other(node)
+                nd = d + edge.travel_time
+                if nd < dist.get(neighbor, math.inf):
+                    dist[neighbor] = nd
+                    prev_edge[neighbor] = eid
+                    heapq.heappush(heap, (nd, neighbor))
+        if target not in prev_edge:
+            raise ValueError(f"no route from {source} to {target}")
+        path: list[int] = []
+        node = target
+        while node != source:
+            eid = prev_edge[node]
+            path.append(eid)
+            node = self._edges[eid].other(node)
+        path.reverse()
+        return path
+
+    def is_connected(self) -> bool:
+        """True when every node is reachable from node 0."""
+        if not self._positions:
+            return True
+        seen = {0}
+        stack = [0]
+        while stack:
+            node = stack.pop()
+            for eid in self._adjacency[node]:
+                neighbor = self._edges[eid].other(node)
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    stack.append(neighbor)
+        return len(seen) == self.num_nodes
+
+
+def synthetic_county_map(
+    seed: SeedLike = 0,
+    grid_size: int = 12,
+    bounds: Rect = Rect(0.0, 0.0, 1.0, 1.0),
+    jitter: float = 0.25,
+    local_street_probability: float = 0.6,
+) -> RoadNetwork:
+    """Build the deterministic synthetic county road map.
+
+    Structure (see DESIGN.md substitutions):
+
+    * an ``grid_size x grid_size`` lattice of arterial intersections,
+      each jittered by up to ``jitter`` of the lattice spacing;
+    * arterial edges between lattice neighbours;
+    * two diagonal *highways* overlaid on the lattice diagonal nodes;
+    * with probability ``local_street_probability`` per lattice cell, an
+      interior *local* node connected to the cell's four corners —
+      the residential capillaries that concentrate slow traffic.
+
+    The result is connected by construction (the arterial lattice alone
+    is connected; everything else attaches to it).
+    """
+    if grid_size < 2:
+        raise ValueError("grid_size must be at least 2")
+    if not 0.0 <= jitter < 0.5:
+        raise ValueError("jitter must be in [0, 0.5)")
+    rng = ensure_rng(seed)
+    net = RoadNetwork()
+
+    dx = bounds.width / (grid_size - 1)
+    dy = bounds.height / (grid_size - 1)
+    margin_x = 0.02 * bounds.width
+    margin_y = 0.02 * bounds.height
+
+    def lattice_point(i: int, j: int) -> Point:
+        jx = float(rng.uniform(-jitter, jitter)) * dx
+        jy = float(rng.uniform(-jitter, jitter)) * dy
+        x = min(max(bounds.x_min + i * dx + jx, bounds.x_min + margin_x),
+                bounds.x_max - margin_x)
+        y = min(max(bounds.y_min + j * dy + jy, bounds.y_min + margin_y),
+                bounds.y_max - margin_y)
+        return Point(x, y)
+
+    node_id = [[net.add_node(lattice_point(i, j)) for j in range(grid_size)]
+               for i in range(grid_size)]
+
+    # Arterial lattice.
+    for i in range(grid_size):
+        for j in range(grid_size):
+            if i + 1 < grid_size:
+                net.add_edge(node_id[i][j], node_id[i + 1][j], ARTERIAL)
+            if j + 1 < grid_size:
+                net.add_edge(node_id[i][j], node_id[i][j + 1], ARTERIAL)
+
+    # Two diagonal highways connecting opposite county corners.
+    for i in range(grid_size - 1):
+        net.add_edge(node_id[i][i], node_id[i + 1][i + 1], HIGHWAY)
+        net.add_edge(
+            node_id[i][grid_size - 1 - i], node_id[i + 1][grid_size - 2 - i], HIGHWAY
+        )
+
+    # Local streets inside lattice cells.
+    for i in range(grid_size - 1):
+        for j in range(grid_size - 1):
+            if rng.random() >= local_street_probability:
+                continue
+            corners = [
+                node_id[i][j],
+                node_id[i + 1][j],
+                node_id[i][j + 1],
+                node_id[i + 1][j + 1],
+            ]
+            cx = sum(net.node_position(c).x for c in corners) / 4.0
+            cy = sum(net.node_position(c).y for c in corners) / 4.0
+            wobble_x = float(rng.uniform(-0.2, 0.2)) * dx
+            wobble_y = float(rng.uniform(-0.2, 0.2)) * dy
+            center = net.add_node(Point(cx + wobble_x, cy + wobble_y))
+            for corner in corners:
+                net.add_edge(center, corner, LOCAL)
+
+    return net

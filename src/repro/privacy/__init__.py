@@ -1,0 +1,9 @@
+"""Privacy analysis: adversary models and anonymity auditing."""
+
+from repro.privacy.adversary import (
+    AnonymityAuditor,
+    AuditRecord,
+    RegionIntersectionAttack,
+)
+
+__all__ = ["AnonymityAuditor", "AuditRecord", "RegionIntersectionAttack"]

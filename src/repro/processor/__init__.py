@@ -1,0 +1,77 @@
+"""The privacy-aware query processor (Section 5).
+
+Supports the paper's three novel query types:
+
+* private NN / range queries over public data
+  (:func:`private_nn_over_public`, :func:`private_range_over_public`);
+* private NN / range queries over private data
+  (:func:`private_nn_over_private`, :func:`private_range_over_private`);
+* public queries over private data
+  (:func:`public_range_count_over_private`).
+
+All of them work on any :class:`~repro.spatial.SpatialIndex` and return
+candidate lists that are inclusive and minimal.
+"""
+
+from repro.processor.candidate import CandidateList
+from repro.processor.density import DensityMap, density_map_over_private
+from repro.processor.extension import (
+    EdgeExtension,
+    compute_extension_private,
+    compute_extension_public,
+)
+from repro.processor.filters import (
+    VertexFilters,
+    select_filters_private,
+    select_filters_public,
+)
+from repro.processor.knn import (
+    private_knn_over_private,
+    private_knn_over_public,
+)
+from repro.processor.naive import naive_center_nn, naive_send_all
+from repro.processor.nn_private import private_nn_over_private
+from repro.processor.nn_public import private_nn_over_public
+from repro.processor.probabilistic import (
+    AnyOverlap,
+    ContainmentOnly,
+    FractionOverlap,
+    OverlapPolicy,
+)
+from repro.processor.public_private import (
+    RangeCountResult,
+    public_range_count_over_private,
+)
+from repro.processor.uncertain_nn import UncertainNNResult, public_nn_over_private
+from repro.processor.range_queries import (
+    private_range_over_private,
+    private_range_over_public,
+)
+
+__all__ = [
+    "CandidateList",
+    "EdgeExtension",
+    "VertexFilters",
+    "compute_extension_private",
+    "compute_extension_public",
+    "select_filters_private",
+    "select_filters_public",
+    "private_nn_over_public",
+    "private_nn_over_private",
+    "private_knn_over_public",
+    "private_knn_over_private",
+    "private_range_over_public",
+    "private_range_over_private",
+    "public_range_count_over_private",
+    "public_nn_over_private",
+    "UncertainNNResult",
+    "RangeCountResult",
+    "DensityMap",
+    "density_map_over_private",
+    "naive_center_nn",
+    "naive_send_all",
+    "OverlapPolicy",
+    "AnyOverlap",
+    "FractionOverlap",
+    "ContainmentOnly",
+]

@@ -1,0 +1,159 @@
+"""Density maps over private data.
+
+The paper's introduction motivates traffic-style services ("let me know
+if there is congestion within ten minutes of my route"); its second
+query class — public queries over private data — generalizes from a
+single count (:func:`public_range_count_over_private`) to a whole
+*density map*: a grid of expected population per cell, computed from
+cloaked regions only.
+
+Under the anonymizer's uniformity guarantee (Section 4.3), each user
+contributes to every grid cell the fraction of her cloaked region that
+overlaps the cell, so each cell's value is the expected number of users
+inside it and the map's mass equals the population inside its bounds.
+Pessimistic and optimistic layers bound the truth per cell, exactly as
+the scalar count query does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry import Rect
+from repro.spatial import SpatialIndex
+
+__all__ = ["DensityMap", "density_map_over_private"]
+
+
+@dataclass(frozen=True)
+class DensityMap:
+    """A gridded population estimate from cloaked data.
+
+    All three layers are ``(resolution, resolution)`` arrays indexed
+    ``[ix, iy]`` with ``iy`` growing upward: ``expected`` (probabilistic
+    estimate), ``minimum`` (users certainly inside the cell) and
+    ``maximum`` (users possibly inside).
+    """
+
+    bounds: Rect
+    resolution: int
+    expected: np.ndarray
+    minimum: np.ndarray
+    maximum: np.ndarray
+
+    @property
+    def total_expected(self) -> float:
+        """Mass of the expected layer — the expected number of users
+        whose positions fall inside the map bounds."""
+        return float(self.expected.sum())
+
+    def cell_rect(self, ix: int, iy: int) -> Rect:
+        """Spatial extent of grid cell ``(ix, iy)``."""
+        w = self.bounds.width / self.resolution
+        h = self.bounds.height / self.resolution
+        x0 = self.bounds.x_min + ix * w
+        y0 = self.bounds.y_min + iy * h
+        return Rect(x0, y0, x0 + w, y0 + h)
+
+    def expected_in(self, region: Rect) -> float:
+        """Expected population of an arbitrary sub-region, prorated from
+        the grid by cell-overlap area."""
+        total = 0.0
+        for ix in range(self.resolution):
+            for iy in range(self.resolution):
+                cell = self.cell_rect(ix, iy)
+                overlap = cell.overlap_area(region)
+                if overlap > 0.0:
+                    total += self.expected[ix, iy] * overlap / cell.area
+        return total
+
+    def hotspots(self, count: int = 3) -> list[tuple[Rect, float]]:
+        """The ``count`` densest cells, highest expected value first."""
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        flat = [
+            (float(self.expected[ix, iy]), ix, iy)
+            for ix in range(self.resolution)
+            for iy in range(self.resolution)
+        ]
+        flat.sort(reverse=True)
+        return [
+            (self.cell_rect(ix, iy), value) for value, ix, iy in flat[:count]
+        ]
+
+    def render(self, glyphs: str = " .:-=+*#%@") -> str:
+        """ASCII heat map (rows top to bottom)."""
+        peak = float(self.expected.max()) or 1.0
+        rows = []
+        for iy in range(self.resolution - 1, -1, -1):
+            row = []
+            for ix in range(self.resolution):
+                level = self.expected[ix, iy] / peak
+                row.append(
+                    glyphs[min(int(level * (len(glyphs) - 1)), len(glyphs) - 1)]
+                )
+            rows.append("".join(row))
+        return "\n".join(rows)
+
+
+def density_map_over_private(
+    index: SpatialIndex, bounds: Rect, resolution: int = 16
+) -> DensityMap:
+    """Build a :class:`DensityMap` from a private (cloaked) store.
+
+    Degenerate (point) regions are assigned to exactly one cell — the
+    one the point falls in, border points going to the upper-right cell
+    as in the pyramid's point-location rule — so the expected layer never
+    double-counts a user.
+    """
+    if resolution < 1:
+        raise ValueError("resolution must be >= 1")
+    if bounds.area <= 0:
+        raise ValueError("bounds must have positive area")
+    expected = np.zeros((resolution, resolution))
+    minimum = np.zeros((resolution, resolution), dtype=np.int64)
+    maximum = np.zeros((resolution, resolution), dtype=np.int64)
+    cell_w = bounds.width / resolution
+    cell_h = bounds.height / resolution
+
+    def clamp(idx: int) -> int:
+        return min(max(idx, 0), resolution - 1)
+
+    for _oid, region in index.items():
+        if region.is_degenerate():
+            p = region.center
+            if not bounds.contains_point(p):
+                continue
+            ix = clamp(int((p.x - bounds.x_min) / cell_w))
+            iy = clamp(int((p.y - bounds.y_min) / cell_h))
+            expected[ix, iy] += 1.0
+            minimum[ix, iy] += 1
+            maximum[ix, iy] += 1
+            continue
+        ix0 = clamp(int((region.x_min - bounds.x_min) / cell_w))
+        ix1 = clamp(int(np.ceil((region.x_max - bounds.x_min) / cell_w)) - 1)
+        iy0 = clamp(int((region.y_min - bounds.y_min) / cell_h))
+        iy1 = clamp(int(np.ceil((region.y_max - bounds.y_min) / cell_h)) - 1)
+        for ix in range(ix0, ix1 + 1):
+            for iy in range(iy0, iy1 + 1):
+                cell = Rect(
+                    bounds.x_min + ix * cell_w,
+                    bounds.y_min + iy * cell_h,
+                    bounds.x_min + (ix + 1) * cell_w,
+                    bounds.y_min + (iy + 1) * cell_h,
+                )
+                fraction = region.overlap_fraction(cell)
+                if fraction > 0.0:
+                    expected[ix, iy] += fraction
+                    maximum[ix, iy] += 1
+                    if cell.contains_rect(region):
+                        minimum[ix, iy] += 1
+    return DensityMap(
+        bounds=bounds,
+        resolution=resolution,
+        expected=expected,
+        minimum=minimum,
+        maximum=maximum,
+    )

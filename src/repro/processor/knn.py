@@ -1,0 +1,148 @@
+"""Private k-nearest-neighbor queries — the paper's "straightforward
+extension" of Algorithm 2 to kNN, made concrete.
+
+For a cloaked area ``A`` and ``k > 1``, the candidate list must contain
+the true k nearest targets of *every* possible user position in ``A``.
+The construction generalises the filter idea with a triangle-inequality
+bound:
+
+for an anchor point ``v`` (a vertex of ``A`` or its center), let
+:math:`d_v^k` be the distance from ``v`` to its k-th nearest target.
+The k targets nearest ``v`` all lie within :math:`d_v^k` of ``v``, so
+for any user position ``p`` the k-th NN distance of ``p`` is at most
+:math:`|p - v| + d_v^k` — there are k targets at least that close.  Any
+member of ``p``'s true kNN set therefore lies within
+
+.. math:: r(p) = \\min_{v} (|p - v| + d_v^k)
+
+of ``p``.  Expanding each edge of ``A`` outward by
+:math:`\\max_{p \\in edge} r(p)` yields an inclusive search region; for
+the vertex-anchored (4-filter) variant that maximum is attained where
+the two endpoint cones meet, at parameter
+:math:`t^* = (L + d_j^k - d_i^k) / 2L` along the edge (clamped to
+``[0, 1]``).
+
+With ``k = 1`` this bound is slightly more conservative than Algorithm
+2's perpendicular-bisector construction (it does not exploit knowing
+*which* target is the filter), trading a modestly larger ``A_EXT`` for
+a bound that generalises to any k.  The private-data variant replaces
+point distances with pessimistic max-distances throughout, exactly as
+Section 5.2 does for the k = 1 case.
+"""
+
+from __future__ import annotations
+
+from repro.errors import EmptyDatasetError
+from repro.geometry import Point, Rect
+from repro.processor.candidate import CandidateList
+from repro.processor.probabilistic import OverlapPolicy
+from repro.spatial import SpatialIndex
+
+__all__ = ["private_knn_over_public", "private_knn_over_private"]
+
+
+def _kth_distance_public(index: SpatialIndex, anchor: Point, k: int) -> float:
+    """Distance from ``anchor`` to its k-th nearest (point) target."""
+    nearest = index.k_nearest(anchor, k)
+    return index.rect_of(nearest[-1]).min_distance_to_point(anchor)
+
+
+def _kth_distance_private(index: SpatialIndex, anchor: Point, k: int) -> float:
+    """The k-th smallest pessimistic (max) distance from ``anchor`` to a
+    cloaked target region."""
+    distances = sorted(
+        rect.max_distance_to_point(anchor) for _oid, rect in index.items()
+    )
+    return distances[min(k, len(distances)) - 1]
+
+
+def _edge_expansion(length: float, d_i: float, d_j: float) -> float:
+    """Max over the edge of ``min(t L + d_i, (1 - t) L + d_j)``.
+
+    The two cones cross at ``t* = (L + d_j - d_i) / 2L``; clamped to the
+    segment, the maximum of the lower envelope is the cone value there.
+    """
+    if length <= 0.0:
+        return max(d_i, d_j)
+    t_star = (length + d_j - d_i) / (2.0 * length)
+    t_star = min(max(t_star, 0.0), 1.0)
+    return min(t_star * length + d_i, (1.0 - t_star) * length + d_j)
+
+
+def _extended_region(
+    area: Rect, kth_distance, num_filters: int, k: int
+) -> Rect:
+    """Build ``A_EXT`` from a ``kth_distance(anchor)`` oracle."""
+    if num_filters not in (1, 4):
+        raise ValueError("kNN queries support num_filters of 1 or 4")
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    if num_filters == 1:
+        d_c = kth_distance(area.center)
+        # r(p) <= |p - center| + d_c; per edge the max is at the farther
+        # endpoint of the edge from the center.
+        amounts = {}
+        for edge in area.edges():
+            reach = max(
+                edge.vi.distance_to(area.center), edge.vj.distance_to(area.center)
+            )
+            amounts[edge.direction] = reach + d_c
+    else:
+        d_of = {v: kth_distance(v) for v in area.vertices()}
+        amounts = {}
+        for edge in area.edges():
+            amounts[edge.direction] = _edge_expansion(
+                edge.length(), d_of[edge.vi], d_of[edge.vj]
+            )
+    return area.expanded(
+        left=amounts.get("left", 0.0),
+        right=amounts.get("right", 0.0),
+        bottom=amounts.get("bottom", 0.0),
+        top=amounts.get("top", 0.0),
+    )
+
+
+def private_knn_over_public(
+    index: SpatialIndex, cloaked_area: Rect, k: int, num_filters: int = 4
+) -> CandidateList:
+    """Candidates for "what are my k nearest public targets?".
+
+    Inclusive for every user position in ``cloaked_area``; the client
+    refines with :meth:`CandidateList.refine_k_nearest`.
+    """
+    if len(index) == 0:
+        raise EmptyDatasetError("no target objects stored")
+    k = min(k, len(index))
+    a_ext = _extended_region(
+        cloaked_area, lambda v: _kth_distance_public(index, v, k), num_filters, k
+    )
+    items = tuple(
+        sorted(
+            ((oid, index.rect_of(oid)) for oid in index.range_search(a_ext)),
+            key=lambda item: str(item[0]),
+        )
+    )
+    return CandidateList(items=items, search_region=a_ext, num_filters=num_filters)
+
+
+def private_knn_over_private(
+    index: SpatialIndex,
+    cloaked_area: Rect,
+    k: int,
+    num_filters: int = 4,
+    policy: OverlapPolicy | None = None,
+) -> CandidateList:
+    """Candidates for "who are my k nearest private users?"."""
+    if len(index) == 0:
+        raise EmptyDatasetError("no target objects stored")
+    k = min(k, len(index))
+    a_ext = _extended_region(
+        cloaked_area, lambda v: _kth_distance_private(index, v, k), num_filters, k
+    )
+    candidates = [(oid, index.rect_of(oid)) for oid in index.range_search(a_ext)]
+    if policy is not None:
+        candidates = [
+            (oid, rect) for oid, rect in candidates if policy.admits(rect, a_ext)
+        ]
+    items = tuple(sorted(candidates, key=lambda item: str(item[0])))
+    return CandidateList(items=items, search_region=a_ext, num_filters=num_filters)

@@ -1,0 +1,38 @@
+"""The two naive strawmen of Figure 4.
+
+* **Center NN** — the server answers with the single target nearest to
+  the *center* of the cloaked area.  Minimal transmission, but the
+  answer is wrong whenever the user is not at the center (Figure 4b:
+  ``T_12`` instead of the true ``T_13``).
+* **Ship everything** — the server sends every stored target and lets
+  the client pick.  Always exact, never practical (Figure 4c).
+
+Both are benchmarked against Algorithm 2 to reproduce the paper's
+motivation, and the center-NN error rate quantifies how much accuracy
+the candidate-list approach buys.
+"""
+
+from __future__ import annotations
+
+from repro.geometry import Rect
+from repro.processor.candidate import CandidateList
+from repro.spatial import SpatialIndex
+
+__all__ = ["naive_center_nn", "naive_send_all"]
+
+
+def naive_center_nn(index: SpatialIndex, cloaked_area: Rect) -> CandidateList:
+    """Figure 4b: a single-element "candidate list" — the target nearest
+    to the cloaked area's center.  Not inclusive."""
+    oid = index.nearest(cloaked_area.center)
+    return CandidateList(
+        items=((oid, index.rect_of(oid)),),
+        search_region=cloaked_area,
+        num_filters=0,
+    )
+
+
+def naive_send_all(index: SpatialIndex, cloaked_area: Rect) -> CandidateList:
+    """Figure 4c: ship the whole dataset.  Inclusive, maximal."""
+    items = tuple(sorted(index.items(), key=lambda item: str(item[0])))
+    return CandidateList(items=items, search_region=cloaked_area, num_filters=0)

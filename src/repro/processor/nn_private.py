@@ -1,0 +1,49 @@
+"""Private nearest-neighbor queries over private data (Section 5.2).
+
+"Where is my nearest buddy?" — both the querying user and the targets
+are cloaked rectangles.  Algorithm 2 with the Section 5.2.1 changes:
+filters are chosen by pessimistic (furthest corner) distance, the middle
+points come from the corner-based ``L_ij``, and the candidate list holds
+every target whose cloaked region *overlaps* ``A_EXT`` (optionally
+thinned by a probabilistic overlap policy).
+"""
+
+from __future__ import annotations
+
+from repro.geometry import Rect
+from repro.processor.candidate import CandidateList
+from repro.processor.extension import compute_extension_private
+from repro.processor.filters import select_filters_private
+from repro.processor.probabilistic import OverlapPolicy
+
+__all__ = ["private_nn_over_private"]
+
+from repro.spatial import SpatialIndex
+
+
+def private_nn_over_private(
+    index: SpatialIndex,
+    cloaked_area: Rect,
+    num_filters: int = 4,
+    policy: OverlapPolicy | None = None,
+) -> CandidateList:
+    """Answer a private NN query over private (cloaked) target data.
+
+    ``policy`` optionally replaces the default "any overlap" candidate
+    criterion with a probabilistic threshold (Section 5.2.1 step 4's
+    ``x%``-overlap refinement); ``None`` keeps the inclusive default.
+    """
+    filters = select_filters_private(index, cloaked_area, num_filters)
+    a_ext, _extensions = compute_extension_private(index, cloaked_area, filters)
+    candidates = [(oid, index.rect_of(oid)) for oid in index.range_search(a_ext)]
+    if policy is not None:
+        candidates = [
+            (oid, rect) for oid, rect in candidates if policy.admits(rect, a_ext)
+        ]
+    items = tuple(sorted(candidates, key=lambda item: str(item[0])))
+    return CandidateList(
+        items=items,
+        search_region=a_ext,
+        num_filters=num_filters,
+        filters=filters.distinct_oids(),
+    )

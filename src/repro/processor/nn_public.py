@@ -1,0 +1,48 @@
+"""Private nearest-neighbor queries over public data (Section 5.1).
+
+"Where is my nearest gas station?" — the querying user is cloaked, the
+targets are exact points.  Algorithm 2: select filters, build the middle
+points, expand to ``A_EXT``, range-query, ship the candidate list.
+"""
+
+from __future__ import annotations
+
+from repro.geometry import Rect
+from repro.processor.candidate import CandidateList
+from repro.processor.extension import compute_extension_public
+from repro.processor.filters import select_filters_public
+from repro.spatial import SpatialIndex
+
+__all__ = ["private_nn_over_public"]
+
+
+def private_nn_over_public(
+    index: SpatialIndex, cloaked_area: Rect, num_filters: int = 4
+) -> CandidateList:
+    """Answer a private NN query over public target data.
+
+    Parameters
+    ----------
+    index:
+        The server's target index (exact point entries).
+    cloaked_area:
+        The query region produced by the location anonymizer.
+    num_filters:
+        1, 2 or 4 filter targets (Section 6.2's three variants).
+
+    Returns the inclusive, minimal candidate list of Theorems 1-2.
+    """
+    filters = select_filters_public(index, cloaked_area, num_filters)
+    a_ext, _extensions = compute_extension_public(index, cloaked_area, filters)
+    items = tuple(
+        sorted(
+            ((oid, index.rect_of(oid)) for oid in index.range_search(a_ext)),
+            key=lambda item: str(item[0]),
+        )
+    )
+    return CandidateList(
+        items=items,
+        search_region=a_ext,
+        num_filters=num_filters,
+        filters=filters.distinct_oids(),
+    )

@@ -1,0 +1,62 @@
+"""Probabilistic candidate policies for cloaked target data.
+
+Section 5.2.1 (step 4) notes that instead of returning every target
+whose cloaked area merely touches ``A_EXT``, the server "may choose to
+return only those target objects that have more than x% of their cloaked
+areas overlap with A_EXT", and that the framework composes with any
+probabilistic query-processing scheme.  These policies implement that
+pluggable decision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geometry import Rect
+
+__all__ = ["OverlapPolicy", "AnyOverlap", "FractionOverlap", "ContainmentOnly"]
+
+
+class OverlapPolicy:
+    """Decides whether a cloaked target belongs in the candidate list."""
+
+    def admits(self, target: Rect, search_region: Rect) -> bool:
+        raise NotImplementedError
+
+    def inclusion_probability(self, target: Rect, search_region: Rect) -> float:
+        """Probability the target's true location lies inside the search
+        region, under the anonymizer's uniformity guarantee (Section 4.3:
+        the location is uniform over the cloaked region)."""
+        return target.overlap_fraction(search_region)
+
+
+@dataclass(frozen=True)
+class AnyOverlap(OverlapPolicy):
+    """The inclusive default: any intersection admits the target."""
+
+    def admits(self, target: Rect, search_region: Rect) -> bool:
+        return target.intersects(search_region)
+
+
+@dataclass(frozen=True)
+class FractionOverlap(OverlapPolicy):
+    """Admit targets with at least ``threshold`` of their area inside
+    the search region (the paper's x% rule).  ``threshold`` in (0, 1]."""
+
+    threshold: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.threshold <= 1.0:
+            raise ValueError("threshold must be in (0, 1]")
+
+    def admits(self, target: Rect, search_region: Rect) -> bool:
+        return self.inclusion_probability(target, search_region) >= self.threshold
+
+
+@dataclass(frozen=True)
+class ContainmentOnly(OverlapPolicy):
+    """Admit only targets certainly inside the search region — the
+    x = 100% extreme; trades inclusiveness for the smallest answer."""
+
+    def admits(self, target: Rect, search_region: Rect) -> bool:
+        return search_region.contains_rect(target)

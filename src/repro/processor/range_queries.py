@@ -1,0 +1,56 @@
+"""Private range queries (the paper's "straightforward extension").
+
+A private range query asks for all targets within distance ``radius`` of
+the (hidden) user.  Because the user may be anywhere inside the cloaked
+area ``A``, the inclusive search region is the Minkowski expansion of
+``A`` by ``radius`` — every target that could be within range of *some*
+position in ``A`` lies there, and any smaller axis-aligned region would
+miss an admissible placement, the same inclusive/minimal structure as
+the NN algorithm.  The client refines locally with its exact position.
+"""
+
+from __future__ import annotations
+
+from repro.geometry import Rect
+from repro.processor.candidate import CandidateList
+from repro.processor.probabilistic import OverlapPolicy
+from repro.spatial import SpatialIndex
+
+__all__ = ["private_range_over_public", "private_range_over_private"]
+
+
+def _validated(radius: float) -> float:
+    if radius < 0:
+        raise ValueError("radius must be non-negative")
+    return radius
+
+
+def private_range_over_public(
+    index: SpatialIndex, cloaked_area: Rect, radius: float
+) -> CandidateList:
+    """Candidates for "all public targets within ``radius`` of me"."""
+    a_ext = cloaked_area.expanded_uniform(_validated(radius))
+    items = tuple(
+        sorted(
+            ((oid, index.rect_of(oid)) for oid in index.range_search(a_ext)),
+            key=lambda item: str(item[0]),
+        )
+    )
+    return CandidateList(items=items, search_region=a_ext, num_filters=0)
+
+
+def private_range_over_private(
+    index: SpatialIndex,
+    cloaked_area: Rect,
+    radius: float,
+    policy: OverlapPolicy | None = None,
+) -> CandidateList:
+    """Candidates for "all private targets within ``radius`` of me"."""
+    a_ext = cloaked_area.expanded_uniform(_validated(radius))
+    candidates = [(oid, index.rect_of(oid)) for oid in index.range_search(a_ext)]
+    if policy is not None:
+        candidates = [
+            (oid, rect) for oid, rect in candidates if policy.admits(rect, a_ext)
+        ]
+    items = tuple(sorted(candidates, key=lambda item: str(item[0])))
+    return CandidateList(items=items, search_region=a_ext, num_filters=0)

@@ -1,0 +1,127 @@
+"""Public NN queries over private data (uncertain nearest neighbor).
+
+Completes the query-type matrix of Section 5: an administrator with an
+*exact* query point asks "which mobile user is nearest to this
+incident?" while the users are stored only as cloaked regions.  No
+single answer exists; the server returns the set of users who *could*
+be nearest — the classic possible-NN candidate set of the uncertain-
+data literature the paper composes with [10, 11, 28] — plus, under the
+anonymizer's uniformity guarantee, a simple membership probability
+estimate.
+
+A user ``u`` can be the nearest iff ``mindist(q, R_u)`` does not exceed
+the smallest ``maxdist(q, R_v)`` over all users ``v`` — somebody is
+certainly within that pessimistic bound, so anyone who cannot beat it
+is out.  This set is inclusive (the true NN always qualifies) and
+minimal against the min/max distance bounds (for any qualifying user
+there exist placements making it the nearest).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import EmptyDatasetError
+from repro.geometry import Point, Rect
+from repro.spatial import SpatialIndex
+from repro.utils.rng import SeedLike, ensure_rng
+
+__all__ = ["UncertainNNResult", "public_nn_over_private"]
+
+
+@dataclass(frozen=True)
+class UncertainNNResult:
+    """Possible nearest neighbors of an exact query point.
+
+    ``candidates`` maps each possible-NN oid to its cloaked region;
+    ``probabilities`` (present when estimated) maps oids to Monte-Carlo
+    estimates of being the true NN under uniform placements.
+    """
+
+    query: Point
+    candidates: tuple[tuple[object, Rect], ...]
+    threshold: float
+    probabilities: dict[object, float] | None = None
+
+    def __len__(self) -> int:
+        return len(self.candidates)
+
+    def oids(self) -> list[object]:
+        return [oid for oid, _rect in self.candidates]
+
+    def most_likely(self) -> object:
+        """The candidate with the highest estimated probability (or the
+        smallest pessimistic distance when no estimate was made)."""
+        if self.probabilities:
+            return max(self.probabilities, key=self.probabilities.get)
+        return min(
+            self.candidates,
+            key=lambda item: item[1].max_distance_to_point(self.query),
+        )[0]
+
+
+def public_nn_over_private(
+    index: SpatialIndex,
+    query: Point,
+    estimate_probabilities: bool = False,
+    samples: int = 200,
+    seed: SeedLike = 0,
+) -> UncertainNNResult:
+    """Possible-NN set for an exact query point over cloaked data.
+
+    With ``estimate_probabilities`` the server also Monte-Carlo samples
+    uniform placements inside the candidate regions to estimate each
+    candidate's chance of being the true NN (probabilities sum to 1).
+    """
+    if len(index) == 0:
+        raise EmptyDatasetError("no private objects stored")
+    # The pessimistic champion: somebody is certainly within this radius.
+    champion = index.nearest_by_max_distance(query)
+    threshold = index.rect_of(champion).max_distance_to_point(query)
+    # Possible NNs: everyone whose region could beat the champion bound.
+    # Their regions all intersect the disc of radius `threshold`; probe
+    # with its bounding box, then filter exactly.
+    probe = Rect(
+        query.x - threshold,
+        query.y - threshold,
+        query.x + threshold,
+        query.y + threshold,
+    )
+    candidates = sorted(
+        (
+            (oid, index.rect_of(oid))
+            for oid in index.range_search(probe)
+            if index.rect_of(oid).min_distance_to_point(query) <= threshold + 1e-12
+        ),
+        key=lambda item: str(item[0]),
+    )
+    probabilities = None
+    if estimate_probabilities:
+        if samples < 1:
+            raise ValueError("samples must be >= 1")
+        rng = ensure_rng(seed)
+        wins = {oid: 0 for oid, _rect in candidates}
+        for _ in range(samples):
+            best_oid = None
+            best_dist = float("inf")
+            for oid, rect in candidates:
+                p = Point(
+                    float(rng.uniform(rect.x_min, rect.x_max))
+                    if rect.width > 0
+                    else rect.x_min,
+                    float(rng.uniform(rect.y_min, rect.y_max))
+                    if rect.height > 0
+                    else rect.y_min,
+                )
+                dist = p.distance_to(query)
+                if dist < best_dist:
+                    best_dist = dist
+                    best_oid = oid
+            wins[best_oid] += 1
+        probabilities = {oid: count / samples for oid, count in wins.items()}
+    return UncertainNNResult(
+        query=query,
+        candidates=tuple(candidates),
+        threshold=threshold,
+        probabilities=probabilities,
+    )

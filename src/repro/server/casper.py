@@ -1,0 +1,221 @@
+"""The Casper framework facade (Figure 1's full architecture).
+
+Wires the three parties together:
+
+* mobile users report exact locations and privacy profiles to the
+  **location anonymizer** (trusted third party);
+* the anonymizer pushes *cloaked regions* — never exact locations — to
+  the **location-based database server**;
+* private queries are cloaked by the anonymizer, answered by the
+  server's privacy-aware processor with a candidate list, and refined
+  exactly on the client.
+
+The facade also measures the Figure 17 time decomposition for every
+private query.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Literal
+
+from repro.anonymizer import (
+    AdaptiveAnonymizer,
+    BasicAnonymizer,
+    CloakedRegion,
+    PrivacyProfile,
+)
+from repro.geometry import Point, Rect
+from repro.processor import CandidateList, OverlapPolicy, RangeCountResult
+from repro.server.database import LocationServer
+from repro.server.messages import PrivateQueryResult
+from repro.server.network import TransmissionModel
+
+__all__ = ["Casper"]
+
+AnonymizerKind = Literal["basic", "adaptive"]
+
+
+class Casper:
+    """End-to-end Casper deployment over one service area."""
+
+    def __init__(
+        self,
+        bounds: Rect,
+        pyramid_height: int = 9,
+        anonymizer: AnonymizerKind | BasicAnonymizer | AdaptiveAnonymizer = "adaptive",
+        server: LocationServer | None = None,
+        transmission: TransmissionModel | None = None,
+    ) -> None:
+        if isinstance(anonymizer, (BasicAnonymizer, AdaptiveAnonymizer)):
+            if anonymizer.bounds != bounds:
+                raise ValueError(
+                    "anonymizer instance bounds differ from the service area"
+                )
+            self.anonymizer = anonymizer
+        elif anonymizer == "basic":
+            self.anonymizer = BasicAnonymizer(bounds, pyramid_height)
+        elif anonymizer == "adaptive":
+            self.anonymizer = AdaptiveAnonymizer(bounds, pyramid_height)
+        else:
+            raise ValueError(f"unknown anonymizer kind {anonymizer!r}")
+        self.server = server if server is not None else LocationServer()
+        self.transmission = (
+            transmission if transmission is not None else TransmissionModel()
+        )
+
+    @property
+    def bounds(self) -> Rect:
+        return self.anonymizer.bounds
+
+    # ------------------------------------------------------------------
+    # User lifecycle (through the anonymizer)
+    # ------------------------------------------------------------------
+    def _stored_cloak(self, uid: object) -> CloakedRegion:
+        """Cloak ``uid`` for server-side storage.
+
+        Cold-start policy: while the registered population is still too
+        small to satisfy the user's ``k`` (Algorithm 1's precondition),
+        the most private consistent choice — the whole service area — is
+        stored instead.  It resolves to a proper cloak as soon as enough
+        users join and the next update re-cloaks.
+        """
+        from repro.errors import ProfileUnsatisfiableError
+
+        try:
+            return self.anonymizer.cloak(uid)
+        except ProfileUnsatisfiableError:
+            return CloakedRegion(
+                self.bounds, self.anonymizer.num_users, cells=()
+            )
+
+    def register_user(
+        self, uid: object, point: Point, profile: PrivacyProfile
+    ) -> CloakedRegion:
+        """Register a mobile user; their cloaked region (not the exact
+        point) is stored at the server as private data."""
+        self.anonymizer.register(uid, point, profile)
+        region = self._stored_cloak(uid)
+        self.server.store_private(uid, region.region)
+        return region
+
+    def update_location(self, uid: object, point: Point) -> CloakedRegion:
+        """Continuous location update: re-cloak and refresh the server's
+        stored private region."""
+        self.anonymizer.update(uid, point)
+        region = self._stored_cloak(uid)
+        self.server.store_private(uid, region.region)
+        return region
+
+    def remove_user(self, uid: object) -> None:
+        self.anonymizer.deregister(uid)
+        self.server.remove_private(uid)
+
+    def set_profile(self, uid: object, profile: PrivacyProfile) -> None:
+        """Change a user's privacy profile and refresh their stored
+        cloak accordingly."""
+        self.anonymizer.set_profile(uid, profile)
+        region = self._stored_cloak(uid)
+        self.server.store_private(uid, region.region)
+
+    # ------------------------------------------------------------------
+    # Public data (bypasses the anonymizer)
+    # ------------------------------------------------------------------
+    def add_public_target(self, oid: object, point: Point) -> None:
+        self.server.add_public(oid, point)
+
+    def add_public_targets(self, entries: dict[object, Point]) -> None:
+        self.server.add_public_bulk(entries)
+
+    # ------------------------------------------------------------------
+    # Private queries (through the anonymizer, timed end to end)
+    # ------------------------------------------------------------------
+    def query_nearest_public(
+        self, uid: object, num_filters: int = 4
+    ) -> PrivateQueryResult:
+        """"Where is my nearest gas station?" — private query over
+        public data, with the Figure 17 timing decomposition."""
+        t0 = time.perf_counter()
+        cloak = self.anonymizer.cloak(uid)
+        t1 = time.perf_counter()
+        candidates = self.server.nn_public(cloak.region, num_filters)
+        t2 = time.perf_counter()
+        # The client's exact location never left the client; the facade
+        # borrows it from the trusted anonymizer to emulate the local
+        # refinement step.
+        answer = candidates.refine_nearest(self.anonymizer.location_of(uid))
+        return PrivateQueryResult(
+            cloak=cloak,
+            candidates=candidates,
+            answer=answer,
+            anonymizer_seconds=t1 - t0,
+            processing_seconds=t2 - t1,
+            transmission_seconds=self.transmission.time_for(len(candidates)),
+        )
+
+    def query_nearest_private(
+        self,
+        uid: object,
+        num_filters: int = 4,
+        policy: OverlapPolicy | None = None,
+    ) -> PrivateQueryResult:
+        """"Where is my nearest buddy?" — private query over private
+        data; the requester's own record is excluded."""
+        t0 = time.perf_counter()
+        cloak = self.anonymizer.cloak(uid)
+        t1 = time.perf_counter()
+        candidates = self.server.nn_private(
+            cloak.region, num_filters, policy=policy, exclude=uid
+        )
+        t2 = time.perf_counter()
+        answer = (
+            candidates.refine_nearest(
+                self.anonymizer.location_of(uid), by="center"
+            )
+            if len(candidates)
+            else None
+        )
+        return PrivateQueryResult(
+            cloak=cloak,
+            candidates=candidates,
+            answer=answer,
+            anonymizer_seconds=t1 - t0,
+            processing_seconds=t2 - t1,
+            transmission_seconds=self.transmission.time_for(len(candidates)),
+        )
+
+    def query_range_public(self, uid: object, radius: float) -> PrivateQueryResult:
+        """"Which gas stations are within `radius` of me?" """
+        t0 = time.perf_counter()
+        cloak = self.anonymizer.cloak(uid)
+        t1 = time.perf_counter()
+        candidates = self.server.range_public(cloak.region, radius)
+        t2 = time.perf_counter()
+        exact = candidates.refine_within(self.anonymizer.location_of(uid), radius)
+        return PrivateQueryResult(
+            cloak=cloak,
+            candidates=candidates,
+            answer=exact,
+            anonymizer_seconds=t1 - t0,
+            processing_seconds=t2 - t1,
+            transmission_seconds=self.transmission.time_for(len(candidates)),
+        )
+
+    # ------------------------------------------------------------------
+    # Public queries (no anonymizer involved)
+    # ------------------------------------------------------------------
+    def count_users_in(self, region: Rect) -> RangeCountResult:
+        """Administrator query: how many mobile users are in ``region``
+        — answered from the stored blurred information only."""
+        return self.server.count_private(region)
+
+    def nearest_user_to(self, point: Point, estimate_probabilities: bool = False):
+        """Administrator query: which mobile user could be nearest to an
+        exact point (e.g. an incident location) — answered as a
+        possible-NN set over the stored cloaked regions."""
+        return self.server.possible_nn_private(point, estimate_probabilities)
+
+    def density_map(self, resolution: int = 16):
+        """Administrator query: the expected-population density map of
+        the whole service area, from cloaked regions only."""
+        return self.server.density_private(self.bounds, resolution)

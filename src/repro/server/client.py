@@ -1,0 +1,72 @@
+"""A mobile client's view of Casper.
+
+``MobileClient`` models the device side: it owns the exact location,
+reports it (to the trusted anonymizer inside the :class:`Casper`
+facade), and evaluates queries locally over the candidate lists the
+server returns.  Applications in ``examples/`` are written against this
+class.
+"""
+
+from __future__ import annotations
+
+from repro.anonymizer import PrivacyProfile
+from repro.geometry import Point
+from repro.server.casper import Casper
+from repro.server.messages import PrivateQueryResult
+
+__all__ = ["MobileClient"]
+
+
+class MobileClient:
+    """One registered mobile user."""
+
+    def __init__(
+        self,
+        casper: Casper,
+        uid: object,
+        location: Point,
+        profile: PrivacyProfile,
+    ) -> None:
+        self.casper = casper
+        self.uid = uid
+        self._location = location
+        self.profile = profile
+        casper.register_user(uid, location, profile)
+
+    # ------------------------------------------------------------------
+    # Device-side state
+    # ------------------------------------------------------------------
+    @property
+    def location(self) -> Point:
+        """The exact location — known to the device and the trusted
+        anonymizer, never to the database server."""
+        return self._location
+
+    def move_to(self, point: Point) -> None:
+        """Report a location update."""
+        self._location = point
+        self.casper.update_location(self.uid, point)
+
+    def change_profile(self, profile: PrivacyProfile) -> None:
+        """Adjust the personal privacy / quality-of-service trade-off."""
+        self.profile = profile
+        self.casper.set_profile(self.uid, profile)
+
+    def leave(self) -> None:
+        """Unsubscribe from the service."""
+        self.casper.remove_user(self.uid)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def nearest_public(self, num_filters: int = 4) -> PrivateQueryResult:
+        """Ask for the nearest public target (e.g. gas station)."""
+        return self.casper.query_nearest_public(self.uid, num_filters)
+
+    def nearest_buddy(self, num_filters: int = 4) -> PrivateQueryResult:
+        """Ask for the nearest other private user."""
+        return self.casper.query_nearest_private(self.uid, num_filters)
+
+    def publics_within(self, radius: float) -> PrivateQueryResult:
+        """Ask for all public targets within ``radius``."""
+        return self.casper.query_range_public(self.uid, radius)

@@ -1,0 +1,161 @@
+"""The privacy-aware location-based database server.
+
+Stores the two data kinds of Section 5 side by side:
+
+* **public data** — exact point locations (gas stations, hospitals,
+  police cars) inserted directly, bypassing the anonymizer;
+* **private data** — cloaked rectangles received from the location
+  anonymizer, keyed by (pseudonymous) object id.
+
+and exposes the privacy-aware query operations over them.  The server is
+deliberately index-agnostic: pass any ``SpatialIndex`` factory.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.geometry import Point, Rect
+from repro.processor import (
+    CandidateList,
+    OverlapPolicy,
+    RangeCountResult,
+    naive_center_nn,
+    naive_send_all,
+    private_nn_over_private,
+    private_nn_over_public,
+    private_range_over_private,
+    private_range_over_public,
+    public_range_count_over_private,
+)
+from repro.spatial import RTreeIndex, SpatialIndex
+
+__all__ = ["LocationServer"]
+
+
+class LocationServer:
+    """Location-based database server with an embedded privacy-aware
+    query processor."""
+
+    def __init__(
+        self, index_factory: Callable[[], SpatialIndex] = RTreeIndex
+    ) -> None:
+        self.public_index = index_factory()
+        self.private_index = index_factory()
+
+    # ------------------------------------------------------------------
+    # Data maintenance
+    # ------------------------------------------------------------------
+    def add_public(self, oid: object, point: Point) -> None:
+        """Store (or move) a public target's exact location."""
+        self.public_index.insert_point(oid, point)
+
+    def add_public_bulk(self, entries: dict[object, Point]) -> None:
+        """Bulk-load public targets (uses the index's packing algorithm)."""
+        self.public_index.bulk_load(
+            {oid: Rect.point(p) for oid, p in entries.items()}
+        )
+
+    def remove_public(self, oid: object) -> None:
+        self.public_index.remove(oid)
+
+    def store_private(self, oid: object, region: Rect) -> None:
+        """Store (or refresh) a private object's cloaked region — the
+        only location information the server ever sees for it."""
+        self.private_index.insert(oid, region)
+
+    def store_private_bulk(self, entries: dict[object, Rect]) -> None:
+        self.private_index.bulk_load(dict(entries))
+
+    def remove_private(self, oid: object) -> None:
+        self.private_index.remove(oid)
+
+    @property
+    def num_public(self) -> int:
+        return len(self.public_index)
+
+    @property
+    def num_private(self) -> int:
+        return len(self.private_index)
+
+    # ------------------------------------------------------------------
+    # Privacy-aware queries
+    # ------------------------------------------------------------------
+    def nn_public(self, cloaked_area: Rect, num_filters: int = 4) -> CandidateList:
+        """Private NN query over public data (Section 5.1)."""
+        return private_nn_over_public(self.public_index, cloaked_area, num_filters)
+
+    def nn_private(
+        self,
+        cloaked_area: Rect,
+        num_filters: int = 4,
+        policy: OverlapPolicy | None = None,
+        exclude: object = None,
+    ) -> CandidateList:
+        """Private NN query over private data (Section 5.2).
+
+        ``exclude`` removes one object (typically the requester's own
+        cloaked record) from consideration for the duration of the
+        query.
+        """
+        if exclude is not None and exclude in self.private_index:
+            region = self.private_index.rect_of(exclude)
+            self.private_index.remove(exclude)
+            try:
+                return private_nn_over_private(
+                    self.private_index, cloaked_area, num_filters, policy
+                )
+            finally:
+                self.private_index.insert(exclude, region)
+        return private_nn_over_private(
+            self.private_index, cloaked_area, num_filters, policy
+        )
+
+    def range_public(self, cloaked_area: Rect, radius: float) -> CandidateList:
+        """Private range query over public data."""
+        return private_range_over_public(self.public_index, cloaked_area, radius)
+
+    def range_private(
+        self,
+        cloaked_area: Rect,
+        radius: float,
+        policy: OverlapPolicy | None = None,
+    ) -> CandidateList:
+        """Private range query over private data."""
+        return private_range_over_private(
+            self.private_index, cloaked_area, radius, policy
+        )
+
+    def count_private(self, region: Rect) -> RangeCountResult:
+        """Public aggregate query over private data (Section 5's second
+        query type): how many private objects are in ``region``."""
+        return public_range_count_over_private(self.private_index, region)
+
+    def possible_nn_private(
+        self, query: Point, estimate_probabilities: bool = False
+    ):
+        """Public NN query over private data: the users who could be
+        nearest to an exact point; see
+        :func:`repro.processor.public_nn_over_private`."""
+        from repro.processor.uncertain_nn import public_nn_over_private
+
+        return public_nn_over_private(
+            self.private_index, query, estimate_probabilities
+        )
+
+    def density_private(self, bounds: Rect, resolution: int = 16):
+        """Gridded expected-population map over the private store (the
+        traffic-report aggregate); see
+        :func:`repro.processor.density_map_over_private`."""
+        from repro.processor.density import density_map_over_private
+
+        return density_map_over_private(self.private_index, bounds, resolution)
+
+    # ------------------------------------------------------------------
+    # Naive baselines (Figure 4)
+    # ------------------------------------------------------------------
+    def nn_public_naive_center(self, cloaked_area: Rect) -> CandidateList:
+        return naive_center_nn(self.public_index, cloaked_area)
+
+    def nn_public_naive_all(self, cloaked_area: Rect) -> CandidateList:
+        return naive_send_all(self.public_index, cloaked_area)

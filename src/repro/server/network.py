@@ -1,0 +1,36 @@
+"""Transmission cost model for candidate-list shipping.
+
+Figure 17's end-to-end evaluation assumes "a data record is of size 64
+bytes transmitted over a channel of bandwidth 100 Mbps".  The model also
+carries an optional fixed per-message latency for what-if analyses
+(zero by default, matching the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.units import transmission_seconds
+
+__all__ = ["TransmissionModel"]
+
+
+@dataclass(frozen=True, slots=True)
+class TransmissionModel:
+    """Analytic downlink model for server-to-client answers."""
+
+    record_bytes: int = 64
+    bandwidth_mbps: float = 100.0
+    latency_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.record_bytes <= 0 or self.bandwidth_mbps <= 0:
+            raise ValueError("record_bytes and bandwidth_mbps must be positive")
+        if self.latency_seconds < 0:
+            raise ValueError("latency_seconds must be non-negative")
+
+    def time_for(self, num_records: int) -> float:
+        """Seconds to deliver ``num_records`` answer records."""
+        return self.latency_seconds + transmission_seconds(
+            num_records, self.record_bytes, self.bandwidth_mbps
+        )

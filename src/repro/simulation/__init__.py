@@ -1,0 +1,15 @@
+"""Scripted full-stack simulations (mobility + anonymizer + server)."""
+
+from repro.simulation.city import (
+    CitySimulation,
+    SimulationConfig,
+    SimulationReport,
+    TickReport,
+)
+
+__all__ = [
+    "CitySimulation",
+    "SimulationConfig",
+    "SimulationReport",
+    "TickReport",
+]

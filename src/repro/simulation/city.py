@@ -1,0 +1,277 @@
+"""A scripted city simulation over the full Casper stack.
+
+``CitySimulation`` wires every component of the reproduction together —
+the synthetic county map, the network-based moving objects, the chosen
+anonymizer, the privacy-aware server and the transmission model — and
+drives them tick by tick with a configurable query mix, collecting the
+per-tick metrics an operator of such a system would watch.  The
+``audit`` option cross-checks a sample of answers against a brute-force
+oracle every tick, turning the simulation into a long-running
+correctness stressor (that is how the integration test suite uses it).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.anonymizer import PrivacyProfile
+from repro.errors import ProfileUnsatisfiableError
+from repro.geometry import Rect
+from repro.mobility import NetworkGenerator, synthetic_county_map
+from repro.server import Casper, TransmissionModel
+from repro.utils.rng import SeedLike, ensure_rng, spawn_rngs
+from repro.workloads import uniform_points, uniform_profiles
+
+__all__ = ["SimulationConfig", "TickReport", "SimulationReport", "CitySimulation"]
+
+UNIT = Rect(0.0, 0.0, 1.0, 1.0)
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """All knobs of a city simulation run."""
+
+    num_users: int = 1_000
+    num_targets: int = 500
+    pyramid_height: int = 8
+    anonymizer: str = "adaptive"
+    k_range: tuple[int, int] = (1, 50)
+    a_min_fraction_range: tuple[float, float] = (0.00005, 0.0001)
+    queries_per_tick: int = 20
+    #: Relative weights of (private NN over public, private NN over
+    #: private, private range over public) in the query mix.
+    query_mix: tuple[float, float, float] = (0.6, 0.25, 0.15)
+    range_radius: float = 0.05
+    num_filters: int = 4
+    dt: float = 1.0
+    seed: SeedLike = 0
+    audit_sample: int = 3  # oracle-checked queries per tick (0 disables)
+    #: Expected user arrivals and departures per tick (population churn;
+    #: 0 keeps the population fixed).
+    arrivals_per_tick: float = 0.0
+    departures_per_tick: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.num_users < 1 or self.num_targets < 1:
+            raise ValueError("num_users and num_targets must be positive")
+        if self.queries_per_tick < 0 or self.audit_sample < 0:
+            raise ValueError("queries_per_tick and audit_sample must be >= 0")
+        if len(self.query_mix) != 3 or sum(self.query_mix) <= 0:
+            raise ValueError("query_mix must be three non-negative weights")
+        if self.arrivals_per_tick < 0 or self.departures_per_tick < 0:
+            raise ValueError("churn rates must be >= 0")
+
+
+@dataclass
+class TickReport:
+    """Metrics of one simulation tick."""
+
+    tick: int
+    num_updates: int
+    update_seconds: float
+    arrivals: int = 0
+    departures: int = 0
+    queries: int = 0
+    unsatisfiable: int = 0
+    candidate_total: int = 0
+    anonymizer_seconds: float = 0.0
+    processing_seconds: float = 0.0
+    transmission_seconds: float = 0.0
+    audits_passed: int = 0
+    audits_failed: int = 0
+
+    @property
+    def avg_candidates(self) -> float:
+        return self.candidate_total / self.queries if self.queries else 0.0
+
+    @property
+    def avg_end_to_end_seconds(self) -> float:
+        if not self.queries:
+            return 0.0
+        return (
+            self.anonymizer_seconds
+            + self.processing_seconds
+            + self.transmission_seconds
+        ) / self.queries
+
+
+@dataclass
+class SimulationReport:
+    """The whole run's tick reports plus convenient aggregates."""
+
+    config: SimulationConfig
+    ticks: list[TickReport] = field(default_factory=list)
+
+    @property
+    def total_queries(self) -> int:
+        return sum(t.queries for t in self.ticks)
+
+    @property
+    def total_audits_failed(self) -> int:
+        return sum(t.audits_failed for t in self.ticks)
+
+    @property
+    def avg_candidates(self) -> float:
+        total = sum(t.candidate_total for t in self.ticks)
+        return total / self.total_queries if self.total_queries else 0.0
+
+    def summary(self) -> str:
+        lines = [
+            f"city simulation: {self.config.num_users} users, "
+            f"{self.config.num_targets} targets, "
+            f"{len(self.ticks)} ticks, {self.config.anonymizer} anonymizer",
+            f"queries answered : {self.total_queries} "
+            f"(+{sum(t.unsatisfiable for t in self.ticks)} unsatisfiable)",
+            f"avg candidates   : {self.avg_candidates:.1f}",
+            f"audits           : "
+            f"{sum(t.audits_passed for t in self.ticks)} passed, "
+            f"{self.total_audits_failed} failed",
+        ]
+        return "\n".join(lines)
+
+
+class CitySimulation:
+    """Build and drive a full Casper deployment from a config."""
+
+    def __init__(self, config: SimulationConfig) -> None:
+        self.config = config
+        map_rng, gen_rng, profile_rng, target_rng, self._rng = spawn_rngs(
+            config.seed, 5
+        )
+        network = synthetic_county_map(seed=map_rng, bounds=UNIT)
+        self.generator = NetworkGenerator(network, config.num_users, seed=gen_rng)
+        self.casper = Casper(
+            UNIT,
+            pyramid_height=config.pyramid_height,
+            anonymizer=config.anonymizer,
+            transmission=TransmissionModel(),
+        )
+        self.targets = uniform_points(config.num_targets, UNIT, seed=target_rng)
+        self.casper.add_public_targets(self.targets)
+        self.profiles = uniform_profiles(
+            config.num_users,
+            UNIT,
+            k_range=config.k_range,
+            a_min_fraction_range=config.a_min_fraction_range,
+            seed=profile_rng,
+        )
+        self._profile_of: dict[int, PrivacyProfile] = dict(enumerate(self.profiles))
+        for uid, point in sorted(self.generator.positions().items()):
+            self.casper.register_user(uid, point, self._profile_of[uid])
+        self._tick = 0
+
+    @property
+    def active_users(self) -> list[int]:
+        """Currently registered uids (changes under churn)."""
+        return sorted(self.generator.objects)
+
+    def _sample_profile(self) -> PrivacyProfile:
+        k_lo, k_hi = self.config.k_range
+        f_lo, f_hi = self.config.a_min_fraction_range
+        return PrivacyProfile(
+            k=int(self._rng.integers(k_lo, k_hi + 1)),
+            a_min=float(self._rng.uniform(f_lo, f_hi)) * UNIT.area,
+        )
+
+    def _apply_churn(self, report: TickReport) -> None:
+        config = self.config
+        if config.arrivals_per_tick > 0:
+            for _ in range(int(self._rng.poisson(config.arrivals_per_tick))):
+                uid = self.generator.add_object()
+                profile = self._sample_profile()
+                self._profile_of[uid] = profile
+                self.casper.register_user(
+                    uid, self.generator.position_of(uid), profile
+                )
+                report.arrivals += 1
+        if config.departures_per_tick > 0:
+            active = self.active_users
+            leavers = int(self._rng.poisson(config.departures_per_tick))
+            for _ in range(min(leavers, max(len(active) - 10, 0))):
+                active = self.active_users
+                uid = int(self._rng.choice(active))
+                self.generator.remove_object(uid)
+                self.casper.remove_user(uid)
+                del self._profile_of[uid]
+                report.departures += 1
+
+    # ------------------------------------------------------------------
+    # Driving
+    # ------------------------------------------------------------------
+    def step(self) -> TickReport:
+        """Advance one tick: move everyone, run the query mix, audit."""
+        config = self.config
+        start = time.perf_counter()
+        updates = self.generator.step(config.dt)
+        for update in updates:
+            self.casper.update_location(update.uid, update.point)
+        report = TickReport(
+            tick=self._tick,
+            num_updates=len(updates),
+            update_seconds=time.perf_counter() - start,
+        )
+        self._tick += 1
+        self._apply_churn(report)
+
+        active = self.active_users
+        weights = list(config.query_mix)
+        total_weight = sum(weights)
+        probabilities = [w / total_weight for w in weights]
+        for _ in range(config.queries_per_tick):
+            uid = int(self._rng.choice(active))
+            kind = self._rng.choice(3, p=probabilities)
+            try:
+                if kind == 0:
+                    result = self.casper.query_nearest_public(
+                        uid, config.num_filters
+                    )
+                elif kind == 1:
+                    result = self.casper.query_nearest_private(
+                        uid, config.num_filters
+                    )
+                else:
+                    result = self.casper.query_range_public(
+                        uid, config.range_radius
+                    )
+            except ProfileUnsatisfiableError:
+                report.unsatisfiable += 1
+                continue
+            report.queries += 1
+            report.candidate_total += result.candidate_count
+            report.anonymizer_seconds += result.anonymizer_seconds
+            report.processing_seconds += result.processing_seconds
+            report.transmission_seconds += result.transmission_seconds
+
+        for _ in range(config.audit_sample):
+            if self._audit_one():
+                report.audits_passed += 1
+            else:
+                report.audits_failed += 1
+        return report
+
+    def run(self, ticks: int) -> SimulationReport:
+        """Run ``ticks`` steps and collect the report."""
+        if ticks < 0:
+            raise ValueError("ticks must be non-negative")
+        report = SimulationReport(config=self.config)
+        for _ in range(ticks):
+            report.ticks.append(self.step())
+        return report
+
+    # ------------------------------------------------------------------
+    # Auditing
+    # ------------------------------------------------------------------
+    def _audit_one(self) -> bool:
+        """Answer one NN query and verify exactness against the oracle."""
+        uid = int(self._rng.choice(self.active_users))
+        try:
+            result = self.casper.query_nearest_public(uid, self.config.num_filters)
+        except ProfileUnsatisfiableError:
+            return True  # nothing to audit
+        user = self.casper.anonymizer.location_of(uid)
+        best_distance = min(
+            p.distance_to(user) for p in self.targets.values()
+        )
+        answered = self.targets[result.answer].distance_to(user)
+        return abs(answered - best_distance) <= 1e-9

@@ -1,0 +1,150 @@
+"""Uniform grid index.
+
+A fixed ``n x n`` bucket grid over a bounded service area.  Rect entries
+are registered in every bucket they overlap; nearest-neighbor search
+expands outward ring by ring from the query point's bucket, which is the
+classic structure used by scalable location servers (SINA-style shared
+grids) and matches the pyramid's lowest level used by the anonymizer.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.errors import OutOfBoundsError
+from repro.geometry import Point, Rect
+from repro.spatial.index import SpatialIndex
+
+__all__ = ["GridIndex"]
+
+
+class GridIndex(SpatialIndex):
+    """Bucketed uniform grid over ``bounds`` with ``resolution**2`` cells."""
+
+    def __init__(self, bounds: Rect, resolution: int = 64) -> None:
+        super().__init__()
+        if resolution < 1:
+            raise ValueError("resolution must be at least 1")
+        if bounds.area <= 0:
+            raise ValueError("bounds must have positive area")
+        self.bounds = bounds
+        self.resolution = resolution
+        self._cell_w = bounds.width / resolution
+        self._cell_h = bounds.height / resolution
+        self._buckets: dict[tuple[int, int], set[object]] = {}
+
+    # ------------------------------------------------------------------
+    # Cell arithmetic
+    # ------------------------------------------------------------------
+    def _clamp_index(self, ix: int, iy: int) -> tuple[int, int]:
+        return (
+            min(max(ix, 0), self.resolution - 1),
+            min(max(iy, 0), self.resolution - 1),
+        )
+
+    def cell_of_point(self, p: Point) -> tuple[int, int]:
+        """Bucket coordinates containing ``p`` (clamped to the border)."""
+        if not self.bounds.contains_point(p, tol=1e-9):
+            raise OutOfBoundsError(f"point {p} outside grid bounds {self.bounds}")
+        ix = int((p.x - self.bounds.x_min) / self._cell_w)
+        iy = int((p.y - self.bounds.y_min) / self._cell_h)
+        return self._clamp_index(ix, iy)
+
+    def _cells_of_rect(self, rect: Rect) -> list[tuple[int, int]]:
+        ix0 = int((rect.x_min - self.bounds.x_min) / self._cell_w)
+        iy0 = int((rect.y_min - self.bounds.y_min) / self._cell_h)
+        ix1 = int((rect.x_max - self.bounds.x_min) / self._cell_w)
+        iy1 = int((rect.y_max - self.bounds.y_min) / self._cell_h)
+        ix0, iy0 = self._clamp_index(ix0, iy0)
+        ix1, iy1 = self._clamp_index(ix1, iy1)
+        return [
+            (ix, iy) for ix in range(ix0, ix1 + 1) for iy in range(iy0, iy1 + 1)
+        ]
+
+    def cell_rect(self, ix: int, iy: int) -> Rect:
+        """The spatial extent of bucket ``(ix, iy)``."""
+        x0 = self.bounds.x_min + ix * self._cell_w
+        y0 = self.bounds.y_min + iy * self._cell_h
+        return Rect(x0, y0, x0 + self._cell_w, y0 + self._cell_h)
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def _insert_impl(self, oid: object, rect: Rect) -> None:
+        for cell in self._cells_of_rect(rect):
+            self._buckets.setdefault(cell, set()).add(oid)
+
+    def _remove_impl(self, oid: object, rect: Rect) -> None:
+        for cell in self._cells_of_rect(rect):
+            bucket = self._buckets.get(cell)
+            if bucket is not None:
+                bucket.discard(oid)
+                if not bucket:
+                    del self._buckets[cell]
+
+    def _clear_impl(self) -> None:
+        self._buckets.clear()
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def _range_impl(self, region: Rect) -> list[object]:
+        seen: set[object] = set()
+        for cell in self._cells_of_rect(region):
+            for oid in self._buckets.get(cell, ()):
+                if oid not in seen and self._entries[oid].intersects(region):
+                    seen.add(oid)
+        return list(seen)
+
+    def _k_nearest_impl(self, point: Point, k: int) -> list[object]:
+        # Expand outward ring by ring; a candidate found at ring r is only
+        # confirmed once the ring's guaranteed minimum distance exceeds
+        # the candidate's distance.
+        p = Point(
+            min(max(point.x, self.bounds.x_min), self.bounds.x_max),
+            min(max(point.y, self.bounds.y_min), self.bounds.y_max),
+        )
+        cx, cy = self.cell_of_point(p)
+        best: list[tuple[float, int, object]] = []  # max-heap via negation
+        seen: set[object] = set()
+        tie = 0
+        max_ring = self.resolution  # worst case covers the whole grid
+
+        for ring in range(0, max_ring + 1):
+            # Distance below which nothing outside the scanned square can
+            # lie: (ring) cell widths from the query cell's border.
+            if len(best) == k:
+                guaranteed = (ring - 1) * min(self._cell_w, self._cell_h)
+                if -best[0][0] <= guaranteed:
+                    break
+            for ix, iy in self._ring_cells(cx, cy, ring):
+                for oid in self._buckets.get((ix, iy), ()):
+                    if oid in seen:
+                        continue
+                    seen.add(oid)
+                    dist = self._entries[oid].min_distance_to_point(point)
+                    if len(best) < k:
+                        heapq.heappush(best, (-dist, tie, oid))
+                        tie += 1
+                    elif dist < -best[0][0]:
+                        heapq.heapreplace(best, (-dist, tie, oid))
+                        tie += 1
+        ordered = sorted(best, key=lambda item: -item[0])
+        return [oid for _neg, _tie, oid in ordered]
+
+    def _ring_cells(self, cx: int, cy: int, ring: int):
+        """Bucket coordinates at Chebyshev distance ``ring`` from (cx, cy)."""
+        if ring == 0:
+            if 0 <= cx < self.resolution and 0 <= cy < self.resolution:
+                yield (cx, cy)
+            return
+        lo_x, hi_x = cx - ring, cx + ring
+        lo_y, hi_y = cy - ring, cy + ring
+        for ix in range(lo_x, hi_x + 1):
+            for iy in (lo_y, hi_y):
+                if 0 <= ix < self.resolution and 0 <= iy < self.resolution:
+                    yield (ix, iy)
+        for iy in range(lo_y + 1, hi_y):
+            for ix in (lo_x, hi_x):
+                if 0 <= ix < self.resolution and 0 <= iy < self.resolution:
+                    yield (ix, iy)

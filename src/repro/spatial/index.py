@@ -1,0 +1,148 @@
+"""The ``SpatialIndex`` contract shared by every index implementation.
+
+The privacy-aware query processor (Section 5) is explicitly independent of
+the underlying nearest-neighbor and range algorithms — "it can be employed
+using R-tree or any other methods".  We honour that by programming the
+processor against this abstract interface and providing four concrete
+implementations: an R-tree, a uniform grid, a PR quadtree and a
+brute-force reference.
+
+Indexed entries are ``(oid, Rect)`` pairs.  Point data (public targets)
+is stored as degenerate rectangles, so public and private (cloaked)
+targets flow through the identical machinery.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Iterator
+
+from repro.errors import EmptyDatasetError
+from repro.geometry import Point, Rect
+
+__all__ = ["SpatialIndex"]
+
+
+class SpatialIndex(abc.ABC):
+    """Abstract dynamic spatial index over ``(oid, Rect)`` entries.
+
+    Implementations must keep :attr:`_entries` (oid -> Rect) up to date;
+    the base class supplies bookkeeping, validation, and generic
+    (non-accelerated) fallbacks that subclasses override when they can do
+    better.
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict[object, Rect] = {}
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def insert(self, oid: object, rect: Rect) -> None:
+        """Add an entry; replaces any existing entry with the same oid."""
+        if oid in self._entries:
+            self.remove(oid)
+        self._entries[oid] = rect
+        try:
+            self._insert_impl(oid, rect)
+        except Exception:
+            del self._entries[oid]
+            raise
+
+    def insert_point(self, oid: object, point: Point) -> None:
+        """Convenience: add a point entry as a degenerate rectangle."""
+        self.insert(oid, Rect.point(point))
+
+    def remove(self, oid: object) -> None:
+        """Remove an entry; raises ``KeyError`` for unknown oids."""
+        rect = self._entries.pop(oid)
+        self._remove_impl(oid, rect)
+
+    def bulk_load(self, entries: dict[object, Rect]) -> None:
+        """Replace the index contents with ``entries`` in one pass.
+
+        The default implementation just inserts sequentially; indexes with
+        a packing algorithm (STR for the R-tree) override it.
+        """
+        self.clear()
+        for oid, rect in entries.items():
+            self.insert(oid, rect)
+
+    def clear(self) -> None:
+        """Drop all entries."""
+        self._entries.clear()
+        self._clear_impl()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, oid: object) -> bool:
+        return oid in self._entries
+
+    def rect_of(self, oid: object) -> Rect:
+        """The stored rectangle of ``oid``."""
+        return self._entries[oid]
+
+    def items(self) -> Iterator[tuple[object, Rect]]:
+        """Iterate over all ``(oid, rect)`` entries."""
+        return iter(self._entries.items())
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def range_search(self, region: Rect) -> list[object]:
+        """All oids whose rectangle intersects the closed ``region``."""
+        return self._range_impl(region)
+
+    def nearest(self, point: Point) -> object:
+        """The oid minimising min-distance from ``point`` to its rect.
+
+        Ties are broken arbitrarily; raises :class:`EmptyDatasetError`
+        when the index is empty.
+        """
+        result = self.k_nearest(point, 1)
+        return result[0]
+
+    def k_nearest(self, point: Point, k: int) -> list[object]:
+        """The ``k`` entries with smallest min-distance, nearest first."""
+        if not self._entries:
+            raise EmptyDatasetError("spatial index is empty")
+        if k <= 0:
+            raise ValueError("k must be positive")
+        return self._k_nearest_impl(point, min(k, len(self._entries)))
+
+    def nearest_by_max_distance(self, point: Point) -> object:
+        """The oid minimising the *max*-distance from ``point`` to its rect.
+
+        This is the pessimistic nearest-neighbor used by the filter step of
+        private queries over private data (Section 5.2.1): the candidate
+        whose farthest corner is closest.  Subclasses may override with a
+        branch-and-bound version; the fallback is a linear scan.
+        """
+        if not self._entries:
+            raise EmptyDatasetError("spatial index is empty")
+        return min(
+            self._entries.items(),
+            key=lambda item: item[1].max_distance_to_point(point),
+        )[0]
+
+    # ------------------------------------------------------------------
+    # Implementation hooks
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def _insert_impl(self, oid: object, rect: Rect) -> None: ...
+
+    @abc.abstractmethod
+    def _remove_impl(self, oid: object, rect: Rect) -> None: ...
+
+    @abc.abstractmethod
+    def _clear_impl(self) -> None: ...
+
+    @abc.abstractmethod
+    def _range_impl(self, region: Rect) -> list[object]: ...
+
+    @abc.abstractmethod
+    def _k_nearest_impl(self, point: Point, k: int) -> list[object]: ...

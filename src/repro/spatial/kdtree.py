@@ -1,0 +1,174 @@
+"""A bulk-built kd-tree index for point data.
+
+A fourth interchangeable index behind the privacy-aware query processor.
+The kd-tree stores *points* only (degenerate rectangles); attempting to
+index a true rectangle raises, which keeps the structure honest instead
+of silently degrading.  Mutations are handled with a logarithmic-ish
+rebuild schedule: deletions tombstone, insertions go to a small overflow
+buffer, and the tree rebuilds itself when either grows past a fraction
+of the indexed size — the classic "static structure + amortized
+rebuild" design.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.geometry import Point, Rect
+from repro.spatial.index import SpatialIndex
+
+__all__ = ["KDTreeIndex"]
+
+
+class _KDNode:
+    __slots__ = ("oid", "point", "axis", "left", "right")
+
+    def __init__(self, oid: object, point: Point, axis: int) -> None:
+        self.oid = oid
+        self.point = point
+        self.axis = axis
+        self.left: _KDNode | None = None
+        self.right: _KDNode | None = None
+
+
+class KDTreeIndex(SpatialIndex):
+    """Point kd-tree with amortized rebuilds.
+
+    ``rebuild_fraction`` controls how much churn (overflow inserts +
+    tombstoned deletes, as a fraction of the tree size) is tolerated
+    before a full rebuild.
+    """
+
+    def __init__(self, rebuild_fraction: float = 0.25) -> None:
+        super().__init__()
+        if not 0.0 < rebuild_fraction <= 1.0:
+            raise ValueError("rebuild_fraction must be in (0, 1]")
+        self.rebuild_fraction = rebuild_fraction
+        self._root: _KDNode | None = None
+        self._tombstones: set[object] = set()
+        self._overflow: dict[object, Point] = {}
+        self._tree_size = 0
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def _clear_impl(self) -> None:
+        self._root = None
+        self._tombstones.clear()
+        self._overflow.clear()
+        self._tree_size = 0
+
+    def _insert_impl(self, oid: object, rect: Rect) -> None:
+        if rect.width > 0 or rect.height > 0:
+            raise ValueError("KDTreeIndex stores points only")
+        self._overflow[oid] = rect.center
+        self._maybe_rebuild()
+
+    def _remove_impl(self, oid: object, rect: Rect) -> None:
+        if oid in self._overflow:
+            del self._overflow[oid]
+            return
+        self._tombstones.add(oid)
+        self._maybe_rebuild()
+
+    def bulk_load(self, entries: dict[object, Rect]) -> None:
+        self.clear()
+        for oid, rect in entries.items():
+            if rect.width > 0 or rect.height > 0:
+                raise ValueError("KDTreeIndex stores points only")
+        self._entries.update(entries)
+        self._rebuild()
+
+    def _maybe_rebuild(self) -> None:
+        churn = len(self._overflow) + len(self._tombstones)
+        if churn > max(8, self.rebuild_fraction * max(self._tree_size, 1)):
+            self._rebuild()
+
+    def _rebuild(self) -> None:
+        items = [(oid, rect.center) for oid, rect in self._entries.items()]
+        self._root = self._build(items, 0)
+        self._tree_size = len(items)
+        self._tombstones.clear()
+        self._overflow.clear()
+
+    def _build(self, items: list[tuple[object, Point]], axis: int) -> _KDNode | None:
+        if not items:
+            return None
+        items.sort(key=lambda it: (it[1].x if axis == 0 else it[1].y))
+        mid = len(items) // 2
+        oid, point = items[mid]
+        node = _KDNode(oid, point, axis)
+        node.left = self._build(items[:mid], 1 - axis)
+        node.right = self._build(items[mid + 1 :], 1 - axis)
+        return node
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def _live(self, oid: object) -> bool:
+        return oid not in self._tombstones
+
+    def _range_impl(self, region: Rect) -> list[object]:
+        result = [
+            oid
+            for oid, point in self._overflow.items()
+            if region.contains_point(point)
+        ]
+        if self._root is None:
+            return result
+        stack: list[tuple[_KDNode, float, float, float, float]] = [
+            (self._root, float("-inf"), float("-inf"), float("inf"), float("inf"))
+        ]
+        while stack:
+            node, x0, y0, x1, y1 = stack.pop()
+            if x0 > region.x_max or x1 < region.x_min:
+                continue
+            if y0 > region.y_max or y1 < region.y_min:
+                continue
+            if self._live(node.oid) and region.contains_point(node.point):
+                result.append(node.oid)
+            if node.axis == 0:
+                if node.left is not None:
+                    stack.append((node.left, x0, y0, node.point.x, y1))
+                if node.right is not None:
+                    stack.append((node.right, node.point.x, y0, x1, y1))
+            else:
+                if node.left is not None:
+                    stack.append((node.left, x0, y0, x1, node.point.y))
+                if node.right is not None:
+                    stack.append((node.right, x0, node.point.y, x1, y1))
+        return result
+
+    def _k_nearest_impl(self, point: Point, k: int) -> list[object]:
+        best: list[tuple[float, int, object]] = []  # max-heap by -distance
+        tie = 0
+
+        def consider(oid: object, p: Point) -> None:
+            nonlocal tie
+            dist = p.distance_to(point)
+            if len(best) < k:
+                heapq.heappush(best, (-dist, tie, oid))
+            elif dist < -best[0][0]:
+                heapq.heapreplace(best, (-dist, tie, oid))
+            tie += 1
+
+        def visit(node: _KDNode | None) -> None:
+            if node is None:
+                return
+            if self._live(node.oid):
+                consider(node.oid, node.point)
+            coord = point.x if node.axis == 0 else point.y
+            split = node.point.x if node.axis == 0 else node.point.y
+            near, far = (
+                (node.left, node.right) if coord < split else (node.right, node.left)
+            )
+            visit(near)
+            plane_dist = abs(coord - split)
+            if len(best) < k or plane_dist < -best[0][0]:
+                visit(far)
+
+        visit(self._root)
+        for oid, p in self._overflow.items():
+            consider(oid, p)
+        ordered = sorted(best, key=lambda item: -item[0])
+        return [oid for _neg, _tie, oid in ordered]

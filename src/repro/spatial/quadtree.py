@@ -1,0 +1,168 @@
+"""A point-region (PR) quadtree index.
+
+The quadtree recursively quarters the bounded service area until each
+leaf holds at most ``leaf_capacity`` entries.  It is included both as a
+third index behind the privacy-aware query processor (the paper's claim
+of index independence is benchmarked across R-tree / grid / quadtree) and
+because its subdivision discipline mirrors the pyramid structure of the
+location anonymizer.
+
+Rect entries are stored in the smallest node that fully contains them
+(the classic MX-CIF placement), so cloaked private targets index cleanly.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+
+from repro.errors import OutOfBoundsError
+from repro.geometry import Point, Rect
+from repro.spatial.index import SpatialIndex
+
+__all__ = ["QuadTreeIndex"]
+
+
+class _QNode:
+    __slots__ = ("rect", "entries", "children", "depth")
+
+    def __init__(self, rect: Rect, depth: int) -> None:
+        self.rect = rect
+        self.entries: list[tuple[object, Rect]] = []
+        self.children: list[_QNode] | None = None
+        self.depth = depth
+
+    def quadrants(self) -> tuple[Rect, Rect, Rect, Rect]:
+        cx, cy = self.rect.center.x, self.rect.center.y
+        r = self.rect
+        return (
+            Rect(r.x_min, cy, cx, r.y_max),  # NW
+            Rect(cx, cy, r.x_max, r.y_max),  # NE
+            Rect(r.x_min, r.y_min, cx, cy),  # SW
+            Rect(cx, r.y_min, r.x_max, cy),  # SE
+        )
+
+
+class QuadTreeIndex(SpatialIndex):
+    """MX-CIF quadtree over a bounded area."""
+
+    def __init__(
+        self, bounds: Rect, leaf_capacity: int = 8, max_depth: int = 16
+    ) -> None:
+        super().__init__()
+        if bounds.area <= 0:
+            raise ValueError("bounds must have positive area")
+        if leaf_capacity < 1 or max_depth < 1:
+            raise ValueError("leaf_capacity and max_depth must be positive")
+        self.bounds = bounds
+        self.leaf_capacity = leaf_capacity
+        self.max_depth = max_depth
+        self._root = _QNode(bounds, 0)
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def _clear_impl(self) -> None:
+        self._root = _QNode(self.bounds, 0)
+
+    def _insert_impl(self, oid: object, rect: Rect) -> None:
+        if not self.bounds.contains_rect(rect, tol=1e-9):
+            raise OutOfBoundsError(f"rect {rect} outside quadtree bounds")
+        self._insert_into(self._root, oid, rect)
+
+    def _insert_into(self, node: _QNode, oid: object, rect: Rect) -> None:
+        while True:
+            if node.children is not None:
+                child = self._child_containing(node, rect)
+                if child is None:
+                    node.entries.append((oid, rect))
+                    return
+                node = child
+                continue
+            node.entries.append((oid, rect))
+            if (
+                len(node.entries) > self.leaf_capacity
+                and node.depth < self.max_depth
+            ):
+                self._subdivide(node)
+            return
+
+    def _child_containing(self, node: _QNode, rect: Rect) -> "_QNode | None":
+        for child in node.children:
+            if child.rect.contains_rect(rect, tol=0.0):
+                return child
+        return None
+
+    def _subdivide(self, node: _QNode) -> None:
+        node.children = [
+            _QNode(q, node.depth + 1) for q in node.quadrants()
+        ]
+        staying: list[tuple[object, Rect]] = []
+        for oid, rect in node.entries:
+            child = self._child_containing(node, rect)
+            if child is None:
+                staying.append((oid, rect))
+            else:
+                self._insert_into(child, oid, rect)
+        node.entries = staying
+
+    def _remove_impl(self, oid: object, rect: Rect) -> None:
+        node = self._root
+        while True:
+            for idx, (eid, _erect) in enumerate(node.entries):
+                if eid == oid:
+                    node.entries.pop(idx)
+                    return
+            if node.children is None:
+                raise KeyError(oid)
+            child = self._child_containing(node, rect)
+            if child is None:
+                raise KeyError(oid)
+            node = child
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def _range_impl(self, region: Rect) -> list[object]:
+        result: list[object] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if not node.rect.intersects(region):
+                continue
+            result.extend(
+                oid for oid, rect in node.entries if rect.intersects(region)
+            )
+            if node.children is not None:
+                stack.extend(node.children)
+        return result
+
+    def _k_nearest_impl(self, point: Point, k: int) -> list[object]:
+        counter = itertools.count()
+        heap: list[tuple[float, int, bool, object]] = [
+            (0.0, next(counter), False, self._root)
+        ]
+        result: list[object] = []
+        while heap and len(result) < k:
+            _dist, _tie, is_entry, payload = heapq.heappop(heap)
+            if is_entry:
+                result.append(payload)
+                continue
+            node: _QNode = payload
+            for oid, rect in node.entries:
+                heapq.heappush(
+                    heap,
+                    (rect.min_distance_to_point(point), next(counter), True, oid),
+                )
+            if node.children is not None:
+                for child in node.children:
+                    heapq.heappush(
+                        heap,
+                        (
+                            child.rect.min_distance_to_point(point),
+                            next(counter),
+                            False,
+                            child,
+                        ),
+                    )
+        return result

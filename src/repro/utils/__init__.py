@@ -1,0 +1,22 @@
+"""Shared infrastructure: seeded RNG plumbing, timers, unit helpers."""
+
+from repro.utils.rng import SeedLike, ensure_rng, spawn_rngs
+from repro.utils.timer import Accumulator, Stopwatch
+from repro.utils.units import (
+    MBPS,
+    format_count,
+    format_seconds,
+    transmission_seconds,
+)
+
+__all__ = [
+    "SeedLike",
+    "ensure_rng",
+    "spawn_rngs",
+    "Accumulator",
+    "Stopwatch",
+    "MBPS",
+    "format_count",
+    "format_seconds",
+    "transmission_seconds",
+]

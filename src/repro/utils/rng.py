@@ -1,0 +1,39 @@
+"""Seeded randomness helpers.
+
+All stochastic components in the reproduction (workload generation, the
+moving-object generator, profile sampling) accept either an integer seed
+or a ready ``numpy.random.Generator``.  Routing everything through
+:func:`ensure_rng` keeps experiments deterministic and lets tests inject
+fixed generators.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ensure_rng", "spawn_rngs", "SeedLike"]
+
+SeedLike = int | np.random.Generator | None
+
+
+def ensure_rng(seed: SeedLike) -> np.random.Generator:
+    """Return a ``numpy.random.Generator`` for any accepted seed form.
+
+    ``None`` yields an OS-seeded generator (non-deterministic); an int
+    yields a deterministic PCG64 stream; an existing generator is passed
+    through unchanged.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: SeedLike, count: int) -> list[np.random.Generator]:
+    """Derive ``count`` independent child generators from one seed.
+
+    Experiments that run several stochastic components (e.g. a user
+    population and a target workload) use separate child streams so that
+    changing the size of one component does not perturb the other.
+    """
+    root = ensure_rng(seed)
+    return [np.random.default_rng(s) for s in root.bit_generator.seed_seq.spawn(count)]

@@ -1,0 +1,70 @@
+"""Lightweight wall-clock instrumentation for the evaluation harness."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["Stopwatch", "Accumulator"]
+
+
+class Stopwatch:
+    """A context manager measuring elapsed ``perf_counter`` seconds.
+
+    Usage::
+
+        with Stopwatch() as sw:
+            work()
+        print(sw.elapsed)
+    """
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self._start = 0.0
+
+    def __enter__(self) -> "Stopwatch":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.elapsed = time.perf_counter() - self._start
+
+
+@dataclass
+class Accumulator:
+    """Streaming mean/min/max/total over a sequence of observations.
+
+    The experiment runners record one observation per query or per update
+    and report means, exactly as the paper's per-request averages.
+    """
+
+    count: int = 0
+    total: float = 0.0
+    minimum: float = field(default=float("inf"))
+    maximum: float = field(default=float("-inf"))
+
+    def add(self, value: float) -> None:
+        """Record one observation."""
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    def extend(self, values) -> None:
+        """Record many observations."""
+        for value in values:
+            self.add(value)
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of the observations (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def merge(self, other: "Accumulator") -> None:
+        """Fold another accumulator's observations into this one."""
+        self.count += other.count
+        self.total += other.total
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)

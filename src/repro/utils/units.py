@@ -1,0 +1,54 @@
+"""Unit helpers: data sizes, bandwidths and human-readable formatting.
+
+The paper's end-to-end experiment (Figure 17) models candidate-list
+transmission as ``records * 64 bytes`` sent over a ``100 Mbps`` channel.
+These helpers keep that arithmetic explicit and testable.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "MBPS",
+    "transmission_seconds",
+    "format_seconds",
+    "format_count",
+]
+
+#: Bits per second in one megabit per second (decimal, as networks use).
+MBPS = 1_000_000.0
+
+
+def transmission_seconds(
+    num_records: int,
+    record_bytes: int = 64,
+    bandwidth_mbps: float = 100.0,
+) -> float:
+    """Seconds to ship ``num_records`` fixed-size records over a channel.
+
+    Defaults are the paper's Figure 17 model: 64-byte records on a
+    100 Mbps link.
+    """
+    if num_records < 0:
+        raise ValueError("num_records must be non-negative")
+    if record_bytes <= 0 or bandwidth_mbps <= 0:
+        raise ValueError("record_bytes and bandwidth_mbps must be positive")
+    bits = num_records * record_bytes * 8
+    return bits / (bandwidth_mbps * MBPS)
+
+
+def format_seconds(seconds: float) -> str:
+    """Render a duration with an adaptive unit (s / ms / us)."""
+    if seconds >= 1.0:
+        return f"{seconds:.3f} s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.3f} ms"
+    return f"{seconds * 1e6:.1f} us"
+
+
+def format_count(value: float) -> str:
+    """Render a count compactly (12.3K style above 10^4)."""
+    if value >= 10_000:
+        return f"{value / 1000.0:.1f}K"
+    if value == int(value):
+        return str(int(value))
+    return f"{value:.2f}"

@@ -1,0 +1,11 @@
+"""SVG visualization of Casper scenes (no external dependencies)."""
+
+from repro.viz.scenes import draw_deployment, draw_pyramid_cut, draw_query_scene
+from repro.viz.svg import SvgCanvas
+
+__all__ = [
+    "SvgCanvas",
+    "draw_deployment",
+    "draw_pyramid_cut",
+    "draw_query_scene",
+]

@@ -1,0 +1,193 @@
+"""SVG rendering of Casper scenes.
+
+Dependency-free SVG output for debugging, teaching and paper-style
+figures: the service area, road network, user population, a cloaked
+region, the extended search area ``A_EXT``, target objects and
+candidate lists — the ingredients of the paper's Figures 4, 5 and 9.
+
+The renderer is deliberately a dumb painter: you add layers in draw
+order and write the file.  Everything is styled through keyword
+overrides so examples can theme themselves.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.geometry import Point, Rect
+from repro.mobility.roadnet import RoadNetwork
+
+__all__ = ["SvgCanvas"]
+
+
+def _escape(text: str) -> str:
+    return (
+        text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    )
+
+
+@dataclass
+class SvgCanvas:
+    """Accumulates SVG elements over a world-coordinate viewport.
+
+    ``world`` is the region of the plane to show; it maps to a
+    ``size x size`` pixel image (aspect preserved via the taller axis).
+    The y axis is flipped so world "up" renders up.
+    """
+
+    world: Rect
+    size: int = 640
+    background: str = "#ffffff"
+    _elements: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.size < 16:
+            raise ValueError("size must be at least 16 pixels")
+        if self.world.area <= 0:
+            raise ValueError("world rect must have positive area")
+        self._scale = self.size / max(self.world.width, self.world.height)
+
+    # ------------------------------------------------------------------
+    # Coordinate mapping
+    # ------------------------------------------------------------------
+    @property
+    def width_px(self) -> int:
+        return round(self.world.width * self._scale)
+
+    @property
+    def height_px(self) -> int:
+        return round(self.world.height * self._scale)
+
+    def _x(self, x: float) -> float:
+        return (x - self.world.x_min) * self._scale
+
+    def _y(self, y: float) -> float:
+        return (self.world.y_max - y) * self._scale  # flip
+
+    # ------------------------------------------------------------------
+    # Layers
+    # ------------------------------------------------------------------
+    def add_rect(
+        self,
+        rect: Rect,
+        fill: str = "none",
+        stroke: str = "#333333",
+        stroke_width: float = 1.0,
+        opacity: float = 1.0,
+        dashed: bool = False,
+    ) -> None:
+        """Draw a world-coordinate rectangle."""
+        dash = ' stroke-dasharray="6,4"' if dashed else ""
+        self._elements.append(
+            f'<rect x="{self._x(rect.x_min):.2f}" y="{self._y(rect.y_max):.2f}" '
+            f'width="{rect.width * self._scale:.2f}" '
+            f'height="{rect.height * self._scale:.2f}" '
+            f'fill="{fill}" stroke="{stroke}" stroke-width="{stroke_width}" '
+            f'opacity="{opacity}"{dash} />'
+        )
+
+    def add_point(
+        self,
+        point: Point,
+        radius: float = 3.0,
+        fill: str = "#1f77b4",
+        stroke: str = "none",
+    ) -> None:
+        """Draw a marker at a world-coordinate point (radius in pixels)."""
+        self._elements.append(
+            f'<circle cx="{self._x(point.x):.2f}" cy="{self._y(point.y):.2f}" '
+            f'r="{radius}" fill="{fill}" stroke="{stroke}" />'
+        )
+
+    def add_points(self, points, **kwargs) -> None:
+        """Draw many markers with shared styling."""
+        for point in points:
+            self.add_point(point, **kwargs)
+
+    def add_line(
+        self,
+        a: Point,
+        b: Point,
+        stroke: str = "#888888",
+        stroke_width: float = 1.0,
+        opacity: float = 1.0,
+    ) -> None:
+        self._elements.append(
+            f'<line x1="{self._x(a.x):.2f}" y1="{self._y(a.y):.2f}" '
+            f'x2="{self._x(b.x):.2f}" y2="{self._y(b.y):.2f}" '
+            f'stroke="{stroke}" stroke-width="{stroke_width}" '
+            f'opacity="{opacity}" />'
+        )
+
+    def add_label(
+        self,
+        point: Point,
+        text: str,
+        font_size: int = 12,
+        fill: str = "#000000",
+    ) -> None:
+        self._elements.append(
+            f'<text x="{self._x(point.x):.2f}" y="{self._y(point.y):.2f}" '
+            f'font-size="{font_size}" font-family="sans-serif" '
+            f'fill="{fill}">{_escape(text)}</text>'
+        )
+
+    def add_road_network(
+        self,
+        network: RoadNetwork,
+        class_styles: dict[str, tuple[str, float]] | None = None,
+    ) -> None:
+        """Draw a road network, styled per road class.
+
+        ``class_styles`` maps road-class name to ``(stroke, width)``;
+        unknown classes fall back to a neutral style.
+        """
+        styles = class_styles or {
+            "highway": ("#d62728", 2.5),
+            "arterial": ("#7f7f7f", 1.4),
+            "local": ("#c7c7c7", 0.8),
+        }
+        for edge in network.edges():
+            stroke, width = styles.get(edge.road_class.name, ("#bbbbbb", 1.0))
+            self.add_line(
+                network.node_position(edge.u),
+                network.node_position(edge.v),
+                stroke=stroke,
+                stroke_width=width,
+            )
+
+    def add_grid(self, divisions: int, stroke: str = "#eeeeee") -> None:
+        """Overlay a uniform grid (e.g. a pyramid level's cells)."""
+        if divisions < 1:
+            raise ValueError("divisions must be >= 1")
+        for i in range(1, divisions):
+            x = self.world.x_min + i * self.world.width / divisions
+            self.add_line(
+                Point(x, self.world.y_min), Point(x, self.world.y_max), stroke=stroke
+            )
+            y = self.world.y_min + i * self.world.height / divisions
+            self.add_line(
+                Point(self.world.x_min, y), Point(self.world.x_max, y), stroke=stroke
+            )
+
+    # ------------------------------------------------------------------
+    # Output
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        """The complete SVG document as a string."""
+        header = (
+            f'<svg xmlns="http://www.w3.org/2000/svg" '
+            f'width="{self.width_px}" height="{self.height_px}" '
+            f'viewBox="0 0 {self.width_px} {self.height_px}">'
+        )
+        bg = (
+            f'<rect x="0" y="0" width="{self.width_px}" '
+            f'height="{self.height_px}" fill="{self.background}" />'
+        )
+        return "\n".join([header, bg, *self._elements, "</svg>"])
+
+    def save(self, path: str | os.PathLike) -> None:
+        """Write the SVG document to ``path``."""
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(self.render())

@@ -1,0 +1,31 @@
+"""Workload generators mirroring Section 6's experimental setup."""
+
+from repro.workloads.profiles import (
+    PAPER_AMIN_FRACTION_RANGE,
+    PAPER_K_GROUPS,
+    PAPER_K_RANGE,
+    profiles_for_k_range,
+    uniform_profiles,
+)
+from repro.workloads.queries import query_regions_of_cells, random_query_points
+from repro.workloads.scenario import Scenario, build_scenario
+from repro.workloads.targets import (
+    cell_region,
+    uniform_points,
+    uniform_private_regions,
+)
+
+__all__ = [
+    "PAPER_AMIN_FRACTION_RANGE",
+    "PAPER_K_GROUPS",
+    "PAPER_K_RANGE",
+    "profiles_for_k_range",
+    "uniform_profiles",
+    "query_regions_of_cells",
+    "random_query_points",
+    "Scenario",
+    "build_scenario",
+    "cell_region",
+    "uniform_points",
+    "uniform_private_regions",
+]

@@ -1,0 +1,77 @@
+"""Privacy-profile workloads.
+
+Section 6.1's default: "a random privacy profile for each user where k
+and A_min are assigned uniformly within the range [1-50] users and
+[.005, .01]% of the space".  Fractions are of the service-area *area*;
+``0.005% = 5e-5``.
+"""
+
+from __future__ import annotations
+
+from repro.anonymizer import PrivacyProfile
+from repro.geometry import Rect
+from repro.utils.rng import SeedLike, ensure_rng
+
+__all__ = [
+    "uniform_profiles",
+    "profiles_for_k_range",
+    "PAPER_K_RANGE",
+    "PAPER_AMIN_FRACTION_RANGE",
+    "PAPER_K_GROUPS",
+]
+
+#: The paper's default k range.
+PAPER_K_RANGE = (1, 50)
+
+#: The paper's default A_min range, as fractions of the space
+#: ([.005%, .01%]).
+PAPER_AMIN_FRACTION_RANGE = (0.00005, 0.0001)
+
+#: The k groups of Figures 10c, 12 and 17 ([1-10] ... [150-200]).
+PAPER_K_GROUPS = (
+    (1, 10),
+    (10, 30),
+    (30, 50),
+    (50, 100),
+    (100, 150),
+    (150, 200),
+)
+
+
+def uniform_profiles(
+    n: int,
+    bounds: Rect,
+    k_range: tuple[int, int] = PAPER_K_RANGE,
+    a_min_fraction_range: tuple[float, float] = PAPER_AMIN_FRACTION_RANGE,
+    seed: SeedLike = 0,
+) -> list[PrivacyProfile]:
+    """``n`` profiles with uniform ``k`` and uniform ``A_min`` fractions."""
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    k_lo, k_hi = k_range
+    if not 1 <= k_lo <= k_hi:
+        raise ValueError("k_range must satisfy 1 <= lo <= hi")
+    f_lo, f_hi = a_min_fraction_range
+    if not 0 <= f_lo <= f_hi:
+        raise ValueError("a_min_fraction_range must satisfy 0 <= lo <= hi")
+    rng = ensure_rng(seed)
+    ks = rng.integers(k_lo, k_hi + 1, n)
+    fractions = rng.uniform(f_lo, f_hi, n)
+    return [
+        PrivacyProfile(k=int(k), a_min=float(f) * bounds.area)
+        for k, f in zip(ks, fractions)
+    ]
+
+
+def profiles_for_k_range(
+    n: int,
+    k_range: tuple[int, int],
+    seed: SeedLike = 0,
+    a_min: float = 0.0,
+) -> list[PrivacyProfile]:
+    """``n`` profiles with ``k`` uniform in ``k_range`` and a fixed
+    ``A_min`` (zero by default, as in the Figure 10c accuracy runs)."""
+    rng = ensure_rng(seed)
+    k_lo, k_hi = k_range
+    ks = rng.integers(k_lo, k_hi + 1, n)
+    return [PrivacyProfile(k=int(k), a_min=a_min) for k in ks]

@@ -1,0 +1,41 @@
+"""Query workloads.
+
+Figures 15 and 16 sweep the *size* of the cloaked query area (4 to 1024
+lowest-level cells) and of the target data regions (4 to 256 cells);
+these helpers produce those regions directly, bypassing the anonymizer,
+so the query-processor experiments isolate processor behaviour exactly
+as the paper's Section 6.2 does.
+"""
+
+from __future__ import annotations
+
+from repro.geometry import Point, Rect
+from repro.utils.rng import SeedLike, ensure_rng
+from repro.workloads.targets import cell_region
+
+__all__ = ["query_regions_of_cells", "random_query_points"]
+
+
+def random_query_points(n: int, bounds: Rect, seed: SeedLike = 0) -> list[Point]:
+    """``n`` uniform query anchor points."""
+    rng = ensure_rng(seed)
+    return [
+        Point(
+            float(rng.uniform(bounds.x_min, bounds.x_max)),
+            float(rng.uniform(bounds.y_min, bounds.y_max)),
+        )
+        for _ in range(n)
+    ]
+
+
+def query_regions_of_cells(
+    n: int,
+    num_cells: float,
+    bounds: Rect,
+    pyramid_height: int = 9,
+    seed: SeedLike = 0,
+) -> list[Rect]:
+    """``n`` cloaked query areas of exactly ``num_cells`` lowest-level
+    pyramid cells, uniformly placed."""
+    anchors = random_query_points(n, bounds, seed)
+    return [cell_region(p, num_cells, bounds, pyramid_height) for p in anchors]

@@ -1,0 +1,81 @@
+"""Target-object workloads.
+
+Section 6's setup: "Target objects are chosen as uniformly distributed
+in the spatial space" for public data, and "private target objects has a
+region of [1-64] cells" — cloaked rectangles whose area is a uniformly
+drawn number of lowest-pyramid-level cells.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.geometry import Point, Rect
+from repro.utils.rng import SeedLike, ensure_rng
+
+__all__ = ["uniform_points", "uniform_private_regions", "cell_region"]
+
+
+def uniform_points(
+    n: int, bounds: Rect, seed: SeedLike = 0
+) -> dict[str, Point]:
+    """``n`` uniform public targets, keyed ``"T1" .. "Tn"`` in the
+    paper's naming style."""
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    rng = ensure_rng(seed)
+    xs = rng.uniform(bounds.x_min, bounds.x_max, n)
+    ys = rng.uniform(bounds.y_min, bounds.y_max, n)
+    return {
+        f"T{i + 1}": Point(float(x), float(y)) for i, (x, y) in enumerate(zip(xs, ys))
+    }
+
+
+def cell_region(
+    center: Point, num_cells: float, bounds: Rect, pyramid_height: int
+) -> Rect:
+    """A square region of ``num_cells`` lowest-level pyramid cells,
+    centred on ``center`` and clipped to ``bounds``.
+
+    One "cell" is a lowest-level cell of a pyramid of the given height,
+    i.e. area ``bounds.area / 4**height`` — the unit the paper uses for
+    "cloaked region of c cells".
+    """
+    if num_cells <= 0:
+        raise ValueError("num_cells must be positive")
+    cell_area = bounds.area / float(4**pyramid_height)
+    side = math.sqrt(num_cells * cell_area)
+    raw = Rect.from_center(center, side, side)
+    # Shift inside the bounds rather than clipping, to preserve the area.
+    dx = max(bounds.x_min - raw.x_min, 0.0) - max(raw.x_max - bounds.x_max, 0.0)
+    dy = max(bounds.y_min - raw.y_min, 0.0) - max(raw.y_max - bounds.y_max, 0.0)
+    shifted = Rect(
+        raw.x_min + dx, raw.y_min + dy, raw.x_max + dx, raw.y_max + dy
+    )
+    return shifted.clipped_to(bounds)
+
+
+def uniform_private_regions(
+    n: int,
+    bounds: Rect,
+    pyramid_height: int = 9,
+    cells_range: tuple[float, float] = (1, 64),
+    seed: SeedLike = 0,
+) -> dict[str, Rect]:
+    """``n`` private targets with cloaked regions of ``[lo, hi]`` cells,
+    uniformly placed, keyed ``"P1" .. "Pn"``."""
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    lo, hi = cells_range
+    if not 0 < lo <= hi:
+        raise ValueError("cells_range must satisfy 0 < lo <= hi")
+    rng = ensure_rng(seed)
+    regions: dict[str, Rect] = {}
+    for i in range(n):
+        center = Point(
+            float(rng.uniform(bounds.x_min, bounds.x_max)),
+            float(rng.uniform(bounds.y_min, bounds.y_max)),
+        )
+        cells = float(rng.uniform(lo, hi))
+        regions[f"P{i + 1}"] = cell_region(center, cells, bounds, pyramid_height)
+    return regions

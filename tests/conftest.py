@@ -1,0 +1,57 @@
+"""Shared fixtures for the Casper reproduction test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.geometry import Point, Rect
+
+# Wall-clock deadlines make property tests flaky on loaded CI machines
+# (the benchmarks may be running concurrently); correctness is what we
+# test, not per-example latency.
+settings.register_profile(
+    "repro",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+UNIT = Rect(0.0, 0.0, 1.0, 1.0)
+
+
+@pytest.fixture
+def unit_square() -> Rect:
+    """The canonical service area used throughout the experiments."""
+    return UNIT
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic RNG; each test gets a fresh stream."""
+    return np.random.default_rng(42)
+
+
+def random_points(rng: np.random.Generator, n: int, bounds: Rect = UNIT) -> list[Point]:
+    """``n`` uniform points inside ``bounds``."""
+    xs = rng.uniform(bounds.x_min, bounds.x_max, n)
+    ys = rng.uniform(bounds.y_min, bounds.y_max, n)
+    return [Point(float(x), float(y)) for x, y in zip(xs, ys)]
+
+
+def random_rects(
+    rng: np.random.Generator,
+    n: int,
+    bounds: Rect = UNIT,
+    max_side: float = 0.1,
+) -> list[Rect]:
+    """``n`` random rectangles fully inside ``bounds``."""
+    rects = []
+    for _ in range(n):
+        w = float(rng.uniform(0.0, max_side))
+        h = float(rng.uniform(0.0, max_side))
+        x = float(rng.uniform(bounds.x_min, bounds.x_max - w))
+        y = float(rng.uniform(bounds.y_min, bounds.y_max - h))
+        rects.append(Rect(x, y, x + w, y + h))
+    return rects

@@ -1,0 +1,231 @@
+"""Tests for the adaptive (incomplete pyramid) location anonymizer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.anonymizer import AdaptiveAnonymizer, CellId, PrivacyProfile
+from repro.errors import DuplicateUserError, ProfileUnsatisfiableError, UnknownUserError
+from repro.geometry import Point, Rect
+from tests.conftest import UNIT, random_points
+
+
+def populated(
+    n: int = 200, height: int = 6, seed: int = 0, k_max: int = 20
+) -> AdaptiveAnonymizer:
+    rng = np.random.default_rng(seed)
+    an = AdaptiveAnonymizer(UNIT, height=height)
+    for i, p in enumerate(random_points(rng, n)):
+        an.register(i, p, PrivacyProfile(k=int(rng.integers(1, k_max))))
+    return an
+
+
+class TestStructureAdaptation:
+    def test_starts_with_root_only(self):
+        an = AdaptiveAnonymizer(UNIT, height=6)
+        assert an.num_maintained_cells == 1
+
+    def test_relaxed_users_deepen_the_pyramid(self):
+        an = AdaptiveAnonymizer(UNIT, height=6)
+        rng = np.random.default_rng(0)
+        for i, p in enumerate(random_points(rng, 200)):
+            an.register(i, p, PrivacyProfile(k=1))
+        # Fully relaxed users are satisfiable at the deepest level, so
+        # the structure must have split substantially.
+        assert an.num_maintained_cells > 50
+        an.check_invariants()
+
+    def test_strict_users_keep_pyramid_shallow(self):
+        an = AdaptiveAnonymizer(UNIT, height=6)
+        rng = np.random.default_rng(1)
+        for i, p in enumerate(random_points(rng, 60)):
+            an.register(i, p, PrivacyProfile(k=50))
+        # k=50 with 60 users: at most one split level makes sense.
+        assert an.num_maintained_cells <= 1 + 4 + 16
+        an.check_invariants()
+
+    def test_strict_users_fewer_cells_than_relaxed(self):
+        rng = np.random.default_rng(2)
+        points = random_points(rng, 300)
+        relaxed = AdaptiveAnonymizer(UNIT, height=7)
+        strict = AdaptiveAnonymizer(UNIT, height=7)
+        for i, p in enumerate(points):
+            relaxed.register(i, p, PrivacyProfile(k=1))
+            strict.register(i, p, PrivacyProfile(k=100))
+        assert strict.num_maintained_cells < relaxed.num_maintained_cells
+
+    def test_merge_on_departures(self):
+        an = AdaptiveAnonymizer(UNIT, height=6)
+        rng = np.random.default_rng(3)
+        points = random_points(rng, 200)
+        for i, p in enumerate(points):
+            an.register(i, p, PrivacyProfile(k=2))
+        grown = an.num_maintained_cells
+        for i in range(190):
+            an.deregister(i)
+        an.check_invariants()
+        assert an.num_maintained_cells < grown
+        assert an.stats.merges > 0
+
+    def test_profile_change_can_trigger_restructure(self):
+        an = AdaptiveAnonymizer(UNIT, height=6)
+        rng = np.random.default_rng(4)
+        points = random_points(rng, 100)
+        # Everyone strict: shallow structure.
+        for i, p in enumerate(points):
+            an.register(i, p, PrivacyProfile(k=90))
+        shallow = an.num_maintained_cells
+        # One user relaxes completely: their region splits down.
+        an.set_profile(0, PrivacyProfile(k=1))
+        an.check_invariants()
+        assert an.num_maintained_cells > shallow
+
+    def test_height_limit_respected(self):
+        an = AdaptiveAnonymizer(UNIT, height=2)
+        rng = np.random.default_rng(5)
+        for i, p in enumerate(random_points(rng, 500)):
+            an.register(i, p, PrivacyProfile(k=1))
+        an.check_invariants()
+        assert all(cell.level <= 2 for cell in an._cells)
+
+
+class TestMaintenance:
+    def test_register_duplicate_raises(self):
+        an = AdaptiveAnonymizer(UNIT, height=4)
+        an.register("u", Point(0.5, 0.5), PrivacyProfile())
+        with pytest.raises(DuplicateUserError):
+            an.register("u", Point(0.5, 0.5), PrivacyProfile())
+
+    def test_unknown_user_raises(self):
+        an = AdaptiveAnonymizer(UNIT, height=4)
+        with pytest.raises(UnknownUserError):
+            an.update("ghost", Point(0.5, 0.5))
+        with pytest.raises(UnknownUserError):
+            an.cloak("ghost")
+        with pytest.raises(UnknownUserError):
+            an.deregister("ghost")
+
+    def test_update_within_leaf_costs_nothing(self):
+        an = AdaptiveAnonymizer(UNIT, height=6)
+        an.register("u", Point(0.1, 0.1), PrivacyProfile(k=10))
+        cost = an.update("u", Point(0.8, 0.8))
+        # Single strict user: the root is the only cell, no counters move.
+        assert cost == 0
+
+    def test_counts_consistent_after_churn(self, rng):
+        an = populated(150, height=6)
+        for step in range(400):
+            uid = int(rng.integers(150))
+            x, y = rng.random(2)
+            an.update(uid, Point(float(x), float(y)))
+            if step % 50 == 0:
+                an.check_invariants()
+        an.check_invariants()
+
+    def test_churn_with_registrations_and_departures(self, rng):
+        an = populated(100, height=6, seed=7)
+        next_uid = 100
+        for step in range(200):
+            roll = rng.random()
+            if roll < 0.2:
+                an.register(
+                    next_uid,
+                    Point(float(rng.random()), float(rng.random())),
+                    PrivacyProfile(k=int(rng.integers(1, 30))),
+                )
+                next_uid += 1
+            elif roll < 0.4 and an.num_users > 10:
+                registered = [u for u in range(next_uid) if u in an]
+                an.deregister(int(rng.choice(registered)))
+            else:
+                registered = [u for u in range(next_uid) if u in an]
+                uid = int(rng.choice(registered))
+                an.update(uid, Point(float(rng.random()), float(rng.random())))
+        an.check_invariants()
+
+    def test_cheaper_updates_than_basic_for_strict_profiles(self):
+        """The headline claim of Section 4.2: with strict profiles the
+        adaptive structure avoids deep counter maintenance."""
+        from repro.anonymizer import BasicAnonymizer
+
+        rng = np.random.default_rng(8)
+        points = random_points(rng, 300)
+        basic = BasicAnonymizer(UNIT, height=8)
+        adaptive = AdaptiveAnonymizer(UNIT, height=8)
+        for i, p in enumerate(points):
+            basic.register(i, p, PrivacyProfile(k=150))
+            adaptive.register(i, p, PrivacyProfile(k=150))
+        basic.stats.reset()
+        adaptive.stats.reset()
+        moves = [
+            (int(rng.integers(300)), Point(float(rng.random()), float(rng.random())))
+            for _ in range(500)
+        ]
+        for uid, p in moves:
+            basic.update(uid, p)
+        for uid, p in moves:
+            adaptive.update(uid, p)
+        assert (
+            adaptive.stats.updates_per_location_update
+            < basic.stats.updates_per_location_update
+        )
+
+
+class TestCloaking:
+    def test_cloak_contains_user_and_satisfies_profile(self):
+        an = populated(300, height=6, seed=9)
+        for uid in range(0, 300, 13):
+            region = an.cloak(uid)
+            profile = an.profile_of(uid)
+            assert region.region.contains_point(an.location_of(uid))
+            assert region.achieved_k >= profile.k
+            assert region.area >= profile.a_min - 1e-12
+
+    def test_achieved_k_matches_true_population(self):
+        an = populated(250, height=6, seed=10)
+        for uid in range(0, 250, 23):
+            region = an.cloak(uid)
+            assert an.users_in_rect(region.region) == region.achieved_k
+
+    def test_cloak_location_unregistered(self):
+        an = populated(300, height=6, seed=11)
+        region = an.cloak_location(Point(0.25, 0.25), PrivacyProfile(k=10))
+        assert region.achieved_k >= 10
+        assert region.region.contains_point(Point(0.25, 0.25))
+
+    def test_unsatisfiable_raises(self):
+        an = AdaptiveAnonymizer(UNIT, height=4)
+        an.register("u1", Point(0.5, 0.5), PrivacyProfile(k=50))
+        with pytest.raises(ProfileUnsatisfiableError):
+            an.cloak("u1")
+
+    def test_cloak_starts_from_maintained_leaf(self):
+        """The adaptive speedup: the cloak's Algorithm 1 starting cell is
+        the maintained leaf, far above the pyramid bottom for strict
+        users."""
+        an = AdaptiveAnonymizer(UNIT, height=8)
+        rng = np.random.default_rng(12)
+        for i, p in enumerate(random_points(rng, 100)):
+            an.register(i, p, PrivacyProfile(k=90))
+        leaf = an.leaf_for_point(an.location_of(0))
+        assert leaf.level < 4  # strict profiles keep the cut shallow
+
+    def test_satisfaction_equivalent_to_basic(self):
+        """Both anonymizers must satisfy the same profiles on the same
+        population (the paper reports identical accuracy)."""
+        from repro.anonymizer import BasicAnonymizer
+
+        rng = np.random.default_rng(13)
+        points = random_points(rng, 200)
+        profiles = [PrivacyProfile(k=int(rng.integers(1, 40))) for _ in points]
+        basic = BasicAnonymizer(UNIT, height=6)
+        adaptive = AdaptiveAnonymizer(UNIT, height=6)
+        for i, p in enumerate(points):
+            basic.register(i, p, profiles[i])
+            adaptive.register(i, p, profiles[i])
+        for uid in range(0, 200, 7):
+            rb = basic.cloak(uid)
+            ra = adaptive.cloak(uid)
+            assert rb.achieved_k >= profiles[uid].k
+            assert ra.achieved_k >= profiles[uid].k

@@ -1,0 +1,82 @@
+"""Tests for the experiment-harness helpers (evaluation.experiments.common)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.anonymizer import AdaptiveAnonymizer, BasicAnonymizer
+from repro.evaluation.experiments.common import (
+    UNIT,
+    cloaked_query_regions,
+    make_anonymizer,
+    register_population,
+    replay_updates,
+    standard_trace,
+    timed_cloaks,
+)
+from repro.workloads import uniform_profiles
+
+
+class TestMakeAnonymizer:
+    def test_kinds(self):
+        assert isinstance(make_anonymizer("basic", 5), BasicAnonymizer)
+        assert isinstance(make_anonymizer("adaptive", 5), AdaptiveAnonymizer)
+        with pytest.raises(ValueError):
+            make_anonymizer("quantum", 5)
+
+
+class TestPopulationHelpers:
+    def test_register_population_resets_stats(self):
+        trace = standard_trace(100, 0, seed=0)
+        profiles = uniform_profiles(100, UNIT, seed=0)
+        anonymizer = make_anonymizer("basic", 6)
+        register_population(anonymizer, trace, profiles)
+        assert anonymizer.num_users == 100
+        assert anonymizer.stats.counter_updates == 0  # reset after load
+        assert anonymizer.stats.location_updates == 0
+
+    def test_replay_updates_applies_all(self):
+        trace = standard_trace(50, 3, seed=1)
+        profiles = uniform_profiles(50, UNIT, seed=1)
+        anonymizer = make_anonymizer("adaptive", 6)
+        register_population(anonymizer, trace, profiles)
+        elapsed = replay_updates(anonymizer, trace)
+        assert elapsed > 0
+        assert anonymizer.stats.location_updates == 150
+        anonymizer.check_invariants()
+
+    def test_timed_cloaks_counts_only_satisfiable(self):
+        trace = standard_trace(30, 0, seed=2)
+        # k far above the population: every cloak raises, timing is 0.
+        from repro.anonymizer import PrivacyProfile
+
+        profiles = [PrivacyProfile(k=1000)] * 30
+        anonymizer = make_anonymizer("basic", 6)
+        register_population(anonymizer, trace, profiles)
+        assert timed_cloaks(anonymizer, range(30)) == 0.0
+
+    def test_timed_cloaks_positive(self):
+        trace = standard_trace(60, 0, seed=3)
+        profiles = uniform_profiles(60, UNIT, k_range=(1, 5), seed=3)
+        anonymizer = make_anonymizer("basic", 6)
+        register_population(anonymizer, trace, profiles)
+        assert timed_cloaks(anonymizer, range(60)) > 0.0
+
+
+class TestQueryRegionHelper:
+    def test_regions_are_valid_cloaks(self):
+        regions = cloaked_query_regions(300, 20, height=6, seed=4)
+        assert len(regions) == 20
+        for region in regions:
+            assert UNIT.contains_rect(region)
+            assert region.area > 0
+
+    def test_deterministic(self):
+        a = cloaked_query_regions(200, 10, height=6, seed=5)
+        b = cloaked_query_regions(200, 10, height=6, seed=5)
+        assert a == b
+
+    def test_k_range_affects_sizes(self):
+        relaxed = cloaked_query_regions(400, 15, height=7, k_range=(1, 3), seed=6)
+        strict = cloaked_query_regions(400, 15, height=7, k_range=(100, 150), seed=6)
+        assert sum(r.area for r in strict) > sum(r.area for r in relaxed)

@@ -1,0 +1,42 @@
+"""Smoke tests for the example scripts.
+
+Every example must at least compile; the fast ones are executed
+end-to-end (their ``main()`` is imported and run) so documentation code
+cannot rot silently.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import py_compile
+import runpy
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+ALL_EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_exist():
+    names = {p.stem for p in ALL_EXAMPLES}
+    assert {
+        "quickstart",
+        "store_finder",
+        "buddy_finder",
+        "traffic_dashboard",
+        "privacy_tradeoff",
+        "continuous_monitor",
+        "privacy_audit",
+    } <= names
+
+
+@pytest.mark.parametrize("path", ALL_EXAMPLES, ids=lambda p: p.stem)
+def test_example_compiles(path: pathlib.Path):
+    py_compile.compile(str(path), doraise=True)
+
+
+@pytest.mark.parametrize("name", ["quickstart", "buddy_finder"])
+def test_fast_examples_run(name: str, capsys):
+    runpy.run_path(str(EXAMPLES_DIR / f"{name}.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert len(out) > 100  # produced a real report

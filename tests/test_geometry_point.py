@@ -1,0 +1,76 @@
+"""Unit tests for repro.geometry.point."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import Point
+
+coords = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+points = st.builds(Point, coords, coords)
+
+
+class TestPointBasics:
+    def test_distance_matches_hypot(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == pytest.approx(5.0)
+
+    def test_distance_to_self_is_zero(self):
+        p = Point(1.5, -2.5)
+        assert p.distance_to(p) == 0.0
+
+    def test_squared_distance(self):
+        assert Point(0, 0).squared_distance_to(Point(3, 4)) == pytest.approx(25.0)
+
+    def test_midpoint(self):
+        assert Point(0, 0).midpoint(Point(2, 4)) == Point(1, 2)
+
+    def test_translated(self):
+        assert Point(1, 1).translated(0.5, -0.5) == Point(1.5, 0.5)
+
+    def test_as_tuple_and_iter(self):
+        p = Point(3.0, 7.0)
+        assert p.as_tuple() == (3.0, 7.0)
+        x, y = p
+        assert (x, y) == (3.0, 7.0)
+
+    def test_points_are_hashable(self):
+        assert len({Point(0, 0), Point(0, 0), Point(1, 0)}) == 2
+
+    def test_almost_equals_tolerance(self):
+        assert Point(0, 0).almost_equals(Point(1e-13, -1e-13))
+        assert not Point(0, 0).almost_equals(Point(1e-3, 0))
+
+    def test_points_are_immutable(self):
+        with pytest.raises(AttributeError):
+            Point(0, 0).x = 1.0  # type: ignore[misc]
+
+
+class TestPointProperties:
+    @given(points, points)
+    def test_distance_symmetry(self, a: Point, b: Point):
+        assert a.distance_to(b) == pytest.approx(b.distance_to(a))
+
+    @given(points, points)
+    def test_distance_nonnegative(self, a: Point, b: Point):
+        assert a.distance_to(b) >= 0.0
+
+    @given(points, points, points)
+    def test_triangle_inequality(self, a: Point, b: Point, c: Point):
+        assert a.distance_to(c) <= a.distance_to(b) + b.distance_to(c) + 1e-6
+
+    @given(points, points)
+    def test_squared_distance_consistent(self, a: Point, b: Point):
+        assert math.sqrt(a.squared_distance_to(b)) == pytest.approx(
+            a.distance_to(b), abs=1e-9
+        )
+
+    @given(points, points)
+    def test_midpoint_is_equidistant(self, a: Point, b: Point):
+        m = a.midpoint(b)
+        assert m.distance_to(a) == pytest.approx(m.distance_to(b), abs=1e-6)

@@ -1,0 +1,164 @@
+"""Tests for segments and the perpendicular-bisector construction.
+
+The bisector intersection is the heart of Algorithm 2's middle-point
+step; these tests pin down its exact semantics including degeneracies.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import assume, given
+from hypothesis import strategies as st
+
+from repro.geometry import (
+    Point,
+    Segment,
+    bisector_intersection,
+    equidistant_point_on_segment,
+    orientation,
+    project_point_to_line,
+    segments_intersect,
+    unit_vector,
+)
+
+coords = st.floats(min_value=-50, max_value=50, allow_nan=False, allow_infinity=False)
+points = st.builds(Point, coords, coords)
+
+
+class TestSegmentBasics:
+    def test_length_and_midpoint(self):
+        s = Segment(Point(0, 0), Point(3, 4))
+        assert s.length() == pytest.approx(5.0)
+        assert s.midpoint() == Point(1.5, 2.0)
+
+    def test_point_at_endpoints(self):
+        s = Segment(Point(1, 1), Point(2, 3))
+        assert s.point_at(0.0) == Point(1, 1)
+        assert s.point_at(1.0) == Point(2, 3)
+
+    def test_closest_point_projection(self):
+        s = Segment(Point(0, 0), Point(10, 0))
+        assert s.closest_point_to(Point(3, 5)) == Point(3, 0)
+
+    def test_closest_point_clamped_to_endpoint(self):
+        s = Segment(Point(0, 0), Point(10, 0))
+        assert s.closest_point_to(Point(-4, 2)) == Point(0, 0)
+        assert s.closest_point_to(Point(14, 2)) == Point(10, 0)
+
+    def test_degenerate_segment(self):
+        s = Segment(Point(1, 1), Point(1, 1))
+        assert s.closest_point_to(Point(5, 5)) == Point(1, 1)
+        assert s.distance_to_point(Point(1, 2)) == pytest.approx(1.0)
+
+    def test_contains_point(self):
+        s = Segment(Point(0, 0), Point(1, 1))
+        assert s.contains_point(Point(0.5, 0.5))
+        assert not s.contains_point(Point(0.5, 0.6))
+
+
+class TestBisectorIntersection:
+    def test_symmetric_targets_yield_edge_midpoint_x(self):
+        edge = Segment(Point(0, 0), Point(1, 0))
+        m = bisector_intersection(edge, Point(0.2, 0.5), Point(0.8, 0.5))
+        assert m is not None
+        assert m.x == pytest.approx(0.5)
+        assert m.y == pytest.approx(0.0)
+
+    def test_m_is_equidistant(self):
+        edge = Segment(Point(0, 0), Point(1, 0))
+        ti, tj = Point(0.1, 0.3), Point(0.9, 0.8)
+        m = bisector_intersection(edge, ti, tj)
+        assert m is not None
+        assert m.distance_to(ti) == pytest.approx(m.distance_to(tj), abs=1e-9)
+
+    def test_no_intersection_when_bisector_misses_edge(self):
+        # Both targets far to the left: every edge point is closer to ti.
+        edge = Segment(Point(0, 0), Point(1, 0))
+        assert bisector_intersection(edge, Point(-5, 0), Point(-10, 0)) is None
+
+    def test_coincident_targets_whole_edge_equidistant(self):
+        edge = Segment(Point(0, 0), Point(1, 0))
+        m = bisector_intersection(edge, Point(0.5, 1), Point(0.5, 1))
+        # f is constant 0: the helper reports the midpoint as a
+        # representative equidistant point.
+        assert m == edge.midpoint()
+
+    def test_equidistant_helper_none_for_equal_targets(self):
+        edge = Segment(Point(0, 0), Point(1, 0))
+        m, dm = equidistant_point_on_segment(edge, Point(0.5, 1), Point(0.5, 1))
+        assert m is None
+        assert dm == 0.0
+
+    def test_equidistant_helper_distance(self):
+        edge = Segment(Point(0, 0), Point(1, 0))
+        ti, tj = Point(0.0, 0.4), Point(1.0, 0.4)
+        m, dm = equidistant_point_on_segment(edge, ti, tj)
+        assert m is not None
+        assert dm == pytest.approx(m.distance_to(ti), abs=1e-9)
+
+    @given(points, points)
+    def test_equidistance_property_on_unit_edge(self, ti: Point, tj: Point):
+        assume(ti.distance_to(tj) > 1e-6)
+        edge = Segment(Point(0, 0), Point(1, 0))
+        m = bisector_intersection(edge, ti, tj)
+        if m is not None:
+            assert m.distance_to(ti) == pytest.approx(m.distance_to(tj), abs=1e-5)
+            assert -1e-9 <= m.x <= 1 + 1e-9
+            assert m.y == pytest.approx(0.0, abs=1e-9)
+
+    @given(
+        dx1=st.floats(-0.3, 0.3),
+        dy1=st.floats(-0.3, 0.3),
+        dx2=st.floats(-0.3, 0.3),
+        dy2=st.floats(-0.3, 0.3),
+    )
+    def test_separating_property(self, dx1, dy1, dx2, dy2):
+        """When ti is strictly nearest to edge.a and tj strictly nearest
+        to edge.b, the bisector must cross the edge — the configuration
+        produced by the filter step of Algorithm 2."""
+        edge = Segment(Point(0, 0), Point(1, 0))
+        ti = Point(0.0 + dx1, dy1)  # within 0.43 of va, at least 0.55 from vb
+        tj = Point(1.0 + dx2, dy2)
+        va, vb = edge.a, edge.b
+        assume(va.distance_to(ti) < va.distance_to(tj) - 1e-6)
+        assume(vb.distance_to(tj) < vb.distance_to(ti) - 1e-6)
+        m = bisector_intersection(edge, ti, tj)
+        assert m is not None
+
+
+class TestSegmentPredicates:
+    def test_orientation_signs(self):
+        assert orientation(Point(0, 0), Point(1, 0), Point(0, 1)) > 0
+        assert orientation(Point(0, 0), Point(1, 0), Point(0, -1)) < 0
+        assert orientation(Point(0, 0), Point(1, 0), Point(2, 0)) == 0
+
+    def test_segments_intersect_crossing(self):
+        s1 = Segment(Point(0, 0), Point(1, 1))
+        s2 = Segment(Point(0, 1), Point(1, 0))
+        assert segments_intersect(s1, s2)
+
+    def test_segments_intersect_touching_endpoint(self):
+        s1 = Segment(Point(0, 0), Point(1, 0))
+        s2 = Segment(Point(1, 0), Point(2, 5))
+        assert segments_intersect(s1, s2)
+
+    def test_segments_disjoint(self):
+        s1 = Segment(Point(0, 0), Point(1, 0))
+        s2 = Segment(Point(0, 1), Point(1, 1))
+        assert not segments_intersect(s1, s2)
+
+    def test_project_point_to_line(self):
+        p = project_point_to_line(Point(0, 5), Point(-1, 0), Point(1, 0))
+        assert p == Point(0, 0)
+
+    def test_project_degenerate_line_raises(self):
+        with pytest.raises(ValueError):
+            project_point_to_line(Point(0, 0), Point(1, 1), Point(1, 1))
+
+    def test_unit_vector(self):
+        ux, uy = unit_vector(Point(0, 0), Point(0, 2))
+        assert (ux, uy) == pytest.approx((0.0, 1.0))
+
+    def test_unit_vector_zero_raises(self):
+        with pytest.raises(ValueError):
+            unit_vector(Point(1, 1), Point(1, 1))

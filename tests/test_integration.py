@@ -1,0 +1,163 @@
+"""Full-stack integration tests.
+
+These drive the complete Casper deployment — moving objects on the road
+network, continuous location updates through the anonymizer, queries of
+all three types, the continuous monitor — and check the end-to-end
+correctness and privacy properties at every step.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.anonymizer import PrivacyProfile
+from repro.continuous import ContinuousQueryMonitor
+from repro.geometry import Point, Rect
+from repro.mobility import NetworkGenerator, synthetic_county_map
+from repro.processor import private_nn_over_public
+from repro.server import Casper
+from repro.workloads import uniform_points
+
+UNIT = Rect(0.0, 0.0, 1.0, 1.0)
+
+
+@pytest.fixture(scope="module")
+def simulation():
+    """A running city: 600 users on the road network, 300 stations."""
+    network = synthetic_county_map(seed=100)
+    generator = NetworkGenerator(network, 600, seed=101)
+    rng = np.random.default_rng(102)
+    casper = Casper(UNIT, pyramid_height=8, anonymizer="adaptive")
+    casper.add_public_targets(uniform_points(300, UNIT, seed=103))
+    profiles = {}
+    for uid, point in generator.positions().items():
+        profile = PrivacyProfile(
+            k=int(rng.integers(1, 40)),
+            a_min=float(rng.uniform(5e-5, 1e-4)),
+        )
+        profiles[uid] = profile
+        casper.register_user(uid, point, profile)
+    return casper, generator, profiles
+
+
+class TestMovingCity(object):
+    def test_three_ticks_of_full_operation(self, simulation):
+        casper, generator, profiles = simulation
+        rng = np.random.default_rng(7)
+        for _tick in range(3):
+            for update in generator.step(1.0):
+                casper.update_location(update.uid, update.point)
+            casper.anonymizer.check_invariants()
+            # A handful of queries per tick, verified exactly.
+            for uid in rng.choice(600, size=8, replace=False):
+                uid = int(uid)
+                result = casper.query_nearest_public(uid)
+                user = casper.anonymizer.location_of(uid)
+                # Exactness oracle.
+                best = min(
+                    casper.server.public_index.items(),
+                    key=lambda item: item[1].min_distance_to_point(user),
+                )
+                assert casper.server.public_index.rect_of(
+                    result.answer
+                ).min_distance_to_point(user) == pytest.approx(
+                    best[1].min_distance_to_point(user)
+                )
+                # Privacy oracle: the cloak satisfies the profile.
+                assert result.cloak.achieved_k >= profiles[uid].k
+                assert result.cloak.area >= profiles[uid].a_min - 1e-12
+                assert result.cloak.region.contains_point(user)
+
+    def test_private_regions_track_users(self, simulation):
+        casper, generator, _profiles = simulation
+        for uid, point in generator.positions().items():
+            stored = casper.server.private_index.rect_of(uid)
+            assert stored.contains_point(casper.anonymizer.location_of(uid))
+
+    def test_admin_counts_remain_sound(self, simulation):
+        casper, generator, _profiles = simulation
+        positions = {
+            uid: casper.anonymizer.location_of(uid)
+            for uid in generator.positions()
+        }
+        for region in (
+            Rect(0.1, 0.1, 0.6, 0.4),
+            Rect(0.33, 0.4, 0.77, 0.9),
+        ):
+            count = casper.count_users_in(region)
+            truth = sum(1 for p in positions.values() if region.contains_point(p))
+            assert count.minimum <= truth <= count.maximum
+
+    def test_buddy_queries_exclude_self_and_satisfy_profile(self, simulation):
+        casper, _generator, profiles = simulation
+        for uid in (3, 77, 411):
+            result = casper.query_nearest_private(uid)
+            assert uid not in result.candidates.oids()
+            assert result.cloak.achieved_k >= profiles[uid].k
+
+
+class TestContinuousIntegration:
+    def test_monitor_stays_consistent_through_simulation(self):
+        network = synthetic_county_map(seed=200)
+        generator = NetworkGenerator(network, 150, seed=201)
+        rng = np.random.default_rng(202)
+        casper = Casper(UNIT, pyramid_height=7, anonymizer="adaptive")
+        casper.add_public_targets(uniform_points(150, UNIT, seed=203))
+        for uid, point in generator.positions().items():
+            casper.register_user(
+                uid, point, PrivacyProfile(k=int(rng.integers(1, 15)))
+            )
+        monitor = ContinuousQueryMonitor(casper)
+        watched = list(range(12))
+        for uid in watched:
+            monitor.register_nn(f"q{uid}", uid)
+        for _tick in range(4):
+            for update in generator.step(1.0):
+                monitor.on_user_moved(update.uid, update.point)
+            monitor.flush()
+            for uid in watched:
+                cloak = casper.anonymizer.cloak(uid)
+                fresh = private_nn_over_public(
+                    casper.server.public_index, cloak.region, 4
+                )
+                assert monitor.answer_of(f"q{uid}") == frozenset(fresh.oids())
+
+    def test_wire_roundtrip_of_live_answers(self):
+        from repro.server.codec import decode_candidate_list, encode_candidate_list
+
+        rng = np.random.default_rng(300)
+        casper = Casper(UNIT, pyramid_height=7)
+        casper.add_public_targets(uniform_points(200, UNIT, seed=301))
+        for i in range(200):
+            casper.register_user(
+                i,
+                Point(float(rng.random()), float(rng.random())),
+                PrivacyProfile(k=int(rng.integers(1, 20))),
+            )
+        result = casper.query_nearest_public(0)
+        payload = encode_candidate_list(result.candidates)
+        decoded = decode_candidate_list(payload)
+        user = casper.anonymizer.location_of(0)
+        assert str(result.answer) == decoded.refine_nearest(user)
+
+    def test_basic_and_adaptive_agree_end_to_end(self):
+        """Both anonymizer variants must deliver exact answers on the
+        same workload (the paper's accuracy-equivalence claim)."""
+        rng = np.random.default_rng(400)
+        points = [Point(float(x), float(y)) for x, y in rng.random((300, 2))]
+        targets = uniform_points(150, UNIT, seed=401)
+        answers = {}
+        for kind in ("basic", "adaptive"):
+            casper = Casper(UNIT, pyramid_height=7, anonymizer=kind)
+            casper.add_public_targets(targets)
+            for i, p in enumerate(points):
+                casper.register_user(i, p, PrivacyProfile(k=10))
+            answers[kind] = [
+                targets[casper.query_nearest_public(uid).answer].as_tuple()
+                for uid in range(0, 300, 17)
+            ]
+        # Exactness means both pipelines find targets at identical
+        # distances (the target itself may differ only under exact ties).
+        for (bx, by), (ax, ay) in zip(answers["basic"], answers["adaptive"]):
+            assert (bx, by) == (ax, ay)

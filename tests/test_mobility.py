@@ -1,0 +1,301 @@
+"""Tests for the road network and the network-based moving-object generator."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.geometry import Point, Rect
+from repro.mobility import (
+    Trace,
+    ARTERIAL,
+    HIGHWAY,
+    LOCAL,
+    NetworkGenerator,
+    RoadClass,
+    RoadNetwork,
+    generate_trace,
+    synthetic_county_map,
+)
+
+
+def tiny_network() -> RoadNetwork:
+    """A 2x2 square of arterials with one highway diagonal."""
+    net = RoadNetwork()
+    a = net.add_node(Point(0, 0))
+    b = net.add_node(Point(1, 0))
+    c = net.add_node(Point(1, 1))
+    d = net.add_node(Point(0, 1))
+    net.add_edge(a, b, ARTERIAL)
+    net.add_edge(b, c, ARTERIAL)
+    net.add_edge(c, d, ARTERIAL)
+    net.add_edge(d, a, ARTERIAL)
+    net.add_edge(a, c, HIGHWAY)
+    return net
+
+
+class TestRoadNetwork:
+    def test_add_node_and_edge(self):
+        net = tiny_network()
+        assert net.num_nodes == 4
+        assert net.num_edges == 5
+
+    def test_self_loop_rejected(self):
+        net = RoadNetwork()
+        a = net.add_node(Point(0, 0))
+        with pytest.raises(ValueError):
+            net.add_edge(a, a, LOCAL)
+
+    def test_unknown_node_rejected(self):
+        net = RoadNetwork()
+        net.add_node(Point(0, 0))
+        with pytest.raises(ValueError):
+            net.add_edge(0, 7, LOCAL)
+
+    def test_coincident_nodes_rejected(self):
+        net = RoadNetwork()
+        a = net.add_node(Point(0.5, 0.5))
+        b = net.add_node(Point(0.5, 0.5))
+        with pytest.raises(ValueError):
+            net.add_edge(a, b, LOCAL)
+
+    def test_road_class_speed_positive(self):
+        with pytest.raises(ValueError):
+            RoadClass("bad", 0.0)
+
+    def test_edge_other(self):
+        net = tiny_network()
+        edge = net.edge(0)
+        assert edge.other(edge.u) == edge.v
+        assert edge.other(edge.v) == edge.u
+        with pytest.raises(ValueError):
+            edge.other(99)
+
+    def test_point_along_edge(self):
+        net = tiny_network()
+        # Edge 0 runs from (0,0) to (1,0).
+        assert net.point_along_edge(0, 0.0) == Point(0, 0)
+        assert net.point_along_edge(0, 0.5) == Point(0.5, 0)
+        assert net.point_along_edge(0, 1.0) == Point(1, 0)
+        # Clamped beyond the edge.
+        assert net.point_along_edge(0, 2.0) == Point(1, 0)
+
+    def test_shortest_path_prefers_highway(self):
+        net = tiny_network()
+        # a -> c: the diagonal highway (length sqrt(2) at speed 0.05,
+        # time ~28.3) beats the two arterial legs (length 2 at 0.03,
+        # time ~66.7).
+        path = net.shortest_path(0, 2)
+        assert len(path) == 1
+        assert net.edge(path[0]).road_class is HIGHWAY
+
+    def test_shortest_path_same_node_empty(self):
+        net = tiny_network()
+        assert net.shortest_path(1, 1) == []
+
+    def test_shortest_path_unreachable_raises(self):
+        net = RoadNetwork()
+        net.add_node(Point(0, 0))
+        net.add_node(Point(1, 1))
+        with pytest.raises(ValueError):
+            net.shortest_path(0, 1)
+
+    def test_travel_time(self):
+        net = tiny_network()
+        edge = net.edge(0)
+        assert edge.travel_time == pytest.approx(edge.length / ARTERIAL.speed)
+
+    def test_is_connected(self):
+        net = tiny_network()
+        assert net.is_connected()
+        net.add_node(Point(0.5, 0.5))
+        assert not net.is_connected()
+
+    def test_bounding_box(self):
+        assert tiny_network().bounding_box() == Rect(0, 0, 1, 1)
+
+    def test_empty_bounding_box_raises(self):
+        with pytest.raises(ValueError):
+            RoadNetwork().bounding_box()
+
+
+class TestSyntheticCountyMap:
+    def test_connected_and_sized(self):
+        net = synthetic_county_map(seed=0)
+        assert net.is_connected()
+        assert net.num_nodes > 100
+        assert net.num_edges > net.num_nodes  # planar-ish but cyclic
+
+    def test_deterministic_for_seed(self):
+        a = synthetic_county_map(seed=7)
+        b = synthetic_county_map(seed=7)
+        assert a.num_nodes == b.num_nodes
+        assert all(
+            a.node_position(i) == b.node_position(i) for i in range(a.num_nodes)
+        )
+
+    def test_different_seeds_differ(self):
+        a = synthetic_county_map(seed=1)
+        b = synthetic_county_map(seed=2)
+        assert any(
+            a.node_position(i) != b.node_position(i)
+            for i in range(min(a.num_nodes, b.num_nodes))
+        )
+
+    def test_nodes_within_bounds(self):
+        bounds = Rect(0, 0, 1, 1)
+        net = synthetic_county_map(seed=3, bounds=bounds)
+        for i in range(net.num_nodes):
+            assert bounds.contains_point(net.node_position(i))
+
+    def test_has_all_road_classes(self):
+        net = synthetic_county_map(seed=0)
+        names = {e.road_class.name for e in net.edges()}
+        assert names == {"highway", "arterial", "local"}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            synthetic_county_map(grid_size=1)
+        with pytest.raises(ValueError):
+            synthetic_county_map(jitter=0.7)
+
+
+class TestNetworkGenerator:
+    def test_population_size(self):
+        gen = NetworkGenerator(tiny_network(), 25, seed=0)
+        assert len(gen.objects) == 25
+        assert len(gen.positions()) == 25
+
+    def test_positions_on_network(self):
+        net = tiny_network()
+        gen = NetworkGenerator(net, 50, seed=1)
+        for _ in range(10):
+            gen.step(1.0)
+        for oid, p in gen.positions().items():
+            obj = gen.objects[oid]
+            edge = net.edge(obj.current_edge(net))
+            a, b = net.node_position(edge.u), net.node_position(edge.v)
+            # Distance from the point to the segment is ~0.
+            seg_len = a.distance_to(b)
+            cross = abs(
+                (b.x - a.x) * (p.y - a.y) - (b.y - a.y) * (p.x - a.x)
+            ) / seg_len
+            assert cross < 1e-9
+
+    def test_objects_actually_move(self):
+        gen = NetworkGenerator(tiny_network(), 10, seed=2)
+        before = gen.positions()
+        gen.step(1.0)
+        after = gen.positions()
+        moved = sum(1 for oid in before if before[oid] != after[oid])
+        assert moved == 10
+
+    def test_step_distance_bounded_by_speed(self):
+        net = tiny_network()
+        gen = NetworkGenerator(net, 30, seed=3, speed_jitter=0.0)
+        max_speed = max(e.road_class.speed for e in net.edges())
+        before = gen.positions()
+        dt = 1.0
+        gen.step(dt)
+        after = gen.positions()
+        for oid in before:
+            # Straight-line displacement can never exceed path distance.
+            assert before[oid].distance_to(after[oid]) <= max_speed * dt + 1e-9
+
+    def test_updates_report_all_objects(self):
+        gen = NetworkGenerator(tiny_network(), 12, seed=4)
+        updates = gen.step(0.5)
+        assert sorted(u.uid for u in updates) == list(range(12))
+        assert all(u.time == pytest.approx(0.5) for u in updates)
+
+    def test_add_and_remove_objects(self):
+        gen = NetworkGenerator(tiny_network(), 5, seed=5)
+        new_oid = gen.add_object()
+        assert new_oid == 5
+        assert len(gen.objects) == 6
+        gen.remove_object(0)
+        assert len(gen.objects) == 5
+        assert 0 not in gen.positions()
+
+    def test_determinism(self):
+        a = NetworkGenerator(tiny_network(), 20, seed=9)
+        b = NetworkGenerator(tiny_network(), 20, seed=9)
+        for _ in range(5):
+            ua = a.step(1.0)
+            ub = b.step(1.0)
+            assert ua == ub
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NetworkGenerator(tiny_network(), -1)
+        with pytest.raises(ValueError):
+            NetworkGenerator(tiny_network(), 5, speed_jitter=1.5)
+        with pytest.raises(ValueError):
+            NetworkGenerator(RoadNetwork(), 5)
+        gen = NetworkGenerator(tiny_network(), 1)
+        with pytest.raises(ValueError):
+            gen.step(0.0)
+
+    def test_long_run_stays_in_bbox(self):
+        net = synthetic_county_map(seed=11, grid_size=6)
+        gen = NetworkGenerator(net, 40, seed=12)
+        bbox = net.bounding_box()
+        for _ in range(50):
+            gen.step(2.0)
+        assert all(bbox.contains_point(p, tol=1e-9) for p in gen.positions().values())
+
+
+class TestTrace:
+    def test_generate_trace_shape(self):
+        trace = generate_trace(30, 8, seed=0)
+        assert trace.num_users == 30
+        assert trace.num_ticks == 8
+        assert trace.num_updates == 240
+
+    def test_all_updates_time_ordered(self):
+        trace = generate_trace(10, 5, seed=1)
+        times = [u.time for u in trace.all_updates()]
+        assert times == sorted(times)
+
+    def test_trace_on_custom_network(self):
+        trace = generate_trace(5, 3, seed=2, network=tiny_network())
+        assert trace.num_users == 5
+
+
+class TestTraceSerialization:
+    def test_roundtrip(self, tmp_path):
+        trace = generate_trace(25, 4, seed=3)
+        path = tmp_path / "trace.npz"
+        trace.save(path)
+        loaded = Trace.load(path)
+        assert loaded.initial == trace.initial
+        assert loaded.num_ticks == trace.num_ticks
+        assert list(loaded.all_updates()) == list(trace.all_updates())
+
+    def test_empty_ticks_roundtrip(self, tmp_path):
+        trace = generate_trace(10, 0, seed=4)
+        path = tmp_path / "trace.npz"
+        trace.save(path)
+        loaded = Trace.load(path)
+        assert loaded.num_ticks == 0
+        assert loaded.num_users == 10
+
+    def test_replay_equivalence(self, tmp_path):
+        """Replaying a loaded trace yields identical anonymizer state."""
+        from repro.anonymizer import BasicAnonymizer, PrivacyProfile
+        from repro.geometry import Rect
+
+        trace = generate_trace(40, 3, seed=5)
+        path = tmp_path / "trace.npz"
+        trace.save(path)
+        loaded = Trace.load(path)
+        results = []
+        for t in (trace, loaded):
+            an = BasicAnonymizer(Rect(0, 0, 1, 1), height=5)
+            for uid, p in sorted(t.initial.items()):
+                an.register(uid, p, PrivacyProfile(k=3))
+            for update in t.all_updates():
+                an.update(update.uid, update.point)
+            results.append([an.cloak(uid).region for uid in range(0, 40, 7)])
+        assert results[0] == results[1]

@@ -1,0 +1,103 @@
+"""Tests for the commuter (home/work tide) generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.geometry import Rect
+from repro.mobility import CommuterGenerator, synthetic_county_map
+
+
+@pytest.fixture(scope="module")
+def network():
+    return synthetic_county_map(seed=5)
+
+
+class TestCommuterGenerator:
+    def test_validation(self, network):
+        with pytest.raises(ValueError):
+            CommuterGenerator(network, -1)
+        with pytest.raises(ValueError):
+            CommuterGenerator(network, 10, downtown_fraction=0.0)
+        with pytest.raises(ValueError):
+            CommuterGenerator(network, 10, dwell_range=(5.0, 2.0))
+        gen = CommuterGenerator(network, 5)
+        with pytest.raises(ValueError):
+            gen.step(0.0)
+
+    def test_population_and_positions(self, network):
+        gen = CommuterGenerator(network, 60, seed=1)
+        assert len(gen.positions()) == 60
+        bbox = network.bounding_box()
+        for _ in range(15):
+            gen.step(1.0)
+        assert all(
+            bbox.contains_point(p, tol=1e-9) for p in gen.positions().values()
+        )
+
+    def test_commuters_start_at_home_nodes(self, network):
+        gen = CommuterGenerator(network, 40, seed=2)
+        for oid, obj in gen.objects.items():
+            assert gen.position_of(oid) == network.node_position(obj.home)
+
+    def test_work_nodes_are_downtown(self, network):
+        gen = CommuterGenerator(network, 80, seed=3)
+        downtown = set(gen.downtown_nodes)
+        assert all(obj.work in downtown or obj.work != obj.home
+                   for obj in gen.objects.values())
+        assert sum(1 for o in gen.objects.values() if o.work in downtown) >= 70
+
+    def test_tide_rises(self, network):
+        """The defining behaviour: downtown density swells as commuters
+        arrive at work."""
+        gen = CommuterGenerator(network, 300, seed=4, dwell_range=(2.0, 5.0))
+        initial = gen.fraction_downtown()
+        peak = initial
+        for _ in range(25):
+            gen.step(1.0)
+            peak = max(peak, gen.fraction_downtown())
+        assert peak > initial + 0.15
+
+    def test_tide_recedes_after_peak(self, network):
+        gen = CommuterGenerator(network, 300, seed=4, dwell_range=(2.0, 5.0))
+        levels = []
+        for _ in range(40):
+            gen.step(1.0)
+            levels.append(gen.fraction_downtown())
+        peak_at = levels.index(max(levels))
+        assert peak_at < len(levels) - 1
+        assert min(levels[peak_at:]) < max(levels) - 0.1
+
+    def test_updates_report_everyone(self, network):
+        gen = CommuterGenerator(network, 25, seed=5)
+        updates = gen.step(1.0)
+        assert sorted(u.uid for u in updates) == list(range(25))
+
+    def test_deterministic(self, network):
+        a = CommuterGenerator(network, 50, seed=9)
+        b = CommuterGenerator(network, 50, seed=9)
+        for _ in range(8):
+            assert a.step(1.0) == b.step(1.0)
+
+    def test_dwellers_do_not_move(self, network):
+        gen = CommuterGenerator(network, 100, seed=6, dwell_range=(100.0, 200.0))
+        before = gen.positions()
+        gen.step(1.0)
+        after = gen.positions()
+        # Everyone is still in their initial (long) dwell.
+        assert before == after
+
+    def test_drives_anonymizer_churn(self, network):
+        """Integration: the tide forces adaptive splits and merges."""
+        from repro.anonymizer import AdaptiveAnonymizer, PrivacyProfile
+
+        gen = CommuterGenerator(network, 250, seed=7, dwell_range=(2.0, 4.0))
+        anonymizer = AdaptiveAnonymizer(Rect(0, 0, 1, 1), height=7)
+        for uid, point in gen.positions().items():
+            anonymizer.register(uid, point, PrivacyProfile(k=5))
+        for _ in range(20):
+            for update in gen.step(1.0):
+                anonymizer.update(update.uid, update.point)
+        anonymizer.check_invariants()
+        assert anonymizer.stats.splits > 0
+        assert anonymizer.stats.merges > 0

@@ -1,0 +1,131 @@
+"""Tests for the adversary models and the anonymity auditor."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.anonymizer import PrivacyProfile
+from repro.geometry import Point, Rect
+from repro.mobility import NetworkGenerator, synthetic_county_map
+from repro.privacy import AnonymityAuditor, RegionIntersectionAttack
+from repro.server import Casper
+from tests.conftest import UNIT, random_points
+
+
+class TestRegionIntersectionAttack:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RegionIntersectionAttack(max_speed=-1)
+
+    def test_single_report_gives_region(self):
+        attack = RegionIntersectionAttack(max_speed=0.1)
+        region = Rect(0.2, 0.2, 0.4, 0.4)
+        assert attack.observe(region, 0.0) == region
+        assert attack.narrowing_factor(region) == pytest.approx(1.0)
+
+    def test_stationary_cloak_leaks_nothing(self):
+        attack = RegionIntersectionAttack(max_speed=0.1)
+        region = Rect(0.2, 0.2, 0.4, 0.4)
+        for t in range(5):
+            feasible = attack.observe(region, float(t))
+        assert feasible == region
+        assert attack.narrowing_factor(region) == pytest.approx(1.0)
+
+    def test_shifting_cloaks_narrow_the_feasible_set(self):
+        """A slow user whose cloak flips between adjacent cells is
+        pinned near the shared boundary."""
+        attack = RegionIntersectionAttack(max_speed=0.01)
+        left = Rect(0.0, 0.0, 0.25, 0.25)
+        right = Rect(0.25, 0.0, 0.5, 0.25)
+        attack.observe(left, 0.0)
+        feasible = attack.observe(right, 1.0)
+        # Feasible: within 0.01 of the left cell AND inside the right
+        # cell — a thin strip at the boundary.
+        assert feasible.width <= 0.01 + 1e-12
+        assert attack.narrowing_factor(right) < 0.1
+
+    def test_unbounded_speed_no_memory(self):
+        attack = RegionIntersectionAttack()  # max_speed=inf
+        attack.observe(Rect(0.0, 0.0, 0.1, 0.1), 0.0)
+        feasible = attack.observe(Rect(0.9, 0.9, 1.0, 1.0), 1.0)
+        assert feasible == Rect(0.9, 0.9, 1.0, 1.0)
+
+    def test_infeasible_reports_falsify_linkage(self):
+        attack = RegionIntersectionAttack(max_speed=0.01)
+        attack.observe(Rect(0.0, 0.0, 0.1, 0.1), 0.0)
+        with pytest.raises(ValueError):
+            attack.observe(Rect(0.9, 0.9, 1.0, 1.0), 1.0)
+
+    def test_out_of_order_reports_rejected(self):
+        attack = RegionIntersectionAttack(max_speed=1.0)
+        attack.observe(Rect(0.0, 0.0, 0.5, 0.5), 5.0)
+        with pytest.raises(ValueError):
+            attack.observe(Rect(0.0, 0.0, 0.5, 0.5), 4.0)
+
+    def test_soundness_against_real_casper_stream(self):
+        """Ground truth: the attack's feasible set always contains the
+        true position when the motion bound is honest."""
+        network = synthetic_county_map(seed=50)
+        generator = NetworkGenerator(network, 300, seed=51)
+        rng = np.random.default_rng(52)
+        casper = Casper(UNIT, pyramid_height=7)
+        for uid, point in generator.positions().items():
+            casper.register_user(
+                uid, point, PrivacyProfile(k=int(rng.integers(5, 25)))
+            )
+        # Honest L-inf speed bound: max road speed times jitter headroom.
+        max_speed = 0.05 * 1.3 + 1e-9
+        attack = RegionIntersectionAttack(max_speed=max_speed)
+        victim = 0
+        attack.observe(casper.anonymizer.cloak(victim).region, 0.0)
+        for t in range(1, 8):
+            for update in generator.step(1.0):
+                casper.update_location(update.uid, update.point)
+            region = casper.anonymizer.cloak(victim).region
+            attack.observe(region, float(t))
+            true_position = casper.anonymizer.location_of(victim)
+            assert attack.contains(true_position)
+
+
+class TestAnonymityAuditor:
+    def test_audit_records_and_summary(self, rng):
+        auditor = AnonymityAuditor()
+        population = {i: p for i, p in enumerate(random_points(rng, 100))}
+        record = auditor.audit("u", Rect(0, 0, 1, 1), promised_k=10, population=population)
+        assert record.realized_k == 100
+        assert record.satisfied
+        assert auditor.num_violations == 0
+        assert "0 k-violations" in auditor.summary()
+
+    def test_violation_detected(self, rng):
+        auditor = AnonymityAuditor()
+        population = {i: p for i, p in enumerate(random_points(rng, 5))}
+        record = auditor.audit(
+            "u", Rect(0, 0, 0.0001, 0.0001), promised_k=10, population=population
+        )
+        assert not record.satisfied
+        assert auditor.num_violations == 1
+
+    def test_casper_stream_has_no_violations(self, rng):
+        """End-to-end: the anonymizer's reports always deliver at least
+        the promised k against the true population."""
+        casper = Casper(UNIT, pyramid_height=7)
+        points = {i: p for i, p in enumerate(random_points(rng, 400))}
+        promised = {}
+        for uid, p in points.items():
+            k = int(rng.integers(1, 30))
+            promised[uid] = k
+            casper.register_user(uid, p, PrivacyProfile(k=k))
+        auditor = AnonymityAuditor()
+        for uid in range(0, 400, 7):
+            region = casper.anonymizer.cloak(uid).region
+            auditor.audit(uid, region, promised[uid], points)
+        assert auditor.num_violations == 0
+        assert auditor.min_realized_k >= 1
+        assert auditor.ratio.mean >= 1.0
+
+    def test_empty_auditor(self):
+        auditor = AnonymityAuditor()
+        assert auditor.min_realized_k == 0
+        assert auditor.num_violations == 0

@@ -1,0 +1,112 @@
+"""Tests for CandidateList and the probabilistic overlap policies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.geometry import Point, Rect
+from repro.processor import (
+    AnyOverlap,
+    CandidateList,
+    ContainmentOnly,
+    FractionOverlap,
+)
+
+
+def make_list(items, region=Rect(0, 0, 1, 1), nf=4) -> CandidateList:
+    return CandidateList(items=tuple(items), search_region=region, num_filters=nf)
+
+
+class TestCandidateList:
+    def test_len_contains_oids(self):
+        cl = make_list([("a", Rect.point(Point(0.1, 0.1))), ("b", Rect.point(Point(0.9, 0.9)))])
+        assert len(cl) == 2
+        assert "a" in cl and "c" not in cl
+        assert cl.oids() == ["a", "b"]
+
+    def test_refine_nearest_point_data(self):
+        cl = make_list(
+            [
+                ("far", Rect.point(Point(0.9, 0.9))),
+                ("near", Rect.point(Point(0.2, 0.2))),
+            ]
+        )
+        assert cl.refine_nearest(Point(0.1, 0.1)) == "near"
+
+    def test_refine_nearest_rankings_differ_for_rects(self):
+        # "wide" is optimistically nearest (min) but pessimistically
+        # farthest (max).
+        wide = Rect(0.0, 0.0, 0.6, 0.6)
+        small = Rect(0.3, 0.3, 0.35, 0.35)
+        cl = make_list([("wide", wide), ("small", small)])
+        u = Point(0.0, 0.0)
+        assert cl.refine_nearest(u, by="min") == "wide"
+        assert cl.refine_nearest(u, by="max") == "small"
+
+    def test_refine_nearest_center(self):
+        a = Rect(0.0, 0.0, 0.2, 0.2)  # center (0.1, 0.1)
+        b = Rect(0.5, 0.5, 0.7, 0.7)  # center (0.6, 0.6)
+        cl = make_list([("a", a), ("b", b)])
+        assert cl.refine_nearest(Point(0.55, 0.55), by="center") == "b"
+
+    def test_refine_invalid_ranking(self):
+        cl = make_list([("a", Rect.point(Point(0, 0)))])
+        with pytest.raises(ValueError):
+            cl.refine_nearest(Point(0, 0), by="median")
+
+    def test_refine_empty_raises(self):
+        cl = make_list([])
+        with pytest.raises(ValueError):
+            cl.refine_nearest(Point(0, 0))
+
+    def test_refine_within(self):
+        cl = make_list(
+            [
+                ("in", Rect.point(Point(0.1, 0.1))),
+                ("out", Rect.point(Point(0.9, 0.9))),
+            ]
+        )
+        assert cl.refine_within(Point(0.0, 0.0), 0.2) == ["in"]
+
+    def test_transmission_time_matches_model(self):
+        cl = make_list([(i, Rect.point(Point(0, 0))) for i in range(1000)])
+        # 1000 records * 64 B * 8 bits / 100 Mbps = 5.12e-3 s.
+        assert cl.transmission_time() == pytest.approx(5.12e-3)
+
+    def test_transmission_time_custom_channel(self):
+        cl = make_list([(1, Rect.point(Point(0, 0)))])
+        assert cl.transmission_time(record_bytes=128, bandwidth_mbps=1) == (
+            pytest.approx(128 * 8 / 1e6)
+        )
+
+
+class TestOverlapPolicies:
+    REGION = Rect(0, 0, 1, 1)
+
+    def test_any_overlap(self):
+        policy = AnyOverlap()
+        assert policy.admits(Rect(0.9, 0.9, 1.5, 1.5), self.REGION)
+        assert not policy.admits(Rect(1.2, 1.2, 1.5, 1.5), self.REGION)
+
+    def test_fraction_overlap_threshold(self):
+        policy = FractionOverlap(0.5)
+        half_in = Rect(0.5, 0.0, 1.5, 1.0)
+        assert policy.admits(half_in, self.REGION)
+        mostly_out = Rect(0.9, 0.0, 1.9, 1.0)
+        assert not policy.admits(mostly_out, self.REGION)
+
+    def test_fraction_validation(self):
+        with pytest.raises(ValueError):
+            FractionOverlap(0.0)
+        with pytest.raises(ValueError):
+            FractionOverlap(1.5)
+
+    def test_containment_only(self):
+        policy = ContainmentOnly()
+        assert policy.admits(Rect(0.2, 0.2, 0.4, 0.4), self.REGION)
+        assert not policy.admits(Rect(0.9, 0.9, 1.1, 1.1), self.REGION)
+
+    def test_inclusion_probability(self):
+        policy = AnyOverlap()
+        half_in = Rect(0.5, 0.0, 1.5, 1.0)
+        assert policy.inclusion_probability(half_in, self.REGION) == pytest.approx(0.5)

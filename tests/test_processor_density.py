@@ -1,0 +1,129 @@
+"""Tests for the density-map aggregate over private data."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.geometry import Point, Rect
+from repro.processor import density_map_over_private
+from repro.spatial import BruteForceIndex
+from tests.conftest import UNIT, random_points, random_rects
+
+
+def rect_index(rects):
+    idx = BruteForceIndex()
+    for i, r in enumerate(rects):
+        idx.insert(i, r)
+    return idx
+
+
+class TestDensityMap:
+    def test_validation(self):
+        idx = BruteForceIndex()
+        with pytest.raises(ValueError):
+            density_map_over_private(idx, UNIT, resolution=0)
+        with pytest.raises(ValueError):
+            density_map_over_private(idx, Rect(0, 0, 0, 1))
+
+    def test_mass_conservation(self, rng):
+        """The expected layer sums to the number of users whose regions
+        lie inside the bounds."""
+        rects = random_rects(rng, 200, max_side=0.08)
+        dmap = density_map_over_private(rect_index(rects), UNIT, resolution=8)
+        assert dmap.total_expected == pytest.approx(200.0, abs=1e-6)
+
+    def test_min_expected_max_ordering_per_cell(self, rng):
+        rects = random_rects(rng, 150, max_side=0.15)
+        dmap = density_map_over_private(rect_index(rects), UNIT, resolution=8)
+        assert np.all(dmap.minimum <= dmap.expected + 1e-9)
+        assert np.all(dmap.expected <= dmap.maximum + 1e-9)
+
+    def test_point_data_counts_exactly_once(self, rng):
+        points = random_points(rng, 300)
+        idx = rect_index([Rect.point(p) for p in points])
+        dmap = density_map_over_private(idx, UNIT, resolution=10)
+        assert dmap.total_expected == pytest.approx(300.0)
+        assert int(dmap.minimum.sum()) == 300
+        assert int(dmap.maximum.sum()) == 300
+
+    def test_point_on_cell_border_not_double_counted(self):
+        idx = BruteForceIndex()
+        idx.insert("border", Rect.point(Point(0.5, 0.5)))  # 4-cell corner at res 2
+        dmap = density_map_over_private(idx, UNIT, resolution=2)
+        assert dmap.total_expected == pytest.approx(1.0)
+        assert int(dmap.maximum.sum()) == 1
+
+    def test_expected_matches_monte_carlo(self, rng):
+        """Per-cell expectations are unbiased under uniform placements."""
+        rects = random_rects(rng, 100, max_side=0.2)
+        dmap = density_map_over_private(rect_index(rects), UNIT, resolution=4)
+        trials = 300
+        counts = np.zeros((4, 4))
+        for _ in range(trials):
+            for r in rects:
+                p = Point(
+                    float(rng.uniform(r.x_min, r.x_max)),
+                    float(rng.uniform(r.y_min, r.y_max)),
+                )
+                ix = min(int(p.x * 4), 3)
+                iy = min(int(p.y * 4), 3)
+                counts[ix, iy] += 1
+        mc = counts / trials
+        assert np.allclose(mc, dmap.expected, atol=0.5)
+
+    def test_region_spanning_cells_splits_mass(self):
+        idx = BruteForceIndex()
+        # A region exactly covering the left half at resolution 2 spans
+        # two cells, half mass each.
+        idx.insert("half", Rect(0.0, 0.0, 0.5, 1.0))
+        dmap = density_map_over_private(idx, UNIT, resolution=2)
+        assert dmap.expected[0, 0] == pytest.approx(0.5)
+        assert dmap.expected[0, 1] == pytest.approx(0.5)
+        assert dmap.expected[1, 0] == 0.0
+        assert int(dmap.minimum.sum()) == 0  # contained in no single cell
+        assert int(dmap.maximum[0, 0]) == 1
+
+    def test_expected_in_subregion(self, rng):
+        rects = random_rects(rng, 200, max_side=0.05)
+        dmap = density_map_over_private(rect_index(rects), UNIT, resolution=8)
+        whole = dmap.expected_in(UNIT)
+        assert whole == pytest.approx(dmap.total_expected, rel=1e-6)
+        half = dmap.expected_in(Rect(0, 0, 1, 0.5))
+        assert 0 < half < whole
+
+    def test_hotspots_ordering(self, rng):
+        # A deliberate cluster plus background noise.
+        idx = BruteForceIndex()
+        for i in range(50):
+            idx.insert(f"c{i}", Rect(0.8, 0.8, 0.85, 0.85))
+        for i, p in enumerate(random_points(rng, 20)):
+            idx.insert(f"bg{i}", Rect.point(p))
+        dmap = density_map_over_private(idx, UNIT, resolution=5)
+        spots = dmap.hotspots(3)
+        assert len(spots) == 3
+        assert spots[0][1] >= spots[1][1] >= spots[2][1]
+        assert spots[0][0].contains_point(Point(0.82, 0.82))
+        with pytest.raises(ValueError):
+            dmap.hotspots(0)
+
+    def test_render_shape(self, rng):
+        rects = random_rects(rng, 50, max_side=0.1)
+        dmap = density_map_over_private(rect_index(rects), UNIT, resolution=6)
+        art = dmap.render()
+        lines = art.splitlines()
+        assert len(lines) == 6
+        assert all(len(line) == 6 for line in lines)
+
+    def test_cell_rect_tiles_bounds(self):
+        dmap = density_map_over_private(BruteForceIndex(), UNIT, resolution=4)
+        total = sum(
+            dmap.cell_rect(ix, iy).area for ix in range(4) for iy in range(4)
+        )
+        assert total == pytest.approx(UNIT.area)
+
+    def test_region_outside_bounds_ignored_for_points(self):
+        idx = BruteForceIndex()
+        idx.insert("out", Rect.point(Point(2.0, 2.0)))
+        dmap = density_map_over_private(idx, UNIT, resolution=2)
+        assert dmap.total_expected == 0.0

@@ -1,0 +1,155 @@
+"""Focused tests for the middle-point / extended-area step (both data
+kinds), complementing the end-to-end inclusiveness suites."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.geometry import Point, Rect
+from repro.processor import (
+    compute_extension_private,
+    compute_extension_public,
+    select_filters_private,
+    select_filters_public,
+)
+from repro.spatial import BruteForceIndex
+from tests.conftest import random_points, random_rects
+
+AREA = Rect(0.4, 0.4, 0.6, 0.6)
+
+
+def point_index(points):
+    idx = BruteForceIndex()
+    for i, p in enumerate(points):
+        idx.insert_point(i, p)
+    return idx
+
+
+def rect_index(rects):
+    idx = BruteForceIndex()
+    for i, r in enumerate(rects):
+        idx.insert(i, r)
+    return idx
+
+
+class TestPublicExtension:
+    def test_four_edges_reported(self, rng):
+        idx = point_index(random_points(rng, 100))
+        filters = select_filters_public(idx, AREA, 4)
+        _a_ext, extensions = compute_extension_public(idx, AREA, filters)
+        assert {e.direction for e in extensions} == {
+            "top", "bottom", "left", "right",
+        }
+
+    def test_d_values_match_definitions(self, rng):
+        points = random_points(rng, 150)
+        idx = point_index(points)
+        filters = select_filters_public(idx, AREA, 4)
+        _a_ext, extensions = compute_extension_public(idx, AREA, filters)
+        for edge, ext in zip(AREA.edges(), extensions):
+            ti = points[filters.oid_for(edge.vi)]
+            tj = points[filters.oid_for(edge.vj)]
+            assert ext.d_i == pytest.approx(edge.vi.distance_to(ti))
+            assert ext.d_j == pytest.approx(edge.vj.distance_to(tj))
+            if ext.middle_point is not None:
+                # m is on the edge and equidistant from both filters.
+                assert ext.d_m == pytest.approx(
+                    ext.middle_point.distance_to(ti), abs=1e-9
+                )
+                assert ext.d_m == pytest.approx(
+                    ext.middle_point.distance_to(tj), abs=1e-9
+                )
+
+    def test_same_filter_edge_has_no_middle_point(self):
+        # A single target forces t_i == t_j on every edge.
+        idx = point_index([Point(0.5, 0.9)])
+        filters = select_filters_public(idx, AREA, 4)
+        a_ext, extensions = compute_extension_public(idx, AREA, filters)
+        assert all(e.middle_point is None for e in extensions)
+        assert all(e.d_m == 0.0 for e in extensions)
+        # A_EXT degenerates to the vertex-distance expansions and must
+        # still contain the single target.
+        assert a_ext.contains_point(Point(0.5, 0.9))
+
+    def test_expansion_amounts_applied_per_side(self, rng):
+        idx = point_index(random_points(rng, 200))
+        filters = select_filters_public(idx, AREA, 4)
+        a_ext, extensions = compute_extension_public(idx, AREA, filters)
+        by_direction = {e.direction: e.max_d for e in extensions}
+        assert a_ext.x_min == pytest.approx(AREA.x_min - by_direction["left"])
+        assert a_ext.x_max == pytest.approx(AREA.x_max + by_direction["right"])
+        assert a_ext.y_min == pytest.approx(AREA.y_min - by_direction["bottom"])
+        assert a_ext.y_max == pytest.approx(AREA.y_max + by_direction["top"])
+
+    def test_middle_point_lies_on_its_edge(self, rng):
+        points = random_points(rng, 200)
+        idx = point_index(points)
+        filters = select_filters_public(idx, AREA, 4)
+        _a_ext, extensions = compute_extension_public(idx, AREA, filters)
+        for edge, ext in zip(AREA.edges(), extensions):
+            if ext.middle_point is None:
+                continue
+            m = ext.middle_point
+            assert (
+                min(edge.vi.x, edge.vj.x) - 1e-9
+                <= m.x
+                <= max(edge.vi.x, edge.vj.x) + 1e-9
+            )
+            assert (
+                min(edge.vi.y, edge.vj.y) - 1e-9
+                <= m.y
+                <= max(edge.vi.y, edge.vj.y) + 1e-9
+            )
+
+
+class TestPrivateExtension:
+    def test_d_values_are_pessimistic(self, rng):
+        rects = random_rects(rng, 150, max_side=0.08)
+        idx = rect_index(rects)
+        filters = select_filters_private(idx, AREA, 4)
+        _a_ext, extensions = compute_extension_private(idx, AREA, filters)
+        for edge, ext in zip(AREA.edges(), extensions):
+            rect_i = rects[filters.oid_for(edge.vi)]
+            rect_j = rects[filters.oid_for(edge.vj)]
+            assert ext.d_i == pytest.approx(rect_i.max_distance_to_point(edge.vi))
+            assert ext.d_j == pytest.approx(rect_j.max_distance_to_point(edge.vj))
+
+    def test_strengthened_dm_dominates_paper_dm(self, rng):
+        """Our d_m (max-distance from m to the whole rectangles) is
+        never below the paper's endpoint-distance version."""
+        rects = random_rects(rng, 100, max_side=0.15)
+        idx = rect_index(rects)
+        filters = select_filters_private(idx, AREA, 4)
+        _a_ext, extensions = compute_extension_private(idx, AREA, filters)
+        for edge, ext in zip(AREA.edges(), extensions):
+            if ext.middle_point is None:
+                continue
+            rect_i = rects[filters.oid_for(edge.vi)]
+            rect_j = rects[filters.oid_for(edge.vj)]
+            end_i = rect_i.farthest_corner_from(edge.vj)
+            end_j = rect_j.farthest_corner_from(edge.vi)
+            paper_dm = max(
+                ext.middle_point.distance_to(end_i),
+                ext.middle_point.distance_to(end_j),
+            )
+            assert ext.d_m >= paper_dm - 1e-9
+
+    def test_filters_always_candidates(self, rng):
+        rects = random_rects(rng, 120, max_side=0.08)
+        idx = rect_index(rects)
+        filters = select_filters_private(idx, AREA, 4)
+        a_ext, _extensions = compute_extension_private(idx, AREA, filters)
+        for oid in filters.distinct_oids():
+            assert rects[oid].intersects(a_ext)
+
+    def test_degenerate_rect_targets_match_public(self, rng):
+        points = random_points(rng, 150)
+        pub = point_index(points)
+        priv = rect_index([Rect.point(p) for p in points])
+        f_pub = select_filters_public(pub, AREA, 4)
+        f_priv = select_filters_private(priv, AREA, 4)
+        ext_pub, _ = compute_extension_public(pub, AREA, f_pub)
+        ext_priv, _ = compute_extension_private(priv, AREA, f_priv)
+        assert ext_pub.x_min == pytest.approx(ext_priv.x_min, abs=1e-9)
+        assert ext_pub.y_max == pytest.approx(ext_priv.y_max, abs=1e-9)

@@ -1,0 +1,130 @@
+"""Tests for filter selection (step 1 of Algorithm 2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import EmptyDatasetError
+from repro.geometry import Point, Rect
+from repro.processor import select_filters_private, select_filters_public
+from repro.spatial import BruteForceIndex
+from tests.conftest import UNIT, random_points, random_rects
+
+
+def point_index(points: list[Point]) -> BruteForceIndex:
+    idx = BruteForceIndex()
+    for i, p in enumerate(points):
+        idx.insert_point(i, p)
+    return idx
+
+
+def rect_index(rects: list[Rect]) -> BruteForceIndex:
+    idx = BruteForceIndex()
+    for i, r in enumerate(rects):
+        idx.insert(i, r)
+    return idx
+
+
+AREA = Rect(0.4, 0.4, 0.6, 0.6)
+
+
+class TestPublicFilters:
+    def test_invalid_count_rejected(self, rng):
+        idx = point_index(random_points(rng, 10))
+        with pytest.raises(ValueError):
+            select_filters_public(idx, AREA, num_filters=3)
+
+    def test_empty_index_rejected(self):
+        with pytest.raises(EmptyDatasetError):
+            select_filters_public(BruteForceIndex(), AREA, num_filters=4)
+
+    def test_four_filters_are_vertex_nearest(self, rng):
+        points = random_points(rng, 200)
+        idx = point_index(points)
+        filters = select_filters_public(idx, AREA, num_filters=4)
+        for vertex in AREA.vertices():
+            oid = filters.oid_for(vertex)
+            best = min(range(len(points)), key=lambda i: points[i].distance_to(vertex))
+            assert points[oid].distance_to(vertex) == pytest.approx(
+                points[best].distance_to(vertex)
+            )
+
+    def test_one_filter_shared_by_all_vertices(self, rng):
+        idx = point_index(random_points(rng, 50))
+        filters = select_filters_public(idx, AREA, num_filters=1)
+        assert len(set(filters.assignment.values())) == 1
+        assert len(filters.distinct_oids()) == 1
+
+    def test_two_filters_cover_opposite_corners(self, rng):
+        points = random_points(rng, 200)
+        idx = point_index(points)
+        filters = select_filters_public(idx, AREA, num_filters=2)
+        v1, v2, v3, v4 = AREA.vertices()
+        assert len(filters.distinct_oids()) <= 2
+        # Every vertex's filter is one of the two corner choices.
+        corner_oids = {filters.oid_for(v1), filters.oid_for(v4)}
+        assert {filters.assignment[v] for v in (v2, v3)} <= corner_oids
+
+    def test_two_filters_assign_nearer_choice(self, rng):
+        points = random_points(rng, 200)
+        idx = point_index(points)
+        filters = select_filters_public(idx, AREA, num_filters=2)
+        v1, v2, v3, v4 = AREA.vertices()
+        t1, t4 = filters.oid_for(v1), filters.oid_for(v4)
+        for v in (v2, v3):
+            chosen = filters.oid_for(v)
+            other = t4 if chosen == t1 else t1
+            assert points[chosen].distance_to(v) <= points[other].distance_to(v) + 1e-12
+
+    def test_same_target_can_serve_all_vertices(self):
+        # One target only: all vertices share it regardless of mode.
+        idx = point_index([Point(0.5, 0.5)])
+        for nf in (1, 2, 4):
+            filters = select_filters_public(idx, AREA, num_filters=nf)
+            assert set(filters.assignment.values()) == {0}
+
+
+class TestPrivateFilters:
+    def test_four_filters_minimise_max_distance(self, rng):
+        rects = random_rects(rng, 150)
+        idx = rect_index(rects)
+        filters = select_filters_private(idx, AREA, num_filters=4)
+        for vertex in AREA.vertices():
+            oid = filters.oid_for(vertex)
+            best = min(
+                range(len(rects)),
+                key=lambda i: rects[i].max_distance_to_point(vertex),
+            )
+            assert rects[oid].max_distance_to_point(vertex) == pytest.approx(
+                rects[best].max_distance_to_point(vertex)
+            )
+
+    def test_pessimistic_beats_optimistic_choice(self):
+        """A huge nearby region loses to a small slightly-farther one
+        under the furthest-corner rule."""
+        vertex = Point(0.4, 0.4)  # v3 of AREA
+        big_near = Rect(0.1, 0.1, 0.45, 0.45)  # overlaps the vertex
+        small_far = Rect(0.30, 0.30, 0.32, 0.32)
+        idx = rect_index([big_near, small_far])
+        filters = select_filters_private(idx, AREA, num_filters=4)
+        assert filters.oid_for(vertex) == 1
+
+    def test_one_filter_uses_center(self, rng):
+        rects = random_rects(rng, 100)
+        idx = rect_index(rects)
+        filters = select_filters_private(idx, AREA, num_filters=1)
+        oids = set(filters.assignment.values())
+        assert len(oids) == 1
+        oid = oids.pop()
+        best = min(
+            range(len(rects)),
+            key=lambda i: rects[i].max_distance_to_point(AREA.center),
+        )
+        assert rects[oid].max_distance_to_point(AREA.center) == pytest.approx(
+            rects[best].max_distance_to_point(AREA.center)
+        )
+
+    def test_empty_index_rejected(self):
+        with pytest.raises(EmptyDatasetError):
+            select_filters_private(BruteForceIndex(), AREA, num_filters=2)

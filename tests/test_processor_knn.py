@@ -1,0 +1,167 @@
+"""Tests for the private kNN extension of Algorithm 2."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import EmptyDatasetError
+from repro.geometry import Point, Rect
+from repro.processor import (
+    private_knn_over_private,
+    private_knn_over_public,
+    private_nn_over_public,
+)
+from repro.spatial import BruteForceIndex
+from tests.conftest import random_points, random_rects
+
+
+def point_index(points):
+    idx = BruteForceIndex()
+    for i, p in enumerate(points):
+        idx.insert_point(i, p)
+    return idx
+
+
+def rect_index(rects):
+    idx = BruteForceIndex()
+    for i, r in enumerate(rects):
+        idx.insert(i, r)
+    return idx
+
+
+def true_knn(points, u: Point, k: int) -> set[int]:
+    order = sorted(range(len(points)), key=lambda i: points[i].squared_distance_to(u))
+    return set(order[:k])
+
+
+class TestKnnPublic:
+    @pytest.mark.parametrize("k", [1, 3, 10])
+    @pytest.mark.parametrize("num_filters", [1, 4])
+    def test_inclusiveness(self, rng, k, num_filters):
+        points = random_points(rng, 400)
+        idx = point_index(points)
+        for _ in range(15):
+            w, h = rng.uniform(0.03, 0.15, 2)
+            x = float(rng.uniform(0, 1 - w))
+            y = float(rng.uniform(0, 1 - h))
+            area = Rect(x, y, x + float(w), y + float(h))
+            cl = private_knn_over_public(idx, area, k, num_filters)
+            oids = set(cl.oids())
+            probes = list(area.vertices()) + [
+                area.center,
+                Point(
+                    float(rng.uniform(area.x_min, area.x_max)),
+                    float(rng.uniform(area.y_min, area.y_max)),
+                ),
+            ]
+            for u in probes:
+                assert true_knn(points, u, k) <= oids
+
+    def test_refine_k_nearest_recovers_truth(self, rng):
+        points = random_points(rng, 300)
+        idx = point_index(points)
+        area = Rect(0.4, 0.4, 0.55, 0.55)
+        cl = private_knn_over_public(idx, area, 5)
+        u = Point(0.47, 0.43)
+        refined = cl.refine_k_nearest(u, 5)
+        assert len(refined) == 5
+        assert set(refined) == true_knn(points, u, 5)
+        # Ordered nearest-first.
+        dists = [points[oid].distance_to(u) for oid in refined]
+        assert dists == sorted(dists)
+
+    def test_larger_k_larger_region(self, rng):
+        points = random_points(rng, 400)
+        idx = point_index(points)
+        area = Rect(0.45, 0.45, 0.55, 0.55)
+        small = private_knn_over_public(idx, area, 1)
+        large = private_knn_over_public(idx, area, 20)
+        assert large.search_region.area >= small.search_region.area
+        assert len(large) >= len(small)
+
+    def test_k_capped_at_dataset_size(self, rng):
+        idx = point_index(random_points(rng, 5))
+        cl = private_knn_over_public(idx, Rect(0.4, 0.4, 0.5, 0.5), k=50)
+        assert len(cl) == 5
+
+    def test_k1_more_conservative_than_algorithm2(self, rng):
+        """The cone bound at k=1 contains Algorithm 2's bisector-based
+        region (it is provably not smaller)."""
+        points = random_points(rng, 500)
+        idx = point_index(points)
+        area = Rect(0.3, 0.6, 0.45, 0.7)
+        knn_region = private_knn_over_public(idx, area, 1, 4).search_region
+        alg2_region = private_nn_over_public(idx, area, 4).search_region
+        assert knn_region.area >= alg2_region.area - 1e-12
+
+    def test_validation(self, rng):
+        idx = point_index(random_points(rng, 10))
+        with pytest.raises(ValueError):
+            private_knn_over_public(idx, Rect(0, 0, 0.1, 0.1), k=0)
+        with pytest.raises(ValueError):
+            private_knn_over_public(idx, Rect(0, 0, 0.1, 0.1), k=3, num_filters=2)
+        with pytest.raises(EmptyDatasetError):
+            private_knn_over_public(BruteForceIndex(), Rect(0, 0, 0.1, 0.1), 1)
+
+    def test_refine_k_nearest_validation(self, rng):
+        idx = point_index(random_points(rng, 10))
+        cl = private_knn_over_public(idx, Rect(0.4, 0.4, 0.5, 0.5), 2)
+        with pytest.raises(ValueError):
+            cl.refine_k_nearest(Point(0.4, 0.4), 0)
+        with pytest.raises(ValueError):
+            cl.refine_k_nearest(Point(0.4, 0.4), 2, by="nope")
+
+
+class TestKnnPrivate:
+    @pytest.mark.parametrize("k", [1, 3])
+    def test_inclusiveness_adversarial(self, rng, k):
+        rects = random_rects(rng, 200, max_side=0.06)
+        idx = rect_index(rects)
+        area = Rect(0.45, 0.45, 0.55, 0.55)
+        cl = private_knn_over_private(idx, area, k)
+        oids = set(cl.oids())
+        for _ in range(25):
+            u = Point(
+                float(rng.uniform(area.x_min, area.x_max)),
+                float(rng.uniform(area.y_min, area.y_max)),
+            )
+            actual = [
+                Point(
+                    float(rng.uniform(r.x_min, r.x_max)),
+                    float(rng.uniform(r.y_min, r.y_max)),
+                )
+                for r in rects
+            ]
+            winners = sorted(
+                range(len(rects)), key=lambda i: actual[i].squared_distance_to(u)
+            )[:k]
+            assert set(winners) <= oids
+
+    def test_point_regions_match_public(self, rng):
+        points = random_points(rng, 200)
+        pub = point_index(points)
+        priv = rect_index([Rect.point(p) for p in points])
+        area = Rect(0.35, 0.5, 0.5, 0.6)
+        cl_pub = private_knn_over_public(pub, area, 4, 4)
+        cl_priv = private_knn_over_private(priv, area, 4, 4)
+        assert set(cl_pub.oids()) == set(cl_priv.oids())
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    k=st.integers(1, 8),
+    ux=st.floats(0, 1),
+    uy=st.floats(0, 1),
+    nf=st.sampled_from([1, 4]),
+)
+def test_property_knn_inclusiveness(k, ux, uy, nf):
+    rng = np.random.default_rng(123)
+    points = random_points(rng, 150)
+    idx = point_index(points)
+    area = Rect(0.25, 0.4, 0.5, 0.6)
+    cl = private_knn_over_public(idx, area, k, nf)
+    u = Point(area.x_min + ux * area.width, area.y_min + uy * area.height)
+    assert true_knn(points, u, k) <= set(cl.oids())

@@ -1,0 +1,153 @@
+"""Metamorphic properties of the privacy-aware query processor.
+
+Instead of checking answers against an oracle, these tests check that
+*transformations of the input* produce the predictable transformation
+of the output — a complementary correctness net that catches
+coordinate-handling bugs the oracle tests can miss:
+
+* translation invariance — shifting the whole scene shifts nothing
+  about which targets are candidates;
+* uniform scaling invariance — likewise;
+* locality — adding a target far outside ``A_EXT`` never changes the
+  candidate set;
+* monotonicity under duplication — duplicating an existing target can
+  only add the duplicate, never remove anyone;
+* query-area monotonicity — growing the cloaked area never loses a
+  candidate that a contained area had... is *false* in general (filters
+  change), so we assert the weaker true form: the exact NN of any user
+  position remains included (inclusiveness is what survives).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Point, Rect
+from repro.processor import private_nn_over_private, private_nn_over_public
+from repro.spatial import BruteForceIndex
+from tests.conftest import random_points, random_rects
+
+AREA = Rect(0.4, 0.35, 0.6, 0.55)
+
+
+def point_index(points):
+    idx = BruteForceIndex()
+    for i, p in enumerate(points):
+        idx.insert_point(i, p)
+    return idx
+
+
+class TestTranslationInvariance:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        dx=st.floats(-5, 5, allow_nan=False),
+        dy=st.floats(-5, 5, allow_nan=False),
+        nf=st.sampled_from([1, 2, 4]),
+    )
+    def test_candidates_unchanged_by_translation(self, dx, dy, nf):
+        rng = np.random.default_rng(42)
+        points = random_points(rng, 200)
+        base = private_nn_over_public(point_index(points), AREA, nf)
+        moved_points = [p.translated(dx, dy) for p in points]
+        moved_area = Rect(
+            AREA.x_min + dx, AREA.y_min + dy, AREA.x_max + dx, AREA.y_max + dy
+        )
+        moved = private_nn_over_public(point_index(moved_points), moved_area, nf)
+        assert set(base.oids()) == set(moved.oids())
+
+    def test_private_targets_translation(self, rng):
+        rects = random_rects(rng, 150, max_side=0.06)
+        idx = BruteForceIndex()
+        for i, r in enumerate(rects):
+            idx.insert(i, r)
+        base = private_nn_over_private(idx, AREA, 4)
+        dx, dy = 3.0, -2.0
+        idx2 = BruteForceIndex()
+        for i, r in enumerate(rects):
+            idx2.insert(
+                i, Rect(r.x_min + dx, r.y_min + dy, r.x_max + dx, r.y_max + dy)
+            )
+        moved_area = Rect(
+            AREA.x_min + dx, AREA.y_min + dy, AREA.x_max + dx, AREA.y_max + dy
+        )
+        moved = private_nn_over_private(idx2, moved_area, 4)
+        assert set(base.oids()) == set(moved.oids())
+
+
+class TestScaleInvariance:
+    @settings(max_examples=20, deadline=None)
+    @given(factor=st.floats(0.1, 50, allow_nan=False), nf=st.sampled_from([1, 4]))
+    def test_candidates_unchanged_by_uniform_scaling(self, factor, nf):
+        rng = np.random.default_rng(7)
+        points = random_points(rng, 150)
+        base = private_nn_over_public(point_index(points), AREA, nf)
+        scaled_points = [Point(p.x * factor, p.y * factor) for p in points]
+        scaled_area = Rect(
+            AREA.x_min * factor,
+            AREA.y_min * factor,
+            AREA.x_max * factor,
+            AREA.y_max * factor,
+        )
+        scaled = private_nn_over_public(point_index(scaled_points), scaled_area, nf)
+        assert set(base.oids()) == set(scaled.oids())
+
+
+class TestLocality:
+    def test_far_target_never_changes_answer(self, rng):
+        points = random_points(rng, 200)
+        idx = point_index(points)
+        base = private_nn_over_public(idx, AREA, 4)
+        far = base.search_region.expanded_uniform(1.0)
+        idx.insert_point("far", Point(far.x_max + 1.0, far.y_max + 1.0))
+        again = private_nn_over_public(idx, AREA, 4)
+        assert set(again.oids()) == set(base.oids())
+
+    def test_target_inside_area_always_candidate(self, rng):
+        points = random_points(rng, 200)
+        idx = point_index(points)
+        idx.insert_point("inside", AREA.center)
+        cl = private_nn_over_public(idx, AREA, 4)
+        assert "inside" in cl.oids()
+
+
+class TestDuplication:
+    def test_duplicating_candidate_adds_only_duplicate(self, rng):
+        points = random_points(rng, 150)
+        idx = point_index(points)
+        base = private_nn_over_public(idx, AREA, 4)
+        victim = base.oids()[0]
+        idx.insert_point("clone", points[victim])
+        again = private_nn_over_public(idx, AREA, 4)
+        assert set(base.oids()) | {"clone"} == set(again.oids())
+
+
+class TestAreaGrowth:
+    def test_inclusiveness_survives_any_containing_area(self, rng):
+        """Growing the cloaked area changes filters and A_EXT in
+        non-monotone ways; the invariant that survives is inclusiveness
+        for positions of the *smaller* area."""
+        points = random_points(rng, 300)
+        idx = point_index(points)
+        small = AREA
+        big = small.expanded_uniform(0.1).clipped_to(Rect(0, 0, 1, 1))
+        cl_big = private_nn_over_public(idx, big, 4)
+        for _ in range(20):
+            u = Point(
+                float(rng.uniform(small.x_min, small.x_max)),
+                float(rng.uniform(small.y_min, small.y_max)),
+            )
+            truth = min(
+                range(len(points)), key=lambda i: points[i].squared_distance_to(u)
+            )
+            assert truth in cl_big.oids()
+
+    def test_point_area_gives_smallest_list(self, rng):
+        points = random_points(rng, 300)
+        idx = point_index(points)
+        exact = private_nn_over_public(idx, Rect.point(AREA.center), 4)
+        cloaked = private_nn_over_public(idx, AREA, 4)
+        assert len(exact) <= len(cloaked)
+        assert len(exact) == 1

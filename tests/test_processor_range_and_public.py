@@ -1,0 +1,212 @@
+"""Tests for private range queries and public queries over private data."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Point, Rect
+from repro.processor import (
+    FractionOverlap,
+    private_range_over_private,
+    private_range_over_public,
+    public_range_count_over_private,
+)
+from repro.spatial import BruteForceIndex
+from tests.conftest import random_points, random_rects
+
+
+def point_index(points):
+    idx = BruteForceIndex()
+    for i, p in enumerate(points):
+        idx.insert_point(i, p)
+    return idx
+
+
+def rect_index(rects):
+    idx = BruteForceIndex()
+    for i, r in enumerate(rects):
+        idx.insert(i, r)
+    return idx
+
+
+class TestPrivateRangeOverPublic:
+    def test_negative_radius_rejected(self, rng):
+        idx = point_index(random_points(rng, 10))
+        with pytest.raises(ValueError):
+            private_range_over_public(idx, Rect(0, 0, 0.1, 0.1), -1.0)
+
+    def test_inclusiveness(self, rng):
+        """Any target within `radius` of any user position in the area
+        must be a candidate."""
+        points = random_points(rng, 400)
+        idx = point_index(points)
+        area = Rect(0.4, 0.4, 0.55, 0.5)
+        radius = 0.08
+        cl = private_range_over_public(idx, area, radius)
+        oids = set(cl.oids())
+        for _ in range(40):
+            u = Point(
+                float(rng.uniform(area.x_min, area.x_max)),
+                float(rng.uniform(area.y_min, area.y_max)),
+            )
+            in_range = {i for i, p in enumerate(points) if p.distance_to(u) <= radius}
+            assert in_range <= oids
+
+    def test_minimality_boundary(self, rng):
+        """A target just beyond the Minkowski expansion is excluded; one
+        just inside is included."""
+        idx = point_index(random_points(rng, 50))
+        area = Rect(0.4, 0.4, 0.5, 0.5)
+        radius = 0.1
+        inside = Point(0.5 + radius - 1e-6, 0.45)
+        outside = Point(0.5 + radius + 1e-3, 0.45)
+        idx.insert_point("inside", inside)
+        idx.insert_point("outside", outside)
+        cl = private_range_over_public(idx, area, radius)
+        assert "inside" in cl.oids()
+        assert "outside" not in cl.oids()
+
+    def test_client_refinement(self, rng):
+        points = random_points(rng, 300)
+        idx = point_index(points)
+        area = Rect(0.4, 0.4, 0.5, 0.5)
+        radius = 0.07
+        cl = private_range_over_public(idx, area, radius)
+        u = Point(0.43, 0.47)
+        refined = set(cl.refine_within(u, radius))
+        truth = {i for i, p in enumerate(points) if p.distance_to(u) <= radius}
+        assert refined == truth
+
+    def test_zero_radius(self, rng):
+        points = random_points(rng, 100)
+        idx = point_index(points)
+        area = Rect(0.2, 0.2, 0.4, 0.4)
+        cl = private_range_over_public(idx, area, 0.0)
+        oids = set(cl.oids())
+        truth = {i for i, p in enumerate(points) if area.contains_point(p)}
+        assert truth <= oids
+
+
+class TestPrivateRangeOverPrivate:
+    def test_inclusiveness_with_cloaked_targets(self, rng):
+        rects = random_rects(rng, 200, max_side=0.06)
+        idx = rect_index(rects)
+        area = Rect(0.45, 0.45, 0.55, 0.55)
+        radius = 0.05
+        cl = private_range_over_private(idx, area, radius)
+        oids = set(cl.oids())
+        for _ in range(30):
+            u = Point(
+                float(rng.uniform(area.x_min, area.x_max)),
+                float(rng.uniform(area.y_min, area.y_max)),
+            )
+            actual = [
+                Point(
+                    float(rng.uniform(r.x_min, r.x_max)),
+                    float(rng.uniform(r.y_min, r.y_max)),
+                )
+                for r in rects
+            ]
+            in_range = {
+                i for i, p in enumerate(actual) if p.distance_to(u) <= radius
+            }
+            assert in_range <= oids
+
+    def test_policy_application(self, rng):
+        rects = random_rects(rng, 200, max_side=0.1)
+        idx = rect_index(rects)
+        area = Rect(0.45, 0.45, 0.55, 0.55)
+        full = private_range_over_private(idx, area, 0.05)
+        thinned = private_range_over_private(
+            idx, area, 0.05, policy=FractionOverlap(0.8)
+        )
+        assert set(thinned.oids()) <= set(full.oids())
+
+
+class TestPublicCountOverPrivate:
+    def test_bounds_ordering(self, rng):
+        rects = random_rects(rng, 300, max_side=0.1)
+        idx = rect_index(rects)
+        result = public_range_count_over_private(idx, Rect(0.2, 0.2, 0.7, 0.7))
+        assert result.minimum <= result.expected <= result.maximum
+        assert result.maximum == len(result.candidates)
+
+    def test_true_count_within_bounds(self, rng):
+        """For any actual placements, the true count lies in
+        [minimum, maximum]."""
+        rects = random_rects(rng, 250, max_side=0.08)
+        idx = rect_index(rects)
+        region = Rect(0.3, 0.3, 0.6, 0.6)
+        result = public_range_count_over_private(idx, region)
+        for _ in range(30):
+            actual = [
+                Point(
+                    float(rng.uniform(r.x_min, r.x_max)),
+                    float(rng.uniform(r.y_min, r.y_max)),
+                )
+                for r in rects
+            ]
+            true_count = sum(1 for p in actual if region.contains_point(p))
+            assert result.minimum <= true_count <= result.maximum
+
+    def test_expected_estimator_unbiased(self, rng):
+        """Monte-Carlo: the mean of true counts over uniform placements
+        approaches the expected estimate (uniformity guarantee)."""
+        rects = random_rects(rng, 150, max_side=0.1)
+        idx = rect_index(rects)
+        region = Rect(0.25, 0.25, 0.75, 0.75)
+        result = public_range_count_over_private(idx, region)
+        trials = 400
+        total = 0
+        for _ in range(trials):
+            actual_in = 0
+            for r in rects:
+                p = Point(
+                    float(rng.uniform(r.x_min, r.x_max)),
+                    float(rng.uniform(r.y_min, r.y_max)),
+                )
+                if region.contains_point(p):
+                    actual_in += 1
+            total += actual_in
+        mc_mean = total / trials
+        assert mc_mean == pytest.approx(result.expected, rel=0.05)
+
+    def test_exact_data_gives_exact_count(self, rng):
+        """Degenerate (point) private data: min == expected == max."""
+        points = random_points(rng, 200)
+        idx = rect_index([Rect.point(p) for p in points])
+        region = Rect(0.1, 0.1, 0.5, 0.5)
+        result = public_range_count_over_private(idx, region)
+        truth = sum(1 for p in points if region.contains_point(p))
+        assert result.minimum == result.maximum == truth
+        assert result.expected == pytest.approx(truth)
+
+    def test_disjoint_region_zero(self, rng):
+        rects = [Rect(0.1, 0.1, 0.2, 0.2)]
+        idx = rect_index(rects)
+        result = public_range_count_over_private(idx, Rect(0.8, 0.8, 0.9, 0.9))
+        assert result.maximum == 0
+        assert result.expected == 0.0
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    radius=st.floats(0, 0.3, allow_nan=False),
+    ux=st.floats(0, 1),
+    uy=st.floats(0, 1),
+)
+def test_property_range_inclusiveness(radius, ux, uy):
+    rng = np.random.default_rng(99)
+    points = random_points(rng, 120)
+    idx = point_index(points)
+    area = Rect(0.3, 0.3, 0.6, 0.6)
+    cl = private_range_over_public(idx, area, radius)
+    u = Point(
+        area.x_min + ux * area.width,
+        area.y_min + uy * area.height,
+    )
+    truth = {i for i, p in enumerate(points) if p.distance_to(u) <= radius}
+    assert truth <= set(cl.oids())

@@ -1,0 +1,136 @@
+"""Tests for public NN queries over private (cloaked) data."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import EmptyDatasetError
+from repro.geometry import Point, Rect
+from repro.processor import public_nn_over_private
+from repro.spatial import BruteForceIndex
+from tests.conftest import random_points, random_rects
+
+
+def rect_index(rects):
+    idx = BruteForceIndex()
+    for i, r in enumerate(rects):
+        idx.insert(i, r)
+    return idx
+
+
+class TestPossibleNNSet:
+    def test_empty_raises(self):
+        with pytest.raises(EmptyDatasetError):
+            public_nn_over_private(BruteForceIndex(), Point(0.5, 0.5))
+
+    def test_single_object_is_the_answer(self):
+        idx = rect_index([Rect(0.1, 0.1, 0.2, 0.2)])
+        result = public_nn_over_private(idx, Point(0.9, 0.9))
+        assert result.oids() == [0]
+        assert result.most_likely() == 0
+
+    def test_inclusiveness_adversarial(self, rng):
+        """For any actual placements, the true NN is a candidate."""
+        rects = random_rects(rng, 200, max_side=0.08)
+        idx = rect_index(rects)
+        for q in random_points(rng, 20):
+            result = public_nn_over_private(idx, q)
+            oids = set(result.oids())
+            for _ in range(10):
+                actual = [
+                    Point(
+                        float(rng.uniform(r.x_min, r.x_max)),
+                        float(rng.uniform(r.y_min, r.y_max)),
+                    )
+                    for r in rects
+                ]
+                winner = min(
+                    range(len(rects)),
+                    key=lambda i: actual[i].squared_distance_to(q),
+                )
+                assert winner in oids
+
+    def test_minimality_every_candidate_can_win(self, rng):
+        """Each candidate has a placement making it the true NN: put it
+        at its nearest corner and everyone else at their farthest."""
+        rects = random_rects(rng, 60, max_side=0.1)
+        idx = rect_index(rects)
+        q = Point(0.5, 0.5)
+        result = public_nn_over_private(idx, q)
+        for oid in result.oids():
+            mine = rects[oid].nearest_point_to(q).distance_to(q)
+            others_best = min(
+                rects[i].max_distance_to_point(q)
+                for i in range(len(rects))
+                if i != oid
+            ) if len(rects) > 1 else float("inf")
+            assert mine <= others_best + 1e-9
+
+    def test_point_data_degenerates_to_exact_nn(self, rng):
+        points = random_points(rng, 150)
+        idx = rect_index([Rect.point(p) for p in points])
+        q = Point(0.3, 0.6)
+        result = public_nn_over_private(idx, q)
+        true_nn = min(range(len(points)), key=lambda i: points[i].distance_to(q))
+        # Exact data: the possible set collapses to the true NN (plus
+        # exact ties).
+        best = points[true_nn].distance_to(q)
+        assert all(points[oid].distance_to(q) <= best + 1e-9 for oid in result.oids())
+        assert true_nn in result.oids()
+
+    def test_probability_estimation(self, rng):
+        rects = random_rects(rng, 40, max_side=0.15)
+        idx = rect_index(rects)
+        result = public_nn_over_private(
+            idx, Point(0.5, 0.5), estimate_probabilities=True, samples=300, seed=1
+        )
+        assert result.probabilities is not None
+        assert sum(result.probabilities.values()) == pytest.approx(1.0)
+        assert result.most_likely() in result.oids()
+
+    def test_probability_validation(self, rng):
+        idx = rect_index(random_rects(rng, 5))
+        with pytest.raises(ValueError):
+            public_nn_over_private(
+                idx, Point(0.5, 0.5), estimate_probabilities=True, samples=0
+            )
+
+    def test_probabilities_reflect_geometry(self):
+        """A region hugging the query point should dominate a distant one."""
+        idx = rect_index(
+            [Rect(0.48, 0.48, 0.52, 0.52), Rect(0.9, 0.9, 0.95, 0.95)]
+        )
+        result = public_nn_over_private(
+            idx, Point(0.5, 0.5), estimate_probabilities=True, samples=200, seed=2
+        )
+        if 1 in result.probabilities:
+            assert result.probabilities[0] > result.probabilities.get(1, 0.0)
+        assert result.most_likely() == 0
+
+    def test_threshold_is_champion_maxdist(self, rng):
+        rects = random_rects(rng, 80, max_side=0.1)
+        idx = rect_index(rects)
+        q = Point(0.4, 0.4)
+        result = public_nn_over_private(idx, q)
+        champion_bound = min(r.max_distance_to_point(q) for r in rects)
+        assert result.threshold == pytest.approx(champion_bound)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    qx=st.floats(0, 1, allow_nan=False),
+    qy=st.floats(0, 1, allow_nan=False),
+    corner=st.lists(st.integers(0, 3), min_size=30, max_size=30),
+)
+def test_property_uncertain_nn_inclusive(qx, qy, corner):
+    rng = np.random.default_rng(77)
+    rects = random_rects(rng, 30, max_side=0.12)
+    idx = rect_index(rects)
+    q = Point(qx, qy)
+    result = public_nn_over_private(idx, q)
+    actual = [r.corners()[c] for r, c in zip(rects, corner)]
+    winner = min(range(30), key=lambda i: actual[i].squared_distance_to(q))
+    assert winner in set(result.oids())

@@ -1,0 +1,153 @@
+"""Tests for the city-simulation driver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulation import CitySimulation, SimulationConfig
+
+
+def tiny_config(**overrides) -> SimulationConfig:
+    defaults = dict(
+        num_users=200,
+        num_targets=120,
+        pyramid_height=7,
+        queries_per_tick=10,
+        audit_sample=2,
+        seed=5,
+    )
+    defaults.update(overrides)
+    return SimulationConfig(**defaults)
+
+
+class TestConfigValidation:
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(num_users=0)
+        with pytest.raises(ValueError):
+            SimulationConfig(num_targets=0)
+
+    def test_rejects_bad_rates(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(queries_per_tick=-1)
+        with pytest.raises(ValueError):
+            SimulationConfig(audit_sample=-1)
+
+    def test_rejects_bad_mix(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(query_mix=(0.0, 0.0, 0.0))
+        with pytest.raises(ValueError):
+            SimulationConfig(query_mix=(1.0, 1.0))  # type: ignore[arg-type]
+
+
+class TestSimulationRun:
+    def test_run_produces_tick_reports(self):
+        sim = CitySimulation(tiny_config())
+        report = sim.run(3)
+        assert len(report.ticks) == 3
+        assert [t.tick for t in report.ticks] == [0, 1, 2]
+        assert all(t.num_updates == 200 for t in report.ticks)
+        assert report.total_queries > 0
+
+    def test_audits_all_pass(self):
+        """The built-in oracle audit is the headline correctness check:
+        every Casper NN answer is exact."""
+        sim = CitySimulation(tiny_config(audit_sample=5))
+        report = sim.run(4)
+        assert report.total_audits_failed == 0
+        assert sum(t.audits_passed for t in report.ticks) == 20
+
+    def test_deterministic_for_seed(self):
+        a = CitySimulation(tiny_config()).run(2)
+        b = CitySimulation(tiny_config()).run(2)
+        assert [t.candidate_total for t in a.ticks] == [
+            t.candidate_total for t in b.ticks
+        ]
+        assert a.avg_candidates == b.avg_candidates
+
+    def test_basic_anonymizer_variant(self):
+        sim = CitySimulation(tiny_config(anonymizer="basic"))
+        report = sim.run(2)
+        assert report.total_audits_failed == 0
+
+    def test_query_mix_respected(self):
+        """A mix of only range queries produces list answers and no
+        unsatisfiable NN cloaks beyond those the profile causes."""
+        sim = CitySimulation(tiny_config(query_mix=(0.0, 0.0, 1.0)))
+        report = sim.run(2)
+        assert report.total_queries > 0
+
+    def test_strict_profiles_increase_candidates(self):
+        relaxed = CitySimulation(tiny_config(k_range=(1, 5))).run(2)
+        strict = CitySimulation(tiny_config(k_range=(60, 90))).run(2)
+        assert strict.avg_candidates > relaxed.avg_candidates
+
+    def test_tick_report_metrics_consistent(self):
+        sim = CitySimulation(tiny_config())
+        tick = sim.step()
+        if tick.queries:
+            assert tick.avg_candidates == pytest.approx(
+                tick.candidate_total / tick.queries
+            )
+            assert tick.avg_end_to_end_seconds > 0
+        zero = sim.run(0)
+        assert zero.total_queries == 0
+        assert zero.avg_candidates == 0.0
+
+    def test_negative_ticks_rejected(self):
+        sim = CitySimulation(tiny_config())
+        with pytest.raises(ValueError):
+            sim.run(-1)
+
+    def test_summary_mentions_key_numbers(self):
+        report = CitySimulation(tiny_config()).run(2)
+        text = report.summary()
+        assert "200 users" in text
+        assert "audits" in text
+
+
+class TestPopulationChurn:
+    def test_churn_validation(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(arrivals_per_tick=-1)
+        with pytest.raises(ValueError):
+            SimulationConfig(departures_per_tick=-0.5)
+
+    def test_arrivals_grow_population(self):
+        sim = CitySimulation(
+            tiny_config(arrivals_per_tick=10.0, departures_per_tick=0.0)
+        )
+        report = sim.run(4)
+        arrivals = sum(t.arrivals for t in report.ticks)
+        assert arrivals > 0
+        assert len(sim.active_users) == 200 + arrivals
+        assert sim.casper.anonymizer.num_users == 200 + arrivals
+
+    def test_departures_shrink_population(self):
+        sim = CitySimulation(
+            tiny_config(arrivals_per_tick=0.0, departures_per_tick=10.0)
+        )
+        report = sim.run(4)
+        departures = sum(t.departures for t in report.ticks)
+        assert departures > 0
+        assert len(sim.active_users) == 200 - departures
+        assert sim.casper.server.num_private == 200 - departures
+
+    def test_audits_pass_under_churn(self):
+        sim = CitySimulation(
+            tiny_config(
+                arrivals_per_tick=8.0,
+                departures_per_tick=8.0,
+                audit_sample=4,
+            )
+        )
+        report = sim.run(5)
+        assert report.total_audits_failed == 0
+        sim.casper.anonymizer.check_invariants()
+
+    def test_departures_never_empty_population(self):
+        sim = CitySimulation(
+            tiny_config(num_users=12, departures_per_tick=50.0, queries_per_tick=2)
+        )
+        sim.run(5)
+        assert len(sim.active_users) >= 10  # floor enforced

@@ -1,0 +1,308 @@
+"""Cross-implementation tests for the spatial indexes.
+
+Every accelerated index (R-tree, grid, quadtree) is checked against the
+brute-force oracle on identical data — the "index equivalence" invariant
+of DESIGN.md that underpins the paper's claim of query-processor
+independence from the underlying access method.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import EmptyDatasetError, OutOfBoundsError
+from repro.geometry import Point, Rect
+from repro.spatial import (
+    BruteForceIndex,
+    GridIndex,
+    QuadTreeIndex,
+    RTreeIndex,
+    SpatialIndex,
+)
+from tests.conftest import UNIT, random_points, random_rects
+
+
+def make_all_indexes() -> list[SpatialIndex]:
+    return [
+        BruteForceIndex(),
+        RTreeIndex(max_entries=8),
+        GridIndex(UNIT, resolution=16),
+        QuadTreeIndex(UNIT, leaf_capacity=4),
+    ]
+
+
+ACCELERATED = ["rtree", "grid", "quadtree"]
+
+
+def make_index(kind: str) -> SpatialIndex:
+    if kind == "rtree":
+        return RTreeIndex(max_entries=8)
+    if kind == "grid":
+        return GridIndex(UNIT, resolution=16)
+    if kind == "quadtree":
+        return QuadTreeIndex(UNIT, leaf_capacity=4)
+    raise ValueError(kind)
+
+
+class TestBasicContract:
+    @pytest.mark.parametrize("kind", ACCELERATED + ["brute"])
+    def test_empty_index_raises_on_nearest(self, kind):
+        idx = BruteForceIndex() if kind == "brute" else make_index(kind)
+        with pytest.raises(EmptyDatasetError):
+            idx.nearest(Point(0.5, 0.5))
+
+    @pytest.mark.parametrize("kind", ACCELERATED + ["brute"])
+    def test_insert_contains_remove(self, kind):
+        idx = BruteForceIndex() if kind == "brute" else make_index(kind)
+        idx.insert_point("a", Point(0.1, 0.1))
+        assert "a" in idx
+        assert len(idx) == 1
+        assert idx.rect_of("a") == Rect.point(Point(0.1, 0.1))
+        idx.remove("a")
+        assert "a" not in idx
+        assert len(idx) == 0
+
+    @pytest.mark.parametrize("kind", ACCELERATED + ["brute"])
+    def test_reinsert_same_oid_replaces(self, kind):
+        idx = BruteForceIndex() if kind == "brute" else make_index(kind)
+        idx.insert_point("a", Point(0.1, 0.1))
+        idx.insert_point("a", Point(0.9, 0.9))
+        assert len(idx) == 1
+        assert idx.nearest(Point(1, 1)) == "a"
+        assert idx.rect_of("a").center == Point(0.9, 0.9)
+
+    @pytest.mark.parametrize("kind", ACCELERATED + ["brute"])
+    def test_remove_unknown_raises(self, kind):
+        idx = BruteForceIndex() if kind == "brute" else make_index(kind)
+        with pytest.raises(KeyError):
+            idx.remove("missing")
+
+    def test_k_nonpositive_raises(self):
+        idx = BruteForceIndex()
+        idx.insert_point(1, Point(0.5, 0.5))
+        with pytest.raises(ValueError):
+            idx.k_nearest(Point(0, 0), 0)
+
+    def test_k_larger_than_size_returns_all(self):
+        idx = BruteForceIndex()
+        for i in range(3):
+            idx.insert_point(i, Point(0.1 * i, 0.1 * i))
+        assert len(idx.k_nearest(Point(0, 0), 10)) == 3
+
+
+class TestOracleEquivalence:
+    @pytest.mark.parametrize("kind", ACCELERATED)
+    def test_knn_matches_brute_force_points(self, kind, rng):
+        points = random_points(rng, 400)
+        oracle = BruteForceIndex()
+        idx = make_index(kind)
+        for i, p in enumerate(points):
+            oracle.insert_point(i, p)
+            idx.insert_point(i, p)
+        for q in random_points(rng, 25):
+            for k in (1, 3, 10):
+                assert idx.k_nearest(q, k) == oracle.k_nearest(q, k)
+
+    @pytest.mark.parametrize("kind", ACCELERATED)
+    def test_range_matches_brute_force_points(self, kind, rng):
+        points = random_points(rng, 400)
+        oracle = BruteForceIndex()
+        idx = make_index(kind)
+        for i, p in enumerate(points):
+            oracle.insert_point(i, p)
+            idx.insert_point(i, p)
+        for r in random_rects(rng, 20, max_side=0.4):
+            assert set(idx.range_search(r)) == set(oracle.range_search(r))
+
+    @pytest.mark.parametrize("kind", ACCELERATED)
+    def test_rect_entries_match_brute_force(self, kind, rng):
+        rects = random_rects(rng, 300, max_side=0.08)
+        oracle = BruteForceIndex()
+        idx = make_index(kind)
+        for i, r in enumerate(rects):
+            oracle.insert(i, r)
+            idx.insert(i, r)
+        for q in random_points(rng, 20):
+            assert idx.nearest(q) == oracle.nearest(q) or (
+                idx.rect_of(idx.nearest(q)).min_distance_to_point(q)
+                == pytest.approx(
+                    oracle.rect_of(oracle.nearest(q)).min_distance_to_point(q)
+                )
+            )
+        for r in random_rects(rng, 20, max_side=0.3):
+            assert set(idx.range_search(r)) == set(oracle.range_search(r))
+
+    @pytest.mark.parametrize("kind", ACCELERATED)
+    def test_max_distance_nn_matches(self, kind, rng):
+        rects = random_rects(rng, 200, max_side=0.1)
+        oracle = BruteForceIndex()
+        idx = make_index(kind)
+        for i, r in enumerate(rects):
+            oracle.insert(i, r)
+            idx.insert(i, r)
+        for q in random_points(rng, 25):
+            got = idx.nearest_by_max_distance(q)
+            want = oracle.nearest_by_max_distance(q)
+            assert idx.rect_of(got).max_distance_to_point(q) == pytest.approx(
+                oracle.rect_of(want).max_distance_to_point(q)
+            )
+
+    @pytest.mark.parametrize("kind", ACCELERATED)
+    def test_equivalence_survives_deletions(self, kind, rng):
+        points = random_points(rng, 300)
+        oracle = BruteForceIndex()
+        idx = make_index(kind)
+        for i, p in enumerate(points):
+            oracle.insert_point(i, p)
+            idx.insert_point(i, p)
+        removed = rng.choice(len(points), size=150, replace=False)
+        for i in removed:
+            oracle.remove(int(i))
+            idx.remove(int(i))
+        for q in random_points(rng, 15):
+            assert idx.k_nearest(q, 5) == oracle.k_nearest(q, 5)
+
+
+class TestRTreeStructure:
+    def test_invariants_after_inserts(self, rng):
+        idx = RTreeIndex(max_entries=6)
+        for i, p in enumerate(random_points(rng, 500)):
+            idx.insert_point(i, p)
+        idx.check_invariants(strict_fill=True)
+
+    def test_invariants_after_deletes(self, rng):
+        idx = RTreeIndex(max_entries=6)
+        points = random_points(rng, 500)
+        for i, p in enumerate(points):
+            idx.insert_point(i, p)
+        for i in range(0, 500, 3):
+            idx.remove(i)
+        idx.check_invariants()
+        assert len(idx) == 500 - len(range(0, 500, 3))
+
+    def test_bulk_load_invariants_and_queries(self, rng):
+        points = random_points(rng, 1000)
+        entries = {i: Rect.point(p) for i, p in enumerate(points)}
+        idx = RTreeIndex(max_entries=16)
+        idx.bulk_load(entries)
+        idx.check_invariants()
+        oracle = BruteForceIndex()
+        oracle.bulk_load(entries)
+        q = Point(0.5, 0.5)
+        assert idx.k_nearest(q, 20) == oracle.k_nearest(q, 20)
+
+    def test_bulk_load_empty(self):
+        idx = RTreeIndex()
+        idx.bulk_load({})
+        assert len(idx) == 0
+
+    def test_bulk_load_then_dynamic_updates(self, rng):
+        points = random_points(rng, 200)
+        idx = RTreeIndex(max_entries=8)
+        idx.bulk_load({i: Rect.point(p) for i, p in enumerate(points)})
+        for i, p in enumerate(random_points(rng, 100)):
+            idx.insert_point(200 + i, p)
+        for i in range(0, 200, 2):
+            idx.remove(i)
+        idx.check_invariants()
+        assert len(idx) == 200
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            RTreeIndex(max_entries=2)
+        with pytest.raises(ValueError):
+            RTreeIndex(max_entries=8, min_entries=5)
+
+    def test_duplicate_points_allowed(self):
+        idx = RTreeIndex(max_entries=4)
+        for i in range(50):
+            idx.insert_point(i, Point(0.5, 0.5))
+        idx.check_invariants()
+        assert len(idx.range_search(Rect(0.4, 0.4, 0.6, 0.6))) == 50
+
+
+class TestGridIndex:
+    def test_out_of_bounds_point_raises(self):
+        grid = GridIndex(UNIT, 8)
+        with pytest.raises(OutOfBoundsError):
+            grid.cell_of_point(Point(2, 2))
+
+    def test_cell_rect_tiles_bounds(self):
+        grid = GridIndex(UNIT, 4)
+        total = sum(grid.cell_rect(i, j).area for i in range(4) for j in range(4))
+        assert total == pytest.approx(UNIT.area)
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            GridIndex(UNIT, 0)
+        with pytest.raises(ValueError):
+            GridIndex(Rect(0, 0, 0, 1), 4)
+
+    def test_query_point_outside_bounds_still_works(self, rng):
+        grid = GridIndex(UNIT, 8)
+        oracle = BruteForceIndex()
+        for i, p in enumerate(random_points(rng, 100)):
+            grid.insert_point(i, p)
+            oracle.insert_point(i, p)
+        q = Point(1.5, 1.5)  # outside the grid, must still find true NNs
+        assert grid.k_nearest(q, 3) == oracle.k_nearest(q, 3)
+
+
+class TestQuadTree:
+    def test_out_of_bounds_insert_raises(self):
+        qt = QuadTreeIndex(UNIT)
+        with pytest.raises(OutOfBoundsError):
+            qt.insert_point("a", Point(1.5, 0.5))
+
+    def test_subdivision_happens(self, rng):
+        qt = QuadTreeIndex(UNIT, leaf_capacity=2, max_depth=10)
+        for i, p in enumerate(random_points(rng, 100)):
+            qt.insert_point(i, p)
+        assert qt._root.children is not None
+
+    def test_max_depth_respected(self):
+        qt = QuadTreeIndex(UNIT, leaf_capacity=1, max_depth=3)
+        # Pile many identical points: without the depth limit this would
+        # recurse forever.
+        for i in range(20):
+            qt.insert_point(i, Point(0.001, 0.001))
+        assert len(qt) == 20
+
+    def test_straddling_rect_stays_at_root(self):
+        qt = QuadTreeIndex(UNIT, leaf_capacity=1)
+        center_straddler = Rect(0.4, 0.4, 0.6, 0.6)
+        qt.insert("big", center_straddler)
+        for i in range(5):
+            qt.insert_point(i, Point(0.1 + 0.01 * i, 0.1))
+        assert set(qt.range_search(Rect(0.45, 0.45, 0.55, 0.55))) == {"big"}
+
+
+@settings(max_examples=40, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    data=st.lists(
+        st.tuples(
+            st.floats(min_value=0, max_value=1, allow_nan=False),
+            st.floats(min_value=0, max_value=1, allow_nan=False),
+        ),
+        min_size=1,
+        max_size=80,
+    ),
+    qx=st.floats(min_value=0, max_value=1, allow_nan=False),
+    qy=st.floats(min_value=0, max_value=1, allow_nan=False),
+)
+def test_property_all_indexes_agree_on_nn_distance(data, qx, qy):
+    """Hypothesis: for arbitrary point sets, all four indexes report a
+    nearest neighbor at the same (minimal) distance."""
+    q = Point(qx, qy)
+    indexes = make_all_indexes()
+    for idx in indexes:
+        for i, (x, y) in enumerate(data):
+            idx.insert_point(i, Point(x, y))
+    dists = []
+    for idx in indexes:
+        oid = idx.nearest(q)
+        dists.append(idx.rect_of(oid).min_distance_to_point(q))
+    assert max(dists) - min(dists) < 1e-9

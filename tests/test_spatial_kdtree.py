@@ -1,0 +1,121 @@
+"""Tests specific to the kd-tree index (oracle equivalence + rebuild
+machinery)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.geometry import Point, Rect
+from repro.spatial import BruteForceIndex, KDTreeIndex
+from tests.conftest import random_points, random_rects
+
+
+def pair(rng, n=300):
+    points = random_points(rng, n)
+    kd = KDTreeIndex()
+    bf = BruteForceIndex()
+    for i, p in enumerate(points):
+        kd.insert_point(i, p)
+        bf.insert_point(i, p)
+    return kd, bf
+
+
+class TestKDTree:
+    def test_rejects_rect_entries(self):
+        kd = KDTreeIndex()
+        with pytest.raises(ValueError):
+            kd.insert("r", Rect(0, 0, 0.1, 0.1))
+        assert "r" not in kd  # failed insert leaves no residue
+        with pytest.raises(ValueError):
+            kd.bulk_load({"r": Rect(0, 0, 0.1, 0.1)})
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            KDTreeIndex(rebuild_fraction=0.0)
+        with pytest.raises(ValueError):
+            KDTreeIndex(rebuild_fraction=2.0)
+
+    def test_knn_matches_oracle(self, rng):
+        kd, bf = pair(rng)
+        for q in random_points(rng, 25):
+            for k in (1, 5, 20):
+                assert kd.k_nearest(q, k) == bf.k_nearest(q, k)
+
+    def test_range_matches_oracle(self, rng):
+        kd, bf = pair(rng)
+        for region in random_rects(rng, 25, max_side=0.4):
+            assert set(kd.range_search(region)) == set(bf.range_search(region))
+
+    def test_bulk_load_matches_oracle(self, rng):
+        points = random_points(rng, 500)
+        entries = {i: Rect.point(p) for i, p in enumerate(points)}
+        kd = KDTreeIndex()
+        kd.bulk_load(entries)
+        bf = BruteForceIndex()
+        bf.bulk_load(entries)
+        q = Point(0.4, 0.4)
+        assert kd.k_nearest(q, 15) == bf.k_nearest(q, 15)
+
+    def test_deletions_tombstone_then_rebuild(self, rng):
+        kd, bf = pair(rng, n=200)
+        for i in range(0, 200, 2):
+            kd.remove(i)
+            bf.remove(i)
+        q = Point(0.5, 0.5)
+        assert kd.k_nearest(q, 10) == bf.k_nearest(q, 10)
+        # Enough churn must have triggered at least one rebuild: the
+        # internal tombstone set cannot exceed the rebuild threshold.
+        assert len(kd._tombstones) <= max(8, 0.25 * kd._tree_size) + 1
+
+    def test_reinsert_after_delete(self, rng):
+        kd = KDTreeIndex()
+        kd.insert_point("a", Point(0.1, 0.1))
+        kd.remove("a")
+        kd.insert_point("a", Point(0.9, 0.9))
+        assert kd.nearest(Point(1, 1)) == "a"
+        assert kd.rect_of("a").center == Point(0.9, 0.9)
+
+    def test_interleaved_churn_matches_oracle(self, rng):
+        kd = KDTreeIndex(rebuild_fraction=0.1)
+        bf = BruteForceIndex()
+        live = {}
+        next_id = 0
+        for step in range(600):
+            roll = rng.random()
+            if roll < 0.6 or not live:
+                p = Point(float(rng.random()), float(rng.random()))
+                kd.insert_point(next_id, p)
+                bf.insert_point(next_id, p)
+                live[next_id] = p
+                next_id += 1
+            else:
+                victim = int(rng.choice(list(live)))
+                kd.remove(victim)
+                bf.remove(victim)
+                del live[victim]
+        q = Point(0.3, 0.3)
+        assert kd.k_nearest(q, 10) == bf.k_nearest(q, 10)
+        region = Rect(0.2, 0.2, 0.7, 0.7)
+        assert set(kd.range_search(region)) == set(bf.range_search(region))
+
+    def test_duplicate_coordinates(self):
+        kd = KDTreeIndex()
+        for i in range(50):
+            kd.insert_point(i, Point(0.5, 0.5))
+        assert len(kd.range_search(Rect(0.4, 0.4, 0.6, 0.6))) == 50
+        assert len(kd.k_nearest(Point(0, 0), 50)) == 50
+
+    def test_works_behind_query_processor(self, rng):
+        from repro.processor import private_nn_over_public
+
+        points = random_points(rng, 300)
+        kd = KDTreeIndex()
+        bf = BruteForceIndex()
+        for i, p in enumerate(points):
+            kd.insert_point(i, p)
+            bf.insert_point(i, p)
+        area = Rect(0.4, 0.4, 0.55, 0.55)
+        assert set(private_nn_over_public(kd, area, 4).oids()) == set(
+            private_nn_over_public(bf, area, 4).oids()
+        )

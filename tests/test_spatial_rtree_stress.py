@@ -1,0 +1,156 @@
+"""Stress and edge-case tests for the R-tree beyond the shared contract."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Point, Rect
+from repro.spatial import BruteForceIndex, RTreeIndex
+from tests.conftest import random_points, random_rects
+
+
+class TestRTreeStress:
+    def test_interleaved_ops_match_oracle(self, rng):
+        rtree = RTreeIndex(max_entries=5)
+        oracle = BruteForceIndex()
+        live = set()
+        next_id = 0
+        for step in range(1200):
+            roll = rng.random()
+            if roll < 0.55 or not live:
+                r = random_rects(rng, 1, max_side=0.05)[0]
+                rtree.insert(next_id, r)
+                oracle.insert(next_id, r)
+                live.add(next_id)
+                next_id += 1
+            elif roll < 0.85:
+                victim = int(rng.choice(list(live)))
+                rtree.remove(victim)
+                oracle.remove(victim)
+                live.discard(victim)
+            else:
+                # Move (reinsert with the same id).
+                victim = int(rng.choice(list(live)))
+                r = random_rects(rng, 1, max_side=0.05)[0]
+                rtree.insert(victim, r)
+                oracle.insert(victim, r)
+            if step % 200 == 0:
+                rtree.check_invariants()
+                q = Point(float(rng.random()), float(rng.random()))
+                assert rtree.k_nearest(q, 5) == oracle.k_nearest(q, 5)
+        rtree.check_invariants()
+        region = Rect(0.25, 0.25, 0.75, 0.75)
+        assert set(rtree.range_search(region)) == set(oracle.range_search(region))
+
+    def test_drain_to_empty_and_refill(self, rng):
+        rtree = RTreeIndex(max_entries=4)
+        points = random_points(rng, 300)
+        for i, p in enumerate(points):
+            rtree.insert_point(i, p)
+        for i in range(300):
+            rtree.remove(i)
+        assert len(rtree) == 0
+        rtree.check_invariants()
+        for i, p in enumerate(points[:50]):
+            rtree.insert_point(i, p)
+        rtree.check_invariants()
+        assert len(rtree) == 50
+
+    def test_collinear_points(self):
+        """Degenerate geometry: all entries on one line still split fine."""
+        rtree = RTreeIndex(max_entries=4)
+        for i in range(100):
+            rtree.insert_point(i, Point(i / 100.0, 0.5))
+        rtree.check_invariants(strict_fill=True)
+        assert rtree.nearest(Point(0.345, 0.5)) in (34, 35)
+
+    def test_bulk_load_single_entry(self):
+        rtree = RTreeIndex()
+        rtree.bulk_load({"only": Rect.point(Point(0.5, 0.5))})
+        assert rtree.nearest(Point(0, 0)) == "only"
+        rtree.check_invariants()
+
+    def test_bulk_load_sizes_around_node_capacity(self, rng):
+        """STR packing edge cases: exactly M, M+1, M^2, M^2+1 entries."""
+        for n in (16, 17, 256, 257):
+            points = random_points(rng, n)
+            rtree = RTreeIndex(max_entries=16)
+            rtree.bulk_load({i: Rect.point(p) for i, p in enumerate(points)})
+            rtree.check_invariants()
+            oracle = BruteForceIndex()
+            for i, p in enumerate(points):
+                oracle.insert_point(i, p)
+            q = Point(0.5, 0.5)
+            assert rtree.k_nearest(q, min(5, n)) == oracle.k_nearest(q, min(5, n))
+
+    def test_large_overlapping_rects(self, rng):
+        """Heavily overlapping entries (worst case for R-trees) stay
+        correct."""
+        rects = [
+            Rect(0.0, 0.0, float(rng.uniform(0.5, 1.0)), float(rng.uniform(0.5, 1.0)))
+            for _ in range(120)
+        ]
+        rtree = RTreeIndex(max_entries=4)
+        oracle = BruteForceIndex()
+        for i, r in enumerate(rects):
+            rtree.insert(i, r)
+            oracle.insert(i, r)
+        rtree.check_invariants()
+        q = Point(0.9, 0.9)
+        got = rtree.nearest(q)
+        want = oracle.nearest(q)
+        assert rtree.rect_of(got).min_distance_to_point(q) == pytest.approx(
+            oracle.rect_of(want).min_distance_to_point(q)
+        )
+
+    def test_max_distance_nn_with_ties(self):
+        rtree = RTreeIndex(max_entries=4)
+        # Four symmetric rects: all the same max distance from center.
+        rtree.insert("a", Rect(0.0, 0.0, 0.2, 0.2))
+        rtree.insert("b", Rect(0.8, 0.0, 1.0, 0.2))
+        rtree.insert("c", Rect(0.0, 0.8, 0.2, 1.0))
+        rtree.insert("d", Rect(0.8, 0.8, 1.0, 1.0))
+        winner = rtree.nearest_by_max_distance(Point(0.5, 0.5))
+        assert winner in ("a", "b", "c", "d")
+
+
+@settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["insert", "remove"]),
+            st.floats(0, 1, allow_nan=False),
+            st.floats(0, 1, allow_nan=False),
+        ),
+        min_size=1,
+        max_size=120,
+    )
+)
+def test_property_rtree_vs_oracle_under_op_sequences(ops):
+    rtree = RTreeIndex(max_entries=4)
+    oracle = BruteForceIndex()
+    live: list[int] = []
+    next_id = 0
+    for op, x, y in ops:
+        if op == "insert" or not live:
+            rtree.insert_point(next_id, Point(x, y))
+            oracle.insert_point(next_id, Point(x, y))
+            live.append(next_id)
+            next_id += 1
+        else:
+            victim = live.pop(int(x * len(live)) % len(live))
+            rtree.remove(victim)
+            oracle.remove(victim)
+    rtree.check_invariants()
+    if live:
+        q = Point(0.5, 0.5)
+        assert rtree.k_nearest(q, min(3, len(live))) == oracle.k_nearest(
+            q, min(3, len(live))
+        )

@@ -1,0 +1,146 @@
+"""Stateful property testing of the two anonymizers.
+
+Hypothesis drives arbitrary interleavings of register / move /
+deregister / profile-change operations against the basic and adaptive
+anonymizers *simultaneously*, asserting after every step that
+
+* both structures pass their internal consistency checks,
+* both report identical cell populations for any queried region,
+* cloaking (when satisfiable) meets the profile on both, with the
+  achieved k equal to the true region population.
+
+This is the deepest correctness net in the suite: the adaptive
+anonymizer's split/merge machinery has to agree with the trivially
+correct complete pyramid on every reachable state.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.anonymizer import AdaptiveAnonymizer, BasicAnonymizer, PrivacyProfile
+from repro.errors import ProfileUnsatisfiableError
+from repro.geometry import Point, Rect
+
+UNIT = Rect(0.0, 0.0, 1.0, 1.0)
+HEIGHT = 5
+
+coords = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+ks = st.integers(1, 30)
+a_mins = st.sampled_from([0.0, 0.001, 0.01, 0.1])
+
+
+class AnonymizerMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self) -> None:
+        self.basic = BasicAnonymizer(UNIT, HEIGHT)
+        self.adaptive = AdaptiveAnonymizer(UNIT, HEIGHT)
+        self.points: dict[int, Point] = {}
+        self.profiles: dict[int, PrivacyProfile] = {}
+        self.next_uid = 0
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    @rule(x=coords, y=coords, k=ks, a_min=a_mins)
+    def register(self, x: float, y: float, k: int, a_min: float) -> None:
+        uid = self.next_uid
+        self.next_uid += 1
+        point = Point(x, y)
+        profile = PrivacyProfile(k=k, a_min=a_min)
+        self.basic.register(uid, point, profile)
+        self.adaptive.register(uid, point, profile)
+        self.points[uid] = point
+        self.profiles[uid] = profile
+
+    @precondition(lambda self: bool(self.points))
+    @rule(data=st.data(), x=coords, y=coords)
+    def move(self, data, x: float, y: float) -> None:
+        uid = data.draw(st.sampled_from(sorted(self.points)), label="uid")
+        point = Point(x, y)
+        self.basic.update(uid, point)
+        self.adaptive.update(uid, point)
+        self.points[uid] = point
+
+    @precondition(lambda self: bool(self.points))
+    @rule(data=st.data())
+    def deregister(self, data) -> None:
+        uid = data.draw(st.sampled_from(sorted(self.points)), label="uid")
+        self.basic.deregister(uid)
+        self.adaptive.deregister(uid)
+        del self.points[uid]
+        del self.profiles[uid]
+
+    @precondition(lambda self: bool(self.points))
+    @rule(data=st.data(), k=ks, a_min=a_mins)
+    def change_profile(self, data, k: int, a_min: float) -> None:
+        uid = data.draw(st.sampled_from(sorted(self.points)), label="uid")
+        profile = PrivacyProfile(k=k, a_min=a_min)
+        self.basic.set_profile(uid, profile)
+        self.adaptive.set_profile(uid, profile)
+        self.profiles[uid] = profile
+
+    @precondition(lambda self: bool(self.points))
+    @rule(data=st.data())
+    def cloak(self, data) -> None:
+        uid = data.draw(st.sampled_from(sorted(self.points)), label="uid")
+        profile = self.profiles[uid]
+        point = self.points[uid]
+        for anonymizer in (self.basic, self.adaptive):
+            try:
+                region = anonymizer.cloak(uid)
+            except ProfileUnsatisfiableError:
+                # Then the whole population must genuinely be too small
+                # or the area requirement exceeds the space.
+                assert (
+                    len(self.points) < profile.k
+                    or profile.a_min > UNIT.area + 1e-12
+                )
+                continue
+            assert region.region.contains_point(point)
+            assert region.achieved_k >= profile.k
+            assert region.area >= profile.a_min - 1e-12
+            # achieved_k uses half-open cell-assignment membership (a
+            # point on a shared border belongs to the upper-right cell),
+            # so the oracle counts the same way.
+            level = region.cells[0].level
+            cell_set = set(region.cells)
+            true_population = sum(
+                1 for p in self.points.values()
+                if anonymizer.grid.cell_of(p, level) in cell_set
+            )
+            assert region.achieved_k == true_population
+
+    # ------------------------------------------------------------------
+    # Invariants
+    # ------------------------------------------------------------------
+    @invariant()
+    def structures_consistent(self) -> None:
+        if not hasattr(self, "basic"):
+            return
+        self.basic.check_invariants()
+        self.adaptive.check_invariants()
+        assert self.basic.num_users == self.adaptive.num_users == len(self.points)
+
+    @invariant()
+    def counts_agree_on_maintained_cells(self) -> None:
+        if not hasattr(self, "basic"):
+            return
+        # Every maintained adaptive cell's count must equal the basic
+        # pyramid's count for the same cell.
+        for cell in list(self.adaptive._cells):
+            assert self.adaptive.cell_count(cell) == self.basic.cell_count(cell)
+
+
+AnonymizerMachine.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=40, deadline=None
+)
+TestAnonymizerMachine = AnonymizerMachine.TestCase

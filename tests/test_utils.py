@@ -1,0 +1,149 @@
+"""Tests for the utils package (rng, timer, units) and the error types."""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    CasperError,
+    DuplicateUserError,
+    EmptyDatasetError,
+    InvalidProfileError,
+    OutOfBoundsError,
+    ProfileUnsatisfiableError,
+    UnknownUserError,
+)
+from repro.utils import (
+    Accumulator,
+    Stopwatch,
+    ensure_rng,
+    format_count,
+    format_seconds,
+    spawn_rngs,
+    transmission_seconds,
+)
+
+
+class TestRng:
+    def test_ensure_rng_from_int_is_deterministic(self):
+        a = ensure_rng(42)
+        b = ensure_rng(42)
+        assert a.random() == b.random()
+
+    def test_ensure_rng_passthrough(self):
+        gen = np.random.default_rng(1)
+        assert ensure_rng(gen) is gen
+
+    def test_ensure_rng_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_spawn_rngs_independent_and_deterministic(self):
+        children_a = spawn_rngs(7, 3)
+        children_b = spawn_rngs(7, 3)
+        assert len(children_a) == 3
+        for a, b in zip(children_a, children_b):
+            assert a.random() == b.random()
+        # Streams differ from each other.
+        values = {ensure_rng(7).random()} | {c.random() for c in spawn_rngs(7, 3)}
+        assert len(values) > 1
+
+
+class TestStopwatch:
+    def test_measures_elapsed(self):
+        with Stopwatch() as sw:
+            time.sleep(0.01)
+        assert sw.elapsed >= 0.009
+
+    def test_reusable(self):
+        sw = Stopwatch()
+        with sw:
+            pass
+        first = sw.elapsed
+        with sw:
+            time.sleep(0.005)
+        assert sw.elapsed >= first
+
+
+class TestAccumulator:
+    def test_streaming_stats(self):
+        acc = Accumulator()
+        acc.extend([1.0, 2.0, 3.0])
+        assert acc.count == 3
+        assert acc.mean == pytest.approx(2.0)
+        assert acc.minimum == 1.0
+        assert acc.maximum == 3.0
+
+    def test_empty_mean_is_zero(self):
+        assert Accumulator().mean == 0.0
+
+    def test_merge(self):
+        a = Accumulator()
+        a.extend([1.0, 2.0])
+        b = Accumulator()
+        b.extend([10.0])
+        a.merge(b)
+        assert a.count == 3
+        assert a.maximum == 10.0
+        assert a.mean == pytest.approx(13.0 / 3)
+
+
+class TestUnits:
+    def test_transmission_seconds_paper_model(self):
+        # 1000 x 64 B records over 100 Mbps: 512000 bits / 1e8 bps.
+        assert transmission_seconds(1000) == pytest.approx(5.12e-3)
+
+    def test_transmission_zero_records(self):
+        assert transmission_seconds(0) == 0.0
+
+    def test_transmission_validation(self):
+        with pytest.raises(ValueError):
+            transmission_seconds(-1)
+        with pytest.raises(ValueError):
+            transmission_seconds(1, record_bytes=0)
+        with pytest.raises(ValueError):
+            transmission_seconds(1, bandwidth_mbps=0)
+
+    def test_format_seconds_units(self):
+        assert format_seconds(2.5) == "2.500 s"
+        assert format_seconds(0.0025).endswith("ms")
+        assert format_seconds(2.5e-6).endswith("us")
+
+    def test_format_count(self):
+        assert format_count(42) == "42"
+        assert format_count(42.5) == "42.50"
+        assert format_count(12_300) == "12.3K"
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        assert issubclass(UnknownUserError, CasperError)
+        assert issubclass(UnknownUserError, KeyError)
+        assert issubclass(DuplicateUserError, ValueError)
+        assert issubclass(InvalidProfileError, ValueError)
+        assert issubclass(OutOfBoundsError, CasperError)
+        assert issubclass(ProfileUnsatisfiableError, CasperError)
+        assert issubclass(EmptyDatasetError, CasperError)
+
+    def test_unknown_user_carries_uid(self):
+        err = UnknownUserError("u42")
+        assert err.uid == "u42"
+        assert "u42" in str(err)
+
+    def test_duplicate_user_carries_uid(self):
+        err = DuplicateUserError(7)
+        assert err.uid == 7
+
+    def test_one_except_catches_all(self):
+        for exc in (
+            UnknownUserError("x"),
+            DuplicateUserError("x"),
+            InvalidProfileError("bad"),
+            ProfileUnsatisfiableError("no"),
+            OutOfBoundsError("out"),
+            EmptyDatasetError("empty"),
+        ):
+            with pytest.raises(CasperError):
+                raise exc

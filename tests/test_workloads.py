@@ -1,0 +1,149 @@
+"""Tests for the workload generators."""
+
+from __future__ import annotations
+
+import statistics
+
+import numpy as np
+import pytest
+
+from repro.geometry import Point, Rect
+from repro.workloads import (
+    PAPER_AMIN_FRACTION_RANGE,
+    PAPER_K_RANGE,
+    build_scenario,
+    cell_region,
+    profiles_for_k_range,
+    query_regions_of_cells,
+    random_query_points,
+    uniform_points,
+    uniform_private_regions,
+    uniform_profiles,
+)
+
+UNIT = Rect(0, 0, 1, 1)
+
+
+class TestTargets:
+    def test_uniform_points_within_bounds(self):
+        targets = uniform_points(200, UNIT, seed=0)
+        assert len(targets) == 200
+        assert all(UNIT.contains_point(p) for p in targets.values())
+        assert set(targets) == {f"T{i + 1}" for i in range(200)}
+
+    def test_uniform_points_deterministic(self):
+        assert uniform_points(50, UNIT, seed=3) == uniform_points(50, UNIT, seed=3)
+
+    def test_uniform_points_validation(self):
+        with pytest.raises(ValueError):
+            uniform_points(-1, UNIT)
+
+    def test_cell_region_area(self):
+        region = cell_region(Point(0.5, 0.5), 64, UNIT, pyramid_height=9)
+        expected = 64 * UNIT.area / 4**9
+        assert region.area == pytest.approx(expected)
+
+    def test_cell_region_shifted_inside_bounds(self):
+        # A center on the border: the region shifts inward, keeping area.
+        region = cell_region(Point(0.0, 0.0), 256, UNIT, pyramid_height=9)
+        assert UNIT.contains_rect(region)
+        assert region.area == pytest.approx(256 * UNIT.area / 4**9)
+
+    def test_cell_region_validation(self):
+        with pytest.raises(ValueError):
+            cell_region(Point(0.5, 0.5), 0, UNIT, 9)
+
+    def test_uniform_private_regions_cells_in_range(self):
+        regions = uniform_private_regions(
+            300, UNIT, pyramid_height=9, cells_range=(1, 64), seed=1
+        )
+        cell = UNIT.area / 4**9
+        sizes = [r.area / cell for r in regions.values()]
+        assert min(sizes) >= 0.9  # shifted regions keep their area
+        assert max(sizes) <= 64.1
+        assert 20 < statistics.mean(sizes) < 45  # uniform over [1, 64]
+        assert all(UNIT.contains_rect(r) for r in regions.values())
+
+    def test_uniform_private_regions_validation(self):
+        with pytest.raises(ValueError):
+            uniform_private_regions(10, UNIT, cells_range=(0, 64))
+        with pytest.raises(ValueError):
+            uniform_private_regions(10, UNIT, cells_range=(64, 1))
+
+
+class TestProfiles:
+    def test_uniform_profiles_ranges(self):
+        profiles = uniform_profiles(500, UNIT, seed=0)
+        k_lo, k_hi = PAPER_K_RANGE
+        f_lo, f_hi = PAPER_AMIN_FRACTION_RANGE
+        assert all(k_lo <= p.k <= k_hi for p in profiles)
+        assert all(
+            f_lo * UNIT.area <= p.a_min <= f_hi * UNIT.area for p in profiles
+        )
+
+    def test_uniform_profiles_cover_range(self):
+        profiles = uniform_profiles(2000, UNIT, seed=1)
+        ks = {p.k for p in profiles}
+        assert min(ks) == 1
+        assert max(ks) == 50
+
+    def test_uniform_profiles_validation(self):
+        with pytest.raises(ValueError):
+            uniform_profiles(10, UNIT, k_range=(0, 5))
+        with pytest.raises(ValueError):
+            uniform_profiles(10, UNIT, a_min_fraction_range=(0.1, 0.01))
+
+    def test_profiles_for_k_range(self):
+        profiles = profiles_for_k_range(300, (150, 200), seed=2)
+        assert all(150 <= p.k <= 200 for p in profiles)
+        assert all(p.a_min == 0.0 for p in profiles)
+
+    def test_scaled_amin_for_non_unit_bounds(self):
+        big = Rect(0, 0, 10, 10)
+        profiles = uniform_profiles(100, big, seed=3)
+        f_lo, f_hi = PAPER_AMIN_FRACTION_RANGE
+        assert all(
+            f_lo * big.area <= p.a_min <= f_hi * big.area for p in profiles
+        )
+
+
+class TestQueries:
+    def test_query_regions_have_requested_cells(self):
+        regions = query_regions_of_cells(20, 1024, UNIT, pyramid_height=9, seed=0)
+        cell = UNIT.area / 4**9
+        for r in regions:
+            assert r.area / cell == pytest.approx(1024, rel=0.01)
+            assert UNIT.contains_rect(r)
+
+    def test_random_query_points_in_bounds(self):
+        pts = random_query_points(100, UNIT, seed=5)
+        assert len(pts) == 100
+        assert all(UNIT.contains_point(p) for p in pts)
+
+
+class TestScenario:
+    def test_build_scenario_shape(self):
+        scenario = build_scenario(200, seed=0)
+        assert scenario.num_users == 200
+        assert len(scenario.positions()) == 200
+        assert scenario.network.is_connected()
+
+    def test_scenario_deterministic(self):
+        a = build_scenario(100, seed=9)
+        b = build_scenario(100, seed=9)
+        assert a.positions() == b.positions()
+        assert a.profiles == b.profiles
+
+    def test_register_all_and_step(self):
+        from repro.anonymizer import BasicAnonymizer
+
+        scenario = build_scenario(150, seed=1)
+        anonymizer = BasicAnonymizer(scenario.bounds, height=6)
+        scenario.register_all(anonymizer)
+        assert anonymizer.num_users == 150
+        updates = scenario.step()
+        assert len(updates) == 150
+
+    def test_profile_ranges_respected(self):
+        scenario = build_scenario(300, k_range=(10, 20), seed=2)
+        assert all(10 <= p.k <= 20 for p in scenario.profiles)
