@@ -28,7 +28,10 @@ def _cmd_figures(args: argparse.Namespace) -> int:
             print(f"unknown figures: {', '.join(unknown)}", file=sys.stderr)
             print(f"available: {', '.join(FIGURES)}", file=sys.stderr)
             return 2
-    main(names, charts=not args.no_charts)
+    if args.parallel < 1:
+        print("--parallel must be >= 1", file=sys.stderr)
+        return 2
+    main(names, charts=not args.no_charts, parallel=args.parallel)
     return 0
 
 
@@ -110,6 +113,10 @@ def main(argv: list[str] | None = None) -> int:
     figures.add_argument("names", nargs="*", help="figure names, e.g. fig13")
     figures.add_argument(
         "--no-charts", action="store_true", help="tables only, no ASCII charts"
+    )
+    figures.add_argument(
+        "--parallel", type=int, default=1, metavar="N",
+        help="run figures across N worker processes (default: serial)",
     )
     figures.set_defaults(func=_cmd_figures)
 

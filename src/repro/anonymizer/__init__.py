@@ -7,6 +7,7 @@ cloaking of Algorithm 1 and the ``(k, A_min)`` privacy-profile model.
 
 from repro.anonymizer.adaptive import AdaptiveAnonymizer
 from repro.anonymizer.basic import BasicAnonymizer
+from repro.anonymizer.cache import CloakCache
 from repro.anonymizer.cells import CellGrid, CellId
 from repro.anonymizer.cloak import CloakedRegion, bottom_up_cloak
 from repro.anonymizer.profile import PUBLIC_PROFILE, PrivacyProfile
@@ -17,6 +18,7 @@ __all__ = [
     "BasicAnonymizer",
     "CellGrid",
     "CellId",
+    "CloakCache",
     "CloakedRegion",
     "bottom_up_cloak",
     "PrivacyProfile",

@@ -24,8 +24,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.anonymizer.cache import CloakCache
 from repro.anonymizer.cells import CellGrid, CellId
-from repro.anonymizer.cloak import CloakedRegion, bottom_up_cloak
+from repro.anonymizer.cloak import CloakedRegion
 from repro.anonymizer.profile import PrivacyProfile
 from repro.anonymizer.stats import MaintenanceStats
 from repro.errors import DuplicateUserError, UnknownUserError
@@ -58,11 +59,19 @@ class _Cell:
 class AdaptiveAnonymizer:
     """Incomplete-pyramid location anonymizer."""
 
-    def __init__(self, bounds: Rect, height: int = 9) -> None:
+    def __init__(
+        self, bounds: Rect, height: int = 9, cloak_cache_size: int = 8192
+    ) -> None:
         self.grid = CellGrid(bounds, height)
         self.stats = MaintenanceStats()
         self._cells: dict[CellId, _Cell] = {CellId(0, 0, 0): _Cell()}
         self._users: dict[object, _UserRecord] = {}
+        # Generation counters outlive the cells they describe: a merged
+        # (deleted) cell's count reads as 0, which is still a change the
+        # cloak cache must observe, so gens live in their own dict.
+        self._gens: dict[CellId, int] = {}
+        self._epoch = 0
+        self.cloak_cache = CloakCache(cloak_cache_size)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -179,6 +188,7 @@ class AdaptiveAnonymizer:
             if cell in common:
                 break
             self._cells[cell].count -= 1
+            self._bump_gen(cell)
             cost += 1
         stop_at = None
         for cell in old_path:
@@ -189,7 +199,9 @@ class AdaptiveAnonymizer:
             if cell == stop_at:
                 break
             self._cells[cell].count += 1
+            self._bump_gen(cell)
             cost += 1
+        self._epoch += 1
         return cost
 
     def _add_to_leaf(self, uid: object, leaf: CellId) -> None:
@@ -197,6 +209,8 @@ class AdaptiveAnonymizer:
         path = self.grid.path_to_root(leaf)
         for cell in path:
             self._cells[cell].count += 1
+            self._bump_gen(cell)
+        self._epoch += 1
         self.stats.counter_updates += len(path)
 
     def _remove_from_leaf(self, uid: object, leaf: CellId) -> None:
@@ -204,7 +218,15 @@ class AdaptiveAnonymizer:
         path = self.grid.path_to_root(leaf)
         for cell in path:
             self._cells[cell].count -= 1
+            self._bump_gen(cell)
+        self._epoch += 1
         self.stats.counter_updates += len(path)
+
+    def _bump_gen(self, cell: CellId) -> None:
+        self._gens[cell] = self._gens.get(cell, 0) + 1
+
+    def _gen_of(self, cell: CellId) -> int:
+        return self._gens.get(cell, 0)
 
     # ------------------------------------------------------------------
     # Splitting and merging
@@ -257,8 +279,12 @@ class AdaptiveAnonymizer:
             self._cells[child] = _Cell(
                 count=len(members), is_leaf=True, users=members
             )
+            # The child's count was readable as 0 while unmaintained;
+            # materialising it is a visible change for cached cloaks.
+            self._bump_gen(child)
             for uid in members:
                 self._users[uid].leaf = child
+        self._epoch += 1
         self.stats.splits += 1
         # Restructuring cost: four new counters plus one hash-table
         # relocation per affected user.
@@ -292,6 +318,9 @@ class AdaptiveAnonymizer:
                 self._users[uid].leaf = parent
             for child in children:
                 del self._cells[child]
+                # Deleted cells read as count 0 from now on.
+                self._bump_gen(child)
+            self._epoch += 1
             self.stats.merges += 1
             self.stats.counter_updates += 4 + len(merged_users)
             leaf = parent
@@ -304,13 +333,18 @@ class AdaptiveAnonymizer:
         lowest *maintained* cell."""
         record = self._record(uid)
         self.stats.cloak_requests += 1
-        return bottom_up_cloak(self.grid, self.cell_count, record.profile, record.leaf)
+        return self.cloak_cache.cloak(
+            self.grid, self.cell_count, self._gen_of, self._epoch,
+            record.profile, record.leaf,
+        )
 
     def cloak_location(self, point: Point, profile: PrivacyProfile) -> CloakedRegion:
         """One-shot cloak of an arbitrary location (query anonymization)."""
         leaf = self.leaf_for_point(point)
         self.stats.cloak_requests += 1
-        return bottom_up_cloak(self.grid, self.cell_count, profile, leaf)
+        return self.cloak_cache.cloak(
+            self.grid, self.cell_count, self._gen_of, self._epoch, profile, leaf
+        )
 
     # ------------------------------------------------------------------
     # Diagnostics

@@ -13,8 +13,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.anonymizer.cache import CloakCache
 from repro.anonymizer.cells import CellGrid, CellId
-from repro.anonymizer.cloak import CloakedRegion, bottom_up_cloak
+from repro.anonymizer.cloak import CloakedRegion
 from repro.anonymizer.profile import PrivacyProfile
 from repro.anonymizer.stats import MaintenanceStats
 from repro.errors import DuplicateUserError, UnknownUserError
@@ -41,14 +42,24 @@ class BasicAnonymizer:
         Pyramid height ``H``; the lowest level has ``4**H`` cells.
     """
 
-    def __init__(self, bounds: Rect, height: int = 9) -> None:
+    def __init__(
+        self, bounds: Rect, height: int = 9, cloak_cache_size: int = 8192
+    ) -> None:
         self.grid = CellGrid(bounds, height)
         self.stats = MaintenanceStats()
-        # counts[level] is a (side, side) int array, indexed [ix, iy].
+        # counts[level] is a (side, side) int array, indexed [ix, iy];
+        # gens[level] mirrors it with per-cell generation counters for
+        # cloak-cache invalidation (bumped whenever the count changes).
         self._counts: list[np.ndarray] = [
             np.zeros((1 << level, 1 << level), dtype=np.int64)
             for level in range(height + 1)
         ]
+        self._gens: list[np.ndarray] = [
+            np.zeros((1 << level, 1 << level), dtype=np.int64)
+            for level in range(height + 1)
+        ]
+        self._epoch = 0
+        self.cloak_cache = CloakCache(cloak_cache_size)
         self._users: dict[object, _UserRecord] = {}
 
     # ------------------------------------------------------------------
@@ -133,11 +144,14 @@ class BasicAnonymizer:
         for level in range(record.cell.level, ancestor_level, -1):
             self._counts[level][old.ix, old.iy] -= 1
             self._counts[level][new.ix, new.iy] += 1
+            self._gens[level][old.ix, old.iy] += 1
+            self._gens[level][new.ix, new.iy] += 1
             cost += 2
             if level - 1 > ancestor_level:
                 old = old.parent()
                 new = new.parent()
         record.cell = new_cell
+        self._epoch += 1
         self.stats.counter_updates += cost
         self.stats.cell_changes += 1
         return cost
@@ -145,7 +159,12 @@ class BasicAnonymizer:
     def _apply_delta(self, cell: CellId, delta: int) -> None:
         for ancestor in self.grid.path_to_root(cell):
             self._counts[ancestor.level][ancestor.ix, ancestor.iy] += delta
+            self._gens[ancestor.level][ancestor.ix, ancestor.iy] += 1
+        self._epoch += 1
         self.stats.counter_updates += cell.level + 1
+
+    def _gen_of(self, cell: CellId) -> int:
+        return int(self._gens[cell.level][cell.ix, cell.iy])
 
     # ------------------------------------------------------------------
     # Cloaking
@@ -154,14 +173,19 @@ class BasicAnonymizer:
         """Blur ``uid``'s current location per their privacy profile."""
         record = self._record(uid)
         self.stats.cloak_requests += 1
-        return bottom_up_cloak(self.grid, self.cell_count, record.profile, record.cell)
+        return self.cloak_cache.cloak(
+            self.grid, self.cell_count, self._gen_of, self._epoch,
+            record.profile, record.cell,
+        )
 
     def cloak_location(self, point: Point, profile: PrivacyProfile) -> CloakedRegion:
         """Blur an arbitrary location under ``profile`` without
         registering it — used for one-shot query cloaking."""
         cell = self.grid.cell_of(point)
         self.stats.cloak_requests += 1
-        return bottom_up_cloak(self.grid, self.cell_count, profile, cell)
+        return self.cloak_cache.cloak(
+            self.grid, self.cell_count, self._gen_of, self._epoch, profile, cell
+        )
 
     # ------------------------------------------------------------------
     # Diagnostics

@@ -1,0 +1,131 @@
+"""Cloak-result memoization with generation-counter invalidation.
+
+Algorithm 1 is a pure function of the start cell, the privacy profile's
+``(k, A_min)``, and the pyramid counters it reads on the way up.  Under
+real workloads those inputs repeat constantly — every user in the same
+lowest-level cell with the same profile produces the *same* cloak, and a
+continuous monitor re-cloaks every registered user on every flush — so
+both anonymizers memoize ``bottom_up_cloak`` behind this cache.
+
+Correctness rests on two counters:
+
+* every pyramid cell has a **generation** that its owning anonymizer
+  bumps whenever the cell's population count changes (any counter delta
+  along a register/update/deregister path, and any adaptive split/merge
+  that materialises or dissolves the cell).  A cache entry records the
+  generation of every cell Algorithm 1 read; the entry is served only
+  while all of those generations are unchanged, so a stale cloak can
+  never escape.
+* the anonymizer-wide **mutation epoch** increments on any mutation at
+  all.  A cache entry revalidated at the current epoch skips the
+  per-cell check entirely, making the common case — many cloaks between
+  mutations, e.g. co-located users cloaking back to back — a single
+  dict probe.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable
+
+from repro.anonymizer.cells import CellGrid, CellId
+from repro.anonymizer.cloak import CloakedRegion, bottom_up_cloak
+from repro.anonymizer.profile import PrivacyProfile
+
+__all__ = ["CloakCache"]
+
+CountFn = Callable[[CellId], int]
+GenFn = Callable[[CellId], int]
+
+
+class _Entry:
+    __slots__ = ("region", "snapshot", "epoch")
+
+    def __init__(
+        self,
+        region: CloakedRegion,
+        snapshot: tuple[tuple[CellId, int], ...],
+        epoch: int,
+    ) -> None:
+        self.region = region
+        self.snapshot = snapshot
+        self.epoch = epoch
+
+
+class CloakCache:
+    """LRU cache of :func:`bottom_up_cloak` results.
+
+    Keys are ``(start cell, k, A_min)``; values remember the cloak and a
+    ``(cell, generation)`` snapshot of every pyramid counter the
+    computation read.  ``capacity=0`` disables caching entirely (every
+    call recomputes — used by benchmarks to measure the uncached path).
+    """
+
+    def __init__(self, capacity: int = 8192) -> None:
+        if capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        self.capacity = capacity
+        self._entries: OrderedDict[
+            tuple[CellId, int, float], _Entry
+        ] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        """Drop every cached cloak (counters are kept)."""
+        self._entries.clear()
+
+    def cloak(
+        self,
+        grid: CellGrid,
+        count: CountFn,
+        gen: GenFn,
+        epoch: int,
+        profile: PrivacyProfile,
+        start: CellId,
+    ) -> CloakedRegion:
+        """Return ``bottom_up_cloak(grid, count, profile, start)``,
+        memoized.
+
+        ``gen`` maps a cell to its current generation and ``epoch`` is
+        the anonymizer's mutation epoch.  Unsatisfiable profiles
+        propagate their exception and are never cached.
+        """
+        if self.capacity == 0:
+            return bottom_up_cloak(grid, count, profile, start)
+        key = (start, profile.k, profile.a_min)
+        entry = self._entries.get(key)
+        if entry is not None:
+            if entry.epoch == epoch or all(
+                gen(cell) == g for cell, g in entry.snapshot
+            ):
+                entry.epoch = epoch
+                self.hits += 1
+                self._entries.move_to_end(key)
+                return entry.region
+            del self._entries[key]
+            self.invalidations += 1
+        self.misses += 1
+        reads: list[tuple[CellId, int]] = []
+
+        def recording(cell: CellId) -> int:
+            reads.append((cell, gen(cell)))
+            return count(cell)
+
+        region = bottom_up_cloak(grid, recording, profile, start)
+        self._entries[key] = _Entry(region, tuple(reads), epoch)
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+        return region
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when unused)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -30,7 +30,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.geometry import Point, Rect
-from repro.processor import CandidateList, private_nn_over_public, private_range_over_public
+from repro.processor import (
+    BatchRequest,
+    CandidateList,
+    private_nn_over_public,
+    private_range_over_public,
+)
 from repro.server.casper import Casper
 from repro.spatial import GridIndex
 
@@ -230,13 +235,34 @@ class ContinuousQueryMonitor:
             if region != query.cloak:
                 self._dirty.add(query_id)
         changes: list[AnswerChange] = []
-        for query_id in sorted(self._dirty, key=str):
+        dirty = sorted(self._dirty, key=str)
+        # Dirty nn/range queries go through the server's batch engine:
+        # queries whose users share a cloak (one crowded cell going
+        # dirty at once) collapse to a single processor execution.
+        # Buddy queries exclude the requester's own record, so each one
+        # runs against a momentarily different index and stays
+        # un-batched.
+        batched = [
+            query_id for query_id in dirty
+            if self._queries[query_id].kind != "buddy"
+        ]
+        batch_results = dict(
+            zip(
+                batched,
+                self.casper.server.run_batch(
+                    [self._batch_request(query_id, fresh_cloaks) for query_id in batched]
+                ),
+            )
+        )
+        for query_id in dirty:
             query = self._queries[query_id]
             cloak_region = fresh_cloaks[query_id]
-            candidates = self._evaluate(
-                query.kind, cloak_region, query.num_filters, query.radius,
-                query.uid,
-            )
+            candidates = batch_results.get(query_id)
+            if candidates is None:
+                candidates = self._evaluate(
+                    query.kind, cloak_region, query.num_filters, query.radius,
+                    query.uid,
+                )
             new_answer = frozenset(candidates.oids())
             change = AnswerChange(
                 query_id=query_id,
@@ -253,6 +279,18 @@ class ContinuousQueryMonitor:
                 changes.append(change)
         self._dirty.clear()
         return changes
+
+    def _batch_request(
+        self, query_id: object, fresh_cloaks: dict[object, Rect]
+    ) -> BatchRequest:
+        query = self._queries[query_id]
+        if query.kind == "nn":
+            return BatchRequest(
+                "nn_public", fresh_cloaks[query_id], num_filters=query.num_filters
+            )
+        return BatchRequest(
+            "range_public", fresh_cloaks[query_id], radius=query.radius
+        )
 
     def answer_of(self, query_id: object) -> frozenset:
         """The current (last flushed) answer set of a query."""

@@ -4,11 +4,19 @@
 active scale preset and returns the panels; ``format_report`` renders
 them (tables + ASCII charts) as a Markdown-ish document — the engine
 behind ``python -m repro figures``.
+
+With ``parallel=N`` the figures run across ``N`` worker processes.
+Every figure seeds its own RNGs internally, so the panels a figure
+produces are identical whichever process runs it, and the runner
+reassembles results in request order — the report is byte-identical to
+a serial run (up to the wall-clock timing panels of fig10a/fig17, which
+are nondeterministic in *any* mode).
 """
 
 from __future__ import annotations
 
 import time
+from concurrent.futures import ProcessPoolExecutor
 from typing import Callable
 
 from repro.evaluation.ascii_chart import render_chart
@@ -101,11 +109,24 @@ FIGURES: dict[str, Callable[[ScalePreset], dict[str, ExperimentResult]]] = {
 }
 
 
+def _run_figure(task: tuple[str, ScalePreset]) -> tuple[str, dict[str, ExperimentResult]]:
+    """Worker entry point: run one figure (must be picklable)."""
+    name, scale = task
+    return name, FIGURES[name](scale)
+
+
 def run_experiments(
-    names: list[str] | None = None, scale: ScalePreset | None = None
+    names: list[str] | None = None,
+    scale: ScalePreset | None = None,
+    parallel: int = 1,
 ) -> dict[str, dict[str, ExperimentResult]]:
     """Run the named figures (all by default); returns
-    ``{figure_name: {panel_key: result}}``."""
+    ``{figure_name: {panel_key: result}}``.
+
+    ``parallel`` > 1 distributes whole figures over that many worker
+    processes; the returned mapping is in request order and its panels
+    are identical to a serial run (figures seed their RNGs internally).
+    """
     if scale is None:
         scale = active_scale()
     if names is None:
@@ -113,6 +134,13 @@ def run_experiments(
     unknown = [n for n in names if n not in FIGURES]
     if unknown:
         raise ValueError(f"unknown figures: {unknown}; known: {list(FIGURES)}")
+    if parallel < 1:
+        raise ValueError("parallel must be >= 1")
+    if parallel > 1 and len(names) > 1:
+        workers = min(parallel, len(names))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            finished = dict(pool.map(_run_figure, [(n, scale) for n in names]))
+        return {name: finished[name] for name in names}
     return {name: FIGURES[name](scale) for name in names}
 
 
@@ -133,12 +161,14 @@ def format_report(
     return "\n\n".join(blocks)
 
 
-def main(names: list[str] | None = None, charts: bool = True) -> None:
+def main(
+    names: list[str] | None = None, charts: bool = True, parallel: int = 1
+) -> None:
     """Run and print (used by ``python -m repro figures``)."""
     scale = active_scale()
     print(f"scale preset: {scale.name} "
           f"({scale.num_users} users, {scale.num_targets} targets)")
     start = time.perf_counter()
-    results = run_experiments(names, scale)
+    results = run_experiments(names, scale, parallel=parallel)
     print(format_report(results, charts=charts))
     print(f"total experiment time: {time.perf_counter() - start:.1f} s")

@@ -13,6 +13,7 @@ All of them work on any :class:`~repro.spatial.SpatialIndex` and return
 candidate lists that are inclusive and minimal.
 """
 
+from repro.processor.batch import BatchQueryEngine, BatchRequest
 from repro.processor.candidate import CandidateList
 from repro.processor.density import DensityMap, density_map_over_private
 from repro.processor.extension import (
@@ -49,6 +50,8 @@ from repro.processor.range_queries import (
 )
 
 __all__ = [
+    "BatchQueryEngine",
+    "BatchRequest",
     "CandidateList",
     "EdgeExtension",
     "VertexFilters",

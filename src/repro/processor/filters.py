@@ -92,21 +92,28 @@ def select_filters_private(
 
     Per Section 5.2.1 the distance from a vertex to a candidate target is
     measured to the target's *furthest corner* — the pessimistic position
-    — so the filter is the target minimising the max-distance.
+    — so the filter is the target minimising the max-distance.  Each
+    anchor resolves through the index's pruned branch-and-bound search
+    (:meth:`~repro.spatial.SpatialIndex.k_nearest_by_max_distance`)
+    rather than a scan over every stored region.
     """
     _require_valid(index, num_filters)
+
+    def pessimistic_nn(anchor: Point) -> object:
+        return index.k_nearest_by_max_distance(anchor, 1)[0]
+
     v1, v2, v3, v4 = area.vertices()
     if num_filters == 4:
-        assignment = {v: index.nearest_by_max_distance(v) for v in (v1, v2, v3, v4)}
+        assignment = {v: pessimistic_nn(v) for v in (v1, v2, v3, v4)}
     elif num_filters == 2:
-        t1 = index.nearest_by_max_distance(v1)
-        t4 = index.nearest_by_max_distance(v4)
+        t1 = pessimistic_nn(v1)
+        t4 = pessimistic_nn(v4)
         assignment = {v1: t1, v4: t4}
         for v in (v2, v3):
             d1 = index.rect_of(t1).max_distance_to_point(v)
             d4 = index.rect_of(t4).max_distance_to_point(v)
             assignment[v] = t1 if d1 <= d4 else t4
     else:
-        t = index.nearest_by_max_distance(area.center)
+        t = pessimistic_nn(area.center)
         assignment = {v: t for v in (v1, v2, v3, v4)}
     return VertexFilters(assignment, num_filters)

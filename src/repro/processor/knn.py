@@ -49,11 +49,15 @@ def _kth_distance_public(index: SpatialIndex, anchor: Point, k: int) -> float:
 
 def _kth_distance_private(index: SpatialIndex, anchor: Point, k: int) -> float:
     """The k-th smallest pessimistic (max) distance from ``anchor`` to a
-    cloaked target region."""
-    distances = sorted(
-        rect.max_distance_to_point(anchor) for _oid, rect in index.items()
-    )
-    return distances[min(k, len(distances)) - 1]
+    cloaked target region.
+
+    Delegates to the index's pruned branch-and-bound search instead of
+    sorting every target: the R-tree/quadtree visit only the subtrees
+    whose MBR lower bound beats the running k-th best, so the four
+    anchor evaluations per query stop scaling with the dataset size.
+    """
+    kth = index.k_nearest_by_max_distance(anchor, k)[-1]
+    return index.rect_of(kth).max_distance_to_point(anchor)
 
 
 def _edge_expansion(length: float, d_i: float, d_j: float) -> float:

@@ -17,6 +17,8 @@ from typing import Callable
 
 from repro.geometry import Point, Rect
 from repro.processor import (
+    BatchQueryEngine,
+    BatchRequest,
     CandidateList,
     OverlapPolicy,
     RangeCountResult,
@@ -42,6 +44,7 @@ class LocationServer:
     ) -> None:
         self.public_index = index_factory()
         self.private_index = index_factory()
+        self.batch_engine = BatchQueryEngine(self.public_index, self.private_index)
 
     # ------------------------------------------------------------------
     # Data maintenance
@@ -125,6 +128,12 @@ class LocationServer:
         return private_range_over_private(
             self.private_index, cloaked_area, radius, policy
         )
+
+    def run_batch(self, requests: list[BatchRequest]) -> list[CandidateList]:
+        """Answer a batch of privacy-aware queries at once, sharing the
+        filter/extension work between requests with the same cloaked
+        area and answering duplicate requests exactly once."""
+        return self.batch_engine.run(requests)
 
     def count_private(self, region: Rect) -> RangeCountResult:
         """Public aggregate query over private data (Section 5's second

@@ -31,9 +31,14 @@ class BruteForceIndex(SpatialIndex):
         return [oid for oid, rect in self._entries.items() if rect.intersects(region)]
 
     def _k_nearest_impl(self, point: Point, k: int) -> list[object]:
+        # Explicit (distance, insertion order) key: this is the ordering
+        # the accelerated indexes are contractually required to match.
         scored = heapq.nsmallest(
             k,
             self._entries.items(),
-            key=lambda item: item[1].min_distance_to_point(point),
+            key=lambda item: (
+                item[1].min_distance_to_point(point),
+                self._seq[item[0]],
+            ),
         )
         return [oid for oid, _rect in scored]

@@ -105,17 +105,20 @@ class GridIndex(SpatialIndex):
             min(max(point.y, self.bounds.y_min), self.bounds.y_max),
         )
         cx, cy = self.cell_of_point(p)
-        best: list[tuple[float, int, object]] = []  # max-heap via negation
+        # Max-heap of the best k as (-dist, -seq, oid): equal-distance
+        # entries rank by insertion order, matching the oracle.
+        best: list[tuple[float, int, object]] = []
         seen: set[object] = set()
-        tie = 0
         max_ring = self.resolution  # worst case covers the whole grid
 
         for ring in range(0, max_ring + 1):
             # Distance below which nothing outside the scanned square can
-            # lie: (ring) cell widths from the query cell's border.
+            # lie: (ring) cell widths from the query cell's border.  The
+            # stop is strict: an unscanned entry at exactly the current
+            # worst distance could still win its tie on insertion order.
             if len(best) == k:
                 guaranteed = (ring - 1) * min(self._cell_w, self._cell_h)
-                if -best[0][0] <= guaranteed:
+                if -best[0][0] < guaranteed:
                     break
             for ix, iy in self._ring_cells(cx, cy, ring):
                 for oid in self._buckets.get((ix, iy), ()):
@@ -123,14 +126,13 @@ class GridIndex(SpatialIndex):
                         continue
                     seen.add(oid)
                     dist = self._entries[oid].min_distance_to_point(point)
+                    cand = (-dist, -self._seq[oid], oid)
                     if len(best) < k:
-                        heapq.heappush(best, (-dist, tie, oid))
-                        tie += 1
-                    elif dist < -best[0][0]:
-                        heapq.heapreplace(best, (-dist, tie, oid))
-                        tie += 1
-        ordered = sorted(best, key=lambda item: -item[0])
-        return [oid for _neg, _tie, oid in ordered]
+                        heapq.heappush(best, cand)
+                    elif cand > best[0]:
+                        heapq.heapreplace(best, cand)
+        ordered = sorted(best, key=lambda item: (-item[0], -item[1]))
+        return [oid for _neg, _seq, oid in ordered]
 
     def _ring_cells(self, cx: int, cy: int, ring: int):
         """Bucket coordinates at Chebyshev distance ``ring`` from (cx, cy)."""

@@ -15,6 +15,7 @@ targets flow through the identical machinery.
 from __future__ import annotations
 
 import abc
+import heapq
 from collections.abc import Iterator
 
 from repro.errors import EmptyDatasetError
@@ -30,10 +31,20 @@ class SpatialIndex(abc.ABC):
     the base class supplies bookkeeping, validation, and generic
     (non-accelerated) fallbacks that subclasses override when they can do
     better.
+
+    Tie-breaking contract: whenever two entries are at exactly the same
+    distance from a query point, every query ranks them by *insertion
+    order* (tracked in :attr:`_seq`; re-inserting an oid assigns a fresh
+    sequence number).  The brute-force oracle gets this for free from
+    dict iteration order; the accelerated indexes implement it
+    explicitly, which is what makes their answers byte-identical to the
+    oracle's even under coincident coordinates.
     """
 
     def __init__(self) -> None:
         self._entries: dict[object, Rect] = {}
+        self._seq: dict[object, int] = {}
+        self._next_seq = 0
 
     # ------------------------------------------------------------------
     # Mutation
@@ -43,11 +54,18 @@ class SpatialIndex(abc.ABC):
         if oid in self._entries:
             self.remove(oid)
         self._entries[oid] = rect
+        self._assign_seq(oid)
         try:
             self._insert_impl(oid, rect)
         except Exception:
             del self._entries[oid]
+            del self._seq[oid]
             raise
+
+    def _assign_seq(self, oid: object) -> None:
+        """Give ``oid`` the next insertion-order sequence number."""
+        self._seq[oid] = self._next_seq
+        self._next_seq += 1
 
     def insert_point(self, oid: object, point: Point) -> None:
         """Convenience: add a point entry as a degenerate rectangle."""
@@ -56,6 +74,7 @@ class SpatialIndex(abc.ABC):
     def remove(self, oid: object) -> None:
         """Remove an entry; raises ``KeyError`` for unknown oids."""
         rect = self._entries.pop(oid)
+        self._seq.pop(oid, None)
         self._remove_impl(oid, rect)
 
     def bulk_load(self, entries: dict[object, Rect]) -> None:
@@ -71,6 +90,7 @@ class SpatialIndex(abc.ABC):
     def clear(self) -> None:
         """Drop all entries."""
         self._entries.clear()
+        self._seq.clear()
         self._clear_impl()
 
     # ------------------------------------------------------------------
@@ -119,15 +139,38 @@ class SpatialIndex(abc.ABC):
 
         This is the pessimistic nearest-neighbor used by the filter step of
         private queries over private data (Section 5.2.1): the candidate
-        whose farthest corner is closest.  Subclasses may override with a
-        branch-and-bound version; the fallback is a linear scan.
+        whose farthest corner is closest.
+        """
+        return self.k_nearest_by_max_distance(point, 1)[0]
+
+    def k_nearest_by_max_distance(self, point: Point, k: int) -> list[object]:
+        """The ``k`` entries with smallest *max*-distance, best first.
+
+        The k-th element's max-distance is the pessimistic kNN bound
+        :math:`d_v^k` used by private kNN queries over private data: k
+        targets are guaranteed within that distance of ``point`` no
+        matter where inside their cloaks they really are.  Subclasses
+        override :meth:`_k_nearest_by_max_distance_impl` with a pruned
+        branch-and-bound search; the fallback is a heap-based scan.
         """
         if not self._entries:
             raise EmptyDatasetError("spatial index is empty")
-        return min(
+        if k <= 0:
+            raise ValueError("k must be positive")
+        return self._k_nearest_by_max_distance_impl(
+            point, min(k, len(self._entries))
+        )
+
+    def _k_nearest_by_max_distance_impl(self, point: Point, k: int) -> list[object]:
+        scored = heapq.nsmallest(
+            k,
             self._entries.items(),
-            key=lambda item: item[1].max_distance_to_point(point),
-        )[0]
+            key=lambda item: (
+                item[1].max_distance_to_point(point),
+                self._seq[item[0]],
+            ),
+        )
+        return [oid for oid, _rect in scored]
 
     # ------------------------------------------------------------------
     # Implementation hooks

@@ -77,6 +77,8 @@ class KDTreeIndex(SpatialIndex):
             if rect.width > 0 or rect.height > 0:
                 raise ValueError("KDTreeIndex stores points only")
         self._entries.update(entries)
+        for oid in entries:
+            self._assign_seq(oid)
         self._rebuild()
 
     def _maybe_rebuild(self) -> None:
@@ -140,17 +142,16 @@ class KDTreeIndex(SpatialIndex):
         return result
 
     def _k_nearest_impl(self, point: Point, k: int) -> list[object]:
-        best: list[tuple[float, int, object]] = []  # max-heap by -distance
-        tie = 0
+        # Max-heap of the best k as (-dist, -seq, oid): equal-distance
+        # points rank by insertion order, matching the oracle.
+        best: list[tuple[float, int, object]] = []
 
         def consider(oid: object, p: Point) -> None:
-            nonlocal tie
-            dist = p.distance_to(point)
+            cand = (-p.distance_to(point), -self._seq[oid], oid)
             if len(best) < k:
-                heapq.heappush(best, (-dist, tie, oid))
-            elif dist < -best[0][0]:
-                heapq.heapreplace(best, (-dist, tie, oid))
-            tie += 1
+                heapq.heappush(best, cand)
+            elif cand > best[0]:
+                heapq.heapreplace(best, cand)
 
         def visit(node: _KDNode | None) -> None:
             if node is None:
@@ -164,11 +165,18 @@ class KDTreeIndex(SpatialIndex):
             )
             visit(near)
             plane_dist = abs(coord - split)
-            if len(best) < k or plane_dist < -best[0][0]:
+            # <= rather than <: a far-side point at exactly the current
+            # worst distance can still win its tie on insertion order.
+            if len(best) < k or plane_dist <= -best[0][0]:
                 visit(far)
 
         visit(self._root)
         for oid, p in self._overflow.items():
             consider(oid, p)
-        ordered = sorted(best, key=lambda item: -item[0])
-        return [oid for _neg, _tie, oid in ordered]
+        ordered = sorted(best, key=lambda item: (-item[0], -item[1]))
+        return [oid for _neg, _seq, oid in ordered]
+
+    def _k_nearest_by_max_distance_impl(self, point: Point, k: int) -> list[object]:
+        # Points are degenerate rectangles: min- and max-distance
+        # coincide, so the pruned kNN answers pessimistic kNN directly.
+        return self._k_nearest_impl(point, k)

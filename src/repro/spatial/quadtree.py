@@ -138,21 +138,26 @@ class QuadTreeIndex(SpatialIndex):
         return result
 
     def _k_nearest_impl(self, point: Point, k: int) -> list[object]:
+        # Same frontier discipline as the R-tree: nodes (kind 0) pop
+        # before equal-distance entries (kind 1), and equal-distance
+        # entries pop in insertion order via the base-class sequence
+        # number, matching the brute-force oracle under coincident
+        # coordinates.
         counter = itertools.count()
-        heap: list[tuple[float, int, bool, object]] = [
-            (0.0, next(counter), False, self._root)
+        heap: list[tuple[float, int, int, object]] = [
+            (0.0, 0, next(counter), self._root)
         ]
         result: list[object] = []
         while heap and len(result) < k:
-            _dist, _tie, is_entry, payload = heapq.heappop(heap)
-            if is_entry:
+            _dist, kind, _tie, payload = heapq.heappop(heap)
+            if kind == 1:
                 result.append(payload)
                 continue
             node: _QNode = payload
             for oid, rect in node.entries:
                 heapq.heappush(
                     heap,
-                    (rect.min_distance_to_point(point), next(counter), True, oid),
+                    (rect.min_distance_to_point(point), 1, self._seq[oid], oid),
                 )
             if node.children is not None:
                 for child in node.children:
@@ -160,9 +165,34 @@ class QuadTreeIndex(SpatialIndex):
                         heap,
                         (
                             child.rect.min_distance_to_point(point),
+                            0,
                             next(counter),
-                            False,
                             child,
                         ),
                     )
         return result
+
+    def _k_nearest_by_max_distance_impl(self, point: Point, k: int) -> list[object]:
+        """Branch-and-bound pessimistic kNN: entries stored in a node are
+        contained in its rect, so the node's min-distance lower-bounds
+        every entry's max-distance and prunes exactly as in the R-tree."""
+        counter = itertools.count()
+        heap: list[tuple[float, int, _QNode]] = [(0.0, next(counter), self._root)]
+        best: list[tuple[float, int, object]] = []  # (-dist, -seq, oid) max-heap
+        while heap:
+            lower, _tie, node = heapq.heappop(heap)
+            if len(best) == k and lower > -best[0][0]:
+                break
+            for oid, rect in node.entries:
+                cand = (-rect.max_distance_to_point(point), -self._seq[oid], oid)
+                if len(best) < k:
+                    heapq.heappush(best, cand)
+                elif cand > best[0]:
+                    heapq.heapreplace(best, cand)
+            if node.children is not None:
+                for child in node.children:
+                    child_lower = child.rect.min_distance_to_point(point)
+                    if len(best) < k or child_lower <= -best[0][0]:
+                        heapq.heappush(heap, (child_lower, next(counter), child))
+        ordered = sorted(best, key=lambda item: (-item[0], -item[1]))
+        return [oid for _neg, _seq, oid in ordered]

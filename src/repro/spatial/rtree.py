@@ -111,6 +111,8 @@ class RTreeIndex(SpatialIndex):
         """Pack ``entries`` with Sort-Tile-Recursive for a near-optimal tree."""
         self.clear()
         self._entries.update(entries)
+        for oid in entries:
+            self._assign_seq(oid)
         items = list(entries.items())
         if not items:
             return
@@ -325,14 +327,20 @@ class RTreeIndex(SpatialIndex):
     def _k_nearest_impl(self, point: Point, k: int) -> list[object]:
         # Best-first search: pop the frontier element with the smallest
         # min-distance; leaf entries popped in this order are exact NNs.
+        # Heap keys are (distance, kind, tie): nodes (kind 0) pop before
+        # equal-distance entries (kind 1), so by the time an entry is
+        # accepted every entry at the same distance is already on the
+        # heap, and equal-distance entries pop in insertion order (their
+        # tie key is the base-class sequence number) — matching the
+        # brute-force oracle exactly even for coincident points.
         counter = itertools.count()
-        heap: list[tuple[float, int, bool, object]] = []
+        heap: list[tuple[float, int, int, object]] = []
         if self._root.mbr is not None:
-            heapq.heappush(heap, (0.0, next(counter), False, self._root))
+            heapq.heappush(heap, (0.0, 0, next(counter), self._root))
         result: list[object] = []
         while heap and len(result) < k:
-            _dist, _tie, is_entry, payload = heapq.heappop(heap)
-            if is_entry:
+            _dist, kind, _tie, payload = heapq.heappop(heap)
+            if kind == 1:
                 result.append(payload)
                 continue
             node: _Node = payload
@@ -340,7 +348,12 @@ class RTreeIndex(SpatialIndex):
                 for oid, rect in node.entries:
                     heapq.heappush(
                         heap,
-                        (rect.min_distance_to_point(point), next(counter), True, oid),
+                        (
+                            rect.min_distance_to_point(point),
+                            1,
+                            self._seq[oid],
+                            oid,
+                        ),
                     )
             else:
                 for child in node.children:
@@ -349,48 +362,48 @@ class RTreeIndex(SpatialIndex):
                             heap,
                             (
                                 child.mbr.min_distance_to_point(point),
+                                0,
                                 next(counter),
-                                False,
                                 child,
                             ),
                         )
         return result
 
-    def nearest_by_max_distance(self, point: Point) -> object:
-        """Branch-and-bound pessimistic NN (minimise max-distance).
+    def _k_nearest_by_max_distance_impl(self, point: Point, k: int) -> list[object]:
+        """Branch-and-bound pessimistic kNN (k smallest max-distances).
 
         For any entry inside a node, its max-distance is at least the
         min-distance from the query point to the node MBR, so best-first
-        expansion by node min-distance with pruning against the best
-        entry max-distance found so far is exact.
+        expansion by node min-distance with pruning against the current
+        k-th best max-distance is exact.  Ties break by insertion order,
+        like every other query.
         """
-        if not self._entries:
-            return super().nearest_by_max_distance(point)  # raises EmptyDatasetError
         counter = itertools.count()
         heap: list[tuple[float, int, _Node]] = []
         if self._root.mbr is not None:
             heapq.heappush(heap, (0.0, next(counter), self._root))
-        best_oid: object | None = None
-        best_dist = float("inf")
+        # Max-heap of the best k so far, as (-dist, -seq, oid).
+        best: list[tuple[float, int, object]] = []
         while heap:
             lower, _tie, node = heapq.heappop(heap)
-            if lower >= best_dist:
+            if len(best) == k and lower > -best[0][0]:
                 break
             if node.leaf:
                 for oid, rect in node.entries:
-                    dist = rect.max_distance_to_point(point)
-                    if dist < best_dist:
-                        best_dist = dist
-                        best_oid = oid
+                    cand = (-rect.max_distance_to_point(point), -self._seq[oid], oid)
+                    if len(best) < k:
+                        heapq.heappush(best, cand)
+                    elif cand > best[0]:
+                        heapq.heapreplace(best, cand)
             else:
                 for child in node.children:
                     if child.mbr is None:
                         continue
                     child_lower = child.mbr.min_distance_to_point(point)
-                    if child_lower < best_dist:
+                    if len(best) < k or child_lower <= -best[0][0]:
                         heapq.heappush(heap, (child_lower, next(counter), child))
-        assert best_oid is not None
-        return best_oid
+        ordered = sorted(best, key=lambda item: (-item[0], -item[1]))
+        return [oid for _neg, _seq, oid in ordered]
 
     # ------------------------------------------------------------------
     # Diagnostics (used by structural tests)

@@ -1,0 +1,180 @@
+"""Cloak-cache correctness: memoized cloaks must be indistinguishable
+from fresh :func:`bottom_up_cloak` runs, under any mutation pattern."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.anonymizer import (
+    AdaptiveAnonymizer,
+    BasicAnonymizer,
+    CloakCache,
+    PrivacyProfile,
+    bottom_up_cloak,
+)
+from repro.errors import ProfileUnsatisfiableError
+from repro.geometry import Point, Rect
+
+UNIT = Rect(0.0, 0.0, 1.0, 1.0)
+
+
+def _fresh_cloak(anonymizer, uid):
+    """What the seed implementation would have returned: Algorithm 1
+    run from scratch against the live counters."""
+    record = anonymizer._record(uid)
+    start = record.cell if isinstance(anonymizer, BasicAnonymizer) else record.leaf
+    return bottom_up_cloak(
+        anonymizer.grid, anonymizer.cell_count, record.profile, start
+    )
+
+
+coords = st.floats(min_value=0.0, max_value=1.0, allow_nan=False, width=32)
+# Each op: (kind, uid, x, y, k).
+ops = st.lists(
+    st.tuples(
+        st.sampled_from(["register", "update", "deregister", "cloak"]),
+        st.integers(min_value=0, max_value=11),
+        coords,
+        coords,
+        st.integers(min_value=1, max_value=6),
+    ),
+    max_size=60,
+)
+
+
+@pytest.mark.parametrize("make", [BasicAnonymizer, AdaptiveAnonymizer])
+@settings(max_examples=40)
+@given(sequence=ops)
+def test_property_cached_cloaks_match_fresh_under_churn(make, sequence):
+    anonymizer = make(UNIT, height=5)
+    registered: set[int] = set()
+    for kind, uid, x, y, k in sequence:
+        if kind == "register" and uid not in registered:
+            anonymizer.register(uid, Point(x, y), PrivacyProfile(k=k))
+            registered.add(uid)
+        elif kind == "update" and uid in registered:
+            anonymizer.update(uid, Point(x, y))
+        elif kind == "deregister" and uid in registered:
+            anonymizer.deregister(uid)
+            registered.discard(uid)
+        elif kind == "cloak" and uid in registered:
+            try:
+                cached = anonymizer.cloak(uid)
+            except ProfileUnsatisfiableError:
+                with pytest.raises(ProfileUnsatisfiableError):
+                    _fresh_cloak(anonymizer, uid)
+                continue
+            assert cached == _fresh_cloak(anonymizer, uid)
+    # After the churn, every registered user's cached cloak must still
+    # agree with a from-scratch evaluation (repeat to hit both the miss
+    # and the hit path).
+    for uid in registered:
+        for _ in range(2):
+            try:
+                cached = anonymizer.cloak(uid)
+            except ProfileUnsatisfiableError:
+                continue
+            assert cached == _fresh_cloak(anonymizer, uid)
+
+
+@pytest.mark.parametrize("make", [BasicAnonymizer, AdaptiveAnonymizer])
+def test_co_located_users_share_one_computation(make):
+    anonymizer = make(UNIT, height=6)
+    profile = PrivacyProfile(k=5)
+    for uid in range(20):
+        anonymizer.register(uid, Point(0.3, 0.3), profile)
+    regions = [anonymizer.cloak(uid).region for uid in range(20)]
+    assert len(set(regions)) == 1
+    cache = anonymizer.cloak_cache
+    assert cache.misses == 1
+    assert cache.hits == 19
+    assert cache.hit_rate == pytest.approx(19 / 20)
+
+
+def test_mutation_invalidates_stale_entry():
+    anonymizer = BasicAnonymizer(UNIT, height=5)
+    for uid in range(4):
+        anonymizer.register(uid, Point(0.1, 0.1), PrivacyProfile(k=4))
+    first = anonymizer.cloak(0)
+    # A fifth user in the same cell changes the counters Algorithm 1
+    # read, so the cached entry may not be served verbatim.
+    anonymizer.register(99, Point(0.1, 0.1), PrivacyProfile(k=4))
+    second = anonymizer.cloak(0)
+    assert second == _fresh_cloak(anonymizer, 0)
+    assert second.achieved_k == first.achieved_k + 1
+
+
+def test_unrelated_mutation_keeps_entry_valid():
+    anonymizer = BasicAnonymizer(UNIT, height=5)
+    for uid in range(6):
+        anonymizer.register(uid, Point(0.1, 0.1), PrivacyProfile(k=4))
+    anonymizer.cloak(0)
+    hits_before = anonymizer.cloak_cache.hits
+    # A user in the far corner touches a disjoint ancestor path below
+    # the root... except the root itself, whose count *does* change; the
+    # snapshot only covers cells the cloak walk actually read, so the
+    # entry survives if the walk stopped before the root.
+    anonymizer.register(50, Point(0.9, 0.9), PrivacyProfile(k=1))
+    region = anonymizer.cloak(0)
+    assert region == _fresh_cloak(anonymizer, 0)
+    assert anonymizer.cloak_cache.hits == hits_before + 1
+    assert anonymizer.cloak_cache.invalidations == 0
+
+
+def test_capacity_zero_disables_caching():
+    anonymizer = BasicAnonymizer(UNIT, height=5, cloak_cache_size=0)
+    for uid in range(5):
+        anonymizer.register(uid, Point(0.2, 0.2), PrivacyProfile(k=3))
+    for _ in range(3):
+        assert anonymizer.cloak(0) == _fresh_cloak(anonymizer, 0)
+    assert len(anonymizer.cloak_cache) == 0
+    assert anonymizer.cloak_cache.hits == 0
+    assert anonymizer.cloak_cache.misses == 0
+
+
+def test_lru_eviction_bounds_size():
+    cache = CloakCache(capacity=2)
+    anonymizer = BasicAnonymizer(UNIT, height=5)
+    anonymizer.cloak_cache = cache
+    profile = PrivacyProfile(k=1)
+    for uid, x in enumerate((0.1, 0.4, 0.7, 0.9)):
+        anonymizer.register(uid, Point(x, x), profile)
+    for uid in range(4):
+        anonymizer.cloak(uid)
+    assert len(cache) == 2
+    assert cache.evictions == 2
+    # Evicted entries recompute correctly.
+    assert anonymizer.cloak(0) == _fresh_cloak(anonymizer, 0)
+
+
+def test_negative_capacity_rejected():
+    with pytest.raises(ValueError):
+        CloakCache(capacity=-1)
+
+
+def test_unsatisfiable_profiles_are_not_cached():
+    anonymizer = BasicAnonymizer(UNIT, height=5)
+    anonymizer.register(0, Point(0.5, 0.5), PrivacyProfile(k=10))
+    with pytest.raises(ProfileUnsatisfiableError):
+        anonymizer.cloak(0)
+    assert len(anonymizer.cloak_cache) == 0
+    # Once satisfiable, the answer is computed (and cached) normally.
+    for uid in range(1, 10):
+        anonymizer.register(uid, Point(0.5, 0.5), PrivacyProfile(k=2))
+    assert anonymizer.cloak(0) == _fresh_cloak(anonymizer, 0)
+
+
+def test_adaptive_split_and_merge_invalidate():
+    anonymizer = AdaptiveAnonymizer(UNIT, height=6)
+    relaxed = PrivacyProfile(k=1)
+    for uid in range(8):
+        anonymizer.register(uid, Point(0.05 + uid * 0.001, 0.05), relaxed)
+    before = anonymizer.cloak(0)
+    assert before == _fresh_cloak(anonymizer, 0)
+    # Deregistering most of the cluster forces merges; the survivor's
+    # cloak must track the reshaped pyramid.
+    for uid in range(1, 8):
+        anonymizer.deregister(uid)
+    assert anonymizer.cloak(0) == _fresh_cloak(anonymizer, 0)

@@ -50,6 +50,47 @@ class TestRunner:
         assert "+---" not in report
 
 
+class TestParallelRunner:
+    """``parallel=N`` must be a pure throughput knob: same figures, same
+    panels, same bytes (timing panels excepted — they are wall-clock
+    measurements and differ between any two runs, serial or not)."""
+
+    @staticmethod
+    def _is_timing_panel(panel: ExperimentResult) -> bool:
+        label = panel.y_label.lower()
+        return "time" in label or "sec" in label
+
+    def test_parallel_identical_to_serial(self):
+        names = ["fig13", "fig15"]
+        serial = run_experiments(names, TINY)
+        parallel = run_experiments(names, TINY, parallel=2)
+        assert list(parallel) == names  # request order preserved
+        compared = 0
+        for name in names:
+            assert set(serial[name]) == set(parallel[name])
+            for key, panel in serial[name].items():
+                if self._is_timing_panel(panel):
+                    continue
+                assert panel.format_table() == parallel[name][key].format_table()
+                compared += 1
+        assert compared > 0
+
+    def test_single_figure_runs_inline(self):
+        results = run_experiments(["fig15"], TINY, parallel=4)
+        assert set(results) == {"fig15"}
+
+    def test_invalid_parallel_rejected(self):
+        with pytest.raises(ValueError):
+            run_experiments(["fig15"], TINY, parallel=0)
+
+    def test_cli_parallel_flag(self, capsys, monkeypatch):
+        monkeypatch.setenv("CASPER_BENCH_SCALE", "tiny")
+        assert cli_main(
+            ["figures", "fig15", "--parallel", "2", "--no-charts"]
+        ) == 0
+        assert "fig15" in capsys.readouterr().out
+
+
 class TestAsciiChart:
     def panel(self) -> ExperimentResult:
         p = ExperimentResult("Fig X", "demo", "n", "seconds", [1, 10, 100])

@@ -1,0 +1,270 @@
+#!/usr/bin/env python
+"""Hot-path engine benchmarks.
+
+Times the four optimizations of the query-engine performance pass and
+writes the measurements to ``BENCH_engine.json`` so future changes can
+track the trajectory:
+
+* **cloak** — anonymizer cloak throughput on a co-located workload
+  (many users sharing cells and profiles), cached vs. the uncached
+  seed path (``cloak_cache_size=0``);
+* **knn_private** — ``private_knn_over_private`` latency with the
+  pruned ``k_nearest_by_max_distance`` search vs. the seed's
+  sort-every-target ``_kth_distance_private``;
+* **nn_latency** — plain private-NN-over-public latency (context
+  number, no baseline);
+* **batch** — ``BatchQueryEngine`` over a duplicate-heavy request
+  stream vs. the same stream issued one query at a time.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench.py [--quick] [--out PATH]
+
+``--quick`` shrinks every workload for CI smoke runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.anonymizer import BasicAnonymizer, PrivacyProfile  # noqa: E402
+from repro.geometry import Point, Rect  # noqa: E402
+from repro.processor import (  # noqa: E402
+    BatchQueryEngine,
+    BatchRequest,
+    private_nn_over_private,
+    private_nn_over_public,
+    private_knn_over_private,
+)
+from repro.processor.knn import _extended_region  # noqa: E402
+from repro.spatial import RTreeIndex  # noqa: E402
+
+BOUNDS = Rect(0.0, 0.0, 1.0, 1.0)
+
+
+def _timed(fn, *args, **kwargs):
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return time.perf_counter() - start, result
+
+
+# ----------------------------------------------------------------------
+# 1. Cloak throughput: co-located users, cached vs uncached
+# ----------------------------------------------------------------------
+def bench_cloak(quick: bool) -> dict:
+    num_groups = 20 if quick else 50
+    users_per_group = 20 if quick else 100
+    rounds = 3 if quick else 5
+    rng = random.Random(0)
+    points = [
+        Point(rng.random(), rng.random()) for _ in range(num_groups)
+    ]
+    # Strict profiles make Algorithm 1 climb several pyramid levels per
+    # cloak (the realistic worst case the cache is for); relaxed
+    # profiles stop at the first cell and leave nothing to save.
+    profile = PrivacyProfile(k=50 if quick else 200)
+
+    def populate(cache_size: int) -> BasicAnonymizer:
+        anon = BasicAnonymizer(BOUNDS, height=8, cloak_cache_size=cache_size)
+        uid = 0
+        for point in points:
+            for _ in range(users_per_group):
+                anon.register(uid, point, profile)
+                uid += 1
+        return anon
+
+    def drain(anon: BasicAnonymizer) -> float:
+        uids = list(range(num_groups * users_per_group))
+        start = time.perf_counter()
+        for _ in range(rounds):
+            for uid in uids:
+                anon.cloak(uid)
+        return time.perf_counter() - start
+
+    cached = populate(8192)
+    uncached = populate(0)
+    cached_s = drain(cached)
+    uncached_s = drain(uncached)
+    cloaks = num_groups * users_per_group * rounds
+    return {
+        "num_users": num_groups * users_per_group,
+        "co_located_groups": num_groups,
+        "cloaks_timed": cloaks,
+        "cached_seconds": cached_s,
+        "uncached_seconds": uncached_s,
+        "cached_cloaks_per_second": cloaks / cached_s,
+        "uncached_cloaks_per_second": cloaks / uncached_s,
+        "speedup": uncached_s / cached_s,
+        "cache_hit_rate": cached.cloak_cache.hit_rate,
+    }
+
+
+# ----------------------------------------------------------------------
+# 2. Pruned kNN vs the seed's full sort
+# ----------------------------------------------------------------------
+def _kth_distance_full_sort(index, anchor, k):
+    """The seed implementation: sort every stored region by pessimistic
+    distance and take the k-th."""
+    dists = sorted(
+        rect.max_distance_to_point(anchor) for rect in index._entries.values()
+    )
+    return dists[k - 1]
+
+
+def _knn_private_full_sort(index, cloaked_area, k, num_filters=4):
+    k = min(k, len(index))
+    a_ext = _extended_region(
+        cloaked_area,
+        lambda v: _kth_distance_full_sort(index, v, k),
+        num_filters,
+        k,
+    )
+    candidates = [(oid, index.rect_of(oid)) for oid in index.range_search(a_ext)]
+    return tuple(sorted(candidates, key=lambda item: str(item[0])))
+
+
+def bench_knn(quick: bool) -> dict:
+    num_targets = 2_000 if quick else 10_000
+    num_queries = 10 if quick else 30
+    k = 10
+    rng = random.Random(1)
+    index = RTreeIndex()
+    entries = {}
+    for oid in range(num_targets):
+        x, y = rng.random() * 0.95, rng.random() * 0.95
+        w, h = rng.uniform(0.001, 0.02), rng.uniform(0.001, 0.02)
+        entries[oid] = Rect(x, y, x + w, y + h)
+    index.bulk_load(entries)
+    areas = []
+    for _ in range(num_queries):
+        x, y = rng.random() * 0.9, rng.random() * 0.9
+        areas.append(Rect(x, y, x + 0.05, y + 0.05))
+
+    pruned_s, pruned_out = _timed(
+        lambda: [private_knn_over_private(index, a, k).items for a in areas]
+    )
+    full_s, full_out = _timed(
+        lambda: [_knn_private_full_sort(index, a, k) for a in areas]
+    )
+    assert pruned_out == full_out, "pruned kNN diverged from the full-sort oracle"
+    return {
+        "num_targets": num_targets,
+        "num_queries": num_queries,
+        "k": k,
+        "pruned_seconds": pruned_s,
+        "full_sort_seconds": full_s,
+        "speedup": full_s / pruned_s,
+    }
+
+
+# ----------------------------------------------------------------------
+# 3. NN latency context number
+# ----------------------------------------------------------------------
+def bench_nn_latency(quick: bool) -> dict:
+    num_targets = 2_000 if quick else 10_000
+    num_queries = 50 if quick else 200
+    rng = random.Random(2)
+    index = RTreeIndex()
+    index.bulk_load(
+        {
+            oid: Rect.point(Point(rng.random(), rng.random()))
+            for oid in range(num_targets)
+        }
+    )
+    areas = []
+    for _ in range(num_queries):
+        x, y = rng.random() * 0.9, rng.random() * 0.9
+        areas.append(Rect(x, y, x + 0.04, y + 0.04))
+    total_s, _ = _timed(lambda: [private_nn_over_public(index, a) for a in areas])
+    return {
+        "num_targets": num_targets,
+        "num_queries": num_queries,
+        "mean_latency_ms": total_s / num_queries * 1e3,
+    }
+
+
+# ----------------------------------------------------------------------
+# 4. Batch vs sequential on a duplicate-heavy stream
+# ----------------------------------------------------------------------
+def bench_batch(quick: bool) -> dict:
+    num_targets = 1_000 if quick else 5_000
+    num_requests = 100 if quick else 400
+    num_distinct = 8 if quick else 16
+    rng = random.Random(3)
+    index = RTreeIndex()
+    entries = {}
+    for oid in range(num_targets):
+        x, y = rng.random() * 0.95, rng.random() * 0.95
+        entries[oid] = Rect(x, y, x + 0.01, y + 0.01)
+    index.bulk_load(entries)
+    distinct = []
+    for _ in range(num_distinct):
+        x, y = rng.random() * 0.9, rng.random() * 0.9
+        distinct.append(Rect(x, y, x + 0.05, y + 0.05))
+    areas = [distinct[rng.randrange(num_distinct)] for _ in range(num_requests)]
+    requests = [BatchRequest("nn_private", a) for a in areas]
+
+    engine = BatchQueryEngine(private_index=index)
+    batch_s, batch_out = _timed(engine.run, requests)
+    seq_s, seq_out = _timed(
+        lambda: [private_nn_over_private(index, a) for a in areas]
+    )
+    assert [c.items for c in batch_out] == [c.items for c in seq_out]
+    return {
+        "num_targets": num_targets,
+        "num_requests": num_requests,
+        "num_distinct_areas": num_distinct,
+        "batch_seconds": batch_s,
+        "sequential_seconds": seq_s,
+        "speedup": seq_s / batch_s,
+        "dedup_rate": engine.dedup_rate,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="small workloads (CI smoke run)"
+    )
+    parser.add_argument(
+        "--out",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_engine.json"),
+        help="output JSON path (default: repo-root BENCH_engine.json)",
+    )
+    args = parser.parse_args(argv)
+
+    report = {"quick": args.quick}
+    for name, bench in (
+        ("cloak", bench_cloak),
+        ("knn_private", bench_knn),
+        ("nn_latency", bench_nn_latency),
+        ("batch", bench_batch),
+    ):
+        print(f"benchmarking {name} ...", flush=True)
+        report[name] = bench(args.quick)
+
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    print(f"\nwrote {args.out}")
+    ok = (
+        report["cloak"]["speedup"] >= 5.0
+        and report["knn_private"]["speedup"] >= 2.0
+    )
+    print(
+        f"cloak speedup {report['cloak']['speedup']:.1f}x, "
+        f"knn speedup {report['knn_private']['speedup']:.1f}x, "
+        f"batch speedup {report['batch']['speedup']:.1f}x "
+        f"-> {'OK' if ok else 'BELOW TARGET'}"
+    )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
