@@ -7,6 +7,8 @@ figures [names...]     regenerate the paper's figures (default: all);
 demo                   run a compact end-to-end demonstration
 simulate               drive the full stack for N ticks with an
                        exactness audit and per-tick metrics
+lint                   run casperlint (privacy-boundary, determinism,
+                       index-contract and correctness rules)
 info                   print the library version and component inventory
 """
 
@@ -93,6 +95,12 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.cli import run_from_args
+
+    return run_from_args(args)
+
+
 def _cmd_info(_args: argparse.Namespace) -> int:
     print(f"repro {repro.__version__} — Casper (VLDB 2006) reproduction")
     print("components: geometry, spatial (r-tree/grid/quadtree/kd-tree/"
@@ -133,6 +141,14 @@ def main(argv: list[str] | None = None) -> int:
     )
     simulate.add_argument("--seed", type=int, default=0)
     simulate.set_defaults(func=_cmd_simulate)
+
+    lint = sub.add_parser(
+        "lint", help="run the casperlint static analysis suite"
+    )
+    from repro.analysis.cli import add_lint_arguments
+
+    add_lint_arguments(lint)
+    lint.set_defaults(func=_cmd_lint)
 
     info = sub.add_parser("info", help="version and component inventory")
     info.set_defaults(func=_cmd_info)

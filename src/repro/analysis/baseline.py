@@ -1,0 +1,94 @@
+"""Baseline file support: grandfathering findings without losing them.
+
+A baseline is a committed JSON file listing finding *fingerprints*
+(rule + path + message; deliberately line-insensitive).  Findings whose
+fingerprint appears in the baseline are reported as ``baselined`` and
+do not fail the run; baseline entries that no longer match any current
+finding are **stale** and fail the run so the file can never rot.
+
+The intended workflow is an *empty* baseline — fix what the linter
+finds.  Grandfather a finding only when it is provably intentional,
+and pair the entry with an inline justification comment at the site.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.core import Finding
+
+__all__ = ["Baseline", "BaselineMatch"]
+
+_VERSION = 1
+
+
+@dataclass(slots=True)
+class BaselineMatch:
+    """Partition of a lint run's findings against a baseline."""
+
+    new: list[Finding] = field(default_factory=list)
+    baselined: list[Finding] = field(default_factory=list)
+    stale: list[dict[str, object]] = field(default_factory=list)
+
+
+@dataclass(slots=True)
+class Baseline:
+    """The committed set of grandfathered findings."""
+
+    entries: list[dict[str, object]] = field(default_factory=list)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        path = Path(path)
+        if not path.is_file():
+            return cls()
+        data = json.loads(path.read_text())
+        if not isinstance(data, dict) or data.get("version") != _VERSION:
+            raise ValueError(
+                f"unsupported baseline format in {path}; expected "
+                f'{{"version": {_VERSION}, "findings": [...]}}'
+            )
+        entries = data.get("findings", [])
+        if not isinstance(entries, list):
+            raise ValueError(f"baseline 'findings' must be a list in {path}")
+        return cls(entries=entries)
+
+    @classmethod
+    def from_findings(cls, findings: list[Finding]) -> "Baseline":
+        return cls(
+            entries=[
+                {
+                    "rule": f.rule,
+                    "path": f.path,
+                    "message": f.message,
+                    "fingerprint": f.fingerprint,
+                }
+                for f in findings
+            ]
+        )
+
+    def write(self, path: Path) -> None:
+        payload = {"version": _VERSION, "findings": self.entries}
+        Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+
+    def fingerprints(self) -> set[str]:
+        return {str(e.get("fingerprint", "")) for e in self.entries}
+
+    def match(self, findings: list[Finding]) -> BaselineMatch:
+        """Split ``findings`` into new vs baselined, and find stale entries."""
+        known = self.fingerprints()
+        result = BaselineMatch()
+        seen: set[str] = set()
+        for finding in findings:
+            if finding.fingerprint in known:
+                result.baselined.append(finding)
+                seen.add(finding.fingerprint)
+            else:
+                result.new.append(finding)
+        for entry in self.entries:
+            if str(entry.get("fingerprint", "")) not in seen:
+                result.stale.append(entry)
+        return result

@@ -1,0 +1,175 @@
+"""The ``python -m repro lint`` command (also ``tools/lint.py``).
+
+Exit codes:
+
+* ``0`` — no non-baselined error findings and no stale baseline entries
+  (warnings never fail the run unless ``--strict``);
+* ``1`` — at least one new error finding or stale baseline entry;
+* ``2`` — usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.config import LintConfig
+from repro.analysis.core import RULE_REGISTRY, Project, run_lint
+from repro.analysis.reporters import render_json, render_text
+
+__all__ = ["add_lint_arguments", "run_from_args", "main"]
+
+
+def default_root() -> Path:
+    """The repository root, inferred from the installed package location.
+
+    ``src/repro/analysis/cli.py`` -> parents[3] is the directory holding
+    ``src/`` — the project root when running from a checkout.  Falls
+    back to the current directory when the layout does not match (e.g.
+    an installed wheel).
+    """
+    candidate = Path(__file__).resolve().parents[3]
+    if (candidate / "src" / "repro").is_dir():
+        return candidate
+    return Path.cwd()
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="paths to scan, relative to --root "
+        "(default: src/repro and tools)",
+    )
+    parser.add_argument(
+        "--root",
+        default=None,
+        help="project root (default: auto-detected from the checkout)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help="baseline file relative to --root "
+        "(default: casperlint-baseline.json; 'none' disables)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write the current findings to the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--severity",
+        action="append",
+        default=[],
+        metavar="CODE=LEVEL",
+        help="override a rule's severity, e.g. --severity CSP004=warning",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="treat warnings as failures too",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print every registered rule and exit",
+    )
+
+
+def _list_rules() -> int:
+    from repro.analysis.rules import load_builtin_rules
+
+    load_builtin_rules()
+    for code in sorted(RULE_REGISTRY):
+        rule = RULE_REGISTRY[code]
+        print(f"{code}  {rule.name:<22} [{rule.default_severity}]  "
+              f"{rule.description}")
+    return 0
+
+
+def run_from_args(args: argparse.Namespace) -> int:
+    if args.list_rules:
+        return _list_rules()
+
+    root = Path(args.root).resolve() if args.root else default_root()
+    config = LintConfig.from_pyproject(root)
+
+    if args.select:
+        codes = frozenset(c.strip() for c in args.select.split(",") if c.strip())
+        config = config.merged({"select": codes})
+    overrides = {}
+    for spec in args.severity:
+        code, sep, level = spec.partition("=")
+        if not sep or level not in ("error", "warning"):
+            print(
+                f"bad --severity {spec!r}; expected CODE=error|warning",
+                file=sys.stderr,
+            )
+            return 2
+        overrides[code.strip()] = level
+    if overrides:
+        config = config.merged({"severity": overrides})
+
+    scan_paths = tuple(args.paths) or config.scan_paths
+    try:
+        project = Project.load(root, scan_paths)
+    except OSError as exc:
+        print(f"cannot scan {scan_paths}: {exc}", file=sys.stderr)
+        return 2
+    result = run_lint(project, config)
+
+    baseline_arg = args.baseline or config.baseline_path
+    baseline_path = root / baseline_arg
+    if args.write_baseline:
+        Baseline.from_findings(result.findings).write(baseline_path)
+        print(
+            f"wrote {len(result.findings)} finding(s) to {baseline_path}",
+            file=sys.stderr,
+        )
+        return 0
+    if baseline_arg == "none":
+        baseline = Baseline()
+    else:
+        try:
+            baseline = Baseline.load(baseline_path)
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+    match = baseline.match(result.findings)
+
+    render = render_json if args.format == "json" else render_text
+    print(render(result, match))
+
+    failing = [f for f in match.new if f.severity == "error"]
+    if args.strict:
+        failing = list(match.new)
+    return 1 if failing or match.stale else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro lint",
+        description="casperlint: privacy- and determinism-invariant "
+        "static analysis for the Casper reproduction",
+    )
+    add_lint_arguments(parser)
+    return run_from_args(parser.parse_args(argv))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,64 @@
+"""Text and JSON reporters for casperlint runs."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.baseline import BaselineMatch
+from repro.analysis.core import Finding, LintResult
+
+__all__ = ["render_text", "render_json"]
+
+
+def _format_finding(finding: Finding, note: str = "") -> str:
+    suffix = f" [{note}]" if note else ""
+    return (
+        f"{finding.path}:{finding.line}: {finding.rule} "
+        f"{finding.severity}: {finding.message}{suffix}"
+    )
+
+
+def render_text(result: LintResult, match: BaselineMatch) -> str:
+    """Human-oriented report: one line per finding plus a summary."""
+    lines: list[str] = []
+    for finding in match.new:
+        lines.append(_format_finding(finding))
+    for finding in match.baselined:
+        lines.append(_format_finding(finding, note="baselined"))
+    for entry in match.stale:
+        lines.append(
+            f"{entry.get('path', '?')}: stale baseline entry "
+            f"{entry.get('fingerprint', '?')} ({entry.get('rule', '?')}: "
+            f"{entry.get('message', '?')}) — remove it from the baseline"
+        )
+    new_errors = sum(1 for f in match.new if f.severity == "error")
+    new_warnings = len(match.new) - new_errors
+    lines.append(
+        f"casperlint: {result.checked_modules} modules, "
+        f"{len(result.rules_run)} rules -> {new_errors} error(s), "
+        f"{new_warnings} warning(s), {len(match.baselined)} baselined, "
+        f"{len(match.stale)} stale baseline entr"
+        f"{'y' if len(match.stale) == 1 else 'ies'}, "
+        f"{result.suppressed} inline-suppressed"
+    )
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult, match: BaselineMatch) -> str:
+    """Machine-oriented report (the CI gate consumes this)."""
+    payload = {
+        "version": 1,
+        "modules_checked": result.checked_modules,
+        "rules_run": list(result.rules_run),
+        "suppressed": result.suppressed,
+        "findings": [f.as_dict() for f in match.new],
+        "baselined": [f.as_dict() for f in match.baselined],
+        "stale_baseline_entries": match.stale,
+        "summary": {
+            "errors": sum(1 for f in match.new if f.severity == "error"),
+            "warnings": sum(1 for f in match.new if f.severity == "warning"),
+            "baselined": len(match.baselined),
+            "stale": len(match.stale),
+        },
+    }
+    return json.dumps(payload, indent=2)

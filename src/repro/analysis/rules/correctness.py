@@ -1,0 +1,206 @@
+"""CSP004/CSP005/CSP006 — generic correctness lints.
+
+These three are not Casper-specific, but each has bitten geometry-heavy
+reproductions before and each has a precise AST signature worth
+catching pre-runtime:
+
+* **CSP004 float-equality** — ``==``/``!=`` against float literals (or
+  ``float(...)`` conversions).  Coordinates here are doubles produced
+  by arithmetic; exact comparison is only correct against sentinels
+  like ``float("inf")``, which the rule exempts.  Use
+  ``math.isclose``, ``Point.almost_equals`` or an epsilon band.
+* **CSP005 mutable-default-arg** — list/dict/set (literals,
+  comprehensions, or constructor calls) as parameter defaults share
+  one instance across calls.
+* **CSP006 broad-except** — bare ``except:`` and ``except
+  Exception/BaseException:`` handlers that do not re-raise swallow
+  programming errors; an audit failure downgraded to a log line is how
+  a privacy regression ships.  A handler whose body contains a bare
+  ``raise`` is exempt (cleanup-then-propagate is fine).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Iterator
+
+from repro.analysis.config import LintConfig
+from repro.analysis.core import ModuleInfo, Project, RawFinding, Rule, register_rule
+
+__all__ = ["FloatEqualityRule", "MutableDefaultRule", "BroadExceptRule"]
+
+
+def _is_float_sentinel(node: ast.AST) -> bool:
+    """``float("inf")``-style calls whose equality is exact by design."""
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "float"
+        and len(node.args) == 1
+        and isinstance(node.args[0], ast.Constant)
+        and isinstance(node.args[0].value, str)
+    )
+
+
+def _is_float_expr(node: ast.AST) -> bool:
+    """Expressions that are definitely float-valued: literals, unary
+    minus over literals, arithmetic involving a float literal, or a
+    ``float(...)`` conversion of a non-string."""
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, float)
+    if isinstance(node, ast.UnaryOp):
+        return _is_float_expr(node.operand)
+    if isinstance(node, ast.BinOp):
+        return _is_float_expr(node.left) or _is_float_expr(node.right)
+    if isinstance(node, ast.Call):
+        return (
+            isinstance(node.func, ast.Name)
+            and node.func.id == "float"
+            and not _is_float_sentinel(node)
+        )
+    return False
+
+
+@register_rule
+class FloatEqualityRule(Rule):
+    code = "CSP004"
+    name = "float-equality"
+    description = (
+        "exact ==/!= against float values; use math.isclose, "
+        "Point.almost_equals, or an epsilon band"
+    )
+    default_severity = "error"
+
+    def check(
+        self, module: ModuleInfo, project: Project, config: LintConfig
+    ) -> Iterable[RawFinding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            comparands = [node.left, *node.comparators]
+            for op, left, right in zip(
+                node.ops, comparands[:-1], comparands[1:]
+            ):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if _is_float_sentinel(left) or _is_float_sentinel(right):
+                    continue
+                if _is_float_expr(left) or _is_float_expr(right):
+                    yield RawFinding.at(
+                        node,
+                        "exact equality against a float value is "
+                        "representation-dependent; compare within an "
+                        "epsilon (math.isclose / Point.almost_equals)",
+                    )
+                    break
+
+
+_MUTABLE_CALLS = frozenset({"list", "dict", "set", "bytearray", "defaultdict"})
+
+
+def _is_mutable_default(node: ast.AST) -> bool:
+    if isinstance(
+        node,
+        (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp),
+    ):
+        return True
+    if isinstance(node, ast.Call):
+        name = (
+            node.func.id
+            if isinstance(node.func, ast.Name)
+            else node.func.attr
+            if isinstance(node.func, ast.Attribute)
+            else ""
+        )
+        return name in _MUTABLE_CALLS
+    return False
+
+
+@register_rule
+class MutableDefaultRule(Rule):
+    code = "CSP005"
+    name = "mutable-default-arg"
+    description = "mutable default argument values are shared across calls"
+    default_severity = "error"
+
+    def check(
+        self, module: ModuleInfo, project: Project, config: LintConfig
+    ) -> Iterable[RawFinding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if _is_mutable_default(default):
+                    yield RawFinding.at(
+                        default,
+                        f"mutable default in '{node.name}(...)' is created "
+                        "once and shared by every call; default to None and "
+                        "construct inside the body",
+                    )
+
+
+_BROAD_NAMES = frozenset({"Exception", "BaseException"})
+
+
+def _broad_caught(handler: ast.ExceptHandler) -> str | None:
+    """'bare', the broad class name, or None for a narrow handler."""
+    if handler.type is None:
+        return "bare"
+    types: list[ast.expr]
+    if isinstance(handler.type, ast.Tuple):
+        types = list(handler.type.elts)
+    else:
+        types = [handler.type]
+    for t in types:
+        name = (
+            t.id
+            if isinstance(t, ast.Name)
+            else t.attr
+            if isinstance(t, ast.Attribute)
+            else ""
+        )
+        if name in _BROAD_NAMES:
+            return name
+    return None
+
+
+def _reraises(handler: ast.ExceptHandler) -> Iterator[bool]:
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            yield True
+
+
+@register_rule
+class BroadExceptRule(Rule):
+    code = "CSP006"
+    name = "broad-except"
+    description = (
+        "bare/broad except handlers that swallow errors instead of "
+        "re-raising"
+    )
+    default_severity = "error"
+
+    def check(
+        self, module: ModuleInfo, project: Project, config: LintConfig
+    ) -> Iterable[RawFinding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            broad = _broad_caught(node)
+            if broad is None:
+                continue
+            if any(_reraises(node)):
+                continue
+            what = (
+                "bare 'except:'"
+                if broad == "bare"
+                else f"'except {broad}:'"
+            )
+            yield RawFinding.at(
+                node,
+                f"{what} swallows every error including audit failures; "
+                "catch the specific exception or re-raise",
+            )

@@ -10,6 +10,7 @@ dictionary keys in the anonymizer's hash table and in test oracles).
 from __future__ import annotations
 
 import math
+from collections.abc import Iterator
 from dataclasses import dataclass
 
 __all__ = ["Point", "EPSILON"]
@@ -54,6 +55,6 @@ class Point:
         """The point as a plain ``(x, y)`` tuple."""
         return (self.x, self.y)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[float]:
         yield self.x
         yield self.y

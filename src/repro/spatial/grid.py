@@ -10,6 +10,7 @@ grids) and matches the pyramid's lowest level used by the anonymizer.
 from __future__ import annotations
 
 import heapq
+from collections.abc import Iterator
 
 from repro.errors import OutOfBoundsError
 from repro.geometry import Point, Rect
@@ -134,7 +135,7 @@ class GridIndex(SpatialIndex):
         ordered = sorted(best, key=lambda item: (-item[0], -item[1]))
         return [oid for _neg, _seq, oid in ordered]
 
-    def _ring_cells(self, cx: int, cy: int, ring: int):
+    def _ring_cells(self, cx: int, cy: int, ring: int) -> Iterator[tuple[int, int]]:
         """Bucket coordinates at Chebyshev distance ``ring`` from (cx, cy)."""
         if ring == 0:
             if 0 <= cx < self.resolution and 0 <= cy < self.resolution:

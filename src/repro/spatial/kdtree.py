@@ -178,5 +178,6 @@ class KDTreeIndex(SpatialIndex):
 
     def _k_nearest_by_max_distance_impl(self, point: Point, k: int) -> list[object]:
         # Points are degenerate rectangles: min- and max-distance
-        # coincide, so the pruned kNN answers pessimistic kNN directly.
+        # coincide, so the pruned kNN answers pessimistic kNN directly —
+        # including its insertion-order tie-break for coincident points.
         return self._k_nearest_impl(point, k)

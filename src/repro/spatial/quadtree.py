@@ -175,7 +175,9 @@ class QuadTreeIndex(SpatialIndex):
     def _k_nearest_by_max_distance_impl(self, point: Point, k: int) -> list[object]:
         """Branch-and-bound pessimistic kNN: entries stored in a node are
         contained in its rect, so the node's min-distance lower-bounds
-        every entry's max-distance and prunes exactly as in the R-tree."""
+        every entry's max-distance and prunes exactly as in the R-tree.
+        Equal max-distances break by insertion order (the base-class
+        sequence number), matching the oracle."""
         counter = itertools.count()
         heap: list[tuple[float, int, _QNode]] = [(0.0, next(counter), self._root)]
         best: list[tuple[float, int, object]] = []  # (-dist, -seq, oid) max-heap

@@ -1,0 +1,8 @@
+# module: app.processor.bad_direct
+"""Violates CSP001: a processor module importing exact-location code."""
+
+from app.workloads import make_users
+
+
+def answer_query():
+    return make_users()[0]

@@ -1,0 +1,8 @@
+# module: app.processor.bad_name
+"""Violates CSP001: imports a non-allowlisted name from the anonymizer."""
+
+from app.anonymizer import CloakedRegion, UserTable
+
+
+def peek(table: UserTable) -> CloakedRegion:
+    return CloakedRegion()

@@ -1,0 +1,8 @@
+# module: app.processor.bad_transitive
+"""Violates CSP001 transitively: the helper reaches app.workloads."""
+
+from app.helpers import leak
+
+
+def answer_query():
+    return leak()

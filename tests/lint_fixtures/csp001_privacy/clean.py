@@ -1,0 +1,8 @@
+# module: app.processor.clean
+"""Passes CSP001: only allowlisted names cross the privacy boundary."""
+
+from app.anonymizer import CloakedRegion, PrivacyProfile
+
+
+def answer_query(cloak: CloakedRegion, profile: PrivacyProfile) -> int:
+    return 0

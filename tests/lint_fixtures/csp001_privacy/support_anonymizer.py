@@ -1,0 +1,14 @@
+# module: app.anonymizer
+"""Fixture stand-in for the trusted anonymizer package."""
+
+
+class CloakedRegion:  # the sanctioned boundary-crossing value
+    pass
+
+
+class PrivacyProfile:
+    pass
+
+
+class UserTable:  # holds exact user locations — must not cross
+    pass

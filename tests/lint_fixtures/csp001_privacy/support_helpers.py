@@ -1,0 +1,12 @@
+# module: app.helpers
+"""A trusted helper that (carelessly) pulls in workload generators.
+
+Importing this from an untrusted module is a *transitive* CSP001
+violation even though this module itself lives in no zone.
+"""
+
+import app.workloads
+
+
+def leak():
+    return app.workloads.make_users()

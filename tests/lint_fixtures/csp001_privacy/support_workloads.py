@@ -1,0 +1,6 @@
+# module: app.workloads
+"""Fixture stand-in for the exact-location workload generators."""
+
+
+def make_users():
+    return [(0.1, 0.2), (0.3, 0.4)]  # exact locations

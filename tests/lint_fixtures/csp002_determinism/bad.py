@@ -1,0 +1,22 @@
+# module: sim.engine.bad
+"""Violates CSP002 four ways: stdlib random, wall clock, legacy numpy
+global RNG, and a datetime read."""
+
+import random
+import time
+from datetime import datetime
+
+import numpy as np
+
+
+def jitter():
+    return random.random() + time.time()
+
+
+def stamp():
+    return datetime.now().isoformat()
+
+
+def sample(n):
+    np.random.seed(42)
+    return np.random.rand(n)

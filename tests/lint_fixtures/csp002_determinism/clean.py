@@ -1,0 +1,13 @@
+# module: sim.engine.clean
+"""Passes CSP002: seeded generator streams and perf_counter only."""
+
+import time
+
+from repro.utils.rng import ensure_rng
+
+
+def sample(n, seed=0):
+    rng = ensure_rng(seed)
+    start = time.perf_counter()
+    values = rng.random(n)
+    return values, time.perf_counter() - start

@@ -1,0 +1,43 @@
+# module: idx.bad
+"""Violates CSP003 three ways: a subclass missing an abstract hook, an
+incompatible override signature, and an undocumented tie-sensitive
+search override."""
+
+import abc
+
+
+class SpatialIndex(abc.ABC):
+    @abc.abstractmethod
+    def _insert_impl(self, oid, rect):
+        ...
+
+    @abc.abstractmethod
+    def _k_nearest_impl(self, point, k):
+        ...
+
+    def k_nearest_by_max_distance(self, point, k):
+        # Ties break by insertion order.
+        return []
+
+
+class MissingHooks(SpatialIndex):
+    def _insert_impl(self, oid, rect):
+        pass
+    # _k_nearest_impl missing entirely
+
+
+class WrongSignature(SpatialIndex):
+    def _insert_impl(self, oid, rect, extra):  # extra param without default
+        pass
+
+    def _k_nearest_impl(self, point, k):
+        # Equal distances rank by insertion order.
+        return []
+
+
+class UndocumentedTieBreak(SpatialIndex):
+    def _insert_impl(self, oid, rect):
+        pass
+
+    def _k_nearest_impl(self, point, k):
+        return []  # no docstring/comment about the ordering contract

@@ -1,0 +1,23 @@
+# module: idx.clean
+"""Passes CSP003: full surface, compatible signatures, documented ties."""
+
+import abc
+
+
+class SpatialIndex(abc.ABC):
+    @abc.abstractmethod
+    def _insert_impl(self, oid, rect):
+        ...
+
+    @abc.abstractmethod
+    def _k_nearest_impl(self, point, k):
+        ...
+
+
+class GoodIndex(SpatialIndex):
+    def _insert_impl(self, oid, rect, bulk=False):  # extra param has default
+        pass
+
+    def _k_nearest_impl(self, point, k):
+        """Nearest first; equal distances break by insertion order."""
+        return []

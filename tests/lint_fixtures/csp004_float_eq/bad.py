@@ -1,0 +1,10 @@
+# module: geom.bad
+"""Violates CSP004: exact equality against computed floats."""
+
+
+def on_unit_circle(x, y):
+    return x * x + y * y == 1.0
+
+
+def is_origin(x):
+    return float(x) != 0.0

@@ -1,0 +1,18 @@
+# module: geom.clean
+"""Passes CSP004: epsilon bands, integer equality, and inf sentinels."""
+
+import math
+
+EPSILON = 1e-12
+
+
+def on_unit_circle(x, y):
+    return math.isclose(x * x + y * y, 1.0, abs_tol=EPSILON)
+
+
+def is_unbounded(area):
+    return area == float("inf")  # sentinel equality is exact by design
+
+
+def count_matches(n):
+    return n == 0

@@ -1,0 +1,11 @@
+# module: args.bad
+"""Violates CSP005: shared mutable defaults."""
+
+
+def collect(item, bucket=[]):
+    bucket.append(item)
+    return bucket
+
+
+def index(key, table={}, *, tags=set()):
+    return table.get(key, tags)

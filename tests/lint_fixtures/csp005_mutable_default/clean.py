@@ -1,0 +1,12 @@
+# module: args.clean
+"""Passes CSP005: None defaults constructed per call."""
+
+
+def collect(item, bucket=None):
+    bucket = [] if bucket is None else bucket
+    bucket.append(item)
+    return bucket
+
+
+def label(name, prefix="obj", count=0, flag=False):
+    return f"{prefix}-{name}-{count}-{flag}"

@@ -1,0 +1,16 @@
+# module: errs.bad
+"""Violates CSP006: swallowed bare and broad handlers."""
+
+
+def audit(check):
+    try:
+        return check()
+    except:  # noqa: E722
+        return None
+
+
+def run(step):
+    try:
+        step()
+    except Exception:
+        pass

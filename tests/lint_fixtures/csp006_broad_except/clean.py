@@ -1,0 +1,17 @@
+# module: errs.clean
+"""Passes CSP006: narrow handlers, and broad only with a re-raise."""
+
+
+def audit(check):
+    try:
+        return check()
+    except ValueError:
+        return None
+
+
+def run(step, cleanup):
+    try:
+        step()
+    except Exception:
+        cleanup()  # roll back partial state, then propagate
+        raise

@@ -1,0 +1,9 @@
+# module: sim.engine.unseeded
+"""Violates CSP007: default_rng with no seed draws OS entropy."""
+
+import numpy as np
+
+
+def sample(n):
+    rng = np.random.default_rng()
+    return rng.random(n)

@@ -1,0 +1,222 @@
+"""Engine-level casperlint tests: pragmas, baseline, reporters, config, CLI."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    Baseline,
+    Finding,
+    LintConfig,
+    Project,
+    run_lint,
+)
+from repro.analysis.cli import main as lint_main
+from repro.analysis.reporters import render_json, render_text
+
+CONFIG = LintConfig(deterministic_packages=("sim",))
+
+
+def _lint_source(source: str, name: str = "sim.mod") -> list[Finding]:
+    project = Project()
+    project.add_virtual_module(name, source)
+    return run_lint(project, CONFIG).findings
+
+
+# ----------------------------------------------------------------------
+# Inline pragmas
+# ----------------------------------------------------------------------
+def test_pragma_suppresses_named_rule() -> None:
+    src = "def f(x=[]):  # casperlint: ignore[CSP005] frozen at import time\n    return x\n"
+    assert _lint_source(src) == []
+
+
+def test_pragma_without_codes_suppresses_everything() -> None:
+    src = "def f(x=[]):  # casperlint: ignore\n    return x\n"
+    assert _lint_source(src) == []
+
+
+def test_pragma_for_other_rule_does_not_suppress() -> None:
+    src = "def f(x=[]):  # casperlint: ignore[CSP004]\n    return x\n"
+    findings = _lint_source(src)
+    assert [f.rule for f in findings] == ["CSP005"]
+
+
+def test_pragma_on_any_line_of_a_multiline_statement() -> None:
+    src = (
+        "import random  # casperlint: ignore[CSP002] interactive tool only\n"
+    )
+    assert _lint_source(src) == []
+
+
+def test_suppressed_count_reported() -> None:
+    project = Project()
+    project.add_virtual_module(
+        "sim.mod", "def f(x=[]):  # casperlint: ignore\n    return x\n"
+    )
+    result = run_lint(project, CONFIG)
+    assert result.suppressed == 1 and result.findings == []
+
+
+# ----------------------------------------------------------------------
+# Baseline
+# ----------------------------------------------------------------------
+def _finding(message: str = "m") -> Finding:
+    return Finding(rule="CSP005", path="src/sim/mod.py", line=3, message=message)
+
+
+def test_baseline_roundtrip(tmp_path: Path) -> None:
+    findings = [_finding("a"), _finding("b")]
+    path = tmp_path / "base.json"
+    Baseline.from_findings(findings).write(path)
+    loaded = Baseline.load(path)
+    match = loaded.match(findings)
+    assert match.new == [] and len(match.baselined) == 2 and match.stale == []
+
+
+def test_baseline_fingerprint_is_line_insensitive() -> None:
+    moved = Finding(
+        rule="CSP005", path="src/sim/mod.py", line=99, message="m"
+    )
+    baseline = Baseline.from_findings([_finding()])
+    match = baseline.match([moved])
+    assert match.new == [] and match.baselined == [moved]
+
+
+def test_baseline_flags_stale_entries() -> None:
+    baseline = Baseline.from_findings([_finding("fixed long ago")])
+    match = baseline.match([])
+    assert len(match.stale) == 1
+
+
+def test_missing_baseline_file_is_empty(tmp_path: Path) -> None:
+    assert Baseline.load(tmp_path / "nope.json").entries == []
+
+
+def test_malformed_baseline_rejected(tmp_path: Path) -> None:
+    path = tmp_path / "bad.json"
+    path.write_text('{"version": 99}')
+    with pytest.raises(ValueError):
+        Baseline.load(path)
+
+
+# ----------------------------------------------------------------------
+# Reporters
+# ----------------------------------------------------------------------
+def _result_and_match():
+    project = Project()
+    project.add_virtual_module("sim.mod", "def f(x=[]):\n    return x\n")
+    result = run_lint(project, CONFIG)
+    return result, Baseline().match(result.findings)
+
+
+def test_text_reporter_names_file_rule_and_severity() -> None:
+    result, match = _result_and_match()
+    text = render_text(result, match)
+    assert "src/sim/mod.py:1: CSP005 error:" in text
+    assert "1 error(s)" in text
+
+
+def test_json_reporter_shape() -> None:
+    result, match = _result_and_match()
+    data = json.loads(render_json(result, match))
+    assert data["summary"]["errors"] == 1
+    (finding,) = data["findings"]
+    assert finding["rule"] == "CSP005" and finding["fingerprint"]
+
+
+# ----------------------------------------------------------------------
+# Config
+# ----------------------------------------------------------------------
+def test_config_merge_severity_and_select() -> None:
+    config = LintConfig().merged(
+        {"severity": {"CSP004": "warning"}, "select": ["CSP004", "CSP005"]}
+    )
+    assert config.severity_of("CSP004") == "warning"
+    assert config.select == frozenset({"CSP004", "CSP005"})
+
+
+def test_config_from_pyproject(tmp_path: Path) -> None:
+    (tmp_path / "pyproject.toml").write_text(
+        "[tool.casperlint]\n"
+        'untrusted_packages = ["x.server"]\n'
+        "[tool.casperlint.safe_imports]\n"
+        '"x.anon" = ["Cloak"]\n'
+    )
+    config = LintConfig.from_pyproject(tmp_path)
+    assert config.untrusted_packages == ("x.server",)
+    assert config.safe_imports == {"x.anon": frozenset({"Cloak"})}
+
+
+def test_severity_override_changes_exit_behaviour() -> None:
+    project = Project()
+    project.add_virtual_module("sim.mod", "def f(x=[]):\n    return x\n")
+    config = CONFIG.merged({"severity": {"CSP005": "warning"}})
+    result = run_lint(project, config)
+    assert [f.severity for f in result.findings] == ["warning"]
+
+
+# ----------------------------------------------------------------------
+# CLI end to end (on a tiny throwaway project tree)
+# ----------------------------------------------------------------------
+def _make_project_tree(tmp_path: Path, source: str) -> Path:
+    (tmp_path / "src" / "pkg").mkdir(parents=True)
+    (tmp_path / "src" / "pkg" / "mod.py").write_text(source)
+    return tmp_path
+
+
+def test_cli_clean_tree_exits_zero(tmp_path: Path, capsys) -> None:
+    root = _make_project_tree(tmp_path, "def f(x):\n    return x\n")
+    assert lint_main(["--root", str(root), "src"]) == 0
+    assert "0 error(s)" in capsys.readouterr().out
+
+
+def test_cli_violation_exits_nonzero_and_reports(tmp_path: Path, capsys) -> None:
+    root = _make_project_tree(tmp_path, "def f(x=[]):\n    return x\n")
+    assert lint_main(["--root", str(root), "src"]) == 1
+    assert "CSP005" in capsys.readouterr().out
+
+
+def test_cli_json_format(tmp_path: Path, capsys) -> None:
+    root = _make_project_tree(tmp_path, "def f(x=[]):\n    return x\n")
+    assert lint_main(["--root", str(root), "--format", "json", "src"]) == 1
+    data = json.loads(capsys.readouterr().out)
+    assert data["summary"]["errors"] == 1
+
+
+def test_cli_write_then_respect_baseline(tmp_path: Path, capsys) -> None:
+    root = _make_project_tree(tmp_path, "def f(x=[]):\n    return x\n")
+    assert lint_main(["--root", str(root), "--write-baseline", "src"]) == 0
+    capsys.readouterr()
+    # Baselined finding no longer fails the run ...
+    assert lint_main(["--root", str(root), "src"]) == 0
+    assert "baselined" in capsys.readouterr().out
+    # ... until it is fixed, at which point the entry is stale and fails.
+    (root / "src" / "pkg" / "mod.py").write_text("def f(x):\n    return x\n")
+    assert lint_main(["--root", str(root), "src"]) == 1
+    assert "stale" in capsys.readouterr().out
+
+
+def test_cli_severity_override_demotes_to_warning(tmp_path: Path) -> None:
+    root = _make_project_tree(tmp_path, "def f(x=[]):\n    return x\n")
+    assert (
+        lint_main(
+            ["--root", str(root), "--severity", "CSP005=warning", "src"]
+        )
+        == 0
+    )
+    assert (
+        lint_main(
+            ["--root", str(root), "--severity", "CSP005=warning", "--strict",
+             "src"]
+        )
+        == 1
+    )
+
+
+def test_cli_select_limits_rules(tmp_path: Path) -> None:
+    root = _make_project_tree(tmp_path, "def f(x=[]):\n    return x\n")
+    assert lint_main(["--root", str(root), "--select", "CSP004", "src"]) == 0

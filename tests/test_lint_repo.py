@@ -1,0 +1,157 @@
+"""casperlint over the real repository.
+
+These are the gate tests the CI lint job mirrors:
+
+* ``src/repro`` + ``tools`` are clean under the default configuration
+  (every finding fixed, not baselined);
+* the committed baseline is consistent (no stale entries);
+* the privacy boundary actually trips: a hypothetical exact-location
+  import inside ``repro.processor`` is caught by CSP001, both directly
+  and through a trusted helper module.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis import Baseline, LintConfig, Project, run_lint
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def repo_project() -> Project:
+    return Project.load(REPO_ROOT, ("src/repro", "tools"))
+
+
+def repo_config() -> LintConfig:
+    return LintConfig.from_pyproject(REPO_ROOT)
+
+
+def test_repo_is_clean_under_default_config() -> None:
+    result = run_lint(repo_project(), repo_config())
+    baseline = Baseline.load(REPO_ROOT / repo_config().baseline_path)
+    match = baseline.match(result.findings)
+    assert match.new == [], "\n".join(
+        f"{f.path}:{f.line} {f.rule} {f.message}" for f in match.new
+    )
+
+
+def test_committed_baseline_has_no_stale_entries() -> None:
+    result = run_lint(repo_project(), repo_config())
+    baseline = Baseline.load(REPO_ROOT / repo_config().baseline_path)
+    match = baseline.match(result.findings)
+    assert match.stale == []
+
+
+def test_repo_scan_covers_the_package_and_tools() -> None:
+    project = repo_project()
+    assert "repro.processor.knn" in project.modules
+    assert "repro.anonymizer.basic" in project.modules
+    assert "tools.bench" in project.modules
+
+
+def test_injected_exact_location_import_is_caught() -> None:
+    """ISSUE acceptance: `from repro.workloads import ...` inside
+    src/repro/processor/ must trip CSP001."""
+    project = repo_project()
+    project.add_virtual_module(
+        "repro.processor._evil",
+        "from repro.workloads import random_queries\n"
+        "def peek():\n"
+        "    return random_queries\n",
+        rel_path="src/repro/processor/_evil.py",
+    )
+    result = run_lint(project, repo_config())
+    hits = [
+        f
+        for f in result.findings
+        if f.rule == "CSP001" and f.path == "src/repro/processor/_evil.py"
+    ]
+    assert len(hits) == 1
+    assert "repro.workloads" in hits[0].message
+
+
+def test_injected_anonymizer_internal_import_is_caught() -> None:
+    project = repo_project()
+    project.add_virtual_module(
+        "repro.server._peek",
+        "from repro.anonymizer.basic import BasicAnonymizer\n",
+        rel_path="src/repro/server/_peek.py",
+    )
+    result = run_lint(project, repo_config())
+    assert any(
+        f.rule == "CSP001" and f.path == "src/repro/server/_peek.py"
+        for f in result.findings
+    )
+
+
+def test_injected_transitive_leak_is_caught() -> None:
+    """A trusted helper that touches workloads taints its importers."""
+    project = repo_project()
+    project.add_virtual_module(
+        "repro.utils._leak",
+        "import repro.workloads\n",
+        rel_path="src/repro/utils/_leak.py",
+    )
+    project.add_virtual_module(
+        "repro.processor._evil2",
+        "import repro.utils._leak\n",
+        rel_path="src/repro/processor/_evil2.py",
+    )
+    result = run_lint(project, repo_config())
+    hits = [
+        f
+        for f in result.findings
+        if f.rule == "CSP001" and f.path == "src/repro/processor/_evil2.py"
+    ]
+    assert len(hits) == 1
+    assert "repro.utils._leak -> repro.workloads" in hits[0].message
+
+
+def test_safe_names_still_cross_the_boundary() -> None:
+    """The sanctioned channel must stay open: CloakedRegion/PrivacyProfile
+    imports in a processor module are not violations."""
+    project = repo_project()
+    project.add_virtual_module(
+        "repro.processor._ok",
+        "from repro.anonymizer import CloakedRegion, PrivacyProfile\n",
+        rel_path="src/repro/processor/_ok.py",
+    )
+    result = run_lint(project, repo_config())
+    assert not any(
+        f.path == "src/repro/processor/_ok.py" for f in result.findings
+    )
+
+
+def test_facade_suppression_is_justified_and_unique() -> None:
+    """Exactly one inline CSP001 suppression exists in the tree (the
+    Casper facade), and it carries a justification."""
+    result = run_lint(repo_project(), repo_config())
+    assert result.suppressed == 1
+    facade = (REPO_ROOT / "src/repro/server/casper.py").read_text()
+    assert "casperlint: ignore[CSP001] trusted facade" in facade
+
+
+def test_spatial_indexes_satisfy_the_contract_rule() -> None:
+    """CSP003 sees every concrete index and none violates the contract."""
+    project = repo_project()
+    result = run_lint(project, repo_config())
+    assert not any(f.rule == "CSP003" for f in result.findings)
+    # sanity: the rule is not trivially passing because it found no classes
+    import ast
+
+    subclasses = []
+    for name in (
+        "repro.spatial.rtree",
+        "repro.spatial.grid",
+        "repro.spatial.quadtree",
+        "repro.spatial.kdtree",
+        "repro.spatial.bruteforce",
+    ):
+        info = project.modules[name]
+        for node in ast.walk(info.tree):
+            if isinstance(node, ast.ClassDef) and any(
+                getattr(b, "id", None) == "SpatialIndex" for b in node.bases
+            ):
+                subclasses.append(node.name)
+    assert len(subclasses) >= 5

@@ -1,0 +1,126 @@
+"""Per-rule casperlint tests over the fixture modules.
+
+Every rule has (at least) one fixture module that violates it and one
+that passes.  Fixtures live in ``tests/lint_fixtures/<rule>/``; each
+file names its dotted module on the first line (``# module: ...``) so
+the zone configuration below can place it on the right side of the
+privacy/determinism boundaries.  Support modules (``support_*.py``)
+are loaded into every project built from their directory.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import LintConfig, Project, run_lint
+
+FIXTURES = Path(__file__).parent / "lint_fixtures"
+
+FIXTURE_CONFIG = LintConfig(
+    untrusted_packages=("app.processor",),
+    tainted_packages=("app.anonymizer", "app.workloads"),
+    safe_imports={
+        "app.anonymizer": frozenset({"CloakedRegion", "PrivacyProfile"})
+    },
+    deterministic_packages=("sim.engine",),
+)
+
+
+def module_name_of(path: Path) -> str:
+    first = path.read_text().splitlines()[0]
+    assert first.startswith("# module: "), f"{path} lacks a module header"
+    return first.removeprefix("# module: ").strip()
+
+
+def project_for(fixture: Path) -> Project:
+    """A project holding one fixture file plus its directory's supports."""
+    project = Project(root=fixture.parent)
+    for support in sorted(fixture.parent.glob("support_*.py")):
+        project.add_virtual_module(
+            module_name_of(support), support.read_text()
+        )
+    project.add_virtual_module(module_name_of(fixture), fixture.read_text())
+    return project
+
+
+def findings_for(fixture: Path, code: str) -> list:
+    project = project_for(fixture)
+    result = run_lint(project, FIXTURE_CONFIG)
+    target = "src/" + module_name_of(fixture).replace(".", "/") + ".py"
+    return [f for f in result.findings if f.rule == code and f.path == target]
+
+
+CASES = [
+    ("csp001_privacy/bad_direct.py", "CSP001", 1),
+    ("csp001_privacy/bad_name.py", "CSP001", 1),
+    ("csp001_privacy/bad_transitive.py", "CSP001", 1),
+    ("csp001_privacy/clean.py", "CSP001", 0),
+    ("csp002_determinism/bad.py", "CSP002", 5),
+    ("csp002_determinism/clean.py", "CSP002", 0),
+    ("csp003_contract/bad.py", "CSP003", 3),
+    ("csp003_contract/clean.py", "CSP003", 0),
+    ("csp004_float_eq/bad.py", "CSP004", 2),
+    ("csp004_float_eq/clean.py", "CSP004", 0),
+    ("csp005_mutable_default/bad.py", "CSP005", 3),
+    ("csp005_mutable_default/clean.py", "CSP005", 0),
+    ("csp006_broad_except/bad.py", "CSP006", 2),
+    ("csp006_broad_except/clean.py", "CSP006", 0),
+    ("csp007_unseeded/bad.py", "CSP007", 1),
+    ("csp007_unseeded/clean.py", "CSP007", 0),
+]
+
+
+@pytest.mark.parametrize("rel,code,expected", CASES)
+def test_fixture_finding_counts(rel: str, code: str, expected: int) -> None:
+    found = findings_for(FIXTURES / rel, code)
+    assert len(found) == expected, [f.message for f in found]
+
+
+def test_every_rule_has_violating_and_clean_fixture() -> None:
+    codes_with_bad = {c for _, c, n in CASES if n > 0}
+    codes_with_clean = {c for _, c, n in CASES if n == 0}
+    all_codes = {f"CSP00{i}" for i in range(1, 8)}
+    assert codes_with_bad == all_codes
+    assert codes_with_clean == all_codes
+
+
+def test_transitive_chain_is_named_in_message() -> None:
+    (finding,) = findings_for(
+        FIXTURES / "csp001_privacy/bad_transitive.py", "CSP001"
+    )
+    assert "app.processor.bad_transitive -> app.helpers -> app.workloads" in (
+        finding.message
+    )
+
+
+def test_direct_violation_points_at_the_import_line() -> None:
+    fixture = FIXTURES / "csp001_privacy/bad_direct.py"
+    (finding,) = findings_for(fixture, "CSP001")
+    line = fixture.read_text().splitlines()[finding.line - 1]
+    assert "from app.workloads import" in line
+
+
+def test_float_sentinel_equality_is_exempt() -> None:
+    project = Project()
+    project.add_virtual_module(
+        "geom.sentinel",
+        "def unbounded(a):\n    return a == float('inf')\n",
+    )
+    result = run_lint(project, FIXTURE_CONFIG)
+    assert [f for f in result.findings if f.rule == "CSP004"] == []
+
+
+def test_broad_except_with_reraise_is_exempt() -> None:
+    project = Project()
+    project.add_virtual_module(
+        "errs.reraise",
+        "def f(x):\n"
+        "    try:\n"
+        "        return x()\n"
+        "    except Exception:\n"
+        "        raise\n",
+    )
+    result = run_lint(project, FIXTURE_CONFIG)
+    assert [f for f in result.findings if f.rule == "CSP006"] == []

@@ -27,7 +27,6 @@ from __future__ import annotations
 
 import argparse
 import json
-import random
 import sys
 import time
 from pathlib import Path
@@ -45,6 +44,7 @@ from repro.processor import (  # noqa: E402
 )
 from repro.processor.knn import _extended_region  # noqa: E402
 from repro.spatial import RTreeIndex  # noqa: E402
+from repro.utils.rng import ensure_rng  # noqa: E402
 
 BOUNDS = Rect(0.0, 0.0, 1.0, 1.0)
 
@@ -62,9 +62,9 @@ def bench_cloak(quick: bool) -> dict:
     num_groups = 20 if quick else 50
     users_per_group = 20 if quick else 100
     rounds = 3 if quick else 5
-    rng = random.Random(0)
+    rng = ensure_rng(0)
     points = [
-        Point(rng.random(), rng.random()) for _ in range(num_groups)
+        Point(float(rng.random()), float(rng.random())) for _ in range(num_groups)
     ]
     # Strict profiles make Algorithm 1 climb several pyramid levels per
     # cloak (the realistic worst case the cache is for); relaxed
@@ -134,17 +134,17 @@ def bench_knn(quick: bool) -> dict:
     num_targets = 2_000 if quick else 10_000
     num_queries = 10 if quick else 30
     k = 10
-    rng = random.Random(1)
+    rng = ensure_rng(1)
     index = RTreeIndex()
     entries = {}
     for oid in range(num_targets):
-        x, y = rng.random() * 0.95, rng.random() * 0.95
-        w, h = rng.uniform(0.001, 0.02), rng.uniform(0.001, 0.02)
+        x, y = float(rng.random()) * 0.95, float(rng.random()) * 0.95
+        w, h = float(rng.uniform(0.001, 0.02)), float(rng.uniform(0.001, 0.02))
         entries[oid] = Rect(x, y, x + w, y + h)
     index.bulk_load(entries)
     areas = []
     for _ in range(num_queries):
-        x, y = rng.random() * 0.9, rng.random() * 0.9
+        x, y = float(rng.random()) * 0.9, float(rng.random()) * 0.9
         areas.append(Rect(x, y, x + 0.05, y + 0.05))
 
     pruned_s, pruned_out = _timed(
@@ -170,17 +170,17 @@ def bench_knn(quick: bool) -> dict:
 def bench_nn_latency(quick: bool) -> dict:
     num_targets = 2_000 if quick else 10_000
     num_queries = 50 if quick else 200
-    rng = random.Random(2)
+    rng = ensure_rng(2)
     index = RTreeIndex()
     index.bulk_load(
         {
-            oid: Rect.point(Point(rng.random(), rng.random()))
+            oid: Rect.point(Point(float(rng.random()), float(rng.random())))
             for oid in range(num_targets)
         }
     )
     areas = []
     for _ in range(num_queries):
-        x, y = rng.random() * 0.9, rng.random() * 0.9
+        x, y = float(rng.random()) * 0.9, float(rng.random()) * 0.9
         areas.append(Rect(x, y, x + 0.04, y + 0.04))
     total_s, _ = _timed(lambda: [private_nn_over_public(index, a) for a in areas])
     return {
@@ -197,18 +197,18 @@ def bench_batch(quick: bool) -> dict:
     num_targets = 1_000 if quick else 5_000
     num_requests = 100 if quick else 400
     num_distinct = 8 if quick else 16
-    rng = random.Random(3)
+    rng = ensure_rng(3)
     index = RTreeIndex()
     entries = {}
     for oid in range(num_targets):
-        x, y = rng.random() * 0.95, rng.random() * 0.95
+        x, y = float(rng.random()) * 0.95, float(rng.random()) * 0.95
         entries[oid] = Rect(x, y, x + 0.01, y + 0.01)
     index.bulk_load(entries)
     distinct = []
     for _ in range(num_distinct):
-        x, y = rng.random() * 0.9, rng.random() * 0.9
+        x, y = float(rng.random()) * 0.9, float(rng.random()) * 0.9
         distinct.append(Rect(x, y, x + 0.05, y + 0.05))
-    areas = [distinct[rng.randrange(num_distinct)] for _ in range(num_requests)]
+    areas = [distinct[int(rng.integers(num_distinct))] for _ in range(num_requests)]
     requests = [BatchRequest("nn_private", a) for a in areas]
 
     engine = BatchQueryEngine(private_index=index)
