@@ -9,6 +9,8 @@ simulate               drive the full stack for N ticks with an
                        exactness audit and per-tick metrics
 lint                   run casperlint (privacy-boundary, determinism,
                        index-contract and correctness rules)
+metrics                run an instrumented example and print its
+                       privacy-screened telemetry (JSON or Prometheus)
 info                   print the library version and component inventory
 """
 
@@ -33,7 +35,12 @@ def _cmd_figures(args: argparse.Namespace) -> int:
     if args.parallel < 1:
         print("--parallel must be >= 1", file=sys.stderr)
         return 2
-    main(names, charts=not args.no_charts, parallel=args.parallel)
+    main(
+        names,
+        charts=not args.no_charts,
+        parallel=args.parallel,
+        telemetry_path=args.telemetry,
+    )
     return 0
 
 
@@ -101,6 +108,44 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return run_from_args(args)
 
 
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    """Run one example under observability and print its telemetry.
+
+    The example's own stdout is suppressed — the command's output is
+    exactly one telemetry document, so it can be piped to ``jq`` or a
+    Prometheus textfile collector.  Every label value and span
+    attribute has already been screened twice (at record time and at
+    ``TelemetryExport`` construction); a leak aborts with exit code 3.
+    """
+    import contextlib
+    import io
+    import runpy
+    from pathlib import Path
+
+    from repro.observability import TelemetryExport, TelemetryLeakError, enabled
+
+    script = Path("examples") / f"{args.example}.py"
+    if not script.is_file():
+        candidates = sorted(p.stem for p in Path("examples").glob("*.py"))
+        print(f"no such example: {script}", file=sys.stderr)
+        if candidates:
+            print(f"available: {', '.join(candidates)}", file=sys.stderr)
+        return 2
+    with enabled() as session:
+        with contextlib.redirect_stdout(io.StringIO()):
+            runpy.run_path(str(script), run_name="__main__")
+        try:
+            export = TelemetryExport.from_observability(session)
+        except TelemetryLeakError as leak:
+            print(f"telemetry leak: {leak}", file=sys.stderr)
+            return 3
+    if args.format == "prometheus":
+        sys.stdout.write(export.to_prometheus())
+    else:
+        print(export.to_json())
+    return 0
+
+
 def _cmd_info(_args: argparse.Namespace) -> int:
     print(f"repro {repro.__version__} — Casper (VLDB 2006) reproduction")
     print("components: geometry, spatial (r-tree/grid/quadtree/kd-tree/"
@@ -126,6 +171,10 @@ def main(argv: list[str] | None = None) -> int:
         "--parallel", type=int, default=1, metavar="N",
         help="run figures across N worker processes (default: serial)",
     )
+    figures.add_argument(
+        "--telemetry", metavar="PATH", default=None,
+        help="also capture per-figure telemetry snapshots to this JSON file",
+    )
     figures.set_defaults(func=_cmd_figures)
 
     demo = sub.add_parser("demo", help="run a compact end-to-end demo")
@@ -149,6 +198,20 @@ def main(argv: list[str] | None = None) -> int:
 
     add_lint_arguments(lint)
     lint.set_defaults(func=_cmd_lint)
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="run an instrumented example and print its telemetry",
+    )
+    metrics.add_argument(
+        "--example", default="quickstart", metavar="NAME",
+        help="examples/<NAME>.py to run (default: quickstart)",
+    )
+    metrics.add_argument(
+        "--format", choices=("json", "prometheus"), default="json",
+        help="output format (default: json)",
+    )
+    metrics.set_defaults(func=_cmd_metrics)
 
     info = sub.add_parser("info", help="version and component inventory")
     info.set_defaults(func=_cmd_info)

@@ -38,7 +38,7 @@ DEFAULT_SCAN_PATHS: tuple[str, ...] = ("src/repro", "tools")
 def _default_safe_imports() -> dict[str, frozenset[str]]:
     return {
         "repro.anonymizer": frozenset(
-            {"CloakedRegion", "PrivacyProfile", "AnonymizerStats"}
+            {"CloakedRegion", "PrivacyProfile", "AnonymizerStats", "TelemetryExport"}
         ),
     }
 

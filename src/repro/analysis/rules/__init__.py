@@ -21,6 +21,7 @@ def load_builtin_rules() -> None:
         determinism,
         index_contract,
         privacy,
+        telemetry,
     )
 
     _loaded = True

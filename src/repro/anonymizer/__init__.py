@@ -13,6 +13,11 @@ from repro.anonymizer.cloak import CloakedRegion, bottom_up_cloak
 from repro.anonymizer.profile import PUBLIC_PROFILE, PrivacyProfile
 from repro.anonymizer.stats import MaintenanceStats
 
+# Re-exported so the trusted side has one import surface for the only
+# telemetry object allowed to cross the privacy boundary (the CSP001
+# ``safe_imports`` allowlist names it next to ``CloakedRegion``).
+from repro.observability.export import TelemetryExport
+
 __all__ = [
     "AdaptiveAnonymizer",
     "BasicAnonymizer",
@@ -24,4 +29,5 @@ __all__ = [
     "PrivacyProfile",
     "PUBLIC_PROFILE",
     "MaintenanceStats",
+    "TelemetryExport",
 ]

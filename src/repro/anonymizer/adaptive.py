@@ -31,6 +31,8 @@ from repro.anonymizer.profile import PrivacyProfile
 from repro.anonymizer.stats import MaintenanceStats
 from repro.errors import DuplicateUserError, UnknownUserError
 from repro.geometry import Point, Rect
+from repro.observability import runtime as _telemetry
+from repro.utils.timer import monotonic
 
 __all__ = ["AdaptiveAnonymizer"]
 
@@ -332,19 +334,30 @@ class AdaptiveAnonymizer:
         """Blur ``uid``'s location, starting Algorithm 1 from their
         lowest *maintained* cell."""
         record = self._record(uid)
-        self.stats.cloak_requests += 1
-        return self.cloak_cache.cloak(
-            self.grid, self.cell_count, self._gen_of, self._epoch,
-            record.profile, record.leaf,
-        )
+        return self._cloak_cell(record.profile, record.leaf)
 
     def cloak_location(self, point: Point, profile: PrivacyProfile) -> CloakedRegion:
         """One-shot cloak of an arbitrary location (query anonymization)."""
-        leaf = self.leaf_for_point(point)
+        return self._cloak_cell(profile, self.leaf_for_point(point))
+
+    def _cloak_cell(self, profile: PrivacyProfile, leaf: CellId) -> CloakedRegion:
         self.stats.cloak_requests += 1
-        return self.cloak_cache.cloak(
-            self.grid, self.cell_count, self._gen_of, self._epoch, profile, leaf
+        obs = _telemetry.active()
+        if obs is None:
+            return self.cloak_cache.cloak(
+                self.grid, self.cell_count, self._gen_of, self._epoch,
+                profile, leaf,
+            )
+        start = monotonic()
+        region = self.cloak_cache.cloak(
+            self.grid, self.cell_count, self._gen_of, self._epoch,
+            profile, leaf,
         )
+        _telemetry.record_cloak(
+            obs, "adaptive", monotonic() - start, region.area,
+            profile.a_min, region.achieved_k, profile.k,
+        )
+        return region
 
     # ------------------------------------------------------------------
     # Diagnostics

@@ -20,6 +20,8 @@ from repro.anonymizer.profile import PrivacyProfile
 from repro.anonymizer.stats import MaintenanceStats
 from repro.errors import DuplicateUserError, UnknownUserError
 from repro.geometry import Point, Rect
+from repro.observability import runtime as _telemetry
+from repro.utils.timer import monotonic
 
 __all__ = ["BasicAnonymizer"]
 
@@ -172,20 +174,31 @@ class BasicAnonymizer:
     def cloak(self, uid: object) -> CloakedRegion:
         """Blur ``uid``'s current location per their privacy profile."""
         record = self._record(uid)
-        self.stats.cloak_requests += 1
-        return self.cloak_cache.cloak(
-            self.grid, self.cell_count, self._gen_of, self._epoch,
-            record.profile, record.cell,
-        )
+        return self._cloak_cell(record.profile, record.cell)
 
     def cloak_location(self, point: Point, profile: PrivacyProfile) -> CloakedRegion:
         """Blur an arbitrary location under ``profile`` without
         registering it — used for one-shot query cloaking."""
-        cell = self.grid.cell_of(point)
+        return self._cloak_cell(profile, self.grid.cell_of(point))
+
+    def _cloak_cell(self, profile: PrivacyProfile, cell: CellId) -> CloakedRegion:
         self.stats.cloak_requests += 1
-        return self.cloak_cache.cloak(
-            self.grid, self.cell_count, self._gen_of, self._epoch, profile, cell
+        obs = _telemetry.active()
+        if obs is None:
+            return self.cloak_cache.cloak(
+                self.grid, self.cell_count, self._gen_of, self._epoch,
+                profile, cell,
+            )
+        start = monotonic()
+        region = self.cloak_cache.cloak(
+            self.grid, self.cell_count, self._gen_of, self._epoch,
+            profile, cell,
         )
+        _telemetry.record_cloak(
+            obs, "basic", monotonic() - start, region.area,
+            profile.a_min, region.achieved_k, profile.k,
+        )
+        return region
 
     # ------------------------------------------------------------------
     # Diagnostics

@@ -31,6 +31,7 @@ from typing import Callable
 from repro.anonymizer.cells import CellGrid, CellId
 from repro.anonymizer.cloak import CloakedRegion, bottom_up_cloak
 from repro.anonymizer.profile import PrivacyProfile
+from repro.observability import runtime as _telemetry
 
 __all__ = ["CloakCache"]
 
@@ -98,6 +99,7 @@ class CloakCache:
         """
         if self.capacity == 0:
             return bottom_up_cloak(grid, count, profile, start)
+        obs = _telemetry.active()
         key = (start, profile.k, profile.a_min)
         entry = self._entries.get(key)
         if entry is not None:
@@ -107,10 +109,16 @@ class CloakCache:
                 entry.epoch = epoch
                 self.hits += 1
                 self._entries.move_to_end(key)
+                if obs is not None:
+                    _telemetry.record_cache_event(obs, "hit")
                 return entry.region
             del self._entries[key]
             self.invalidations += 1
+            if obs is not None:
+                _telemetry.record_cache_event(obs, "invalidation")
         self.misses += 1
+        if obs is not None:
+            _telemetry.record_cache_event(obs, "miss")
         reads: list[tuple[CellId, int]] = []
 
         def recording(cell: CellId) -> int:
@@ -122,6 +130,8 @@ class CloakCache:
         if len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
             self.evictions += 1
+            if obs is not None:
+                _telemetry.record_cache_event(obs, "eviction")
         return region
 
     @property

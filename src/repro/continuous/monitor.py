@@ -30,6 +30,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.geometry import Point, Rect
+from repro.observability import runtime as _telemetry
 from repro.processor import (
     BatchRequest,
     CandidateList,
@@ -38,6 +39,7 @@ from repro.processor import (
 )
 from repro.server.casper import Casper
 from repro.spatial import GridIndex
+from repro.utils.timer import monotonic
 
 __all__ = ["AnswerChange", "ContinuousQueryMonitor"]
 
@@ -228,6 +230,8 @@ class ContinuousQueryMonitor:
         through the querying user's pyramid cells, so answers are fully
         consistent with a from-scratch evaluation at each flush boundary.
         """
+        obs = _telemetry.active()
+        start = monotonic() if obs is not None else 0.0
         fresh_cloaks: dict[object, Rect] = {}
         for query_id, query in self._queries.items():
             region = self.casper.anonymizer.cloak(query.uid).region
@@ -277,6 +281,13 @@ class ContinuousQueryMonitor:
                 query.a_ext = candidates.search_region
             if change.changed:
                 changes.append(change)
+        if obs is not None:
+            _telemetry.record_monitor_flush(
+                obs,
+                dirty=len(dirty),
+                changed=len(changes),
+                seconds=monotonic() - start,
+            )
         self._dirty.clear()
         return changes
 

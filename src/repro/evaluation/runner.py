@@ -109,16 +109,31 @@ FIGURES: dict[str, Callable[[ScalePreset], dict[str, ExperimentResult]]] = {
 }
 
 
-def _run_figure(task: tuple[str, ScalePreset]) -> tuple[str, dict[str, ExperimentResult]]:
-    """Worker entry point: run one figure (must be picklable)."""
-    name, scale = task
-    return name, FIGURES[name](scale)
+def _run_figure(task: tuple) -> tuple[str, dict[str, ExperimentResult], dict | None]:
+    """Worker entry point: run one figure (must be picklable).
+
+    ``task`` is ``(name, scale)`` or ``(name, scale, capture)``; with
+    ``capture`` true the figure runs under a fresh observability
+    session and its privacy-screened telemetry snapshot rides along as
+    the third element of the result.
+    """
+    name, scale = task[0], task[1]
+    capture = task[2] if len(task) > 2 else False
+    if not capture:
+        return name, FIGURES[name](scale), None
+    from repro.observability import TelemetryExport, enabled
+
+    with enabled() as session:
+        panels = FIGURES[name](scale)
+        export = TelemetryExport.from_observability(session)
+    return name, panels, export.as_dict()
 
 
 def run_experiments(
     names: list[str] | None = None,
     scale: ScalePreset | None = None,
     parallel: int = 1,
+    telemetry: dict[str, dict] | None = None,
 ) -> dict[str, dict[str, ExperimentResult]]:
     """Run the named figures (all by default); returns
     ``{figure_name: {panel_key: result}}``.
@@ -126,6 +141,12 @@ def run_experiments(
     ``parallel`` > 1 distributes whole figures over that many worker
     processes; the returned mapping is in request order and its panels
     are identical to a serial run (figures seed their RNGs internally).
+
+    Pass a dict as ``telemetry`` to also run every figure instrumented:
+    it is filled with ``{figure_name: telemetry snapshot}`` (the
+    :class:`~repro.observability.TelemetryExport` dict form, screened
+    for location leaks).  The figure *panels* are unaffected — the
+    equivalence tests pin them bit-identical either way.
     """
     if scale is None:
         scale = active_scale()
@@ -136,12 +157,20 @@ def run_experiments(
         raise ValueError(f"unknown figures: {unknown}; known: {list(FIGURES)}")
     if parallel < 1:
         raise ValueError("parallel must be >= 1")
+    capture = telemetry is not None
+    tasks = [(n, scale, capture) for n in names]
     if parallel > 1 and len(names) > 1:
         workers = min(parallel, len(names))
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            finished = dict(pool.map(_run_figure, [(n, scale) for n in names]))
-        return {name: finished[name] for name in names}
-    return {name: FIGURES[name](scale) for name in names}
+            outputs = list(pool.map(_run_figure, tasks))
+    else:
+        outputs = [_run_figure(task) for task in tasks]
+    finished = {name: panels for name, panels, _snap in outputs}
+    if telemetry is not None:
+        telemetry.update(
+            {name: snap for name, _panels, snap in outputs if snap is not None}
+        )
+    return {name: finished[name] for name in names}
 
 
 def format_report(
@@ -162,13 +191,30 @@ def format_report(
 
 
 def main(
-    names: list[str] | None = None, charts: bool = True, parallel: int = 1
+    names: list[str] | None = None,
+    charts: bool = True,
+    parallel: int = 1,
+    telemetry_path: str | None = None,
 ) -> None:
-    """Run and print (used by ``python -m repro figures``)."""
+    """Run and print (used by ``python -m repro figures``).
+
+    ``telemetry_path`` additionally captures per-figure telemetry
+    snapshots and writes them as one JSON document.
+    """
     scale = active_scale()
     print(f"scale preset: {scale.name} "
           f"({scale.num_users} users, {scale.num_targets} targets)")
     start = time.perf_counter()
-    results = run_experiments(names, scale, parallel=parallel)
+    snapshots: dict[str, dict] | None = {} if telemetry_path else None
+    results = run_experiments(names, scale, parallel=parallel, telemetry=snapshots)
     print(format_report(results, charts=charts))
+    if telemetry_path and snapshots is not None:
+        import json
+        from pathlib import Path
+
+        Path(telemetry_path).write_text(
+            json.dumps(snapshots, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"telemetry snapshots: {telemetry_path} "
+              f"({len(snapshots)} figures)")
     print(f"total experiment time: {time.perf_counter() - start:.1f} s")

@@ -1,0 +1,176 @@
+"""``TelemetryExport`` — the sanctioned way telemetry crosses the
+anonymizer boundary.
+
+The paper's trust model (Figure 1) allows exactly one location-shaped
+value to leave the anonymizer: the ``(k, A_min)``-cloaked region.  A
+metrics pipeline is a second egress path, so it gets the same
+treatment: the only object that may carry anonymizer-side telemetry to
+an untrusted sink is a :class:`TelemetryExport`, whose constructor
+re-screens **every** metric label value and span attribute against the
+coordinate-pair pattern and rejects the export outright on a hit
+(:class:`~repro.observability.metrics.TelemetryLeakError`).  The name
+is on the CSP001 ``safe_imports`` allowlist next to ``CloakedRegion``;
+shipping a raw ``MetricsRegistry`` across the boundary is a lint
+violation.
+
+Two wire formats: a JSON document (machine consumption, exact — the
+metrics portion round-trips through
+:meth:`~repro.observability.metrics.MetricsRegistry.from_snapshot`)
+and Prometheus text exposition format (scraping; floats rendered with
+``repr`` precision).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Mapping
+
+from repro.observability.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    TelemetryLeakError,
+    ensure_safe_label_value,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.observability.runtime import Observability
+
+__all__ = ["TelemetryExport"]
+
+
+def _screen_metrics_snapshot(snapshot: Mapping[str, object]) -> None:
+    entries = snapshot.get("metrics", [])
+    if not isinstance(entries, list):
+        raise TelemetryLeakError("malformed metrics snapshot")
+    for entry in entries:
+        name = entry.get("name", "<unnamed>")
+        for key, value in entry.get("labels", []):
+            ensure_safe_label_value(
+                value, context=f"metric {name!r} label {key!r}"
+            )
+
+
+def _screen_span_dict(span: Mapping[str, object]) -> None:
+    name = span.get("name", "<unnamed>")
+    attributes = span.get("attributes", {})
+    if isinstance(attributes, dict):
+        for key, value in attributes.items():
+            ensure_safe_label_value(
+                value, context=f"span {name!r} attribute {key!r}"
+            )
+    children = span.get("children", [])
+    if isinstance(children, list):
+        for child in children:
+            _screen_span_dict(child)
+
+
+class TelemetryExport:
+    """An immutable, screened snapshot of one observability session."""
+
+    __slots__ = ("metrics", "spans", "slos")
+
+    def __init__(
+        self,
+        metrics: Mapping[str, object],
+        spans: tuple[Mapping[str, object], ...] = (),
+        slos: Mapping[str, object] | None = None,
+    ) -> None:
+        _screen_metrics_snapshot(metrics)
+        for span in spans:
+            _screen_span_dict(span)
+        self.metrics = metrics
+        self.spans = spans
+        self.slos = slos if slos is not None else {"objectives": [], "breaches": []}
+
+    @classmethod
+    def from_observability(cls, session: "Observability") -> "TelemetryExport":
+        """Snapshot a live session; raises ``TelemetryLeakError`` if any
+        label value or span attribute is location-shaped."""
+        return cls(
+            metrics=session.metrics.snapshot(),
+            spans=tuple(session.tracer.snapshot()),
+            slos=session.slo.snapshot(),
+        )
+
+    def restore_metrics(self) -> MetricsRegistry:
+        """Rebuild the metrics registry this export was taken from."""
+        return MetricsRegistry.from_snapshot(self.metrics)
+
+    # -- wire formats ----------------------------------------------------
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "metrics": self.metrics,
+            "spans": list(self.spans),
+            "slos": self.slos,
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.as_dict(), indent=indent, sort_keys=True)
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition format (version 0.0.4)."""
+        registry = self.restore_metrics()
+        lines: list[str] = []
+        seen_headers: set[str] = set()
+        for metric in registry:
+            prom_name = metric.name
+            if prom_name not in seen_headers:
+                seen_headers.add(prom_name)
+                if metric.help:
+                    lines.append(f"# HELP {prom_name} {metric.help}")
+                lines.append(f"# TYPE {prom_name} {metric.kind}")
+            if isinstance(metric, Counter):
+                lines.append(
+                    f"{prom_name}{_labels(metric.labels)} {metric.value}"
+                )
+            elif isinstance(metric, Gauge):
+                lines.append(
+                    f"{prom_name}{_labels(metric.labels)} {_num(metric.value)}"
+                )
+            elif isinstance(metric, Histogram):
+                cumulative = 0
+                for boundary, count in zip(
+                    metric.boundaries, metric.bucket_counts
+                ):
+                    cumulative += count
+                    lines.append(
+                        f"{prom_name}_bucket"
+                        f"{_labels(metric.labels, le=_num(boundary))} "
+                        f"{cumulative}"
+                    )
+                cumulative += metric.bucket_counts[-1]
+                lines.append(
+                    f"{prom_name}_bucket"
+                    f"{_labels(metric.labels, le='+Inf')} {cumulative}"
+                )
+                lines.append(
+                    f"{prom_name}_sum{_labels(metric.labels)} "
+                    f"{_num(metric.sum)}"
+                )
+                lines.append(
+                    f"{prom_name}_count{_labels(metric.labels)} {metric.count}"
+                )
+        return "\n".join(lines) + "\n" if lines else ""
+
+
+def _num(value: float) -> str:
+    """Prometheus float rendering (no exponent surprises for ints)."""
+    as_float = float(value)
+    if as_float == int(as_float) and abs(as_float) < 1e15:
+        return str(int(as_float))
+    return repr(as_float)
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _labels(pairs: tuple[tuple[str, object], ...], le: str | None = None) -> str:
+    rendered = [f'{key}="{_escape(str(value))}"' for key, value in pairs]
+    if le is not None:
+        rendered.append(f'le="{le}"')
+    if not rendered:
+        return ""
+    return "{" + ",".join(rendered) + "}"

@@ -1,0 +1,195 @@
+"""SLO monitors over rolling windows of live signals.
+
+Biswas & Sairam's comparison of LBS privacy approaches and the
+utility-aware line of work both argue the privacy/utility trade-off is
+an *operational* signal, not a post-hoc plot: an operator must see —
+while the system runs — whether cloaks are being produced fast enough,
+whether they actually honour the ``(k, A_min)`` contract, and whether
+candidate lists (the utility cost the client pays) stay bounded.  Each
+:class:`SLODefinition` watches a rolling window of one such signal and
+flags a breach when the window's mean crosses its threshold.
+
+The monitor is deterministic: windows are fixed-size deques, thresholds
+are fixed at construction, and :meth:`SLOMonitor.evaluate` is a pure
+function of the recorded values.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+__all__ = ["SLODefinition", "SLOBreach", "SLOMonitor", "DEFAULT_SLOS"]
+
+
+@dataclass(frozen=True)
+class SLODefinition:
+    """One service-level objective.
+
+    ``kind`` selects the breach direction: an ``"upper"`` SLO breaches
+    when the rolling mean *exceeds* the threshold (latencies, sizes); a
+    ``"lower"`` SLO breaches when it *falls below* (privacy-contract
+    ratios that must stay >= 1).
+    """
+
+    name: str
+    description: str
+    threshold: float
+    kind: str = "upper"
+    window: int = 256
+    min_samples: int = 16
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("upper", "lower"):
+            raise ValueError("kind must be 'upper' or 'lower'")
+        if self.window < 1 or self.min_samples < 1:
+            raise ValueError("window and min_samples must be >= 1")
+
+
+@dataclass(frozen=True)
+class SLOBreach:
+    """One objective currently out of bounds."""
+
+    slo: str
+    observed: float
+    threshold: float
+    kind: str
+    samples: int
+
+    def describe(self) -> str:
+        relation = ">" if self.kind == "upper" else "<"
+        return (
+            f"SLO {self.slo!r} breached: rolling mean {self.observed:.6g} "
+            f"{relation} threshold {self.threshold:.6g} "
+            f"over {self.samples} samples"
+        )
+
+
+#: The four live signals the ISSUE's operators care about.  Latency
+#: generous enough for CI machines; the two ratio SLOs encode the
+#: paper's privacy contract itself (k' >= k and A' >= A_min).
+DEFAULT_SLOS: tuple[SLODefinition, ...] = (
+    SLODefinition(
+        name="cloak_latency_seconds",
+        description="mean anonymizer cloaking latency",
+        threshold=0.05,
+        kind="upper",
+    ),
+    SLODefinition(
+        name="cloak_area_ratio",
+        description="mean cloaked-area / A_min (must stay >= 1)",
+        threshold=1.0,
+        kind="lower",
+    ),
+    SLODefinition(
+        name="k_satisfaction",
+        description="mean achieved-k / requested-k (must stay >= 1)",
+        threshold=1.0,
+        kind="lower",
+    ),
+    SLODefinition(
+        name="candidate_list_size",
+        description="mean candidate-list fan-out shipped to clients",
+        threshold=512.0,
+        kind="upper",
+    ),
+)
+
+
+class SLOMonitor:
+    """Rolling-window watcher for a fixed set of SLO definitions."""
+
+    def __init__(
+        self, definitions: tuple[SLODefinition, ...] = DEFAULT_SLOS
+    ) -> None:
+        names = [d.name for d in definitions]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate SLO names")
+        self.definitions: dict[str, SLODefinition] = {
+            d.name: d for d in definitions
+        }
+        self._windows: dict[str, deque[float]] = {
+            d.name: deque(maxlen=d.window) for d in definitions
+        }
+
+    def record(self, name: str, value: float) -> None:
+        """Record one observation for the named objective.
+
+        Unknown names are ignored (instrumentation may be newer than the
+        monitor configuration) so record sites never need guarding.
+        """
+        window = self._windows.get(name)
+        if window is not None:
+            window.append(float(value))
+
+    def samples(self, name: str) -> int:
+        return len(self._windows[name])
+
+    def rolling_mean(self, name: str) -> float:
+        window = self._windows[name]
+        return sum(window) / len(window) if window else 0.0
+
+    def evaluate(self) -> list[SLOBreach]:
+        """Every objective currently in breach, in definition order."""
+        breaches: list[SLOBreach] = []
+        for name, definition in self.definitions.items():
+            window = self._windows[name]
+            if len(window) < definition.min_samples:
+                continue
+            mean = sum(window) / len(window)
+            out_of_bounds = (
+                mean > definition.threshold
+                if definition.kind == "upper"
+                else mean < definition.threshold
+            )
+            if out_of_bounds:
+                breaches.append(
+                    SLOBreach(
+                        slo=name,
+                        observed=mean,
+                        threshold=definition.threshold,
+                        kind=definition.kind,
+                        samples=len(window),
+                    )
+                )
+        return breaches
+
+    def snapshot(self) -> dict[str, object]:
+        """JSON-safe status of every objective plus current breaches."""
+        status = []
+        for name, definition in self.definitions.items():
+            window = self._windows[name]
+            status.append(
+                {
+                    "name": name,
+                    "description": definition.description,
+                    "threshold": definition.threshold,
+                    "kind": definition.kind,
+                    "window": definition.window,
+                    "samples": len(window),
+                    "rolling_mean": (
+                        sum(window) / len(window) if window else None
+                    ),
+                }
+            )
+        return {
+            "objectives": status,
+            "breaches": [
+                {
+                    "slo": b.slo,
+                    "observed": b.observed,
+                    "threshold": b.threshold,
+                    "kind": b.kind,
+                    "samples": b.samples,
+                }
+                for b in self.evaluate()
+            ],
+        }
+
+    def clear(self) -> None:
+        for window in self._windows.values():
+            window.clear()
+
+    def __len__(self) -> int:
+        """Total recorded samples currently held in windows."""
+        return sum(len(w) for w in self._windows.values())

@@ -25,6 +25,7 @@ from typing import Sequence
 
 from repro.errors import EmptyDatasetError
 from repro.geometry import Rect
+from repro.observability import runtime as _telemetry
 from repro.processor.candidate import CandidateList
 from repro.processor.extension import (
     compute_extension_private,
@@ -42,6 +43,7 @@ from repro.processor.knn import (
 )
 from repro.processor.probabilistic import OverlapPolicy
 from repro.spatial import SpatialIndex
+from repro.utils.timer import monotonic
 
 __all__ = ["BatchRequest", "BatchQueryEngine", "QUERY_TYPES"]
 
@@ -110,6 +112,9 @@ class BatchQueryEngine:
         """Answer every request; returns candidate lists in request
         order.  Identical requests share one computation (and one frozen
         ``CandidateList`` instance)."""
+        obs = _telemetry.active()
+        start = monotonic() if obs is not None else 0.0
+        computed_before = self.requests_computed
         results: dict[BatchRequest, CandidateList] = {}
         # Per-run memos for the shareable stages of Algorithm 2.  Keyed
         # by (cloaked area, num_filters[, k]); valid only within this
@@ -125,6 +130,13 @@ class BatchQueryEngine:
                 cached = self._execute(request, filters_memo, ext_memo)
                 results[request] = cached
             out.append(cached)
+        if obs is not None:
+            _telemetry.record_batch(
+                obs,
+                size=len(out),
+                computed=self.requests_computed - computed_before,
+                seconds=monotonic() - start,
+            )
         return out
 
     @property
@@ -215,6 +227,7 @@ class BatchQueryEngine:
                 (oid, rect) for oid, rect in candidates if policy.admits(rect, a_ext)
             ]
         items = tuple(sorted(candidates, key=lambda item: str(item[0])))
+        _telemetry.note_candidates(len(items))
         if filter_oids is None:
             return CandidateList(
                 items=items, search_region=a_ext, num_filters=num_filters

@@ -34,6 +34,7 @@ from __future__ import annotations
 
 from repro.errors import EmptyDatasetError
 from repro.geometry import Point, Rect
+from repro.observability import runtime as _telemetry
 from repro.processor.candidate import CandidateList
 from repro.processor.probabilistic import OverlapPolicy
 from repro.spatial import SpatialIndex
@@ -117,15 +118,18 @@ def private_knn_over_public(
     if len(index) == 0:
         raise EmptyDatasetError("no target objects stored")
     k = min(k, len(index))
-    a_ext = _extended_region(
-        cloaked_area, lambda v: _kth_distance_public(index, v, k), num_filters, k
-    )
-    items = tuple(
-        sorted(
-            ((oid, index.rect_of(oid)) for oid in index.range_search(a_ext)),
-            key=lambda item: str(item[0]),
+    with _telemetry.phase_scope("extension", "public"):
+        a_ext = _extended_region(
+            cloaked_area, lambda v: _kth_distance_public(index, v, k), num_filters, k
         )
-    )
+    with _telemetry.phase_scope("candidates", "public"):
+        items = tuple(
+            sorted(
+                ((oid, index.rect_of(oid)) for oid in index.range_search(a_ext)),
+                key=lambda item: str(item[0]),
+            )
+        )
+    _telemetry.note_candidates(len(items))
     return CandidateList(items=items, search_region=a_ext, num_filters=num_filters)
 
 
@@ -140,13 +144,16 @@ def private_knn_over_private(
     if len(index) == 0:
         raise EmptyDatasetError("no target objects stored")
     k = min(k, len(index))
-    a_ext = _extended_region(
-        cloaked_area, lambda v: _kth_distance_private(index, v, k), num_filters, k
-    )
-    candidates = [(oid, index.rect_of(oid)) for oid in index.range_search(a_ext)]
-    if policy is not None:
-        candidates = [
-            (oid, rect) for oid, rect in candidates if policy.admits(rect, a_ext)
-        ]
-    items = tuple(sorted(candidates, key=lambda item: str(item[0])))
+    with _telemetry.phase_scope("extension", "private"):
+        a_ext = _extended_region(
+            cloaked_area, lambda v: _kth_distance_private(index, v, k), num_filters, k
+        )
+    with _telemetry.phase_scope("candidates", "private"):
+        candidates = [(oid, index.rect_of(oid)) for oid in index.range_search(a_ext)]
+        if policy is not None:
+            candidates = [
+                (oid, rect) for oid, rect in candidates if policy.admits(rect, a_ext)
+            ]
+        items = tuple(sorted(candidates, key=lambda item: str(item[0])))
+    _telemetry.note_candidates(len(items))
     return CandidateList(items=items, search_region=a_ext, num_filters=num_filters)

@@ -11,6 +11,7 @@ thinned by a probabilistic overlap policy).
 from __future__ import annotations
 
 from repro.geometry import Rect
+from repro.observability import runtime as _telemetry
 from repro.processor.candidate import CandidateList
 from repro.processor.extension import compute_extension_private
 from repro.processor.filters import select_filters_private
@@ -33,14 +34,18 @@ def private_nn_over_private(
     criterion with a probabilistic threshold (Section 5.2.1 step 4's
     ``x%``-overlap refinement); ``None`` keeps the inclusive default.
     """
-    filters = select_filters_private(index, cloaked_area, num_filters)
-    a_ext, _extensions = compute_extension_private(index, cloaked_area, filters)
-    candidates = [(oid, index.rect_of(oid)) for oid in index.range_search(a_ext)]
-    if policy is not None:
-        candidates = [
-            (oid, rect) for oid, rect in candidates if policy.admits(rect, a_ext)
-        ]
-    items = tuple(sorted(candidates, key=lambda item: str(item[0])))
+    with _telemetry.phase_scope("filter_selection", "private"):
+        filters = select_filters_private(index, cloaked_area, num_filters)
+    with _telemetry.phase_scope("extension", "private"):
+        a_ext, _extensions = compute_extension_private(index, cloaked_area, filters)
+    with _telemetry.phase_scope("candidates", "private"):
+        candidates = [(oid, index.rect_of(oid)) for oid in index.range_search(a_ext)]
+        if policy is not None:
+            candidates = [
+                (oid, rect) for oid, rect in candidates if policy.admits(rect, a_ext)
+            ]
+        items = tuple(sorted(candidates, key=lambda item: str(item[0])))
+    _telemetry.note_candidates(len(items))
     return CandidateList(
         items=items,
         search_region=a_ext,

@@ -8,6 +8,7 @@ points, expand to ``A_EXT``, range-query, ship the candidate list.
 from __future__ import annotations
 
 from repro.geometry import Rect
+from repro.observability import runtime as _telemetry
 from repro.processor.candidate import CandidateList
 from repro.processor.extension import compute_extension_public
 from repro.processor.filters import select_filters_public
@@ -32,14 +33,18 @@ def private_nn_over_public(
 
     Returns the inclusive, minimal candidate list of Theorems 1-2.
     """
-    filters = select_filters_public(index, cloaked_area, num_filters)
-    a_ext, _extensions = compute_extension_public(index, cloaked_area, filters)
-    items = tuple(
-        sorted(
-            ((oid, index.rect_of(oid)) for oid in index.range_search(a_ext)),
-            key=lambda item: str(item[0]),
+    with _telemetry.phase_scope("filter_selection", "public"):
+        filters = select_filters_public(index, cloaked_area, num_filters)
+    with _telemetry.phase_scope("extension", "public"):
+        a_ext, _extensions = compute_extension_public(index, cloaked_area, filters)
+    with _telemetry.phase_scope("candidates", "public"):
+        items = tuple(
+            sorted(
+                ((oid, index.rect_of(oid)) for oid in index.range_search(a_ext)),
+                key=lambda item: str(item[0]),
+            )
         )
-    )
+    _telemetry.note_candidates(len(items))
     return CandidateList(
         items=items,
         search_region=a_ext,

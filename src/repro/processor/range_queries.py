@@ -12,6 +12,7 @@ the NN algorithm.  The client refines locally with its exact position.
 from __future__ import annotations
 
 from repro.geometry import Rect
+from repro.observability import runtime as _telemetry
 from repro.processor.candidate import CandidateList
 from repro.processor.probabilistic import OverlapPolicy
 from repro.spatial import SpatialIndex
@@ -30,12 +31,14 @@ def private_range_over_public(
 ) -> CandidateList:
     """Candidates for "all public targets within ``radius`` of me"."""
     a_ext = cloaked_area.expanded_uniform(_validated(radius))
-    items = tuple(
-        sorted(
-            ((oid, index.rect_of(oid)) for oid in index.range_search(a_ext)),
-            key=lambda item: str(item[0]),
+    with _telemetry.phase_scope("candidates", "public"):
+        items = tuple(
+            sorted(
+                ((oid, index.rect_of(oid)) for oid in index.range_search(a_ext)),
+                key=lambda item: str(item[0]),
+            )
         )
-    )
+    _telemetry.note_candidates(len(items))
     return CandidateList(items=items, search_region=a_ext, num_filters=0)
 
 
@@ -47,10 +50,12 @@ def private_range_over_private(
 ) -> CandidateList:
     """Candidates for "all private targets within ``radius`` of me"."""
     a_ext = cloaked_area.expanded_uniform(_validated(radius))
-    candidates = [(oid, index.rect_of(oid)) for oid in index.range_search(a_ext)]
-    if policy is not None:
-        candidates = [
-            (oid, rect) for oid, rect in candidates if policy.admits(rect, a_ext)
-        ]
-    items = tuple(sorted(candidates, key=lambda item: str(item[0])))
+    with _telemetry.phase_scope("candidates", "private"):
+        candidates = [(oid, index.rect_of(oid)) for oid in index.range_search(a_ext)]
+        if policy is not None:
+            candidates = [
+                (oid, rect) for oid, rect in candidates if policy.admits(rect, a_ext)
+            ]
+        items = tuple(sorted(candidates, key=lambda item: str(item[0])))
+    _telemetry.note_candidates(len(items))
     return CandidateList(items=items, search_region=a_ext, num_filters=0)

@@ -30,6 +30,7 @@ from repro.anonymizer import (  # casperlint: ignore[CSP001] trusted facade
     PrivacyProfile,
 )
 from repro.geometry import Point, Rect
+from repro.observability import runtime as _telemetry
 from repro.processor import (
     BatchRequest,
     CandidateList,
@@ -144,15 +145,16 @@ class Casper:
     ) -> PrivateQueryResult:
         """"Where is my nearest gas station?" — private query over
         public data, with the Figure 17 timing decomposition."""
-        t0 = time.perf_counter()
-        cloak = self.anonymizer.cloak(uid)
-        t1 = time.perf_counter()
-        candidates = self.server.nn_public(cloak.region, num_filters)
-        t2 = time.perf_counter()
-        # The client's exact location never left the client; the facade
-        # borrows it from the trusted anonymizer to emulate the local
-        # refinement step.
-        answer = candidates.refine_nearest(self.anonymizer.location_of(uid))
+        with _telemetry.query_scope("nn_public"):
+            t0 = time.perf_counter()
+            cloak = self.anonymizer.cloak(uid)
+            t1 = time.perf_counter()
+            candidates = self.server.nn_public(cloak.region, num_filters)
+            t2 = time.perf_counter()
+            # The client's exact location never left the client; the
+            # facade borrows it from the trusted anonymizer to emulate
+            # the local refinement step.
+            answer = candidates.refine_nearest(self.anonymizer.location_of(uid))
         return PrivateQueryResult(
             cloak=cloak,
             candidates=candidates,
@@ -170,20 +172,21 @@ class Casper:
     ) -> PrivateQueryResult:
         """"Where is my nearest buddy?" — private query over private
         data; the requester's own record is excluded."""
-        t0 = time.perf_counter()
-        cloak = self.anonymizer.cloak(uid)
-        t1 = time.perf_counter()
-        candidates = self.server.nn_private(
-            cloak.region, num_filters, policy=policy, exclude=uid
-        )
-        t2 = time.perf_counter()
-        answer = (
-            candidates.refine_nearest(
-                self.anonymizer.location_of(uid), by="center"
+        with _telemetry.query_scope("nn_private"):
+            t0 = time.perf_counter()
+            cloak = self.anonymizer.cloak(uid)
+            t1 = time.perf_counter()
+            candidates = self.server.nn_private(
+                cloak.region, num_filters, policy=policy, exclude=uid
             )
-            if len(candidates)
-            else None
-        )
+            t2 = time.perf_counter()
+            answer = (
+                candidates.refine_nearest(
+                    self.anonymizer.location_of(uid), by="center"
+                )
+                if len(candidates)
+                else None
+            )
         return PrivateQueryResult(
             cloak=cloak,
             candidates=candidates,
@@ -195,12 +198,15 @@ class Casper:
 
     def query_range_public(self, uid: object, radius: float) -> PrivateQueryResult:
         """"Which gas stations are within `radius` of me?" """
-        t0 = time.perf_counter()
-        cloak = self.anonymizer.cloak(uid)
-        t1 = time.perf_counter()
-        candidates = self.server.range_public(cloak.region, radius)
-        t2 = time.perf_counter()
-        exact = candidates.refine_within(self.anonymizer.location_of(uid), radius)
+        with _telemetry.query_scope("range_public"):
+            t0 = time.perf_counter()
+            cloak = self.anonymizer.cloak(uid)
+            t1 = time.perf_counter()
+            candidates = self.server.range_public(cloak.region, radius)
+            t2 = time.perf_counter()
+            exact = candidates.refine_within(
+                self.anonymizer.location_of(uid), radius
+            )
         return PrivateQueryResult(
             cloak=cloak,
             candidates=candidates,
@@ -228,38 +234,44 @@ class Casper:
         """
         if not queries:
             return []
-        t0 = time.perf_counter()
-        parsed: list[tuple[object, str, float]] = []
-        cloaks = []
-        for spec in queries:
-            uid, query_type = spec[0], spec[1]
-            param = spec[2] if len(spec) > 2 else (1 if query_type == "knn_public" else 0.0)
-            parsed.append((uid, query_type, param))
-            cloaks.append(self.anonymizer.cloak(uid))
-        t1 = time.perf_counter()
-        requests = []
-        for (uid, query_type, param), cloak in zip(parsed, cloaks):
-            if query_type == "knn_public":
-                requests.append(
-                    BatchRequest(
-                        query_type, cloak.region, k=int(param),
-                        num_filters=num_filters,
+        with _telemetry.query_scope("batch_public"):
+            t0 = time.perf_counter()
+            parsed: list[tuple[object, str, float]] = []
+            cloaks = []
+            for spec in queries:
+                uid, query_type = spec[0], spec[1]
+                param = spec[2] if len(spec) > 2 else (
+                    1 if query_type == "knn_public" else 0.0
+                )
+                parsed.append((uid, query_type, param))
+                cloaks.append(self.anonymizer.cloak(uid))
+            t1 = time.perf_counter()
+            requests = []
+            for (uid, query_type, param), cloak in zip(parsed, cloaks):
+                if query_type == "knn_public":
+                    requests.append(
+                        BatchRequest(
+                            query_type, cloak.region, k=int(param),
+                            num_filters=num_filters,
+                        )
                     )
-                )
-            elif query_type == "range_public":
-                requests.append(
-                    BatchRequest(query_type, cloak.region, radius=float(param))
-                )
-            elif query_type == "nn_public":
-                requests.append(
-                    BatchRequest(query_type, cloak.region, num_filters=num_filters)
-                )
-            else:
-                raise ValueError(
-                    f"query_batch supports public-data query types, got {query_type!r}"
-                )
-        candidate_lists = self.server.run_batch(requests)
-        t2 = time.perf_counter()
+                elif query_type == "range_public":
+                    requests.append(
+                        BatchRequest(query_type, cloak.region, radius=float(param))
+                    )
+                elif query_type == "nn_public":
+                    requests.append(
+                        BatchRequest(
+                            query_type, cloak.region, num_filters=num_filters
+                        )
+                    )
+                else:
+                    raise ValueError(
+                        "query_batch supports public-data query types, "
+                        f"got {query_type!r}"
+                    )
+            candidate_lists = self.server.run_batch(requests)
+            t2 = time.perf_counter()
         anonymizer_share = (t1 - t0) / len(queries)
         processing_share = (t2 - t1) / len(queries)
         results = []

@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import Callable
 
 from repro.geometry import Point, Rect
+from repro.observability import runtime as _telemetry
 from repro.processor import (
     BatchQueryEngine,
     BatchRequest,
@@ -86,6 +87,7 @@ class LocationServer:
     # ------------------------------------------------------------------
     def nn_public(self, cloaked_area: Rect, num_filters: int = 4) -> CandidateList:
         """Private NN query over public data (Section 5.1)."""
+        _telemetry.note_server_request("nn_public")
         return private_nn_over_public(self.public_index, cloaked_area, num_filters)
 
     def nn_private(
@@ -101,6 +103,7 @@ class LocationServer:
         cloaked record) from consideration for the duration of the
         query.
         """
+        _telemetry.note_server_request("nn_private")
         if exclude is not None and exclude in self.private_index:
             region = self.private_index.rect_of(exclude)
             self.private_index.remove(exclude)
@@ -116,6 +119,7 @@ class LocationServer:
 
     def range_public(self, cloaked_area: Rect, radius: float) -> CandidateList:
         """Private range query over public data."""
+        _telemetry.note_server_request("range_public")
         return private_range_over_public(self.public_index, cloaked_area, radius)
 
     def range_private(
@@ -125,6 +129,7 @@ class LocationServer:
         policy: OverlapPolicy | None = None,
     ) -> CandidateList:
         """Private range query over private data."""
+        _telemetry.note_server_request("range_private")
         return private_range_over_private(
             self.private_index, cloaked_area, radius, policy
         )
@@ -133,11 +138,13 @@ class LocationServer:
         """Answer a batch of privacy-aware queries at once, sharing the
         filter/extension work between requests with the same cloaked
         area and answering duplicate requests exactly once."""
+        _telemetry.note_server_request("run_batch")
         return self.batch_engine.run(requests)
 
     def count_private(self, region: Rect) -> RangeCountResult:
         """Public aggregate query over private data (Section 5's second
         query type): how many private objects are in ``region``."""
+        _telemetry.note_server_request("count_private")
         return public_range_count_over_private(self.private_index, region)
 
     def possible_nn_private(
@@ -146,6 +153,7 @@ class LocationServer:
         """Public NN query over private data: the users who could be
         nearest to an exact point; see
         :func:`repro.processor.public_nn_over_private`."""
+        _telemetry.note_server_request("possible_nn_private")
         from repro.processor.uncertain_nn import public_nn_over_private
 
         return public_nn_over_private(
@@ -156,6 +164,7 @@ class LocationServer:
         """Gridded expected-population map over the private store (the
         traffic-report aggregate); see
         :func:`repro.processor.density_map_over_private`."""
+        _telemetry.note_server_request("density_private")
         from repro.processor.density import density_map_over_private
 
         return density_map_over_private(self.private_index, bounds, resolution)

@@ -5,7 +5,19 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
-__all__ = ["Stopwatch", "Accumulator"]
+__all__ = ["Stopwatch", "Accumulator", "monotonic"]
+
+
+def monotonic() -> float:
+    """Monotonic seconds for *duration* measurement.
+
+    The sanctioned clock of the whole codebase: latency instrumentation
+    (spans, phase histograms) must source elapsed time through this
+    function rather than reading ``time.time``/``datetime.now``, so the
+    CSP002 determinism rule can keep wall-clock *data* out of figures
+    while durations stay measurable.
+    """
+    return time.perf_counter()
 
 
 class Stopwatch:

@@ -21,6 +21,30 @@ settings.load_profile("repro")
 UNIT = Rect(0.0, 0.0, 1.0, 1.0)
 
 
+@pytest.fixture(autouse=True)
+def _telemetry_pollution_guard():
+    """Fail any test that leaves the global observability session
+    installed (or half-torn-down with telemetry still recorded).
+
+    Telemetry is process-global by design (``repro.observability.
+    runtime``), which makes it the one piece of state a test can leak
+    into every later test.  The sanctioned pattern is the ``enabled()``
+    context manager, which always restores the previous session.
+    """
+    from repro.observability import runtime as _telemetry
+
+    yield
+    session = _telemetry.active()
+    if session is not None:
+        _telemetry.disable()  # heal before failing so later tests run clean
+        leaked = "" if session.is_empty else " with recorded telemetry"
+        pytest.fail(
+            "test left the global observability session "
+            f"enabled{leaked}; use repro.observability.enabled() so "
+            "teardown is automatic"
+        )
+
+
 @pytest.fixture
 def unit_square() -> Rect:
     """The canonical service area used throughout the experiments."""

@@ -1,0 +1,19 @@
+# module: app.processor.bad_telemetry
+"""Violates CSP008 five ways: a Point construction in a label, a raw
+coordinate read, a location-named interpolation, a location-named
+value passed directly, and a coordinate-pair string literal."""
+
+
+def leak_labels(metrics, tracer, user, Point):
+    metrics.counter(
+        "requests_total", (("where", Point(1.0, 2.0)),)
+    ).inc()
+    metrics.gauge("last_x", (("coordinate", user.position.x),)).set(1.0)
+    with tracer.span("handle", origin=f"{user.location}"):
+        pass
+    span = tracer.span("refine")
+    span.set_attribute("query_point", query_point)
+    metrics.histogram("sizes", (("hint", "(1.5, 2.5)"),)).observe(3.0)
+
+
+query_point = None

@@ -1,0 +1,13 @@
+# module: app.processor.clean_telemetry
+"""Privacy-safe telemetry: labels and span attributes carry only
+categorical strings, counts, and booleans — never coordinates."""
+
+
+def record(metrics, tracer, query_type, anonymizer_kind, cache_hit):
+    metrics.counter(
+        "requests_total", (("query_type", query_type),)
+    ).inc()
+    metrics.gauge("cache_hit", (("anonymizer", anonymizer_kind),)).set(1.0)
+    with tracer.span("handle", query_type=query_type, cached=cache_hit):
+        pass
+    metrics.histogram("candidates", (("data", "public"),)).observe(17.0)

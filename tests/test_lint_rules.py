@@ -69,6 +69,8 @@ CASES = [
     ("csp006_broad_except/clean.py", "CSP006", 0),
     ("csp007_unseeded/bad.py", "CSP007", 1),
     ("csp007_unseeded/clean.py", "CSP007", 0),
+    ("csp008_telemetry/bad.py", "CSP008", 5),
+    ("csp008_telemetry/clean.py", "CSP008", 0),
 ]
 
 
@@ -81,7 +83,7 @@ def test_fixture_finding_counts(rel: str, code: str, expected: int) -> None:
 def test_every_rule_has_violating_and_clean_fixture() -> None:
     codes_with_bad = {c for _, c, n in CASES if n > 0}
     codes_with_clean = {c for _, c, n in CASES if n == 0}
-    all_codes = {f"CSP00{i}" for i in range(1, 8)}
+    all_codes = {f"CSP00{i}" for i in range(1, 9)}
     assert codes_with_bad == all_codes
     assert codes_with_clean == all_codes
 

@@ -19,8 +19,12 @@ track the trajectory:
 Usage::
 
     PYTHONPATH=src python tools/bench.py [--quick] [--out PATH]
+        [--telemetry [PATH]]
 
-``--quick`` shrinks every workload for CI smoke runs.
+``--quick`` shrinks every workload for CI smoke runs.  ``--telemetry``
+runs the benchmarks with the observability layer *enabled* (the
+instrumented configuration the speedup gates must also pass in) and
+writes the privacy-screened telemetry snapshot next to the report.
 """
 
 from __future__ import annotations
@@ -238,17 +242,36 @@ def main(argv: list[str] | None = None) -> int:
         default=str(Path(__file__).resolve().parent.parent / "BENCH_engine.json"),
         help="output JSON path (default: repo-root BENCH_engine.json)",
     )
+    parser.add_argument(
+        "--telemetry",
+        nargs="?",
+        const="BENCH_telemetry.json",
+        default=None,
+        metavar="PATH",
+        help="run instrumented (observability enabled) and write the "
+        "telemetry snapshot here (default: BENCH_telemetry.json)",
+    )
     args = parser.parse_args(argv)
 
-    report = {"quick": args.quick}
-    for name, bench in (
-        ("cloak", bench_cloak),
-        ("knn_private", bench_knn),
-        ("nn_latency", bench_nn_latency),
-        ("batch", bench_batch),
-    ):
-        print(f"benchmarking {name} ...", flush=True)
-        report[name] = bench(args.quick)
+    from contextlib import nullcontext
+
+    from repro.observability import TelemetryExport, enabled
+
+    session_scope = enabled() if args.telemetry else nullcontext(None)
+    report = {"quick": args.quick, "instrumented": bool(args.telemetry)}
+    with session_scope as session:
+        for name, bench in (
+            ("cloak", bench_cloak),
+            ("knn_private", bench_knn),
+            ("nn_latency", bench_nn_latency),
+            ("batch", bench_batch),
+        ):
+            print(f"benchmarking {name} ...", flush=True)
+            report[name] = bench(args.quick)
+        if session is not None:
+            export = TelemetryExport.from_observability(session)
+            Path(args.telemetry).write_text(export.to_json() + "\n")
+            print(f"wrote telemetry snapshot {args.telemetry}")
 
     Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
     print(json.dumps(report, indent=2))
