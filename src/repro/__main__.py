@@ -11,6 +11,8 @@ lint                   run casperlint (privacy-boundary, determinism,
                        index-contract and correctness rules)
 metrics                run an instrumented example and print its
                        privacy-screened telemetry (JSON or Prometheus)
+chaos                  replay a workload under a named fault scenario
+                       and audit privacy + SLOs (the CI resilience gate)
 info                   print the library version and component inventory
 """
 
@@ -146,6 +148,84 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """Replay a workload under a named fault scenario and audit it.
+
+    Exit codes: 0 — clean run (or no ``--check``); 1 — the gate failed
+    (a privacy violation, an SLO bound breach, or a non-deterministic
+    report); 2 — bad arguments.  ``--check`` is what the CI resilience
+    job runs: privacy violations are always fatal, the SLO bounds are
+    tunable per scenario.
+    """
+    import json
+    from pathlib import Path
+
+    from repro.resilience import SCENARIOS, ChaosWorkload, get_scenario, run_chaos
+
+    if args.scenario not in SCENARIOS:
+        print(f"unknown scenario: {args.scenario}", file=sys.stderr)
+        print(f"available: {', '.join(sorted(SCENARIOS))}", file=sys.stderr)
+        return 2
+    plan = get_scenario(args.scenario, seed=args.seed)
+    try:
+        workload = ChaosWorkload(
+            users=args.users,
+            targets=args.targets,
+            steps=args.steps,
+            seed=args.workload_seed,
+            anonymizer=args.anonymizer,
+        )
+    except ValueError as exc:
+        print(f"bad workload: {exc}", file=sys.stderr)
+        return 2
+
+    report = run_chaos(plan, workload)
+    slo = report.slo
+    print(
+        f"scenario {report.scenario} (seed {report.seed}): "
+        f"{report.runtime['faults_injected']} faults injected, "
+        f"{slo['queries_answered']}/{slo['queries_total']} queries answered "
+        f"({slo['queries_degraded']} explicitly degraded), "
+        f"match ratio {slo['match_ratio']}, "
+        f"privacy violations {report.privacy_violations}"
+    )
+    print(f"trace digest {report.trace_digest}")
+
+    failures: list[str] = []
+    if args.check or args.verify_determinism:
+        replay = run_chaos(plan, workload)
+        if replay.to_json() != report.to_json():
+            failures.append("report is not deterministic (replay diverged)")
+    if args.check:
+        if report.privacy_violations:
+            failures.append(
+                f"{report.privacy_violations} privacy violation(s) — a cloak "
+                f"below its user's (k, A_min) was emitted under faults"
+            )
+        if float(slo["availability"]) < args.min_availability:
+            failures.append(
+                f"availability {slo['availability']} < "
+                f"bound {args.min_availability}"
+            )
+        if float(slo["match_ratio"]) < args.min_match_ratio:
+            failures.append(
+                f"match ratio {slo['match_ratio']} < bound {args.min_match_ratio}"
+            )
+
+    if args.out:
+        Path(args.out).write_text(report.to_json(indent=2) + "\n")
+        print(f"wrote {args.out}")
+    if not args.out and args.json:
+        print(report.to_json(indent=2))
+    if failures:
+        for failure in failures:
+            print(f"GATE FAILURE: {failure}", file=sys.stderr)
+        return 1
+    if args.check:
+        print("resilience gate OK")
+    return 0
+
+
 def _cmd_info(_args: argparse.Namespace) -> int:
     print(f"repro {repro.__version__} — Casper (VLDB 2006) reproduction")
     print("components: geometry, spatial (r-tree/grid/quadtree/kd-tree/"
@@ -212,6 +292,56 @@ def main(argv: list[str] | None = None) -> int:
         help="output format (default: json)",
     )
     metrics.set_defaults(func=_cmd_metrics)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="replay a workload under a fault scenario and audit it",
+    )
+    chaos.add_argument(
+        "--scenario", default="drop-heavy", metavar="NAME",
+        help="named fault scenario (see repro.resilience.SCENARIOS; "
+        "default: drop-heavy)",
+    )
+    chaos.add_argument(
+        "--seed", type=int, default=None,
+        help="override the scenario's fault seed",
+    )
+    chaos.add_argument("--users", type=int, default=32)
+    chaos.add_argument("--targets", type=int, default=48)
+    chaos.add_argument("--steps", type=int, default=240)
+    chaos.add_argument(
+        "--workload-seed", type=int, default=0,
+        help="seed of the replayed workload (independent of the fault seed)",
+    )
+    chaos.add_argument(
+        "--anonymizer", choices=("basic", "adaptive"), default="adaptive"
+    )
+    chaos.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="write the full chaos report JSON here",
+    )
+    chaos.add_argument(
+        "--json", action="store_true",
+        help="print the full report JSON to stdout (implied off when --out)",
+    )
+    chaos.add_argument(
+        "--check", action="store_true",
+        help="gate mode (CI): fail on privacy violations, SLO bound "
+        "breaches, or a non-deterministic report",
+    )
+    chaos.add_argument(
+        "--min-availability", type=float, default=0.9, metavar="R",
+        help="--check bound: minimum answered/queried ratio (default 0.9)",
+    )
+    chaos.add_argument(
+        "--min-match-ratio", type=float, default=0.5, metavar="R",
+        help="--check bound: minimum baseline-match ratio (default 0.5)",
+    )
+    chaos.add_argument(
+        "--verify-determinism", action="store_true",
+        help="re-run the scenario and require a byte-identical report",
+    )
+    chaos.set_defaults(func=_cmd_chaos)
 
     info = sub.add_parser("info", help="version and component inventory")
     info.set_defaults(func=_cmd_info)

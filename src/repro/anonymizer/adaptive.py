@@ -58,6 +58,14 @@ class _Cell:
     users: set[object] = field(default_factory=set)
 
 
+@dataclass(frozen=True)
+class _AdaptiveSnapshot:
+    """Deep copy of an :class:`AdaptiveAnonymizer`'s population state."""
+
+    cells: dict[CellId, _Cell]
+    users: dict[object, _UserRecord]
+
+
 class AdaptiveAnonymizer:
     """Incomplete-pyramid location anonymizer."""
 
@@ -358,6 +366,45 @@ class AdaptiveAnonymizer:
             profile.a_min, region.achieved_k, profile.k,
         )
         return region
+
+    # ------------------------------------------------------------------
+    # Crash recovery (snapshot/restore of incomplete pyramid + users)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> object:
+        """An opaque deep copy of the maintained cut and the user table
+        for crash recovery.  Generation counters and statistics are
+        excluded — they are monotone observability state."""
+        return _AdaptiveSnapshot(
+            cells={
+                cid: _Cell(cell.count, cell.is_leaf, set(cell.users))
+                for cid, cell in self._cells.items()
+            },
+            users={
+                uid: _UserRecord(rec.profile, rec.point, rec.leaf)
+                for uid, rec in self._users.items()
+            },
+        )
+
+    def restore(self, state: object) -> None:
+        """Replace the population state with a :meth:`snapshot` copy.
+
+        The snapshot is copied again so it can restore repeated crashes.
+        Generations stay monotone and the cloak cache is dropped — the
+        maintained cut changed without generation bumps, so every cached
+        entry is suspect.
+        """
+        if not isinstance(state, _AdaptiveSnapshot):
+            raise TypeError("not an AdaptiveAnonymizer snapshot")
+        self._cells = {
+            cid: _Cell(cell.count, cell.is_leaf, set(cell.users))
+            for cid, cell in state.cells.items()
+        }
+        self._users = {
+            uid: _UserRecord(rec.profile, rec.point, rec.leaf)
+            for uid, rec in state.users.items()
+        }
+        self._epoch += 1
+        self.cloak_cache.clear()
 
     # ------------------------------------------------------------------
     # Diagnostics

@@ -33,6 +33,14 @@ class _UserRecord:
     cell: CellId
 
 
+@dataclass(frozen=True)
+class _BasicSnapshot:
+    """Deep copy of a :class:`BasicAnonymizer`'s population state."""
+
+    counts: list[np.ndarray]
+    users: dict[object, _UserRecord]
+
+
 class BasicAnonymizer:
     """Complete-pyramid location anonymizer.
 
@@ -199,6 +207,41 @@ class BasicAnonymizer:
             profile.a_min, region.achieved_k, profile.k,
         )
         return region
+
+    # ------------------------------------------------------------------
+    # Crash recovery (snapshot/restore of pyramid + user table)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> object:
+        """An opaque, immutable-by-convention copy of the anonymizer's
+        state (counters + user table) for crash recovery.  Generation
+        counters and statistics are deliberately excluded: they are
+        monotone observability state, not population state."""
+        return _BasicSnapshot(
+            counts=[arr.copy() for arr in self._counts],
+            users={
+                uid: _UserRecord(rec.profile, rec.point, rec.cell)
+                for uid, rec in self._users.items()
+            },
+        )
+
+    def restore(self, state: object) -> None:
+        """Replace the population state with a :meth:`snapshot` copy.
+
+        The snapshot itself is copied again, so the same snapshot can
+        restore any number of later crashes.  Generations are left
+        monotone and the cloak cache is dropped wholesale — counters
+        changed without generation bumps, so every cached entry is
+        suspect.
+        """
+        if not isinstance(state, _BasicSnapshot):
+            raise TypeError("not a BasicAnonymizer snapshot")
+        self._counts = [arr.copy() for arr in state.counts]
+        self._users = {
+            uid: _UserRecord(rec.profile, rec.point, rec.cell)
+            for uid, rec in state.users.items()
+        }
+        self._epoch += 1
+        self.cloak_cache.clear()
 
     # ------------------------------------------------------------------
     # Diagnostics

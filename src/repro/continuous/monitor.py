@@ -29,6 +29,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.errors import DegradedModeError
 from repro.geometry import Point, Rect
 from repro.observability import runtime as _telemetry
 from repro.processor import (
@@ -88,6 +89,10 @@ class ContinuousQueryMonitor:
         self._queries: dict[object, _Query] = {}
         self._queries_of_user: dict[object, set[object]] = {}
         self._dirty: set[object] = set()
+        #: Queries whose user could not be re-cloaked at the last flush
+        #: (resilient deployments only): their answers are served stale
+        #: and they stay dirty until the user's state heals.
+        self.last_degraded: frozenset = frozenset()
 
     # ------------------------------------------------------------------
     # Query registration
@@ -133,7 +138,15 @@ class ContinuousQueryMonitor:
     ) -> CandidateList:
         if query_id in self._queries:
             raise ValueError(f"query id {query_id!r} already registered")
-        cloak = self.casper.anonymizer.cloak(uid)
+        try:
+            cloak = self.casper.cloak_for(uid)
+        except DegradedModeError:
+            # Resilient deployments may be unable to cloak the user at
+            # registration time (state lost, ladder exhausted).  The
+            # query registers *degraded*: empty answer, the whole
+            # service area as its conservative A_EXT, and dirty — the
+            # first flush after the user heals evaluates it for real.
+            return self._register_degraded(query_id, uid, kind, num_filters, radius)
         candidates = self._evaluate(kind, cloak.region, num_filters, radius, uid)
         query = _Query(
             query_id=query_id,
@@ -148,6 +161,30 @@ class ContinuousQueryMonitor:
         self._queries[query_id] = query
         self._queries_of_user.setdefault(uid, set()).add(query_id)
         self._regions.insert(query_id, candidates.search_region)
+        return candidates
+
+    def _register_degraded(
+        self, query_id: object, uid: object, kind: str, num_filters: int,
+        radius: float,
+    ) -> CandidateList:
+        bounds = self.casper.bounds
+        candidates = CandidateList(
+            items=(), search_region=bounds, num_filters=num_filters
+        )
+        query = _Query(
+            query_id=query_id,
+            uid=uid,
+            kind=kind,
+            num_filters=num_filters,
+            radius=radius,
+            cloak=bounds,
+            a_ext=bounds,
+            answer=frozenset(),
+        )
+        self._queries[query_id] = query
+        self._queries_of_user.setdefault(uid, set()).add(query_id)
+        self._regions.insert(query_id, bounds)
+        self._dirty.add(query_id)
         return candidates
 
     def deregister(self, query_id: object) -> None:
@@ -229,17 +266,31 @@ class ContinuousQueryMonitor:
         this catches cloak changes caused by *other* users' movement
         through the querying user's pyramid cells, so answers are fully
         consistent with a from-scratch evaluation at each flush boundary.
+
+        Under a resilience runtime a query whose user cannot be
+        re-cloaked at all (state lost, ladder exhausted) keeps its
+        previous answer — stale but never privacy-violating — and stays
+        dirty until the user heals; such queries are reported in
+        :attr:`last_degraded`.
         """
         obs = _telemetry.active()
         start = monotonic() if obs is not None else 0.0
         fresh_cloaks: dict[object, Rect] = {}
+        degraded: set[object] = set()
         for query_id, query in self._queries.items():
-            region = self.casper.anonymizer.cloak(query.uid).region
+            try:
+                region = self.casper.cloak_for(query.uid).region
+            except DegradedModeError:
+                degraded.add(query_id)
+                continue
             fresh_cloaks[query_id] = region
             if region != query.cloak:
                 self._dirty.add(query_id)
         changes: list[AnswerChange] = []
-        dirty = sorted(self._dirty, key=str)
+        dirty = sorted(
+            (query_id for query_id in self._dirty if query_id not in degraded),
+            key=str,
+        )
         # Dirty nn/range queries go through the server's batch engine:
         # queries whose users share a cloak (one crowded cell going
         # dirty at once) collapse to a single processor execution.
@@ -288,7 +339,11 @@ class ContinuousQueryMonitor:
                 changed=len(changes),
                 seconds=monotonic() - start,
             )
+        # Degraded queries stay dirty: they re-evaluate as soon as their
+        # user's state heals and a fresh cloak exists again.
         self._dirty.clear()
+        self._dirty |= degraded
+        self.last_degraded = frozenset(degraded)
         return changes
 
     def _batch_request(

@@ -15,6 +15,9 @@ __all__ = [
     "InvalidProfileError",
     "OutOfBoundsError",
     "EmptyDatasetError",
+    "DegradedModeError",
+    "UpdateDeliveryError",
+    "QueryDeliveryError",
 ]
 
 
@@ -56,3 +59,27 @@ class OutOfBoundsError(CasperError, ValueError):
 
 class EmptyDatasetError(CasperError):
     """A query requires at least one target object but none are stored."""
+
+
+class DegradedModeError(CasperError):
+    """An operation was refused rather than served with weaker privacy.
+
+    The resilience layer's contract is *degrade availability, never
+    privacy*: when faults (crashes, lost state, an unreachable channel)
+    leave no way to produce an answer whose cloak provably satisfies the
+    user's ``(k, A_min)``, the operation fails with this explicit error
+    instead of silently shipping a weaker cloak or a stale answer.
+    """
+
+
+class UpdateDeliveryError(DegradedModeError):
+    """A location update exhausted its retry budget undelivered.
+
+    The anonymizer keeps serving the user's last acknowledged state;
+    the client should re-send on its next movement.
+    """
+
+
+class QueryDeliveryError(DegradedModeError):
+    """A query's candidate list could not be delivered intact within the
+    retry budget (every copy dropped or corrupt)."""

@@ -49,6 +49,14 @@ __all__ = [
     "record_server_request",
     "note_server_request",
     "record_monitor_flush",
+    "record_fault",
+    "note_fault",
+    "record_retry",
+    "note_retry",
+    "record_fallback_cloak",
+    "note_fallback_cloak",
+    "record_recovery",
+    "note_recovery",
 ]
 
 
@@ -310,6 +318,71 @@ def note_server_request(operation: str) -> None:
     obs = _active
     if obs is not None:
         record_server_request(obs, operation)
+
+
+def record_fault(obs: Observability, kind: str, channel: str) -> None:
+    """One injected fault.  ``channel`` is the channel *class*
+    (``update`` / ``response`` / ``anonymizer``), never a per-user or
+    per-request id — label cardinality stays bounded."""
+    obs.metrics.counter(
+        "casper_faults_injected_total",
+        (("kind", kind), ("channel", channel)),
+        help="faults injected by the resilience layer, by kind and channel class",
+    ).inc()
+
+
+def note_fault(kind: str, channel: str) -> None:
+    """Null-safe :func:`record_fault` — a no-op while disabled."""
+    obs = _active
+    if obs is not None:
+        record_fault(obs, kind, channel)
+
+
+def record_retry(obs: Observability, operation: str) -> None:
+    """One retransmission attempt (``operation``: ``update`` / ``response``)."""
+    obs.metrics.counter(
+        "casper_retries_total", (("operation", operation),),
+        help="message retransmissions by operation",
+    ).inc()
+
+
+def note_retry(operation: str) -> None:
+    """Null-safe :func:`record_retry` — a no-op while disabled."""
+    obs = _active
+    if obs is not None:
+        record_retry(obs, operation)
+
+
+def record_fallback_cloak(obs: Observability, mode: str) -> None:
+    """One degraded-mode cloak served (``mode``: ``stale`` /
+    ``escalated`` / ``cold_start``)."""
+    obs.metrics.counter(
+        "casper_fallback_cloaks_total", (("mode", mode),),
+        help="cloaks served from a degradation-ladder rung, by rung",
+    ).inc()
+
+
+def note_fallback_cloak(mode: str) -> None:
+    """Null-safe :func:`record_fallback_cloak` — a no-op while disabled."""
+    obs = _active
+    if obs is not None:
+        record_fallback_cloak(obs, mode)
+
+
+def record_recovery(obs: Observability, kind: str) -> None:
+    """One successful recovery action (``kind``: ``restore`` /
+    ``reregister``)."""
+    obs.metrics.counter(
+        "casper_recoveries_total", (("kind", kind),),
+        help="recovery actions after crash or state loss, by kind",
+    ).inc()
+
+
+def note_recovery(kind: str) -> None:
+    """Null-safe :func:`record_recovery` — a no-op while disabled."""
+    obs = _active
+    if obs is not None:
+        record_recovery(obs, kind)
 
 
 def record_monitor_flush(

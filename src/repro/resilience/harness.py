@@ -1,0 +1,307 @@
+"""The chaos harness: replay one workload twice and diff the outcomes.
+
+``run_chaos`` builds two identical Casper deployments from the same
+seeded workload — one fault-free **baseline**, one with a
+:class:`~repro.resilience.runtime.ResilienceRuntime` executing the given
+:class:`~repro.resilience.faults.FaultPlan` — drives both through the
+same scripted sequence of movements, snapshot queries and continuous-
+monitor flushes, and reports:
+
+* **privacy** — every cloak the faulted pipeline emitted, audited
+  against its user's ``(k, A_min)`` (the count that must be zero under
+  every scenario: faults degrade availability, never privacy);
+* **SLOs** — how many queries were answered vs explicitly degraded, and
+  how many answers still match the fault-free baseline;
+* **determinism** — the fault-trace digest; the whole report contains
+  only seed-derived values (counts, ratios, virtual backoff), so the
+  same scenario + seed reproduces it byte-for-byte.
+
+Everything uses string user/object ids: the resilient wire formats
+carry ids as UTF-8 and the baseline must produce comparable answers.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.anonymizer import PrivacyProfile
+from repro.errors import DegradedModeError, UpdateDeliveryError
+from repro.geometry import Point, Rect
+from repro.resilience.faults import FaultPlan
+from repro.resilience.retry import RetryPolicy
+from repro.resilience.runtime import ResilienceConfig, ResilienceRuntime
+from repro.utils.rng import spawn_rngs
+
+__all__ = ["ChaosWorkload", "ChaosReport", "run_chaos"]
+
+
+@dataclass(frozen=True, slots=True)
+class ChaosWorkload:
+    """The seeded workload a chaos run replays."""
+
+    users: int = 32
+    targets: int = 48
+    steps: int = 240
+    seed: int = 0
+    anonymizer: str = "adaptive"  # "basic" | "adaptive"
+    pyramid_height: int = 6
+    bounds: Rect = field(default=Rect(0.0, 0.0, 1024.0, 1024.0))
+    #: Continuous NN queries registered on the monitor (0 disables it).
+    continuous_queries: int = 6
+    #: Steps between monitor flushes.
+    flush_every: int = 40
+
+    def __post_init__(self) -> None:
+        if self.users < 2 or self.targets < 1 or self.steps < 1:
+            raise ValueError("workload needs >= 2 users, >= 1 target, >= 1 step")
+        if self.anonymizer not in ("basic", "adaptive"):
+            raise ValueError(f"unknown anonymizer kind {self.anonymizer!r}")
+        if self.continuous_queries > self.users:
+            raise ValueError("more continuous queries than users")
+        if self.flush_every < 1:
+            raise ValueError("flush_every must be >= 1")
+
+
+@dataclass(frozen=True, slots=True)
+class ChaosReport:
+    """The deterministic outcome of one chaos run."""
+
+    scenario: str
+    seed: int
+    workload: dict[str, object]
+    runtime: dict[str, object]
+    slo: dict[str, object]
+    privacy_violations: int
+    trace_digest: str
+
+    @property
+    def ok(self) -> bool:
+        """The hard gate: no silent privacy violation ever."""
+        return self.privacy_violations == 0
+
+    def to_json(self, indent: int | None = None) -> str:
+        """Canonical JSON — byte-identical for identical seeds."""
+        payload = {
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "workload": self.workload,
+            "runtime": self.runtime,
+            "slo": self.slo,
+            "privacy_violations": self.privacy_violations,
+            "trace_digest": self.trace_digest,
+        }
+        if indent is None:
+            return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return json.dumps(payload, sort_keys=True, indent=indent)
+
+
+@dataclass(frozen=True, slots=True)
+class _Op:
+    """One scripted workload step."""
+
+    kind: str  # "move" | "nn" | "range"
+    uid: str
+    point: Point | None = None  # move destination
+    radius: float = 0.0  # range radius
+
+
+def _script(workload: ChaosWorkload) -> tuple[
+    dict[str, tuple[Point, PrivacyProfile]], dict[str, Point], list[_Op]
+]:
+    """Generate the deterministic cast and op sequence for a workload."""
+    rng_users, rng_targets, rng_ops = spawn_rngs(workload.seed, 3)
+    bounds = workload.bounds
+
+    def random_point(rng: np.random.Generator) -> Point:
+        x = bounds.x_min + float(rng.random()) * bounds.width
+        y = bounds.y_min + float(rng.random()) * bounds.height
+        return Point(x, y)
+
+    users: dict[str, tuple[Point, PrivacyProfile]] = {}
+    for i in range(workload.users):
+        k = 2 + int(rng_users.integers(6))
+        a_min = 0.0 if rng_users.random() < 0.5 else bounds.area / 4096.0
+        users[f"u{i:03d}"] = (random_point(rng_users), PrivacyProfile(k, a_min))
+    targets = {
+        f"t{i:03d}": random_point(rng_targets) for i in range(workload.targets)
+    }
+    uids = sorted(users)
+    ops: list[_Op] = []
+    for _step in range(workload.steps):
+        uid = uids[int(rng_ops.integers(len(uids)))]
+        draw = float(rng_ops.random())
+        if draw < 0.5:
+            ops.append(_Op("move", uid, point=random_point(rng_ops)))
+        elif draw < 0.8:
+            ops.append(_Op("nn", uid))
+        else:
+            radius = bounds.width * (0.02 + 0.1 * float(rng_ops.random()))
+            ops.append(_Op("range", uid, radius=radius))
+    return users, targets, ops
+
+
+def _build_deployment(
+    workload: ChaosWorkload,
+    users: dict[str, tuple[Point, PrivacyProfile]],
+    targets: dict[str, Point],
+    runtime: ResilienceRuntime | None,
+) -> tuple["Casper", dict[str, "MobileClient"], "ContinuousQueryMonitor | None"]:
+    # Imported here: repro.server imports repro.resilience.runtime only
+    # under TYPE_CHECKING, and this module must not complete the cycle
+    # at import time either.
+    from repro.continuous.monitor import ContinuousQueryMonitor
+    from repro.server.casper import Casper
+    from repro.server.client import MobileClient
+
+    casper = Casper(
+        workload.bounds,
+        pyramid_height=workload.pyramid_height,
+        anonymizer=workload.anonymizer,  # type: ignore[arg-type]
+        resilience=runtime,
+    )
+    clients = {
+        uid: MobileClient(casper, uid, point, profile)
+        for uid, (point, profile) in sorted(users.items())
+    }
+    casper.add_public_targets(dict(sorted(targets.items())))
+    monitor: ContinuousQueryMonitor | None = None
+    if workload.continuous_queries:
+        monitor = ContinuousQueryMonitor(casper)
+        for uid in sorted(users)[: workload.continuous_queries]:
+            monitor.register_nn(f"cq-{uid}", uid)
+    return casper, clients, monitor
+
+
+@dataclass(slots=True)
+class _RunOutcome:
+    """Raw per-deployment results, diffed by :func:`run_chaos`."""
+
+    answers: list[object] = field(default_factory=list)
+    monitor_answers: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    update_failures: int = 0
+    degraded_queries: int = 0
+    monitor_degraded_max: int = 0
+    flushes: int = 0
+
+
+def _run_one(
+    workload: ChaosWorkload,
+    users: dict[str, tuple[Point, PrivacyProfile]],
+    targets: dict[str, Point],
+    ops: list[_Op],
+    runtime: ResilienceRuntime | None,
+) -> _RunOutcome:
+    """Drive one deployment through the script; returns raw outcomes."""
+    casper, clients, monitor = _build_deployment(workload, users, targets, runtime)
+    outcome = _RunOutcome()
+    for step, op in enumerate(ops, start=1):
+        if op.kind == "move":
+            assert op.point is not None
+            try:
+                clients[op.uid].move_to(op.point)
+            except UpdateDeliveryError:
+                outcome.update_failures += 1
+            outcome.answers.append(None)
+        elif op.kind == "nn":
+            try:
+                result = casper.query_nearest_public(op.uid)
+                outcome.answers.append(str(result.answer))
+            except DegradedModeError:
+                outcome.degraded_queries += 1
+                outcome.answers.append("<degraded>")
+        else:
+            try:
+                result = casper.query_range_public(op.uid, op.radius)
+                outcome.answers.append(
+                    tuple(sorted(str(o) for o in result.answer))
+                )
+            except DegradedModeError:
+                outcome.degraded_queries += 1
+                outcome.answers.append("<degraded>")
+        if monitor is not None and step % workload.flush_every == 0:
+            monitor.flush()
+            outcome.flushes += 1
+            outcome.monitor_degraded_max = max(
+                outcome.monitor_degraded_max, len(monitor.last_degraded)
+            )
+    if monitor is not None:
+        monitor.flush()
+        outcome.flushes += 1
+        outcome.monitor_degraded_max = max(
+            outcome.monitor_degraded_max, len(monitor.last_degraded)
+        )
+        for uid in sorted(users)[: workload.continuous_queries]:
+            query_id = f"cq-{uid}"
+            outcome.monitor_answers[query_id] = tuple(
+                sorted(str(o) for o in monitor.answer_of(query_id))
+            )
+    # Whatever the faults did, the surviving state must be internally
+    # consistent — a corrupted pyramid would be a resilience bug even if
+    # no query happened to observe it.
+    casper.anonymizer.check_invariants()
+    return outcome
+
+
+def run_chaos(
+    plan: FaultPlan,
+    workload: ChaosWorkload | None = None,
+    retry: RetryPolicy | None = None,
+    config: ResilienceConfig | None = None,
+) -> ChaosReport:
+    """Replay ``workload`` fault-free and under ``plan``; diff and audit."""
+    workload = workload if workload is not None else ChaosWorkload()
+    users, targets, ops = _script(workload)
+    baseline = _run_one(workload, users, targets, ops, None)
+    runtime = ResilienceRuntime(plan, retry=retry, config=config)
+    faulted = _run_one(workload, users, targets, ops, runtime)
+
+    query_ops = sum(1 for op in ops if op.kind != "move")
+    move_ops = len(ops) - query_ops
+    matching = sum(
+        1
+        for base, fault in zip(baseline.answers, faulted.answers)
+        if base is not None and fault != "<degraded>" and base == fault
+    )
+    answered = query_ops - faulted.degraded_queries
+    monitor_matching = sum(
+        1
+        for query_id, base in baseline.monitor_answers.items()
+        if faulted.monitor_answers.get(query_id) == base
+    )
+    slo: dict[str, object] = {
+        "ops_total": len(ops),
+        "moves_total": move_ops,
+        "queries_total": query_ops,
+        "queries_answered": answered,
+        "queries_degraded": faulted.degraded_queries,
+        "answers_matching_baseline": matching,
+        "match_ratio": round(matching / query_ops, 6) if query_ops else 1.0,
+        "availability": round(answered / query_ops, 6) if query_ops else 1.0,
+        "update_failures": faulted.update_failures,
+        "monitor_flushes": faulted.flushes,
+        "monitor_degraded_max": faulted.monitor_degraded_max,
+        "monitor_queries_matching_baseline": monitor_matching,
+        "monitor_queries_total": workload.continuous_queries,
+    }
+    violations = runtime.privacy_violations()
+    return ChaosReport(
+        scenario=plan.name,
+        seed=plan.seed,
+        workload={
+            "users": workload.users,
+            "targets": workload.targets,
+            "steps": workload.steps,
+            "seed": workload.seed,
+            "anonymizer": workload.anonymizer,
+            "pyramid_height": workload.pyramid_height,
+            "continuous_queries": workload.continuous_queries,
+            "flush_every": workload.flush_every,
+        },
+        runtime=runtime.report(),
+        slo=slo,
+        privacy_violations=len(violations),
+        trace_digest=runtime.injector.trace_digest(),
+    )

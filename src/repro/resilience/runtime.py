@@ -1,0 +1,515 @@
+"""The resilience runtime — retries, crash recovery, degradation ladder.
+
+One :class:`ResilienceRuntime` instance sits between a
+:class:`~repro.server.casper.Casper` facade and its injected
+:class:`~repro.resilience.faults.FaultInjector`, and owns every policy
+decision the fault model forces:
+
+* **channels** — location updates and candidate-list responses are
+  serialized through their wire codecs and offered to the injector;
+  undelivered messages are retried per the :class:`RetryPolicy`
+  (exponential backoff over *virtual* seconds — nothing sleeps);
+* **idempotence** — each applied update's per-user sequence number is
+  remembered, so duplicated and reordered deliveries are recognised and
+  ignored rather than replayed;
+* **crash recovery** — the anonymizer's pyramid + user table is
+  snapshotted every ``snapshot_every`` guarded operations; a crash
+  restores the latest snapshot *and rolls the sequence table back with
+  it* (the two are one atomic unit, or replays after a crash would be
+  misjudged);
+* **the degradation ladder** — when a fresh cloak is impossible the
+  runtime tries, in order: a remembered cloak within the stale grace
+  window (revalidated against the *live* population), a conservative
+  parent-cell escalation from the remembered cells, and finally an
+  explicit :class:`~repro.errors.DegradedModeError`.  Every rung is
+  validated against the user's ``(k, A_min)`` at emission time —
+  availability degrades, privacy never does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Union
+
+from repro.anonymizer.adaptive import AdaptiveAnonymizer
+from repro.anonymizer.basic import BasicAnonymizer
+from repro.anonymizer.cells import CellId
+from repro.anonymizer.cloak import CloakedRegion
+from repro.anonymizer.profile import PrivacyProfile
+from repro.errors import (
+    DegradedModeError,
+    ProfileUnsatisfiableError,
+    QueryDeliveryError,
+    UnknownUserError,
+    UpdateDeliveryError,
+)
+from repro.geometry import Point
+from repro.observability import runtime as _telemetry
+from repro.processor import CandidateList
+from repro.resilience.faults import Delivery, FaultInjector, FaultPlan
+from repro.resilience.messages import LocationUpdate, decode_update, encode_update
+from repro.resilience.retry import RetryPolicy
+from repro.server.codec import decode_candidate_list, encode_candidate_list
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.server.casper import Casper
+
+__all__ = ["ResilienceConfig", "ResilienceRuntime", "Emission"]
+
+Anonymizer = Union[BasicAnonymizer, AdaptiveAnonymizer]
+
+#: Integer counters a runtime maintains (``report()`` exports them all).
+COUNTER_NAMES = (
+    "retries",
+    "updates_sent",
+    "updates_delivered",
+    "updates_abandoned",
+    "duplicates_ignored",
+    "corrupt_rejected",
+    "recoveries",
+    "fallback_cloaks",
+    "degraded_operations",
+)
+
+
+@dataclass(frozen=True, slots=True)
+class ResilienceConfig:
+    """Tuning knobs of the degradation machinery."""
+
+    #: Guarded operations between anonymizer snapshots.  Smaller means
+    #: less state lost per crash but more snapshot copying.
+    snapshot_every: int = 25
+    #: How many guarded operations a remembered cloak stays eligible for
+    #: the stale rung (it is still revalidated against live counts).
+    stale_grace_ops: int = 200
+    #: Record every emitted cloak for the harness's privacy scan.
+    record_emissions: bool = True
+
+    def __post_init__(self) -> None:
+        if self.snapshot_every < 1:
+            raise ValueError("snapshot_every must be >= 1")
+        if self.stale_grace_ops < 0:
+            raise ValueError("stale_grace_ops must be >= 0")
+
+
+@dataclass(frozen=True, slots=True)
+class Emission:
+    """One cloak the resilient pipeline emitted, for the privacy scan.
+
+    ``full_area`` marks the cold-start policy (the whole service area is
+    stored while the population cannot satisfy ``k``) — by construction
+    the most private choice, so the scan exempts it; every other
+    emission must satisfy ``(k, A_min)`` outright.
+    """
+
+    mode: str  # "fresh" | "stale" | "escalated" | "cold_start"
+    k: int
+    a_min: float
+    achieved_k: int
+    area: float
+    full_area: bool
+
+    def violates_privacy(self) -> bool:
+        """True when this cloak silently under-delivered the profile."""
+        if self.full_area:
+            return False
+        return self.achieved_k < self.k or self.area < self.a_min - 1e-12
+
+
+@dataclass(slots=True)
+class _Remembered:
+    region: CloakedRegion
+    profile: PrivacyProfile
+    op: int  # guarded-op stamp when the cloak was fresh
+
+
+@dataclass(frozen=True, slots=True)
+class _Ack:
+    kind: str  # "applied" | "stale" | "recovered"
+    seq: int  # receiver's applied sequence number for the user, after
+
+
+@dataclass(slots=True)
+class _Snapshot:
+    state: object
+    applied_seq: dict[str, int] = field(default_factory=dict)
+
+
+class ResilienceRuntime:
+    """Fault handling + graceful degradation for one Casper deployment.
+
+    Construct with a :class:`FaultPlan` (and optional retry/config
+    overrides), hand it to ``Casper(..., resilience=runtime)``; the
+    facade calls :meth:`attach` and routes its update and query paths
+    through here.
+    """
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        retry: RetryPolicy | None = None,
+        config: ResilienceConfig | None = None,
+    ) -> None:
+        self.plan = plan
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.config = config if config is not None else ResilienceConfig()
+        self.injector = FaultInjector(plan)
+        self.counters: dict[str, int] = {name: 0 for name in COUNTER_NAMES}
+        self.fallback_modes: dict[str, int] = {}
+        self.virtual_backoff_seconds = 0.0
+        self.emissions: list[Emission] = []
+        self._casper: "Casper | None" = None
+        self._anonymizer: Anonymizer | None = None
+        self._applied_seq: dict[str, int] = {}
+        self._last_cloaks: dict[object, _Remembered] = {}
+        self._snapshot: _Snapshot | None = None
+        self._ops = 0
+        self._ops_since_snapshot = 0
+        self._qid = 0
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def attach(self, casper: "Casper") -> None:
+        """Bind to a facade and take the initial snapshot."""
+        if self._casper is not None and self._casper is not casper:
+            raise RuntimeError("a ResilienceRuntime serves exactly one Casper")
+        self._casper = casper
+        self._anonymizer = casper.anonymizer
+        self._take_snapshot()
+
+    @property
+    def anonymizer(self) -> Anonymizer:
+        if self._anonymizer is None:
+            raise RuntimeError("runtime not attached to a Casper facade")
+        return self._anonymizer
+
+    @property
+    def casper(self) -> "Casper":
+        if self._casper is None:
+            raise RuntimeError("runtime not attached to a Casper facade")
+        return self._casper
+
+    # ------------------------------------------------------------------
+    # Crash / state-loss guard
+    # ------------------------------------------------------------------
+    def guard(self, uid: object | None = None) -> None:
+        """One guarded anonymizer operation: advance the crash schedule,
+        maybe restore, maybe lose ``uid``'s state, refresh the snapshot
+        on cadence."""
+        injector = self.injector
+        if injector.next_op():
+            self._restore()
+        elif uid is not None and injector.should_lose_user():
+            self._lose_user(uid)
+        self._ops += 1
+        self._ops_since_snapshot += 1
+        if self._ops_since_snapshot >= self.config.snapshot_every:
+            self._take_snapshot()
+
+    def _take_snapshot(self) -> None:
+        self._snapshot = _Snapshot(
+            self.anonymizer.snapshot(), dict(self._applied_seq)
+        )
+        self._ops_since_snapshot = 0
+
+    def _restore(self) -> None:
+        """Crash: restore the anonymizer and the sequence table as one
+        atomic unit (they were captured together)."""
+        snapshot = self._snapshot
+        if snapshot is None:  # pragma: no cover - attach() always snapshots
+            raise RuntimeError("crash before the initial snapshot")
+        self.anonymizer.restore(snapshot.state)
+        self._applied_seq = dict(snapshot.applied_seq)
+        self._ops_since_snapshot = 0
+        self.counters["recoveries"] += 1
+        _telemetry.note_fault("crash", "anonymizer")
+        _telemetry.note_recovery("restore")
+
+    def _lose_user(self, uid: object) -> None:
+        """Silent state loss: the anonymizer forgets one user entirely.
+
+        Implemented as a full deregistration so the pyramid counters
+        stay exact — an undercount is privacy-conservative, whereas
+        counters that still include a forgotten user could let a cloak
+        claim ``k`` with ``k - 1`` real users.
+        """
+        anonymizer = self.anonymizer
+        if uid not in anonymizer:
+            return
+        anonymizer.deregister(uid)
+        self.injector.record_state_loss("anonymizer", f"user {uid}")
+        _telemetry.note_fault("state_loss", "anonymizer")
+
+    # ------------------------------------------------------------------
+    # Degradation ladder
+    # ------------------------------------------------------------------
+    def cloak_or_degrade(self, uid: object) -> tuple[CloakedRegion, str]:
+        """A cloak for ``uid`` or an explicit degraded-mode error.
+
+        Returns ``(region, mode)`` with ``mode`` the ladder rung that
+        served it (``fresh`` / ``stale`` / ``escalated``).  Every rung's
+        output satisfies the user's profile at emission time.
+        """
+        anonymizer = self.anonymizer
+        try:
+            region = anonymizer.cloak(uid)
+        except (UnknownUserError, ProfileUnsatisfiableError) as exc:
+            return self._degraded_cloak(uid, exc)
+        profile = anonymizer.profile_of(uid)
+        self._last_cloaks[uid] = _Remembered(region, profile, self._ops)
+        self._emit(region, profile, "fresh")
+        return region, "fresh"
+
+    def _degraded_cloak(
+        self, uid: object, cause: Exception
+    ) -> tuple[CloakedRegion, str]:
+        remembered = self._last_cloaks.get(uid)
+        if remembered is not None:
+            profile = remembered.profile
+            if self._ops - remembered.op <= self.config.stale_grace_ops:
+                revalidated = self._revalidate(remembered.region, profile)
+                if revalidated is not None:
+                    self._fallback(revalidated, profile, "stale")
+                    return revalidated, "stale"
+            escalated = self._escalate(remembered.region.cells, profile)
+            if escalated is not None:
+                self._fallback(escalated, profile, "escalated")
+                return escalated, "escalated"
+        self.counters["degraded_operations"] += 1
+        raise DegradedModeError(
+            f"no cloak satisfying the profile is available for user {uid!r} "
+            f"({cause})"
+        ) from cause
+
+    def _revalidate(
+        self, cloak: CloakedRegion, profile: PrivacyProfile
+    ) -> CloakedRegion | None:
+        """The stale rung: a remembered cloak is reusable only if the
+        *live* population inside it still satisfies the profile."""
+        count = self.anonymizer.users_in_rect(cloak.region)
+        if profile.is_satisfied_by(count, cloak.area):
+            return CloakedRegion(cloak.region, count, cloak.cells)
+        return None
+
+    def _escalate(
+        self, cells: tuple[CellId, ...], profile: PrivacyProfile
+    ) -> CloakedRegion | None:
+        """The conservative rung: walk the pyramid upward from the
+        remembered cells until some ancestor cell satisfies the profile
+        against live counts.  Monotone in privacy — every step can only
+        grow the region and its population."""
+        anonymizer = self.anonymizer
+        grid = anonymizer.grid
+        cell = cells[0] if cells else CellId(0, 0, 0)
+        while True:
+            count = anonymizer.cell_count(cell)
+            if profile.is_satisfied_by(count, grid.cell_area(cell.level)):
+                return CloakedRegion(grid.cell_rect(cell), count, (cell,))
+            if cell.is_root:
+                return None
+            cell = cell.parent()
+
+    def storage_cloak(self, uid: object) -> CloakedRegion:
+        """Cloak ``uid`` for server-side storage, degrading through the
+        ladder and bottoming out at the seed's cold-start policy (store
+        the whole service area while ``k`` is unsatisfiable)."""
+        try:
+            region, _mode = self.cloak_or_degrade(uid)
+            return region
+        except DegradedModeError:
+            anonymizer = self.anonymizer
+            region = CloakedRegion(anonymizer.bounds, anonymizer.num_users, cells=())
+            try:
+                profile = anonymizer.profile_of(uid)
+            except UnknownUserError:
+                profile = PrivacyProfile()
+            self._fallback(region, profile, "cold_start")
+            return region
+
+    def _fallback(
+        self, region: CloakedRegion, profile: PrivacyProfile, mode: str
+    ) -> None:
+        self.counters["fallback_cloaks"] += 1
+        self.fallback_modes[mode] = self.fallback_modes.get(mode, 0) + 1
+        _telemetry.note_fallback_cloak(mode)
+        self._emit(region, profile, mode)
+
+    def _emit(
+        self, region: CloakedRegion, profile: PrivacyProfile, mode: str
+    ) -> None:
+        if not self.config.record_emissions:
+            return
+        self.emissions.append(
+            Emission(
+                mode=mode,
+                k=profile.k,
+                a_min=profile.a_min,
+                achieved_k=region.achieved_k,
+                area=region.area,
+                full_area=region.region == self.anonymizer.bounds,
+            )
+        )
+
+    def privacy_violations(self) -> list[Emission]:
+        """Every recorded emission that silently under-delivered its
+        profile — the list the chaos gate asserts is empty."""
+        return [e for e in self.emissions if e.violates_privacy()]
+
+    # ------------------------------------------------------------------
+    # Update channel (client -> anonymizer)
+    # ------------------------------------------------------------------
+    def send_update(
+        self, uid: str, seq: int, point: Point, profile: PrivacyProfile
+    ) -> str:
+        """Build and submit one :class:`LocationUpdate` (the facade-side
+        entry point, so callers never import the wire format)."""
+        return self.submit_update(LocationUpdate(uid, seq, point, profile))
+
+    def submit_update(self, update: LocationUpdate) -> str:
+        """Send one location update through the faulty channel, retrying
+        until the receiver acknowledges a sequence number covering it.
+
+        Returns the acknowledged outcome (``applied`` / ``stale`` /
+        ``recovered``); raises :class:`UpdateDeliveryError` when the
+        retry budget is exhausted without an acknowledgement.  The
+        channel is *not* flushed between sends — a delayed old update
+        resurfacing during a later one is exactly the reordering case
+        the sequence numbers make safe.
+        """
+        channel = f"update:{update.uid}"
+        payload = encode_update(update)
+        self.counters["updates_sent"] += 1
+        outcome: str | None = None
+        for attempt in range(self.retry.max_attempts):
+            if attempt:
+                self._count_retry("update", attempt)
+            for delivery in self._transmit(channel, payload):
+                ack = self._receive_update(delivery)
+                if ack is not None and ack.seq >= update.seq and outcome is None:
+                    outcome = ack.kind
+            if outcome is not None:
+                break
+        if outcome is None:
+            self.counters["updates_abandoned"] += 1
+            self.counters["degraded_operations"] += 1
+            raise UpdateDeliveryError(
+                f"update seq={update.seq} for user {update.uid!r} undelivered "
+                f"after {self.retry.max_attempts} attempts"
+            )
+        self.counters["updates_delivered"] += 1
+        return outcome
+
+    def _receive_update(self, delivery: Delivery) -> _Ack | None:
+        """The anonymizer side of the update channel: verify, dedupe by
+        sequence number, apply — or heal a lost user from the update's
+        self-describing profile."""
+        try:
+            message = decode_update(delivery.payload)
+        except ValueError:
+            self.counters["corrupt_rejected"] += 1
+            return None
+        self.guard(message.uid)
+        anonymizer = self.anonymizer
+        last = self._applied_seq.get(message.uid, -1)
+        if message.uid not in anonymizer:
+            # Heal: the update carries the profile, so a user whose
+            # state was lost (crash rollback, silent loss) re-registers
+            # from the very next delivered update.
+            anonymizer.register(message.uid, message.point, message.profile)
+            self._applied_seq[message.uid] = max(last, message.seq)
+            self.counters["recoveries"] += 1
+            _telemetry.note_recovery("reregister")
+            self.casper.refresh_stored_cloak(message.uid)
+            kind = "recovered"
+        elif message.seq <= last:
+            # Duplicate or out-of-order replay of an older position:
+            # already covered by newer state, acknowledge and ignore.
+            self.counters["duplicates_ignored"] += 1
+            kind = "stale"
+        else:
+            anonymizer.update(message.uid, message.point)
+            if anonymizer.profile_of(message.uid) != message.profile:
+                anonymizer.set_profile(message.uid, message.profile)
+            self._applied_seq[message.uid] = message.seq
+            self.casper.refresh_stored_cloak(message.uid)
+            kind = "applied"
+        return _Ack(kind, self._applied_seq[message.uid])
+
+    # ------------------------------------------------------------------
+    # Response channel (server -> client)
+    # ------------------------------------------------------------------
+    def deliver_candidates(self, candidates: CandidateList) -> CandidateList:
+        """Ship a candidate list through the faulty response channel.
+
+        The client accepts the first delivery that decodes intact (the
+        codec's CRC rejects corrupted copies); the per-request channel
+        is flushed when the request ends so stale copies never leak into
+        the next query.  Raises :class:`QueryDeliveryError` when every
+        attempt is lost or corrupt.
+        """
+        self._qid += 1
+        channel = f"response:{self._qid}"
+        payload = encode_candidate_list(candidates)
+        try:
+            for attempt in range(self.retry.max_attempts):
+                if attempt:
+                    self._count_retry("response", attempt)
+                for delivery in self._transmit(channel, payload):
+                    try:
+                        return decode_candidate_list(delivery.payload)
+                    except ValueError:
+                        self.counters["corrupt_rejected"] += 1
+            self.counters["degraded_operations"] += 1
+            raise QueryDeliveryError(
+                f"candidate list undeliverable after "
+                f"{self.retry.max_attempts} attempts"
+            )
+        finally:
+            self.injector.flush(channel)
+
+    # ------------------------------------------------------------------
+    # Shared plumbing
+    # ------------------------------------------------------------------
+    def _transmit(self, channel: str, payload: bytes) -> list[Delivery]:
+        """Offer a payload to the injector, mirroring any injected
+        faults into telemetry (channel *class* only — bounded labels)."""
+        before = len(self.injector.trace)
+        deliveries = self.injector.transmit(channel, payload)
+        if _telemetry.is_enabled():
+            channel_class = channel.split(":", 1)[0]
+            for event in self.injector.trace[before:]:
+                _telemetry.note_fault(event.kind, channel_class)
+        return deliveries
+
+    def _count_retry(self, operation: str, attempt: int) -> None:
+        self.counters["retries"] += 1
+        _telemetry.note_retry(operation)
+        self.virtual_backoff_seconds += self.retry.backoff(
+            attempt - 1, self.injector.backoff_rng
+        )
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def report(self) -> dict[str, object]:
+        """The runtime's deterministic contribution to a chaos report:
+        counters, fault counts, the trace digest — no wall-clock values,
+        so the same seed yields byte-identical JSON."""
+        emissions_by_mode: dict[str, int] = {}
+        for emission in self.emissions:
+            emissions_by_mode[emission.mode] = (
+                emissions_by_mode.get(emission.mode, 0) + 1
+            )
+        return {
+            "plan": self.plan.name,
+            "seed": self.plan.seed,
+            "faults_injected": self.injector.faults_injected,
+            "fault_counts": dict(self.injector.counts),
+            "counters": dict(self.counters),
+            "fallback_modes": dict(self.fallback_modes),
+            "virtual_backoff_seconds": round(self.virtual_backoff_seconds, 9),
+            "emissions_by_mode": emissions_by_mode,
+            "privacy_violations": len(self.privacy_violations()),
+            "trace_digest": self.injector.trace_digest(),
+        }

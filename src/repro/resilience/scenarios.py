@@ -1,0 +1,68 @@
+"""Named fault scenarios — the chaos harness's canned failure models.
+
+Each scenario is a :class:`~repro.resilience.faults.FaultPlan` with a
+fixed default seed, so ``python -m repro chaos --scenario drop-heavy``
+is reproducible out of the box; CI's nightly matrix re-runs the same
+scenarios under a sweep of seeds (``FaultPlan.with_seed``).
+
+The three the CI ``resilience`` job gates on every push:
+
+* ``drop-heavy`` — heavy message loss with some duplication: exercises
+  the retry budget and idempotent re-application;
+* ``crash-restart`` — periodic anonymizer crashes plus silent per-user
+  state loss: exercises snapshot restore, the sequence-table rollback
+  and the heal-by-update path;
+* ``reorder`` — delays, reorders and duplicates: exercises the held-
+  message release machinery and sequence-number deduplication.
+"""
+
+from __future__ import annotations
+
+from repro.resilience.faults import FaultPlan
+
+__all__ = ["SCENARIOS", "CI_SCENARIOS", "get_scenario"]
+
+SCENARIOS: dict[str, FaultPlan] = {
+    plan.name: plan
+    for plan in (
+        FaultPlan(name="calm", seed=7),
+        FaultPlan(name="drop-heavy", seed=11, drop=0.25, duplicate=0.05),
+        FaultPlan(
+            name="crash-restart", seed=13, crash_period=40, lose_user=0.02
+        ),
+        FaultPlan(
+            name="reorder",
+            seed=17,
+            reorder=0.20,
+            delay=0.10,
+            delay_ticks=3,
+            duplicate=0.10,
+        ),
+        FaultPlan(name="corrupt-wire", seed=19, corrupt=0.15, drop=0.05),
+        FaultPlan(
+            name="flaky-everything",
+            seed=23,
+            drop=0.10,
+            duplicate=0.10,
+            delay=0.05,
+            delay_ticks=2,
+            reorder=0.10,
+            corrupt=0.05,
+            crash_period=60,
+            lose_user=0.01,
+        ),
+    )
+}
+
+#: The subset every push's CI ``resilience`` job runs.
+CI_SCENARIOS = ("drop-heavy", "crash-restart", "reorder")
+
+
+def get_scenario(name: str, seed: int | None = None) -> FaultPlan:
+    """Look up a named scenario, optionally re-seeded."""
+    try:
+        plan = SCENARIOS[name]
+    except KeyError:
+        known = ", ".join(sorted(SCENARIOS))
+        raise KeyError(f"unknown fault scenario {name!r}; known: {known}") from None
+    return plan if seed is None else plan.with_seed(seed)

@@ -16,8 +16,7 @@ private query.
 
 from __future__ import annotations
 
-import time
-from typing import Literal, Sequence
+from typing import TYPE_CHECKING, Literal, Sequence
 
 # Justified CSP001 suppression: the facade *is* the trusted boundary —
 # it plays the mobile-user + anonymizer roles of Figure 1 in-process and
@@ -29,6 +28,7 @@ from repro.anonymizer import (  # casperlint: ignore[CSP001] trusted facade
     CloakedRegion,
     PrivacyProfile,
 )
+from repro.errors import DegradedModeError, UnknownUserError
 from repro.geometry import Point, Rect
 from repro.observability import runtime as _telemetry
 from repro.processor import (
@@ -40,6 +40,15 @@ from repro.processor import (
 from repro.server.database import LocationServer
 from repro.server.messages import PrivateQueryResult
 from repro.server.network import TransmissionModel
+from repro.utils.timer import monotonic
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only, the runtime is injected
+    # Justified CSP001 suppression: same trusted-facade argument as the
+    # anonymizer import above — the resilience runtime holds anonymizer
+    # state and exists only on the trusted side of the boundary.
+    from repro.resilience.runtime import (  # casperlint: ignore[CSP001] trusted facade
+        ResilienceRuntime,
+    )
 
 __all__ = ["Casper"]
 
@@ -56,6 +65,7 @@ class Casper:
         anonymizer: AnonymizerKind | BasicAnonymizer | AdaptiveAnonymizer = "adaptive",
         server: LocationServer | None = None,
         transmission: TransmissionModel | None = None,
+        resilience: "ResilienceRuntime | None" = None,
     ) -> None:
         if isinstance(anonymizer, (BasicAnonymizer, AdaptiveAnonymizer)):
             if anonymizer.bounds != bounds:
@@ -73,6 +83,14 @@ class Casper:
         self.transmission = (
             transmission if transmission is not None else TransmissionModel()
         )
+        # Optional resilience runtime: when present, update and response
+        # traffic is serialized through the fault injector with retries,
+        # and cloaking degrades through the ladder instead of failing.
+        # When absent (the default), every path below is bit-identical
+        # to the fault-free pipeline.
+        self.resilience = resilience
+        if resilience is not None:
+            resilience.attach(self)
 
     @property
     def bounds(self) -> Rect:
@@ -88,10 +106,14 @@ class Casper:
         small to satisfy the user's ``k`` (Algorithm 1's precondition),
         the most private consistent choice — the whole service area — is
         stored instead.  It resolves to a proper cloak as soon as enough
-        users join and the next update re-cloaks.
+        users join and the next update re-cloaks.  A resilience runtime
+        additionally degrades through its ladder (stale grace window,
+        parent-cell escalation) before the cold-start bottom.
         """
         from repro.errors import ProfileUnsatisfiableError
 
+        if self.resilience is not None:
+            return self.resilience.storage_cloak(uid)
         try:
             return self.anonymizer.cloak(uid)
         except ProfileUnsatisfiableError:
@@ -99,23 +121,94 @@ class Casper:
                 self.bounds, self.anonymizer.num_users, cells=()
             )
 
+    def refresh_stored_cloak(self, uid: object) -> CloakedRegion:
+        """Re-cloak ``uid`` and refresh the server's stored private
+        region (the anonymizer -> server push of Figure 1)."""
+        region = self._stored_cloak(uid)
+        self.server.store_private(uid, region.region)
+        return region
+
+    def cloak_for(self, uid: object) -> CloakedRegion:
+        """The cloak a query for ``uid`` should use right now.
+
+        Without a resilience runtime this is exactly
+        ``anonymizer.cloak``; with one, the operation is crash-guarded
+        and degrades through the ladder (raising
+        :class:`~repro.errors.DegradedModeError` rather than ever
+        emitting a cloak below the user's profile).
+        """
+        if self.resilience is None:
+            return self.anonymizer.cloak(uid)
+        self.resilience.guard(uid)
+        region, _mode = self.resilience.cloak_or_degrade(uid)
+        return region
+
+    def _refine_location(self, uid: object) -> Point:
+        """The exact location used for client-side refinement.
+
+        Under a resilience runtime a user whose anonymizer state was
+        lost degrades explicitly instead of surfacing a raw lookup
+        error.
+        """
+        if self.resilience is None:
+            return self.anonymizer.location_of(uid)
+        try:
+            return self.anonymizer.location_of(uid)
+        except UnknownUserError as exc:
+            self.resilience.counters["degraded_operations"] += 1
+            raise DegradedModeError(
+                f"exact location for user {uid!r} unavailable after state "
+                "loss; awaiting the next location update to heal"
+            ) from exc
+
+    def _deliver(self, candidates: CandidateList) -> CandidateList:
+        """Ship a candidate list over the (possibly faulty) response
+        channel.  The identity function without a resilience runtime."""
+        if self.resilience is None:
+            return candidates
+        return self.resilience.deliver_candidates(candidates)
+
     def register_user(
         self, uid: object, point: Point, profile: PrivacyProfile
     ) -> CloakedRegion:
         """Register a mobile user; their cloaked region (not the exact
         point) is stored at the server as private data."""
         self.anonymizer.register(uid, point, profile)
-        region = self._stored_cloak(uid)
-        self.server.store_private(uid, region.region)
-        return region
+        return self.refresh_stored_cloak(uid)
 
     def update_location(self, uid: object, point: Point) -> CloakedRegion:
         """Continuous location update: re-cloak and refresh the server's
-        stored private region."""
+        stored private region.  This is the trusted in-process path; a
+        resilient deployment sends updates through
+        :meth:`submit_location_update` instead."""
         self.anonymizer.update(uid, point)
-        region = self._stored_cloak(uid)
-        self.server.store_private(uid, region.region)
-        return region
+        return self.refresh_stored_cloak(uid)
+
+    def submit_location_update(
+        self, uid: object, point: Point, seq: int, profile: PrivacyProfile
+    ) -> str:
+        """Send a location update over the (possibly faulty) client ->
+        anonymizer channel.
+
+        ``seq`` is the client's per-user monotone sequence number; the
+        receiver applies each sequence number at most once, so drops,
+        duplicates and reorders are safe.  The update carries the
+        profile, letting an anonymizer that lost the user's state
+        re-register them (the heal path).  Returns the acknowledged
+        outcome (``applied`` / ``stale`` / ``recovered``); raises
+        :class:`~repro.errors.UpdateDeliveryError` when the retry budget
+        is exhausted.  Without a resilience runtime this falls through
+        to the lossless :meth:`update_location`.
+        """
+        if self.resilience is None:
+            self.update_location(uid, point)
+            return "applied"
+        if not isinstance(uid, str):
+            raise TypeError(
+                "resilient deployments require string user ids (the update "
+                f"wire format carries the uid as UTF-8), got {uid!r}"
+            )
+        return self.resilience.send_update(uid, seq, point, profile)
 
     def remove_user(self, uid: object) -> None:
         self.anonymizer.deregister(uid)
@@ -125,8 +218,7 @@ class Casper:
         """Change a user's privacy profile and refresh their stored
         cloak accordingly."""
         self.anonymizer.set_profile(uid, profile)
-        region = self._stored_cloak(uid)
-        self.server.store_private(uid, region.region)
+        self.refresh_stored_cloak(uid)
 
     # ------------------------------------------------------------------
     # Public data (bypasses the anonymizer)
@@ -146,15 +238,16 @@ class Casper:
         """"Where is my nearest gas station?" — private query over
         public data, with the Figure 17 timing decomposition."""
         with _telemetry.query_scope("nn_public"):
-            t0 = time.perf_counter()
-            cloak = self.anonymizer.cloak(uid)
-            t1 = time.perf_counter()
+            t0 = monotonic()
+            cloak = self.cloak_for(uid)
+            t1 = monotonic()
             candidates = self.server.nn_public(cloak.region, num_filters)
-            t2 = time.perf_counter()
+            t2 = monotonic()
+            candidates = self._deliver(candidates)
             # The client's exact location never left the client; the
             # facade borrows it from the trusted anonymizer to emulate
             # the local refinement step.
-            answer = candidates.refine_nearest(self.anonymizer.location_of(uid))
+            answer = candidates.refine_nearest(self._refine_location(uid))
         return PrivateQueryResult(
             cloak=cloak,
             candidates=candidates,
@@ -173,16 +266,17 @@ class Casper:
         """"Where is my nearest buddy?" — private query over private
         data; the requester's own record is excluded."""
         with _telemetry.query_scope("nn_private"):
-            t0 = time.perf_counter()
-            cloak = self.anonymizer.cloak(uid)
-            t1 = time.perf_counter()
+            t0 = monotonic()
+            cloak = self.cloak_for(uid)
+            t1 = monotonic()
             candidates = self.server.nn_private(
                 cloak.region, num_filters, policy=policy, exclude=uid
             )
-            t2 = time.perf_counter()
+            t2 = monotonic()
+            candidates = self._deliver(candidates)
             answer = (
                 candidates.refine_nearest(
-                    self.anonymizer.location_of(uid), by="center"
+                    self._refine_location(uid), by="center"
                 )
                 if len(candidates)
                 else None
@@ -199,13 +293,14 @@ class Casper:
     def query_range_public(self, uid: object, radius: float) -> PrivateQueryResult:
         """"Which gas stations are within `radius` of me?" """
         with _telemetry.query_scope("range_public"):
-            t0 = time.perf_counter()
-            cloak = self.anonymizer.cloak(uid)
-            t1 = time.perf_counter()
+            t0 = monotonic()
+            cloak = self.cloak_for(uid)
+            t1 = monotonic()
             candidates = self.server.range_public(cloak.region, radius)
-            t2 = time.perf_counter()
+            t2 = monotonic()
+            candidates = self._deliver(candidates)
             exact = candidates.refine_within(
-                self.anonymizer.location_of(uid), radius
+                self._refine_location(uid), radius
             )
         return PrivateQueryResult(
             cloak=cloak,
@@ -235,7 +330,7 @@ class Casper:
         if not queries:
             return []
         with _telemetry.query_scope("batch_public"):
-            t0 = time.perf_counter()
+            t0 = monotonic()
             parsed: list[tuple[object, str, float]] = []
             cloaks = []
             for spec in queries:
@@ -244,8 +339,8 @@ class Casper:
                     1 if query_type == "knn_public" else 0.0
                 )
                 parsed.append((uid, query_type, param))
-                cloaks.append(self.anonymizer.cloak(uid))
-            t1 = time.perf_counter()
+                cloaks.append(self.cloak_for(uid))
+            t1 = monotonic()
             requests = []
             for (uid, query_type, param), cloak in zip(parsed, cloaks):
                 if query_type == "knn_public":
@@ -271,14 +366,18 @@ class Casper:
                         f"got {query_type!r}"
                     )
             candidate_lists = self.server.run_batch(requests)
-            t2 = time.perf_counter()
+            t2 = monotonic()
         anonymizer_share = (t1 - t0) / len(queries)
         processing_share = (t2 - t1) / len(queries)
         results = []
+        # Batch answers return over the trusted in-process path even
+        # under a resilience runtime: the batch engine is a server-side
+        # aggregation whose per-query response-channel emulation is the
+        # single-query facade's job.
         for (uid, query_type, param), cloak, candidates in zip(
             parsed, cloaks, candidate_lists
         ):
-            location = self.anonymizer.location_of(uid)
+            location = self._refine_location(uid)
             if query_type == "nn_public":
                 answer = candidates.refine_nearest(location)
             elif query_type == "knn_public":

@@ -31,6 +31,12 @@ class MobileClient:
         self.uid = uid
         self._location = location
         self.profile = profile
+        # Per-user monotone sequence number for location updates: the
+        # anonymizer applies each sequence at most once, which is what
+        # makes retransmissions and reordered deliveries idempotent.
+        # Registration itself uses the trusted in-process path (the
+        # bootstrap handshake is assumed reliable).
+        self._seq = 0
         casper.register_user(uid, location, profile)
 
     # ------------------------------------------------------------------
@@ -42,10 +48,30 @@ class MobileClient:
         anonymizer, never to the database server."""
         return self._location
 
-    def move_to(self, point: Point) -> None:
-        """Report a location update."""
+    @property
+    def seq(self) -> int:
+        """The last sequence number this client sent."""
+        return self._seq
+
+    def move_to(self, point: Point) -> str:
+        """Report a location update; returns the delivery outcome.
+
+        On a fault-free deployment this is the lossless in-process path
+        (always ``"applied"``).  Under a resilience runtime the update
+        travels the faulty channel with retries; an exhausted retry
+        budget raises :class:`~repro.errors.UpdateDeliveryError` — the
+        device keeps its new location either way and simply reports it
+        again on the next movement (a later sequence number supersedes
+        the lost one).
+        """
         self._location = point
-        self.casper.update_location(self.uid, point)
+        if self.casper.resilience is None:
+            self.casper.update_location(self.uid, point)
+            return "applied"
+        self._seq += 1
+        return self.casper.submit_location_update(
+            self.uid, point, self._seq, self.profile
+        )
 
     def change_profile(self, profile: PrivacyProfile) -> None:
         """Adjust the personal privacy / quality-of-service trade-off."""

@@ -24,6 +24,7 @@ truncated — ids are identity, not payload.
 from __future__ import annotations
 
 import struct
+import zlib
 
 from repro.geometry import Rect
 from repro.processor.candidate import CandidateList
@@ -43,7 +44,10 @@ _FLAG_POINT = 0x0001
 _STRUCT = struct.Struct("<4sHH4d24s")
 assert _STRUCT.size == RECORD_SIZE
 
-_HEADER = struct.Struct("<4sHHIq")  # magic, version, num_filters, count, reserved
+# magic, version, num_filters, count, CRC-32 of the body (uint32 in a
+# q slot for layout compatibility; it was a reserved-zero field before
+# integrity checking landed, and 0 still means "no checksum").
+_HEADER = struct.Struct("<4sHHIq")
 _LIST_MAGIC = b"CLST"
 
 
@@ -82,14 +86,24 @@ def decode_record(payload: bytes) -> tuple[str, Rect]:
 
 def encode_candidate_list(candidates: CandidateList) -> bytes:
     """Serialize a whole candidate list: a 20-byte header (magic,
-    version, filter count, record count, reserved) followed by one
+    version, filter count, record count, body CRC-32) followed by one
     64-byte record per candidate.  The payload length is exactly the
     quantity the Figure 17 transmission model charges for, plus the
-    fixed header."""
-    header = _HEADER.pack(
+    fixed header.
+
+    The CRC covers the entire payload (with the CRC slot itself read as
+    zero), so any single corrupted byte on the wire — header or record —
+    makes the whole list undecodable; the resilience layer's retry loop
+    re-requests it instead of refining wrong candidates.
+    """
+    body = b"".join(encode_record(oid, rect) for oid, rect in candidates.items)
+    blank_header = _HEADER.pack(
         _LIST_MAGIC, _VERSION, candidates.num_filters, len(candidates), 0
     )
-    body = b"".join(encode_record(oid, rect) for oid, rect in candidates.items)
+    crc = zlib.crc32(blank_header + body)
+    header = _HEADER.pack(
+        _LIST_MAGIC, _VERSION, candidates.num_filters, len(candidates), crc
+    )
     return header + body
 
 
@@ -102,7 +116,7 @@ def decode_candidate_list(payload: bytes) -> CandidateList:
     """
     if len(payload) < _HEADER.size:
         raise ValueError("payload shorter than the list header")
-    magic, version, num_filters, count, _reserved = _HEADER.unpack_from(payload)
+    magic, version, num_filters, count, crc = _HEADER.unpack_from(payload)
     if magic != _LIST_MAGIC:
         raise ValueError("bad candidate-list magic")
     if version != _VERSION:
@@ -112,6 +126,12 @@ def decode_candidate_list(payload: bytes) -> CandidateList:
         raise ValueError(
             f"payload length {len(payload)} does not match {count} records"
         )
+    if crc != 0:  # 0 = legacy payload without a checksum
+        blanked = payload[:12] + b"\x00" * 8 + payload[20:]
+        if crc != zlib.crc32(blanked):
+            raise ValueError(
+                "candidate list failed its CRC check (corrupt payload)"
+            )
     items = []
     for i in range(count):
         start = _HEADER.size + i * RECORD_SIZE

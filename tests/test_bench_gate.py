@@ -1,0 +1,131 @@
+"""Tests for the CI bench-regression gate (tools/bench_gate.py)."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+spec = importlib.util.spec_from_file_location(
+    "bench_gate", REPO_ROOT / "tools" / "bench_gate.py"
+)
+bench_gate = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(bench_gate)
+
+
+def make_report(quick: bool = True, **speedups: float) -> dict:
+    base = {"cloak": 10.0, "knn_private": 8.0, "batch": 6.0}
+    base.update(speedups)
+    return {
+        "quick": quick,
+        **{section: {"speedup": value} for section, value in base.items()},
+    }
+
+
+class TestCompare:
+    def test_identical_reports_pass(self):
+        report = make_report()
+        lines, failures = bench_gate.compare(report, report, 0.25)
+        assert failures == []
+        assert len(lines) == len(bench_gate.GATED_RATIOS)
+
+    def test_within_tolerance_passes(self):
+        reference = make_report()
+        current = make_report(cloak=10.0 * 0.8)  # 20% drop < 25% bound
+        _lines, failures = bench_gate.compare(current, reference, 0.25)
+        assert failures == []
+
+    def test_regression_beyond_tolerance_fails(self):
+        reference = make_report()
+        current = make_report(knn_private=8.0 * 0.5)
+        _lines, failures = bench_gate.compare(current, reference, 0.25)
+        assert len(failures) == 1
+        assert "knn_private.speedup regressed" in failures[0]
+
+    def test_missing_ratio_fails(self):
+        reference = make_report()
+        current = make_report()
+        del current["batch"]["speedup"]
+        _lines, failures = bench_gate.compare(current, reference, 0.25)
+        assert any("batch.speedup: missing" in f for f in failures)
+
+    def test_nonpositive_reference_fails(self):
+        reference = make_report(cloak=0.0)
+        _lines, failures = bench_gate.compare(make_report(), reference, 0.25)
+        assert any("not positive" in f for f in failures)
+
+    def test_improvements_always_pass(self):
+        reference = make_report()
+        current = make_report(cloak=100.0, knn_private=80.0, batch=60.0)
+        _lines, failures = bench_gate.compare(current, reference, 0.25)
+        assert failures == []
+
+
+class TestReferenceSelection:
+    def test_quick_report_selects_quick_reference(self):
+        assert bench_gate.pick_reference({"quick": True}).name == (
+            "BENCH_engine_quick.json"
+        )
+        assert bench_gate.pick_reference({"quick": False}).name == (
+            "BENCH_engine.json"
+        )
+
+    def test_committed_references_exist_and_declare_their_workload(self):
+        quick = json.loads((REPO_ROOT / "BENCH_engine_quick.json").read_text())
+        full = json.loads((REPO_ROOT / "BENCH_engine.json").read_text())
+        assert quick["quick"] is True
+        assert full["quick"] is False
+        for section, key in bench_gate.GATED_RATIOS:
+            assert quick[section][key] > 1.0
+            assert full[section][key] > 1.0
+
+
+class TestMain:
+    def write(self, tmp_path: Path, name: str, payload: dict) -> Path:
+        path = tmp_path / name
+        path.write_text(json.dumps(payload))
+        return path
+
+    def test_passing_run_exits_0(self, tmp_path, capsys):
+        reference = self.write(tmp_path, "ref.json", make_report())
+        report = self.write(tmp_path, "report.json", make_report())
+        code = bench_gate.main([str(report), "--reference", str(reference)])
+        assert code == 0
+        assert "bench gate OK" in capsys.readouterr().out
+
+    def test_regression_exits_1(self, tmp_path, capsys):
+        reference = self.write(tmp_path, "ref.json", make_report())
+        report = self.write(
+            tmp_path, "report.json", make_report(batch=6.0 * 0.5)
+        )
+        code = bench_gate.main([str(report), "--reference", str(reference)])
+        assert code == 1
+        assert "GATE FAILURE" in capsys.readouterr().err
+
+    def test_quick_flag_mismatch_exits_2(self, tmp_path, capsys):
+        reference = self.write(tmp_path, "ref.json", make_report(quick=True))
+        report = self.write(tmp_path, "report.json", make_report(quick=False))
+        code = bench_gate.main([str(report), "--reference", str(reference)])
+        assert code == 2
+        assert "workload mismatch" in capsys.readouterr().err
+
+    def test_missing_report_exits_2(self, tmp_path):
+        assert bench_gate.main([str(tmp_path / "missing.json")]) == 2
+
+    def test_malformed_report_exits_2(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("not json{")
+        assert bench_gate.main([str(bad)]) == 2
+
+    def test_bad_tolerance_exits_2(self, tmp_path):
+        report = self.write(tmp_path, "report.json", make_report())
+        assert bench_gate.main([str(report), "--max-slowdown", "1.5"]) == 2
+
+    def test_committed_quick_reference_gates_itself(self, capsys):
+        code = bench_gate.main([str(REPO_ROOT / "BENCH_engine_quick.json")])
+        assert code == 0

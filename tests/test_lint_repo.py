@@ -124,12 +124,14 @@ def test_safe_names_still_cross_the_boundary() -> None:
 
 
 def test_facade_suppression_is_justified_and_unique() -> None:
-    """Exactly one inline CSP001 suppression exists in the tree (the
-    Casper facade), and it carries a justification."""
+    """Exactly two inline CSP001 suppressions exist in the tree — both
+    in the Casper facade (the trusted anonymizer wiring and the
+    typing-only resilience-runtime import) — and both carry the same
+    trusted-facade justification."""
     result = run_lint(repo_project(), repo_config())
-    assert result.suppressed == 1
+    assert result.suppressed == 2
     facade = (REPO_ROOT / "src/repro/server/casper.py").read_text()
-    assert "casperlint: ignore[CSP001] trusted facade" in facade
+    assert facade.count("casperlint: ignore[CSP001] trusted facade") == 2
 
 
 def test_spatial_indexes_satisfy_the_contract_rule() -> None:

@@ -1,0 +1,336 @@
+"""Tests for snapshot/restore, the degradation ladder, and idempotent
+updates (repro.resilience.runtime + anonymizer snapshot support).
+
+The contract under test everywhere: *degrade availability, never
+privacy* — no rung of the ladder may emit a cloak below the user's
+``(k, A_min)``, and every recovery path must leave the anonymizer
+internally consistent.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.anonymizer import (
+    AdaptiveAnonymizer,
+    BasicAnonymizer,
+    PrivacyProfile,
+)
+from repro.errors import (
+    DegradedModeError,
+    QueryDeliveryError,
+    UpdateDeliveryError,
+)
+from repro.geometry import Point, Rect
+from repro.resilience import (
+    FaultPlan,
+    ResilienceConfig,
+    ResilienceRuntime,
+    RetryPolicy,
+)
+from repro.server.casper import Casper
+
+BOUNDS = Rect(0.0, 0.0, 1.0, 1.0)
+QUIET = FaultPlan(name="quiet", seed=0)
+
+
+def make_anonymizer(kind: str):
+    if kind == "basic":
+        return BasicAnonymizer(BOUNDS, 5)
+    return AdaptiveAnonymizer(BOUNDS, 5)
+
+
+@pytest.mark.parametrize("kind", ["basic", "adaptive"])
+class TestSnapshotRestore:
+    def test_restore_rolls_back_registrations_and_moves(self, kind):
+        anon = make_anonymizer(kind)
+        for i in range(10):
+            anon.register(f"u{i}", Point(0.1 + 0.05 * i, 0.5), PrivacyProfile(k=3))
+        state = anon.snapshot()
+        for i in range(5):
+            anon.register(f"extra{i}", Point(0.9, 0.9), PrivacyProfile(k=2))
+        anon.update("u0", Point(0.95, 0.95))
+        anon.deregister("u9")
+        anon.restore(state)
+        assert anon.num_users == 10
+        assert "extra0" not in anon
+        assert "u9" in anon
+        assert anon.location_of("u0") == Point(0.1, 0.5)
+        anon.check_invariants()
+
+    def test_snapshot_survives_repeated_restores(self, kind):
+        anon = make_anonymizer(kind)
+        anon.register("u0", Point(0.2, 0.2), PrivacyProfile(k=1))
+        state = anon.snapshot()
+        for _ in range(3):
+            anon.register("junk", Point(0.8, 0.8), PrivacyProfile(k=1))
+            anon.restore(state)
+            assert anon.num_users == 1
+            anon.check_invariants()
+
+    def test_restore_rejects_foreign_state(self, kind):
+        anon = make_anonymizer(kind)
+        with pytest.raises(TypeError):
+            anon.restore(object())
+
+    def test_restore_invalidates_the_cloak_cache(self, kind):
+        """Regression: a cloak computed before ``restore`` must not be
+        served from cache afterwards — the pyramid counts changed."""
+        anon = make_anonymizer(kind)
+        point = Point(0.1, 0.1)
+        for i in range(6):
+            anon.register(f"u{i}", point, PrivacyProfile(k=5))
+        state = anon.snapshot()
+        before = anon.cloak("u0")
+        # Mutate: a crowd joins, so a post-restore cloak of the same
+        # (cell, profile) key could legitimately differ; then restore.
+        for i in range(20):
+            anon.register(f"crowd{i}", point, PrivacyProfile(k=2))
+        anon.cloak("u0")  # re-populate the cache against the crowd
+        anon.restore(state)
+        after = anon.cloak("u0")
+        fresh = make_anonymizer("basic" if kind == "basic" else "adaptive")
+        for i in range(6):
+            fresh.register(f"u{i}", point, PrivacyProfile(k=5))
+        oracle = fresh.cloak("u0")
+        assert after.region == oracle.region == before.region
+        assert after.achieved_k == oracle.achieved_k
+
+
+def resilient_casper(
+    plan: FaultPlan,
+    *,
+    retry: RetryPolicy | None = None,
+    config: ResilienceConfig | None = None,
+    anonymizer: str = "basic",
+) -> tuple[Casper, ResilienceRuntime]:
+    runtime = ResilienceRuntime(plan, retry=retry, config=config)
+    casper = Casper(BOUNDS, pyramid_height=5, anonymizer=anonymizer, resilience=runtime)
+    return casper, runtime
+
+
+class TestCrashRecovery:
+    def test_crash_restores_the_attach_time_snapshot(self):
+        casper, runtime = resilient_casper(
+            FaultPlan(seed=0, crash_period=1),
+            config=ResilienceConfig(snapshot_every=1000),
+        )
+        casper.register_user("u0", Point(0.5, 0.5), PrivacyProfile(k=1))
+        assert "u0" in casper.anonymizer
+        runtime.guard()  # crash_period=1: this op crashes and restores
+        assert "u0" not in casper.anonymizer  # snapshot predates u0
+        assert runtime.counters["recoveries"] == 1
+        casper.anonymizer.check_invariants()
+
+    def test_snapshot_cadence_limits_rollback(self):
+        casper, runtime = resilient_casper(
+            FaultPlan(seed=0, crash_period=5),
+            config=ResilienceConfig(snapshot_every=1),
+        )
+        casper.register_user("u0", Point(0.5, 0.5), PrivacyProfile(k=1))
+        for _ in range(4):
+            runtime.guard()  # each op snapshots post-registration state
+        runtime.guard()  # the 5th op crashes
+        assert runtime.counters["recoveries"] == 1
+        assert "u0" in casper.anonymizer  # restored from a fresh snapshot
+
+    def test_sequence_table_rolls_back_with_the_state(self):
+        """A crash must roll the dedup table back atomically with the
+        anonymizer, or replayed updates would be misjudged as stale."""
+        casper, runtime = resilient_casper(
+            QUIET, config=ResilienceConfig(snapshot_every=1000)
+        )
+        casper.register_user("u0", Point(0.2, 0.2), PrivacyProfile(k=1))
+        runtime._take_snapshot()
+        assert runtime.send_update("u0", 1, Point(0.3, 0.3), PrivacyProfile(k=1)) == "applied"
+        runtime._restore()
+        # After rollback the same sequence number is fresh again.
+        assert runtime.send_update("u0", 1, Point(0.4, 0.4), PrivacyProfile(k=1)) == "applied"
+        assert casper.anonymizer.location_of("u0") == Point(0.4, 0.4)
+
+
+class TestIdempotentUpdates:
+    def test_duplicate_sequence_is_acknowledged_but_ignored(self):
+        casper, runtime = resilient_casper(QUIET)
+        casper.register_user("u0", Point(0.2, 0.2), PrivacyProfile(k=1))
+        assert runtime.send_update("u0", 1, Point(0.3, 0.3), PrivacyProfile(k=1)) == "applied"
+        assert runtime.send_update("u0", 1, Point(0.9, 0.9), PrivacyProfile(k=1)) == "stale"
+        assert casper.anonymizer.location_of("u0") == Point(0.3, 0.3)
+        assert runtime.counters["duplicates_ignored"] == 1
+
+    def test_older_sequence_never_overwrites_newer_state(self):
+        casper, runtime = resilient_casper(QUIET)
+        casper.register_user("u0", Point(0.2, 0.2), PrivacyProfile(k=1))
+        runtime.send_update("u0", 5, Point(0.5, 0.5), PrivacyProfile(k=1))
+        assert runtime.send_update("u0", 3, Point(0.1, 0.1), PrivacyProfile(k=1)) == "stale"
+        assert casper.anonymizer.location_of("u0") == Point(0.5, 0.5)
+
+    def test_lost_user_heals_from_the_next_update(self):
+        casper, runtime = resilient_casper(QUIET)
+        casper.register_user("u0", Point(0.2, 0.2), PrivacyProfile(k=1))
+        casper.anonymizer.deregister("u0")  # silent state loss
+        outcome = runtime.send_update("u0", 2, Point(0.6, 0.6), PrivacyProfile(k=1))
+        assert outcome == "recovered"
+        assert "u0" in casper.anonymizer
+        assert casper.anonymizer.location_of("u0") == Point(0.6, 0.6)
+        assert runtime.counters["recoveries"] == 1
+
+    def test_guard_can_lose_the_operating_user(self):
+        casper, runtime = resilient_casper(FaultPlan(seed=0, lose_user=1.0))
+        casper.register_user("u0", Point(0.5, 0.5), PrivacyProfile(k=1))
+        runtime.guard("u0")
+        assert "u0" not in casper.anonymizer
+        assert runtime.injector.counts["state_loss"] == 1
+
+    def test_exhausted_retries_raise_update_delivery_error(self):
+        casper, runtime = resilient_casper(
+            FaultPlan(seed=0, drop=1.0),
+            retry=RetryPolicy(max_attempts=3),
+        )
+        casper.register_user("u0", Point(0.2, 0.2), PrivacyProfile(k=1))
+        with pytest.raises(UpdateDeliveryError):
+            runtime.send_update("u0", 1, Point(0.3, 0.3), PrivacyProfile(k=1))
+        assert runtime.counters["updates_abandoned"] == 1
+        assert runtime.counters["retries"] == 2
+        assert runtime.virtual_backoff_seconds > 0.0
+        # The device's report is lost but the anonymizer state is intact.
+        assert casper.anonymizer.location_of("u0") == Point(0.2, 0.2)
+
+    def test_corrupted_update_is_rejected_then_retried(self):
+        # corrupt=1.0 flips one bit per transmit; the CRC rejects every
+        # copy, so delivery fails cleanly rather than applying garbage.
+        casper, runtime = resilient_casper(
+            FaultPlan(seed=0, corrupt=1.0),
+            retry=RetryPolicy(max_attempts=2),
+        )
+        casper.register_user("u0", Point(0.2, 0.2), PrivacyProfile(k=1))
+        with pytest.raises(UpdateDeliveryError):
+            runtime.send_update("u0", 1, Point(0.3, 0.3), PrivacyProfile(k=1))
+        assert runtime.counters["corrupt_rejected"] >= 2
+        assert casper.anonymizer.location_of("u0") == Point(0.2, 0.2)
+
+
+class TestResponseChannel:
+    def test_quiet_channel_round_trips_candidates(self):
+        casper, runtime = resilient_casper(QUIET)
+        for i in range(4):
+            casper.register_user(f"u{i}", Point(0.3, 0.3), PrivacyProfile(k=2))
+        casper.add_public_targets({f"t{i}": Point(0.1 * i, 0.5) for i in range(5)})
+        result = casper.query_nearest_public("u0")
+        assert result.answer is not None
+
+    def test_all_responses_lost_raises_query_delivery_error(self):
+        casper, runtime = resilient_casper(
+            FaultPlan(seed=0, drop=1.0), retry=RetryPolicy(max_attempts=2)
+        )
+        # Registration traffic uses the trusted path, so only the
+        # response channel sees the 100% drop.
+        for i in range(4):
+            casper.register_user(f"u{i}", Point(0.3, 0.3), PrivacyProfile(k=2))
+        casper.add_public_targets({"t0": Point(0.8, 0.8)})
+        with pytest.raises(QueryDeliveryError):
+            casper.query_nearest_public("u0")
+
+
+class TestDegradationLadder:
+    def cluster(self, casper: Casper, n: int, k: int, at: Point) -> None:
+        for i in range(n):
+            casper.register_user(f"u{i}", at, PrivacyProfile(k=k))
+
+    def test_fresh_cloak_is_remembered(self):
+        casper, runtime = resilient_casper(QUIET)
+        self.cluster(casper, 6, 3, Point(0.1, 0.1))
+        region, mode = runtime.cloak_or_degrade("u0")
+        assert mode == "fresh"
+        assert region.achieved_k >= 3
+
+    def test_stale_rung_serves_a_revalidated_remembered_cloak(self):
+        casper, runtime = resilient_casper(QUIET)
+        self.cluster(casper, 6, 3, Point(0.1, 0.1))
+        fresh_region, _ = runtime.cloak_or_degrade("u0")
+        casper.anonymizer.deregister("u0")  # fresh cloak now impossible
+        region, mode = runtime.cloak_or_degrade("u0")
+        assert mode == "stale"
+        assert region.region == fresh_region.region
+        # Revalidated against the live population (u0 is gone).
+        assert region.achieved_k >= 3
+        assert runtime.fallback_modes["stale"] == 1
+        assert runtime.privacy_violations() == []
+
+    def test_escalated_rung_walks_to_a_satisfying_ancestor(self):
+        casper, runtime = resilient_casper(QUIET)
+        self.cluster(casper, 6, 3, Point(0.1, 0.1))
+        runtime.cloak_or_degrade("u0")
+        # Everyone else moves to the far corner: the remembered region
+        # empties out, but an ancestor cell still covers the crowd.
+        for i in range(1, 6):
+            casper.anonymizer.update(f"u{i}", Point(0.9, 0.9))
+        casper.anonymizer.deregister("u0")
+        region, mode = runtime.cloak_or_degrade("u0")
+        assert mode == "escalated"
+        assert region.achieved_k >= 3
+        assert runtime.privacy_violations() == []
+
+    def test_expired_grace_window_skips_the_stale_rung(self):
+        casper, runtime = resilient_casper(
+            QUIET, config=ResilienceConfig(stale_grace_ops=0)
+        )
+        self.cluster(casper, 6, 3, Point(0.1, 0.1))
+        runtime.cloak_or_degrade("u0")
+        runtime.guard()  # ops advance past the zero-width grace window
+        casper.anonymizer.deregister("u0")
+        _region, mode = runtime.cloak_or_degrade("u0")
+        assert mode == "escalated"
+
+    def test_unservable_profile_degrades_explicitly(self):
+        casper, runtime = resilient_casper(QUIET)
+        self.cluster(casper, 2, 5, Point(0.1, 0.1))  # k=5 with 2 users
+        with pytest.raises(DegradedModeError):
+            runtime.cloak_or_degrade("u0")
+        assert runtime.counters["degraded_operations"] >= 1
+        assert runtime.privacy_violations() == []
+
+    def test_storage_cloak_bottoms_out_at_the_full_area(self):
+        casper, runtime = resilient_casper(QUIET)
+        self.cluster(casper, 2, 5, Point(0.1, 0.1))
+        region = runtime.storage_cloak("u0")
+        assert region.region == BOUNDS
+        assert runtime.fallback_modes.get("cold_start", 0) >= 1
+        # The full-area emission is exempt by construction, not ignored.
+        assert runtime.privacy_violations() == []
+
+    def test_no_rung_ever_emits_below_the_profile(self):
+        """Sweep the ladder scenarios and scan every recorded emission."""
+        casper, runtime = resilient_casper(QUIET)
+        self.cluster(casper, 8, 4, Point(0.2, 0.2))
+        runtime.cloak_or_degrade("u0")
+        casper.anonymizer.deregister("u0")
+        runtime.cloak_or_degrade("u0")  # stale
+        for i in range(1, 8):
+            casper.anonymizer.update(f"u{i}", Point(0.85, 0.85))
+        runtime.cloak_or_degrade("u0")  # escalated
+        assert {e.mode for e in runtime.emissions} >= {"fresh", "stale"}
+        assert runtime.privacy_violations() == []
+
+
+class TestFaultFreePathUnchanged:
+    def test_without_resilience_the_trusted_path_is_used(self):
+        casper = Casper(BOUNDS, pyramid_height=5, anonymizer="basic")
+        assert casper.resilience is None
+        casper.register_user("u0", Point(0.2, 0.2), PrivacyProfile(k=1))
+        assert casper.submit_location_update(
+            "u0", Point(0.4, 0.4), 1, PrivacyProfile(k=1)
+        ) == "applied"
+        assert casper.anonymizer.location_of("u0") == Point(0.4, 0.4)
+
+    def test_resilient_deployments_require_string_uids(self):
+        casper, _runtime = resilient_casper(QUIET)
+        casper.anonymizer.register(7, Point(0.2, 0.2), PrivacyProfile(k=1))
+        with pytest.raises(TypeError):
+            casper.submit_location_update(7, Point(0.4, 0.4), 1, PrivacyProfile(k=1))
+
+    def test_one_runtime_serves_one_casper(self):
+        runtime = ResilienceRuntime(QUIET)
+        Casper(BOUNDS, pyramid_height=5, anonymizer="basic", resilience=runtime)
+        with pytest.raises(RuntimeError):
+            Casper(BOUNDS, pyramid_height=5, anonymizer="basic", resilience=runtime)

@@ -1,0 +1,96 @@
+"""Property tests for the resilience subsystem (ISSUE 4 acceptance).
+
+Two properties hold for *any* fault plan, not just the canned scenarios:
+
+1. **Privacy under chaos** — whatever the faults do, the pipeline never
+   emits a cloak below the operating user's ``(k, A_min)``; every query
+   either answers or fails with an explicit degraded-mode error.
+2. **Determinism** — the same plan over the same workload reproduces
+   the fault trace and the whole chaos report byte-for-byte.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.resilience import ChaosWorkload, FaultPlan, FaultInjector, run_chaos
+
+prob = st.floats(min_value=0.0, max_value=0.5)
+
+fault_plans = st.builds(
+    FaultPlan,
+    name=st.just("property"),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    drop=prob,
+    duplicate=prob,
+    delay=prob,
+    delay_ticks=st.integers(min_value=1, max_value=4),
+    reorder=prob,
+    corrupt=prob,
+    crash_period=st.sampled_from([0, 0, 7, 19]),
+    lose_user=st.floats(min_value=0.0, max_value=0.1),
+)
+
+TINY = ChaosWorkload(users=8, targets=6, steps=24, continuous_queries=2)
+
+
+@settings(max_examples=12)
+@given(plan=fault_plans)
+def test_any_fault_plan_degrades_availability_never_privacy(plan):
+    report = run_chaos(plan, TINY)
+    # 1. No silent privacy violation, ever.
+    assert report.privacy_violations == 0
+    # 2. Every query is accounted for: answered or explicitly degraded.
+    slo = report.slo
+    assert slo["queries_answered"] + slo["queries_degraded"] == slo["queries_total"]
+
+
+@settings(max_examples=6)
+@given(plan=fault_plans)
+def test_same_seed_reproduces_the_report_byte_for_byte(plan):
+    assert run_chaos(plan, TINY).to_json() == run_chaos(plan, TINY).to_json()
+
+
+@settings(max_examples=20)
+@given(
+    plan=fault_plans,
+    messages=st.lists(st.binary(min_size=1, max_size=80), min_size=1, max_size=40),
+)
+def test_injector_trace_is_a_pure_function_of_seed_and_traffic(plan, messages):
+    def drive() -> tuple[str, list[list[bytes]]]:
+        injector = FaultInjector(plan)
+        batches = []
+        for i, payload in enumerate(messages):
+            deliveries = injector.transmit(f"update:u{i % 3}", payload)
+            batches.append([d.payload for d in deliveries])
+            injector.next_op()
+        return injector.trace_json(), batches
+
+    trace_a, batches_a = drive()
+    trace_b, batches_b = drive()
+    assert trace_a == trace_b
+    assert batches_a == batches_b
+
+
+@settings(max_examples=20)
+@given(
+    plan=fault_plans,
+    payload=st.binary(min_size=1, max_size=120),
+)
+def test_deliveries_are_copies_of_sent_traffic_or_one_bit_off(plan, payload):
+    """The injector never invents traffic: every delivered payload is a
+    sent payload, or a sent payload with exactly one bit flipped."""
+    injector = FaultInjector(plan)
+    sent = [bytes([i]) + payload for i in range(10)]
+    delivered = []
+    for message in sent:
+        delivered.extend(d.payload for d in injector.transmit("c", message))
+    for got in delivered:
+        if got in sent:
+            continue
+        assert any(
+            len(got) == len(original)
+            and sum(bin(a ^ b).count("1") for a, b in zip(got, original)) == 1
+            for original in sent
+        )

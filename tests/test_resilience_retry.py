@@ -1,0 +1,71 @@
+"""Tests for RetryPolicy (repro.resilience.retry)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.resilience.retry import RetryPolicy
+
+
+def fixed_rng(value: float = 0.0) -> np.random.Generator:
+    class _Fixed:
+        def random(self):
+            return value
+
+    return _Fixed()  # duck-typed: backoff only calls .random()
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_attempts": 0},
+            {"base_delay": -1.0},
+            {"max_delay": -0.5},
+            {"multiplier": 0.5},
+            {"jitter": 1.5},
+            {"jitter": -0.1},
+        ],
+    )
+    def test_bad_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+    def test_negative_attempt_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy().backoff(-1, np.random.default_rng(0))
+
+
+class TestBackoff:
+    def test_exponential_growth_without_jitter(self):
+        policy = RetryPolicy(base_delay=0.1, multiplier=2.0, max_delay=100.0, jitter=0.0)
+        rng = fixed_rng()
+        delays = [policy.backoff(n, rng) for n in range(4)]
+        assert delays == pytest.approx([0.1, 0.2, 0.4, 0.8])
+
+    def test_cap_at_max_delay(self):
+        policy = RetryPolicy(base_delay=1.0, multiplier=10.0, max_delay=2.5, jitter=0.0)
+        assert policy.backoff(5, fixed_rng()) == pytest.approx(2.5)
+
+    def test_jitter_bounds(self):
+        policy = RetryPolicy(base_delay=1.0, multiplier=1.0, max_delay=10.0, jitter=0.5)
+        rng = np.random.default_rng(7)
+        for n in range(50):
+            delay = policy.backoff(0, rng)
+            assert 1.0 <= delay < 1.5
+
+    def test_deterministic_given_seeded_stream(self):
+        policy = RetryPolicy()
+        a = [policy.backoff(n, np.random.default_rng(3)) for n in range(3)]
+        b = [policy.backoff(n, np.random.default_rng(3)) for n in range(3)]
+        assert a == b
+
+    def test_schedule_yields_max_attempts_minus_one_delays(self):
+        policy = RetryPolicy(max_attempts=4)
+        assert len(list(policy.schedule(np.random.default_rng(0)))) == 3
+
+    def test_none_policy_is_single_shot(self):
+        policy = RetryPolicy.none()
+        assert policy.max_attempts == 1
+        assert list(policy.schedule(np.random.default_rng(0))) == []

@@ -19,12 +19,16 @@ track the trajectory:
 Usage::
 
     PYTHONPATH=src python tools/bench.py [--quick] [--out PATH]
-        [--telemetry [PATH]]
+        [--repeats N] [--telemetry [PATH]]
 
-``--quick`` shrinks every workload for CI smoke runs.  ``--telemetry``
-runs the benchmarks with the observability layer *enabled* (the
-instrumented configuration the speedup gates must also pass in) and
-writes the privacy-screened telemetry snapshot next to the report.
+``--quick`` shrinks every workload for CI smoke runs.  ``--repeats``
+runs every benchmark N times and reports the run with the *median*
+gated statistic — single-shot timings of the quick workloads are noisy
+enough (2x run-to-run swings on the cloak ratio) to trip a 25%
+regression gate on pure jitter.  ``--telemetry`` runs the benchmarks
+with the observability layer *enabled* (the instrumented configuration
+the speedup gates must also pass in) and writes the privacy-screened
+telemetry snapshot next to the report.
 """
 
 from __future__ import annotations
@@ -232,6 +236,18 @@ def bench_batch(quick: bool) -> dict:
     }
 
 
+def _median_run(results: list[dict]) -> dict:
+    """Pick the run with the median gated statistic.
+
+    Keeps a single internally-consistent measurement (never mixes the
+    numerator of one run with the denominator of another).  Benchmarks
+    without a speedup ratio are selected by their latency instead.
+    """
+    key = "speedup" if "speedup" in results[0] else "mean_latency_ms"
+    ordered = sorted(results, key=lambda r: r[key])
+    return ordered[len(ordered) // 2]
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -243,6 +259,13 @@ def main(argv: list[str] | None = None) -> int:
         help="output JSON path (default: repo-root BENCH_engine.json)",
     )
     parser.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="run each benchmark N times, report the median-speedup run "
+        "(default: 3; use 1 for a fast uncontrolled reading)",
+    )
+    parser.add_argument(
         "--telemetry",
         nargs="?",
         const="BENCH_telemetry.json",
@@ -252,13 +275,19 @@ def main(argv: list[str] | None = None) -> int:
         "telemetry snapshot here (default: BENCH_telemetry.json)",
     )
     args = parser.parse_args(argv)
+    if args.repeats < 1:
+        parser.error("--repeats must be >= 1")
 
     from contextlib import nullcontext
 
     from repro.observability import TelemetryExport, enabled
 
     session_scope = enabled() if args.telemetry else nullcontext(None)
-    report = {"quick": args.quick, "instrumented": bool(args.telemetry)}
+    report = {
+        "quick": args.quick,
+        "instrumented": bool(args.telemetry),
+        "repeats": args.repeats,
+    }
     with session_scope as session:
         for name, bench in (
             ("cloak", bench_cloak),
@@ -267,7 +296,9 @@ def main(argv: list[str] | None = None) -> int:
             ("batch", bench_batch),
         ):
             print(f"benchmarking {name} ...", flush=True)
-            report[name] = bench(args.quick)
+            report[name] = _median_run(
+                [bench(args.quick) for _ in range(args.repeats)]
+            )
         if session is not None:
             export = TelemetryExport.from_observability(session)
             Path(args.telemetry).write_text(export.to_json() + "\n")

@@ -1,0 +1,139 @@
+#!/usr/bin/env python
+"""Bench-regression gate: compare a fresh report to the committed reference.
+
+``tools/bench.py`` writes absolute timings, which vary with the host, so
+this gate compares only the three *dimensionless* speedup ratios the
+engine-performance pass claims (cached-vs-uncached cloaking, pruned
+kNN vs the full sort, batched vs sequential queries).  Each ratio is a
+same-machine, same-run quotient, so it is stable across hardware — a
+drop means the optimization itself regressed, not the runner.
+
+The reference is auto-selected by the report's ``quick`` flag:
+``BENCH_engine_quick.json`` for ``--quick`` CI smoke runs,
+``BENCH_engine.json`` for full runs.
+
+Usage::
+
+    python tools/bench_gate.py [REPORT] [--reference PATH]
+        [--max-slowdown 0.25]
+
+Exit codes: 0 — every ratio within tolerance; 1 — a regression beyond
+``--max-slowdown``; 2 — a malformed or missing report/reference.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: (section, key) of every gated dimensionless ratio.
+GATED_RATIOS = (
+    ("cloak", "speedup"),
+    ("knn_private", "speedup"),
+    ("batch", "speedup"),
+)
+
+
+def load_report(path: Path) -> dict:
+    try:
+        report = json.loads(path.read_text())
+    except OSError as exc:
+        raise SystemExit(f"cannot read {path}: {exc}")
+    except json.JSONDecodeError as exc:
+        raise SystemExit(f"{path} is not valid JSON: {exc}")
+    if not isinstance(report, dict):
+        raise SystemExit(f"{path}: expected a JSON object")
+    return report
+
+
+def pick_reference(report: dict) -> Path:
+    name = "BENCH_engine_quick.json" if report.get("quick") else "BENCH_engine.json"
+    return REPO_ROOT / name
+
+
+def compare(
+    report: dict, reference: dict, max_slowdown: float
+) -> tuple[list[str], list[str]]:
+    """Return (summary lines, failure lines)."""
+    lines: list[str] = []
+    failures: list[str] = []
+    for section, key in GATED_RATIOS:
+        label = f"{section}.{key}"
+        try:
+            current = float(report[section][key])
+            baseline = float(reference[section][key])
+        except (KeyError, TypeError, ValueError):
+            failures.append(f"{label}: missing from report or reference")
+            continue
+        if baseline <= 0.0:
+            failures.append(f"{label}: reference value {baseline} is not positive")
+            continue
+        floor = baseline * (1.0 - max_slowdown)
+        verdict = "ok" if current >= floor else "REGRESSED"
+        lines.append(
+            f"{label}: {current:.2f}x vs reference {baseline:.2f}x "
+            f"(floor {floor:.2f}x) -> {verdict}"
+        )
+        if current < floor:
+            failures.append(
+                f"{label} regressed: {current:.2f}x < {floor:.2f}x "
+                f"({max_slowdown:.0%} below the reference {baseline:.2f}x)"
+            )
+    return lines, failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "report", nargs="?", default="bench-ci.json",
+        help="fresh bench report to check (default: bench-ci.json)",
+    )
+    parser.add_argument(
+        "--reference", metavar="PATH", default=None,
+        help="committed reference report (default: auto by the report's "
+        "quick flag)",
+    )
+    parser.add_argument(
+        "--max-slowdown", type=float, default=0.25, metavar="FRAC",
+        help="allowed fractional drop per ratio (default: 0.25)",
+    )
+    args = parser.parse_args(argv)
+    if not 0.0 <= args.max_slowdown < 1.0:
+        print("--max-slowdown must be in [0, 1)", file=sys.stderr)
+        return 2
+
+    try:
+        report = load_report(Path(args.report))
+        reference_path = (
+            Path(args.reference) if args.reference else pick_reference(report)
+        )
+        reference = load_report(reference_path)
+    except SystemExit as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    if bool(report.get("quick")) != bool(reference.get("quick")):
+        print(
+            f"workload mismatch: report quick={report.get('quick')} but "
+            f"reference {reference_path.name} quick={reference.get('quick')}",
+            file=sys.stderr,
+        )
+        return 2
+
+    print(f"gating {args.report} against {reference_path.name}")
+    lines, failures = compare(report, reference, args.max_slowdown)
+    for line in lines:
+        print(line)
+    if failures:
+        for failure in failures:
+            print(f"GATE FAILURE: {failure}", file=sys.stderr)
+        return 1
+    print("bench gate OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,26 @@
+#!/usr/bin/env python
+"""Chaos-harness runner that works without an installed package.
+
+Equivalent to ``PYTHONPATH=src python -m repro chaos``; see
+``docs/resilience.md`` for the failure model and the gate semantics.
+
+Usage::
+
+    python tools/chaos.py [--scenario NAME] [--seed N] [--check]
+        [--users N --targets N --steps N] [--out PATH]
+
+``--check`` is the CI resilience gate: exit 1 on any privacy violation,
+an SLO bound breach, or a non-deterministic report.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.__main__ import main  # noqa: E402
+
+if __name__ == "__main__":
+    raise SystemExit(main(["chaos", *sys.argv[1:]]))
