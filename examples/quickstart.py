@@ -13,6 +13,8 @@ Run:  python examples/quickstart.py
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 
 from repro.anonymizer import PrivacyProfile
@@ -21,10 +23,17 @@ from repro.server import Casper, MobileClient
 
 SERVICE_AREA = Rect(0.0, 0.0, 1.0, 1.0)
 
+# CASPER_SHARDS > 1 runs the identical pipeline on the sharded
+# anonymizer runtime (`python -m repro metrics --shards N` sets this);
+# every printed answer below is byte-for-byte unchanged by it.
+SHARDS = int(os.environ.get("CASPER_SHARDS", "1"))
+
 
 def main() -> None:
     rng = np.random.default_rng(7)
-    casper = Casper(SERVICE_AREA, pyramid_height=8, anonymizer="adaptive")
+    casper = Casper(
+        SERVICE_AREA, pyramid_height=8, anonymizer="adaptive", shards=SHARDS
+    )
 
     # Public data goes straight to the server: 300 gas stations.
     stations = {

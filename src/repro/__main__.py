@@ -121,6 +121,7 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     """
     import contextlib
     import io
+    import os
     import runpy
     from pathlib import Path
 
@@ -133,14 +134,28 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
         if candidates:
             print(f"available: {', '.join(candidates)}", file=sys.stderr)
         return 2
-    with enabled() as session:
-        with contextlib.redirect_stdout(io.StringIO()):
-            runpy.run_path(str(script), run_name="__main__")
-        try:
-            export = TelemetryExport.from_observability(session)
-        except TelemetryLeakError as leak:
-            print(f"telemetry leak: {leak}", file=sys.stderr)
-            return 3
+    if args.shards < 1:
+        print("--shards must be >= 1", file=sys.stderr)
+        return 2
+    # Examples honour CASPER_SHARDS: their facades build the sharded
+    # anonymizer runtime, whose per-shard occupancy and routing counters
+    # flow through the same screened telemetry (shard ids only).
+    previous_shards = os.environ.get("CASPER_SHARDS")
+    os.environ["CASPER_SHARDS"] = str(args.shards)
+    try:
+        with enabled() as session:
+            with contextlib.redirect_stdout(io.StringIO()):
+                runpy.run_path(str(script), run_name="__main__")
+            try:
+                export = TelemetryExport.from_observability(session)
+            except TelemetryLeakError as leak:
+                print(f"telemetry leak: {leak}", file=sys.stderr)
+                return 3
+    finally:
+        if previous_shards is None:
+            os.environ.pop("CASPER_SHARDS", None)
+        else:
+            os.environ["CASPER_SHARDS"] = previous_shards
     if args.format == "prometheus":
         sys.stdout.write(export.to_prometheus())
     else:
@@ -174,6 +189,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             steps=args.steps,
             seed=args.workload_seed,
             anonymizer=args.anonymizer,
+            shards=args.shards,
         )
     except ValueError as exc:
         print(f"bad workload: {exc}", file=sys.stderr)
@@ -291,6 +307,11 @@ def main(argv: list[str] | None = None) -> int:
         "--format", choices=("json", "prometheus"), default="json",
         help="output format (default: json)",
     )
+    metrics.add_argument(
+        "--shards", type=int, default=1, metavar="N",
+        help="run the example on an N-shard anonymizer (exported as "
+        "CASPER_SHARDS; per-shard counters appear in the telemetry)",
+    )
     metrics.set_defaults(func=_cmd_metrics)
 
     chaos = sub.add_parser(
@@ -315,6 +336,11 @@ def main(argv: list[str] | None = None) -> int:
     )
     chaos.add_argument(
         "--anonymizer", choices=("basic", "adaptive"), default="adaptive"
+    )
+    chaos.add_argument(
+        "--shards", type=int, default=1, metavar="N",
+        help="anonymizer shard count for the replayed workload "
+        "(default 1 = the single-pyramid implementations)",
     )
     chaos.add_argument(
         "--out", metavar="PATH", default=None,

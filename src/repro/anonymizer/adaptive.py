@@ -23,6 +23,7 @@ user*: a cheap aggregate test gates the exact per-user check.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
 
 from repro.anonymizer.cache import CloakCache
 from repro.anonymizer.cells import CellGrid, CellId
@@ -34,7 +35,65 @@ from repro.geometry import Point, Rect
 from repro.observability import runtime as _telemetry
 from repro.utils.timer import monotonic
 
-__all__ = ["AdaptiveAnonymizer"]
+__all__ = ["AdaptiveAnonymizer", "choose_split", "merge_is_blocked"]
+
+
+def choose_split(
+    grid: CellGrid,
+    leaf: CellId,
+    count: int,
+    users: set[object],
+    point_of: Callable[[object], Point],
+    profile_of: Callable[[object], PrivacyProfile],
+) -> tuple[dict[CellId, set[object]], CellId] | None:
+    """Section 4.2's split criterion as a pure decision function.
+
+    Returns ``(child_users, satisfiable_child)`` when ``leaf`` must
+    split — the user distribution over the four children plus the first
+    child (in :meth:`CellId.children` order) containing a user whose
+    profile that child satisfies — or ``None`` when the leaf stays.
+
+    The result depends only on the *membership* of ``users``, never on
+    its iteration order (the chosen child is the first in a fixed scan
+    order with *any* satisfied user), so single-shard and sharded
+    maintenance reach byte-identical cuts.  Shared by
+    :class:`AdaptiveAnonymizer` and the sharded adaptive core.
+    """
+    if not users:
+        return None
+    child_area = grid.cell_area(leaf.level + 1)
+    # Cheap gate via the most relaxed user: if even the minimum
+    # requirements in this cell rule out level i+1, skip the exact check.
+    min_a = min(profile_of(u).a_min for u in users)
+    min_k = min(profile_of(u).k for u in users)
+    if child_area < min_a - 1e-15 or count < min_k:
+        return None
+    # Exact check: distribute users over the four children and test each
+    # user against the child that would contain them.
+    child_users: dict[CellId, set[object]] = {c: set() for c in leaf.children()}
+    for uid in users:
+        child_users[grid.cell_of(point_of(uid), leaf.level + 1)].add(uid)
+    for child, members in child_users.items():
+        for uid in members:
+            if profile_of(uid).is_satisfied_by(len(members), child_area):
+                return child_users, child
+    return None
+
+
+def merge_is_blocked(
+    child_area: float,
+    child_stats: Sequence[tuple[int, Iterable[object]]],
+    profile_of: Callable[[object], PrivacyProfile],
+) -> bool:
+    """Section 4.2's merge blocker: a sibling-leaf group must stay split
+    while any user in any child has a profile that child satisfies.
+    Shared by :class:`AdaptiveAnonymizer` and the sharded adaptive core.
+    """
+    for count, users in child_stats:
+        for uid in users:
+            if profile_of(uid).is_satisfied_by(count, child_area):
+                return True
+    return False
 
 
 @dataclass
@@ -248,35 +307,14 @@ class AdaptiveAnonymizer:
             entry = self._cells.get(leaf)
             if entry is None or not entry.is_leaf or leaf.level >= self.height:
                 return
-            if not entry.users:
+            decision = choose_split(
+                self.grid, leaf, entry.count, entry.users,
+                lambda u: self._users[u].point,
+                lambda u: self._users[u].profile,
+            )
+            if decision is None:
                 return
-            child_area = self.grid.cell_area(leaf.level + 1)
-            # Cheap gate via the most relaxed user: if even the minimum
-            # requirements in this cell rule out level i+1, skip the
-            # exact check.
-            min_a = min(self._users[u].profile.a_min for u in entry.users)
-            min_k = min(self._users[u].profile.k for u in entry.users)
-            if child_area < min_a - 1e-15 or entry.count < min_k:
-                return
-            # Exact check: distribute users over the four children and
-            # test each user against the child that would contain them.
-            child_users: dict[CellId, set[object]] = {
-                c: set() for c in leaf.children()
-            }
-            for uid in entry.users:
-                child = self.grid.cell_of(self._users[uid].point, leaf.level + 1)
-                child_users[child].add(uid)
-            satisfiable = None
-            for child, members in child_users.items():
-                for uid in members:
-                    profile = self._users[uid].profile
-                    if profile.is_satisfied_by(len(members), child_area):
-                        satisfiable = child
-                        break
-                if satisfiable is not None:
-                    break
-            if satisfiable is None:
-                return
+            child_users, satisfiable = decision
             self._split(leaf, child_users)
             # A fresh leaf may itself be splittable; continue there.
             leaf = satisfiable
@@ -312,12 +350,12 @@ class AdaptiveAnonymizer:
             child_area = self.grid.cell_area(leaf.level)
             # A child level is still needed if any user in any child has
             # a profile that child satisfies.
-            for child, entry in zip(children, entries):
-                for uid in entry.users:
-                    if self._users[uid].profile.is_satisfied_by(
-                        entry.count, child_area
-                    ):
-                        return
+            if merge_is_blocked(
+                child_area,
+                [(entry.count, entry.users) for entry in entries],
+                lambda u: self._users[u].profile,
+            ):
+                return
             merged_users: set[object] = set()
             for entry in entries:
                 merged_users |= entry.users

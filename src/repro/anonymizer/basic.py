@@ -14,7 +14,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.anonymizer.cache import CloakCache
-from repro.anonymizer.cells import CellGrid, CellId
+from repro.anonymizer.cells import CellGrid, CellId, branch_pairs
 from repro.anonymizer.cloak import CloakedRegion
 from repro.anonymizer.profile import PrivacyProfile
 from repro.anonymizer.stats import MaintenanceStats
@@ -150,16 +150,13 @@ class BasicAnonymizer:
         # ancestor of the old and new lowest-level cells.
         ancestor_level = self.grid.common_ancestor_level(record.cell, new_cell)
         cost = 0
-        old, new = record.cell, new_cell
-        for level in range(record.cell.level, ancestor_level, -1):
+        for old, new in branch_pairs(record.cell, new_cell, ancestor_level):
+            level = old.level
             self._counts[level][old.ix, old.iy] -= 1
             self._counts[level][new.ix, new.iy] += 1
             self._gens[level][old.ix, old.iy] += 1
             self._gens[level][new.ix, new.iy] += 1
             cost += 2
-            if level - 1 > ancestor_level:
-                old = old.parent()
-                new = new.parent()
         record.cell = new_cell
         self._epoch += 1
         self.stats.counter_updates += cost

@@ -33,10 +33,17 @@ from repro.anonymizer.cloak import CloakedRegion, bottom_up_cloak
 from repro.anonymizer.profile import PrivacyProfile
 from repro.observability import runtime as _telemetry
 
-__all__ = ["CloakCache"]
+__all__ = ["CloakCache", "Epoch"]
 
 CountFn = Callable[[CellId], int]
 GenFn = Callable[[CellId], int]
+
+# Single-shard anonymizers use a plain integer mutation epoch; the
+# sharded runtime passes a composite ``(shard epoch, boundary epoch)``
+# tuple so a mutation confined to one shard does not evict the fast
+# path of every other shard's cache.  The cache only ever compares
+# epochs for equality, so any equatable value works.
+Epoch = int | tuple[int, int]
 
 
 class _Entry:
@@ -46,7 +53,7 @@ class _Entry:
         self,
         region: CloakedRegion,
         snapshot: tuple[tuple[CellId, int], ...],
-        epoch: int,
+        epoch: int | tuple[int, int],
     ) -> None:
         self.region = region
         self.snapshot = snapshot
@@ -86,7 +93,7 @@ class CloakCache:
         grid: CellGrid,
         count: CountFn,
         gen: GenFn,
-        epoch: int,
+        epoch: int | tuple[int, int],
         profile: PrivacyProfile,
         start: CellId,
     ) -> CloakedRegion:

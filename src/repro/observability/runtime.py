@@ -57,6 +57,12 @@ __all__ = [
     "note_fallback_cloak",
     "record_recovery",
     "note_recovery",
+    "record_shard_cloak",
+    "note_shard_cloak",
+    "record_shard_op",
+    "note_shard_op",
+    "record_shard_occupancy",
+    "note_shard_occupancy",
 ]
 
 
@@ -383,6 +389,72 @@ def note_recovery(kind: str) -> None:
     obs = _active
     if obs is not None:
         record_recovery(obs, kind)
+
+
+def record_shard_cloak(obs: Observability, shard: int, route: str) -> None:
+    """One cloak served by a shard, by routing outcome.  ``route`` is
+    ``local`` (settled strictly below the block level), ``boundary``
+    (settled on block roots — sibling reads may have crossed shards
+    through the spine) or ``spine`` (escalated above the block level).
+    Labels carry the shard *id* only — never a cell or coordinate."""
+    m = obs.metrics
+    key = ("shard_cloak", shard, route)
+    handle = m.handle_cache.get(key)
+    if handle is None:
+        handle = m.counter(
+            "casper_shard_cloaks_total",
+            (("shard", str(shard)), ("route", route)),
+            help="cloaks served per shard, by spine-routing outcome",
+        )
+        m.handle_cache[key] = handle
+    handle.inc()
+
+
+def note_shard_cloak(shard: int, route: str) -> None:
+    """Null-safe :func:`record_shard_cloak` — a no-op while disabled."""
+    obs = _active
+    if obs is not None:
+        record_shard_cloak(obs, shard, route)
+
+
+def record_shard_op(obs: Observability, shard: int, op: str) -> None:
+    """One maintenance operation routed to a shard (``op``: ``register``
+    / ``deregister`` / ``update`` / ``rehome`` / ``restore``)."""
+    m = obs.metrics
+    key = ("shard_op", shard, op)
+    handle = m.handle_cache.get(key)
+    if handle is None:
+        handle = m.counter(
+            "casper_shard_ops_total",
+            (("shard", str(shard)), ("op", op)),
+            help="maintenance operations routed per shard, by kind",
+        )
+        m.handle_cache[key] = handle
+    handle.inc()
+
+
+def note_shard_op(shard: int, op: str) -> None:
+    """Null-safe :func:`record_shard_op` — a no-op while disabled."""
+    obs = _active
+    if obs is not None:
+        record_shard_op(obs, shard, op)
+
+
+def record_shard_occupancy(obs: Observability, occupancy: list[int]) -> None:
+    """Instantaneous per-shard population (user counts only — the shard
+    id is the sole label, bounded by the fleet size)."""
+    for shard, users in enumerate(occupancy):
+        obs.metrics.gauge(
+            "casper_shard_users", (("shard", str(shard)),),
+            help="registered users homed per shard",
+        ).set(float(users))
+
+
+def note_shard_occupancy(occupancy: list[int]) -> None:
+    """Null-safe :func:`record_shard_occupancy` — a no-op while disabled."""
+    obs = _active
+    if obs is not None:
+        record_shard_occupancy(obs, occupancy)
 
 
 def record_monitor_flush(

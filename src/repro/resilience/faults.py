@@ -46,6 +46,7 @@ FAULT_KINDS = (
     "reorder",
     "corrupt",
     "crash",
+    "shard_crash",
     "state_loss",
 )
 
@@ -61,7 +62,10 @@ class FaultPlan:
     snapshot) every that-many guarded operations, ``lose_user`` is the
     per-operation probability that the anonymizer silently loses the
     operating user's state (detected at the next cloak, healed by the
-    client's self-describing update).
+    client's self-describing update).  ``shard_crash_period > 0``
+    crashes a *single* randomly drawn shard of a sharded anonymizer
+    every that-many guarded operations (survivor shards keep answering;
+    an unsharded anonymizer degenerates it to a whole-process crash).
     """
 
     name: str = "custom"
@@ -74,6 +78,7 @@ class FaultPlan:
     corrupt: float = 0.0
     crash_period: int = 0
     lose_user: float = 0.0
+    shard_crash_period: int = 0
 
     def __post_init__(self) -> None:
         for f in ("drop", "duplicate", "delay", "reorder", "corrupt", "lose_user"):
@@ -84,6 +89,8 @@ class FaultPlan:
             raise ValueError("delay_ticks must be >= 1")
         if self.crash_period < 0:
             raise ValueError("crash_period must be >= 0")
+        if self.shard_crash_period < 0:
+            raise ValueError("shard_crash_period must be >= 0")
 
     @property
     def is_quiet(self) -> bool:
@@ -92,7 +99,11 @@ class FaultPlan:
             self.drop, self.duplicate, self.delay,
             self.reorder, self.corrupt, self.lose_user,
         )
-        return worst <= 0.0 and self.crash_period == 0
+        return (
+            worst <= 0.0
+            and self.crash_period == 0
+            and self.shard_crash_period == 0
+        )
 
     def with_seed(self, seed: int) -> "FaultPlan":
         """The same failure model on a different random stream."""
@@ -139,23 +150,27 @@ class Delivery:
 class FaultInjector:
     """Stateful executor of a :class:`FaultPlan`.
 
-    Three independent child RNG streams (wire decisions, crash schedule
-    jitter-free counter, state-loss draws) are spawned from the plan's
-    seed so adding wire traffic does not perturb crash timing and vice
-    versa.  Every decision appends to :attr:`trace`; the canonical JSON
-    of the trace is the determinism witness.
+    Four independent child RNG streams (wire decisions, crash schedule
+    jitter-free counter, state-loss draws, shard-victim draws) are
+    spawned from the plan's seed so adding wire traffic does not perturb
+    crash timing and vice versa (child streams depend only on their
+    index, so the original three are unchanged by the fourth).  Every
+    decision appends to :attr:`trace`; the canonical JSON of the trace
+    is the determinism witness.
     """
 
     def __init__(self, plan: FaultPlan) -> None:
         self.plan = plan
-        wire_rng, state_rng, backoff_rng = spawn_rngs(plan.seed, 3)
+        wire_rng, state_rng, backoff_rng, shard_rng = spawn_rngs(plan.seed, 4)
         self._wire_rng = wire_rng
         self._state_rng = state_rng
         #: Reserved for retry-jitter draws so backoff schedules share the
         #: plan's determinism without consuming wire/state stream draws.
         self.backoff_rng = backoff_rng
+        self._shard_rng = shard_rng
         self._channels: dict[str, _Channel] = {}
         self._ops = 0
+        self._shard_ops = 0
         self.trace: list[FaultEvent] = []
         self.counts: dict[str, int] = {kind: 0 for kind in FAULT_KINDS}
 
@@ -245,6 +260,27 @@ class FaultInjector:
             self._record("crash", "anonymizer", f"op {self._ops}")
             return True
         return False
+
+    def next_shard_op(self, num_shards: int) -> int | None:
+        """Advance the shard-crash schedule; the victim shard id when a
+        single-shard crash fires now, else ``None``.
+
+        The victim is drawn from the dedicated shard stream, so wire
+        and whole-crash schedules are unperturbed by shard crashes.
+        """
+        if self.plan.shard_crash_period <= 0:
+            self._shard_ops += 1
+            return None
+        self._shard_ops += 1
+        if self._shard_ops % self.plan.shard_crash_period == 0:
+            victim = int(self._shard_rng.integers(num_shards))
+            self._record(
+                "shard_crash",
+                "anonymizer",
+                f"shard {victim} op {self._shard_ops}",
+            )
+            return victim
+        return None
 
     def should_lose_user(self) -> bool:
         """Draw the per-operation state-loss decision."""

@@ -53,6 +53,8 @@ class ChaosWorkload:
     continuous_queries: int = 6
     #: Steps between monitor flushes.
     flush_every: int = 40
+    #: Anonymizer shard count (1 = the single-pyramid implementations).
+    shards: int = 1
 
     def __post_init__(self) -> None:
         if self.users < 2 or self.targets < 1 or self.steps < 1:
@@ -63,6 +65,8 @@ class ChaosWorkload:
             raise ValueError("more continuous queries than users")
         if self.flush_every < 1:
             raise ValueError("flush_every must be >= 1")
+        if self.shards < 1:
+            raise ValueError("shards must be >= 1")
 
 
 @dataclass(frozen=True, slots=True)
@@ -161,6 +165,7 @@ def _build_deployment(
         pyramid_height=workload.pyramid_height,
         anonymizer=workload.anonymizer,  # type: ignore[arg-type]
         resilience=runtime,
+        shards=workload.shards,
     )
     clients = {
         uid: MobileClient(casper, uid, point, profile)
@@ -299,6 +304,7 @@ def run_chaos(
             "pyramid_height": workload.pyramid_height,
             "continuous_queries": workload.continuous_queries,
             "flush_every": workload.flush_every,
+            "shards": workload.shards,
         },
         runtime=runtime.report(),
         slo=slo,

@@ -1,108 +1,16 @@
-"""Wire format for the client → anonymizer location-update channel.
-
-Mirrors the 64-byte discipline of ``repro.server.codec`` (one logical
-record = 64 bytes, so the Figure 17 transmission model prices update
-traffic the same way it prices candidate records), but lives on the
-*trusted* side: an update carries the user's exact location, which per
-the system model may travel only between the mobile device and the
-location anonymizer.
-
-Record layout (little-endian, 64 bytes)::
-
-    ========  =====  ==========================================
-    offset    size   field
-    ========  =====  ==========================================
-    0         4      magic ``b"CUPD"``
-    4         2      format version (currently 1)
-    6         2      flags (reserved, 0)
-    8         4      sequence number (uint32, per-user, monotone)
-    12        20     user id, UTF-8, NUL-padded
-    32        16     x, y as f64
-    48        4      profile k (uint32)
-    52        8      profile A_min as f64
-    60        4      CRC-32 of bytes [0, 60)
-    ========  =====  ==========================================
-
-The trailing CRC makes *any* single-byte corruption detectable, so a
-flipped coordinate can never be silently applied — the receiver rejects
-the record and the client's retry loop re-sends it.  The update is
-self-describing (it carries the privacy profile), which is what lets an
-anonymizer that lost a user's state re-register them from the next
-update alone — the crash-recovery heal path.
+"""Re-export shim: the location-update wire format now lives in
+:mod:`repro.messages` (one home for every cross-plane message type,
+including the shard-routing envelope).  Import from there in new code;
+this module stays for compatibility.
 """
 
 from __future__ import annotations
 
-import struct
-import zlib
-from dataclasses import dataclass
-
-from repro.anonymizer import PrivacyProfile
-from repro.geometry import Point
+from repro.messages import (
+    UPDATE_RECORD_SIZE,
+    LocationUpdate,
+    decode_update,
+    encode_update,
+)
 
 __all__ = ["UPDATE_RECORD_SIZE", "LocationUpdate", "encode_update", "decode_update"]
-
-UPDATE_RECORD_SIZE = 64
-_MAGIC = b"CUPD"
-_VERSION = 1
-_STRUCT = struct.Struct("<4sHHI20sddIdI")
-assert _STRUCT.size == UPDATE_RECORD_SIZE
-_CRC_OFFSET = UPDATE_RECORD_SIZE - 4
-
-
-@dataclass(frozen=True, slots=True)
-class LocationUpdate:
-    """One location report from a mobile client."""
-
-    uid: str
-    seq: int
-    point: Point
-    profile: PrivacyProfile
-
-
-def encode_update(update: LocationUpdate) -> bytes:
-    """Serialize one location update to exactly 64 bytes."""
-    uid_bytes = update.uid.encode("utf-8")
-    if len(uid_bytes) > 20:
-        raise ValueError(
-            f"user id too long for the update wire format: {update.uid!r}"
-        )
-    if not 0 <= update.seq < 2**32:
-        raise ValueError(f"sequence number out of uint32 range: {update.seq}")
-    body = _STRUCT.pack(
-        _MAGIC,
-        _VERSION,
-        0,
-        update.seq,
-        uid_bytes,
-        update.point.x,
-        update.point.y,
-        update.profile.k,
-        update.profile.a_min,
-        0,
-    )
-    crc = zlib.crc32(body[:_CRC_OFFSET])
-    return body[:_CRC_OFFSET] + struct.pack("<I", crc)
-
-
-def decode_update(payload: bytes) -> LocationUpdate:
-    """Deserialize and *verify* one update record.
-
-    Raises ``ValueError`` on any length, magic, version or CRC mismatch
-    — a corrupted update is rejected, never partially applied.
-    """
-    if len(payload) != UPDATE_RECORD_SIZE:
-        raise ValueError(
-            f"update record must be {UPDATE_RECORD_SIZE} bytes, got {len(payload)}"
-        )
-    magic, version, _flags, seq, uid_bytes, x, y, k, a_min, crc = _STRUCT.unpack(
-        payload
-    )
-    if magic != _MAGIC:
-        raise ValueError("bad update-record magic")
-    if version != _VERSION:
-        raise ValueError(f"unsupported update-record version {version}")
-    if crc != zlib.crc32(payload[:_CRC_OFFSET]):
-        raise ValueError("update record failed its CRC check (corrupt payload)")
-    uid = uid_bytes.rstrip(b"\x00").decode("utf-8")
-    return LocationUpdate(uid, seq, Point(x, y), PrivacyProfile(k, a_min))

@@ -50,13 +50,19 @@ from repro.resilience.faults import Delivery, FaultInjector, FaultPlan
 from repro.resilience.messages import LocationUpdate, decode_update, encode_update
 from repro.resilience.retry import RetryPolicy
 from repro.server.codec import decode_candidate_list, encode_candidate_list
+from repro.sharding import ShardedAdaptiveAnonymizer, ShardedBasicAnonymizer
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.server.casper import Casper
 
 __all__ = ["ResilienceConfig", "ResilienceRuntime", "Emission"]
 
-Anonymizer = Union[BasicAnonymizer, AdaptiveAnonymizer]
+Anonymizer = Union[
+    BasicAnonymizer,
+    AdaptiveAnonymizer,
+    ShardedBasicAnonymizer,
+    ShardedAdaptiveAnonymizer,
+]
 
 #: Integer counters a runtime maintains (``report()`` exports them all).
 COUNTER_NAMES = (
@@ -67,6 +73,8 @@ COUNTER_NAMES = (
     "duplicates_ignored",
     "corrupt_rejected",
     "recoveries",
+    "shard_recoveries",
+    "users_purged",
     "fallback_cloaks",
     "degraded_operations",
 )
@@ -133,6 +141,10 @@ class _Ack:
 class _Snapshot:
     state: object
     applied_seq: dict[str, int] = field(default_factory=dict)
+    #: Per-shard deep copies (sharded anonymizers under a plan with
+    #: ``shard_crash_period > 0`` only) — captured in the same pass as
+    #: ``state``, so the fleet and its shards roll back as one unit.
+    shard_states: tuple[object, ...] | None = None
 
 
 class ResilienceRuntime:
@@ -200,16 +212,32 @@ class ResilienceRuntime:
         injector = self.injector
         if injector.next_op():
             self._restore()
-        elif uid is not None and injector.should_lose_user():
-            self._lose_user(uid)
+        else:
+            victim = injector.next_shard_op(self._num_shards())
+            if victim is not None:
+                self._crash_shard(victim)
+            elif uid is not None and injector.should_lose_user():
+                self._lose_user(uid)
         self._ops += 1
         self._ops_since_snapshot += 1
         if self._ops_since_snapshot >= self.config.snapshot_every:
             self._take_snapshot()
 
+    def _num_shards(self) -> int:
+        return getattr(self.anonymizer, "num_shards", 1)
+
     def _take_snapshot(self) -> None:
+        anonymizer = self.anonymizer
+        shard_states: tuple[object, ...] | None = None
+        if self.plan.shard_crash_period > 0 and hasattr(
+            anonymizer, "snapshot_shard"
+        ):
+            shard_states = tuple(
+                anonymizer.snapshot_shard(shard)
+                for shard in range(self._num_shards())
+            )
         self._snapshot = _Snapshot(
-            self.anonymizer.snapshot(), dict(self._applied_seq)
+            anonymizer.snapshot(), dict(self._applied_seq), shard_states
         )
         self._ops_since_snapshot = 0
 
@@ -225,6 +253,46 @@ class ResilienceRuntime:
         self.counters["recoveries"] += 1
         _telemetry.note_fault("crash", "anonymizer")
         _telemetry.note_recovery("restore")
+
+    def _crash_shard(self, victim: int) -> None:
+        """Single-shard crash: restore only the victim shard from the
+        latest snapshot, keep every survivor's live state.
+
+        The victim's surviving users roll their sequence entries back to
+        the snapshot's values (their anonymizer state rolled back with
+        them, so post-snapshot updates must be re-appliable); users the
+        restore *purged* — registered or rehomed into the victim after
+        the snapshot — lose their sequence entries entirely and heal via
+        re-registration from their next self-describing update.  An
+        unsharded anonymizer has no shard boundary to contain the blast
+        radius, so the fault degenerates to a whole-process crash.
+        """
+        snapshot = self._snapshot
+        anonymizer = self.anonymizer
+        if snapshot is None:  # pragma: no cover - attach() always snapshots
+            raise RuntimeError("shard crash before the initial snapshot")
+        if snapshot.shard_states is None or not hasattr(
+            anonymizer, "restore_shard"
+        ):
+            self._restore()
+            return
+        purged = anonymizer.restore_shard(
+            victim, snapshot.shard_states[victim]
+        )
+        for uid in purged:
+            self._applied_seq.pop(uid, None)
+        self.counters["users_purged"] += len(purged)
+        shard_of_user = anonymizer.shard_of_user
+        for uid in list(self._applied_seq):
+            if uid in anonymizer and shard_of_user(uid) == victim:
+                rolled_back = snapshot.applied_seq.get(uid)
+                if rolled_back is None:
+                    self._applied_seq.pop(uid)
+                else:
+                    self._applied_seq[uid] = rolled_back
+        self.counters["shard_recoveries"] += 1
+        _telemetry.note_fault("shard_crash", "anonymizer")
+        _telemetry.note_recovery("shard_restore")
 
     def _lose_user(self, uid: object) -> None:
         """Silent state loss: the anonymizer forgets one user entirely.

@@ -13,7 +13,11 @@ The three the CI ``resilience`` job gates on every push:
   state loss: exercises snapshot restore, the sequence-table rollback
   and the heal-by-update path;
 * ``reorder`` — delays, reorders and duplicates: exercises the held-
-  message release machinery and sequence-number deduplication.
+  message release machinery and sequence-number deduplication;
+* ``shard-crash`` — periodic single-shard crashes with light message
+  loss: exercises per-shard snapshot restore, survivor availability and
+  the purge-then-re-register heal path (run with a sharded workload;
+  unsharded deployments degenerate it to whole-process crashes).
 """
 
 from __future__ import annotations
@@ -40,6 +44,12 @@ SCENARIOS: dict[str, FaultPlan] = {
         ),
         FaultPlan(name="corrupt-wire", seed=19, corrupt=0.15, drop=0.05),
         FaultPlan(
+            name="shard-crash",
+            seed=29,
+            shard_crash_period=35,
+            drop=0.05,
+        ),
+        FaultPlan(
             name="flaky-everything",
             seed=23,
             drop=0.10,
@@ -55,7 +65,7 @@ SCENARIOS: dict[str, FaultPlan] = {
 }
 
 #: The subset every push's CI ``resilience`` job runs.
-CI_SCENARIOS = ("drop-heavy", "crash-restart", "reorder")
+CI_SCENARIOS = ("drop-heavy", "crash-restart", "reorder", "shard-crash")
 
 
 def get_scenario(name: str, seed: int | None = None) -> FaultPlan:

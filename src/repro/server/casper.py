@@ -37,6 +37,14 @@ from repro.processor import (
     OverlapPolicy,
     RangeCountResult,
 )
+# Justified CSP001 suppression: the sharded runtime is the same trusted
+# anonymizer role, partitioned — it exists only on the trusted side and
+# the facade hands the server cloaks only (see the import above).
+from repro.sharding import (  # casperlint: ignore[CSP001] trusted facade
+    ShardedAdaptiveAnonymizer,
+    ShardedBasicAnonymizer,
+    make_sharded,
+)
 from repro.server.database import LocationServer
 from repro.server.messages import PrivateQueryResult
 from repro.server.network import TransmissionModel
@@ -54,6 +62,20 @@ __all__ = ["Casper"]
 
 AnonymizerKind = Literal["basic", "adaptive"]
 
+AnonymizerLike = (
+    BasicAnonymizer
+    | AdaptiveAnonymizer
+    | ShardedBasicAnonymizer
+    | ShardedAdaptiveAnonymizer
+)
+
+_ANONYMIZER_TYPES = (
+    BasicAnonymizer,
+    AdaptiveAnonymizer,
+    ShardedBasicAnonymizer,
+    ShardedAdaptiveAnonymizer,
+)
+
 
 class Casper:
     """End-to-end Casper deployment over one service area."""
@@ -62,21 +84,34 @@ class Casper:
         self,
         bounds: Rect,
         pyramid_height: int = 9,
-        anonymizer: AnonymizerKind | BasicAnonymizer | AdaptiveAnonymizer = "adaptive",
+        anonymizer: AnonymizerKind | AnonymizerLike = "adaptive",
         server: LocationServer | None = None,
         transmission: TransmissionModel | None = None,
         resilience: "ResilienceRuntime | None" = None,
+        shards: int = 1,
     ) -> None:
-        if isinstance(anonymizer, (BasicAnonymizer, AdaptiveAnonymizer)):
+        # Routing seam: `shards > 1` swaps the single-pyramid anonymizer
+        # for the sharded runtime, which is byte-for-byte equivalent —
+        # every facade path below is unchanged.
+        if isinstance(anonymizer, _ANONYMIZER_TYPES):
             if anonymizer.bounds != bounds:
                 raise ValueError(
                     "anonymizer instance bounds differ from the service area"
                 )
+            if shards != 1 and getattr(anonymizer, "num_shards", 1) != shards:
+                raise ValueError(
+                    "anonymizer instance shard count differs from `shards`"
+                )
             self.anonymizer = anonymizer
-        elif anonymizer == "basic":
-            self.anonymizer = BasicAnonymizer(bounds, pyramid_height)
-        elif anonymizer == "adaptive":
-            self.anonymizer = AdaptiveAnonymizer(bounds, pyramid_height)
+        elif anonymizer in ("basic", "adaptive"):
+            if shards > 1:
+                self.anonymizer = make_sharded(
+                    bounds, pyramid_height, num_shards=shards, kind=anonymizer
+                )
+            elif anonymizer == "basic":
+                self.anonymizer = BasicAnonymizer(bounds, pyramid_height)
+            else:
+                self.anonymizer = AdaptiveAnonymizer(bounds, pyramid_height)
         else:
             raise ValueError(f"unknown anonymizer kind {anonymizer!r}")
         self.server = server if server is not None else LocationServer()
@@ -95,6 +130,20 @@ class Casper:
     @property
     def bounds(self) -> Rect:
         return self.anonymizer.bounds
+
+    @property
+    def num_shards(self) -> int:
+        """Shard count of the trusted anonymizer (1 when unsharded)."""
+        return getattr(self.anonymizer, "num_shards", 1)
+
+    def shard_of(self, uid: object) -> int:
+        """The shard homing ``uid`` (always 0 when unsharded)."""
+        shard_of_user = getattr(self.anonymizer, "shard_of_user", None)
+        if shard_of_user is None:
+            if uid not in self.anonymizer:
+                raise UnknownUserError(uid)
+            return 0
+        return int(shard_of_user(uid))
 
     # ------------------------------------------------------------------
     # User lifecycle (through the anonymizer)

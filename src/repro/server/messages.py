@@ -1,41 +1,10 @@
-"""Result records for end-to-end query interactions.
-
-``PrivateQueryResult`` carries the Figure 17 decomposition: time spent
-at the location anonymizer, at the privacy-aware query processor, and in
-candidate-list transmission, together with the candidate list itself and
-the exact answer the client computed locally.
+"""Re-export shim: query-result records now live in
+:mod:`repro.messages` (one home for every cross-plane message type).
+Import from there in new code; this module stays for compatibility.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
-from repro.anonymizer import CloakedRegion
-from repro.processor import CandidateList
+from repro.messages import PrivateQueryResult
 
 __all__ = ["PrivateQueryResult"]
-
-
-@dataclass(frozen=True)
-class PrivateQueryResult:
-    """One private query's full round trip."""
-
-    cloak: CloakedRegion
-    candidates: CandidateList
-    answer: object
-    anonymizer_seconds: float
-    processing_seconds: float
-    transmission_seconds: float
-
-    @property
-    def total_seconds(self) -> float:
-        """End-to-end time (the Figure 17 stack height)."""
-        return (
-            self.anonymizer_seconds
-            + self.processing_seconds
-            + self.transmission_seconds
-        )
-
-    @property
-    def candidate_count(self) -> int:
-        return len(self.candidates)

@@ -1,0 +1,58 @@
+"""Sharded anonymizer runtime (deterministic spatial partitioning).
+
+Partitions the Casper grid pyramid across ``N`` shard-owned subtrees
+behind a :class:`~repro.sharding.router.ShardRouter`: the top of the
+pyramid (levels above the block level) is a replicated spine, every
+deeper cell is owned by exactly one shard.  The sharded anonymizers
+implement the exact interface of
+:class:`~repro.anonymizer.basic.BasicAnonymizer` /
+:class:`~repro.anonymizer.adaptive.AdaptiveAnonymizer` and are
+**byte-for-byte equivalent** to them for any shard count — cloaks,
+candidate lists, and maintenance statistics are identical; sharding
+changes only where state lives and which caches a mutation invalidates.
+
+See ``docs/sharding.md`` for the partitioning scheme, the composite
+cache-epoch rule, and the per-shard crash/heal protocol.
+"""
+
+from __future__ import annotations
+
+from repro.geometry import Rect
+from repro.sharding.adaptive import ShardedAdaptiveAnonymizer
+from repro.sharding.basic import ShardedBasicAnonymizer
+from repro.sharding.router import ShardRouter, morton_cell, morton_rank
+
+__all__ = [
+    "ShardRouter",
+    "ShardedAdaptiveAnonymizer",
+    "ShardedAnonymizer",
+    "ShardedBasicAnonymizer",
+    "make_sharded",
+    "morton_cell",
+    "morton_rank",
+]
+
+ShardedAnonymizer = ShardedBasicAnonymizer | ShardedAdaptiveAnonymizer
+"""Union of the sharded anonymizer implementations."""
+
+
+def make_sharded(
+    bounds: Rect,
+    height: int = 9,
+    num_shards: int = 1,
+    kind: str = "basic",
+    cloak_cache_size: int = 8192,
+) -> ShardedAnonymizer:
+    """Build a sharded anonymizer of the requested ``kind``
+    (``"basic"`` or ``"adaptive"``)."""
+    if kind == "basic":
+        return ShardedBasicAnonymizer(
+            bounds, height=height, num_shards=num_shards,
+            cloak_cache_size=cloak_cache_size,
+        )
+    if kind == "adaptive":
+        return ShardedAdaptiveAnonymizer(
+            bounds, height=height, num_shards=num_shards,
+            cloak_cache_size=cloak_cache_size,
+        )
+    raise ValueError(f"unknown anonymizer kind {kind!r}")

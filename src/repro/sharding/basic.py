@@ -1,0 +1,454 @@
+"""Sharded complete-pyramid anonymizer (basic variant).
+
+Implements the exact :class:`~repro.anonymizer.basic.BasicAnonymizer`
+interface over ``N`` shard cores and a shared spine: every pyramid
+counter lives in exactly one place (the owning core for levels
+``>= S``, the spine for levels ``< S``), every user record lives in the
+core owning their lowest-level cell, and a directory maps each uid to
+its home shard.  The spine is maintained *eagerly* — each update walks
+the same cells, in the same order, with the same cost accounting as the
+single-pyramid implementation — which is how the byte-for-byte cloak
+equivalence across shard counts is achieved rather than approximated:
+Algorithm 1 sees identical counters no matter how they are partitioned.
+
+What sharding buys is *invalidation locality*, not fewer counter
+writes: a location update confined to one shard's blocks bumps only
+that shard's epoch, so every other shard keeps serving memoized cloaks
+through the single-probe epoch fast path (see
+:mod:`repro.sharding.core`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.anonymizer.basic import _UserRecord
+from repro.anonymizer.cache import CloakCache
+from repro.anonymizer.cells import CellGrid, CellId, branch_pairs
+from repro.anonymizer.cloak import CloakedRegion
+from repro.anonymizer.profile import PrivacyProfile
+from repro.anonymizer.stats import MaintenanceStats
+from repro.errors import DuplicateUserError, UnknownUserError
+from repro.geometry import Point, Rect
+from repro.observability import runtime as _telemetry
+from repro.sharding.core import BasicShardCore, SpineState
+from repro.sharding.router import ShardRouter
+from repro.utils.timer import monotonic
+
+__all__ = ["ShardedBasicAnonymizer"]
+
+
+@dataclass(frozen=True)
+class _CoreSnapshot:
+    """Deep copy of one shard core's population state."""
+
+    counts: dict[CellId, int]
+    users: dict[object, _UserRecord]
+
+
+@dataclass(frozen=True)
+class _FleetSnapshot:
+    """Atomic deep copy of the whole fleet (all cores + spine +
+    directory), taken in one call so no cross-shard move can straddle
+    it."""
+
+    cores: tuple[_CoreSnapshot, ...]
+    spine_counts: dict[CellId, int]
+    directory: dict[object, int]
+
+
+def _copy_core(core: BasicShardCore) -> _CoreSnapshot:
+    return _CoreSnapshot(
+        counts=dict(core.counts),
+        users={
+            uid: _UserRecord(rec.profile, rec.point, rec.cell)
+            for uid, rec in core.users.items()
+        },
+    )
+
+
+class ShardedBasicAnonymizer:
+    """Complete-pyramid anonymizer partitioned across ``num_shards``."""
+
+    kind = "basic"
+
+    def __init__(
+        self,
+        bounds: Rect,
+        height: int = 9,
+        num_shards: int = 1,
+        cloak_cache_size: int = 8192,
+    ) -> None:
+        self.grid = CellGrid(bounds, height)
+        self.stats = MaintenanceStats()
+        self.router = ShardRouter(num_shards, height)
+        self._spine = SpineState(cache=CloakCache(cloak_cache_size))
+        self._cores = [
+            BasicShardCore(index=i, cache=CloakCache(cloak_cache_size))
+            for i in range(num_shards)
+        ]
+        self._directory: dict[object, int] = {}
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def bounds(self) -> Rect:
+        return self.grid.bounds
+
+    @property
+    def height(self) -> int:
+        return self.grid.height
+
+    @property
+    def num_shards(self) -> int:
+        return self.router.num_shards
+
+    @property
+    def num_users(self) -> int:
+        return len(self._directory)
+
+    def __contains__(self, uid: object) -> bool:
+        return uid in self._directory
+
+    def shard_of_user(self, uid: object) -> int:
+        """The shard currently homing ``uid`` (the routing seam the
+        server facade exposes)."""
+        try:
+            return self._directory[uid]
+        except KeyError:
+            raise UnknownUserError(uid) from None
+
+    def shard_occupancy(self) -> list[int]:
+        """Registered users homed per shard, indexed by shard id."""
+        return [len(core.users) for core in self._cores]
+
+    def cache_stats(self) -> dict[str, int]:
+        """Aggregate cloak-cache traffic across all cores + spine."""
+        caches = [core.cache for core in self._cores] + [self._spine.cache]
+        return {
+            "hits": sum(c.hits for c in caches),
+            "misses": sum(c.misses for c in caches),
+            "invalidations": sum(c.invalidations for c in caches),
+            "evictions": sum(c.evictions for c in caches),
+        }
+
+    def profile_of(self, uid: object) -> PrivacyProfile:
+        return self._record(uid).profile
+
+    def location_of(self, uid: object) -> Point:
+        return self._record(uid).point
+
+    def cell_count(self, cell: CellId) -> int:
+        """The number of users currently inside ``cell`` (routed to the
+        owning core, or to the spine above the block level)."""
+        if cell.level < self.router.spine_level:
+            return self._spine.counts.get(cell, 0)
+        return self._cores[self.router.shard_of(cell)].counts.get(cell, 0)
+
+    def users_in_rect(self, rect: Rect) -> int:
+        """Exact population of an arbitrary rectangle (verification
+        aid; scans every core)."""
+        return sum(
+            1
+            for core in self._cores
+            for rec in core.users.values()
+            if rect.contains_point(rec.point)
+        )
+
+    def _record(self, uid: object) -> _UserRecord:
+        try:
+            return self._cores[self._directory[uid]].users[uid]
+        except KeyError:
+            raise UnknownUserError(uid) from None
+
+    # ------------------------------------------------------------------
+    # Registration and location updates
+    # ------------------------------------------------------------------
+    def register(self, uid: object, point: Point, profile: PrivacyProfile) -> None:
+        if uid in self._directory:
+            raise DuplicateUserError(uid)
+        cell = self.grid.cell_of(point)
+        shard = self.router.shard_of(cell)
+        self._cores[shard].users[uid] = _UserRecord(profile, point, cell)
+        self._directory[uid] = shard
+        self._apply_delta(cell, +1)
+        self.stats.registrations += 1
+        obs = _telemetry.active()
+        if obs is not None:
+            _telemetry.record_shard_op(obs, shard, "register")
+            _telemetry.record_shard_occupancy(obs, self.shard_occupancy())
+
+    def deregister(self, uid: object) -> None:
+        record = self._record(uid)
+        shard = self._directory[uid]
+        self._apply_delta(record.cell, -1)
+        del self._cores[shard].users[uid]
+        del self._directory[uid]
+        self.stats.deregistrations += 1
+        obs = _telemetry.active()
+        if obs is not None:
+            _telemetry.record_shard_op(obs, shard, "deregister")
+            _telemetry.record_shard_occupancy(obs, self.shard_occupancy())
+
+    def set_profile(self, uid: object, profile: PrivacyProfile) -> None:
+        self._record(uid).profile = profile
+
+    def update(self, uid: object, point: Point) -> int:
+        """Process a location update; returns the number of counter
+        updates it required (identical to the single-pyramid cost)."""
+        record = self._record(uid)
+        shard = self._directory[uid]
+        new_cell = self.grid.cell_of(point)
+        record.point = point
+        self.stats.location_updates += 1
+        if new_cell == record.cell:
+            return 0
+        ancestor_level = self.grid.common_ancestor_level(record.cell, new_cell)
+        cost = 0
+        for old, new in branch_pairs(record.cell, new_cell, ancestor_level):
+            self._bump(old, -1)
+            self._bump(new, +1)
+            cost += 2
+        record.cell = new_cell
+        self._cores[shard].epoch += 1
+        obs = _telemetry.active()
+        if obs is not None:
+            _telemetry.record_shard_op(obs, shard, "update")
+        if self.router.crosses_boundary(ancestor_level):
+            # The move left its level-S block: spine/block-root counts
+            # changed, and the user may need rehoming to another core.
+            self._spine.boundary_epoch += 1
+            new_shard = self.router.shard_of(new_cell)
+            if new_shard != shard:
+                self._cores[new_shard].epoch += 1
+                del self._cores[shard].users[uid]
+                self._cores[new_shard].users[uid] = record
+                self._directory[uid] = new_shard
+                if obs is not None:
+                    _telemetry.record_shard_op(obs, new_shard, "rehome")
+                    _telemetry.record_shard_occupancy(
+                        obs, self.shard_occupancy()
+                    )
+        self.stats.counter_updates += cost
+        self.stats.cell_changes += 1
+        return cost
+
+    def _apply_delta(self, cell: CellId, delta: int) -> None:
+        for ancestor in self.grid.path_to_root(cell):
+            self._bump(ancestor, delta)
+        # Register/deregister paths always reach the root, so boundary
+        # state (levels <= S) always changes.
+        self._cores[self.router.shard_of(cell)].epoch += 1
+        self._spine.boundary_epoch += 1
+        self.stats.counter_updates += cell.level + 1
+
+    def _bump(self, cell: CellId, delta: int) -> None:
+        if cell.level < self.router.spine_level:
+            self._spine.apply(cell, delta)
+        else:
+            self._cores[self.router.shard_of(cell)].apply(cell, delta)
+
+    def _gen_of(self, cell: CellId) -> int:
+        if cell.level < self.router.spine_level:
+            return self._spine.gens.get(cell, 0)
+        return self._cores[self.router.shard_of(cell)].gens.get(cell, 0)
+
+    # ------------------------------------------------------------------
+    # Cloaking
+    # ------------------------------------------------------------------
+    def cloak(self, uid: object) -> CloakedRegion:
+        record = self._record(uid)
+        return self._cloak_cell(record.profile, record.cell, self._directory[uid])
+
+    def cloak_location(self, point: Point, profile: PrivacyProfile) -> CloakedRegion:
+        cell = self.grid.cell_of(point)
+        return self._cloak_cell(profile, cell, self.router.shard_of(cell))
+
+    def _cloak_cell(
+        self, profile: PrivacyProfile, cell: CellId, shard: int
+    ) -> CloakedRegion:
+        self.stats.cloak_requests += 1
+        core = self._cores[shard]
+        epoch = (core.epoch, self._spine.boundary_epoch)
+        obs = _telemetry.active()
+        if obs is None:
+            return core.cache.cloak(
+                self.grid, self.cell_count, self._gen_of, epoch, profile, cell
+            )
+        start = monotonic()
+        region = core.cache.cloak(
+            self.grid, self.cell_count, self._gen_of, epoch, profile, cell
+        )
+        _telemetry.record_cloak(
+            obs, "basic", monotonic() - start, region.area,
+            profile.a_min, region.achieved_k, profile.k,
+        )
+        _telemetry.record_shard_cloak(obs, shard, self._route_of(region))
+        return region
+
+    def _route_of(self, region: CloakedRegion) -> str:
+        settled = min(c.level for c in region.cells)
+        if settled > self.router.spine_level:
+            return "local"
+        if settled == self.router.spine_level:
+            return "boundary"
+        return "spine"
+
+    # ------------------------------------------------------------------
+    # Crash recovery — whole fleet and per shard
+    # ------------------------------------------------------------------
+    def snapshot(self) -> object:
+        """Atomic whole-fleet snapshot (all cores + spine + directory).
+        Generations, epochs and statistics are excluded: monotone
+        observability state, exactly as in the single-pyramid
+        implementations."""
+        return _FleetSnapshot(
+            cores=tuple(_copy_core(core) for core in self._cores),
+            spine_counts=dict(self._spine.counts),
+            directory=dict(self._directory),
+        )
+
+    def restore(self, state: object) -> None:
+        """Replace the whole fleet's population state with a
+        :meth:`snapshot` copy (re-copied, so one snapshot serves many
+        crashes).  Every epoch advances and every cache drops."""
+        if not isinstance(state, _FleetSnapshot):
+            raise TypeError("not a ShardedBasicAnonymizer snapshot")
+        if len(state.cores) != self.num_shards:
+            raise ValueError("snapshot shard count mismatch")
+        for core, snap in zip(self._cores, state.cores):
+            core.counts = dict(snap.counts)
+            core.users = {
+                uid: _UserRecord(rec.profile, rec.point, rec.cell)
+                for uid, rec in snap.users.items()
+            }
+            core.epoch += 1
+            core.cache.clear()
+        self._spine.counts = dict(state.spine_counts)
+        self._spine.boundary_epoch += 1
+        self._spine.cache.clear()
+        self._directory = dict(state.directory)
+
+    def snapshot_shard(self, shard: int) -> object:
+        """Deep copy of one core's population state."""
+        return _copy_core(self._cores[shard])
+
+    def restore_shard(self, shard: int, state: object) -> list[object]:
+        """Restore one crashed core from a :meth:`snapshot_shard` copy,
+        reconciling it with the surviving fleet.
+
+        Users the directory says have since moved *away* are dropped
+        from the restored copy (the destination shard's live record
+        wins); directory entries pointing here with no restored record
+        are purged and returned — those users lost state and heal
+        through the normal re-registration path.  Counters are rebuilt
+        from the surviving records and the spine is recomputed from all
+        cores' block contributions, so fleet-wide invariants hold
+        immediately after the restore.
+        """
+        if not isinstance(state, _CoreSnapshot):
+            raise TypeError("not a ShardedBasicAnonymizer shard snapshot")
+        core = self._cores[shard]
+        users = {
+            uid: _UserRecord(rec.profile, rec.point, rec.cell)
+            for uid, rec in state.users.items()
+            if self._directory.get(uid) == shard
+        }
+        purged = [
+            uid
+            for uid, home in self._directory.items()
+            if home == shard and uid not in users
+        ]
+        for uid in purged:
+            del self._directory[uid]
+        # Rebuild this core's counters from the surviving records.
+        spine_level = self.router.spine_level
+        counts: dict[CellId, int] = {}
+        for rec in users.values():
+            cell = rec.cell
+            while cell.level >= spine_level:
+                counts[cell] = counts.get(cell, 0) + 1
+                if cell.level == 0:
+                    break
+                cell = cell.parent()
+        for cell in set(core.counts) | set(counts):
+            if core.counts.get(cell, 0) != counts.get(cell, 0):
+                core.gens[cell] = core.gens.get(cell, 0) + 1
+        core.counts = counts
+        core.users = users
+        core.epoch += 1
+        core.cache.clear()
+        self._rebuild_spine_counts()
+        self._spine.boundary_epoch += 1
+        obs = _telemetry.active()
+        if obs is not None:
+            _telemetry.record_shard_op(obs, shard, "restore")
+            _telemetry.record_shard_occupancy(obs, self.shard_occupancy())
+        return purged
+
+    def _rebuild_spine_counts(self) -> None:
+        """Recompute spine counts from every core's block populations,
+        bumping generations only where the count actually changed."""
+        new_counts: dict[CellId, int] = {}
+        for core in self._cores:
+            for block in self.router.blocks_of(core.index):
+                population = core.counts.get(block, 0)
+                if not population:
+                    continue
+                cell = block
+                while cell.level > 0:
+                    cell = cell.parent()
+                    new_counts[cell] = new_counts.get(cell, 0) + population
+        for cell in set(self._spine.counts) | set(new_counts):
+            if self._spine.counts.get(cell, 0) != new_counts.get(cell, 0):
+                self._spine.bump_gen(cell)
+        self._spine.counts = new_counts
+
+    # ------------------------------------------------------------------
+    # Diagnostics
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Assert fleet-wide pyramid + partition consistency."""
+        spine_level = self.router.spine_level
+        expected: list[dict[CellId, int]] = [dict() for _ in self._cores]
+        expected_spine: dict[CellId, int] = {}
+        population = 0
+        for shard, core in enumerate(self._cores):
+            for uid, rec in core.users.items():
+                assert self._directory.get(uid) == shard, (
+                    f"directory disagrees with core {shard} about {uid!r}"
+                )
+                assert rec.cell == self.grid.cell_of(rec.point), (
+                    f"stale cell for {uid!r}"
+                )
+                assert self.router.shard_of(rec.cell) == shard, (
+                    f"user {uid!r} homed in the wrong shard"
+                )
+                population += 1
+                for ancestor in self.grid.path_to_root(rec.cell):
+                    if ancestor.level < spine_level:
+                        expected_spine[ancestor] = (
+                            expected_spine.get(ancestor, 0) + 1
+                        )
+                    else:
+                        expected[shard][ancestor] = (
+                            expected[shard].get(ancestor, 0) + 1
+                        )
+        assert population == len(self._directory), "directory population drift"
+        for shard, core in enumerate(self._cores):
+            assert core.counts == expected[shard], (
+                f"shard {shard} counters inconsistent with its user table"
+            )
+            for cell in core.counts:
+                assert cell.level >= spine_level, (
+                    f"shard {shard} holds spine cell {cell}"
+                )
+                assert self.router.shard_of(cell) == shard, (
+                    f"shard {shard} holds foreign cell {cell}"
+                )
+        assert self._spine.counts == expected_spine, (
+            "spine counters inconsistent with core populations"
+        )
+        root_count = self.cell_count(CellId(0, 0, 0))
+        assert root_count == len(self._directory), "root count != population"

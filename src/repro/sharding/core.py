@@ -1,0 +1,113 @@
+"""Per-shard state cores and the shared spine aggregator.
+
+These are deliberately *dumb* state holders: all maintenance logic
+(Algorithm 1, the Section 4.2 split/merge criteria, update walks) lives
+in the sharded anonymizers, which route each touched cell either to its
+owning core or to the spine.  Splitting state from logic this way keeps
+the sharded implementations line-for-line comparable with the
+single-pyramid ones — the equivalence property the whole design is
+gated on.
+
+Cache-invalidation state is two-tier:
+
+* each core has a **shard epoch**, bumped whenever any count owned by
+  that shard changes;
+* the spine has a **boundary epoch**, bumped whenever any count at
+  level ``<= S`` changes (spine cells *and* block roots — every cell a
+  cloak starting in one shard can read outside that shard).
+
+A cloak served from shard ``i`` is cached under the composite epoch
+``(core_i.epoch, boundary_epoch)``: unchanged composite epoch proves
+every cell the cloak read is unchanged, so mutations confined to other
+shards never evict shard ``i``'s single-probe fast path.  That locality
+is what the ``shard_scaling`` benchmark measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.anonymizer.cache import CloakCache
+from repro.anonymizer.cells import CellId
+
+if TYPE_CHECKING:
+    from repro.anonymizer.adaptive import _Cell as AdaptiveCell
+    from repro.anonymizer.adaptive import _UserRecord as AdaptiveRecord
+    from repro.anonymizer.basic import _UserRecord as BasicRecord
+
+__all__ = ["BasicShardCore", "AdaptiveShardCore", "SpineState"]
+
+
+@dataclass
+class BasicShardCore:
+    """One shard's slice of the complete pyramid: counts and user
+    records for the cells at level ``>= S`` inside its blocks.  Zero
+    counts are not stored; generation counters are monotone and outlive
+    the counts they describe (exactly like the adaptive single-pyramid
+    convention)."""
+
+    index: int
+    cache: CloakCache
+    counts: dict[CellId, int] = field(default_factory=dict)
+    gens: dict[CellId, int] = field(default_factory=dict)
+    users: "dict[object, BasicRecord]" = field(default_factory=dict)
+    epoch: int = 0
+
+    def apply(self, cell: CellId, delta: int) -> None:
+        """Apply a population delta to an owned cell, bumping its gen."""
+        total = self.counts.get(cell, 0) + delta
+        if total:
+            self.counts[cell] = total
+        else:
+            self.counts.pop(cell, None)
+        self.gens[cell] = self.gens.get(cell, 0) + 1
+
+
+@dataclass
+class AdaptiveShardCore:
+    """One shard's slice of the incomplete pyramid: the maintained cut
+    cells at level ``>= S`` inside its blocks, plus the records of every
+    user whose exact location falls in those blocks (a user's *leaf* may
+    still be a spine cell when the cut sits above the block level)."""
+
+    index: int
+    cache: CloakCache
+    cells: "dict[CellId, AdaptiveCell]" = field(default_factory=dict)
+    gens: dict[CellId, int] = field(default_factory=dict)
+    users: "dict[object, AdaptiveRecord]" = field(default_factory=dict)
+    epoch: int = 0
+
+
+@dataclass
+class SpineState:
+    """The replicated top of the pyramid (levels ``0 .. S-1``) shared by
+    every shard, maintained *eagerly* so aggregate reads and maintenance
+    cost accounting match the single-pyramid implementations exactly.
+
+    ``boundary_epoch`` covers every cell at level ``<= S``; see the
+    module docstring.  ``cells`` is used only by the adaptive variant
+    (spine cells of the maintained cut); the basic variant keeps plain
+    ``counts``.  ``cache`` memoizes cloaks that *start* at a spine cell
+    (adaptive users whose leaf sits above the block level) — such cloaks
+    read boundary state only, so they are keyed on ``(-1,
+    boundary_epoch)``.
+    """
+
+    cache: CloakCache
+    counts: dict[CellId, int] = field(default_factory=dict)
+    gens: dict[CellId, int] = field(default_factory=dict)
+    cells: "dict[CellId, AdaptiveCell]" = field(default_factory=dict)
+    boundary_epoch: int = 0
+
+    def apply(self, cell: CellId, delta: int) -> None:
+        """Apply a population delta to a spine cell, bumping its gen."""
+        total = self.counts.get(cell, 0) + delta
+        if total:
+            self.counts[cell] = total
+        else:
+            self.counts.pop(cell, None)
+        self.gens[cell] = self.gens.get(cell, 0) + 1
+
+    def bump_gen(self, cell: CellId) -> None:
+        self.gens[cell] = self.gens.get(cell, 0) + 1

@@ -1,0 +1,113 @@
+"""Deterministic spatial routing of pyramid cells to shards.
+
+The pyramid of height ``H`` is partitioned at a single **spine level**
+``S`` — the shallowest level with at least as many cells as shards
+(``4**S >= N``).  Levels ``0 .. S-1`` are the **spine**: replicated
+aggregate state shared by every shard (for ``N = 1`` the spine is
+empty).  Every cell at level ``>= S`` belongs to exactly one shard: the
+shard that owns its level-``S`` ancestor (its **block**).
+
+Blocks are assigned to shards by Morton (Z-order) rank, each shard
+receiving a contiguous rank range.  Morton order keeps each shard's
+blocks spatially clustered, and — because same-parent neighbours at any
+level ``> S`` share their level-``S`` ancestor — guarantees that
+Algorithm 1's sibling reads stay inside one shard everywhere below the
+spine.  Only reads at level ``S`` itself (block roots) and above can
+cross shards; those route through the spine aggregator.
+
+Routing is pure arithmetic on ``(level, ix, iy)``: no randomness, no
+state, so any two deployments with the same ``(N, H)`` route
+identically — the foundation of the shard-count-invariance guarantee.
+"""
+
+from __future__ import annotations
+
+from repro.anonymizer.cells import CellId
+
+__all__ = ["ShardRouter", "morton_rank", "morton_cell"]
+
+
+def morton_rank(cell: CellId) -> int:
+    """Z-order rank of ``cell`` among the ``4**level`` cells of its
+    level (bit-interleave of ``iy`` over ``ix``)."""
+    rank = 0
+    for bit in range(cell.level):
+        rank |= ((cell.ix >> bit) & 1) << (2 * bit)
+        rank |= ((cell.iy >> bit) & 1) << (2 * bit + 1)
+    return rank
+
+
+def morton_cell(rank: int, level: int) -> CellId:
+    """Inverse of :func:`morton_rank` at the given level."""
+    ix = iy = 0
+    for bit in range(level):
+        ix |= ((rank >> (2 * bit)) & 1) << bit
+        iy |= ((rank >> (2 * bit + 1)) & 1) << bit
+    return CellId(level, ix, iy)
+
+
+class ShardRouter:
+    """Maps pyramid cells to owning shards for a fixed ``(N, H)``.
+
+    Parameters
+    ----------
+    num_shards:
+        Number of shards ``N >= 1``.
+    height:
+        Pyramid height ``H``; needs ``4**H >= N`` so every shard owns at
+        least one block.
+    """
+
+    def __init__(self, num_shards: int, height: int) -> None:
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        spine_level = 0
+        while 4**spine_level < num_shards:
+            spine_level += 1
+        if spine_level > height:
+            raise ValueError(
+                f"{num_shards} shards need a pyramid of height >= {spine_level}"
+            )
+        self.num_shards = num_shards
+        self.height = height
+        self.spine_level = spine_level
+        self.num_blocks = 4**spine_level
+        # Owner of every block, indexed by Morton rank (contiguous
+        # ranges; block counts per shard differ by at most one).
+        self._owner_by_rank = [
+            rank * num_shards // self.num_blocks for rank in range(self.num_blocks)
+        ]
+
+    def is_spine(self, cell: CellId) -> bool:
+        """True for shared spine cells (strictly above the block level)."""
+        return cell.level < self.spine_level
+
+    def owner_of(self, cell: CellId) -> int | None:
+        """The shard owning ``cell``, or ``None`` for spine cells."""
+        if cell.level < self.spine_level:
+            return None
+        block = cell.ancestor(self.spine_level)
+        return self._owner_by_rank[morton_rank(block)]
+
+    def shard_of(self, cell: CellId) -> int:
+        """The shard owning ``cell``; raises for spine cells."""
+        owner = self.owner_of(cell)
+        if owner is None:
+            raise ValueError(f"{cell} is a spine cell, owned by no shard")
+        return owner
+
+    def blocks_of(self, shard: int) -> tuple[CellId, ...]:
+        """The level-``S`` blocks owned by ``shard``, in Morton order."""
+        if not 0 <= shard < self.num_shards:
+            raise ValueError(f"no shard {shard} in a {self.num_shards}-shard fleet")
+        return tuple(
+            morton_cell(rank, self.spine_level)
+            for rank in range(self.num_blocks)
+            if self._owner_by_rank[rank] == shard
+        )
+
+    def crosses_boundary(self, ancestor_level: int) -> bool:
+        """Whether a location update whose old/new cells first share an
+        ancestor at ``ancestor_level`` touches boundary state (any cell
+        at level ``<= S``) — i.e. leaves its level-``S`` block."""
+        return ancestor_level < self.spine_level

@@ -18,12 +18,20 @@ bench_gate = importlib.util.module_from_spec(spec)
 spec.loader.exec_module(bench_gate)
 
 
-def make_report(quick: bool = True, **speedups: float) -> dict:
-    base = {"cloak": 10.0, "knn_private": 8.0, "batch": 6.0}
-    base.update(speedups)
+def make_report(quick: bool = True, **ratios: float) -> dict:
+    base = {
+        "cloak": 10.0,
+        "knn_private": 8.0,
+        "batch": 6.0,
+        "shard_scaling": 1.8,
+    }
+    base.update(ratios)
+    keys = dict(bench_gate.GATED_RATIOS)
     return {
         "quick": quick,
-        **{section: {"speedup": value} for section, value in base.items()},
+        **{
+            section: {keys[section]: value} for section, value in base.items()
+        },
     }
 
 

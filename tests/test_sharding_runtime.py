@@ -1,0 +1,230 @@
+"""Sharded runtime state management: fleet snapshots, per-shard crash
+recovery, and the ``Casper`` routing seam."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.anonymizer import PrivacyProfile
+from repro.errors import UnknownUserError
+from repro.geometry import Point
+from repro.server import Casper
+from repro.sharding import (
+    ShardedAdaptiveAnonymizer,
+    ShardedBasicAnonymizer,
+    make_sharded,
+)
+from tests.conftest import UNIT
+
+HEIGHT = 5
+KINDS = ["basic", "adaptive"]
+
+
+def _populated_fleet(kind: str, num_shards: int = 4, users: int = 40):
+    fleet = make_sharded(UNIT, height=HEIGHT, num_shards=num_shards, kind=kind)
+    rng = np.random.default_rng(3)
+    for i in range(users):
+        fleet.register(
+            f"u{i:02d}",
+            Point(float(rng.random()), float(rng.random())),
+            PrivacyProfile(k=2 + i % 4),
+        )
+    return fleet
+
+
+def _cloak_fingerprints(fleet) -> list[tuple]:
+    out = []
+    for i in range(0, 40, 5):
+        region = fleet.cloak(f"u{i:02d}")
+        out.append((region.region.as_tuple(), region.achieved_k, region.cells))
+    return out
+
+
+class TestFleetSnapshot:
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_snapshot_restore_round_trip(self, kind) -> None:
+        fleet = _populated_fleet(kind)
+        before = _cloak_fingerprints(fleet)
+        state = fleet.snapshot()
+        rng = np.random.default_rng(9)
+        for i in range(40):
+            fleet.update(
+                f"u{i:02d}", Point(float(rng.random()), float(rng.random()))
+            )
+        fleet.deregister("u07")
+        assert _cloak_fingerprints(fleet) != before
+        fleet.restore(state)
+        fleet.check_invariants()
+        assert _cloak_fingerprints(fleet) == before
+
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_one_snapshot_serves_many_restores(self, kind) -> None:
+        fleet = _populated_fleet(kind)
+        before = _cloak_fingerprints(fleet)
+        state = fleet.snapshot()
+        for _crash in range(3):
+            for i in range(10):
+                fleet.update(f"u{i:02d}", Point(0.01 * i, 0.02 * i))
+            fleet.restore(state)
+            fleet.check_invariants()
+            assert _cloak_fingerprints(fleet) == before
+
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_restore_rejects_foreign_state(self, kind) -> None:
+        fleet = _populated_fleet(kind)
+        with pytest.raises(TypeError):
+            fleet.restore(object())
+        smaller = _populated_fleet(kind, num_shards=2, users=4)
+        with pytest.raises(ValueError, match="shard count"):
+            fleet.restore(smaller.snapshot())
+
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_restore_shard_rejects_foreign_state(self, kind) -> None:
+        fleet = _populated_fleet(kind)
+        with pytest.raises(TypeError):
+            fleet.restore_shard(0, object())
+
+
+class TestShardCrashRecovery:
+    """A single crashed shard heals from its snapshot while survivors
+    keep their live state — the reconciliation contract the resilience
+    runtime's ``shard_crash`` fault relies on."""
+
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_purges_exactly_the_post_snapshot_registrants(self, kind) -> None:
+        fleet = _populated_fleet(kind)
+        victim = fleet.shard_of_user("u00")
+        states = [fleet.snapshot_shard(s) for s in range(fleet.num_shards)]
+
+        all_uids = [f"u{i:02d}" for i in range(40)]
+        victim_point = fleet.location_of(
+            next(u for u in all_uids if fleet.shard_of_user(u) == victim)
+        )
+        other = next(
+            fleet.shard_of_user(u)
+            for u in all_uids
+            if fleet.shard_of_user(u) != victim
+        )
+        dest = fleet.location_of(
+            next(u for u in all_uids if fleet.shard_of_user(u) == other)
+        )
+
+        # Post-snapshot history the restore must reconcile: users who
+        # escaped the victim, and users born inside it.
+        movers = [u for u in all_uids if fleet.shard_of_user(u) == victim][:3]
+        for uid in movers:
+            fleet.update(uid, dest)
+        newcomers = [f"n{j}" for j in range(5)]
+        for uid in newcomers:
+            fleet.register(uid, victim_point, PrivacyProfile(k=2))
+            assert fleet.shard_of_user(uid) == victim
+
+        purged = fleet.restore_shard(victim, states[victim])
+        assert sorted(map(str, purged)) == sorted(newcomers)
+        fleet.check_invariants()
+        for uid in movers:  # the destination shard's live record wins
+            assert uid in fleet
+            assert fleet.shard_of_user(uid) == other
+        for uid in newcomers:  # lost with the crash, healed below
+            assert uid not in fleet
+
+        for uid in purged:
+            fleet.register(uid, victim_point, PrivacyProfile(k=2))
+        fleet.check_invariants()
+        assert fleet.num_users == 45
+        region = fleet.cloak(newcomers[0])
+        assert region.achieved_k >= 2
+
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_survivor_shards_are_untouched(self, kind) -> None:
+        fleet = _populated_fleet(kind)
+        all_uids = [f"u{i:02d}" for i in range(40)]
+        victim = fleet.shard_of_user("u00")
+        survivors = [u for u in all_uids if fleet.shard_of_user(u) != victim]
+        before = {
+            u: (fleet.location_of(u), fleet.shard_of_user(u)) for u in survivors
+        }
+        state = fleet.snapshot_shard(victim)
+        fleet.restore_shard(victim, state)
+        fleet.check_invariants()
+        assert {
+            u: (fleet.location_of(u), fleet.shard_of_user(u)) for u in survivors
+        } == before
+
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_single_shard_fleet_restore_shard_is_full_restore(self, kind) -> None:
+        fleet = _populated_fleet(kind, num_shards=1, users=10)
+        state = fleet.snapshot_shard(0)
+        fleet.register("late", Point(0.5, 0.5), PrivacyProfile(k=2))
+        purged = fleet.restore_shard(0, state)
+        assert list(map(str, purged)) == ["late"]
+        fleet.check_invariants()
+        assert fleet.num_users == 10
+
+
+class TestCasperSeam:
+    def test_shards_parameter_builds_a_sharded_fleet(self) -> None:
+        for kind, cls in (
+            ("basic", ShardedBasicAnonymizer),
+            ("adaptive", ShardedAdaptiveAnonymizer),
+        ):
+            casper = Casper(UNIT, pyramid_height=HEIGHT, anonymizer=kind, shards=4)
+            assert isinstance(casper.anonymizer, cls)
+            assert casper.num_shards == 4
+
+    def test_default_is_unsharded(self) -> None:
+        casper = Casper(UNIT, pyramid_height=HEIGHT)
+        assert casper.num_shards == 1
+
+    def test_shard_of_routes_like_the_anonymizer(self) -> None:
+        casper = Casper(UNIT, pyramid_height=HEIGHT, anonymizer="adaptive", shards=4)
+        rng = np.random.default_rng(5)
+        for i in range(20):
+            casper.register_user(
+                i,
+                Point(float(rng.random()), float(rng.random())),
+                PrivacyProfile(k=3),
+            )
+        occupancy = [0, 0, 0, 0]
+        for i in range(20):
+            shard = casper.shard_of(i)
+            assert shard == casper.anonymizer.shard_of_user(i)
+            occupancy[shard] += 1
+        assert occupancy == casper.anonymizer.shard_occupancy()
+
+    def test_shard_of_on_an_unsharded_deployment(self) -> None:
+        casper = Casper(UNIT, pyramid_height=HEIGHT)
+        casper.register_user("a", Point(0.5, 0.5), PrivacyProfile(k=1))
+        assert casper.shard_of("a") == 0
+        with pytest.raises(UnknownUserError):
+            casper.shard_of("ghost")
+
+    def test_instance_and_shards_argument_must_agree(self) -> None:
+        fleet = make_sharded(UNIT, height=HEIGHT, num_shards=4, kind="basic")
+        assert Casper(UNIT, anonymizer=fleet, shards=4).num_shards == 4
+        with pytest.raises(ValueError, match="shards"):
+            Casper(UNIT, anonymizer=fleet, shards=2)
+
+    def test_full_query_stack_runs_sharded(self) -> None:
+        casper = Casper(UNIT, pyramid_height=6, anonymizer="adaptive", shards=4)
+        rng = np.random.default_rng(11)
+        casper.add_public_targets(
+            {
+                f"t{i}": Point(float(x), float(y))
+                for i, (x, y) in enumerate(rng.random((30, 2)))
+            }
+        )
+        for i in range(25):
+            casper.register_user(
+                i,
+                Point(float(rng.random()), float(rng.random())),
+                PrivacyProfile(k=3),
+            )
+        nn = casper.query_nearest_public(0)
+        assert nn.answer is not None
+        batch = casper.query_batch(
+            [(1, "nn_public"), (2, "range_public", 0.2), (1, "nn_public")]
+        )
+        assert len(batch) == 3
+        casper.anonymizer.check_invariants()

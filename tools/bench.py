@@ -201,6 +201,113 @@ def bench_nn_latency(quick: bool) -> dict:
 # ----------------------------------------------------------------------
 # 4. Batch vs sequential on a duplicate-heavy stream
 # ----------------------------------------------------------------------
+# 5. Shard scaling: the sharded runtime vs its own single-shard case
+# ----------------------------------------------------------------------
+def bench_shard_scaling(quick: bool) -> dict:
+    """Throughput of the sharded anonymizer at N = 1/2/4/8 shards.
+
+    One identical workload per shard count: local (within-block) moves
+    concentrated in a single spatial block, interleaved with cloak
+    bursts spread over the whole population.  Sharding confines each
+    move's epoch bump to the owning core, so cloaks homed in untouched
+    shards revalidate their cache entries with an O(1) epoch compare
+    instead of walking per-cell generation snapshots — the throughput
+    gain is the point of the partition, and the gated ratios are
+    same-run quotients (N-shard vs 1-shard) so they survive host
+    changes.
+    """
+    from repro.sharding import make_sharded
+
+    num_users = 2_000 if quick else 10_000
+    height = 7
+    chunks = 30 if quick else 50
+    moves_per_chunk = 25 if quick else 50
+    cloaks_per_chunk = 100 if quick else 200
+    shard_counts = (1, 2, 4, 8)
+    profile = PrivacyProfile(k=25)
+
+    rng = ensure_rng(4)
+    homes = [
+        Point(float(rng.random()), float(rng.random())) for _ in range(num_users)
+    ]
+    # Movers live in one level-2 block ([0, 0.25)^2), so their updates
+    # land on exactly one shard at every N here; tiny jitters keep each
+    # move inside the block (and its epoch bump inside that core).
+    movers = [uid for uid, p in enumerate(homes) if p.x < 0.25 and p.y < 0.25]
+    move_script = []
+    for _ in range(chunks * moves_per_chunk):
+        uid = movers[int(rng.integers(len(movers)))]
+        home = homes[uid]
+        move_script.append(
+            (
+                uid,
+                Point(
+                    min(0.249, max(0.001, home.x + float(rng.uniform(-0.002, 0.002)))),
+                    min(0.249, max(0.001, home.y + float(rng.uniform(-0.002, 0.002)))),
+                ),
+            )
+        )
+    # Cloak bursts sample a "hot" quarter of the population spread over
+    # every shard: their cache entries stay resident, so the timed path
+    # is dominated by revalidation cost — exactly what sharding changes.
+    hot = [uid for uid in range(num_users) if uid % 4 == 0]
+    cloak_script = [
+        hot[int(rng.integers(len(hot)))] for _ in range(chunks * cloaks_per_chunk)
+    ]
+
+    per_shard: dict[str, dict] = {}
+    cloaks_per_second: dict[int, float] = {}
+    updates_per_second: dict[int, float] = {}
+    for num_shards in shard_counts:
+        fleet = make_sharded(
+            BOUNDS, height=height, num_shards=num_shards, kind="basic"
+        )
+        for uid, point in enumerate(homes):
+            fleet.register(uid, point, profile)
+        for uid in cloak_script[:cloaks_per_chunk]:  # warm the caches
+            fleet.cloak(uid)
+        move_s = 0.0
+        cloak_s = 0.0
+        for chunk in range(chunks):
+            start = time.perf_counter()
+            for uid, point in move_script[
+                chunk * moves_per_chunk : (chunk + 1) * moves_per_chunk
+            ]:
+                fleet.update(uid, point)
+            move_s += time.perf_counter() - start
+            start = time.perf_counter()
+            for uid in cloak_script[
+                chunk * cloaks_per_chunk : (chunk + 1) * cloaks_per_chunk
+            ]:
+                fleet.cloak(uid)
+            cloak_s += time.perf_counter() - start
+        fleet.check_invariants()
+        cache = fleet.cache_stats()
+        lookups = cache["hits"] + cache["misses"]
+        cloaks_per_second[num_shards] = chunks * cloaks_per_chunk / cloak_s
+        updates_per_second[num_shards] = chunks * moves_per_chunk / move_s
+        per_shard[str(num_shards)] = {
+            "spine_level": fleet.router.spine_level,
+            "update_ops_per_second": updates_per_second[num_shards],
+            "query_cloaks_per_second": cloaks_per_second[num_shards],
+            "cache_hit_rate": cache["hits"] / lookups if lookups else 0.0,
+        }
+    return {
+        "num_users": num_users,
+        "height": height,
+        "kind": "basic",
+        "moves_timed": chunks * moves_per_chunk,
+        "cloaks_timed": chunks * cloaks_per_chunk,
+        "shards": per_shard,
+        "cloak_scaling_4x": cloaks_per_second[4] / cloaks_per_second[1],
+        "cloak_scaling_8x": cloaks_per_second[8] / cloaks_per_second[1],
+        "update_scaling_8x": updates_per_second[8] / updates_per_second[1],
+    }
+
+
+# ----------------------------------------------------------------------
+# 6. Batch vs sequential on a duplicate-heavy stream
+# ----------------------------------------------------------------------
 def bench_batch(quick: bool) -> dict:
     num_targets = 1_000 if quick else 5_000
     num_requests = 100 if quick else 400
@@ -243,7 +350,11 @@ def _median_run(results: list[dict]) -> dict:
     numerator of one run with the denominator of another).  Benchmarks
     without a speedup ratio are selected by their latency instead.
     """
-    key = "speedup" if "speedup" in results[0] else "mean_latency_ms"
+    key = next(
+        k
+        for k in ("speedup", "cloak_scaling_8x", "mean_latency_ms")
+        if k in results[0]
+    )
     ordered = sorted(results, key=lambda r: r[key])
     return ordered[len(ordered) // 2]
 
@@ -294,6 +405,7 @@ def main(argv: list[str] | None = None) -> int:
             ("knn_private", bench_knn),
             ("nn_latency", bench_nn_latency),
             ("batch", bench_batch),
+            ("shard_scaling", bench_shard_scaling),
         ):
             print(f"benchmarking {name} ...", flush=True)
             report[name] = _median_run(
@@ -310,11 +422,14 @@ def main(argv: list[str] | None = None) -> int:
     ok = (
         report["cloak"]["speedup"] >= 5.0
         and report["knn_private"]["speedup"] >= 2.0
+        and report["shard_scaling"]["cloak_scaling_8x"] > 1.0
     )
     print(
         f"cloak speedup {report['cloak']['speedup']:.1f}x, "
         f"knn speedup {report['knn_private']['speedup']:.1f}x, "
-        f"batch speedup {report['batch']['speedup']:.1f}x "
+        f"batch speedup {report['batch']['speedup']:.1f}x, "
+        f"8-shard cloak scaling "
+        f"{report['shard_scaling']['cloak_scaling_8x']:.2f}x "
         f"-> {'OK' if ok else 'BELOW TARGET'}"
     )
     return 0 if ok else 1

@@ -35,6 +35,7 @@ GATED_RATIOS = (
     ("cloak", "speedup"),
     ("knn_private", "speedup"),
     ("batch", "speedup"),
+    ("shard_scaling", "cloak_scaling_8x"),
 )
 
 
