@@ -26,13 +26,20 @@ SERVICE_AREA = Rect(0.0, 0.0, 1.0, 1.0)
 # CASPER_SHARDS > 1 runs the identical pipeline on the sharded
 # anonymizer runtime (`python -m repro metrics --shards N` sets this);
 # every printed answer below is byte-for-byte unchanged by it.
+# CASPER_PARALLEL=1 additionally runs each shard as its own worker
+# process over the wire protocol (`--parallel`) — still byte-identical.
 SHARDS = int(os.environ.get("CASPER_SHARDS", "1"))
+PARALLEL = os.environ.get("CASPER_PARALLEL", "0") == "1"
 
 
 def main() -> None:
     rng = np.random.default_rng(7)
     casper = Casper(
-        SERVICE_AREA, pyramid_height=8, anonymizer="adaptive", shards=SHARDS
+        SERVICE_AREA,
+        pyramid_height=8,
+        anonymizer="adaptive",
+        shards=SHARDS,
+        parallel=PARALLEL,
     )
 
     # Public data goes straight to the server: 300 gas stations.
@@ -85,6 +92,8 @@ def main() -> None:
         print(f"k={k:>3}: cloak area {result.cloak.area:.5f}, "
               f"{result.candidate_count:>3} candidates, "
               f"transmit {result.transmission_seconds * 1e6:7.1f} us")
+
+    casper.close()  # reaps shard worker processes under CASPER_PARALLEL=1
 
 
 if __name__ == "__main__":

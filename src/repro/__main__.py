@@ -137,11 +137,15 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     if args.shards < 1:
         print("--shards must be >= 1", file=sys.stderr)
         return 2
-    # Examples honour CASPER_SHARDS: their facades build the sharded
-    # anonymizer runtime, whose per-shard occupancy and routing counters
-    # flow through the same screened telemetry (shard ids only).
+    # Examples honour CASPER_SHARDS (and CASPER_PARALLEL): their facades
+    # build the sharded anonymizer runtime — in-process or as worker
+    # processes over the wire — whose per-shard occupancy, cache and
+    # routing counters flow through the same screened telemetry (shard
+    # ids only).
     previous_shards = os.environ.get("CASPER_SHARDS")
+    previous_parallel = os.environ.get("CASPER_PARALLEL")
     os.environ["CASPER_SHARDS"] = str(args.shards)
+    os.environ["CASPER_PARALLEL"] = "1" if args.parallel else "0"
     try:
         with enabled() as session:
             with contextlib.redirect_stdout(io.StringIO()):
@@ -156,6 +160,10 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
             os.environ.pop("CASPER_SHARDS", None)
         else:
             os.environ["CASPER_SHARDS"] = previous_shards
+        if previous_parallel is None:
+            os.environ.pop("CASPER_PARALLEL", None)
+        else:
+            os.environ["CASPER_PARALLEL"] = previous_parallel
     if args.format == "prometheus":
         sys.stdout.write(export.to_prometheus())
     else:
@@ -190,6 +198,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             seed=args.workload_seed,
             anonymizer=args.anonymizer,
             shards=args.shards,
+            parallel=args.parallel,
         )
     except ValueError as exc:
         print(f"bad workload: {exc}", file=sys.stderr)
@@ -312,6 +321,12 @@ def main(argv: list[str] | None = None) -> int:
         help="run the example on an N-shard anonymizer (exported as "
         "CASPER_SHARDS; per-shard counters appear in the telemetry)",
     )
+    metrics.add_argument(
+        "--parallel", action="store_true",
+        help="run each shard as its own worker process over the wire "
+        "protocol (exported as CASPER_PARALLEL=1; adds per-worker "
+        "round-trip and batch-size metrics)",
+    )
     metrics.set_defaults(func=_cmd_metrics)
 
     chaos = sub.add_parser(
@@ -341,6 +356,12 @@ def main(argv: list[str] | None = None) -> int:
         "--shards", type=int, default=1, metavar="N",
         help="anonymizer shard count for the replayed workload "
         "(default 1 = the single-pyramid implementations)",
+    )
+    chaos.add_argument(
+        "--parallel", action="store_true",
+        help="run the faulted deployment's shards as worker processes "
+        "over the wire protocol (the baseline stays in-process, so "
+        "matching answers also witness cross-runtime equivalence)",
     )
     chaos.add_argument(
         "--out", metavar="PATH", default=None,

@@ -69,10 +69,16 @@ class CloakCache:
     call recomputes — used by benchmarks to measure the uncached path).
     """
 
-    def __init__(self, capacity: int = 8192) -> None:
+    def __init__(
+        self, capacity: int = 8192, shard_label: str | None = None
+    ) -> None:
         if capacity < 0:
             raise ValueError("capacity must be non-negative")
         self.capacity = capacity
+        # Sharded runtimes tag their caches (shard id or "spine") so
+        # cache-event telemetry stays attributable per shard; the
+        # single-pyramid anonymizers emit the unlabelled stream.
+        self.shard_label = shard_label
         self._entries: OrderedDict[
             tuple[CellId, int, float], _Entry
         ] = OrderedDict()
@@ -117,15 +123,17 @@ class CloakCache:
                 self.hits += 1
                 self._entries.move_to_end(key)
                 if obs is not None:
-                    _telemetry.record_cache_event(obs, "hit")
+                    _telemetry.record_cache_event(obs, "hit", self.shard_label)
                 return entry.region
             del self._entries[key]
             self.invalidations += 1
             if obs is not None:
-                _telemetry.record_cache_event(obs, "invalidation")
+                _telemetry.record_cache_event(
+                    obs, "invalidation", self.shard_label
+                )
         self.misses += 1
         if obs is not None:
-            _telemetry.record_cache_event(obs, "miss")
+            _telemetry.record_cache_event(obs, "miss", self.shard_label)
         reads: list[tuple[CellId, int]] = []
 
         def recording(cell: CellId) -> int:
@@ -138,7 +146,7 @@ class CloakCache:
             self._entries.popitem(last=False)
             self.evictions += 1
             if obs is not None:
-                _telemetry.record_cache_event(obs, "eviction")
+                _telemetry.record_cache_event(obs, "eviction", self.shard_label)
         return region
 
     @property

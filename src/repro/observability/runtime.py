@@ -63,6 +63,12 @@ __all__ = [
     "note_shard_op",
     "record_shard_occupancy",
     "note_shard_occupancy",
+    "record_worker_roundtrip",
+    "note_worker_roundtrip",
+    "record_worker_batch",
+    "note_worker_batch",
+    "record_worker_event",
+    "note_worker_event",
 ]
 
 
@@ -200,12 +206,29 @@ def record_cloak(
         slo_record("cloak_area_ratio", area_ratio)
 
 
-def record_cache_event(obs: Observability, event: str) -> None:
-    """Cloak-cache traffic: event in hit/miss/invalidation/eviction."""
-    obs.metrics.counter(
-        "casper_cloak_cache_events_total", (("event", event),),
-        help="cloak-cache lookups by outcome",
-    ).inc()
+def record_cache_event(
+    obs: Observability, event: str, shard: str | None = None
+) -> None:
+    """Cloak-cache traffic: event in hit/miss/invalidation/eviction.
+
+    Sharded runtimes pass their cache's shard label (a shard id or
+    ``"spine"``) so per-shard hit rates stay distinguishable; the
+    single-pyramid anonymizers keep the unlabelled stream.  Either way
+    the label set is bounded — event kind times fleet size.
+    """
+    m = obs.metrics
+    key = ("cache_event", event, shard)
+    handle = m.handle_cache.get(key)
+    if handle is None:
+        labels = (("event", event),)
+        if shard is not None:
+            labels += (("shard", shard),)
+        handle = m.counter(
+            "casper_cloak_cache_events_total", labels,
+            help="cloak-cache lookups by outcome",
+        )
+        m.handle_cache[key] = handle
+    handle.inc()
 
 
 def record_candidates(obs: Observability, size: int) -> None:
@@ -455,6 +478,77 @@ def note_shard_occupancy(occupancy: list[int]) -> None:
     obs = _active
     if obs is not None:
         record_shard_occupancy(obs, occupancy)
+
+
+def record_worker_roundtrip(
+    obs: Observability, shard: int, seconds: float
+) -> None:
+    """One parent<->worker frame exchange: wire round-trip latency,
+    labelled by shard id only (never an envelope's contents)."""
+    m = obs.metrics
+    key = ("worker_roundtrip", shard)
+    handle = m.handle_cache.get(key)
+    if handle is None:
+        handle = m.histogram(
+            "casper_worker_roundtrip_seconds", (("shard", str(shard)),),
+            help="parent-to-worker frame round-trip latency",
+        )
+        m.handle_cache[key] = handle
+    handle.observe(seconds)
+
+
+def note_worker_roundtrip(shard: int, seconds: float) -> None:
+    """Null-safe :func:`record_worker_roundtrip` — a no-op while disabled."""
+    obs = _active
+    if obs is not None:
+        record_worker_roundtrip(obs, shard, seconds)
+
+
+def record_worker_batch(obs: Observability, shard: int, envelopes: int) -> None:
+    """Queue depth drained into one frame: how many envelopes a worker's
+    pending queue held when it was flushed across the IPC boundary."""
+    m = obs.metrics
+    key = ("worker_batch", shard)
+    handle = m.handle_cache.get(key)
+    if handle is None:
+        handle = m.histogram(
+            "casper_worker_batch_envelopes", (("shard", str(shard)),),
+            boundaries=DEFAULT_SIZE_BUCKETS,
+            help="envelopes per frame flushed to a shard worker",
+        )
+        m.handle_cache[key] = handle
+    handle.observe(float(envelopes))
+
+
+def note_worker_batch(shard: int, envelopes: int) -> None:
+    """Null-safe :func:`record_worker_batch` — a no-op while disabled."""
+    obs = _active
+    if obs is not None:
+        record_worker_batch(obs, shard, envelopes)
+
+
+def record_worker_event(obs: Observability, shard: int, event: str) -> None:
+    """One worker-pool lifecycle or transport event (``spawn`` /
+    ``shutdown`` / ``crash`` / ``heal`` / ``retransmit`` / ``nack`` /
+    ``timeout``), labelled by shard id only."""
+    m = obs.metrics
+    key = ("worker_event", shard, event)
+    handle = m.handle_cache.get(key)
+    if handle is None:
+        handle = m.counter(
+            "casper_worker_events_total",
+            (("shard", str(shard)), ("event", event)),
+            help="shard-worker lifecycle and transport events, by kind",
+        )
+        m.handle_cache[key] = handle
+    handle.inc()
+
+
+def note_worker_event(shard: int, event: str) -> None:
+    """Null-safe :func:`record_worker_event` — a no-op while disabled."""
+    obs = _active
+    if obs is not None:
+        record_worker_event(obs, shard, event)
 
 
 def record_monitor_flush(

@@ -47,6 +47,7 @@ FAULT_KINDS = (
     "corrupt",
     "crash",
     "shard_crash",
+    "worker_crash",
     "state_loss",
 )
 
@@ -66,6 +67,10 @@ class FaultPlan:
     crashes a *single* randomly drawn shard of a sharded anonymizer
     every that-many guarded operations (survivor shards keep answering;
     an unsharded anonymizer degenerates it to a whole-process crash).
+    ``worker_crash_period > 0`` kills a randomly drawn *shard worker
+    process* of a parallel anonymizer every that-many guarded
+    operations — the supervisor respawns and heals it over the wire; an
+    in-process anonymizer degenerates it to a whole-process crash.
     """
 
     name: str = "custom"
@@ -79,6 +84,7 @@ class FaultPlan:
     crash_period: int = 0
     lose_user: float = 0.0
     shard_crash_period: int = 0
+    worker_crash_period: int = 0
 
     def __post_init__(self) -> None:
         for f in ("drop", "duplicate", "delay", "reorder", "corrupt", "lose_user"):
@@ -91,6 +97,8 @@ class FaultPlan:
             raise ValueError("crash_period must be >= 0")
         if self.shard_crash_period < 0:
             raise ValueError("shard_crash_period must be >= 0")
+        if self.worker_crash_period < 0:
+            raise ValueError("worker_crash_period must be >= 0")
 
     @property
     def is_quiet(self) -> bool:
@@ -103,6 +111,7 @@ class FaultPlan:
             worst <= 0.0
             and self.crash_period == 0
             and self.shard_crash_period == 0
+            and self.worker_crash_period == 0
         )
 
     def with_seed(self, seed: int) -> "FaultPlan":
@@ -150,27 +159,32 @@ class Delivery:
 class FaultInjector:
     """Stateful executor of a :class:`FaultPlan`.
 
-    Four independent child RNG streams (wire decisions, crash schedule
-    jitter-free counter, state-loss draws, shard-victim draws) are
-    spawned from the plan's seed so adding wire traffic does not perturb
-    crash timing and vice versa (child streams depend only on their
-    index, so the original three are unchanged by the fourth).  Every
-    decision appends to :attr:`trace`; the canonical JSON of the trace
-    is the determinism witness.
+    Five independent child RNG streams (wire decisions, crash schedule
+    jitter-free counter, state-loss draws, shard-victim draws,
+    worker-victim draws) are spawned from the plan's seed so adding
+    wire traffic does not perturb crash timing and vice versa (child
+    streams depend only on their index, so extending the list never
+    changes the earlier streams).  Every decision appends to
+    :attr:`trace`; the canonical JSON of the trace is the determinism
+    witness.
     """
 
     def __init__(self, plan: FaultPlan) -> None:
         self.plan = plan
-        wire_rng, state_rng, backoff_rng, shard_rng = spawn_rngs(plan.seed, 4)
+        wire_rng, state_rng, backoff_rng, shard_rng, worker_rng = spawn_rngs(
+            plan.seed, 5
+        )
         self._wire_rng = wire_rng
         self._state_rng = state_rng
         #: Reserved for retry-jitter draws so backoff schedules share the
         #: plan's determinism without consuming wire/state stream draws.
         self.backoff_rng = backoff_rng
         self._shard_rng = shard_rng
+        self._worker_rng = worker_rng
         self._channels: dict[str, _Channel] = {}
         self._ops = 0
         self._shard_ops = 0
+        self._worker_ops = 0
         self.trace: list[FaultEvent] = []
         self.counts: dict[str, int] = {kind: 0 for kind in FAULT_KINDS}
 
@@ -278,6 +292,27 @@ class FaultInjector:
                 "shard_crash",
                 "anonymizer",
                 f"shard {victim} op {self._shard_ops}",
+            )
+            return victim
+        return None
+
+    def next_worker_op(self, num_workers: int) -> int | None:
+        """Advance the worker-crash schedule; the victim worker id when
+        a shard-worker process crash fires now, else ``None``.
+
+        The victim is drawn from the dedicated worker stream, so wire,
+        whole-crash and shard-crash schedules are unperturbed.
+        """
+        if self.plan.worker_crash_period <= 0:
+            self._worker_ops += 1
+            return None
+        self._worker_ops += 1
+        if self._worker_ops % self.plan.worker_crash_period == 0:
+            victim = int(self._worker_rng.integers(num_workers))
+            self._record(
+                "worker_crash",
+                "anonymizer",
+                f"worker {victim} op {self._worker_ops}",
             )
             return victim
         return None

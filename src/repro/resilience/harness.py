@@ -55,6 +55,10 @@ class ChaosWorkload:
     flush_every: int = 40
     #: Anonymizer shard count (1 = the single-pyramid implementations).
     shards: int = 1
+    #: Run the *faulted* deployment's shards as worker processes over
+    #: the wire protocol.  The baseline stays in-process, so the diff
+    #: doubles as a cross-runtime equivalence check.
+    parallel: bool = False
 
     def __post_init__(self) -> None:
         if self.users < 2 or self.targets < 1 or self.steps < 1:
@@ -166,6 +170,10 @@ def _build_deployment(
         anonymizer=workload.anonymizer,  # type: ignore[arg-type]
         resilience=runtime,
         shards=workload.shards,
+        # Only the faulted deployment runs the process pool: the
+        # baseline replays in-process, so matching answers also witness
+        # the two runtimes' byte-for-byte equivalence.
+        parallel=workload.parallel and runtime is not None,
     )
     clients = {
         uid: MobileClient(casper, uid, point, profile)
@@ -201,6 +209,23 @@ def _run_one(
 ) -> _RunOutcome:
     """Drive one deployment through the script; returns raw outcomes."""
     casper, clients, monitor = _build_deployment(workload, users, targets, runtime)
+    try:
+        outcome = _drive(workload, users, ops, casper, clients, monitor)
+    finally:
+        # Reap worker processes even when an op raises: a chaos run must
+        # never leak OS processes, least of all a failing one.
+        casper.close()
+    return outcome
+
+
+def _drive(
+    workload: ChaosWorkload,
+    users: dict[str, tuple[Point, PrivacyProfile]],
+    ops: list[_Op],
+    casper: "Casper",
+    clients: dict[str, "MobileClient"],
+    monitor: "ContinuousQueryMonitor | None",
+) -> _RunOutcome:
     outcome = _RunOutcome()
     for step, op in enumerate(ops, start=1):
         if op.kind == "move":
@@ -305,6 +330,7 @@ def run_chaos(
             "continuous_queries": workload.continuous_queries,
             "flush_every": workload.flush_every,
             "shards": workload.shards,
+            "parallel": workload.parallel,
         },
         runtime=runtime.report(),
         slo=slo,

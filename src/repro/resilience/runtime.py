@@ -50,7 +50,11 @@ from repro.resilience.faults import Delivery, FaultInjector, FaultPlan
 from repro.resilience.messages import LocationUpdate, decode_update, encode_update
 from repro.resilience.retry import RetryPolicy
 from repro.server.codec import decode_candidate_list, encode_candidate_list
-from repro.sharding import ShardedAdaptiveAnonymizer, ShardedBasicAnonymizer
+from repro.sharding import (
+    ParallelShardedAnonymizer,
+    ShardedAdaptiveAnonymizer,
+    ShardedBasicAnonymizer,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.server.casper import Casper
@@ -62,6 +66,7 @@ Anonymizer = Union[
     AdaptiveAnonymizer,
     ShardedBasicAnonymizer,
     ShardedAdaptiveAnonymizer,
+    ParallelShardedAnonymizer,
 ]
 
 #: Integer counters a runtime maintains (``report()`` exports them all).
@@ -74,6 +79,7 @@ COUNTER_NAMES = (
     "corrupt_rejected",
     "recoveries",
     "shard_recoveries",
+    "worker_crashes",
     "users_purged",
     "fallback_cloaks",
     "degraded_operations",
@@ -188,6 +194,12 @@ class ResilienceRuntime:
             raise RuntimeError("a ResilienceRuntime serves exactly one Casper")
         self._casper = casper
         self._anonymizer = casper.anonymizer
+        # A parallel anonymizer carries the wire-fault seam itself: the
+        # injector then sees (and may drop, corrupt, reorder...) every
+        # real frame on the parent<->worker pipes, not an emulation.
+        attach_injector = getattr(self._anonymizer, "attach_injector", None)
+        if attach_injector is not None and not self.plan.is_quiet:
+            attach_injector(self.injector)
         self._take_snapshot()
 
     @property
@@ -214,8 +226,11 @@ class ResilienceRuntime:
             self._restore()
         else:
             victim = injector.next_shard_op(self._num_shards())
+            worker_victim = injector.next_worker_op(self._num_shards())
             if victim is not None:
                 self._crash_shard(victim)
+            elif worker_victim is not None:
+                self._crash_worker(worker_victim)
             elif uid is not None and injector.should_lose_user():
                 self._lose_user(uid)
         self._ops += 1
@@ -293,6 +308,26 @@ class ResilienceRuntime:
         self.counters["shard_recoveries"] += 1
         _telemetry.note_fault("shard_crash", "anonymizer")
         _telemetry.note_recovery("shard_restore")
+
+    def _crash_worker(self, victim: int) -> None:
+        """Shard-worker *process* crash: kill the victim's OS process
+        mid-run and let the supervisor respawn and heal it over the
+        wire (parent mirror bootstrap or survivor snapshot).
+
+        Unlike :meth:`_crash_shard`, nothing rolls back: the heal
+        source reflects every acknowledged mutation, so users keep
+        their sequence numbers and the blast radius is availability
+        (one stalled exchange) only.  An anonymizer without worker
+        processes has no process boundary to kill, so the fault
+        degenerates to a whole-process crash-and-restore.
+        """
+        crash_worker = getattr(self.anonymizer, "crash_worker", None)
+        if crash_worker is None:
+            self._restore()
+            return
+        crash_worker(victim)
+        self.counters["worker_crashes"] += 1
+        _telemetry.note_fault("worker_crash", "anonymizer")
 
     def _lose_user(self, uid: object) -> None:
         """Silent state loss: the anonymizer forgets one user entirely.

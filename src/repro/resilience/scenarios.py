@@ -17,7 +17,11 @@ The three the CI ``resilience`` job gates on every push:
 * ``shard-crash`` — periodic single-shard crashes with light message
   loss: exercises per-shard snapshot restore, survivor availability and
   the purge-then-re-register heal path (run with a sharded workload;
-  unsharded deployments degenerate it to whole-process crashes).
+  unsharded deployments degenerate it to whole-process crashes);
+* ``worker-crash`` — periodic shard-worker *process* kills with light
+  message loss: exercises the supervisor's respawn-and-heal over the
+  real wire (run with ``--parallel``; in-process deployments degenerate
+  it to whole-process crashes).
 """
 
 from __future__ import annotations
@@ -47,6 +51,12 @@ SCENARIOS: dict[str, FaultPlan] = {
             name="shard-crash",
             seed=29,
             shard_crash_period=35,
+            drop=0.05,
+        ),
+        FaultPlan(
+            name="worker-crash",
+            seed=31,
+            worker_crash_period=35,
             drop=0.05,
         ),
         FaultPlan(

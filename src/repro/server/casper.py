@@ -41,6 +41,7 @@ from repro.processor import (
 # anonymizer role, partitioned — it exists only on the trusted side and
 # the facade hands the server cloaks only (see the import above).
 from repro.sharding import (  # casperlint: ignore[CSP001] trusted facade
+    ParallelShardedAnonymizer,
     ShardedAdaptiveAnonymizer,
     ShardedBasicAnonymizer,
     make_sharded,
@@ -67,6 +68,7 @@ AnonymizerLike = (
     | AdaptiveAnonymizer
     | ShardedBasicAnonymizer
     | ShardedAdaptiveAnonymizer
+    | ParallelShardedAnonymizer
 )
 
 _ANONYMIZER_TYPES = (
@@ -74,6 +76,7 @@ _ANONYMIZER_TYPES = (
     AdaptiveAnonymizer,
     ShardedBasicAnonymizer,
     ShardedAdaptiveAnonymizer,
+    ParallelShardedAnonymizer,
 )
 
 
@@ -89,10 +92,14 @@ class Casper:
         transmission: TransmissionModel | None = None,
         resilience: "ResilienceRuntime | None" = None,
         shards: int = 1,
+        parallel: bool = False,
     ) -> None:
         # Routing seam: `shards > 1` swaps the single-pyramid anonymizer
         # for the sharded runtime, which is byte-for-byte equivalent —
-        # every facade path below is unchanged.
+        # every facade path below is unchanged.  `parallel=True` moves
+        # each shard into its own worker process over the wire protocol
+        # (still byte-equivalent; close the deployment to reap workers).
+        self._closed = False
         if isinstance(anonymizer, _ANONYMIZER_TYPES):
             if anonymizer.bounds != bounds:
                 raise ValueError(
@@ -102,11 +109,23 @@ class Casper:
                 raise ValueError(
                     "anonymizer instance shard count differs from `shards`"
                 )
+            if parallel and not isinstance(
+                anonymizer, ParallelShardedAnonymizer
+            ):
+                raise ValueError(
+                    "parallel=True conflicts with an in-process anonymizer "
+                    "instance; pass a ParallelShardedAnonymizer or a kind "
+                    "string instead"
+                )
             self.anonymizer = anonymizer
         elif anonymizer in ("basic", "adaptive"):
-            if shards > 1:
+            if shards > 1 or parallel:
                 self.anonymizer = make_sharded(
-                    bounds, pyramid_height, num_shards=shards, kind=anonymizer
+                    bounds,
+                    pyramid_height,
+                    num_shards=shards,
+                    kind=anonymizer,
+                    parallel=parallel,
                 )
             elif anonymizer == "basic":
                 self.anonymizer = BasicAnonymizer(bounds, pyramid_height)
@@ -126,6 +145,27 @@ class Casper:
         self.resilience = resilience
         if resilience is not None:
             resilience.attach(self)
+
+    def close(self) -> None:
+        """Release the anonymizer's resources (idempotent).
+
+        For the parallel runtime this drains and reaps every worker
+        process; in-process anonymizers have nothing to release.  Safe
+        to call from ``finally`` blocks and after partial failures —
+        a deployment must never leak shard worker processes.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        closer = getattr(self.anonymizer, "close", None)
+        if closer is not None:
+            closer()
+
+    def __enter__(self) -> "Casper":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     @property
     def bounds(self) -> Rect:
@@ -381,14 +421,22 @@ class Casper:
         with _telemetry.query_scope("batch_public"):
             t0 = monotonic()
             parsed: list[tuple[object, str, float]] = []
-            cloaks = []
             for spec in queries:
                 uid, query_type = spec[0], spec[1]
                 param = spec[2] if len(spec) > 2 else (
                     1 if query_type == "knn_public" else 0.0
                 )
                 parsed.append((uid, query_type, param))
-                cloaks.append(self.cloak_for(uid))
+            # Batched cloaking: the parallel runtime groups the batch by
+            # owning shard and ships one frame per worker instead of one
+            # round trip per query.  Results are identical to the
+            # one-at-a-time path, so only transport changes; resilient
+            # deployments keep the per-query guarded path.
+            cloak_many = getattr(self.anonymizer, "cloak_many", None)
+            if self.resilience is None and cloak_many is not None:
+                cloaks = cloak_many([uid for uid, _, _ in parsed])
+            else:
+                cloaks = [self.cloak_for(uid) for uid, _, _ in parsed]
             t1 = monotonic()
             requests = []
             for (uid, query_type, param), cloak in zip(parsed, cloaks):

@@ -11,8 +11,20 @@ implement the exact interface of
 candidate lists, and maintenance statistics are identical; sharding
 changes only where state lives and which caches a mutation invalidates.
 
+Two runtimes share that routing scheme:
+
+* the in-process fleets (:class:`ShardedBasicAnonymizer` /
+  :class:`ShardedAdaptiveAnonymizer`) — one address space, shard cores
+  as plain objects;
+* the process pool (:class:`ParallelShardedAnonymizer`,
+  ``parallel=True``) — one OS process per shard speaking the framed,
+  CRC'd wire protocol of :mod:`repro.sharding.wire` over pipes, with
+  an asyncio socket front door
+  (:class:`~repro.sharding.frontdoor.ShardFrontDoor`) for remote
+  peers.  Same interface, same bytes out.
+
 See ``docs/sharding.md`` for the partitioning scheme, the composite
-cache-epoch rule, and the per-shard crash/heal protocol.
+cache-epoch rule, the wire format and the worker crash/heal protocol.
 """
 
 from __future__ import annotations
@@ -21,18 +33,28 @@ from repro.geometry import Rect
 from repro.sharding.adaptive import ShardedAdaptiveAnonymizer
 from repro.sharding.basic import ShardedBasicAnonymizer
 from repro.sharding.router import ShardRouter, morton_cell, morton_rank
+from repro.sharding.workers import (
+    ParallelShardedAnonymizer,
+    ShardWorker,
+    WorkerPool,
+)
 
 __all__ = [
+    "ParallelShardedAnonymizer",
     "ShardRouter",
+    "ShardWorker",
     "ShardedAdaptiveAnonymizer",
     "ShardedAnonymizer",
     "ShardedBasicAnonymizer",
+    "WorkerPool",
     "make_sharded",
     "morton_cell",
     "morton_rank",
 ]
 
-ShardedAnonymizer = ShardedBasicAnonymizer | ShardedAdaptiveAnonymizer
+ShardedAnonymizer = (
+    ShardedBasicAnonymizer | ShardedAdaptiveAnonymizer | ParallelShardedAnonymizer
+)
 """Union of the sharded anonymizer implementations."""
 
 
@@ -42,17 +64,24 @@ def make_sharded(
     num_shards: int = 1,
     kind: str = "basic",
     cloak_cache_size: int = 8192,
+    parallel: bool = False,
 ) -> ShardedAnonymizer:
     """Build a sharded anonymizer of the requested ``kind``
-    (``"basic"`` or ``"adaptive"``)."""
+    (``"basic"`` or ``"adaptive"``); ``parallel=True`` runs each shard
+    in its own worker process over the wire protocol."""
+    if kind not in ("basic", "adaptive"):
+        raise ValueError(f"unknown anonymizer kind {kind!r}")
+    if parallel:
+        return ParallelShardedAnonymizer(
+            bounds, height=height, num_shards=num_shards, kind=kind,
+            cloak_cache_size=cloak_cache_size,
+        )
     if kind == "basic":
         return ShardedBasicAnonymizer(
             bounds, height=height, num_shards=num_shards,
             cloak_cache_size=cloak_cache_size,
         )
-    if kind == "adaptive":
-        return ShardedAdaptiveAnonymizer(
-            bounds, height=height, num_shards=num_shards,
-            cloak_cache_size=cloak_cache_size,
-        )
-    raise ValueError(f"unknown anonymizer kind {kind!r}")
+    return ShardedAdaptiveAnonymizer(
+        bounds, height=height, num_shards=num_shards,
+        cloak_cache_size=cloak_cache_size,
+    )

@@ -41,7 +41,7 @@ from repro.anonymizer.stats import MaintenanceStats
 from repro.errors import DuplicateUserError, UnknownUserError
 from repro.geometry import Point, Rect
 from repro.observability import runtime as _telemetry
-from repro.sharding.core import AdaptiveShardCore, SpineState
+from repro.sharding.core import AdaptiveShardCore, SpineState, cache_counters
 from repro.sharding.router import ShardRouter
 from repro.utils.timer import monotonic
 
@@ -96,9 +96,13 @@ class ShardedAdaptiveAnonymizer:
         self.grid = CellGrid(bounds, height)
         self.stats = MaintenanceStats()
         self.router = ShardRouter(num_shards, height)
-        self._spine = SpineState(cache=CloakCache(cloak_cache_size))
+        self._spine = SpineState(
+            cache=CloakCache(cloak_cache_size, shard_label="spine")
+        )
         self._cores = [
-            AdaptiveShardCore(index=i, cache=CloakCache(cloak_cache_size))
+            AdaptiveShardCore(
+                index=i, cache=CloakCache(cloak_cache_size, shard_label=str(i))
+            )
             for i in range(num_shards)
         ]
         self._directory: dict[object, int] = {}
@@ -157,6 +161,16 @@ class ShardedAdaptiveAnonymizer:
             "invalidations": sum(c.invalidations for c in caches),
             "evictions": sum(c.evictions for c in caches),
         }
+
+    def cache_stats_per_shard(self) -> dict[str, dict[str, int]]:
+        """Cloak-cache traffic per shard core (plus the spine cache),
+        keyed ``"0"``..``"N-1"`` / ``"spine"``."""
+        stats = {
+            str(core.index): cache_counters(core.cache)
+            for core in self._cores
+        }
+        stats["spine"] = cache_counters(self._spine.cache)
+        return stats
 
     def profile_of(self, uid: object) -> PrivacyProfile:
         return self._record(uid).profile
@@ -268,12 +282,21 @@ class ShardedAdaptiveAnonymizer:
     def update(self, uid: object, point: Point) -> int:
         """Process a location update; returns its counter-update cost
         (identical to the single-pyramid cost)."""
+        return self._update_routed(uid, point, None)
+
+    def _update_routed(
+        self, uid: object, point: Point, home_hint: int | None
+    ) -> int:
         record = self._record(uid)
         home = self._directory[uid]
         record.point = point
         self.stats.location_updates += 1
         new_leaf = self.leaf_for_point(point)
-        new_home = self.router.shard_of(self.grid.cell_of(point))
+        new_home = (
+            home_hint
+            if home_hint is not None
+            else self.router.shard_of(self.grid.cell_of(point))
+        )
         obs = _telemetry.active()
         if obs is not None:
             _telemetry.record_shard_op(obs, home, "update")
@@ -293,6 +316,24 @@ class ShardedAdaptiveAnonymizer:
         self._maybe_split(new_leaf)
         self._maybe_merge(old_leaf)
         return cost
+
+    def update_batch(self, moves: list[tuple[object, Point]]) -> list[int]:
+        """Apply a tick's worth of location updates.
+
+        Adaptive updates do *not* commute — split/merge cascades depend
+        on the interleaving — so the batch applies strictly in arrival
+        order; :meth:`~repro.sharding.router.ShardRouter.route_batch`
+        still resolves every move's destination shard in one memoized
+        pass, replacing the per-move ``shard_of`` walk :meth:`update`
+        would otherwise do, and its grouping is what the process pool
+        ships one frame per shard with.
+        """
+        cells = [self.grid.cell_of(point) for _, point in moves]
+        owners, _by_shard = self.router.route_batch(cells)
+        return [
+            self._update_routed(uid, point, owner)
+            for (uid, point), owner in zip(moves, owners)
+        ]
 
     def _rehome(
         self,

@@ -31,7 +31,7 @@ from repro.anonymizer.stats import MaintenanceStats
 from repro.errors import DuplicateUserError, UnknownUserError
 from repro.geometry import Point, Rect
 from repro.observability import runtime as _telemetry
-from repro.sharding.core import BasicShardCore, SpineState
+from repro.sharding.core import BasicShardCore, SpineState, cache_counters
 from repro.sharding.router import ShardRouter
 from repro.utils.timer import monotonic
 
@@ -82,9 +82,13 @@ class ShardedBasicAnonymizer:
         self.grid = CellGrid(bounds, height)
         self.stats = MaintenanceStats()
         self.router = ShardRouter(num_shards, height)
-        self._spine = SpineState(cache=CloakCache(cloak_cache_size))
+        self._spine = SpineState(
+            cache=CloakCache(cloak_cache_size, shard_label="spine")
+        )
         self._cores = [
-            BasicShardCore(index=i, cache=CloakCache(cloak_cache_size))
+            BasicShardCore(
+                index=i, cache=CloakCache(cloak_cache_size, shard_label=str(i))
+            )
             for i in range(num_shards)
         ]
         self._directory: dict[object, int] = {}
@@ -132,6 +136,17 @@ class ShardedBasicAnonymizer:
             "invalidations": sum(c.invalidations for c in caches),
             "evictions": sum(c.evictions for c in caches),
         }
+
+    def cache_stats_per_shard(self) -> dict[str, dict[str, int]]:
+        """Cloak-cache traffic per shard core (plus the spine cache),
+        keyed ``"0"``..``"N-1"`` / ``"spine"`` — the unblended numbers
+        the ``shard_scaling`` bench and the ``metrics`` CLI report."""
+        stats = {
+            str(core.index): cache_counters(core.cache)
+            for core in self._cores
+        }
+        stats["spine"] = cache_counters(self._spine.cache)
+        return stats
 
     def profile_of(self, uid: object) -> PrivacyProfile:
         return self._record(uid).profile
@@ -206,16 +221,30 @@ class ShardedBasicAnonymizer:
             return 0
         ancestor_level = self.grid.common_ancestor_level(record.cell, new_cell)
         cost = 0
-        for old, new in branch_pairs(record.cell, new_cell, ancestor_level):
-            self._bump(old, -1)
-            self._bump(new, +1)
-            cost += 2
-        record.cell = new_cell
-        self._cores[shard].epoch += 1
         obs = _telemetry.active()
-        if obs is not None:
-            _telemetry.record_shard_op(obs, shard, "update")
-        if self.router.crosses_boundary(ancestor_level):
+        if not self.router.crosses_boundary(ancestor_level):
+            # Confined move: both branches stay strictly below the spine
+            # inside the record's level-S block, so every delta lands on
+            # the home core — no per-cell shard routing, no boundary or
+            # spine effects, no rehome.
+            core = self._cores[shard]
+            for old, new in branch_pairs(record.cell, new_cell, ancestor_level):
+                core.apply(old, -1)
+                core.apply(new, +1)
+                cost += 2
+            record.cell = new_cell
+            core.epoch += 1
+            if obs is not None:
+                _telemetry.record_shard_op(obs, shard, "update")
+        else:
+            for old, new in branch_pairs(record.cell, new_cell, ancestor_level):
+                self._bump(old, -1)
+                self._bump(new, +1)
+                cost += 2
+            record.cell = new_cell
+            self._cores[shard].epoch += 1
+            if obs is not None:
+                _telemetry.record_shard_op(obs, shard, "update")
             # The move left its level-S block: spine/block-root counts
             # changed, and the user may need rehoming to another core.
             self._spine.boundary_epoch += 1
@@ -233,6 +262,28 @@ class ShardedBasicAnonymizer:
         self.stats.counter_updates += cost
         self.stats.cell_changes += 1
         return cost
+
+    def update_batch(self, moves: list[tuple[object, Point]]) -> list[int]:
+        """Apply a tick's worth of location updates, routed per shard in
+        one :meth:`~repro.sharding.router.ShardRouter.route_batch` pass.
+
+        Per-shard groups are applied in shard order.  Distinct users'
+        updates commute — counter deltas, generation bumps and epoch
+        advances are all additive and no cloak interleaves — so the end
+        state and the returned per-move costs are identical to the
+        sequential loop.  A batch naming the same user twice is
+        order-sensitive and falls back to arrival order.
+        """
+        if len({uid for uid, _ in moves}) != len(moves):
+            return [self.update(uid, point) for uid, point in moves]
+        cells = [self.grid.cell_of(point) for _, point in moves]
+        _owners, by_shard = self.router.route_batch(cells)
+        costs = [0] * len(moves)
+        for shard in sorted(by_shard):
+            for index in by_shard[shard]:
+                uid, point = moves[index]
+                costs[index] = self.update(uid, point)
+        return costs
 
     def _apply_delta(self, cell: CellId, delta: int) -> None:
         for ancestor in self.grid.path_to_root(cell):

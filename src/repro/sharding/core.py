@@ -36,7 +36,22 @@ if TYPE_CHECKING:
     from repro.anonymizer.adaptive import _UserRecord as AdaptiveRecord
     from repro.anonymizer.basic import _UserRecord as BasicRecord
 
-__all__ = ["BasicShardCore", "AdaptiveShardCore", "SpineState"]
+__all__ = [
+    "BasicShardCore",
+    "AdaptiveShardCore",
+    "SpineState",
+    "cache_counters",
+]
+
+
+def cache_counters(cache: CloakCache) -> dict[str, int]:
+    """One cache's traffic counters in the ``cache_stats()`` shape."""
+    return {
+        "hits": cache.hits,
+        "misses": cache.misses,
+        "invalidations": cache.invalidations,
+        "evictions": cache.evictions,
+    }
 
 
 @dataclass

@@ -96,6 +96,40 @@ class ShardRouter:
             raise ValueError(f"{cell} is a spine cell, owned by no shard")
         return owner
 
+    def route_batch(
+        self, cells: list[CellId]
+    ) -> tuple[list[int], dict[int, list[int]]]:
+        """Owner shard of every cell in one routing pass.
+
+        Returns ``(owners, by_shard)``: the owning shard per cell in
+        arrival order, and arrival-ordered cell *indexes* grouped per
+        shard (only shards that own something appear).  The Morton rank
+        is memoized per level-``S`` block, so a tick's worth of moves
+        clustered in a few blocks pays one rank computation per block
+        instead of one full bit-interleave per move — the fix for the
+        sequential runtime's per-update routing overhead, and the
+        grouping the process pool uses to build one frame per shard.
+        """
+        owners: list[int] = []
+        by_shard: dict[int, list[int]] = {}
+        spine_level = self.spine_level
+        owner_cache: dict[CellId, int] = {}
+        for index, cell in enumerate(cells):
+            if cell.level < spine_level:
+                raise ValueError(f"{cell} is a spine cell, owned by no shard")
+            block = cell.ancestor(spine_level)
+            owner = owner_cache.get(block)
+            if owner is None:
+                owner = self._owner_by_rank[morton_rank(block)]
+                owner_cache[block] = owner
+            owners.append(owner)
+            group = by_shard.get(owner)
+            if group is None:
+                by_shard[owner] = [index]
+            else:
+                group.append(index)
+        return owners, by_shard
+
     def blocks_of(self, shard: int) -> tuple[CellId, ...]:
         """The level-``S`` blocks owned by ``shard``, in Morton order."""
         if not 0 <= shard < self.num_shards:

@@ -1,0 +1,467 @@
+"""The shard wire protocol: framed, CRC'd, batched envelopes.
+
+This module promotes :class:`repro.messages.ShardEnvelope` from an
+in-process routing record into a genuine wire protocol.  A **frame** is
+the unit of transmission between the parent runtime and a shard worker
+process (or a socket peer): a length-prefixed binary header, a batch of
+whole shard envelopes, and a trailing CRC-32 over everything, so any
+single corrupted byte anywhere in the frame is detected before a single
+envelope is looked at.
+
+Frame layout (little-endian, 16-byte header)::
+
+    ========  =====  ==========================================
+    offset    size   field
+    ========  =====  ==========================================
+    0         4      magic ``b"CFRM"``
+    4         1      format version (currently 1)
+    5         1      frame kind (request / response / nack)
+    6         2      envelope count (uint16)
+    8         4      sequence number (uint32)
+    12        4      payload length (uint32)
+    16        n      payload: ``count`` concatenated shard envelopes,
+                     each exactly as ``encode_envelope`` emits it
+    16 + n    4      CRC-32 of bytes [0, 16 + n)
+    ========  =====  ==========================================
+
+Batching many envelopes per frame is what amortizes the IPC cost of the
+process pool: one pipe round trip carries a whole tick's worth of
+mutations plus the cloak that needs their effects.  The sequence number
+implements stop-and-wait retransmission over lossy transports — a
+worker that sees a repeated sequence replays its cached reply instead
+of re-applying the batch, and answers a corrupt frame with a ``NACK``
+frame so the sender retransmits instead of timing out.
+
+Envelope payloads carry one shard **operation** each, encoded by the
+``op_*`` / ``response_*`` helpers below: a one-byte opcode, fixed-width
+little-endian fields, and a tagged user id (int64 or UTF-8) last.
+Operations never carry pyramid state; snapshots travel as opaque blobs
+that a parent only unpickles after the frame CRC has verified — bytes
+that fail the CRC are rejected, never parsed, and *never* unpickled.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass
+
+from repro.anonymizer.cells import CellId
+from repro.anonymizer.cloak import CloakedRegion
+from repro.anonymizer.profile import PrivacyProfile
+from repro.geometry import Point, Rect
+from repro.messages import (
+    ENVELOPE_HEADER_SIZE,
+    ShardEnvelope,
+    decode_envelope,
+    encode_envelope,
+)
+
+__all__ = [
+    "FRAME_HEADER_SIZE",
+    "FRAME_VERSION",
+    "Frame",
+    "FrameDecoder",
+    "KIND_NACK",
+    "KIND_REQUEST",
+    "KIND_RESPONSE",
+    "WireError",
+    "decode_frame",
+    "decode_op",
+    "decode_response",
+    "encode_frame",
+]
+
+
+class WireError(ValueError):
+    """A malformed, truncated or corrupted wire artifact."""
+
+
+# ----------------------------------------------------------------------
+# Frames
+# ----------------------------------------------------------------------
+FRAME_HEADER_SIZE = 16
+FRAME_VERSION = 1
+_FRAME_MAGIC = b"CFRM"
+_FRAME_HEADER = struct.Struct("<4sBBHII")
+assert _FRAME_HEADER.size == FRAME_HEADER_SIZE
+
+KIND_REQUEST = 1
+KIND_RESPONSE = 2
+KIND_NACK = 3
+_FRAME_KINDS = frozenset({KIND_REQUEST, KIND_RESPONSE, KIND_NACK})
+
+
+@dataclass(frozen=True, slots=True)
+class Frame:
+    """One decoded wire frame: a batch of envelopes under one sequence
+    number."""
+
+    kind: int
+    seq: int
+    envelopes: tuple[ShardEnvelope, ...]
+
+
+def encode_frame(
+    kind: int, seq: int, envelopes: tuple[ShardEnvelope, ...] | list[ShardEnvelope]
+) -> bytes:
+    """Serialize a batch of envelopes into one framed transmission."""
+    if kind not in _FRAME_KINDS:
+        raise WireError(f"unknown frame kind {kind}")
+    if not 0 <= seq < 2**32:
+        raise WireError(f"frame sequence number out of uint32 range: {seq}")
+    if len(envelopes) >= 2**16:
+        raise WireError(f"too many envelopes for one frame: {len(envelopes)}")
+    payload = b"".join(encode_envelope(envelope) for envelope in envelopes)
+    header = _FRAME_HEADER.pack(
+        _FRAME_MAGIC, FRAME_VERSION, kind, len(envelopes), seq, len(payload)
+    )
+    body = header + payload
+    return body + struct.pack("<I", zlib.crc32(body))
+
+
+def decode_frame(data: bytes) -> Frame:
+    """Deserialize and *verify* one frame.
+
+    Validation order — length, magic, version, kind, length field, CRC,
+    then envelope parse — guarantees the CRC has vouched for every byte
+    before any envelope is interpreted, so a corrupted frame can never
+    deliver a partially-valid batch.  Raises :class:`WireError` (a
+    ``ValueError``) on any mismatch.
+    """
+    if len(data) < FRAME_HEADER_SIZE + 4:
+        raise WireError(f"frame too short: {len(data)} bytes")
+    magic, version, kind, count, seq, length = _FRAME_HEADER.unpack(
+        data[:FRAME_HEADER_SIZE]
+    )
+    if magic != _FRAME_MAGIC:
+        raise WireError("bad frame magic")
+    if version != FRAME_VERSION:
+        raise WireError(f"unsupported frame version {version}")
+    if kind not in _FRAME_KINDS:
+        raise WireError(f"unknown frame kind {kind}")
+    if len(data) != FRAME_HEADER_SIZE + length + 4:
+        raise WireError("frame length field disagrees with the payload size")
+    (crc,) = struct.unpack("<I", data[-4:])
+    if crc != zlib.crc32(data[:-4]):
+        raise WireError("frame failed its CRC check (corrupt payload)")
+    envelopes = []
+    offset = FRAME_HEADER_SIZE
+    end = FRAME_HEADER_SIZE + length
+    for _ in range(count):
+        if offset + ENVELOPE_HEADER_SIZE + 4 > end:
+            raise WireError("frame envelope truncated")
+        (env_length,) = struct.unpack_from("<I", data, offset + 8)
+        env_end = offset + ENVELOPE_HEADER_SIZE + env_length + 4
+        if env_end > end:
+            raise WireError("frame envelope truncated")
+        envelopes.append(decode_envelope(data[offset:env_end]))
+        offset = env_end
+    if offset != end:
+        raise WireError("frame envelope count disagrees with the payload")
+    return Frame(kind, seq, tuple(envelopes))
+
+
+class FrameDecoder:
+    """Incremental frame reassembly over a byte stream.
+
+    Feed arbitrarily-chunked reads (pipe fragments, TCP segments) and
+    collect whole frames as they complete; partial frames stay buffered
+    across calls.  A byte stream that desynchronizes — wrong magic,
+    corrupt CRC — raises immediately: stream transports are ordered, so
+    recovery is the peer's reconnect, not a resync hunt.
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    @property
+    def pending(self) -> int:
+        """Bytes buffered awaiting the rest of their frame."""
+        return len(self._buffer)
+
+    def feed(self, data: bytes) -> list[Frame]:
+        """Buffer ``data`` and return every frame it completed."""
+        self._buffer += data
+        frames: list[Frame] = []
+        while len(self._buffer) >= FRAME_HEADER_SIZE:
+            magic, version, kind, _count, _seq, length = _FRAME_HEADER.unpack(
+                bytes(self._buffer[:FRAME_HEADER_SIZE])
+            )
+            if magic != _FRAME_MAGIC:
+                raise WireError("bad frame magic")
+            if version != FRAME_VERSION:
+                raise WireError(f"unsupported frame version {version}")
+            if kind not in _FRAME_KINDS:
+                raise WireError(f"unknown frame kind {kind}")
+            total = FRAME_HEADER_SIZE + length + 4
+            if len(self._buffer) < total:
+                break
+            frames.append(decode_frame(bytes(self._buffer[:total])))
+            del self._buffer[:total]
+        return frames
+
+
+# ----------------------------------------------------------------------
+# Operation payloads (parent -> worker)
+# ----------------------------------------------------------------------
+OP_REGISTER = 1
+OP_MOVE = 2
+OP_DEREGISTER = 3
+OP_SET_PROFILE = 4
+OP_CLOAK = 5
+OP_CLOAK_LOCATION = 6
+OP_CELL_COUNT = 7
+OP_STATS = 8
+OP_SNAPSHOT = 9
+OP_INSTALL = 10
+OP_RESET = 11
+OP_CHECK = 12
+OP_PING = 13
+OP_HANG = 14
+OP_SHUTDOWN = 15
+
+_UID_INT = 0
+_UID_STR = 1
+
+
+def _encode_uid(uid: object) -> bytes:
+    if isinstance(uid, bool) or not isinstance(uid, (int, str)):
+        raise TypeError(
+            f"the shard wire protocol carries int or str user ids, not "
+            f"{type(uid).__name__}"
+        )
+    if isinstance(uid, int):
+        return struct.pack("<Bq", _UID_INT, uid)
+    raw = uid.encode("utf-8")
+    if len(raw) >= 2**16:
+        raise WireError("user id too long for the wire format")
+    return struct.pack("<BH", _UID_STR, len(raw)) + raw
+
+
+def _decode_uid(data: bytes, offset: int) -> tuple[object, int]:
+    (tag,) = struct.unpack_from("<B", data, offset)
+    if tag == _UID_INT:
+        (uid,) = struct.unpack_from("<q", data, offset + 1)
+        return uid, offset + 9
+    if tag == _UID_STR:
+        (length,) = struct.unpack_from("<H", data, offset + 1)
+        start = offset + 3
+        return data[start : start + length].decode("utf-8"), start + length
+    raise WireError(f"unknown user-id tag {tag}")
+
+
+def op_register(uid: object, point: Point, profile: PrivacyProfile) -> bytes:
+    return (
+        struct.pack(
+            "<BddId", OP_REGISTER, point.x, point.y, profile.k, profile.a_min
+        )
+        + _encode_uid(uid)
+    )
+
+
+def op_move(uid: object, point: Point) -> bytes:
+    return struct.pack("<Bdd", OP_MOVE, point.x, point.y) + _encode_uid(uid)
+
+
+def op_deregister(uid: object) -> bytes:
+    return struct.pack("<B", OP_DEREGISTER) + _encode_uid(uid)
+
+
+def op_set_profile(uid: object, profile: PrivacyProfile) -> bytes:
+    return (
+        struct.pack("<BId", OP_SET_PROFILE, profile.k, profile.a_min)
+        + _encode_uid(uid)
+    )
+
+
+def op_cloak(uid: object) -> bytes:
+    return struct.pack("<B", OP_CLOAK) + _encode_uid(uid)
+
+
+def op_cloak_location(point: Point, profile: PrivacyProfile) -> bytes:
+    return struct.pack(
+        "<BddId", OP_CLOAK_LOCATION, point.x, point.y, profile.k, profile.a_min
+    )
+
+
+def op_cell_count(cell: CellId) -> bytes:
+    return struct.pack("<BBII", OP_CELL_COUNT, cell.level, cell.ix, cell.iy)
+
+
+def op_stats() -> bytes:
+    return struct.pack("<B", OP_STATS)
+
+
+def op_snapshot() -> bytes:
+    return struct.pack("<B", OP_SNAPSHOT)
+
+
+def op_install(blob: bytes) -> bytes:
+    return struct.pack("<B", OP_INSTALL) + blob
+
+
+def op_reset() -> bytes:
+    return struct.pack("<B", OP_RESET)
+
+
+def op_check() -> bytes:
+    return struct.pack("<B", OP_CHECK)
+
+
+def op_ping() -> bytes:
+    return struct.pack("<B", OP_PING)
+
+
+def op_hang(seconds: float) -> bytes:
+    return struct.pack("<Bd", OP_HANG, seconds)
+
+
+def op_shutdown() -> bytes:
+    return struct.pack("<B", OP_SHUTDOWN)
+
+
+def decode_op(data: bytes) -> tuple:
+    """Decode one operation payload into ``(name, *args)``."""
+    if not data:
+        raise WireError("empty operation payload")
+    opcode = data[0]
+    if opcode == OP_REGISTER:
+        x, y, k, a_min = struct.unpack_from("<ddId", data, 1)
+        uid, _ = _decode_uid(data, 29)
+        return ("register", uid, Point(x, y), PrivacyProfile(k, a_min))
+    if opcode == OP_MOVE:
+        x, y = struct.unpack_from("<dd", data, 1)
+        uid, _ = _decode_uid(data, 17)
+        return ("move", uid, Point(x, y))
+    if opcode == OP_DEREGISTER:
+        uid, _ = _decode_uid(data, 1)
+        return ("deregister", uid)
+    if opcode == OP_SET_PROFILE:
+        k, a_min = struct.unpack_from("<Id", data, 1)
+        uid, _ = _decode_uid(data, 13)
+        return ("set_profile", uid, PrivacyProfile(k, a_min))
+    if opcode == OP_CLOAK:
+        uid, _ = _decode_uid(data, 1)
+        return ("cloak", uid)
+    if opcode == OP_CLOAK_LOCATION:
+        x, y, k, a_min = struct.unpack_from("<ddId", data, 1)
+        return ("cloak_location", Point(x, y), PrivacyProfile(k, a_min))
+    if opcode == OP_CELL_COUNT:
+        level, ix, iy = struct.unpack_from("<BII", data, 1)
+        return ("cell_count", CellId(level, ix, iy))
+    if opcode == OP_STATS:
+        return ("stats",)
+    if opcode == OP_SNAPSHOT:
+        return ("snapshot",)
+    if opcode == OP_INSTALL:
+        return ("install", data[1:])
+    if opcode == OP_RESET:
+        return ("reset",)
+    if opcode == OP_CHECK:
+        return ("check",)
+    if opcode == OP_PING:
+        return ("ping",)
+    if opcode == OP_HANG:
+        (seconds,) = struct.unpack_from("<d", data, 1)
+        return ("hang", seconds)
+    if opcode == OP_SHUTDOWN:
+        return ("shutdown",)
+    raise WireError(f"unknown shard opcode {opcode}")
+
+
+# ----------------------------------------------------------------------
+# Response payloads (worker -> parent)
+# ----------------------------------------------------------------------
+RE_ACK = 64
+RE_COST = 65
+RE_CLOAK_OK = 66
+RE_CLOAK_UNSAT = 67
+RE_COUNT = 68
+RE_BLOB = 69
+RE_ERROR = 70
+
+
+def response_ack() -> bytes:
+    return struct.pack("<B", RE_ACK)
+
+
+def response_cost(cost: int) -> bytes:
+    return struct.pack("<BI", RE_COST, cost)
+
+
+def response_cloak(region: CloakedRegion) -> bytes:
+    rect = region.region
+    head = struct.pack(
+        "<BddddIH",
+        RE_CLOAK_OK,
+        rect.x_min,
+        rect.y_min,
+        rect.x_max,
+        rect.y_max,
+        region.achieved_k,
+        len(region.cells),
+    )
+    cells = b"".join(
+        struct.pack("<BII", cell.level, cell.ix, cell.iy)
+        for cell in region.cells
+    )
+    return head + cells
+
+
+def response_cloak_unsatisfiable() -> bytes:
+    return struct.pack("<B", RE_CLOAK_UNSAT)
+
+
+def response_count(count: int) -> bytes:
+    return struct.pack("<BI", RE_COUNT, count)
+
+
+def response_blob(blob: bytes) -> bytes:
+    return struct.pack("<B", RE_BLOB) + blob
+
+
+def response_error(message: str) -> bytes:
+    return struct.pack("<B", RE_ERROR) + message.encode("utf-8")
+
+
+def decode_response(data: bytes) -> tuple:
+    """Decode one response payload into ``(name, *args)``.
+
+    Cloaks are reconstructed into real :class:`CloakedRegion` objects —
+    the doubles round-trip exactly, which is what lets the parallel
+    runtime promise *byte*-identical cloaks, not approximately-equal
+    ones.  Blob payloads are returned as raw bytes; the caller decides
+    whether to unpickle (and only ever does so after the enclosing
+    frame's CRC verified).
+    """
+    if not data:
+        raise WireError("empty response payload")
+    opcode = data[0]
+    if opcode == RE_ACK:
+        return ("ack",)
+    if opcode == RE_COST:
+        (cost,) = struct.unpack_from("<I", data, 1)
+        return ("cost", cost)
+    if opcode == RE_CLOAK_OK:
+        x_min, y_min, x_max, y_max, achieved_k, n = struct.unpack_from(
+            "<ddddIH", data, 1
+        )
+        cells = tuple(
+            CellId(*struct.unpack_from("<BII", data, 39 + 9 * i))
+            for i in range(n)
+        )
+        return (
+            "cloak",
+            CloakedRegion(Rect(x_min, y_min, x_max, y_max), achieved_k, cells),
+        )
+    if opcode == RE_CLOAK_UNSAT:
+        return ("unsat",)
+    if opcode == RE_COUNT:
+        (count,) = struct.unpack_from("<I", data, 1)
+        return ("count", count)
+    if opcode == RE_BLOB:
+        return ("blob", data[1:])
+    if opcode == RE_ERROR:
+        return ("error", data[1:].decode("utf-8"))
+    raise WireError(f"unknown shard response opcode {opcode}")

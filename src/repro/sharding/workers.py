@@ -1,0 +1,1377 @@
+"""True parallel sharding: shard workers as separate OS processes.
+
+This module runs each shard's pyramid subtree in its own worker
+process, connected to the parent runtime over the framed wire protocol
+of :mod:`repro.sharding.wire`.  Three pieces compose the subsystem:
+
+* :class:`ShardWorker` — the loop a worker process runs: receive a
+  frame, apply its batch of shard operations to a local replica,
+  answer with a response frame (or a ``NACK`` when the request failed
+  its CRC).  Stop-and-wait sequence numbers make redelivery safe: a
+  repeated sequence replays the cached reply instead of re-applying
+  the batch.
+* :class:`WorkerPool` — the supervisor: spawns one process per shard
+  over a duplex pipe, health-checks, kills, respawns and tears the
+  fleet down deterministically (idempotent, exception-safe).
+* :class:`ParallelShardedAnonymizer` — the parent-side runtime
+  implementing the exact sharded-anonymizer interface, so
+  ``Casper(shards=N, parallel=True)``, batch queries and the
+  continuous monitor work unchanged on top of real processes.
+
+Replication model (what makes the results *byte-identical* to the
+in-process :class:`~repro.sharding.basic.ShardedBasicAnonymizer` /
+:class:`~repro.sharding.adaptive.ShardedAdaptiveAnonymizer`):
+
+* **basic** — every worker holds a full fleet replica but receives
+  only the traffic that can affect what it serves: registrations,
+  deregistrations, profile changes and boundary-crossing moves are
+  broadcast (they touch spine/block-root state every shard can read),
+  while a move confined to one shard's blocks goes to that worker
+  alone.  A worker's *own* core — its counts, generations, epoch and
+  cloak cache — then evolves exactly like the in-process core, because
+  foreign confined moves never touch spine cells, block roots, or the
+  worker's own blocks.  Foreign *interior* counts on a replica may go
+  stale, which is why workers run a partial-replication invariant
+  check (:func:`_check_basic_replica`) instead of the full one.
+  The parent computes all maintenance statistics itself (basic costs
+  are pure functions of the cell walk), so ``stats`` needs no wire
+  round trip.
+* **adaptive** — split/merge cascades read foreign points and
+  profiles, so every mutation is broadcast and every replica stays
+  complete.  Identical operation streams keep every replica's cut
+  identical; cloaks route to the user's home shard, whose core cache
+  evolves exactly like the in-process one.  Only the spine cache
+  splits across workers (each sees just its own spine-leaf cloaks),
+  so aggregate ``cache_stats()`` is the one number the parallel
+  adaptive runtime does not reproduce byte-for-byte.  Update costs
+  come back on the wire (cost accounting inside split/merge cascades
+  cannot be recomputed parent-side), which is why adaptive updates
+  flush synchronously.
+
+Failure model: the parent's transmit seam feeds every frame — in both
+directions — through an attached
+:class:`~repro.resilience.faults.FaultInjector`, so chaos drops,
+duplicates, delays, reorders and corrupts the *actual bytes* crossing
+the pipes.  Dropped or corrupted frames retransmit (the worker replays
+from its dedup cache); a worker that dies or hangs past
+``hang_timeout`` is killed, respawned and healed — from the parent
+mirror (basic) or from the lowest surviving replica's snapshot
+(adaptive) — degrading availability for the duration, never privacy.
+
+Pickle travels only inside ``install``/``snapshot``/``stats`` blobs
+between a parent and the worker processes it spawned, and is parsed
+only after the enclosing frame's CRC verified.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import pickle
+import time
+from dataclasses import dataclass
+from multiprocessing.connection import Connection
+
+from repro.anonymizer.cells import CellGrid, CellId
+from repro.anonymizer.cloak import CloakedRegion
+from repro.anonymizer.profile import PrivacyProfile
+from repro.anonymizer.stats import MaintenanceStats
+from repro.errors import (
+    DuplicateUserError,
+    ProfileUnsatisfiableError,
+    UnknownUserError,
+)
+from repro.geometry import Point, Rect
+from repro.messages import ShardEnvelope
+from repro.observability import runtime as _telemetry
+from repro.sharding.adaptive import ShardedAdaptiveAnonymizer
+from repro.sharding.basic import ShardedBasicAnonymizer
+from repro.sharding.router import ShardRouter
+from repro.sharding.wire import (
+    KIND_NACK,
+    KIND_REQUEST,
+    KIND_RESPONSE,
+    Frame,
+    WireError,
+    decode_frame,
+    decode_op,
+    decode_response,
+    encode_frame,
+    op_cell_count,
+    op_check,
+    op_cloak,
+    op_cloak_location,
+    op_deregister,
+    op_install,
+    op_move,
+    op_ping,
+    op_register,
+    op_set_profile,
+    op_shutdown,
+    op_snapshot,
+    op_stats,
+    response_ack,
+    response_blob,
+    response_cloak,
+    response_cloak_unsatisfiable,
+    response_cost,
+    response_count,
+    response_error,
+)
+from repro.utils.timer import monotonic
+
+__all__ = [
+    "ParallelShardedAnonymizer",
+    "ShardWorker",
+    "WorkerPool",
+]
+
+#: Most envelopes shipped per frame; longer batches split into several
+#: stop-and-wait exchanges so one corrupt byte never costs more than
+#: one frame's worth of retransmission.
+MAX_BATCH = 512
+
+#: Retransmissions/attempts before declaring a transport unusable.
+_RETRY_LIMIT = 1000
+
+#: Consecutive heal attempts per exchange before giving up.
+_HEAL_LIMIT = 5
+
+# Reply specs whose results the parent actually consumes; these are the
+# (side-effect-free) operations re-issued to a healed worker when an
+# exchange dies mid-flight.  Mutations are never re-issued: the heal
+# rebuilds the worker to post-batch state from the parent mirror or a
+# flushed survivor, so re-applying them would double-count.
+_READ_SPECS = frozenset({"cloak", "count", "blob", "check", "ping"})
+
+#: Sentinel for a cloak answered "profile unsatisfiable".
+_UNSAT = object()
+
+
+@dataclass(frozen=True)
+class _WorkerConfig:
+    """Everything a worker process needs to build its replica."""
+
+    kind: str
+    bounds: Rect
+    height: int
+    num_shards: int
+    cloak_cache_size: int
+
+
+def _build_replica(
+    config: _WorkerConfig,
+) -> ShardedBasicAnonymizer | ShardedAdaptiveAnonymizer:
+    cls = (
+        ShardedBasicAnonymizer
+        if config.kind == "basic"
+        else ShardedAdaptiveAnonymizer
+    )
+    return cls(
+        config.bounds,
+        height=config.height,
+        num_shards=config.num_shards,
+        cloak_cache_size=config.cloak_cache_size,
+    )
+
+
+def _check_basic_replica(replica: ShardedBasicAnonymizer, shard: int) -> None:
+    """Invariant check for a *partially replicated* basic worker.
+
+    A worker receives every boundary-crossing mutation but only its own
+    confined moves, so foreign records' lowest-level cells may be stale
+    — always within the record's true block, never across it.  What
+    must therefore be exact on every replica, and what this asserts:
+
+    * the worker's own core: fresh records, correct homing, counts
+      rebuilt from its own users' paths at levels ``>= S``;
+    * the spine and every block root: rebuilt from *all* records'
+      block ancestry (stale cells share the true block, so block-level
+      aggregation is immune to the staleness).
+    """
+    grid = replica.grid
+    router = replica.router
+    spine_level = router.spine_level
+    core = replica._cores[shard]
+    expected_own: dict[CellId, int] = {}
+    for uid, rec in core.users.items():
+        assert replica._directory.get(uid) == shard, (
+            f"worker {shard}: directory disagrees about own user {uid!r}"
+        )
+        assert rec.cell == grid.cell_of(rec.point), (
+            f"worker {shard}: stale cell for own user {uid!r}"
+        )
+        assert router.shard_of(rec.cell) == shard, (
+            f"worker {shard}: own user {uid!r} homed in a foreign block"
+        )
+        for ancestor in grid.path_to_root(rec.cell):
+            if ancestor.level >= spine_level:
+                expected_own[ancestor] = expected_own.get(ancestor, 0) + 1
+    assert core.counts == expected_own, (
+        f"worker {shard}: own-core counters inconsistent with its users"
+    )
+    expected_spine: dict[CellId, int] = {}
+    expected_roots: dict[CellId, int] = {}
+    population = 0
+    for other in replica._cores:
+        for rec in other.users.values():
+            population += 1
+            block = rec.cell.ancestor(spine_level)
+            expected_roots[block] = expected_roots.get(block, 0) + 1
+            cell = block
+            while cell.level > 0:
+                cell = cell.parent()
+                expected_spine[cell] = expected_spine.get(cell, 0) + 1
+    assert population == len(replica._directory), (
+        f"worker {shard}: directory population drift"
+    )
+    assert replica._spine.counts == expected_spine, (
+        f"worker {shard}: spine counters inconsistent with block ancestry"
+    )
+    for block, count in expected_roots.items():
+        assert replica.cell_count(block) == count, (
+            f"worker {shard}: block root {block} count drift"
+        )
+
+
+class ShardWorker:
+    """The loop one shard's worker process runs.
+
+    Applies each request frame's operations to a local replica and
+    answers with one response envelope per operation.  Redelivery-safe:
+    the last ``(sequence, reply)`` pair is cached, a repeated sequence
+    replays the cached reply bytes, an *older* sequence (a delayed
+    duplicate of a finished exchange) is dropped silently, and a frame
+    that fails its CRC is answered with a ``NACK`` so the parent
+    retransmits instead of timing out.
+    """
+
+    def __init__(
+        self,
+        config: _WorkerConfig,
+        shard: int,
+        conn: Connection | None,
+        replica: ShardedBasicAnonymizer | ShardedAdaptiveAnonymizer | None = None,
+    ) -> None:
+        self.config = config
+        self.shard = shard
+        self._conn = conn
+        # The socket front door injects an existing anonymizer as the
+        # replica and drives :meth:`_apply` directly (no pipe).
+        self._replica = replica if replica is not None else _build_replica(config)
+        self._last_seq: int | None = None
+        self._last_reply: bytes = b""
+
+    def run(self) -> None:
+        """Serve frames until shutdown or a closed pipe."""
+        while True:
+            try:
+                raw = self._conn.recv_bytes()
+            except (EOFError, OSError):
+                return
+            try:
+                frame = decode_frame(raw)
+            except WireError:
+                if not self._send(encode_frame(KIND_NACK, 0, [])):
+                    return
+                continue
+            if frame.kind != KIND_REQUEST:
+                continue
+            if self._last_seq is not None:
+                if frame.seq == self._last_seq:
+                    if not self._send(self._last_reply):
+                        return
+                    continue
+                if frame.seq < self._last_seq:
+                    continue
+            replies: list[ShardEnvelope] = []
+            stop = False
+            for envelope in frame.envelopes:
+                payload, quit_now = self._apply(envelope.payload)
+                replies.append(ShardEnvelope(self.shard, payload))
+                stop = stop or quit_now
+            self._last_seq = frame.seq
+            self._last_reply = encode_frame(KIND_RESPONSE, frame.seq, replies)
+            if not self._send(self._last_reply) or stop:
+                return
+
+    def _send(self, data: bytes) -> bool:
+        try:
+            self._conn.send_bytes(data)
+        except (BrokenPipeError, OSError):
+            return False
+        return True
+
+    def _apply(self, payload: bytes) -> tuple[bytes, bool]:
+        """Apply one operation; returns ``(response payload, stop?)``."""
+        try:
+            op = decode_op(payload)
+            name = op[0]
+            if name == "move":
+                return response_cost(self._replica.update(op[1], op[2])), False
+            if name == "cloak":
+                try:
+                    region = self._replica.cloak(op[1])
+                except ProfileUnsatisfiableError:
+                    return response_cloak_unsatisfiable(), False
+                return response_cloak(region), False
+            if name == "register":
+                self._replica.register(op[1], op[2], op[3])
+                return response_ack(), False
+            if name == "deregister":
+                self._replica.deregister(op[1])
+                return response_ack(), False
+            if name == "set_profile":
+                self._replica.set_profile(op[1], op[2])
+                return response_ack(), False
+            if name == "cloak_location":
+                try:
+                    region = self._replica.cloak_location(op[1], op[2])
+                except ProfileUnsatisfiableError:
+                    return response_cloak_unsatisfiable(), False
+                return response_cloak(region), False
+            if name == "cell_count":
+                return response_count(self._replica.cell_count(op[1])), False
+            if name == "stats":
+                return response_blob(pickle.dumps(self._stats_payload())), False
+            if name == "snapshot":
+                blob = pickle.dumps(
+                    (
+                        self._replica.snapshot(),
+                        dataclasses.asdict(self._replica.stats),
+                    )
+                )
+                return response_blob(blob), False
+            if name == "install":
+                self._install(pickle.loads(op[1]))
+                return response_ack(), False
+            if name == "reset":
+                self._replica = _build_replica(self.config)
+                return response_ack(), False
+            if name == "check":
+                if self.config.kind == "basic":
+                    _check_basic_replica(self._replica, self.shard)  # type: ignore[arg-type]
+                else:
+                    self._replica.check_invariants()
+                return response_ack(), False
+            if name == "ping":
+                return response_ack(), False
+            if name == "hang":
+                time.sleep(op[1])
+                return response_ack(), False
+            if name == "shutdown":
+                return response_ack(), True
+            return response_error(f"unsupported operation {name!r}"), False
+        except AssertionError as exc:
+            return response_error(f"invariant violation: {exc}"), False
+        except Exception as exc:  # casperlint: ignore[CSP006] propagated as an RE_ERROR reply the parent re-raises
+            return response_error(f"{type(exc).__name__}: {exc}"), False
+
+    def _install(self, package: object) -> None:
+        """Replace replica state from an ``install`` blob.
+
+        ``("bootstrap", [(uid, point, profile), ...])`` rebuilds a fresh
+        replica by re-registering every user at their current location
+        (the parent-mirror heal path); ``("install", (snapshot,
+        stats?))`` restores a fleet snapshot taken on a sibling replica
+        (the adaptive survivor heal / whole-fleet restore path).
+        """
+        tag, body = package
+        if tag == "bootstrap":
+            replica = _build_replica(self.config)
+            for uid, point, profile in body:
+                replica.register(uid, point, profile)
+            self._replica = replica
+        elif tag == "install":
+            snapshot, stats = body
+            self._replica.restore(snapshot)
+            if stats is not None:
+                self._replica.stats = MaintenanceStats(**stats)
+        else:
+            raise ValueError(f"unknown install package tag {tag!r}")
+
+    def _stats_payload(self) -> dict:
+        per_shard = self._replica.cache_stats_per_shard()
+        return {
+            "stats": dataclasses.asdict(self._replica.stats),
+            "own_cache": per_shard[str(self.shard)],
+            "spine_cache": per_shard["spine"],
+            "num_maintained_cells": getattr(
+                self._replica, "num_maintained_cells", None
+            ),
+        }
+
+
+def _worker_main(config: _WorkerConfig, shard: int, conn: Connection) -> None:
+    """Process entry point: run one shard worker until shutdown."""
+    ShardWorker(config, shard, conn).run()
+
+
+def _mp_context():
+    """Fork where available (cheap on POSIX); spawn otherwise."""
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context("spawn")
+
+
+class WorkerPool:
+    """Supervisor for one worker process per shard.
+
+    Owns the processes and their pipes; knows nothing about sequence
+    numbers or retransmission (that is the parent runtime's job).
+    ``shutdown`` is idempotent and exception-safe — it always reaps
+    every process it ever started, so no orphan survives an exception
+    anywhere above it.
+    """
+
+    def __init__(self, config: _WorkerConfig) -> None:
+        self.config = config
+        self._ctx = _mp_context()
+        self._procs: list[object | None] = [None] * config.num_shards
+        self._conns: list[Connection | None] = [None] * config.num_shards
+
+    @property
+    def num_workers(self) -> int:
+        return self.config.num_shards
+
+    def spawn(self, shard: int) -> None:
+        """Start (or replace) the worker process for one shard."""
+        if self._procs[shard] is not None:
+            self.kill(shard)
+        parent_conn, child_conn = self._ctx.Pipe()
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(self.config, shard, child_conn),
+            name=f"casper-shard-{shard}",
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        self._procs[shard] = proc
+        self._conns[shard] = parent_conn
+
+    def spawn_all(self) -> None:
+        try:
+            for shard in range(self.num_workers):
+                self.spawn(shard)
+        except BaseException:
+            self.shutdown()
+            raise
+
+    def conn(self, shard: int) -> Connection:
+        conn = self._conns[shard]
+        if conn is None:
+            raise RuntimeError(f"shard {shard} has no live worker")
+        return conn
+
+    def alive(self, shard: int) -> bool:
+        proc = self._procs[shard]
+        return proc is not None and proc.is_alive()  # type: ignore[union-attr]
+
+    def kill(self, shard: int) -> None:
+        """Hard-stop one worker and release its pipe (idempotent)."""
+        proc = self._procs[shard]
+        if proc is not None:
+            try:
+                proc.kill()  # type: ignore[union-attr]
+                proc.join()  # type: ignore[union-attr]
+            finally:
+                try:
+                    proc.close()  # type: ignore[union-attr]
+                except ValueError:
+                    pass
+                self._procs[shard] = None
+        conn = self._conns[shard]
+        if conn is not None:
+            try:
+                conn.close()
+            except OSError:
+                pass
+            self._conns[shard] = None
+
+    def shutdown(self) -> None:
+        """Reap every worker; safe to call repeatedly, never raises."""
+        for shard in range(self.num_workers):
+            try:
+                self.kill(shard)
+            except Exception:  # casperlint: ignore[CSP006] teardown must reap every worker even if one kill fails
+                self._procs[shard] = None
+                self._conns[shard] = None
+
+
+class _WorkerDied(Exception):
+    """A worker stopped answering (dead pipe or hang timeout)."""
+
+    def __init__(self, shard: int, reason: str) -> None:
+        super().__init__(f"shard worker {shard}: {reason}")
+        self.shard = shard
+        self.reason = reason
+
+
+class _MirrorRecord:
+    """The parent's authoritative copy of one user's state."""
+
+    __slots__ = ("profile", "point", "cell")
+
+    def __init__(
+        self, profile: PrivacyProfile, point: Point, cell: CellId
+    ) -> None:
+        self.profile = profile
+        self.point = point
+        self.cell = cell
+
+
+@dataclass(frozen=True)
+class _ParallelSnapshot:
+    """Parent-side snapshot: the user mirror (always sufficient to
+    rebuild a basic fleet) plus, for adaptive, a pickled fleet snapshot
+    taken on worker 0 (the cut is history-dependent, so points alone
+    cannot reproduce it)."""
+
+    kind: str
+    records: tuple[tuple[object, Point, PrivacyProfile], ...]
+    blob: bytes | None = None
+
+
+class ParallelShardedAnonymizer:
+    """The sharded-anonymizer interface over real worker processes.
+
+    Seeded operation streams produce byte-identical cloaks, costs and
+    maintenance counters to the in-process sharded anonymizers (and
+    hence to the single-pyramid implementations) — see the module
+    docstring for the replication argument, and
+    ``tests/test_parallel_equivalence.py`` for the oracle.
+    """
+
+    def __init__(
+        self,
+        bounds: Rect,
+        height: int = 9,
+        num_shards: int = 1,
+        kind: str = "basic",
+        cloak_cache_size: int = 8192,
+        hang_timeout: float = 5.0,
+    ) -> None:
+        if kind not in ("basic", "adaptive"):
+            raise ValueError(f"unknown anonymizer kind: {kind!r}")
+        self.kind = kind
+        self.grid = CellGrid(bounds, height)
+        self.router = ShardRouter(num_shards, height)
+        self._stats = MaintenanceStats()
+        self._records: dict[object, _MirrorRecord] = {}
+        self._directory: dict[object, int] = {}
+        self._pending: list[list[tuple[bytes, str]]] = [
+            [] for _ in range(num_shards)
+        ]
+        self._seq = 0
+        self._injector = None
+        self._hang_timeout = hang_timeout
+        self._closed = False
+        self.worker_crashes = 0
+        self.worker_heals = 0
+        self._pool = WorkerPool(
+            _WorkerConfig(kind, bounds, height, num_shards, cloak_cache_size)
+        )
+        #: Workers whose replicas are known complete.  A respawned
+        #: worker is not authoritative until its install lands, so a
+        #: heal nested inside another heal never snapshots a virgin
+        #: (empty) replica and propagates the emptiness fleet-wide.
+        self._authoritative = [True] * num_shards
+        self._pool.spawn_all()
+        obs = _telemetry.active()
+        if obs is not None:
+            for shard in range(num_shards):
+                _telemetry.record_worker_event(obs, shard, "spawn")
+
+    # ------------------------------------------------------------------
+    # Introspection (all answered from the parent mirror — no IPC)
+    # ------------------------------------------------------------------
+    @property
+    def bounds(self) -> Rect:
+        return self.grid.bounds
+
+    @property
+    def height(self) -> int:
+        return self.grid.height
+
+    @property
+    def num_shards(self) -> int:
+        return self.router.num_shards
+
+    @property
+    def num_users(self) -> int:
+        return len(self._directory)
+
+    def __contains__(self, uid: object) -> bool:
+        return uid in self._directory
+
+    def __enter__(self) -> "ParallelShardedAnonymizer":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    @property
+    def stats(self) -> MaintenanceStats:
+        """Maintenance counters — parent-computed for basic (costs are
+        pure functions of the cell walk), fetched from worker 0 for
+        adaptive (split/merge costs happen inside the workers), with
+        ``cloak_requests`` always counted at the routing seam."""
+        if self.kind == "basic":
+            return self._stats
+        payload = self._fetch_stats()[0]["stats"]
+        payload["cloak_requests"] = self._stats.cloak_requests
+        return MaintenanceStats(**payload)
+
+    def shard_of_user(self, uid: object) -> int:
+        try:
+            return self._directory[uid]
+        except KeyError:
+            raise UnknownUserError(uid) from None
+
+    def shard_occupancy(self) -> list[int]:
+        occupancy = [0] * self.num_shards
+        for home in self._directory.values():
+            occupancy[home] += 1
+        return occupancy
+
+    def profile_of(self, uid: object) -> PrivacyProfile:
+        return self._require(uid).profile
+
+    def location_of(self, uid: object) -> Point:
+        return self._require(uid).point
+
+    def users_in_rect(self, rect: Rect) -> int:
+        return sum(
+            1
+            for rec in self._records.values()
+            if rect.contains_point(rec.point)
+        )
+
+    @property
+    def num_maintained_cells(self) -> int:
+        if self.kind != "adaptive":
+            raise AttributeError("num_maintained_cells")
+        return self._fetch_stats()[0]["num_maintained_cells"]
+
+    def cache_stats(self) -> dict[str, int]:
+        """Aggregate cloak-cache traffic across the worker fleet.
+
+        Basic: byte-identical to the in-process fleet (each worker's
+        own core sees exactly the in-process traffic; spine caches are
+        untouched).  Adaptive: core caches are exact but the spine
+        cache's working set is split across workers, so spine-leaf
+        hit/miss splits may differ from the in-process single spine
+        cache.
+        """
+        payloads = self._fetch_stats()
+        keys = ("hits", "misses", "invalidations", "evictions")
+        totals = dict.fromkeys(keys, 0)
+        for payload in payloads:
+            for key in keys:
+                totals[key] += payload["own_cache"][key]
+                if self.kind == "adaptive":
+                    totals[key] += payload["spine_cache"][key]
+        return totals
+
+    def cache_stats_per_shard(self) -> dict[str, dict[str, int]]:
+        """Per-worker cloak-cache traffic, keyed like the in-process
+        fleets: ``"0"``..``"N-1"`` for each worker's own core plus the
+        summed ``"spine"`` traffic."""
+        payloads = self._fetch_stats()
+        keys = ("hits", "misses", "invalidations", "evictions")
+        stats: dict[str, dict[str, int]] = {
+            str(shard): dict(payload["own_cache"])
+            for shard, payload in enumerate(payloads)
+        }
+        spine = dict.fromkeys(keys, 0)
+        for payload in payloads:
+            for key in keys:
+                spine[key] += payload["spine_cache"][key]
+        stats["spine"] = spine
+        return stats
+
+    def _require(self, uid: object) -> _MirrorRecord:
+        try:
+            return self._records[uid]
+        except KeyError:
+            raise UnknownUserError(uid) from None
+
+    # ------------------------------------------------------------------
+    # Registration and location updates
+    # ------------------------------------------------------------------
+    def register(
+        self, uid: object, point: Point, profile: PrivacyProfile
+    ) -> None:
+        if uid in self._directory:
+            raise DuplicateUserError(uid)
+        cell = self.grid.cell_of(point)
+        shard = self.router.shard_of(cell)
+        self._records[uid] = _MirrorRecord(profile, point, cell)
+        self._directory[uid] = shard
+        if self.kind == "basic":
+            self._stats.registrations += 1
+            self._stats.counter_updates += cell.level + 1
+        obs = _telemetry.active()
+        if obs is not None:
+            _telemetry.record_shard_op(obs, shard, "register")
+            _telemetry.record_shard_occupancy(obs, self.shard_occupancy())
+        self._broadcast(op_register(uid, point, profile), "ack")
+
+    def deregister(self, uid: object) -> None:
+        record = self._require(uid)
+        shard = self._directory[uid]
+        if self.kind == "basic":
+            self._stats.deregistrations += 1
+            self._stats.counter_updates += record.cell.level + 1
+        del self._records[uid]
+        del self._directory[uid]
+        obs = _telemetry.active()
+        if obs is not None:
+            _telemetry.record_shard_op(obs, shard, "deregister")
+            _telemetry.record_shard_occupancy(obs, self.shard_occupancy())
+        self._broadcast(op_deregister(uid), "ack")
+
+    def set_profile(self, uid: object, profile: PrivacyProfile) -> None:
+        self._require(uid).profile = profile
+        self._broadcast(op_set_profile(uid, profile), "ack")
+
+    def update(self, uid: object, point: Point) -> int:
+        """Process a location update; returns its counter-update cost
+        (identical to the in-process cost)."""
+        if self.kind == "adaptive":
+            return self._update_adaptive(uid, point)
+        record = self._require(uid)
+        shard = self._directory[uid]
+        new_cell = self.grid.cell_of(point)
+        record.point = point
+        self._stats.location_updates += 1
+        if new_cell == record.cell:
+            # Same lowest-level cell: zero cost, but the owner still
+            # needs the fresh coordinates for its record.
+            self._enqueue(shard, op_move(uid, point), "cost")
+            return 0
+        ancestor_level = self.grid.common_ancestor_level(record.cell, new_cell)
+        cost = 2 * (record.cell.level - ancestor_level)
+        record.cell = new_cell
+        obs = _telemetry.active()
+        if obs is not None:
+            _telemetry.record_shard_op(obs, shard, "update")
+        if self.router.crosses_boundary(ancestor_level):
+            # Spine/block-root state changed: every replica must see it.
+            self._broadcast(op_move(uid, point), "cost")
+            new_shard = self.router.shard_of(new_cell)
+            if new_shard != shard:
+                self._directory[uid] = new_shard
+                if obs is not None:
+                    _telemetry.record_shard_op(obs, new_shard, "rehome")
+                    _telemetry.record_shard_occupancy(
+                        obs, self.shard_occupancy()
+                    )
+        else:
+            self._enqueue(shard, op_move(uid, point), "cost")
+        self._stats.counter_updates += cost
+        self._stats.cell_changes += 1
+        return cost
+
+    def _update_adaptive(self, uid: object, point: Point) -> int:
+        record = self._require(uid)
+        home = self._directory[uid]
+        new_cell = self.grid.cell_of(point)
+        record.point = point
+        record.cell = new_cell
+        obs = _telemetry.active()
+        if obs is not None:
+            _telemetry.record_shard_op(obs, home, "update")
+        new_home = self.router.shard_of(new_cell)
+        if new_home != home:
+            self._directory[uid] = new_home
+            if obs is not None:
+                _telemetry.record_shard_op(obs, new_home, "rehome")
+                _telemetry.record_shard_occupancy(obs, self.shard_occupancy())
+        # The cost depends on split/merge cascades only the replicas
+        # can evaluate, so adaptive updates flush synchronously; any
+        # replica's answer is authoritative (identical op streams).
+        self._broadcast(op_move(uid, point), "cost")
+        results = self.flush()
+        for shard in sorted(results):
+            shard_results = results[shard]
+            if shard_results and shard_results[-1] is not None:
+                return shard_results[-1]
+        # Only reachable when every worker died mid-exchange and healed
+        # from the parent mirror (which already includes this move).
+        return 0
+
+    def update_batch(self, moves: list[tuple[object, Point]]) -> list[int]:
+        """Apply a tick's worth of location updates.
+
+        Basic updates defer into per-shard pending batches — the whole
+        tick ships as one frame per shard at the closing flush, which
+        is where the process pool's throughput comes from.  Adaptive
+        updates are inherently synchronous (costs come back on the
+        wire) and apply in arrival order.
+        """
+        costs = [self.update(uid, point) for uid, point in moves]
+        if self.kind == "basic":
+            self.flush()
+        return costs
+
+    # ------------------------------------------------------------------
+    # Cloaking
+    # ------------------------------------------------------------------
+    def cloak(self, uid: object) -> CloakedRegion:
+        record = self._require(uid)
+        shard = self._directory[uid]
+        self._stats.cloak_requests += 1
+        obs = _telemetry.active()
+        start = monotonic()
+        self._enqueue(shard, op_cloak(uid), "cloak")
+        region = self._flush_shard(shard)[-1]
+        if region is _UNSAT:
+            raise ProfileUnsatisfiableError(
+                f"profile unsatisfiable for user {uid!r} "
+                f"(reported by shard worker {shard})"
+            )
+        if obs is not None:
+            _telemetry.record_cloak(
+                obs, self.kind, monotonic() - start, region.area,
+                record.profile.a_min, region.achieved_k, record.profile.k,
+            )
+            _telemetry.record_shard_cloak(obs, shard, self._route_of(region))
+        return region
+
+    def cloak_location(
+        self, point: Point, profile: PrivacyProfile
+    ) -> CloakedRegion:
+        cell = self.grid.cell_of(point)
+        shard = self.router.shard_of(cell)
+        self._stats.cloak_requests += 1
+        obs = _telemetry.active()
+        start = monotonic()
+        self._enqueue(shard, op_cloak_location(point, profile), "cloak")
+        region = self._flush_shard(shard)[-1]
+        if region is _UNSAT:
+            raise ProfileUnsatisfiableError(
+                "profile unsatisfiable for ad-hoc location "
+                f"(reported by shard worker {shard})"
+            )
+        if obs is not None:
+            _telemetry.record_cloak(
+                obs, self.kind, monotonic() - start, region.area,
+                profile.a_min, region.achieved_k, profile.k,
+            )
+            _telemetry.record_shard_cloak(obs, shard, self._route_of(region))
+        return region
+
+    def cloak_many(self, uids: list[object]) -> list[CloakedRegion]:
+        """Cloak a batch of users with one frame per involved shard.
+
+        Results come back in input order.  If any profile is
+        unsatisfiable the earliest such user raises — after the whole
+        batch executed, so ``cloak_requests`` counts every entry (the
+        one divergence from looping :meth:`cloak`, which stops at the
+        first failure).
+        """
+        placements: list[tuple[int, int]] = []
+        for uid in uids:
+            self._require(uid)
+            shard = self._directory[uid]
+            self._stats.cloak_requests += 1
+            position = self._enqueue(shard, op_cloak(uid), "cloak")
+            placements.append((shard, position))
+        obs = _telemetry.active()
+        start = monotonic()
+        flushed: dict[int, list] = {}
+        regions: list[CloakedRegion] = []
+        for index, (shard, position) in enumerate(placements):
+            if shard not in flushed:
+                flushed[shard] = self._flush_shard(shard)
+            region = flushed[shard][position]
+            if region is _UNSAT:
+                raise ProfileUnsatisfiableError(
+                    f"profile unsatisfiable for user {uids[index]!r} "
+                    f"(reported by shard worker {shard})"
+                )
+            regions.append(region)
+        if obs is not None:
+            elapsed = monotonic() - start
+            for uid, region, (shard, _) in zip(uids, regions, placements):
+                profile = self._records[uid].profile
+                _telemetry.record_cloak(
+                    obs, self.kind, elapsed / max(len(uids), 1), region.area,
+                    profile.a_min, region.achieved_k, profile.k,
+                )
+                _telemetry.record_shard_cloak(
+                    obs, shard, self._route_of(region)
+                )
+        return regions
+
+    def cell_count(self, cell: CellId) -> int:
+        """Population of one maintained cell, read from the replica
+        that is authoritative for it."""
+        if self.kind == "adaptive" or cell.level < self.router.spine_level:
+            shard = 0
+        else:
+            shard = self.router.shard_of(cell)
+        self._enqueue(shard, op_cell_count(cell), "count")
+        return self._flush_shard(shard)[-1]
+
+    def _route_of(self, region: CloakedRegion) -> str:
+        settled = min(c.level for c in region.cells)
+        if settled > self.router.spine_level:
+            return "local"
+        if settled == self.router.spine_level:
+            return "boundary"
+        return "spine"
+
+    # ------------------------------------------------------------------
+    # Crash recovery and diagnostics
+    # ------------------------------------------------------------------
+    def snapshot(self) -> object:
+        """Whole-fleet snapshot.  Basic snapshots are pure parent state
+        (cheap — no wire traffic); adaptive snapshots additionally
+        capture worker 0's cut, which point data alone cannot rebuild."""
+        records = tuple(
+            (uid, rec.point, rec.profile) for uid, rec in self._records.items()
+        )
+        if self.kind == "basic":
+            return _ParallelSnapshot("basic", records)
+        self.flush()
+        self._enqueue(0, op_snapshot(), "blob")
+        blob = self._flush_shard(0)[-1]
+        return _ParallelSnapshot("adaptive", records, blob)
+
+    def restore(self, state: object) -> None:
+        """Restore the fleet from a :meth:`snapshot` copy.
+
+        Basic workers rebuild from the restored mirror (fresh replicas,
+        so unlike the in-process fleet the cache *counters* restart at
+        zero); adaptive workers re-install the captured cut, keeping
+        their own maintenance stats exactly like the in-process
+        ``restore``.
+        """
+        if not isinstance(state, _ParallelSnapshot) or state.kind != self.kind:
+            raise TypeError("not a ParallelShardedAnonymizer snapshot")
+        self._discard_pending()
+        self._records = {
+            uid: _MirrorRecord(profile, point, self.grid.cell_of(point))
+            for uid, point, profile in state.records
+        }
+        self._directory = {
+            uid: self.router.shard_of(rec.cell)
+            for uid, rec in self._records.items()
+        }
+        if self.kind == "basic":
+            package = ("bootstrap", list(state.records))
+        else:
+            snapshot, _stats = pickle.loads(state.blob)
+            package = ("install", (snapshot, None))
+        blob = pickle.dumps(package)
+        # Until a worker's install lands it may hold pre-restore state,
+        # so none is a valid heal source for the duration.  An install
+        # that dies mid-exchange surfaces as ``None`` (the heal that
+        # caught it rebuilt the worker from a *peer*, which may itself
+        # be pre-restore here), so re-issue it until it lands — the
+        # install is a full state replacement, safe to repeat.
+        for shard in range(self.num_shards):
+            self._authoritative[shard] = False
+        for shard in range(self.num_shards):
+            for _ in range(_HEAL_LIMIT):
+                self._enqueue(shard, op_install(blob), "ack")
+                if self._flush_shard(shard)[-1] is not None:
+                    break
+            else:
+                raise RuntimeError(
+                    f"shard worker {shard}: restore install kept dying"
+                )
+            self._authoritative[shard] = True
+
+    def crash_worker(self, victim: int) -> None:
+        """Kill one worker process and heal its replacement — the
+        chaos harness's worker-crash fault, exercised over the real
+        transport."""
+        if not 0 <= victim < self.num_shards:
+            raise ValueError(f"no such shard: {victim}")
+        self.flush()
+        self._crash_and_heal(victim)
+
+    def check_invariants(self) -> None:
+        """Assert parent-mirror consistency, then every worker's
+        replica invariants (full check on adaptive replicas, the
+        partial-replication check on basic ones)."""
+        assert set(self._records) == set(self._directory), (
+            "parent mirror/directory key drift"
+        )
+        for uid, rec in self._records.items():
+            assert rec.cell == self.grid.cell_of(rec.point), (
+                f"parent mirror stale cell for {uid!r}"
+            )
+            assert self._directory[uid] == self.router.shard_of(rec.cell), (
+                f"parent directory mis-homes {uid!r}"
+            )
+        for shard in range(self.num_shards):
+            self._enqueue(shard, op_check(), "check")
+        self.flush()
+
+    def ping(self) -> bool:
+        """Health-check every worker with a real round trip."""
+        for shard in range(self.num_shards):
+            self._enqueue(shard, op_ping(), "ping")
+        self.flush()
+        return all(self._pool.alive(shard) for shard in range(self.num_shards))
+
+    def attach_injector(self, injector: object) -> None:
+        """Route every frame through a resilience fault injector
+        (channels ``shard:<i>`` parent→worker, ``shard-resp:<i>``
+        worker→parent)."""
+        self._injector = injector
+
+    def close(self) -> None:
+        """Drain and stop the worker fleet.  Idempotent and
+        exception-safe: the pool reaps every process even when the
+        graceful shutdown handshake fails."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._discard_pending()
+            for shard in range(self.num_shards):
+                if not self._pool.alive(shard):
+                    continue
+                try:
+                    self._seq += 1
+                    frame = encode_frame(
+                        KIND_REQUEST,
+                        self._seq,
+                        [ShardEnvelope(shard, op_shutdown())],
+                    )
+                    conn = self._pool.conn(shard)
+                    conn.send_bytes(frame)
+                    if conn.poll(1.0):
+                        conn.recv_bytes()
+                except (OSError, EOFError, RuntimeError, WireError):
+                    pass
+                obs = _telemetry.active()
+                if obs is not None:
+                    _telemetry.record_worker_event(obs, shard, "shutdown")
+        finally:
+            self._pool.shutdown()
+
+    # ------------------------------------------------------------------
+    # Transport: pending batches, stop-and-wait exchange, healing
+    # ------------------------------------------------------------------
+    def _enqueue(self, shard: int, op: bytes, spec: str) -> int:
+        """Queue one operation for a shard; returns its position in the
+        shard's pending batch (stable across the closing flush)."""
+        if self._closed:
+            raise RuntimeError("parallel anonymizer is closed")
+        self._pending[shard].append((op, spec))
+        return len(self._pending[shard]) - 1
+
+    def _broadcast(self, op: bytes, spec: str) -> None:
+        for shard in range(self.num_shards):
+            self._enqueue(shard, op, spec)
+
+    def _discard_pending(self) -> None:
+        for shard in range(self.num_shards):
+            self._pending[shard] = []
+
+    def flush(self) -> dict[int, list]:
+        """Deliver every shard's pending batch; per-shard result lists
+        align with enqueue order."""
+        return {
+            shard: self._flush_shard(shard)
+            for shard in range(self.num_shards)
+        }
+
+    def _flush_shard(self, shard: int) -> list:
+        pending = self._pending[shard]
+        if not pending:
+            return []
+        self._pending[shard] = []
+        results: list = []
+        for start in range(0, len(pending), MAX_BATCH):
+            chunk = pending[start : start + MAX_BATCH]
+            results.extend(
+                self._exchange(
+                    shard,
+                    [op for op, _ in chunk],
+                    [spec for _, spec in chunk],
+                )
+            )
+        return results
+
+    def _next_seq(self) -> int:
+        self._seq = (self._seq + 1) % 2**32 or 1
+        return self._seq
+
+    def _exchange(
+        self, shard: int, ops: list[bytes], specs: list[str], depth: int = 0
+    ) -> list:
+        """One stop-and-wait exchange, healing through worker deaths.
+
+        Returns one result per op.  After a mid-exchange death the
+        victim is rebuilt to *post-batch* state (survivors were flushed
+        first, so a parent-mirror or survivor-snapshot heal already
+        reflects this batch's mutations); only side-effect-free reads
+        re-run, and lost mutation results surface as ``None``.
+        """
+        seq = self._next_seq()
+        wire_bytes = encode_frame(
+            KIND_REQUEST, seq, [ShardEnvelope(shard, op) for op in ops]
+        )
+        try:
+            reply = self._roundtrip(shard, wire_bytes, seq)
+        except _WorkerDied:
+            if depth >= _HEAL_LIMIT:
+                raise RuntimeError(
+                    f"shard worker {shard} kept dying; giving up"
+                ) from None
+            self._crash_and_heal(shard)
+            results: list = [None] * len(specs)
+            retry = [
+                (index, op)
+                for index, (op, spec) in enumerate(zip(ops, specs))
+                if spec in _READ_SPECS
+            ]
+            if retry:
+                retried = self._exchange(
+                    shard,
+                    [op for _, op in retry],
+                    [specs[index] for index, _ in retry],
+                    depth + 1,
+                )
+                for (index, _), value in zip(retry, retried):
+                    results[index] = value
+            return results
+        return self._decode_replies(shard, reply, specs)
+
+    def _roundtrip(self, shard: int, wire_bytes: bytes, seq: int) -> Frame:
+        """Deliver one request frame and wait for its matching reply,
+        retransmitting through injected drops, corruption and NACKs."""
+        conn = self._pool.conn(shard)
+        start = monotonic()
+        attempts = self._transmit(shard, conn, wire_bytes)
+        deadline = start + self._hang_timeout
+        while True:
+            remaining = deadline - monotonic()
+            if remaining <= 0 or not conn.poll(remaining):
+                self._note_event(shard, "timeout")
+                raise _WorkerDied(shard, "no reply within the hang timeout")
+            try:
+                raw = conn.recv_bytes()
+            except (EOFError, OSError) as exc:
+                raise _WorkerDied(shard, f"pipe closed ({exc!r})") from None
+            payloads = self._deliver_response(shard, raw)
+            if not payloads:
+                # The injector dropped/held the reply; ask for a replay.
+                attempts += self._transmit(shard, conn, wire_bytes, attempts)
+                continue
+            for payload in payloads:
+                try:
+                    reply = decode_frame(payload)
+                except WireError:
+                    # Reply corrupted on the wire: replay, like a NACK.
+                    self._note_event(shard, "nack")
+                    attempts += self._transmit(shard, conn, wire_bytes, attempts)
+                    continue
+                if reply.kind == KIND_NACK:
+                    # The worker CRC-rejected our (corrupted) request.
+                    self._note_event(shard, "nack")
+                    attempts += self._transmit(shard, conn, wire_bytes, attempts)
+                    continue
+                if reply.kind == KIND_RESPONSE and reply.seq == seq:
+                    obs = _telemetry.active()
+                    if obs is not None:
+                        _telemetry.record_worker_roundtrip(
+                            obs, shard, monotonic() - start
+                        )
+                        _telemetry.record_worker_batch(
+                            obs, shard, len(reply.envelopes)
+                        )
+                    return reply
+                # A stale duplicate of an already-finished exchange:
+                # drain silently, the reply for `seq` is still coming.
+
+    def _transmit(
+        self,
+        shard: int,
+        conn: Connection,
+        wire_bytes: bytes,
+        prior_attempts: int = 0,
+    ) -> int:
+        """Push one request frame through the (possibly faulty)
+        transmit seam until at least one copy enters the pipe; returns
+        the number of transmit attempts made."""
+        attempts = 0
+        while True:
+            if prior_attempts + attempts >= _RETRY_LIMIT:
+                raise RuntimeError(
+                    f"shard worker {shard}: retransmission budget exhausted"
+                )
+            attempts += 1
+            if attempts > 1:
+                self._note_event(shard, "retransmit")
+            if self._injector is None:
+                deliveries = None
+            else:
+                deliveries = self._injector.transmit(
+                    f"shard:{shard}", wire_bytes
+                )
+            try:
+                if deliveries is None:
+                    conn.send_bytes(wire_bytes)
+                    return attempts
+                for delivery in deliveries:
+                    conn.send_bytes(delivery.payload)
+                # Only a copy of the *current* frame counts as delivered.
+                # A late (held-back) delivery may be stale traffic from an
+                # earlier exchange, which the worker drops without
+                # replying — counting it would leave the parent waiting
+                # for a reply that never comes until the hang timeout
+                # declares a perfectly healthy worker dead.  Fresh
+                # deliveries always elicit a reply or a NACK, so they
+                # count even when corrupted.
+                if any(
+                    not delivery.late or delivery.payload == wire_bytes
+                    for delivery in deliveries
+                ):
+                    return attempts
+            except (BrokenPipeError, OSError) as exc:
+                raise _WorkerDied(shard, f"pipe broke ({exc!r})") from None
+            # Every copy of the current frame dropped or held: transmit
+            # again (releasing any ripe held copies is itself
+            # deterministic).
+
+    def _deliver_response(self, shard: int, raw: bytes) -> list[bytes]:
+        if self._injector is None:
+            return [raw]
+        deliveries = self._injector.transmit(f"shard-resp:{shard}", raw)
+        return [delivery.payload for delivery in deliveries]
+
+    def _decode_replies(
+        self, shard: int, reply: Frame, specs: list[str]
+    ) -> list:
+        if len(reply.envelopes) != len(specs):
+            raise RuntimeError(
+                f"shard worker {shard}: expected {len(specs)} replies, "
+                f"got {len(reply.envelopes)}"
+            )
+        results: list = []
+        for envelope, spec in zip(reply.envelopes, specs):
+            decoded = decode_response(envelope.payload)
+            name = decoded[0]
+            if name == "error":
+                if spec == "check":
+                    raise AssertionError(decoded[1])
+                raise RuntimeError(
+                    f"shard worker {shard} rejected an operation: {decoded[1]}"
+                )
+            if spec in ("ack", "ping", "check"):
+                if name != "ack":
+                    raise RuntimeError(
+                        f"shard worker {shard}: expected ack, got {name}"
+                    )
+                results.append(True)
+            elif spec == "cost":
+                if name != "cost":
+                    raise RuntimeError(
+                        f"shard worker {shard}: expected cost, got {name}"
+                    )
+                results.append(decoded[1])
+            elif spec == "cloak":
+                if name == "cloak":
+                    results.append(decoded[1])
+                elif name == "unsat":
+                    results.append(_UNSAT)
+                else:
+                    raise RuntimeError(
+                        f"shard worker {shard}: expected cloak, got {name}"
+                    )
+            elif spec == "count":
+                if name != "count":
+                    raise RuntimeError(
+                        f"shard worker {shard}: expected count, got {name}"
+                    )
+                results.append(decoded[1])
+            elif spec == "blob":
+                if name != "blob":
+                    raise RuntimeError(
+                        f"shard worker {shard}: expected blob, got {name}"
+                    )
+                results.append(decoded[1])
+            else:
+                raise RuntimeError(f"unknown reply spec {spec!r}")
+        return results
+
+    # ------------------------------------------------------------------
+    # Healing
+    # ------------------------------------------------------------------
+    def _crash_and_heal(self, victim: int) -> None:
+        """Reap a dead (or deliberately killed) worker, flush the
+        survivors, respawn and rebuild the victim's replica."""
+        self.worker_crashes += 1
+        obs = _telemetry.active()
+        if obs is not None:
+            _telemetry.record_worker_event(obs, victim, "crash")
+            _telemetry.note_recovery("worker_respawn")
+        self._pool.kill(victim)
+        self._authoritative[victim] = False
+        # Survivors must apply their queued traffic first: the heal
+        # source (parent mirror or survivor snapshot) has to reflect
+        # every mutation the victim's lost batch carried.
+        for shard in range(self.num_shards):
+            if shard != victim:
+                self._flush_shard(shard)
+        self._pool.spawn(victim)
+        if obs is not None:
+            _telemetry.record_worker_event(obs, victim, "spawn")
+        survivors = [
+            shard
+            for shard in range(self.num_shards)
+            if shard != victim
+            and self._pool.alive(shard)
+            and self._authoritative[shard]
+        ]
+        if self.kind == "adaptive" and survivors:
+            source = survivors[0]
+            self._enqueue(source, op_snapshot(), "blob")
+            blob = self._flush_shard(source)[-1]
+            snapshot, stats = pickle.loads(blob)
+            package = ("install", (snapshot, stats))
+        else:
+            # Basic always heals from the parent mirror (lossless: the
+            # mirror is authoritative for every record).  Adaptive
+            # falls back to it only with no survivor; the rebuilt cut
+            # re-deepens from current points, and worker stats restart.
+            package = (
+                "bootstrap",
+                [
+                    (uid, rec.point, rec.profile)
+                    for uid, rec in self._records.items()
+                ],
+            )
+        self._enqueue(victim, op_install(pickle.dumps(package)), "ack")
+        self._flush_shard(victim)
+        # If the install exchange itself died, the nested heal that
+        # caught it already re-installed the victim, so authority is
+        # restored either way.
+        self._authoritative[victim] = True
+        self.worker_heals += 1
+        if obs is not None:
+            _telemetry.record_worker_event(obs, victim, "heal")
+
+    def _fetch_stats(self) -> list[dict]:
+        """One decoded stats payload per worker (flushes everything)."""
+        for shard in range(self.num_shards):
+            self._enqueue(shard, op_stats(), "blob")
+        results = self.flush()
+        return [
+            pickle.loads(results[shard][-1])
+            for shard in range(self.num_shards)
+        ]
+
+    def _note_event(self, shard: int, event: str) -> None:
+        obs = _telemetry.active()
+        if obs is not None:
+            _telemetry.record_worker_event(obs, shard, event)

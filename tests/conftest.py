@@ -45,6 +45,31 @@ def _telemetry_pollution_guard():
         )
 
 
+@pytest.fixture(autouse=True)
+def _worker_leak_guard():
+    """Fail any test that leaves a shard worker process running.
+
+    The parallel runtime promises exception-safe shutdown (``close`` is
+    idempotent and the pool reaps every process it ever started); a
+    worker surviving a test means some path skipped it.  Reap the
+    orphans before failing so one leak doesn't cascade into every
+    later test.
+    """
+    import multiprocessing
+
+    yield
+    leaked = multiprocessing.active_children()
+    if leaked:
+        names = [proc.name for proc in leaked]
+        for proc in leaked:
+            proc.terminate()
+            proc.join(timeout=5)
+        pytest.fail(
+            f"test leaked {len(names)} worker process(es): {names}; "
+            "close the parallel anonymizer (Casper.close or a with-block)"
+        )
+
+
 @pytest.fixture
 def unit_square() -> Rect:
     """The canonical service area used throughout the experiments."""

@@ -472,6 +472,49 @@ class TestRuntimeHelpers:
         assert [r.name for r in roots] == ["processor.extension", "casper.query"]
         assert obs.slo.samples("cloak_latency_seconds") == 2
 
+    def test_worker_helpers_record_per_shard_transport_metrics(self):
+        with rt.enabled() as obs:
+            # Twice each: the second call must reuse the cached handle.
+            rt.record_worker_roundtrip(obs, 0, 0.002)
+            rt.record_worker_roundtrip(obs, 0, 0.004)
+            rt.record_worker_batch(obs, 0, 12)
+            rt.record_worker_batch(obs, 0, 1)
+            rt.record_worker_event(obs, 1, "retransmit")
+            rt.record_worker_event(obs, 1, "retransmit")
+            rt.record_worker_event(obs, 1, "heal")
+            # Null-safe variants route to the active session...
+            rt.note_worker_roundtrip(2, 0.001)
+            rt.note_worker_batch(2, 3)
+            rt.note_worker_event(2, "spawn")
+        m = obs.metrics
+        shard0 = (("shard", "0"),)
+        assert m.get("casper_worker_roundtrip_seconds", shard0).count == 2
+        assert m.get("casper_worker_batch_envelopes", shard0).sum == 13.0
+        assert (
+            m.get(
+                "casper_worker_events_total",
+                (("shard", "1"), ("event", "retransmit")),
+            ).value
+            == 2
+        )
+        assert (
+            m.get("casper_worker_roundtrip_seconds", (("shard", "2"),)).count
+            == 1
+        )
+        assert (
+            m.get(
+                "casper_worker_events_total",
+                (("shard", "2"), ("event", "spawn")),
+            ).value
+            == 1
+        )
+        # ... and are no-ops while telemetry is disabled.
+        assert rt.active() is None
+        rt.note_worker_roundtrip(0, 0.001)
+        rt.note_worker_batch(0, 1)
+        rt.note_worker_event(0, "crash")
+        assert m.get("casper_worker_roundtrip_seconds", shard0).count == 2
+
     def test_handle_cache_survives_registry_clear(self):
         with rt.enabled() as obs:
             rt.record_cloak(obs, "basic", 0.001, 4.0, 2.0, 55, 50)

@@ -1,0 +1,223 @@
+"""Lifecycle, supervision and transport tests for the process pool.
+
+Covers what the equivalence suite does not: the ``WorkerPool``
+supervisor itself, hang-timeout detection and healing, exception-safe
+shutdown through the ``Casper`` facade, and the asyncio socket front
+door speaking the same frames as the pipes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+
+import pytest
+
+from repro.anonymizer import PrivacyProfile
+from repro.geometry import Point, Rect
+from repro.server import Casper
+from repro.sharding import make_sharded
+from repro.sharding.frontdoor import ShardFrontDoor
+from repro.sharding.wire import (
+    KIND_NACK,
+    KIND_REQUEST,
+    KIND_RESPONSE,
+    FrameDecoder,
+    encode_frame,
+    decode_response,
+    op_cloak,
+    op_hang,
+    op_ping,
+    op_register,
+)
+from repro.messages import ShardEnvelope
+from tests.conftest import UNIT
+
+PROFILE = PrivacyProfile(k=2)
+
+
+def _populate(anonymizer, n: int = 12) -> None:
+    for uid in range(n):
+        anonymizer.register(
+            uid, Point((uid % 4) / 4 + 0.05, (uid // 4 % 4) / 4 + 0.05), PROFILE
+        )
+
+
+class TestWorkerPool:
+    def test_spawn_kill_and_shutdown_are_idempotent(self) -> None:
+        fleet = make_sharded(UNIT, height=4, num_shards=2, parallel=True)
+        pool = fleet._pool
+        try:
+            assert pool.num_workers == 2
+            assert pool.alive(0) and pool.alive(1)
+            pool.kill(0)
+            assert not pool.alive(0)
+            pool.kill(0)  # idempotent
+            with pytest.raises(RuntimeError, match="no live worker"):
+                pool.conn(0)
+            pool.spawn(0)
+            assert pool.alive(0)
+        finally:
+            fleet.close()
+        assert not pool.alive(0) and not pool.alive(1)
+        pool.shutdown()  # safe to repeat
+
+    def test_close_reaps_every_process(self) -> None:
+        before = len(multiprocessing.active_children())
+        fleet = make_sharded(UNIT, height=4, num_shards=4, parallel=True)
+        _populate(fleet)
+        assert fleet.ping()
+        assert len(multiprocessing.active_children()) == before + 4
+        fleet.close()
+        fleet.close()  # idempotent
+        assert len(multiprocessing.active_children()) == before
+
+    def test_operations_after_close_raise(self) -> None:
+        fleet = make_sharded(UNIT, height=4, num_shards=2, parallel=True)
+        fleet.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            fleet.register(1, Point(0.5, 0.5), PROFILE)
+
+
+class TestHangDetection:
+    def test_hung_worker_is_declared_dead_and_healed(self) -> None:
+        from repro.sharding.workers import ParallelShardedAnonymizer
+
+        fleet = ParallelShardedAnonymizer(
+            UNIT, height=4, num_shards=2, hang_timeout=0.4
+        )
+        try:
+            _populate(fleet)
+            reference = fleet.cloak(5)
+            # A worker stuck longer than the hang timeout is killed and
+            # rebuilt; the op itself reports no result (None), reads
+            # re-issued after the heal answer normally.
+            fleet._enqueue(0, op_hang(30.0), "ack")
+            results = fleet._flush_shard(0)
+            assert results == [None]
+            assert fleet.ping()
+            healed = fleet.cloak(5)
+            assert healed == reference
+        finally:
+            fleet.close()
+
+
+class TestCasperFacade:
+    def test_context_manager_closes_the_pool(self) -> None:
+        before = len(multiprocessing.active_children())
+        with Casper(UNIT, pyramid_height=5, shards=2, parallel=True) as casper:
+            casper.register_user(1, Point(0.3, 0.3), PROFILE)
+            casper.register_user(2, Point(0.31, 0.32), PROFILE)
+            assert casper.cloak_for(1).achieved_k >= 2
+            assert len(multiprocessing.active_children()) == before + 2
+        assert len(multiprocessing.active_children()) == before
+
+    def test_close_runs_even_when_the_body_raises(self) -> None:
+        before = len(multiprocessing.active_children())
+        with pytest.raises(RuntimeError, match="boom"):
+            with Casper(UNIT, pyramid_height=5, shards=2, parallel=True):
+                raise RuntimeError("boom")
+        assert len(multiprocessing.active_children()) == before
+
+    def test_parallel_conflicts_with_anonymizer_instances(self) -> None:
+        from repro.anonymizer import BasicAnonymizer
+
+        instance = BasicAnonymizer(UNIT, height=5)
+        with pytest.raises(ValueError, match="parallel"):
+            Casper(UNIT, anonymizer=instance, parallel=True)
+
+    def test_close_without_parallel_is_a_no_op(self) -> None:
+        casper = Casper(UNIT, pyramid_height=5)
+        casper.register_user(1, Point(0.5, 0.5), PROFILE)
+        casper.close()
+        casper.close()
+
+
+class TestFrontDoor:
+    """The socket transport speaks the identical frame protocol."""
+
+    @staticmethod
+    async def _roundtrip(address, frames):
+        reader, writer = await asyncio.open_connection(*address)
+        decoder = FrameDecoder()
+        replies = []
+        try:
+            for frame in frames:
+                writer.write(frame)
+                await writer.drain()
+                while True:
+                    data = await asyncio.wait_for(reader.read(65536), 5.0)
+                    assert data, "server closed mid-exchange"
+                    done = decoder.feed(data)
+                    if done:
+                        replies.extend(done)
+                        break
+        finally:
+            writer.close()
+            await writer.wait_closed()
+        return replies
+
+    def test_register_and_cloak_over_tcp(self) -> None:
+        anonymizer = make_sharded(UNIT, height=5, num_shards=1, kind="basic")
+        reference = make_sharded(UNIT, height=5, num_shards=1, kind="basic")
+        for uid in range(8):
+            reference.register(uid, Point(0.4 + uid / 100, 0.5), PROFILE)
+
+        async def scenario():
+            async with ShardFrontDoor(anonymizer) as door:
+                ops = [
+                    op_register(uid, Point(0.4 + uid / 100, 0.5), PROFILE)
+                    for uid in range(8)
+                ]
+                request = encode_frame(
+                    KIND_REQUEST, 1, [ShardEnvelope(0, op) for op in ops]
+                )
+                cloak = encode_frame(
+                    KIND_REQUEST, 2, [ShardEnvelope(0, op_cloak(3))]
+                )
+                return await self._roundtrip(door.address, [request, cloak])
+
+        first, second = asyncio.run(scenario())
+        assert first.kind == KIND_RESPONSE and first.seq == 1
+        assert all(
+            decode_response(e.payload) == ("ack",) for e in first.envelopes
+        )
+        name, region = decode_response(second.envelopes[0].payload)
+        assert name == "cloak"
+        assert region == reference.cloak(3)
+
+    def test_duplicate_sequence_replays_the_cached_reply(self) -> None:
+        anonymizer = make_sharded(UNIT, height=5, num_shards=1, kind="basic")
+
+        async def scenario():
+            async with ShardFrontDoor(anonymizer) as door:
+                ping = encode_frame(
+                    KIND_REQUEST, 9, [ShardEnvelope(0, op_ping())]
+                )
+                return await self._roundtrip(door.address, [ping, ping])
+
+        first, second = asyncio.run(scenario())
+        # Same seq twice: the reply is replayed, the op not re-applied.
+        assert first == second and first.seq == 9
+
+    def test_corrupt_stream_gets_a_nack_and_a_close(self) -> None:
+        anonymizer = make_sharded(UNIT, height=5, num_shards=1, kind="basic")
+
+        async def scenario():
+            async with ShardFrontDoor(anonymizer) as door:
+                reader, writer = await asyncio.open_connection(*door.address)
+                try:
+                    writer.write(b"GARBAGEGARBAGEGARBAGE")
+                    await writer.drain()
+                    data = await asyncio.wait_for(reader.read(65536), 5.0)
+                    frames = FrameDecoder().feed(data)
+                    eof = await asyncio.wait_for(reader.read(65536), 5.0)
+                finally:
+                    writer.close()
+                    await writer.wait_closed()
+                return frames, eof
+
+        frames, eof = asyncio.run(scenario())
+        assert len(frames) == 1
+        assert frames[0].kind == KIND_NACK
+        assert eof == b""  # desynchronized peers must reconnect

@@ -2,9 +2,10 @@
 """Bench-regression gate: compare a fresh report to the committed reference.
 
 ``tools/bench.py`` writes absolute timings, which vary with the host, so
-this gate compares only the three *dimensionless* speedup ratios the
+this gate compares only the *dimensionless* speedup ratios the
 engine-performance pass claims (cached-vs-uncached cloaking, pruned
-kNN vs the full sort, batched vs sequential queries).  Each ratio is a
+kNN vs the full sort, batched vs sequential queries, and the sharded
+runtimes' 8-way cloak/update scaling quotients).  Each ratio is a
 same-machine, same-run quotient, so it is stable across hardware — a
 drop means the optimization itself regressed, not the runner.
 
@@ -36,6 +37,8 @@ GATED_RATIOS = (
     ("knn_private", "speedup"),
     ("batch", "speedup"),
     ("shard_scaling", "cloak_scaling_8x"),
+    ("shard_parallel", "cloak_scaling_8x"),
+    ("shard_parallel", "update_scaling_8x"),
 )
 
 
