@@ -1,0 +1,271 @@
+"""Per-function control-flow graphs for casperlint's dataflow rules.
+
+:func:`build_cfg` turns one ``def``/``async def`` body into a graph of
+:class:`BasicBlock` nodes with two synthetic endpoints:
+
+* a single **entry** block with no predecessors, and
+* a single **exit** block with no successors.
+
+Every *simple* statement gets its own block (statement-level precision
+is what the resource-lifecycle rule CSP012 needs: a release and a
+raise-capable call in the same suite must still be ordered).  Compound
+statements contribute a *header* block holding the evaluated
+expression (``if``/``while`` test, ``for`` iterator, ``with`` context
+expression, ``match`` subject) plus the blocks of their suites.
+
+Exception edges
+---------------
+Any block whose statement or header can plausibly raise (it contains a
+call, attribute access, subscript, binary operation or ``await``) gets
+an extra edge to the innermost exception target: the dispatch block of
+an enclosing ``try``, or the exit block.  ``try`` statements create a
+synthetic *dispatch* block that fans out to each handler (and to the
+``finally`` suite, when present); ``return`` inside a ``try`` with a
+``finally`` routes through the ``finally`` suite instead of jumping
+straight to exit.
+
+The graph is intentionally conservative (extra edges, never missing
+ones) so that path-sensitive rules report a resource as leaked only
+when some over-approximated path really skips its release.
+
+Invariant (property-tested): for any function body, the entry block is
+the unique reachable block without predecessors, the exit block has no
+successors, and every block reachable from entry can reach exit.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+__all__ = ["BasicBlock", "CFG", "build_cfg"]
+
+#: Node types whose presence makes a statement/expression raise-capable.
+_RAISEY = (ast.Call, ast.Attribute, ast.Subscript, ast.BinOp, ast.Await)
+
+
+def _can_raise(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Assert, ast.Raise)):
+        return True
+    return any(isinstance(sub, _RAISEY) for sub in ast.walk(node))
+
+
+def _catches_everything(handler: ast.ExceptHandler) -> bool:
+    """``except:`` or ``except BaseException:`` — nothing propagates,
+    so the try needs no dispatch->outer edge for unmatched exceptions."""
+    if handler.type is None:
+        return True
+    node = handler.type
+    if isinstance(node, ast.Attribute):
+        return node.attr == "BaseException"
+    return isinstance(node, ast.Name) and node.id == "BaseException"
+
+
+@dataclass
+class BasicBlock:
+    """One CFG node: a simple statement, a compound header, or synthetic.
+
+    Exactly one of ``stmt``/``header`` is set for ordinary blocks; both
+    are ``None`` for the entry, exit and ``try``-dispatch blocks.
+    """
+
+    index: int
+    stmt: ast.stmt | None = None
+    header: ast.expr | None = None
+    successors: set[int] = field(default_factory=set)
+    predecessors: set[int] = field(default_factory=set)
+
+    @property
+    def node(self) -> ast.AST | None:
+        """The AST evaluated in this block (statement or header expr)."""
+        return self.stmt if self.stmt is not None else self.header
+
+
+class CFG:
+    """The finished graph: blocks addressable by index."""
+
+    def __init__(self) -> None:
+        self.blocks: dict[int, BasicBlock] = {}
+        self.entry: int = 0
+        self.exit: int = 1
+        self._by_stmt: dict[int, int] = {}
+
+    def block_of(self, stmt: ast.stmt) -> int | None:
+        """The block holding a simple statement (by identity)."""
+        return self._by_stmt.get(id(stmt))
+
+    def reachable_from(self, start: int) -> set[int]:
+        seen = {start}
+        stack = [start]
+        while stack:
+            for succ in self.blocks[stack.pop()].successors:
+                if succ not in seen:
+                    seen.add(succ)
+                    stack.append(succ)
+        return seen
+
+    def reaches(self, start: int, goal: int) -> bool:
+        return goal in self.reachable_from(start)
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self.cfg = CFG()
+        self._new()  # entry = 0
+        self._new()  # exit = 1
+        # (break-block list, continue target) per enclosing loop
+        self._loops: list[tuple[list[int], int]] = []
+        # innermost exception target (try dispatch block or exit)
+        self._exc: list[int] = [self.cfg.exit]
+        # pending-return routing: return inside try/finally goes through
+        # the finally suite, not straight to exit
+        self._finally_returns: list[list[int]] = []
+
+    # -- graph primitives ----------------------------------------------
+    def _new(
+        self, stmt: ast.stmt | None = None, header: ast.expr | None = None
+    ) -> int:
+        index = len(self.cfg.blocks)
+        self.cfg.blocks[index] = BasicBlock(index, stmt=stmt, header=header)
+        if stmt is not None:
+            self.cfg._by_stmt[id(stmt)] = index
+        return index
+
+    def _edge(self, src: int, dst: int) -> None:
+        self.cfg.blocks[src].successors.add(dst)
+        self.cfg.blocks[dst].predecessors.add(src)
+
+    def _link(self, preds: list[int], dst: int) -> None:
+        for pred in preds:
+            self._edge(pred, dst)
+
+    # -- construction ---------------------------------------------------
+    def build(self, func: ast.FunctionDef | ast.AsyncFunctionDef) -> CFG:
+        ends = self._suite(func.body, [self.cfg.entry])
+        self._link(ends, self.cfg.exit)
+        return self.cfg
+
+    def _suite(self, stmts: list[ast.stmt], preds: list[int]) -> list[int]:
+        current = preds
+        for stmt in stmts:
+            if not current:
+                break  # unreachable tail (after return/raise on all paths)
+            current = self._stmt(stmt, current)
+        return current
+
+    def _stmt(self, stmt: ast.stmt, preds: list[int]) -> list[int]:
+        if isinstance(stmt, ast.Return):
+            block = self._new(stmt)
+            self._link(preds, block)
+            if stmt.value is not None and _can_raise(stmt.value):
+                self._edge(block, self._exc[-1])
+            if self._finally_returns:
+                self._finally_returns[-1].append(block)
+            else:
+                self._edge(block, self.cfg.exit)
+            return []
+        if isinstance(stmt, ast.Raise):
+            block = self._new(stmt)
+            self._link(preds, block)
+            self._edge(block, self._exc[-1])
+            return []
+        if isinstance(stmt, ast.Break):
+            block = self._new(stmt)
+            self._link(preds, block)
+            if self._loops:
+                self._loops[-1][0].append(block)
+                return []
+            return [block]
+        if isinstance(stmt, ast.Continue):
+            block = self._new(stmt)
+            self._link(preds, block)
+            if self._loops:
+                self._edge(block, self._loops[-1][1])
+                return []
+            return [block]
+        if isinstance(stmt, ast.If):
+            head = self._new(header=stmt.test)
+            self._link(preds, head)
+            if _can_raise(stmt.test):
+                self._edge(head, self._exc[-1])
+            body_ends = self._suite(stmt.body, [head])
+            else_ends = (
+                self._suite(stmt.orelse, [head]) if stmt.orelse else [head]
+            )
+            return body_ends + else_ends
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            header = stmt.test if isinstance(stmt, ast.While) else stmt.iter
+            head = self._new(header=header)
+            self._link(preds, head)
+            if _can_raise(header):
+                self._edge(head, self._exc[-1])
+            breaks: list[int] = []
+            self._loops.append((breaks, head))
+            body_ends = self._suite(stmt.body, [head])
+            self._loops.pop()
+            self._link(body_ends, head)
+            else_ends = (
+                self._suite(stmt.orelse, [head]) if stmt.orelse else [head]
+            )
+            return else_ends + breaks
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            head = self._new(header=stmt.items[0].context_expr)
+            self._link(preds, head)
+            if any(_can_raise(item.context_expr) for item in stmt.items):
+                self._edge(head, self._exc[-1])
+            return self._suite(stmt.body, [head])
+        if isinstance(stmt, ast.Try) or (
+            hasattr(ast, "TryStar") and isinstance(stmt, ast.TryStar)
+        ):
+            return self._try(stmt, preds)
+        if isinstance(stmt, ast.Match):
+            head = self._new(header=stmt.subject)
+            self._link(preds, head)
+            if _can_raise(stmt.subject):
+                self._edge(head, self._exc[-1])
+            ends = [head]  # no case may match
+            for case in stmt.cases:
+                ends += self._suite(case.body, [head])
+            return ends
+        # Simple statement (assignments, expressions, nested defs, ...)
+        block = self._new(stmt)
+        self._link(preds, block)
+        if not isinstance(
+            stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ) and _can_raise(stmt):
+            self._edge(block, self._exc[-1])
+        return [block]
+
+    def _try(self, stmt: ast.Try, preds: list[int]) -> list[int]:
+        outer = self._exc[-1]
+        dispatch = self._new()  # "an exception was raised in the suite"
+        self._exc.append(dispatch)
+        if stmt.finalbody:
+            self._finally_returns.append([])
+        body_ends = self._suite(stmt.body, preds)
+        if stmt.orelse:
+            body_ends = self._suite(stmt.orelse, body_ends)
+        handler_ends: list[int] = []
+        for handler in stmt.handlers:
+            handler_ends += self._suite(handler.body, [dispatch])
+        self._exc.pop()
+        if stmt.finalbody:
+            returned = self._finally_returns.pop()
+            fin_preds = body_ends + handler_ends + returned + [dispatch]
+            fin_ends = self._suite(stmt.finalbody, fin_preds)
+            # the finally suite is also the funnel for propagating
+            # exceptions and for returns crossing it
+            for end in fin_ends:
+                self._edge(end, outer)
+            return fin_ends
+        if not stmt.handlers:  # bare try (syntactically needs a finally,
+            self._edge(dispatch, outer)  # pragma: no cover - defensive
+            return body_ends
+        if not any(_catches_everything(h) for h in stmt.handlers):
+            self._edge(dispatch, outer)  # no handler matched
+        return body_ends + handler_ends
+
+
+def build_cfg(func: ast.FunctionDef | ast.AsyncFunctionDef) -> CFG:
+    """Control-flow graph of one function body (nested defs opaque)."""
+    return _Builder().build(func)

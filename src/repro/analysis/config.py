@@ -47,6 +47,10 @@ def _default_severities() -> dict[str, str]:
     return {}
 
 
+def _default_never_baseline() -> frozenset[str]:
+    return frozenset({"CSP009", "CSP010", "CSP011", "CSP012", "CSP013"})
+
+
 @dataclass(frozen=True)
 class LintConfig:
     """Immutable configuration for one lint run."""
@@ -83,6 +87,44 @@ class LintConfig:
         "k_nearest_by_max_distance",
         "_k_nearest_by_max_distance_impl",
         "_k_nearest_impl",
+    )
+
+    # CSP009 coordinate taint -------------------------------------------
+    # Modules allowed to build frame payloads from exact coordinates:
+    # the wire codec itself and the message/record codecs it rides on.
+    codec_modules: tuple[str, ...] = (
+        "repro.sharding.wire",
+        "repro.messages",
+        "repro.server.codec",
+    )
+
+    # CSP011 process boundary -------------------------------------------
+    # Modules allowed to touch raw pickle at all; inside them, every
+    # dumps must flow into a wire-blob carrier and every loads must
+    # derive from a CRC-verified source.
+    pickle_boundary_modules: tuple[str, ...] = ("repro.sharding.workers",)
+
+    # CSP013 protocol exhaustiveness ------------------------------------
+    # Where frame/op kinds are declared (and decoded) ...
+    protocol_modules: tuple[str, ...] = (
+        "repro.sharding.wire",
+        "repro.messages",
+    )
+    # ... and where decoded operations must be dispatched.
+    dispatch_modules: tuple[str, ...] = (
+        "repro.sharding.workers",
+        "repro.sharding.frontdoor",
+    )
+    protocol_decoders: tuple[str, ...] = ("decode_op", "decode_response")
+    protocol_constant_prefixes: tuple[str, ...] = ("OP_", "RE_", "KIND_")
+
+    # Baseline policy ---------------------------------------------------
+    # Rules whose findings may never be grandfathered: privacy/runtime
+    # invariants must be fixed (or carry a justified inline pragma).
+    # (a default_factory keeps the dataclass signature — and the
+    # generated API docs — free of unordered frozenset reprs)
+    never_baseline: frozenset[str] = field(
+        default_factory=_default_never_baseline
     )
 
     # I/O ---------------------------------------------------------------
@@ -130,9 +172,19 @@ class LintConfig:
             "deterministic_packages",
             "scan_paths",
             "tie_break_methods",
+            "codec_modules",
+            "pickle_boundary_modules",
+            "protocol_modules",
+            "dispatch_modules",
+            "protocol_decoders",
+            "protocol_constant_prefixes",
         ):
             if key in table:
                 updates[key] = tuple(str(v) for v in table[key])
+        if "never_baseline" in table:
+            updates["never_baseline"] = frozenset(
+                str(c) for c in table["never_baseline"]
+            )
         if "safe_imports" in table and isinstance(table["safe_imports"], dict):
             updates["safe_imports"] = {
                 str(pkg): frozenset(str(n) for n in names)

@@ -126,6 +126,7 @@ class ModuleInfo:
     tree: ast.Module
     lines: list[str] = field(default_factory=list)
     _pragmas: dict[int, frozenset[str] | None] | None = None
+    _stmt_spans: list[tuple[int, int]] | None = None
 
     def __post_init__(self) -> None:
         if not self.lines:
@@ -165,12 +166,58 @@ class ModuleInfo:
             self._pragmas = found
         return self._pragmas
 
+    def statement_span(self, line: int, end_line: int | None) -> tuple[int, int]:
+        """[line, end] expanded to the innermost enclosing *simple* statement.
+
+        Rules often anchor a finding at a sub-expression (one argument
+        of a multi-line call), whose own span covers a single physical
+        line.  A ``# casperlint: ignore[...]`` written on any other
+        line of the same logical statement must still suppress it, so
+        the suppression check widens the span to the smallest
+        multi-line simple statement containing it.  Compound statements
+        (``def``/``if``/``for``/...) are excluded: their span covers a
+        whole suite, and a pragma deep inside a function body must not
+        silence a finding on its ``def`` line.
+        """
+        last = end_line if end_line is not None else line
+        if self._stmt_spans is None:
+            simple = (
+                ast.Expr,
+                ast.Assign,
+                ast.AnnAssign,
+                ast.AugAssign,
+                ast.Return,
+                ast.Raise,
+                ast.Assert,
+                ast.Delete,
+                ast.Import,
+                ast.ImportFrom,
+            )
+            spans: list[tuple[int, int]] = []
+            for node in ast.walk(self.tree):
+                if (
+                    isinstance(node, simple)
+                    and node.end_lineno is not None
+                    and node.end_lineno > node.lineno
+                ):
+                    spans.append((node.lineno, node.end_lineno))
+            self._stmt_spans = sorted(spans)
+        best = (line, last)
+        best_size: int | None = None
+        for start, end in self._stmt_spans:
+            if start <= line and end >= last:
+                size = end - start
+                if best_size is None or size < best_size:
+                    best, best_size = (start, end), size
+        return best
+
     def is_suppressed(self, rule: str, line: int, end_line: int | None) -> bool:
-        """True when a pragma on any line of [line, end_line] covers rule."""
+        """True when a pragma on any line of the enclosing statement
+        span covers ``rule`` (multi-line statements count in full)."""
         pragmas = self.pragmas()
         if not pragmas:
             return False
-        last = end_line if end_line is not None else line
+        line, last = self.statement_span(line, end_line)
         for lineno in range(line, last + 1):
             codes = pragmas.get(lineno, False)
             if codes is False:

@@ -1,13 +1,13 @@
-"""Text and JSON reporters for casperlint runs."""
+"""Text, JSON and SARIF reporters for casperlint runs."""
 
 from __future__ import annotations
 
 import json
 
 from repro.analysis.baseline import BaselineMatch
-from repro.analysis.core import Finding, LintResult
+from repro.analysis.core import RULE_REGISTRY, Finding, LintResult
 
-__all__ = ["render_text", "render_json"]
+__all__ = ["render_text", "render_json", "render_sarif"]
 
 
 def _format_finding(finding: Finding, note: str = "") -> str:
@@ -60,5 +60,86 @@ def render_json(result: LintResult, match: BaselineMatch) -> str:
             "baselined": len(match.baselined),
             "stale": len(match.stale),
         },
+    }
+    return json.dumps(payload, indent=2)
+
+
+_SARIF_LEVEL = {"error": "error", "warning": "warning"}
+
+
+def _sarif_result(finding: Finding, suppressed: bool) -> dict[str, object]:
+    entry: dict[str, object] = {
+        "ruleId": finding.rule,
+        "level": _SARIF_LEVEL.get(finding.severity, "warning"),
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path,
+                        "uriBaseId": "%SRCROOT%",
+                    },
+                    "region": {"startLine": finding.line},
+                }
+            }
+        ],
+        # line-independent identity so GitHub code scanning tracks the
+        # finding across unrelated edits, same as the baseline file
+        "partialFingerprints": {"casperlint/v1": finding.fingerprint},
+    }
+    if suppressed:
+        entry["suppressions"] = [
+            {
+                "kind": "external",
+                "justification": "casperlint baseline entry",
+            }
+        ]
+    return entry
+
+
+def render_sarif(result: LintResult, match: BaselineMatch) -> str:
+    """SARIF 2.1.0 report (GitHub code scanning upload format).
+
+    New findings become plain results; baselined findings are emitted
+    too, marked with an ``external`` suppression, so the dashboard sees
+    the full picture without re-alerting on grandfathered debt.
+    """
+    rules = [
+        {
+            "id": code,
+            "name": RULE_REGISTRY[code].name or code,
+            "shortDescription": {
+                "text": RULE_REGISTRY[code].description or code
+            },
+            "defaultConfiguration": {
+                "level": _SARIF_LEVEL.get(
+                    RULE_REGISTRY[code].default_severity, "warning"
+                )
+            },
+        }
+        for code in result.rules_run
+        if code in RULE_REGISTRY
+    ]
+    payload = {
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+            "master/Schemata/sarif-schema-2.1.0.json"
+        ),
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "casperlint",
+                        "rules": rules,
+                    }
+                },
+                "results": [
+                    *(_sarif_result(f, False) for f in match.new),
+                    *(_sarif_result(f, True) for f in match.baselined),
+                ],
+                "columnKind": "utf16CodeUnits",
+            }
+        ],
     }
     return json.dumps(payload, indent=2)

@@ -17,10 +17,15 @@ def load_builtin_rules() -> None:
     if _loaded:
         return
     from repro.analysis.rules import (  # noqa: F401  (registration side effect)
+        boundary,
+        concurrency,
         correctness,
         determinism,
         index_contract,
+        lifecycle,
         privacy,
+        protocol,
+        taint,
         telemetry,
     )
 

@@ -1,0 +1,90 @@
+"""CSP010 — no blocking calls inside ``async def``.
+
+The asyncio front door (``sharding/frontdoor.py``) serves every TCP
+connection on one event loop; a single ``time.sleep``, synchronous
+pipe/socket read, or ``Popen.wait`` anywhere in an ``async def`` stalls
+*every* connection, not just the offending one.  This rule flags, in
+any ``async def`` in the project:
+
+* non-awaited calls to blocking primitives — ``time.sleep``,
+  ``select.select``, ``subprocess.run``/``call``/``check_*`` and
+  friends (:data:`repro.analysis.dataflow.BLOCKING_DOTTED_CALLS`);
+* non-awaited method calls that block regardless of receiver —
+  ``.recv()``/``.recv_bytes()``/``.send_bytes()``/``.poll()``/
+  ``.accept()``/``.wait()``/``.communicate()``/``.acquire()``
+  (:data:`repro.analysis.dataflow.BLOCKING_METHODS`);
+* calls to *project* functions whose call summary says they block
+  transitively (typed receiver resolution through the dataflow layer:
+  an attribute call only resolves when the receiver's class is
+  determinable from ``self``, an annotation, or a constructor
+  assignment), so hiding a ``conn.recv_bytes()`` two calls deep does
+  not evade the rule, but ``server.close()`` on an asyncio server does
+  not get blamed for some unrelated class's blocking ``close()``.
+
+``await``-wrapped calls are exempt by construction (awaiting an
+``asyncio`` primitive is the fix, not the bug).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.analysis.config import LintConfig
+from repro.analysis.core import ModuleInfo, Project, RawFinding, Rule, register_rule
+from repro.analysis.dataflow import analyze_project, resolve_method_call
+
+__all__ = ["AsyncBlockingRule"]
+
+
+@register_rule
+class AsyncBlockingRule(Rule):
+    code = "CSP010"
+    name = "asyncio-blocking"
+    description = (
+        "async def must not call blocking primitives (time.sleep, sync "
+        "pipe/socket reads, Popen.wait) directly or transitively"
+    )
+    default_severity = "error"
+
+    def check(
+        self, module: ModuleInfo, project: Project, config: LintConfig
+    ) -> Iterable[RawFinding]:
+        flow = analyze_project(project, config)
+        for record in flow.functions.values():
+            if record.module != module.name or not record.is_async:
+                continue
+            # direct blocking primitives in the async body
+            for call, reason in record.direct_blocking:
+                yield RawFinding.at(
+                    call,
+                    f"async def {record.qualname}() {reason} — this "
+                    "blocks the event loop; await an asyncio "
+                    "equivalent or move the work off-loop",
+                )
+            # transitively-blocking project calls
+            awaited = {
+                id(node.value)
+                for node in ast.walk(record.node)
+                if isinstance(node, ast.Await)
+                and isinstance(node.value, ast.Call)
+            }
+            direct = {id(call) for call, _ in record.direct_blocking}
+            for node in ast.walk(record.node):
+                if (
+                    not isinstance(node, ast.Call)
+                    or id(node) in awaited
+                    or id(node) in direct
+                ):
+                    continue
+                for key in resolve_method_call(flow, record, node):
+                    callee = flow.functions[key]
+                    if callee.blocking:
+                        yield RawFinding.at(
+                            node,
+                            f"async def {record.qualname}() calls "
+                            f"{callee.qualname}(), which "
+                            f"{callee.blocking_reason or 'blocks'} — "
+                            "this blocks the event loop",
+                        )
+                        break

@@ -1,0 +1,272 @@
+"""CSP012 — spawned processes/sockets/pipes released on every CFG path.
+
+The static twin of the conftest orphan-worker guard: the test suite
+fails a session that leaves a ``casper-shard-*`` process behind, and
+this rule fails the *lint* run on any code path that could produce
+one.  For every local acquisition of an OS-backed resource::
+
+    parent_conn, child_conn = ctx.Pipe()
+    sock = socket.socket(...)
+    proc = subprocess.Popen([...])
+
+the rule builds the function's CFG (:mod:`repro.analysis.cfg`) and
+walks every path from the acquisition, *including exception edges*.
+A path that reaches the function exit without one of:
+
+* a release call on the name (``.close()``/``.kill()``/
+  ``.terminate()``/``.shutdown()``/``.release()``/``.join()``),
+* a ``with`` block over the name (context managers release on all
+  paths by construction),
+* an *escape* — the name is stored on an attribute/subscript, returned,
+  yielded, or passed to another call (ownership moved, the local is no
+  longer responsible),
+* a rebind of the name,
+
+is a finding: an exception (or early return) on that path leaks the
+file descriptor or child process.  The fix the message asks for is the
+one the runtime uses: release in a ``finally`` (or ``except
+BaseException: ... raise``) or hold the resource in a context manager.
+
+``Process(...)`` constructors are *not* acquisitions (the OS resource
+exists only after ``.start()``, and a failed ``start`` is surfaced by
+the pipe the process was wired to); ``Popen`` spawns in its
+constructor, so it is.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Iterator
+
+from repro.analysis.cfg import CFG, build_cfg
+from repro.analysis.config import LintConfig
+from repro.analysis.core import ModuleInfo, Project, RawFinding, Rule, register_rule
+from repro.analysis.dataflow import terminal_name
+
+__all__ = ["ResourceLifecycleRule"]
+
+#: Terminal call names whose result owns an OS resource.
+_ACQUIRERS = frozenset(
+    {
+        "Pipe",
+        "Popen",
+        "socket",
+        "socketpair",
+        "create_connection",
+        "create_server",
+        "open_connection",
+        "SimpleQueue",
+    }
+)
+
+#: Method calls that release the resource held by a name.
+_RELEASERS = frozenset(
+    {"close", "kill", "terminate", "shutdown", "release", "join"}
+)
+
+
+def _acquired_names(stmt: ast.stmt) -> list[str]:
+    """Local names bound to a fresh resource by this statement."""
+    if not isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+        return []
+    value = stmt.value
+    if value is None or not isinstance(value, ast.Call):
+        return []
+    if terminal_name(value.func) not in _ACQUIRERS:
+        return []
+    targets = stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+    names: list[str] = []
+    for target in targets:
+        if isinstance(target, ast.Name):
+            names.append(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                if isinstance(element, ast.Name):
+                    names.append(element.id)
+    return names
+
+
+def _mentions_name(node: ast.AST, name: str) -> bool:
+    return any(
+        isinstance(sub, ast.Name) and sub.id == name
+        for sub in ast.walk(node)
+    )
+
+
+def _releases(node: ast.AST, name: str) -> bool:
+    """Does this statement/header release ``name`` on this block?"""
+    for sub in ast.walk(node):
+        if (
+            isinstance(sub, ast.Call)
+            and isinstance(sub.func, ast.Attribute)
+            and sub.func.attr in _RELEASERS
+            and isinstance(sub.func.value, ast.Name)
+            and sub.func.value.id == name
+        ):
+            return True
+    return False
+
+
+def _escapes(node: ast.AST, name: str) -> bool:
+    """Ownership of ``name`` moves elsewhere in this statement."""
+    if isinstance(node, ast.Return):
+        return node.value is not None and _mentions_name(node.value, name)
+    if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+        targets = (
+            node.targets
+            if isinstance(node, ast.Assign)
+            else [node.target]
+        )
+        value = getattr(node, "value", None)
+        if value is not None and _mentions_name(value, name):
+            for target in targets:
+                if isinstance(target, (ast.Attribute, ast.Subscript)):
+                    return True  # stored on self/container: owner changed
+                if isinstance(target, ast.Name) and target.id == name:
+                    return True  # rebound
+            # also: tuple targets rebinding the same name
+            for target in targets:
+                if isinstance(target, (ast.Tuple, ast.List)) and any(
+                    isinstance(e, ast.Name) and e.id == name
+                    for e in target.elts
+                ):
+                    return True
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Yield) or isinstance(sub, ast.YieldFrom):
+            return True  # generator frames outlive this analysis
+        if isinstance(sub, ast.Call):
+            receiver_release = (
+                isinstance(sub.func, ast.Attribute)
+                and isinstance(sub.func.value, ast.Name)
+                and sub.func.value.id == name
+            )
+            if receiver_release:
+                continue  # method call *on* the resource is not an escape
+            for arg in [*sub.args, *(kw.value for kw in sub.keywords)]:
+                if _mentions_name(arg, name):
+                    return True  # handed to another owner
+    if isinstance(node, (ast.With, ast.AsyncWith)):
+        return True
+    return False
+
+
+def _with_covers(header: ast.expr | None, name: str) -> bool:
+    """A ``with name`` / ``with f(name)`` header manages the resource."""
+    return header is not None and _mentions_name(header, name)
+
+
+@register_rule
+class ResourceLifecycleRule(Rule):
+    code = "CSP012"
+    name = "resource-lifecycle"
+    description = (
+        "every locally-acquired process/socket/pipe must be released on "
+        "all control-flow paths (finally/context manager), including "
+        "exception paths"
+    )
+    default_severity = "error"
+
+    def check(
+        self, module: ModuleInfo, project: Project, config: LintConfig
+    ) -> Iterable[RawFinding]:
+        for func in ast.walk(module.tree):
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            # cheap gate before building a CFG
+            if not any(
+                isinstance(node, ast.Call)
+                and terminal_name(node.func) in _ACQUIRERS
+                for node in ast.walk(func)
+            ):
+                continue
+            yield from self._check_function(func)
+
+    def _check_function(
+        self, func: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> Iterator[RawFinding]:
+        cfg = build_cfg(func)
+        for block in list(cfg.blocks.values()):
+            if block.stmt is None:
+                continue
+            for name in _acquired_names(block.stmt):
+                if self._leaks(cfg, block.index, block.stmt, name):
+                    yield RawFinding.at(
+                        block.stmt,
+                        f"{name!r} acquired here may never be released: "
+                        "an exception/early-return path reaches the "
+                        "function exit without .close()/.kill() — "
+                        "release it in a finally block or hold it in a "
+                        "context manager",
+                    )
+
+    def _leaks(
+        self, cfg: CFG, start: int, acquisition: ast.stmt, name: str
+    ) -> bool:
+        """Can exit be reached from the acquisition without a release?
+
+        The acquisition block's own exception edge is not a leak (the
+        constructor failed — nothing was acquired), so the walk starts
+        at the *successors* and prunes the acquisition's exception
+        target unless it is also reachable another way.
+        """
+        seen: set[int] = set()
+        stack = [
+            succ
+            for succ in cfg.blocks[start].successors
+            if self._normal_successor(cfg, start, succ, acquisition)
+        ]
+        while stack:
+            index = stack.pop()
+            if index in seen:
+                continue
+            seen.add(index)
+            if index == cfg.exit:
+                return True
+            block = cfg.blocks[index]
+            node = block.node
+            if node is not None:
+                if block.header is not None and _with_covers(
+                    block.header, name
+                ):
+                    continue  # context manager owns it from here
+                if _releases(node, name) or _escapes(node, name):
+                    continue
+                if self._rebinds(node, name):
+                    continue
+            stack.extend(block.successors)
+        return False
+
+    @staticmethod
+    def _normal_successor(
+        cfg: CFG, start: int, succ: int, acquisition: ast.stmt
+    ) -> bool:
+        """Filter the acquisition statement's own exception edge."""
+        # the exception edge is the successor that is also the innermost
+        # exception target; a failed constructor acquired nothing.  We
+        # approximate: keep every successor that is not *only* reachable
+        # as an exception target, i.e. drop successors that are try
+        # dispatch blocks or the exit when another successor exists.
+        block = cfg.blocks[succ]
+        if succ == cfg.exit and len(cfg.blocks[start].successors) > 1:
+            return False
+        if (
+            block.stmt is None
+            and block.header is None
+            and succ not in (cfg.entry, cfg.exit)
+            and len(cfg.blocks[start].successors) > 1
+        ):
+            return False  # synthetic try-dispatch reached by raising
+        return True
+
+    @staticmethod
+    def _rebinds(node: ast.AST, name: str) -> bool:
+        if isinstance(node, (ast.Assign, ast.AnnAssign)):
+            targets = (
+                node.targets
+                if isinstance(node, ast.Assign)
+                else [node.target]
+            )
+            for target in targets:
+                if isinstance(target, ast.Name) and target.id == name:
+                    return True
+        return False

@@ -1,0 +1,311 @@
+"""CSP013 — frame/op kinds and dispatch handlers stay in lockstep.
+
+The wire protocol is declared in one place (``sharding/wire.py`` +
+``messages.py``: ``OP_*``/``RE_*`` opcode constants, ``KIND_*`` frame
+kinds, and the ``decode_op``/``decode_response`` functions that map
+opcodes to ``("name", ...)`` tuples) and *consumed* in others
+(``sharding/workers.py``/``frontdoor.py``, which branch on
+``op[0]``-style selectors).  Adding an opcode without a handler — or a
+handler string with no opcode behind it — fails at runtime, on the
+wire, possibly only under a chaos scenario.  This rule makes the two
+sides provably exhaustive at lint time:
+
+* every ``OP_``/``RE_`` constant declared in a protocol module must
+  have a branch in a declared decoder (a dead opcode is wire surface
+  nobody can parse);
+* every operation *name* a decoder can return must be compared against
+  a decoder-derived selector somewhere in the dispatch modules (a
+  decodable op nobody dispatches);
+* every name compared against a selector must exist in some decoder
+  (a zombie handler for an op that cannot arrive);
+* every ``KIND_`` frame kind must be referenced by some dispatch
+  module (an unroutable frame kind).
+
+Selectors are recognized structurally: ``name = op[0]`` (or a direct
+``op[0] == "..."`` comparison) where ``op`` was assigned from a call
+to a declared decoder.  Everything is configurable via
+``protocol_modules`` / ``dispatch_modules`` / ``protocol_decoders`` /
+``protocol_constant_prefixes``.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass, field
+
+from repro.analysis.config import LintConfig
+from repro.analysis.core import ModuleInfo, Project, RawFinding, Rule, register_rule
+from repro.analysis.dataflow import terminal_name
+
+__all__ = ["ProtocolExhaustivenessRule"]
+
+
+@dataclass
+class _ProtocolModel:
+    """Everything the rule extracts from one project."""
+
+    # constant name -> (module, node) for OP_/RE_ declarations
+    constants: dict[str, tuple[str, ast.stmt]] = field(default_factory=dict)
+    kinds: dict[str, tuple[str, ast.stmt]] = field(default_factory=dict)
+    # constant name -> decoded op name ("register", "ack", ...)
+    decoder_map: dict[str, str] = field(default_factory=dict)
+    # decoded op name -> (module, return stmt) of its decoder branch
+    decoder_sites: dict[str, tuple[str, ast.stmt]] = field(
+        default_factory=dict
+    )
+    # op names compared against selectors in dispatch modules
+    dispatched: dict[str, list[tuple[str, ast.AST]]] = field(
+        default_factory=dict
+    )
+    # constant names referenced anywhere in dispatch modules
+    referenced_constants: set[str] = field(default_factory=set)
+
+
+def _build_model(project, config: LintConfig) -> _ProtocolModel:
+    model = _ProtocolModel()
+    for module in project.iter_modules():
+        if module.in_package(config.protocol_modules):
+            _scan_protocol_module(module, config, model)
+    for module in project.iter_modules():
+        if module.in_package(config.dispatch_modules):
+            _scan_dispatch_module(module, config, model)
+    return model
+
+
+def _scan_protocol_module(
+    module: ModuleInfo, config: LintConfig, model: _ProtocolModel
+) -> None:
+    for node in module.tree.body:
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if isinstance(target, ast.Name):
+                if target.id.startswith("KIND_"):
+                    model.kinds[target.id] = (module.name, node)
+                elif any(
+                    target.id.startswith(p)
+                    for p in config.protocol_constant_prefixes
+                ) and not target.id.startswith("KIND_"):
+                    model.constants[target.id] = (module.name, node)
+    for node in ast.walk(module.tree):
+        if (
+            isinstance(node, ast.FunctionDef)
+            and node.name in config.protocol_decoders
+        ):
+            _scan_decoder(module, node, model)
+
+
+def _scan_decoder(
+    module: ModuleInfo, decoder: ast.FunctionDef, model: _ProtocolModel
+) -> None:
+    """Map ``if opcode == OP_X: ... return ("name", ...)`` branches."""
+    for branch in ast.walk(decoder):
+        if not isinstance(branch, ast.If):
+            continue
+        test = branch.test
+        if not (
+            isinstance(test, ast.Compare)
+            and len(test.ops) == 1
+            and isinstance(test.ops[0], ast.Eq)
+        ):
+            continue
+        sides = [test.left, test.comparators[0]]
+        constant = next(
+            (
+                side.id
+                for side in sides
+                if isinstance(side, ast.Name)
+                and (side.id in model.constants or side.id in model.kinds)
+            ),
+            None,
+        )
+        if constant is None:
+            continue
+        for sub in ast.walk(branch):
+            if isinstance(sub, ast.Return) and isinstance(
+                sub.value, ast.Tuple
+            ):
+                first = sub.value.elts[0] if sub.value.elts else None
+                if isinstance(first, ast.Constant) and isinstance(
+                    first.value, str
+                ):
+                    model.decoder_map[constant] = first.value
+                    model.decoder_sites[first.value] = (module.name, sub)
+                    break
+
+
+def _scan_dispatch_module(
+    module: ModuleInfo, config: LintConfig, model: _ProtocolModel
+) -> None:
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Name) and (
+            node.id in model.constants or node.id in model.kinds
+        ):
+            model.referenced_constants.add(node.id)
+    for func in ast.walk(module.tree):
+        if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        decoded_names = _decoder_result_names(func, config)
+        selectors = _selector_names(func, decoded_names)
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Compare):
+                continue
+            for value, against in _comparison_pairs(node):
+                if not _is_selector(value, selectors, decoded_names):
+                    continue
+                for name in _string_values(against):
+                    model.dispatched.setdefault(name, []).append(
+                        (module.name, node)
+                    )
+
+
+def _decoder_result_names(func: ast.AST, config: LintConfig) -> set[str]:
+    """Local names assigned from a declared decoder call."""
+    names: set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+            if terminal_name(node.value.func) in config.protocol_decoders:
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+    return names
+
+
+def _selector_names(func: ast.AST, decoded: set[str]) -> set[str]:
+    """Names assigned ``sel = decoded[0]`` from a decoder result."""
+    selectors: set[str] = set()
+    for node in ast.walk(func):
+        if (
+            isinstance(node, ast.Assign)
+            and isinstance(node.value, ast.Subscript)
+            and isinstance(node.value.value, ast.Name)
+            and node.value.value.id in decoded
+            and isinstance(node.value.slice, ast.Constant)
+            and node.value.slice.value == 0
+        ):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    selectors.add(target.id)
+    return selectors
+
+
+def _comparison_pairs(
+    node: ast.Compare,
+) -> Iterator[tuple[ast.AST, ast.AST]]:
+    """(candidate-selector, compared-against) pairs of one comparison."""
+    if len(node.ops) != 1 or not isinstance(
+        node.ops[0], (ast.Eq, ast.NotEq, ast.In, ast.NotIn)
+    ):
+        return
+    yield node.left, node.comparators[0]
+    yield node.comparators[0], node.left
+
+
+def _is_selector(
+    node: ast.AST, selectors: set[str], decoded: set[str]
+) -> bool:
+    if isinstance(node, ast.Name) and node.id in selectors:
+        return True
+    return (
+        isinstance(node, ast.Subscript)
+        and isinstance(node.value, ast.Name)
+        and node.value.id in decoded
+        and isinstance(node.slice, ast.Constant)
+        and node.slice.value == 0
+    )
+
+
+def _string_values(node: ast.AST) -> list[str]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return [node.value]
+    if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+        out: list[str] = []
+        for element in node.elts:
+            if isinstance(element, ast.Constant) and isinstance(
+                element.value, str
+            ):
+                out.append(element.value)
+        return out
+    return []
+
+
+@register_rule
+class ProtocolExhaustivenessRule(Rule):
+    code = "CSP013"
+    name = "protocol-exhaustiveness"
+    description = (
+        "every declared frame/op kind has a decoder branch and a "
+        "dispatch handler, and every dispatched name has an opcode "
+        "behind it"
+    )
+    default_severity = "error"
+
+    def check(
+        self, module: ModuleInfo, project, config: LintConfig
+    ) -> Iterable[RawFinding]:
+        in_protocol = module.in_package(config.protocol_modules)
+        in_dispatch = module.in_package(config.dispatch_modules)
+        if not (in_protocol or in_dispatch):
+            return
+        model = getattr(project, "_casperlint_protocol", None)
+        if model is None:
+            model = _build_model(project, config)
+            project._casperlint_protocol = model
+        if in_protocol:
+            yield from self._check_protocol_side(module, model)
+        if in_dispatch:
+            yield from self._check_dispatch_side(module, model)
+
+    def _check_protocol_side(
+        self, module: ModuleInfo, model: _ProtocolModel
+    ) -> Iterator[RawFinding]:
+        # any dispatch at all?  (fixture projects may configure protocol
+        # modules without dispatch modules; stay silent then)
+        for constant, (mod, node) in sorted(model.constants.items()):
+            if mod != module.name:
+                continue
+            if constant not in model.decoder_map:
+                yield RawFinding.at(
+                    node,
+                    f"opcode constant {constant} has no decoder branch "
+                    "in any declared decoder (decode_op/"
+                    "decode_response) — a dead wire opcode",
+                )
+                continue
+            name = model.decoder_map[constant]
+            if model.dispatched and name not in model.dispatched:
+                yield RawFinding.at(
+                    node,
+                    f"operation {name!r} (opcode {constant}) is decoded "
+                    "but never dispatched in any dispatch module — "
+                    "add a handler branch or retire the opcode",
+                )
+        for kind, (mod, node) in sorted(model.kinds.items()):
+            if mod != module.name:
+                continue
+            if (
+                model.referenced_constants or model.dispatched
+            ) and kind not in model.referenced_constants:
+                yield RawFinding.at(
+                    node,
+                    f"frame kind {kind} is declared but never "
+                    "referenced by any dispatch module — an "
+                    "unroutable frame kind",
+                )
+
+    def _check_dispatch_side(
+        self, module: ModuleInfo, model: _ProtocolModel
+    ) -> Iterator[RawFinding]:
+        known = set(model.decoder_sites)
+        for name, sites in sorted(model.dispatched.items()):
+            if name in known:
+                continue
+            for mod, node in sites:
+                if mod != module.name:
+                    continue
+                yield RawFinding.at(
+                    node,
+                    f"dispatch branch compares against {name!r}, which "
+                    "no declared decoder can produce — a zombie "
+                    "handler",
+                )

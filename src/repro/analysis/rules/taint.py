@@ -1,0 +1,113 @@
+"""CSP009 — value-level coordinate-taint tracking.
+
+The import-graph rule (CSP001) keeps exact locations from *crossing
+the module boundary*; the telemetry rule (CSP008) pattern-matches
+location-shaped expressions *at telemetry call sites*.  This rule
+closes the gap between them: it follows the **values** — a ``Point``
+construction, a ``.x``/``.y`` read, a ``Point``-annotated or
+location-named parameter — through assignments, f-strings, arithmetic
+and project-internal calls, and reports when a coordinate-derived
+value reaches a sink:
+
+* a logging call,
+* an exception message (``raise E(f"point {p} ...")`` — exception
+  strings travel: the worker runtime serializes them into ``RE_ERROR``
+  wire replies and the TCP front door sends them to remote peers),
+* a telemetry label/attribute (value-level upgrade of CSP008),
+* frame payload construction (``struct.pack``/``encode_*``/
+  ``ShardEnvelope``) outside the sanctioned codec modules
+  (``codec_modules`` in the configuration).
+
+Unlike CSP001 this rule is **not zone-gated**: it fires inside the
+trusted anonymizer packages too, because these sinks leave the process
+no matter which side of the boundary they are on.
+
+Cross-function findings use the call summaries of
+:mod:`repro.analysis.dataflow`: passing a tainted value into a
+function whose parameter flows to a sink is reported at the call site.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.analysis.config import LintConfig
+from repro.analysis.core import ModuleInfo, Project, RawFinding, Rule, register_rule
+from repro.analysis.dataflow import (
+    _INTRINSIC,
+    _TaintPass,
+    _WEAK,
+    analyze_project,
+)
+
+__all__ = ["CoordinateTaintRule"]
+
+_SINK_LABEL = {
+    "logging": "a log record",
+    "exception": "an exception message",
+    "telemetry": "a telemetry label/attribute",
+    "wire": "a frame payload outside the sanctioned codec",
+}
+
+
+@register_rule
+class CoordinateTaintRule(Rule):
+    code = "CSP009"
+    name = "coordinate-taint-leak"
+    description = (
+        "an exact-location value (Point / raw coordinate) flows into a "
+        "log, exception message, telemetry attribute, or frame payload "
+        "built outside the sanctioned codec"
+    )
+    default_severity = "error"
+
+    def check(
+        self, module: ModuleInfo, project: Project, config: LintConfig
+    ) -> Iterable[RawFinding]:
+        flow = analyze_project(project, config)
+        seen: set[tuple[int, str]] = set()
+        for record in flow.functions.values():
+            if record.module != module.name:
+                continue
+            # sinks reached inside this function
+            for hit in record.sink_hits:
+                if not ({_INTRINSIC, _WEAK} & hit.tags):
+                    continue  # parameter-only flow: reported at call sites
+                key = (getattr(hit.node, "lineno", 1), hit.kind)
+                if key in seen:
+                    continue
+                seen.add(key)
+                yield RawFinding.at(
+                    hit.node,
+                    f"coordinate-tainted value reaches "
+                    f"{_SINK_LABEL[hit.kind]}: {hit.detail} "
+                    f"(in {record.qualname})",
+                )
+            # tainted arguments handed to a callee that sinks them
+            taint = _TaintPass(record, module, flow, config)
+            taint.run()
+            for node in ast.walk(record.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                for callee_key in flow.resolve_call(record.module, node):
+                    callee = flow.functions[callee_key]
+                    if not callee.param_to_sink:
+                        continue
+                    for index, arg in taint._align_args(callee, node):
+                        kind = callee.param_to_sink.get(index)
+                        if kind is None:
+                            continue
+                        if _INTRINSIC not in taint.expr_tags(arg):
+                            continue
+                        key = (getattr(node, "lineno", 1), f"call:{kind}")
+                        if key in seen:
+                            continue
+                        seen.add(key)
+                        yield RawFinding.at(
+                            node,
+                            f"passes a coordinate-tainted argument to "
+                            f"{callee.qualname}(), which leaks it into "
+                            f"{_SINK_LABEL[kind]} "
+                            f"(in {record.qualname})",
+                        )

@@ -163,7 +163,9 @@ class CellGrid:
         if not 0 <= level <= self.height:
             raise ValueError(f"level {level} outside pyramid of height {self.height}")
         if not self.bounds.contains_point(point, tol=1e-12):
-            raise OutOfBoundsError(f"point {point} outside service area")
+            # the offending coordinates stay out of the message: exception
+            # strings travel (RE_ERROR wire replies, logs at the caller)
+            raise OutOfBoundsError("point outside service area")
         side = 1 << level
         fx = (point.x - self.bounds.x_min) / self.bounds.width
         fy = (point.y - self.bounds.y_min) / self.bounds.height

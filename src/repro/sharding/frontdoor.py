@@ -28,7 +28,9 @@ from repro.sharding.wire import (
     KIND_RESPONSE,
     FrameDecoder,
     WireError,
+    decode_op,
     encode_frame,
+    response_ack,
 )
 from repro.sharding.workers import ShardWorker, _WorkerConfig
 
@@ -100,6 +102,24 @@ class ShardFrontDoor:
         )
         return ShardWorker(config, shard=0, conn=None, replica=anonymizer)
 
+    async def _dispatch(self, executor: ShardWorker, payload: bytes) -> bytes:
+        """Apply one operation without stalling the shared event loop.
+
+        The chaos-injection ``hang`` op sleeps for ``op[1]`` seconds;
+        routed through ``ShardWorker._apply`` that would be a
+        ``time.sleep`` on the loop, freezing *every* connection, so it
+        is intercepted and awaited here.  Every other op is CPU-bound
+        dispatch into the in-process replica.
+        """
+        try:
+            op = decode_op(payload)
+        except WireError:
+            op = ()
+        if op and op[0] == "hang":
+            await asyncio.sleep(op[1])
+            return response_ack()
+        return executor._apply(payload)[0]  # casperlint: ignore[CSP010] hang intercepted above; remaining ops are CPU-bound replica dispatch
+
     async def _handle(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
@@ -130,7 +150,7 @@ class ShardFrontDoor:
                     replies = [
                         ShardEnvelope(
                             envelope.shard,
-                            executor._apply(envelope.payload)[0],
+                            await self._dispatch(executor, envelope.payload),
                         )
                         for envelope in frame.envelopes
                     ]

@@ -439,16 +439,22 @@ class WorkerPool:
         if self._procs[shard] is not None:
             self.kill(shard)
         parent_conn, child_conn = self._ctx.Pipe()
-        proc = self._ctx.Process(
-            target=_worker_main,
-            args=(self.config, shard, child_conn),
-            name=f"casper-shard-{shard}",
-            daemon=True,
-        )
-        proc.start()
+        try:
+            proc = self._ctx.Process(
+                target=_worker_main,
+                args=(self.config, shard, child_conn),
+                name=f"casper-shard-{shard}",
+                daemon=True,
+            )
+            proc.start()
+            self._procs[shard] = proc
+            self._conns[shard] = parent_conn
+        except BaseException:
+            # a failed fork/start must not leak the pipe descriptors
+            parent_conn.close()
+            child_conn.close()
+            raise
         child_conn.close()
-        self._procs[shard] = proc
-        self._conns[shard] = parent_conn
 
     def spawn_all(self) -> None:
         try:

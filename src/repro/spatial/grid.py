@@ -46,7 +46,9 @@ class GridIndex(SpatialIndex):
     def cell_of_point(self, p: Point) -> tuple[int, int]:
         """Bucket coordinates containing ``p`` (clamped to the border)."""
         if not self.bounds.contains_point(p, tol=1e-9):
-            raise OutOfBoundsError(f"point {p} outside grid bounds {self.bounds}")
+            # bounds are public service-area config; the point is not —
+            # exception strings travel (RE_ERROR replies, caller logs)
+            raise OutOfBoundsError(f"point outside grid bounds {self.bounds}")
         ix = int((p.x - self.bounds.x_min) / self._cell_w)
         iy = int((p.y - self.bounds.y_min) / self._cell_h)
         return self._clamp_index(ix, iy)

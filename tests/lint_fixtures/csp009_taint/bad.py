@@ -1,0 +1,39 @@
+# module: app.anonymizer.leaky
+"""CSP009 violating fixture: exact coordinates reach every sink kind.
+
+Five findings: a log record, an exception message, a telemetry
+attribute, a frame payload outside the codec, and a call-site flow
+into a helper whose parameter is sunk into an exception message.
+"""
+import logging
+
+logger = logging.getLogger("leaky")
+
+
+def log_location(uid):
+    p = Point(1.0, 2.0)
+    logger.info(f"user {uid} at {p}")  # logging sink
+
+
+def raise_with_point(point):
+    raise ValueError(f"bad point {point}")  # exception sink
+
+
+def count_position(p):
+    stats.counter("last_x", p.x)  # telemetry sink
+
+
+def frame_position(point):
+    return pack(point.x, point.y)  # wire sink outside the codec
+
+
+def helper_sink(label):
+    # no finding here: ``label`` is not coordinate-tainted locally,
+    # but the parameter flows into the exception message, so callers
+    # passing tainted values are reported at their call site
+    raise ValueError(f"label {label}")
+
+
+def call_site_leak():
+    p = Point(3.0, 4.0)
+    helper_sink(str(p))  # call-site finding

@@ -1,0 +1,22 @@
+# module: app.anonymizer.tidy
+"""CSP009 clean fixture: coordinates are used, never leaked.
+
+Building a cloaked region from coordinates declassifies (the region is
+the sanctioned product); untainted values may reach any sink.
+"""
+import logging
+
+logger = logging.getLogger("tidy")
+
+
+def cloak(point):
+    # a non-Point constructor consumes the coordinates: declassified
+    return Rect(point.x - 1.0, point.y - 1.0, point.x + 1.0, point.y + 1.0)
+
+
+def complain(uid):
+    raise KeyError(f"unknown user {uid!r}")  # uid is not a coordinate
+
+
+def log_count(count):
+    logger.info(f"cloaked {count} users")

@@ -1,0 +1,19 @@
+# module: svc.loop
+"""CSP010 violating fixture: blocking calls on the event loop.
+
+Two findings: a direct ``time.sleep`` in an async def, and a
+transitive block through a sync helper that does a pipe read.
+"""
+import time
+
+
+async def tick():
+    time.sleep(0.5)  # direct blocking primitive
+
+
+def _pump(conn):
+    return conn.recv_bytes()  # blocking, but fine in a sync def
+
+
+async def drain(conn):
+    return _pump(conn)  # transitively blocking

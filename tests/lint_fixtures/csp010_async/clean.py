@@ -1,0 +1,14 @@
+# module: svc.calm
+"""CSP010 clean fixture: awaited primitives and benign method calls."""
+import asyncio
+
+
+async def tick():
+    await asyncio.sleep(0.5)  # awaited: the fix, not the bug
+
+
+async def shutdown(server):
+    # ``close`` on an undeterminable receiver must not be blamed for
+    # some unrelated class's blocking close()
+    server.close()
+    await server.wait_closed()

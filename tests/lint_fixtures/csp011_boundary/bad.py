@@ -1,0 +1,11 @@
+# module: app.server.sneaky
+"""CSP011 violating fixture, outside the pickle boundary.
+
+Two findings: a raw pickle import, and an implicit-pickle channel
+send on a connection-named receiver.
+"""
+import pickle
+
+
+def side_channel(conn, state):
+    conn.send(state)  # implicit pickle; the seam speaks framed bytes

@@ -1,0 +1,15 @@
+# module: proto.workers
+"""CSP011 violating fixture, inside the pickle boundary.
+
+Two findings: a dumps whose blob never reaches a sanctioned carrier,
+and a loads fed bytes that derive from no CRC-verified source.
+"""
+import pickle
+
+
+def stash(package):
+    return pickle.dumps(package)  # blob escapes without a carrier
+
+
+def unstash(raw):
+    return pickle.loads(raw)  # unverified bytes

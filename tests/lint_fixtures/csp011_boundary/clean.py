@@ -1,0 +1,13 @@
+# module: proto.workers
+"""CSP011 clean fixture: pickle rides CRC-verified wire shapes only."""
+import pickle
+
+
+def snapshot(state):
+    blob = pickle.dumps(state)
+    return response_blob(blob)  # sanctioned blob carrier
+
+
+def apply(payload):
+    op = decode_op(payload)  # CRC-verified decode
+    return pickle.loads(op[1])

@@ -1,0 +1,22 @@
+# module: svc.pool
+"""CSP012 violating fixture: resources leak on exception paths.
+
+Three findings: a socket that leaks when a later call raises, and
+both ends of a pipe that leak the same way.
+"""
+import socket
+from multiprocessing import Pipe
+
+
+def fragile(addr):
+    sock = socket.create_connection(addr)
+    size = compute_size()  # raises -> sock leaks
+    sock.sendall(b"x" * size)
+    sock.close()
+
+
+def pipe_leak():
+    parent, child = Pipe()
+    prepare()  # raises -> both ends leak
+    parent.close()
+    child.close()

@@ -1,0 +1,25 @@
+# module: proto.wire
+"""CSP013 violating fixture: protocol and dispatch out of lockstep.
+
+Three findings: OP_ORPHAN has no decoder branch (dead opcode),
+OP_GAMMA decodes to an op nobody dispatches, and KIND_EXTRA is a
+frame kind no dispatch module references.
+"""
+
+OP_ALPHA = 1
+OP_BETA = 2
+OP_GAMMA = 3
+OP_ORPHAN = 9
+KIND_A = 21
+KIND_EXTRA = 22
+
+
+def decode_op(payload):
+    opcode = payload[0]
+    if opcode == OP_ALPHA:
+        return ("alpha", payload[1:])
+    if opcode == OP_BETA:
+        return ("beta", payload[1:])
+    if opcode == OP_GAMMA:
+        return ("gamma", payload[1:])
+    raise ValueError("unknown opcode")

@@ -1,0 +1,15 @@
+# module: proto.wire
+"""CSP013 clean fixture: every opcode decoded, dispatched, routable."""
+
+OP_ALPHA = 1
+OP_BETA = 2
+KIND_A = 21
+
+
+def decode_op(payload):
+    opcode = payload[0]
+    if opcode == OP_ALPHA:
+        return ("alpha", payload[1:])
+    if opcode == OP_BETA:
+        return ("beta", payload[1:])
+    raise ValueError("unknown opcode")

@@ -1,0 +1,13 @@
+# module: proto.workers
+"""Dispatch side shared by the CSP013 fixtures: handles alpha/beta."""
+from proto.wire import KIND_A, decode_op
+
+
+def route(payload):
+    op = decode_op(payload)
+    name = op[0]
+    if name == "alpha":
+        return ("alpha", KIND_A)
+    if name == "beta":
+        return ("beta",)
+    return None

@@ -1,0 +1,134 @@
+"""Structural properties of the casperlint CFG builder.
+
+The dataflow rules (CSP010/CSP012) lean on three invariants of
+:func:`repro.analysis.cfg.build_cfg`:
+
+* the entry block has no predecessors,
+* the exit block has no successors,
+* every block reachable from the entry can reach the exit (there are
+  no traps: ``raise`` edges, loop back-edges and ``try`` dispatch all
+  terminate at the synthetic exit eventually).
+
+A recursive statement grammar (hypothesis) generates arbitrary nested
+function bodies — ``break``/``continue`` are only emitted inside loops
+— and the invariants are asserted over every generated program.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.cfg import build_cfg
+
+# -- statement grammar --------------------------------------------------
+# Abstract statement trees, rendered to source below.  ``break`` and
+# ``continue`` nodes degrade to ``pass`` outside a loop so every
+# generated program parses.
+
+_SIMPLE = st.sampled_from(
+    [
+        ("assign",),
+        ("call",),
+        ("pass",),
+        ("return",),
+        ("raise",),
+        ("break",),
+        ("continue",),
+    ]
+)
+
+
+def _compound(children: st.SearchStrategy) -> st.SearchStrategy:
+    bodies = st.lists(children, min_size=1, max_size=3)
+    return st.one_of(
+        st.tuples(st.just("if"), bodies, bodies),
+        st.tuples(st.just("while"), bodies),
+        st.tuples(st.just("for"), bodies),
+        st.tuples(st.just("with"), bodies),
+        st.tuples(st.just("try"), bodies, bodies, st.booleans()),
+    )
+
+
+_STMT = st.recursive(_SIMPLE, _compound, max_leaves=12)
+_BODY = st.lists(_STMT, min_size=1, max_size=4)
+
+_RENDER_SIMPLE = {
+    "assign": "x = helper()",
+    "call": "helper()",
+    "pass": "pass",
+    "return": "return x",
+    "raise": "raise ValueError('boom')",
+    "break": "break",
+    "continue": "continue",
+}
+
+
+def _render(stmts: list, indent: int, in_loop: bool) -> list[str]:
+    pad = "    " * indent
+    lines: list[str] = []
+    for stmt in stmts:
+        kind = stmt[0]
+        if kind in ("break", "continue") and not in_loop:
+            kind = "pass"
+        if kind in _RENDER_SIMPLE:
+            lines.append(pad + _RENDER_SIMPLE[kind])
+        elif kind == "if":
+            lines.append(pad + "if cond():")
+            lines += _render(stmt[1], indent + 1, in_loop)
+            lines.append(pad + "else:")
+            lines += _render(stmt[2], indent + 1, in_loop)
+        elif kind == "while":
+            lines.append(pad + "while cond():")
+            lines += _render(stmt[1], indent + 1, True)
+        elif kind == "for":
+            lines.append(pad + "for item in items():")
+            lines += _render(stmt[1], indent + 1, True)
+        elif kind == "with":
+            lines.append(pad + "with resource() as handle:")
+            lines += _render(stmt[1], indent + 1, in_loop)
+        elif kind == "try":
+            lines.append(pad + "try:")
+            lines += _render(stmt[1], indent + 1, in_loop)
+            lines.append(pad + "except ValueError:")
+            lines += _render(stmt[2], indent + 1, in_loop)
+            if stmt[3]:
+                lines.append(pad + "finally:")
+                lines.append(pad + "    cleanup()")
+        else:  # pragma: no cover - grammar and renderer stay in sync
+            raise AssertionError(f"unrenderable statement {stmt!r}")
+    return lines
+
+
+def _function_source(body: list) -> str:
+    return "def f(x):\n" + "\n".join(_render(body, 1, False)) + "\n"
+
+
+@settings(max_examples=200, deadline=None)
+@given(_BODY)
+def test_cfg_is_single_entry_single_exit(body: list) -> None:
+    source = _function_source(body)
+    func = ast.parse(source).body[0]
+    assert isinstance(func, ast.FunctionDef)
+    cfg = build_cfg(func)
+
+    assert cfg.blocks[cfg.entry].predecessors == set(), source
+    assert cfg.blocks[cfg.exit].successors == set(), source
+    for index in cfg.reachable_from(cfg.entry):
+        assert cfg.reaches(index, cfg.exit), (
+            f"block {index} is reachable but trapped:\n{source}"
+        )
+
+
+def test_unreachable_tail_gets_no_block() -> None:
+    """Statements after a terminator are pruned, not trapped."""
+    func = ast.parse(
+        "def f(x):\n"
+        "    return x\n"
+        "    helper()\n"
+    ).body[0]
+    cfg = build_cfg(func)
+    assert cfg.block_of(func.body[0]) is not None
+    assert cfg.block_of(func.body[1]) is None

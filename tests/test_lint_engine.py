@@ -15,7 +15,7 @@ from repro.analysis import (
     run_lint,
 )
 from repro.analysis.cli import main as lint_main
-from repro.analysis.reporters import render_json, render_text
+from repro.analysis.reporters import render_json, render_sarif, render_text
 
 CONFIG = LintConfig(deterministic_packages=("sim",))
 
@@ -50,6 +50,20 @@ def test_pragma_on_any_line_of_a_multiline_statement() -> None:
         "import random  # casperlint: ignore[CSP002] interactive tool only\n"
     )
     assert _lint_source(src) == []
+
+
+def test_pragma_on_a_different_line_of_a_multiline_statement() -> None:
+    """The pragma may sit on any line of the statement, not just the
+    line the finding anchors to."""
+    src = (
+        "import time\n"
+        "stamp = (\n"
+        "    time.time()\n"
+        ")  # casperlint: ignore[CSP002] wall-clock for display only\n"
+    )
+    assert _lint_source(src) == []
+    # and without the pragma the same statement is a finding
+    assert [f.rule for f in _lint_source(src.replace("  # casperlint: ignore[CSP002] wall-clock for display only", ""))] == ["CSP002"]
 
 
 def test_suppressed_count_reported() -> None:
@@ -126,6 +140,31 @@ def test_json_reporter_shape() -> None:
     assert data["summary"]["errors"] == 1
     (finding,) = data["findings"]
     assert finding["rule"] == "CSP005" and finding["fingerprint"]
+
+
+def test_sarif_reporter_shape() -> None:
+    result, match = _result_and_match()
+    sarif = json.loads(render_sarif(result, match))
+    assert sarif["version"] == "2.1.0"
+    (run,) = sarif["runs"]
+    assert run["tool"]["driver"]["name"] == "casperlint"
+    rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+    assert "CSP005" in rule_ids
+    (sarif_result,) = run["results"]
+    assert sarif_result["ruleId"] == "CSP005"
+    assert sarif_result["partialFingerprints"]["casperlint/v1"]
+    location = sarif_result["locations"][0]["physicalLocation"]
+    assert location["artifactLocation"]["uri"] == "src/sim/mod.py"
+    assert "suppressions" not in sarif_result
+
+
+def test_sarif_marks_baselined_findings_suppressed() -> None:
+    result, _ = _result_and_match()
+    match = Baseline.from_findings(result.findings).match(result.findings)
+    sarif = json.loads(render_sarif(result, match))
+    (sarif_result,) = sarif["runs"][0]["results"]
+    (suppression,) = sarif_result["suppressions"]
+    assert suppression["kind"] == "external"
 
 
 # ----------------------------------------------------------------------
@@ -220,3 +259,77 @@ def test_cli_severity_override_demotes_to_warning(tmp_path: Path) -> None:
 def test_cli_select_limits_rules(tmp_path: Path) -> None:
     root = _make_project_tree(tmp_path, "def f(x=[]):\n    return x\n")
     assert lint_main(["--root", str(root), "--select", "CSP004", "src"]) == 0
+
+
+def test_cli_sarif_report_file(tmp_path: Path, capsys) -> None:
+    root = _make_project_tree(tmp_path, "def f(x=[]):\n    return x\n")
+    assert (
+        lint_main(["--root", str(root), "--sarif", "out.sarif", "src"]) == 1
+    )
+    captured = capsys.readouterr()
+    assert "CSP005" in captured.out  # text report still printed
+    sarif = json.loads((root / "out.sarif").read_text())
+    assert sarif["runs"][0]["results"][0]["ruleId"] == "CSP005"
+
+
+def test_cli_format_sarif_prints_sarif(tmp_path: Path, capsys) -> None:
+    root = _make_project_tree(tmp_path, "def f(x=[]):\n    return x\n")
+    assert lint_main(["--root", str(root), "--format", "sarif", "src"]) == 1
+    sarif = json.loads(capsys.readouterr().out)
+    assert sarif["version"] == "2.1.0"
+
+
+def test_cli_write_baseline_refuses_never_baseline_rules(
+    tmp_path: Path, capsys
+) -> None:
+    # CSP011 (never-baseline) plus CSP005 (baselineable) in one module
+    root = _make_project_tree(
+        tmp_path, "import pickle\n\n\ndef f(x=[]):\n    return x\n"
+    )
+    assert lint_main(["--root", str(root), "--write-baseline", "src"]) == 1
+    err = capsys.readouterr().err
+    assert "refused to baseline" in err and "CSP011" in err
+    written = (root / "casperlint-baseline.json").read_text()
+    assert "CSP005" in written and "CSP011" not in written
+    # the refused finding still fails subsequent runs
+    assert lint_main(["--root", str(root), "src"]) == 1
+
+
+def _git(root: Path, *argv: str) -> None:
+    import subprocess
+
+    subprocess.run(
+        ["git", "-C", str(root), "-c", "user.email=t@example.com",
+         "-c", "user.name=t", *argv],
+        check=True,
+        capture_output=True,
+    )
+
+
+def test_cli_diff_outside_git_degrades_to_full_report(
+    tmp_path: Path, capsys
+) -> None:
+    root = _make_project_tree(tmp_path, "def f(x=[]):\n    return x\n")
+    assert lint_main(["--root", str(root), "--diff", "HEAD", "src"]) == 1
+    captured = capsys.readouterr()
+    assert "--diff" in captured.err  # degradation is loud, never a pass
+    assert "CSP005" in captured.out
+
+
+def test_cli_diff_filters_to_changed_files(tmp_path: Path, capsys) -> None:
+    root = _make_project_tree(tmp_path, "def f(x=[]):\n    return x\n")
+    clean = root / "src" / "pkg" / "other.py"
+    clean.write_text("def g(x):\n    return x\n")
+    _git(root, "init", "-q")
+    _git(root, "add", ".")
+    _git(root, "commit", "-qm", "base")
+    # a new violation lands in other.py only: mod.py's pre-existing
+    # finding must not show up in a --diff run ...
+    clean.write_text("def g(x=[]):\n    return x\n")
+    assert lint_main(["--root", str(root), "--diff", "HEAD", "src"]) == 1
+    out = capsys.readouterr().out
+    assert "other.py" in out and "mod.py" not in out
+    # ... but an unchanged tree diffs clean
+    _git(root, "add", ".")
+    _git(root, "commit", "-qm", "more")
+    assert lint_main(["--root", str(root), "--diff", "HEAD", "src"]) == 0

@@ -124,18 +124,88 @@ def test_safe_names_still_cross_the_boundary() -> None:
 
 
 def test_facade_suppression_is_justified_and_unique() -> None:
-    """Exactly five inline suppressions exist in the tree: three CSP001
+    """Exactly six inline suppressions exist in the tree: three CSP001
     in the Casper facade (the trusted anonymizer wiring, the sharded
     runtime, and the typing-only resilience-runtime import), all with
-    the same trusted-facade justification, and two CSP006 in the worker
+    the same trusted-facade justification, two CSP006 in the worker
     pool (an exception serialized into an RE_ERROR wire reply the
-    parent re-raises, and the reap-everything teardown path)."""
+    parent re-raises, and the reap-everything teardown path), and one
+    CSP010 in the front door (the remaining ``_apply`` dispatch after
+    the chaos ``hang`` op is intercepted and awaited)."""
     result = run_lint(repo_project(), repo_config())
-    assert result.suppressed == 5
+    assert result.suppressed == 6
     facade = (REPO_ROOT / "src/repro/server/casper.py").read_text()
     assert facade.count("casperlint: ignore[CSP001] trusted facade") == 3
     workers = (REPO_ROOT / "src/repro/sharding/workers.py").read_text()
     assert workers.count("casperlint: ignore[CSP006]") == 2
+    frontdoor = (REPO_ROOT / "src/repro/sharding/frontdoor.py").read_text()
+    assert frontdoor.count("casperlint: ignore[CSP010]") == 1
+
+
+def test_repo_is_clean_under_the_dataflow_rules() -> None:
+    """ISSUE acceptance: CSP009-CSP013 run repo-clean (findings fixed,
+    never baselined) and actually analyzed the parallel runtime."""
+    config = repo_config()
+    result = run_lint(repo_project(), config)
+    assert not any(
+        f.rule in config.never_baseline for f in result.findings
+    ), "\n".join(
+        f"{f.path}:{f.line} {f.rule} {f.message}"
+        for f in result.findings
+        if f.rule in config.never_baseline
+    )
+    assert {"CSP009", "CSP010", "CSP011", "CSP012", "CSP013"} <= set(
+        result.rules_run
+    )
+
+
+def test_injected_async_blocking_call_is_caught() -> None:
+    """A time.sleep inside a hypothetical async handler trips CSP010."""
+    project = repo_project()
+    project.add_virtual_module(
+        "repro.sharding._lazyloop",
+        "import time\n"
+        "async def handle() -> None:\n"
+        "    time.sleep(0.1)\n",
+        rel_path="src/repro/sharding/_lazyloop.py",
+    )
+    result = run_lint(project, repo_config())
+    assert any(
+        f.rule == "CSP010" and f.path == "src/repro/sharding/_lazyloop.py"
+        for f in result.findings
+    )
+
+
+def test_injected_pickle_import_outside_boundary_is_caught() -> None:
+    """Raw pickle outside pickle_boundary_modules trips CSP011."""
+    project = repo_project()
+    project.add_virtual_module(
+        "repro.server._rawpickle",
+        "import pickle\n",
+        rel_path="src/repro/server/_rawpickle.py",
+    )
+    result = run_lint(project, repo_config())
+    assert any(
+        f.rule == "CSP011" and f.path == "src/repro/server/_rawpickle.py"
+        for f in result.findings
+    )
+
+
+def test_injected_dead_opcode_is_caught() -> None:
+    """An OP_ constant with no decoder branch trips CSP013."""
+    project = repo_project()
+    project.add_virtual_module(
+        "repro.messages.ghost",
+        "OP_GHOST = 99\n",
+        rel_path="src/repro/messages/ghost.py",
+    )
+    result = run_lint(project, repo_config())
+    assert any(
+        f.rule == "CSP013"
+        and f.path == "src/repro/messages/ghost.py"
+        and "OP_GHOST" in f.message
+        for f in result.findings
+    )
 
 
 def test_spatial_indexes_satisfy_the_contract_rule() -> None:

@@ -25,6 +25,10 @@ FIXTURE_CONFIG = LintConfig(
         "app.anonymizer": frozenset({"CloakedRegion", "PrivacyProfile"})
     },
     deterministic_packages=("sim.engine",),
+    codec_modules=("proto.codec",),
+    pickle_boundary_modules=("proto.workers",),
+    protocol_modules=("proto.wire",),
+    dispatch_modules=("proto.workers",),
 )
 
 
@@ -71,6 +75,17 @@ CASES = [
     ("csp007_unseeded/clean.py", "CSP007", 0),
     ("csp008_telemetry/bad.py", "CSP008", 5),
     ("csp008_telemetry/clean.py", "CSP008", 0),
+    ("csp009_taint/bad.py", "CSP009", 5),
+    ("csp009_taint/clean.py", "CSP009", 0),
+    ("csp010_async/bad.py", "CSP010", 2),
+    ("csp010_async/clean.py", "CSP010", 0),
+    ("csp011_boundary/bad.py", "CSP011", 2),
+    ("csp011_boundary/bad_inside.py", "CSP011", 2),
+    ("csp011_boundary/clean.py", "CSP011", 0),
+    ("csp012_lifecycle/bad.py", "CSP012", 3),
+    ("csp012_lifecycle/clean.py", "CSP012", 0),
+    ("csp013_protocol/bad.py", "CSP013", 3),
+    ("csp013_protocol/clean.py", "CSP013", 0),
 ]
 
 
@@ -83,7 +98,7 @@ def test_fixture_finding_counts(rel: str, code: str, expected: int) -> None:
 def test_every_rule_has_violating_and_clean_fixture() -> None:
     codes_with_bad = {c for _, c, n in CASES if n > 0}
     codes_with_clean = {c for _, c, n in CASES if n == 0}
-    all_codes = {f"CSP00{i}" for i in range(1, 9)}
+    all_codes = {f"CSP{i:03d}" for i in range(1, 14)}
     assert codes_with_bad == all_codes
     assert codes_with_clean == all_codes
 
@@ -126,3 +141,45 @@ def test_broad_except_with_reraise_is_exempt() -> None:
     )
     result = run_lint(project, FIXTURE_CONFIG)
     assert [f for f in result.findings if f.rule == "CSP006"] == []
+
+
+def test_decoded_tuple_elements_carry_weak_taint_only() -> None:
+    """Extracting from a tainted container must not flag id-shaped args.
+
+    ``decode_op`` returns ``("move", point, uid)``; ``op[2]`` is a user
+    id, not a location, so passing it to a callee whose parameter flows
+    into an exception message is not a call-site leak.
+    """
+    project = Project()
+    project.add_virtual_module(
+        "app.anonymizer.router",
+        "def decode(payload):\n"
+        "    return ('move', Point(1.0, 2.0), payload[0])\n"
+        "\n"
+        "def complain(uid):\n"
+        "    raise KeyError(f'unknown user {uid!r}')\n"
+        "\n"
+        "def route(payload):\n"
+        "    op = decode(payload)\n"
+        "    complain(op[2])\n",
+    )
+    result = run_lint(project, FIXTURE_CONFIG)
+    assert [f for f in result.findings if f.rule == "CSP009"] == []
+
+
+def test_weak_taint_still_fires_local_sinks() -> None:
+    """The extracting function leaks if it sinks the element itself."""
+    project = Project()
+    project.add_virtual_module(
+        "app.anonymizer.router",
+        "def decode(payload):\n"
+        "    return ('move', Point(1.0, 2.0), payload[0])\n"
+        "\n"
+        "def route(payload):\n"
+        "    op = decode(payload)\n"
+        "    raise ValueError(f'cannot route {op[1]}')\n",
+    )
+    result = run_lint(project, FIXTURE_CONFIG)
+    found = [f for f in result.findings if f.rule == "CSP009"]
+    assert len(found) == 1, [f.message for f in found]
+    assert "exception message" in found[0].message
