@@ -98,9 +98,18 @@ BLOCKING_METHODS = frozenset(
     }
 )
 
-#: Builtins that pass taint from arguments straight through.
+#: Builtins that pass taint from arguments straight through.  The numpy
+#: array constructors are here because an array *is* its elements — a
+#: coordinate array reaching a persistence sink leaks the coordinates —
+#: unlike project constructors (``Rect``), whose products are the
+#: sanctioned declassified output.
 _PASSTHROUGH_CALLS = frozenset(
-    {"str", "repr", "format", "abs", "round", "float", "min", "max", "sorted"}
+    {
+        "str", "repr", "format", "abs", "round", "float", "min", "max",
+        "sorted",
+        "array", "asarray", "ascontiguousarray", "fromiter", "frombuffer",
+        "concatenate", "stack", "column_stack", "vstack", "hstack",
+    }
 )
 
 #: Maximum global summary-propagation rounds (call-chain depth).
@@ -160,7 +169,7 @@ class SinkHit:
     """One tainted value reaching a sink inside one function."""
 
     node: ast.AST  # where to report
-    kind: str  # "logging" | "exception" | "telemetry" | "wire"
+    kind: str  # "logging" | "exception" | "telemetry" | "wire" | "persistence"
     tags: frozenset[str]  # which taint tags arrived (``src`` / ``p<N>``)
     detail: str  # human fragment for the message
 
@@ -641,6 +650,14 @@ _TELEMETRY_METHODS = frozenset(
 _WIRE_BUILDERS = frozenset(
     {"pack", "encode_frame", "encode_envelope", "encode_update"}
 )
+#: numpy array-persistence entry points: ``np.save``-family functions
+#: (matched only under a numpy-ish receiver so ``snapshot.save(...)``
+#: does not fire) plus the ``ndarray.tofile`` method, whose *receiver*
+#: is the value that hits disk.
+_PERSISTENCE_FUNCS = frozenset(
+    {"save", "savetxt", "savez", "savez_compressed"}
+)
+_NUMPY_RECEIVERS = frozenset({"np", "numpy"})
 
 
 def _sink_of(call: ast.Call, module: ModuleInfo, config: LintConfig) -> str | None:
@@ -662,6 +679,13 @@ def _sink_of(call: ast.Call, module: ModuleInfo, config: LintConfig) -> str | No
             "repro.observability"
         ):
             return "telemetry"
+        if func.attr == "tofile":
+            return "persistence"
+        if (
+            func.attr in _PERSISTENCE_FUNCS
+            and terminal_name(func.value) in _NUMPY_RECEIVERS
+        ):
+            return "persistence"
     name = terminal_name(func)
     if name in _WIRE_BUILDERS or name == "ShardEnvelope":
         if not module.in_package(config.codec_modules):
@@ -695,7 +719,12 @@ def _scan_sinks(
             kind = _sink_of(node, module, config)
             if kind is None:
                 continue
-            for arg in [*node.args, *(kw.value for kw in node.keywords)]:
+            candidates = [*node.args, *(kw.value for kw in node.keywords)]
+            if kind == "persistence" and isinstance(node.func, ast.Attribute):
+                # ndarray.tofile: the value that hits disk is the
+                # *receiver*, not an argument.
+                candidates.append(node.func.value)
+            for arg in candidates:
                 tags = taint.expr_tags(arg)
                 if tags:
                     detail = {
@@ -704,6 +733,8 @@ def _scan_sinks(
                         "telemetry label/attribute",
                         "wire": "packs an exact location into a frame "
                         "payload outside the sanctioned codec",
+                        "persistence": "writes an exact-location array "
+                        "to disk via a numpy persistence call",
                     }[kind]
                     _record_hit(record, arg, kind, tags, detail)
 

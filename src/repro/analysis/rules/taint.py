@@ -16,7 +16,11 @@ value reaches a sink:
 * a telemetry label/attribute (value-level upgrade of CSP008),
 * frame payload construction (``struct.pack``/``encode_*``/
   ``ShardEnvelope``) outside the sanctioned codec modules
-  (``codec_modules`` in the configuration).
+  (``codec_modules`` in the configuration),
+* numpy array persistence (``np.save``/``np.savetxt``/``np.savez``/
+  ``ndarray.tofile``) — the structure-of-arrays pyramid keeps exact
+  coordinates in flat arrays, and one convenience dump would write
+  the whole population's locations to disk.
 
 Unlike CSP001 this rule is **not zone-gated**: it fires inside the
 trusted anonymizer packages too, because these sinks leave the process
@@ -48,6 +52,7 @@ _SINK_LABEL = {
     "exception": "an exception message",
     "telemetry": "a telemetry label/attribute",
     "wire": "a frame payload outside the sanctioned codec",
+    "persistence": "a numpy array persisted to disk",
 }
 
 

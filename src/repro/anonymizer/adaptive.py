@@ -18,6 +18,14 @@ Cell *splitting* and *merging* follow Section 4.2's criteria:
 
 Per the paper, the check is driven by tracking each cell's *most relaxed
 user*: a cheap aggregate test gates the exact per-user check.
+
+With ``vectorized=True`` (the default) the maintained cut stays a dict —
+it is sparse by design — but every per-user scan (the split gate and
+exact check, the merge blocker, ``users_in_rect``) runs as a numpy
+reduction over a slot-indexed gate table
+(:class:`repro.anonymizer.soa.UserTable`) mirroring the user records.
+``vectorized=False`` is the original per-object scalar path, kept as the
+reference oracle for the differential-equivalence suite.
 """
 
 from __future__ import annotations
@@ -29,6 +37,12 @@ from repro.anonymizer.cache import CloakCache
 from repro.anonymizer.cells import CellGrid, CellId
 from repro.anonymizer.cloak import CloakedRegion
 from repro.anonymizer.profile import PrivacyProfile
+from repro.anonymizer.soa import (
+    UserTable,
+    choose_split_vec,
+    default_vectorized,
+    merge_blocked_vec,
+)
 from repro.anonymizer.stats import MaintenanceStats
 from repro.errors import DuplicateUserError, UnknownUserError
 from repro.geometry import Point, Rect
@@ -126,10 +140,20 @@ class _AdaptiveSnapshot:
 
 
 class AdaptiveAnonymizer:
-    """Incomplete-pyramid location anonymizer."""
+    """Incomplete-pyramid location anonymizer.
+
+    ``vectorized`` selects the numpy gate-table backend for the per-user
+    scans (default) or the scalar reference path; the maintained cut and
+    the user records are identical dicts either way, so the two modes
+    produce byte-identical cuts, cloaks and snapshots.
+    """
 
     def __init__(
-        self, bounds: Rect, height: int = 9, cloak_cache_size: int = 8192
+        self,
+        bounds: Rect,
+        height: int = 9,
+        cloak_cache_size: int = 8192,
+        vectorized: bool | None = None,
     ) -> None:
         self.grid = CellGrid(bounds, height)
         self.stats = MaintenanceStats()
@@ -141,6 +165,14 @@ class AdaptiveAnonymizer:
         self._gens: dict[CellId, int] = {}
         self._epoch = 0
         self.cloak_cache = CloakCache(cloak_cache_size)
+        if vectorized is None:
+            vectorized = default_vectorized()
+        self.vectorized = vectorized
+        # Gate table: parallel (x, y, k, A_min) arrays mirroring the
+        # user records, powering the vectorized split/merge/rect scans.
+        # The cell column is unused here — the incomplete pyramid tracks
+        # leaves in the records themselves.
+        self._table: UserTable | None = UserTable() if vectorized else None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -182,6 +214,8 @@ class AdaptiveAnonymizer:
 
     def users_in_rect(self, rect: Rect) -> int:
         """Exact population of an arbitrary rectangle (verification aid)."""
+        if self._table is not None:
+            return self._table.count_in_rect(rect)
         return sum(1 for rec in self._users.values() if rect.contains_point(rec.point))
 
     def _record(self, uid: object) -> _UserRecord:
@@ -208,6 +242,8 @@ class AdaptiveAnonymizer:
             raise DuplicateUserError(uid)
         leaf = self.leaf_for_point(point)
         self._users[uid] = _UserRecord(profile, point, leaf)
+        if self._table is not None:
+            self._table.add(uid, point.x, point.y, profile.k, profile.a_min, 0)
         self._add_to_leaf(uid, leaf)
         self.stats.registrations += 1
         self._maybe_split(leaf)
@@ -216,6 +252,8 @@ class AdaptiveAnonymizer:
         record = self._record(uid)
         self._remove_from_leaf(uid, record.leaf)
         del self._users[uid]
+        if self._table is not None:
+            self._table.remove(uid)
         self.stats.deregistrations += 1
         self._maybe_merge(record.leaf)
 
@@ -223,6 +261,11 @@ class AdaptiveAnonymizer:
         """Change a user's profile; may reshape the pyramid around them."""
         record = self._record(uid)
         record.profile = profile
+        if self._table is not None:
+            slot = self._table.slot_of(uid)
+            assert slot is not None
+            self._table.ks[slot] = profile.k
+            self._table.a_mins[slot] = profile.a_min
         self._maybe_split(record.leaf)
         self._maybe_merge(record.leaf)
 
@@ -230,6 +273,11 @@ class AdaptiveAnonymizer:
         """Process a location update; returns its counter-update cost."""
         record = self._record(uid)
         record.point = point
+        if self._table is not None:
+            slot = self._table.slot_of(uid)
+            assert slot is not None
+            self._table.xs[slot] = point.x
+            self._table.ys[slot] = point.y
         self.stats.location_updates += 1
         new_leaf = self.leaf_for_point(point)
         if new_leaf == record.leaf:
@@ -242,6 +290,17 @@ class AdaptiveAnonymizer:
         self._maybe_split(new_leaf)
         self._maybe_merge(old_leaf)
         return cost
+
+    def update_batch(self, moves: list[tuple[object, Point]]) -> list[int]:
+        """Apply a tick of location updates; returns per-move costs.
+
+        The incomplete pyramid reshapes (split/merge) after *every*
+        move, so updates do not commute and the batch is applied in
+        arrival order — this method exists so batch seams address both
+        anonymizer kinds uniformly.  The vectorized gains come from the
+        gate-table scans inside each split/merge decision.
+        """
+        return [self.update(uid, point) for uid, point in moves]
 
     def _move_between_leaves(self, uid: object, old: CellId, new: CellId) -> int:
         """Transfer one user between leaves, updating branch counters;
@@ -307,11 +366,16 @@ class AdaptiveAnonymizer:
             entry = self._cells.get(leaf)
             if entry is None or not entry.is_leaf or leaf.level >= self.height:
                 return
-            decision = choose_split(
-                self.grid, leaf, entry.count, entry.users,
-                lambda u: self._users[u].point,
-                lambda u: self._users[u].profile,
-            )
+            if self._table is not None:
+                decision = choose_split_vec(
+                    self.grid, leaf, entry.count, entry.users, self._table
+                )
+            else:
+                decision = choose_split(
+                    self.grid, leaf, entry.count, entry.users,
+                    lambda u: self._users[u].point,
+                    lambda u: self._users[u].profile,
+                )
             if decision is None:
                 return
             child_users, satisfiable = decision
@@ -350,11 +414,19 @@ class AdaptiveAnonymizer:
             child_area = self.grid.cell_area(leaf.level)
             # A child level is still needed if any user in any child has
             # a profile that child satisfies.
-            if merge_is_blocked(
-                child_area,
-                [(entry.count, entry.users) for entry in entries],
-                lambda u: self._users[u].profile,
-            ):
+            if self._table is not None:
+                blocked = merge_blocked_vec(
+                    self._table,
+                    child_area,
+                    [(entry.count, entry.users) for entry in entries],
+                )
+            else:
+                blocked = merge_is_blocked(
+                    child_area,
+                    [(entry.count, entry.users) for entry in entries],
+                    lambda u: self._users[u].profile,
+                )
+            if blocked:
                 return
             merged_users: set[object] = set()
             for entry in entries:
@@ -441,6 +513,13 @@ class AdaptiveAnonymizer:
             uid: _UserRecord(rec.profile, rec.point, rec.leaf)
             for uid, rec in state.users.items()
         }
+        if self._table is not None:
+            self._table.clear()
+            for uid, rec in self._users.items():
+                self._table.add(
+                    uid, rec.point.x, rec.point.y,
+                    rec.profile.k, rec.profile.a_min, 0,
+                )
         self._epoch += 1
         self.cloak_cache.clear()
 
@@ -478,3 +557,19 @@ class AdaptiveAnonymizer:
                 assert not self._cells[cell.parent()].is_leaf, "parent is leaf"
         assert leaf_population == len(self._users), "population drift"
         assert self._cells[root].count == len(self._users)
+        if self._table is not None:
+            # The gate table is a derived mirror of the records — any
+            # drift would silently skew split/merge decisions.
+            assert len(self._table) == len(self._users), "gate table size drift"
+            for uid, rec in self._users.items():
+                slot = self._table.slot_of(uid)
+                assert slot is not None, f"gate table missing {uid!r}"
+                # Exact equality on purpose: the table is a bit-copy of
+                # the record floats; any representational difference IS
+                # the drift this assert exists to catch.
+                assert (
+                    float(self._table.xs[slot]) == rec.point.x  # casperlint: ignore[CSP004] bit-copy audit
+                    and float(self._table.ys[slot]) == rec.point.y  # casperlint: ignore[CSP004] bit-copy audit
+                    and int(self._table.ks[slot]) == rec.profile.k
+                    and float(self._table.a_mins[slot]) == rec.profile.a_min  # casperlint: ignore[CSP004] bit-copy audit
+                ), f"gate table drift for {uid!r}"

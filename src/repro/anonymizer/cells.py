@@ -36,6 +36,20 @@ class CellId:
         if self.level < 0 or not (0 <= self.ix < side and 0 <= self.iy < side):
             raise ValueError(f"invalid cell id {self}")
 
+    @classmethod
+    def _trusted(cls, level: int, ix: int, iy: int) -> "CellId":
+        """Construct without re-validating — for internal arithmetic
+        whose results are valid by construction (hierarchy walks,
+        clamped point location).  The public constructor keeps its
+        ``__post_init__`` check; anything built from external input must
+        go through it.
+        """
+        cell = object.__new__(cls)
+        object.__setattr__(cell, "level", level)
+        object.__setattr__(cell, "ix", ix)
+        object.__setattr__(cell, "iy", iy)
+        return cell
+
     # ------------------------------------------------------------------
     # Hierarchy
     # ------------------------------------------------------------------
@@ -47,17 +61,17 @@ class CellId:
         """The covering cell one level up; raises at the root."""
         if self.level == 0:
             raise ValueError("root cell has no parent")
-        return CellId(self.level - 1, self.ix >> 1, self.iy >> 1)
+        return CellId._trusted(self.level - 1, self.ix >> 1, self.iy >> 1)
 
     def children(self) -> tuple["CellId", "CellId", "CellId", "CellId"]:
         """The four covered cells one level down."""
         level = self.level + 1
         x, y = self.ix << 1, self.iy << 1
         return (
-            CellId(level, x, y),
-            CellId(level, x + 1, y),
-            CellId(level, x, y + 1),
-            CellId(level, x + 1, y + 1),
+            CellId._trusted(level, x, y),
+            CellId._trusted(level, x + 1, y),
+            CellId._trusted(level, x, y + 1),
+            CellId._trusted(level, x + 1, y + 1),
         )
 
     def ancestor(self, level: int) -> "CellId":
@@ -65,7 +79,7 @@ class CellId:
         if not 0 <= level <= self.level:
             raise ValueError(f"level {level} not an ancestor level of {self}")
         shift = self.level - level
-        return CellId(level, self.ix >> shift, self.iy >> shift)
+        return CellId._trusted(level, self.ix >> shift, self.iy >> shift)
 
     def is_ancestor_of(self, other: "CellId") -> bool:
         """True when ``other`` lies inside this cell (or equals it)."""
@@ -78,19 +92,19 @@ class CellId:
         """The same-parent sibling in the same row; raises at the root."""
         if self.level == 0:
             raise ValueError("root cell has no neighbors")
-        return CellId(self.level, self.ix ^ 1, self.iy)
+        return CellId._trusted(self.level, self.ix ^ 1, self.iy)
 
     def vertical_neighbor(self) -> "CellId":
         """The same-parent sibling in the same column; raises at the root."""
         if self.level == 0:
             raise ValueError("root cell has no neighbors")
-        return CellId(self.level, self.ix, self.iy ^ 1)
+        return CellId._trusted(self.level, self.ix, self.iy ^ 1)
 
     def siblings(self) -> tuple["CellId", "CellId", "CellId"]:
         """The other three cells sharing this cell's parent."""
         h = self.horizontal_neighbor()
         v = self.vertical_neighbor()
-        d = CellId(self.level, self.ix ^ 1, self.iy ^ 1)
+        d = CellId._trusted(self.level, self.ix ^ 1, self.iy ^ 1)
         return (h, v, d)
 
 
@@ -171,7 +185,8 @@ class CellGrid:
         fy = (point.y - self.bounds.y_min) / self.bounds.height
         ix = min(max(int(fx * side), 0), side - 1)
         iy = min(max(int(fy * side), 0), side - 1)
-        return CellId(level, ix, iy)
+        # Clamping guarantees validity, so the trusted path is exact.
+        return CellId._trusted(level, ix, iy)
 
     def path_to_root(self, cell: CellId) -> list[CellId]:
         """``cell`` and all its ancestors, deepest first, root last."""

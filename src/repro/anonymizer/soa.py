@@ -1,0 +1,513 @@
+"""Structure-of-arrays pyramid state (Morton-indexed, numpy-backed).
+
+The scalar anonymizers keep one python object per user and walk one
+``CellId`` at a time; that caps update throughput far below the paper's
+"millions of users" regime.  This module holds the vectorized state the
+anonymizers switch to with ``vectorized=True`` (the default):
+
+* :class:`PyramidSoA` — per-level flat ``int64`` arrays mapping the
+  Morton (Z-order) index of a cell to its occupancy count and its
+  cloak-cache generation.  Morton indexing makes every hierarchy walk a
+  bit shift (``parent = m >> 2``) and keeps the four children of any
+  cell contiguous (``4p .. 4p+3``), so batched ancestor-chain deltas
+  are ``np.add.at`` scatters and the child-sum invariant is one
+  ``reshape(-1, 4).sum(axis=1)`` per level.
+* :class:`UserTable` — a contiguous slot-indexed table of every
+  registered user's ``(x, y, k, A_min, lowest-level Morton cell)``, the
+  "hash table" of Section 4.1 flattened into parallel arrays so
+  occupancy scans and profile gates are vectorized reductions.
+
+Everything here replicates the scalar reference semantics *exactly*
+(same truncation, same epsilons, same cost accounting); the
+differential-equivalence suite (``tests/test_vectorized_equivalence.py``)
+diffs the two implementations operation by operation.  See
+``docs/vectorization.md`` for the layout and the testing story.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterator
+
+import numpy as np
+import numpy.typing as npt
+
+from repro.anonymizer.cells import CellGrid, CellId
+from repro.geometry import EPSILON, Rect
+
+__all__ = [
+    "PyramidSoA",
+    "UserTable",
+    "choose_split_vec",
+    "default_vectorized",
+    "merge_blocked_vec",
+    "morton_decode",
+    "morton_encode",
+    "morton_of_cell",
+    "cell_of_morton",
+]
+
+IntArray = npt.NDArray[np.int64]
+FloatArray = npt.NDArray[np.float64]
+BoolArray = npt.NDArray[np.bool_]
+
+#: Deepest pyramid supported by the array-backed state: level arrays are
+#: allocated *complete* (``4**level`` slots), so the cap keeps the worst
+#: case (level 13: ~67M cells) inside commodity memory.  The scalar
+#: reference has no such cap; callers needing deeper pyramids pass
+#: ``vectorized=False``.
+MAX_SOA_HEIGHT = 13
+
+_M1 = np.int64(0x5555555555555555)
+_M2 = np.int64(0x3333333333333333)
+_M4 = np.int64(0x0F0F0F0F0F0F0F0F)
+_M8 = np.int64(0x00FF00FF00FF00FF)
+_M16 = np.int64(0x0000FFFF0000FFFF)
+_M32 = np.int64(0x00000000FFFFFFFF)
+
+
+def default_vectorized() -> bool:
+    """The process-wide default for the anonymizers' ``vectorized``
+    switch: on, unless ``REPRO_VECTORIZED=0`` — the environment knob CI
+    uses to run the whole suite against the scalar reference oracle."""
+    return os.environ.get("REPRO_VECTORIZED", "1") != "0"
+
+
+# ----------------------------------------------------------------------
+# Morton (Z-order) codes — vectorized magic-mask spread/compact
+# ----------------------------------------------------------------------
+def _spread(v: IntArray) -> IntArray:
+    """Insert a zero bit above every bit of ``v`` (values < 2**31)."""
+    v = (v | (v << 16)) & _M16
+    v = (v | (v << 8)) & _M8
+    v = (v | (v << 4)) & _M4
+    v = (v | (v << 2)) & _M2
+    v = (v | (v << 1)) & _M1
+    return v
+
+
+def _compact(v: IntArray) -> IntArray:
+    """Inverse of :func:`_spread`: drop every odd-position bit."""
+    v = v & _M1
+    v = (v | (v >> 1)) & _M2
+    v = (v | (v >> 2)) & _M4
+    v = (v | (v >> 4)) & _M8
+    v = (v | (v >> 8)) & _M16
+    v = (v | (v >> 16)) & _M32
+    return v
+
+
+def morton_encode(ix: IntArray, iy: IntArray) -> IntArray:
+    """Z-order index of ``(ix, iy)`` grid coordinates, elementwise."""
+    return _spread(ix) | (_spread(iy) << 1)
+
+
+def morton_decode(m: IntArray) -> tuple[IntArray, IntArray]:
+    """Inverse of :func:`morton_encode`: ``(ix, iy)`` arrays."""
+    return _compact(m), _compact(m >> 1)
+
+
+# 16-bit spread lookup for scalar (single-cell) encodes: one table probe
+# per coordinate instead of five mask/shift rounds on a python int.
+_SPREAD_TABLE: IntArray = _spread(np.arange(1 << 16, dtype=np.int64))
+
+
+def morton_of_cell(cell: CellId) -> int:
+    """Z-order index of one cell among the ``4**level`` of its level."""
+    return int(_SPREAD_TABLE[cell.ix]) | (int(_SPREAD_TABLE[cell.iy]) << 1)
+
+
+def morton_of_xy(ix: int, iy: int) -> int:
+    """Z-order index of raw grid coordinates (scalar fast path)."""
+    return int(_SPREAD_TABLE[ix]) | (int(_SPREAD_TABLE[iy]) << 1)
+
+
+def _compact_int(v: int) -> int:
+    """Scalar inverse of ``_spread``: keep every even-position bit.
+
+    Pure-int bit twiddling — this sits on the cloak fast path, where a
+    per-call one-element numpy decode would dominate the cache-hit cost.
+    """
+    v &= 0x5555555555555555
+    v = (v | (v >> 1)) & 0x3333333333333333
+    v = (v | (v >> 2)) & 0x0F0F0F0F0F0F0F0F
+    v = (v | (v >> 4)) & 0x00FF00FF00FF00FF
+    v = (v | (v >> 8)) & 0x0000FFFF0000FFFF
+    return (v | (v >> 16)) & 0xFFFFFFFF
+
+
+def cell_of_morton(level: int, m: int) -> CellId:
+    """The :class:`CellId` with Z-order index ``m`` at ``level``."""
+    return CellId._trusted(level, _compact_int(m), _compact_int(m >> 1))
+
+
+# Cached per-level decode of every Morton index, for flat <-> (side,
+# side) grid conversions (canonical snapshot format).  Levels are tiny
+# below MAX_SOA_HEIGHT and the content is deterministic, so a plain
+# module-level memo is safe.
+_DECODE_CACHE: dict[int, tuple[IntArray, IntArray]] = {}
+
+
+def _level_decode(level: int) -> tuple[IntArray, IntArray]:
+    cached = _DECODE_CACHE.get(level)
+    if cached is None:
+        cached = morton_decode(np.arange(4**level, dtype=np.int64))
+        _DECODE_CACHE[level] = cached
+    return cached
+
+
+# ----------------------------------------------------------------------
+# The complete pyramid as flat per-level arrays
+# ----------------------------------------------------------------------
+class PyramidSoA:
+    """Per-level flat counts and generations for a complete pyramid.
+
+    ``counts[level][m]`` is the population of the cell with Morton
+    index ``m``; ``gens`` mirrors it with the cloak-cache generation
+    counters (bumped on every count change, monotone across restores —
+    the same convention as the scalar reference).
+    """
+
+    def __init__(self, height: int) -> None:
+        if not 0 <= height <= MAX_SOA_HEIGHT:
+            raise ValueError(
+                f"array-backed pyramid supports heights 0..{MAX_SOA_HEIGHT}, "
+                f"got {height}"
+            )
+        self.height = height
+        self.counts: list[IntArray] = [
+            np.zeros(4**level, dtype=np.int64) for level in range(height + 1)
+        ]
+        self.gens: list[IntArray] = [
+            np.zeros(4**level, dtype=np.int64) for level in range(height + 1)
+        ]
+
+    # -- scalar chain walks (single register/deregister/update) --------
+    def apply_chain(self, m: int, delta: int) -> None:
+        """Apply ``delta`` along the ancestor chain of leaf ``m``
+        (lowest level to root), bumping every touched generation."""
+        for level in range(self.height, -1, -1):
+            self.counts[level][m] += delta
+            self.gens[level][m] += 1
+            m >>= 2
+
+    def move_chain(self, old_m: int, new_m: int) -> int:
+        """Move one user between leaf cells ``old_m`` and ``new_m``,
+        touching both branches strictly below their common ancestor;
+        returns the counter-update cost (2 per touched level)."""
+        cost = 0
+        level = self.height
+        while old_m != new_m:
+            counts = self.counts[level]
+            gens = self.gens[level]
+            counts[old_m] -= 1
+            counts[new_m] += 1
+            gens[old_m] += 1
+            gens[new_m] += 1
+            cost += 2
+            old_m >>= 2
+            new_m >>= 2
+            level -= 1
+        return cost
+
+    # -- the batched update-tick kernel ---------------------------------
+    def apply_moves(self, old_ms: IntArray, new_ms: IntArray) -> IntArray:
+        """Apply a batch of *distinct-user* leaf moves in one pass.
+
+        For every move the touched levels are exactly those strictly
+        below the common ancestor of ``old`` and ``new`` — computed for
+        the whole batch from the XOR'd Morton codes (the highest
+        differing bit pair names the divergence level).  Counter deltas
+        and generation bumps are ``np.add.at`` scatters per level, which
+        commute across distinct users, so the resulting state is
+        identical to the sequential scalar walk in any order.
+
+        Returns the per-move cost array (``2 *`` touched levels; 0 for
+        moves that stay in their cell).
+        """
+        costs = np.zeros(len(old_ms), dtype=np.int64)
+        changed = old_ms != new_ms
+        if not bool(changed.any()):
+            return costs
+        old_c = old_ms[changed]
+        new_c = new_ms[changed]
+        diff = old_c ^ new_c
+        # bit_length via frexp is exact below 2**53; Morton codes have
+        # 2*height <= 52 bits under MAX_SOA_HEIGHT.
+        _mant, exp = np.frexp(diff.astype(np.float64))
+        bit_length = exp.astype(np.int64)
+        ancestor_level = self.height - ((bit_length + 1) >> 1)
+        costs[changed] = 2 * (self.height - ancestor_level)
+        deepest_shared = int(ancestor_level.min())
+        for level in range(self.height, deepest_shared, -1):
+            mask = ancestor_level < level
+            shift = 2 * (self.height - level)
+            old_idx = old_c[mask] >> shift
+            new_idx = new_c[mask] >> shift
+            counts = self.counts[level]
+            gens = self.gens[level]
+            np.subtract.at(counts, old_idx, 1)
+            np.add.at(counts, new_idx, 1)
+            np.add.at(gens, old_idx, 1)
+            np.add.at(gens, new_idx, 1)
+        return costs
+
+    def apply_chains(self, ms: IntArray, delta: int) -> None:
+        """Batched :meth:`apply_chain` for many leaves at once (bulk
+        registration); generations bump once per touch, as always."""
+        if len(ms) == 0:
+            return
+        for level in range(self.height, -1, -1):
+            shift = 2 * (self.height - level)
+            idx = ms >> shift
+            np.add.at(self.counts[level], idx, delta)
+            np.add.at(self.gens[level], idx, 1)
+
+    # -- reads ----------------------------------------------------------
+    def count_of(self, level: int, m: int) -> int:
+        return int(self.counts[level][m])
+
+    def gen_of(self, level: int, m: int) -> int:
+        return int(self.gens[level][m])
+
+    def counts_at(self, level: int, ms: IntArray) -> IntArray:
+        """Vectorized occupancy lookup for many same-level cells — the
+        cloak-candidate / splitter scan primitive."""
+        return self.counts[level][ms]
+
+    # -- canonical (side, side) grid conversions ------------------------
+    def counts_grid(self) -> list[npt.NDArray[np.int64]]:
+        """The counts as per-level ``(side, side)`` arrays indexed
+        ``[ix, iy]`` — the scalar reference's (and the snapshot
+        format's) canonical layout."""
+        out: list[npt.NDArray[np.int64]] = []
+        for level in range(self.height + 1):
+            side = 1 << level
+            ix, iy = _level_decode(level)
+            grid = np.zeros((side, side), dtype=np.int64)
+            grid[ix, iy] = self.counts[level]
+            out.append(grid)
+        return out
+
+    def load_counts_grid(self, grids: list[npt.NDArray[np.int64]]) -> None:
+        """Replace the counts from canonical ``(side, side)`` arrays
+        (the inverse of :meth:`counts_grid`); generations are untouched
+        — they are monotone observability state."""
+        if len(grids) != self.height + 1:
+            raise ValueError("snapshot height mismatch")
+        for level, grid in enumerate(grids):
+            ix, iy = _level_decode(level)
+            self.counts[level] = grid[ix, iy].astype(np.int64)
+
+    # -- diagnostics ----------------------------------------------------
+    def check_child_sums(self) -> None:
+        """Assert every non-leaf counter equals the sum of its four
+        children — contiguous in Morton order, so one reshape per
+        level."""
+        for level in range(self.height):
+            summed = self.counts[level + 1].reshape(-1, 4).sum(axis=1)
+            assert np.array_equal(self.counts[level], summed), (
+                f"level {level} counters inconsistent with level {level + 1}"
+            )
+
+    def nbytes(self) -> int:
+        """Resident bytes of the count/generation arrays."""
+        return sum(a.nbytes for a in self.counts) + sum(
+            a.nbytes for a in self.gens
+        )
+
+
+# ----------------------------------------------------------------------
+# The user hash table as parallel arrays
+# ----------------------------------------------------------------------
+class UserTable:
+    """Slot-indexed structure-of-arrays user store.
+
+    Each registered user occupies one slot across five parallel arrays:
+    exact coordinates, profile ``(k, A_min)``, and the Morton index of
+    their lowest-level cell.  A uid -> slot dict and a freelist keep
+    slot assignment O(1); arrays grow by doubling.  Iteration order for
+    reconstruction follows insertion order of the uid dict, matching
+    the scalar reference's user dict.
+    """
+
+    _INITIAL = 64
+
+    def __init__(self) -> None:
+        n = self._INITIAL
+        self.xs: FloatArray = np.empty(n, dtype=np.float64)
+        self.ys: FloatArray = np.empty(n, dtype=np.float64)
+        self.ks: IntArray = np.zeros(n, dtype=np.int64)
+        self.a_mins: FloatArray = np.zeros(n, dtype=np.float64)
+        self.cells: IntArray = np.zeros(n, dtype=np.int64)
+        self.active: BoolArray = np.zeros(n, dtype=np.bool_)
+        self._slots: dict[object, int] = {}
+        self._free: list[int] = list(range(n - 1, -1, -1))
+
+    def __len__(self) -> int:
+        return len(self._slots)
+
+    def __contains__(self, uid: object) -> bool:
+        return uid in self._slots
+
+    def slot_of(self, uid: object) -> int | None:
+        return self._slots.get(uid)
+
+    def uids(self) -> Iterator[object]:
+        """Registered uids in insertion order."""
+        return iter(self._slots)
+
+    def items(self) -> Iterator[tuple[object, int]]:
+        """``(uid, slot)`` pairs in insertion order."""
+        return iter(self._slots.items())
+
+    def _grow(self) -> None:
+        old = len(self.xs)
+        new = old * 2
+        for name in ("xs", "ys", "ks", "a_mins", "cells"):
+            arr = getattr(self, name)
+            grown = np.zeros(new, dtype=arr.dtype)
+            grown[:old] = arr
+            setattr(self, name, grown)
+        grown_active = np.zeros(new, dtype=np.bool_)
+        grown_active[:old] = self.active
+        self.active = grown_active
+        self._free.extend(range(new - 1, old - 1, -1))
+
+    def add(
+        self, uid: object, x: float, y: float, k: int, a_min: float, cell: int
+    ) -> int:
+        """Claim a slot for ``uid``; the caller has already checked for
+        duplicates (this is a trusted internal path)."""
+        if not self._free:
+            self._grow()
+        slot = self._free.pop()
+        self._slots[uid] = slot
+        self.xs[slot] = x
+        self.ys[slot] = y
+        self.ks[slot] = k
+        self.a_mins[slot] = a_min
+        self.cells[slot] = cell
+        self.active[slot] = True
+        return slot
+
+    def remove(self, uid: object) -> int:
+        """Release ``uid``'s slot; returns it (for a final read)."""
+        slot = self._slots.pop(uid)
+        self.active[slot] = False
+        self._free.append(slot)
+        return slot
+
+    def clear(self) -> None:
+        n = len(self.xs)
+        self._slots.clear()
+        self.active[:] = False
+        self._free = list(range(n - 1, -1, -1))
+
+    def count_in_rect(self, rect: Rect, tol: float = EPSILON) -> int:
+        """Exact population of a closed rectangle — the vectorized
+        ``users_in_rect`` kernel, same tolerance as
+        :meth:`repro.geometry.Rect.contains_point`."""
+        inside = (
+            self.active
+            & (self.xs >= rect.x_min - tol)
+            & (self.xs <= rect.x_max + tol)
+            & (self.ys >= rect.y_min - tol)
+            & (self.ys <= rect.y_max + tol)
+        )
+        return int(np.count_nonzero(inside))
+
+    def slots_array(self, uids: list[object]) -> IntArray:
+        """The slots of many uids as one array; raises ``KeyError`` on
+        the first unknown uid (callers translate)."""
+        slots = self._slots
+        return np.fromiter(
+            (slots[uid] for uid in uids), dtype=np.int64, count=len(uids)
+        )
+
+    def nbytes(self) -> int:
+        """Resident bytes of the parallel arrays (the dict and freelist
+        are python-side overhead, reported separately by benchmarks)."""
+        return (
+            self.xs.nbytes
+            + self.ys.nbytes
+            + self.ks.nbytes
+            + self.a_mins.nbytes
+            + self.cells.nbytes
+            + self.active.nbytes
+        )
+
+
+# ----------------------------------------------------------------------
+# Vectorized Section 4.2 split/merge decisions over a gate table
+# ----------------------------------------------------------------------
+def choose_split_vec(
+    grid: CellGrid,
+    leaf: CellId,
+    count: int,
+    users: set[object],
+    table: UserTable,
+) -> tuple[dict[CellId, set[object]], CellId] | None:
+    """:func:`repro.anonymizer.adaptive.choose_split` over a gate table.
+
+    Same gates, same epsilons, same fixed children scan order as the
+    scalar decision function — the per-user profile lookups and point
+    location run as array reductions instead.  Shared by the
+    single-pyramid and sharded adaptive anonymizers, exactly like its
+    scalar counterpart.
+    """
+    if not users:
+        return None
+    uids = list(users)
+    slots = table.slots_array(uids)
+    ks = table.ks[slots]
+    a_mins = table.a_mins[slots]
+    child_area = grid.cell_area(leaf.level + 1)
+    # Cheap gate via the most relaxed user — identical float ops to the
+    # scalar `child_area < min_a - 1e-15 or count < min_k`.
+    if child_area < float(a_mins.min()) - 1e-15 or count < int(ks.min()):
+        return None
+    # Distribute users over the children: same truncate-and-clamp as
+    # CellGrid.cell_of at level + 1 (points are in bounds by
+    # construction — they were located when registered).
+    level = leaf.level + 1
+    side = 1 << level
+    bounds = grid.bounds
+    fx = (table.xs[slots] - bounds.x_min) / bounds.width
+    fy = (table.ys[slots] - bounds.y_min) / bounds.height
+    ix = np.clip((fx * side).astype(np.int64), 0, side - 1)
+    iy = np.clip((fy * side).astype(np.int64), 0, side - 1)
+    # Index each user's child in CellId.children order:
+    # (x, y), (x+1, y), (x, y+1), (x+1, y+1).
+    order = (iy - (leaf.iy << 1)) * 2 + (ix - (leaf.ix << 1))
+    member_counts = np.bincount(order, minlength=4)
+    satisfied = (ks <= member_counts[order]) & ((a_mins - 1e-15) <= child_area)
+    if not bool(satisfied.any()):
+        return None
+    satisfied_children = np.bincount(order[satisfied], minlength=4)
+    first = int(np.flatnonzero(satisfied_children)[0])
+    children = leaf.children()
+    child_users: dict[CellId, set[object]] = {c: set() for c in children}
+    for uid, child_index in zip(uids, order.tolist()):
+        child_users[children[child_index]].add(uid)
+    return child_users, children[first]
+
+
+def merge_blocked_vec(
+    table: UserTable,
+    child_area: float,
+    child_stats: list[tuple[int, set[object]]],
+) -> bool:
+    """:func:`repro.anonymizer.adaptive.merge_is_blocked` over a gate
+    table: blocked while any user in any child has a profile that child
+    satisfies."""
+    for count, users in child_stats:
+        if not users:
+            continue
+        slots = table.slots_array(list(users))
+        satisfied = (table.ks[slots] <= count) & (
+            (table.a_mins[slots] - 1e-15) <= child_area
+        )
+        if bool(satisfied.any()):
+            return True
+    return False

@@ -208,6 +208,23 @@ class ContinuousQueryMonitor:
         cloak = self.casper.update_location(uid, point)
         self.notify_user_moved(uid, old_region, cloak.region)
 
+    def on_users_moved(self, moves: list[tuple[object, Point]]) -> None:
+        """Batched :meth:`on_user_moved`: one tick's moves go through
+        the anonymizer's batched update kernel
+        (:meth:`~repro.server.casper.Casper.update_locations`), then
+        each mover's queries are dirty-marked exactly as the per-move
+        path would.  Stored cloaks reflect the end-of-tick population;
+        :meth:`flush` re-cloaks every query anyway, so answers at the
+        flush boundary are identical either way."""
+        private_index = self.casper.server.private_index
+        old_regions = [
+            private_index.rect_of(uid) if uid in private_index else None
+            for uid, _ in moves
+        ]
+        cloaks = self.casper.update_locations(moves)
+        for (uid, _), old_region, cloak in zip(moves, old_regions, cloaks):
+            self.notify_user_moved(uid, old_region, cloak.region)
+
     def notify_user_moved(
         self, uid: object, old_region: Rect | None, new_region: Rect
     ) -> None:

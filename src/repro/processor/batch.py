@@ -16,6 +16,14 @@ Results are item-for-item identical to the corresponding per-query
 functions (``private_nn_over_*``, ``private_knn_over_*``,
 ``private_range_over_*``); the batch layer changes only how often the
 shared work runs.
+
+This engine is the downstream half of the per-tick batch pipeline: a
+tick of moves enters through the anonymizer's batched update kernel
+(:meth:`repro.server.casper.Casper.update_locations`, vectorized on the
+numpy backend — see ``docs/vectorization.md``), and the dirty queries it
+produces drain through :meth:`BatchQueryEngine.run` at the continuous
+monitor's flush, where movers sharing a cloaked cell collapse to one
+execution.
 """
 
 from __future__ import annotations

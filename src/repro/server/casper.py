@@ -93,6 +93,7 @@ class Casper:
         resilience: "ResilienceRuntime | None" = None,
         shards: int = 1,
         parallel: bool = False,
+        vectorized: bool | None = None,
     ) -> None:
         # Routing seam: `shards > 1` swaps the single-pyramid anonymizer
         # for the sharded runtime, which is byte-for-byte equivalent —
@@ -126,11 +127,16 @@ class Casper:
                     num_shards=shards,
                     kind=anonymizer,
                     parallel=parallel,
+                    vectorized=vectorized,
                 )
             elif anonymizer == "basic":
-                self.anonymizer = BasicAnonymizer(bounds, pyramid_height)
+                self.anonymizer = BasicAnonymizer(
+                    bounds, pyramid_height, vectorized=vectorized
+                )
             else:
-                self.anonymizer = AdaptiveAnonymizer(bounds, pyramid_height)
+                self.anonymizer = AdaptiveAnonymizer(
+                    bounds, pyramid_height, vectorized=vectorized
+                )
         else:
             raise ValueError(f"unknown anonymizer kind {anonymizer!r}")
         self.server = server if server is not None else LocationServer()
@@ -272,6 +278,24 @@ class Casper:
         :meth:`submit_location_update` instead."""
         self.anonymizer.update(uid, point)
         return self.refresh_stored_cloak(uid)
+
+    def update_locations(
+        self, moves: "list[tuple[object, Point]]"
+    ) -> "list[CloakedRegion]":
+        """Apply one tick's worth of location updates through the
+        anonymizer's batched kernel, then refresh every mover's stored
+        cloak in arrival order.
+
+        Batch semantics: all pyramid updates land before any re-cloak,
+        so each stored region reflects the *end-of-tick* population —
+        the consistency point :class:`~repro.continuous.monitor.\
+ContinuousQueryMonitor` flushes at.  With a resilience runtime
+        attached, updates fall back to the per-move guarded path.
+        """
+        if self.resilience is not None:
+            return [self.update_location(uid, point) for uid, point in moves]
+        self.anonymizer.update_batch(list(moves))
+        return [self.refresh_stored_cloak(uid) for uid, _ in moves]
 
     def submit_location_update(
         self, uid: object, point: Point, seq: int, profile: PrivacyProfile

@@ -65,23 +65,26 @@ def make_sharded(
     kind: str = "basic",
     cloak_cache_size: int = 8192,
     parallel: bool = False,
+    vectorized: bool | None = None,
 ) -> ShardedAnonymizer:
     """Build a sharded anonymizer of the requested ``kind``
     (``"basic"`` or ``"adaptive"``); ``parallel=True`` runs each shard
-    in its own worker process over the wire protocol."""
+    in its own worker process over the wire protocol.  ``vectorized``
+    selects the numpy array backend (``None`` = environment default,
+    see :func:`repro.anonymizer.soa.default_vectorized`)."""
     if kind not in ("basic", "adaptive"):
         raise ValueError(f"unknown anonymizer kind {kind!r}")
     if parallel:
         return ParallelShardedAnonymizer(
             bounds, height=height, num_shards=num_shards, kind=kind,
-            cloak_cache_size=cloak_cache_size,
+            cloak_cache_size=cloak_cache_size, vectorized=vectorized,
         )
     if kind == "basic":
         return ShardedBasicAnonymizer(
             bounds, height=height, num_shards=num_shards,
-            cloak_cache_size=cloak_cache_size,
+            cloak_cache_size=cloak_cache_size, vectorized=vectorized,
         )
     return ShardedAdaptiveAnonymizer(
         bounds, height=height, num_shards=num_shards,
-        cloak_cache_size=cloak_cache_size,
+        cloak_cache_size=cloak_cache_size, vectorized=vectorized,
     )

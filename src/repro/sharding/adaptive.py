@@ -33,6 +33,12 @@ from repro.anonymizer.adaptive import (
     choose_split,
     merge_is_blocked,
 )
+from repro.anonymizer.soa import (
+    UserTable,
+    choose_split_vec,
+    default_vectorized,
+    merge_blocked_vec,
+)
 from repro.anonymizer.cache import CloakCache
 from repro.anonymizer.cells import CellGrid, CellId
 from repro.anonymizer.cloak import CloakedRegion
@@ -92,10 +98,20 @@ class ShardedAdaptiveAnonymizer:
         height: int = 9,
         num_shards: int = 1,
         cloak_cache_size: int = 8192,
+        vectorized: bool | None = None,
     ) -> None:
         self.grid = CellGrid(bounds, height)
         self.stats = MaintenanceStats()
         self.router = ShardRouter(num_shards, height)
+        if vectorized is None:
+            vectorized = default_vectorized()
+        self.vectorized = vectorized
+        # Fleet-wide numpy gate table mirroring every core's user
+        # records (uids are opaque slots; no per-shard partitioning
+        # needed — split/merge decisions are global anyway).  The cut
+        # itself stays dicts: maintenance walks are pointer-chasing by
+        # nature, the wins are in the gate scans.
+        self._table: UserTable | None = UserTable() if vectorized else None
         self._spine = SpineState(
             cache=CloakCache(cloak_cache_size, shard_label="spine")
         )
@@ -183,6 +199,8 @@ class ShardedAdaptiveAnonymizer:
         return entry.count if entry is not None else 0
 
     def users_in_rect(self, rect: Rect) -> int:
+        if self._table is not None:
+            return self._table.count_in_rect(rect)
         return sum(
             1
             for core in self._cores
@@ -252,6 +270,8 @@ class ShardedAdaptiveAnonymizer:
         home = self.router.shard_of(self.grid.cell_of(point))
         self._cores[home].users[uid] = _UserRecord(profile, point, leaf)
         self._directory[uid] = home
+        if self._table is not None:
+            self._table.add(uid, point.x, point.y, profile.k, profile.a_min, 0)
         self._add_to_leaf(uid, leaf)
         self.stats.registrations += 1
         obs = _telemetry.active()
@@ -266,6 +286,8 @@ class ShardedAdaptiveAnonymizer:
         self._remove_from_leaf(uid, record.leaf)
         del self._cores[home].users[uid]
         del self._directory[uid]
+        if self._table is not None:
+            self._table.remove(uid)
         self.stats.deregistrations += 1
         obs = _telemetry.active()
         if obs is not None:
@@ -276,6 +298,11 @@ class ShardedAdaptiveAnonymizer:
     def set_profile(self, uid: object, profile: PrivacyProfile) -> None:
         record = self._record(uid)
         record.profile = profile
+        if self._table is not None:
+            slot = self._table.slot_of(uid)
+            assert slot is not None
+            self._table.ks[slot] = profile.k
+            self._table.a_mins[slot] = profile.a_min
         self._maybe_split(record.leaf)
         self._maybe_merge(record.leaf)
 
@@ -290,6 +317,11 @@ class ShardedAdaptiveAnonymizer:
         record = self._record(uid)
         home = self._directory[uid]
         record.point = point
+        if self._table is not None:
+            slot = self._table.slot_of(uid)
+            assert slot is not None
+            self._table.xs[slot] = point.x
+            self._table.ys[slot] = point.y
         self.stats.location_updates += 1
         new_leaf = self.leaf_for_point(point)
         new_home = (
@@ -430,10 +462,15 @@ class ShardedAdaptiveAnonymizer:
             entry = self._entry(leaf)
             if entry is None or not entry.is_leaf or leaf.level >= self.height:
                 return
-            decision = choose_split(
-                self.grid, leaf, entry.count, entry.users,
-                self._point_of, self._profile_of,
-            )
+            if self._table is not None:
+                decision = choose_split_vec(
+                    self.grid, leaf, entry.count, entry.users, self._table
+                )
+            else:
+                decision = choose_split(
+                    self.grid, leaf, entry.count, entry.users,
+                    self._point_of, self._profile_of,
+                )
             if decision is None:
                 return
             child_users, satisfiable = decision
@@ -473,11 +510,19 @@ class ShardedAdaptiveAnonymizer:
             if any(e is None or not e.is_leaf for e in entries):
                 return
             child_area = self.grid.cell_area(leaf.level)
-            if merge_is_blocked(
-                child_area,
-                [(e.count, e.users) for e in entries if e is not None],
-                self._profile_of,
-            ):
+            if self._table is not None:
+                blocked = merge_blocked_vec(
+                    self._table,
+                    child_area,
+                    [(e.count, e.users) for e in entries if e is not None],
+                )
+            else:
+                blocked = merge_is_blocked(
+                    child_area,
+                    [(e.count, e.users) for e in entries if e is not None],
+                    self._profile_of,
+                )
+            if blocked:
                 return
             merged_users: set[object] = set()
             for e in entries:
@@ -581,6 +626,7 @@ class ShardedAdaptiveAnonymizer:
         self._spine.boundary_epoch += 1
         self._spine.cache.clear()
         self._directory = dict(state.directory)
+        self._rebuild_table()
 
     def snapshot_shard(self, shard: int) -> object:
         """Deep copy of one core's population state."""
@@ -628,6 +674,9 @@ class ShardedAdaptiveAnonymizer:
         old_cells = core.cells
         core.cells = {}
         core.users = users
+        # Gate table resyncs to the post-reconciliation fleet before the
+        # split/merge passes below consult it.
+        self._rebuild_table()
         # Rebuild one leaf per block the spine still maintains.
         maintained: list[CellId] = []
         for block in self.router.blocks_of(shard):
@@ -675,6 +724,23 @@ class ShardedAdaptiveAnonymizer:
             _telemetry.record_shard_op(obs, shard, "restore")
             _telemetry.record_shard_occupancy(obs, self.shard_occupancy())
         return purged
+
+    def _rebuild_table(self) -> None:
+        """Resync the fleet-wide gate table from every core's live user
+        records (no-op on the scalar backend)."""
+        if self._table is None:
+            return
+        self._table.clear()
+        for core in self._cores:
+            for uid, rec in core.users.items():
+                self._table.add(
+                    uid,
+                    rec.point.x,
+                    rec.point.y,
+                    rec.profile.k,
+                    rec.profile.a_min,
+                    0,
+                )
 
     def _recompute_spine_counts(self) -> None:
         """Recompute every spine cell's count bottom-up (leaves from
@@ -756,3 +822,20 @@ class ShardedAdaptiveAnonymizer:
                 assert self.router.shard_of(
                     self.grid.cell_of(rec.point)
                 ) == shard, f"user {uid!r} homed in the wrong shard"
+        if self._table is not None:
+            assert len(self._table) == len(self._directory), (
+                "gate table size drift"
+            )
+            for core in self._cores:
+                for uid, rec in core.users.items():
+                    slot = self._table.slot_of(uid)
+                    assert slot is not None, f"{uid!r} missing from gate table"
+                    # Exact equality on purpose: the table is a bit-copy
+                    # of the record floats; any representational
+                    # difference IS the drift this assert catches.
+                    assert (
+                        float(self._table.xs[slot]) == rec.point.x  # casperlint: ignore[CSP004] bit-copy audit
+                        and float(self._table.ys[slot]) == rec.point.y  # casperlint: ignore[CSP004] bit-copy audit
+                        and int(self._table.ks[slot]) == rec.profile.k
+                        and float(self._table.a_mins[slot]) == rec.profile.a_min  # casperlint: ignore[CSP004] bit-copy audit
+                    ), f"gate table stale for {uid!r}"

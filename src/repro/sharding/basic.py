@@ -21,6 +21,9 @@ through the single-probe epoch fast path (see
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
 
 from repro.anonymizer.basic import _UserRecord
 from repro.anonymizer.cache import CloakCache
@@ -31,8 +34,10 @@ from repro.anonymizer.stats import MaintenanceStats
 from repro.errors import DuplicateUserError, UnknownUserError
 from repro.geometry import Point, Rect
 from repro.observability import runtime as _telemetry
+from repro.anonymizer.soa import MAX_SOA_HEIGHT, default_vectorized, morton_of_xy
 from repro.sharding.core import BasicShardCore, SpineState, cache_counters
 from repro.sharding.router import ShardRouter
+from repro.sharding.soa import MortonSlice
 from repro.utils.timer import monotonic
 
 __all__ = ["ShardedBasicAnonymizer"]
@@ -78,6 +83,7 @@ class ShardedBasicAnonymizer:
         height: int = 9,
         num_shards: int = 1,
         cloak_cache_size: int = 8192,
+        vectorized: bool | None = None,
     ) -> None:
         self.grid = CellGrid(bounds, height)
         self.stats = MaintenanceStats()
@@ -85,12 +91,25 @@ class ShardedBasicAnonymizer:
         self._spine = SpineState(
             cache=CloakCache(cloak_cache_size, shard_label="spine")
         )
+        if vectorized is None:
+            vectorized = default_vectorized() and height <= MAX_SOA_HEIGHT
+        self.vectorized = vectorized
         self._cores = [
             BasicShardCore(
                 index=i, cache=CloakCache(cloak_cache_size, shard_label=str(i))
             )
             for i in range(num_shards)
         ]
+        if vectorized:
+            # Counters as contiguous Morton slices (the spine stays a
+            # dict: it holds at most 4**S / 3 cells, far too few to be
+            # worth arrays).  Gens share the slice layout so the batch
+            # kernel scatters both with one index computation.
+            spine_level = self.router.spine_level
+            for core in self._cores:
+                lo, hi = self.router.block_rank_range(core.index)
+                core.counts = MortonSlice(height, spine_level, lo, hi)
+                core.gens = MortonSlice(height, spine_level, lo, hi)
         self._directory: dict[object, int] = {}
 
     # ------------------------------------------------------------------
@@ -277,12 +296,96 @@ class ShardedBasicAnonymizer:
         if len({uid for uid, _ in moves}) != len(moves):
             return [self.update(uid, point) for uid, point in moves]
         cells = [self.grid.cell_of(point) for _, point in moves]
+        if (
+            self.vectorized
+            and len(moves) >= 2
+            and _telemetry.active() is None
+            and all(uid in self._directory for uid, _ in moves)
+        ):
+            return self._update_batch_vec(moves, cells)
         _owners, by_shard = self.router.route_batch(cells)
         costs = [0] * len(moves)
         for shard in sorted(by_shard):
             for index in by_shard[shard]:
                 uid, point = moves[index]
                 costs[index] = self.update(uid, point)
+        return costs
+
+    def _update_batch_vec(
+        self, moves: list[tuple[object, Point]], cells: list[CellId]
+    ) -> list[int]:
+        """The batched-update kernel: confined moves (the common case)
+        become per-level ``np.add.at`` scatters on the home core's
+        Morton slices; boundary-crossing moves take the scalar routed
+        path.  All uids are distinct and known, and all points are in
+        bounds — checked by the caller — so deltas, gens and epochs
+        commute and the end state matches the sequential loop."""
+        n = len(moves)
+        records = [self._record(uid) for uid, _ in moves]
+        height = self.height
+        spine_level = self.router.spine_level
+        old_ms = np.fromiter(
+            (morton_of_xy(rec.cell.ix, rec.cell.iy) for rec in records),
+            dtype=np.int64, count=n,
+        )
+        new_ms = np.fromiter(
+            (morton_of_xy(cell.ix, cell.iy) for cell in cells),
+            dtype=np.int64, count=n,
+        )
+        diff = old_ms ^ new_ms
+        _mant, exp = np.frexp(diff.astype(np.float64))
+        ancestor_level = height - ((exp.astype(np.int64) + 1) >> 1)
+        costs = [0] * n
+        by_home: dict[int, list[int]] = {}
+        for index, (uid, point) in enumerate(moves):
+            if not diff[index]:
+                # Same lowest-level cell: point refresh only.
+                records[index].point = point
+                self.stats.location_updates += 1
+                continue
+            if ancestor_level[index] < spine_level:
+                # Boundary-crossing move: spine counters, boundary
+                # epoch and possibly a rehome — the scalar path handles
+                # all of it, cost accounting included.
+                costs[index] = self.update(uid, point)
+                continue
+            by_home.setdefault(self._directory[uid], []).append(index)
+        for shard in sorted(by_home):
+            group = np.asarray(by_home[shard], dtype=np.int64)
+            core = self._cores[shard]
+            counts = core.counts
+            gens = core.gens
+            assert isinstance(counts, MortonSlice)
+            assert isinstance(gens, MortonSlice)
+            old_group = old_ms[group]
+            new_group = new_ms[group]
+            ca_group = ancestor_level[group]
+            deepest_shared = int(ca_group.min())
+            for level in range(height, deepest_shared, -1):
+                mask = ca_group < level
+                shift = 2 * (height - level)
+                offset = counts.level_offset(level)
+                old_idx = (old_group[mask] >> shift) - offset
+                new_idx = (new_group[mask] >> shift) - offset
+                count_arr = counts.level_array(level)
+                gen_arr = gens.level_array(level)
+                np.subtract.at(count_arr, old_idx, 1)
+                np.add.at(count_arr, new_idx, 1)
+                np.add.at(gen_arr, old_idx, 1)
+                np.add.at(gen_arr, new_idx, 1)
+            group_costs = 2 * (height - ca_group)
+            for index, cost in zip(by_home[shard], group_costs.tolist()):
+                uid, point = moves[index]
+                record = records[index]
+                record.point = point
+                record.cell = cells[index]
+                costs[index] = cost
+            # One epoch bump per cell-changing move, as in the scalar
+            # walk (advances are additive across a tick).
+            core.epoch += len(group)
+            self.stats.location_updates += len(group)
+            self.stats.counter_updates += int(group_costs.sum())
+            self.stats.cell_changes += len(group)
         return costs
 
     def _apply_delta(self, cell: CellId, delta: int) -> None:
@@ -349,6 +452,17 @@ class ShardedBasicAnonymizer:
     # ------------------------------------------------------------------
     # Crash recovery — whole fleet and per shard
     # ------------------------------------------------------------------
+    def _load_core_counts(
+        self, core: BasicShardCore, counts: Mapping[CellId, int]
+    ) -> None:
+        """Install a plain-dict counter snapshot into ``core``,
+        rebuilding the Morton-slice arrays in place on the vectorized
+        backend (snapshots are backend-independent dicts)."""
+        if isinstance(core.counts, MortonSlice):
+            core.counts.load(counts)
+        else:
+            core.counts = dict(counts)
+
     def snapshot(self) -> object:
         """Atomic whole-fleet snapshot (all cores + spine + directory).
         Generations, epochs and statistics are excluded: monotone
@@ -369,7 +483,7 @@ class ShardedBasicAnonymizer:
         if len(state.cores) != self.num_shards:
             raise ValueError("snapshot shard count mismatch")
         for core, snap in zip(self._cores, state.cores):
-            core.counts = dict(snap.counts)
+            self._load_core_counts(core, snap.counts)
             core.users = {
                 uid: _UserRecord(rec.profile, rec.point, rec.cell)
                 for uid, rec in snap.users.items()
@@ -426,7 +540,7 @@ class ShardedBasicAnonymizer:
         for cell in set(core.counts) | set(counts):
             if core.counts.get(cell, 0) != counts.get(cell, 0):
                 core.gens[cell] = core.gens.get(cell, 0) + 1
-        core.counts = counts
+        self._load_core_counts(core, counts)
         core.users = users
         core.epoch += 1
         core.cache.clear()

@@ -26,7 +26,7 @@ is what the ``shard_scaling`` benchmark measures.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, MutableMapping
 
 from repro.anonymizer.cache import CloakCache
 from repro.anonymizer.cells import CellId
@@ -60,12 +60,17 @@ class BasicShardCore:
     records for the cells at level ``>= S`` inside its blocks.  Zero
     counts are not stored; generation counters are monotone and outlive
     the counts they describe (exactly like the adaptive single-pyramid
-    convention)."""
+    convention).
+
+    ``counts``/``gens`` are plain dicts on the scalar path and
+    :class:`~repro.sharding.soa.MortonSlice` arrays on the vectorized
+    one — both speak the same mapping protocol, so everything here and
+    in the replica audits is backend-agnostic."""
 
     index: int
     cache: CloakCache
-    counts: dict[CellId, int] = field(default_factory=dict)
-    gens: dict[CellId, int] = field(default_factory=dict)
+    counts: MutableMapping[CellId, int] = field(default_factory=dict)
+    gens: MutableMapping[CellId, int] = field(default_factory=dict)
     users: "dict[object, BasicRecord]" = field(default_factory=dict)
     epoch: int = 0
 

@@ -130,6 +130,21 @@ class ShardRouter:
                 group.append(index)
         return owners, by_shard
 
+    def block_rank_range(self, shard: int) -> tuple[int, int]:
+        """The contiguous Morton rank range ``[lo, hi)`` of the blocks
+        owned by ``shard`` — contiguity is what lets the array-backed
+        core store each level as one flat slice."""
+        if not 0 <= shard < self.num_shards:
+            raise ValueError(f"no shard {shard} in a {self.num_shards}-shard fleet")
+        ranks = [
+            rank
+            for rank in range(self.num_blocks)
+            if self._owner_by_rank[rank] == shard
+        ]
+        lo, hi = ranks[0], ranks[-1] + 1
+        assert len(ranks) == hi - lo, "owner ranges must be contiguous"
+        return lo, hi
+
     def blocks_of(self, shard: int) -> tuple[CellId, ...]:
         """The level-``S`` blocks owned by ``shard``, in Morton order."""
         if not 0 <= shard < self.num_shards:

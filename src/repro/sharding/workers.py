@@ -157,6 +157,8 @@ class _WorkerConfig:
     height: int
     num_shards: int
     cloak_cache_size: int
+    # Defaulted so configs pickled by older parents still unpickle.
+    vectorized: bool | None = None
 
 
 def _build_replica(
@@ -172,6 +174,7 @@ def _build_replica(
         height=config.height,
         num_shards=config.num_shards,
         cloak_cache_size=config.cloak_cache_size,
+        vectorized=config.vectorized,
     )
 
 
@@ -557,6 +560,7 @@ class ParallelShardedAnonymizer:
         kind: str = "basic",
         cloak_cache_size: int = 8192,
         hang_timeout: float = 5.0,
+        vectorized: bool | None = None,
     ) -> None:
         if kind not in ("basic", "adaptive"):
             raise ValueError(f"unknown anonymizer kind: {kind!r}")
@@ -576,7 +580,9 @@ class ParallelShardedAnonymizer:
         self.worker_crashes = 0
         self.worker_heals = 0
         self._pool = WorkerPool(
-            _WorkerConfig(kind, bounds, height, num_shards, cloak_cache_size)
+            _WorkerConfig(
+                kind, bounds, height, num_shards, cloak_cache_size, vectorized
+            )
         )
         #: Workers whose replicas are known complete.  A respawned
         #: worker is not authoritative until its install lands, so a

@@ -1,0 +1,18 @@
+# module: app.anonymizer.dumper
+"""CSP009 violating fixture: coordinate arrays persisted via numpy.
+
+Two findings: a tainted array handed to ``np.save``, and a tainted
+array flushed through the ``ndarray.tofile`` method (where the leaking
+value is the *receiver*, not an argument).
+"""
+import numpy as np
+
+
+def dump_positions(points):
+    xs = np.array([p.x for p in points])
+    np.save("positions.npy", xs)  # persistence sink (argument)
+
+
+def flush_point(point):
+    coords = np.asarray([point.x, point.y])
+    coords.tofile("coords.bin")  # persistence sink (receiver)

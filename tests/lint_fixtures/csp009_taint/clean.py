@@ -6,6 +6,8 @@ the sanctioned product); untainted values may reach any sink.
 """
 import logging
 
+import numpy as np
+
 logger = logging.getLogger("tidy")
 
 
@@ -20,3 +22,9 @@ def complain(uid):
 
 def log_count(count):
     logger.info(f"cloaked {count} users")
+
+
+def dump_histogram(counts):
+    # persisting *aggregates* is fine: per-cell counts carry no exact
+    # coordinates, so the array is untainted
+    np.save("histogram.npy", counts)

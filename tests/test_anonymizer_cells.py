@@ -29,6 +29,23 @@ class TestCellId:
         with pytest.raises(ValueError):
             CellId(0, 0, 1)
 
+    def test_public_constructor_still_validates(self):
+        """Hot-path ancestor walks construct via the trusted internal
+        path that skips ``__post_init__``; this pins the public surface:
+        any ``CellId(...)`` built from external input must keep raising
+        on out-of-range indices."""
+        # The trusted path exists and produces ids equal to public ones.
+        assert CellId._trusted(2, 3, 1) == CellId(2, 3, 1)
+        # Derived ids from trusted-path walks stay within range, so
+        # equality/hash semantics are unchanged.
+        cell = CellId(3, 5, 2)
+        assert cell.parent() == CellId(2, 2, 1)
+        assert cell in cell.parent().children()
+        # And the public constructor did not lose its guard.
+        for bad in ((1, 2, 0), (2, 0, 4), (-1, 0, 0), (0, 1, 0)):
+            with pytest.raises(ValueError):
+                CellId(*bad)
+
     def test_root(self):
         root = CellId(0, 0, 0)
         assert root.is_root

@@ -25,6 +25,7 @@ def make_report(quick: bool = True, **ratios: float) -> dict:
         "batch": 6.0,
         "shard_scaling": 1.8,
         "shard_parallel": 4.0,
+        "pyramid_scale": 30.0,
     }
     base.update(ratios)
     report: dict = {"quick": quick}

@@ -76,6 +76,7 @@ CASES = [
     ("csp008_telemetry/bad.py", "CSP008", 5),
     ("csp008_telemetry/clean.py", "CSP008", 0),
     ("csp009_taint/bad.py", "CSP009", 5),
+    ("csp009_taint/bad_persistence.py", "CSP009", 2),
     ("csp009_taint/clean.py", "CSP009", 0),
     ("csp010_async/bad.py", "CSP010", 2),
     ("csp010_async/clean.py", "CSP010", 0),

@@ -1,0 +1,265 @@
+"""Vectorized-equivalence tests: the scalar pyramid is the oracle.
+
+The structure-of-arrays backend (``vectorized=True``) must be a pure
+*representation change*: for any operation stream, every cloak, count,
+per-move cost, maintenance statistic, cache counter, and snapshot must
+be bit-identical to the scalar reference implementation — across both
+anonymizer kinds, shard counts 1/2/4/8, cross-backend snapshot/restore
+mid-stream, the batched update path, and a worker crash over the real
+process transport.  This generalizes the obs-on/off equivalence gate of
+``test_observability_equivalence.py`` to the vectorized axis.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.anonymizer import BasicAnonymizer, PrivacyProfile
+from repro.anonymizer.adaptive import AdaptiveAnonymizer
+from repro.errors import ProfileUnsatisfiableError, UnknownUserError
+from repro.geometry import Point, Rect
+from repro.resilience import ChaosWorkload, get_scenario, run_chaos
+from repro.sharding import ParallelShardedAnonymizer, make_sharded
+
+UNIT = Rect(0.0, 0.0, 1.0, 1.0)
+HEIGHT = 6
+
+FACTORIES = {
+    "basic": lambda v: BasicAnonymizer(UNIT, height=HEIGHT, vectorized=v),
+    "adaptive": lambda v: AdaptiveAnonymizer(UNIT, height=HEIGHT, vectorized=v),
+}
+for _n in (1, 2, 4, 8):
+    FACTORIES[f"basic-shards{_n}"] = (
+        lambda v, n=_n: make_sharded(
+            UNIT, height=HEIGHT, num_shards=n, kind="basic", vectorized=v
+        )
+    )
+    FACTORIES[f"adaptive-shards{_n}"] = (
+        lambda v, n=_n: make_sharded(
+            UNIT, height=HEIGHT, num_shards=n, kind="adaptive", vectorized=v
+        )
+    )
+
+
+def cloak_fp(anonymizer, uid):
+    try:
+        region = anonymizer.cloak(uid)
+    except ProfileUnsatisfiableError:
+        return (uid, "unsatisfiable")
+    return (uid, region.region.as_tuple(), region.achieved_k, region.cells)
+
+
+def fingerprint(anonymizer, uids, probes):
+    """Everything observable about the anonymizer's current state."""
+    fp = [anonymizer.num_users]
+    fp.append(
+        [cloak_fp(anonymizer, uid) for uid in uids if uid in anonymizer]
+    )
+    fp.append([anonymizer.users_in_rect(rect) for rect in probes["rects"]])
+    fp.append([anonymizer.cell_count(cell) for cell in probes["cells"]])
+    fp.append(vars(anonymizer.stats).copy())
+    cache_stats = getattr(anonymizer, "cache_stats", None)
+    if cache_stats is not None:
+        fp.append(cache_stats())
+    else:
+        cache = anonymizer.cloak_cache
+        fp.append((cache.hits, cache.misses, cache.invalidations))
+    return fp
+
+
+def drive_stream(name, seed, *, swap_snapshots=True):
+    """Run one seeded op stream through both backends in lockstep,
+    comparing full fingerprints at every checkpoint."""
+    scalar = FACTORIES[name](False)
+    vectorized = FACTORIES[name](True)
+    rng = np.random.default_rng(seed)
+    uids = list(range(60))
+    probes = {
+        "rects": [Rect(0.1, 0.1, 0.6, 0.7), Rect(0.0, 0.0, 1.0, 1.0)],
+        "cells": [
+            scalar.grid.cell_of(Point(0.3, 0.3)),
+            scalar.grid.cell_of(Point(0.8, 0.1), 2),
+        ],
+    }
+    for uid in uids:
+        point = Point(float(rng.uniform(0.01, 0.99)), float(rng.uniform(0.01, 0.99)))
+        profile = PrivacyProfile(
+            k=int(rng.integers(2, 8)), a_min=float(rng.uniform(0.0, 0.02))
+        )
+        scalar.register(uid, point, profile)
+        vectorized.register(uid, point, profile)
+    assert fingerprint(scalar, uids, probes) == fingerprint(
+        vectorized, uids, probes
+    )
+    for tick in range(12):
+        movers = rng.choice(len(uids), size=int(rng.integers(2, 25)), replace=False)
+        batch = [
+            (int(uid), Point(float(rng.uniform(0.01, 0.99)), float(rng.uniform(0.01, 0.99))))
+            for uid in movers
+            if int(uid) in scalar
+        ]
+        assert scalar.update_batch(batch) == vectorized.update_batch(batch)
+        if tick % 4 == 1:
+            victim = int(rng.integers(len(uids)))
+            if victim in scalar:
+                scalar.deregister(victim)
+                vectorized.deregister(victim)
+            subject = int(rng.integers(len(uids)))
+            if subject in scalar:
+                profile = PrivacyProfile(
+                    k=int(rng.integers(2, 10)),
+                    a_min=float(rng.uniform(0.0, 0.03)),
+                )
+                scalar.set_profile(subject, profile)
+                vectorized.set_profile(subject, profile)
+        if tick == 6 and swap_snapshots:
+            # Cross-backend snapshot/restore: each backend restores the
+            # *other's* snapshot (the canonical plain-dict format), then
+            # the streams keep running in lockstep.
+            scalar_snap = scalar.snapshot()
+            vectorized_snap = vectorized.snapshot()
+            scalar.restore(vectorized_snap)
+            vectorized.restore(scalar_snap)
+        assert fingerprint(scalar, uids, probes) == fingerprint(
+            vectorized, uids, probes
+        ), f"{name} diverged at tick {tick}"
+        scalar.check_invariants()
+        vectorized.check_invariants()
+
+
+@pytest.mark.parametrize("name", sorted(FACTORIES))
+def test_stream_equivalence(name) -> None:
+    drive_stream(name, seed=101)
+
+
+@pytest.mark.parametrize("shards", [2, 8])
+def test_shard_restore_equivalence(shards) -> None:
+    """Per-shard restore (the heal primitive) must reconcile both
+    backends to the same state, including the purged-user list."""
+    scalar = FACTORIES[f"basic-shards{shards}"](False)
+    vectorized = FACTORIES[f"basic-shards{shards}"](True)
+    rng = np.random.default_rng(7)
+    for uid in range(50):
+        point = Point(float(rng.uniform(0.01, 0.99)), float(rng.uniform(0.01, 0.99)))
+        profile = PrivacyProfile(k=3)
+        scalar.register(uid, point, profile)
+        vectorized.register(uid, point, profile)
+    victim = 1
+    scalar_snap = scalar.snapshot_shard(victim)
+    vectorized_snap = vectorized.snapshot_shard(victim)
+    for uid in range(0, 50, 3):
+        point = Point(float(rng.uniform(0.01, 0.99)), float(rng.uniform(0.01, 0.99)))
+        scalar.update(uid, point)
+        vectorized.update(uid, point)
+    # Swap snapshots across backends: the wire format is shared.
+    assert scalar.restore_shard(victim, vectorized_snap) == (
+        vectorized.restore_shard(victim, scalar_snap)
+    )
+    for shard in range(shards):
+        assert vectorized._cores[shard].counts == scalar._cores[shard].counts
+        assert vectorized._cores[shard].gens == scalar._cores[shard].gens
+    scalar.check_invariants()
+    vectorized.check_invariants()
+
+
+class TestErrorSemantics:
+    def test_batch_failure_prefix_matches_scalar(self) -> None:
+        """A batch with a failing move must leave both backends in the
+        same prefix-applied state and raise the same error."""
+        scalar = FACTORIES["basic"](False)
+        vectorized = FACTORIES["basic"](True)
+        for a in (scalar, vectorized):
+            a.register("a", Point(0.2, 0.2), PrivacyProfile(k=2))
+            a.register("b", Point(0.7, 0.7), PrivacyProfile(k=2))
+        batch = [
+            ("a", Point(0.4, 0.4)),
+            ("ghost", Point(0.5, 0.5)),
+            ("b", Point(0.6, 0.6)),
+        ]
+        with pytest.raises(UnknownUserError):
+            scalar.update_batch(batch)
+        with pytest.raises(UnknownUserError):
+            vectorized.update_batch(batch)
+        probes = {"rects": [UNIT], "cells": []}
+        assert fingerprint(scalar, ["a", "b"], probes) == fingerprint(
+            vectorized, ["a", "b"], probes
+        )
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    kind=st.sampled_from(["basic", "adaptive"]),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_property_random_streams(kind, seed) -> None:
+    """Hypothesis-driven seeds over the full lockstep driver."""
+    drive_stream(kind, seed=seed, swap_snapshots=(seed % 2 == 0))
+
+
+class TestParallelWorkerCrash:
+    def test_vectorized_workers_survive_crash_and_match_scalar_oracle(
+        self,
+    ) -> None:
+        """Snapshot/restore round-trips through the real worker heal
+        path: a vectorized parallel fleet loses a worker mid-stream and
+        must still match the scalar in-process oracle bit for bit."""
+        oracle = make_sharded(
+            UNIT, height=HEIGHT, num_shards=4, kind="basic", vectorized=False
+        )
+        fleet = ParallelShardedAnonymizer(
+            UNIT, height=HEIGHT, num_shards=4, kind="basic", vectorized=True
+        )
+        try:
+            rng = np.random.default_rng(23)
+            uids = list(range(40))
+            for uid in uids:
+                point = Point(
+                    float(rng.uniform(0.01, 0.99)), float(rng.uniform(0.01, 0.99))
+                )
+                profile = PrivacyProfile(k=3)
+                oracle.register(uid, point, profile)
+                fleet.register(uid, point, profile)
+            for phase in range(3):
+                batch = [
+                    (uid, Point(
+                        float(rng.uniform(0.01, 0.99)),
+                        float(rng.uniform(0.01, 0.99)),
+                    ))
+                    for uid in uids
+                ]
+                assert oracle.update_batch(batch) == fleet.update_batch(batch)
+                if phase == 1:
+                    fleet.crash_worker(2)  # mid-stream kill + heal
+                assert [cloak_fp(oracle, uid) for uid in uids] == [
+                    cloak_fp(fleet, uid) for uid in uids
+                ]
+            fleet.check_invariants()
+            oracle.check_invariants()
+        finally:
+            fleet.close()
+
+    def test_worker_crash_chaos_report_is_backend_independent(
+        self, monkeypatch
+    ) -> None:
+        """The full worker-crash chaos scenario produces a byte-equal
+        report whether the fleet runs scalar or vectorized replicas."""
+        workload = ChaosWorkload(
+            users=10, targets=8, steps=60, continuous_queries=3, shards=4,
+            parallel=True, anonymizer="basic",
+        )
+        plan = get_scenario("worker-crash")
+        monkeypatch.setenv("REPRO_VECTORIZED", "0")
+        scalar_report = run_chaos(plan, workload).to_json()
+        monkeypatch.setenv("REPRO_VECTORIZED", "1")
+        vectorized_report = run_chaos(plan, workload).to_json()
+        assert json.loads(vectorized_report)["privacy_violations"] == 0
+        assert scalar_report == vectorized_report

@@ -39,6 +39,7 @@ GATED_RATIOS = (
     ("shard_scaling", "cloak_scaling_8x"),
     ("shard_parallel", "cloak_scaling_8x"),
     ("shard_parallel", "update_scaling_8x"),
+    ("pyramid_scale", "speedup"),
 )
 
 
