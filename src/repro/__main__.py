@@ -197,6 +197,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             steps=args.steps,
             seed=args.workload_seed,
             anonymizer=args.anonymizer,
+            continuous_knn=args.continuous_knn,
             shards=args.shards,
             parallel=args.parallel,
         )
@@ -356,6 +357,12 @@ def main(argv: list[str] | None = None) -> int:
         "--shards", type=int, default=1, metavar="N",
         help="anonymizer shard count for the replayed workload "
         "(default 1 = the single-pyramid implementations)",
+    )
+    chaos.add_argument(
+        "--continuous-knn", type=int, default=0, metavar="N",
+        help="safe-region continuous kNN (k=3) queries registered on the "
+        "monitor (default 0; the continuous-drift scenario is aimed at "
+        "this path)",
     )
     chaos.add_argument(
         "--parallel", action="store_true",

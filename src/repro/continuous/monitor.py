@@ -23,6 +23,21 @@ their ``A_EXT`` rectangles in a bucket grid; each target update probes
 the grid with its old and new positions and marks only the overlapping
 queries dirty.  ``flush()`` recomputes the dirty set and reports answer
 deltas.
+
+**Moving clients** get a third path (:meth:`register_knn`): the safe-
+region kNN of :mod:`repro.processor.safe_region` attaches a *validity
+region* to each candidate list, and a cloak change dirties the query
+only when the fresh cloak **exits** that region — while it stays
+inside, the stale candidate list provably refines to the same exact
+answer, so the monitor counts the change as *suppressed* and does no
+server work.  Target-side dirtying switches from ``A_EXT`` to the
+result's conservative *watch region* (inflated ``A_EXT`` plus the
+anchor witness discs), which restores the "outside cannot matter"
+argument under the inflated bound.  A per-tick-recompute oracle
+(``safe_region=False``) keeps the old dirty-on-any-cloak-change
+behaviour for equivalence testing, and :attr:`counters` /
+:attr:`validity_lifetimes` expose the re-query-rate accounting the
+``continuous_mobility`` bench gates on.
 """
 
 from __future__ import annotations
@@ -35,6 +50,8 @@ from repro.observability import runtime as _telemetry
 from repro.processor import (
     BatchRequest,
     CandidateList,
+    SafeRegionResult,
+    default_margin,
     private_nn_over_public,
     private_range_over_public,
 )
@@ -63,12 +80,27 @@ class AnswerChange:
 class _Query:
     query_id: object
     uid: object
-    kind: str  # "nn" or "range"
+    kind: str  # "nn", "range", "buddy" or "knn"
     num_filters: int
     radius: float
     cloak: Rect
+    #: The region indexed in the monitor's grid for target-update
+    #: dirtying: ``A_EXT`` for snapshot kinds, the safe-region *watch
+    #: region* for kNN queries.
     a_ext: Rect
     answer: frozenset
+    #: Last candidate list served (what a client would refine against).
+    last_candidates: CandidateList | None = None
+    # --- kNN-only state ---
+    k: int = 1
+    #: None = cloak-relative default margin at each evaluation.
+    margin: float | None = None
+    use_safe_region: bool = False
+    #: While the fresh cloak stays inside this region the stale
+    #: candidate list is provably exact; None = dirty on any change.
+    validity: Rect | None = None
+    #: Monitor tick of the last server evaluation (lifetime bookkeeping).
+    eval_tick: int = 0
 
 
 class ContinuousQueryMonitor:
@@ -82,7 +114,12 @@ class ContinuousQueryMonitor:
     re-cloak scan before deciding what to re-evaluate.
     """
 
-    def __init__(self, casper: Casper, grid_resolution: int = 32) -> None:
+    def __init__(
+        self,
+        casper: Casper,
+        grid_resolution: int = 32,
+        validity_margin_factor: float = 1.5,
+    ) -> None:
         self.casper = casper
         # Maps query_id -> A_EXT for the spatial join with target updates.
         self._regions = GridIndex(casper.bounds, grid_resolution)
@@ -93,6 +130,25 @@ class ContinuousQueryMonitor:
         #: (resilient deployments only): their answers are served stale
         #: and they stay dirty until the user's state heals.
         self.last_degraded: frozenset = frozenset()
+        #: Default validity margin, as a multiple of the cloak's longer
+        #: side, for :meth:`register_knn` queries without an explicit one.
+        self.validity_margin_factor = validity_margin_factor
+        #: Deterministic re-query accounting.  ``ticks`` counts
+        #: :meth:`on_users_moved` batches; ``evaluations`` counts dirty
+        #: queries re-evaluated at flush (``knn_evaluations`` the kNN
+        #: subset); ``suppressed`` counts flush-scan cloak changes the
+        #: validity region absorbed; ``validity_exits`` counts the ones
+        #: it did not.
+        self.counters: dict[str, int] = {
+            "ticks": 0,
+            "evaluations": 0,
+            "knn_evaluations": 0,
+            "suppressed": 0,
+            "validity_exits": 0,
+        }
+        #: Ticks each validity region survived, appended when its query
+        #: is re-evaluated.
+        self.validity_lifetimes: list[int] = []
 
     # ------------------------------------------------------------------
     # Query registration
@@ -132,9 +188,41 @@ class ContinuousQueryMonitor:
         """
         return self._register(query_id, uid, "buddy", num_filters, 0.0)
 
+    def register_knn(
+        self,
+        query_id: object,
+        uid: object,
+        k: int,
+        num_filters: int = 4,
+        margin: float | None = None,
+        safe_region: bool = True,
+    ) -> CandidateList:
+        """Register a continuous "my k nearest public targets" query for
+        a *moving* client; returns the initial candidate list.
+
+        With ``safe_region=True`` (the default) each evaluation attaches
+        a validity region ``margin`` wider than the cloak (``None`` =
+        ``validity_margin_factor`` times the cloak's longer side,
+        recomputed per evaluation) and later cloak changes re-evaluate
+        the query only when the fresh cloak exits it.
+        ``safe_region=False`` is the per-tick-recompute oracle: any
+        cloak change dirties the query, exactly like :meth:`register_nn`
+        — the two modes must refine to byte-identical exact answers,
+        which the equivalence tests assert.
+        """
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        if margin is not None and margin < 0.0:
+            raise ValueError("margin must be non-negative")
+        return self._register(
+            query_id, uid, "knn", num_filters, 0.0,
+            k=k, margin=margin, use_safe_region=safe_region,
+        )
+
     def _register(
         self, query_id: object, uid: object, kind: str, num_filters: int,
-        radius: float,
+        radius: float, k: int = 1, margin: float | None = None,
+        use_safe_region: bool = False,
     ) -> CandidateList:
         if query_id in self._queries:
             raise ValueError(f"query id {query_id!r} already registered")
@@ -146,8 +234,22 @@ class ContinuousQueryMonitor:
             # query registers *degraded*: empty answer, the whole
             # service area as its conservative A_EXT, and dirty — the
             # first flush after the user heals evaluates it for real.
-            return self._register_degraded(query_id, uid, kind, num_filters, radius)
-        candidates = self._evaluate(kind, cloak.region, num_filters, radius, uid)
+            return self._register_degraded(
+                query_id, uid, kind, num_filters, radius,
+                k=k, margin=margin, use_safe_region=use_safe_region,
+            )
+        validity: Rect | None = None
+        if kind == "knn":
+            result = self._evaluate_knn(
+                cloak.region, k, num_filters, margin, use_safe_region
+            )
+            candidates = result.candidates
+            watch = self._watch_region(result)
+            if use_safe_region:
+                validity = result.validity
+        else:
+            candidates = self._evaluate(kind, cloak.region, num_filters, radius, uid)
+            watch = candidates.search_region
         query = _Query(
             query_id=query_id,
             uid=uid,
@@ -155,17 +257,24 @@ class ContinuousQueryMonitor:
             num_filters=num_filters,
             radius=radius,
             cloak=cloak.region,
-            a_ext=candidates.search_region,
+            a_ext=watch,
             answer=frozenset(candidates.oids()),
+            last_candidates=candidates,
+            k=k,
+            margin=margin,
+            use_safe_region=use_safe_region,
+            validity=validity,
+            eval_tick=self.counters["ticks"],
         )
         self._queries[query_id] = query
         self._queries_of_user.setdefault(uid, set()).add(query_id)
-        self._regions.insert(query_id, candidates.search_region)
+        self._regions.insert(query_id, watch)
         return candidates
 
     def _register_degraded(
         self, query_id: object, uid: object, kind: str, num_filters: int,
-        radius: float,
+        radius: float, k: int = 1, margin: float | None = None,
+        use_safe_region: bool = False,
     ) -> CandidateList:
         bounds = self.casper.bounds
         candidates = CandidateList(
@@ -180,6 +289,10 @@ class ContinuousQueryMonitor:
             cloak=bounds,
             a_ext=bounds,
             answer=frozenset(),
+            last_candidates=candidates,
+            k=k,
+            margin=margin,
+            use_safe_region=use_safe_region,
         )
         self._queries[query_id] = query
         self._queries_of_user.setdefault(uid, set()).add(query_id)
@@ -221,6 +334,7 @@ class ContinuousQueryMonitor:
             private_index.rect_of(uid) if uid in private_index else None
             for uid, _ in moves
         ]
+        self.counters["ticks"] += 1
         cloaks = self.casper.update_locations(moves)
         for (uid, _), old_region, cloak in zip(moves, old_regions, cloaks):
             self.notify_user_moved(uid, old_region, cloak.region)
@@ -231,10 +345,22 @@ class ContinuousQueryMonitor:
         """Dirty-marking half of :meth:`on_user_moved`, for callers that
         applied the location update to Casper themselves (``old_region``
         is the user's previously stored cloak, ``new_region`` the fresh
-        one)."""
+        one).
+
+        A safe-region kNN query is *not* dirtied while the fresh cloak
+        stays inside its validity region — its stale candidate list is
+        provably still exact there.  (The suppression counters are
+        maintained by :meth:`flush`'s re-cloak scan, which sees each
+        query exactly once per flush.)"""
         for query_id in self._queries_of_user.get(uid, ()):
-            if self._queries[query_id].cloak != new_region:
-                self._dirty.add(query_id)
+            query = self._queries[query_id]
+            if query.cloak == new_region:
+                continue
+            if query.validity is not None and query.validity.contains_rect(
+                new_region
+            ):
+                continue
+            self._dirty.add(query_id)
         for probe in (old_region, new_region):
             if probe is None:
                 continue
@@ -301,8 +427,23 @@ class ContinuousQueryMonitor:
                 degraded.add(query_id)
                 continue
             fresh_cloaks[query_id] = region
-            if region != query.cloak:
-                self._dirty.add(query_id)
+            if region == query.cloak:
+                continue
+            if query.validity is not None and query.validity.contains_rect(
+                region
+            ):
+                # Safe-region suppression: the cloak drifted but stayed
+                # inside the validity region, so the stale candidate
+                # list still refines to the exact answer.
+                self.counters["suppressed"] += 1
+                if obs is not None:
+                    _telemetry.record_safe_region_event(obs, "suppressed")
+                continue
+            if query.validity is not None:
+                self.counters["validity_exits"] += 1
+                if obs is not None:
+                    _telemetry.record_safe_region_event(obs, "validity_exit")
+            self._dirty.add(query_id)
         changes: list[AnswerChange] = []
         dirty = sorted(
             (query_id for query_id in self._dirty if query_id not in degraded),
@@ -313,10 +454,11 @@ class ContinuousQueryMonitor:
         # dirty at once) collapse to a single processor execution.
         # Buddy queries exclude the requester's own record, so each one
         # runs against a momentarily different index and stays
-        # un-batched.
+        # un-batched.  kNN queries need the validity/watch geometry the
+        # batch engine does not carry, so they also run directly.
         batched = [
             query_id for query_id in dirty
-            if self._queries[query_id].kind != "buddy"
+            if self._queries[query_id].kind not in ("buddy", "knn")
         ]
         batch_results = dict(
             zip(
@@ -329,12 +471,31 @@ class ContinuousQueryMonitor:
         for query_id in dirty:
             query = self._queries[query_id]
             cloak_region = fresh_cloaks[query_id]
-            candidates = batch_results.get(query_id)
-            if candidates is None:
-                candidates = self._evaluate(
-                    query.kind, cloak_region, query.num_filters, query.radius,
-                    query.uid,
+            self.counters["evaluations"] += 1
+            if query.kind == "knn":
+                result = self._evaluate_knn(
+                    cloak_region, query.k, query.num_filters, query.margin,
+                    query.use_safe_region,
                 )
+                candidates = result.candidates
+                watch = self._watch_region(result)
+                self.counters["knn_evaluations"] += 1
+                if query.use_safe_region:
+                    lifetime = self.counters["ticks"] - query.eval_tick
+                    self.validity_lifetimes.append(lifetime)
+                    query.validity = result.validity
+                    if obs is not None:
+                        _telemetry.record_safe_region_event(obs, "evaluation")
+                        _telemetry.record_validity_lifetime(obs, lifetime)
+                query.eval_tick = self.counters["ticks"]
+            else:
+                candidates = batch_results.get(query_id)
+                if candidates is None:
+                    candidates = self._evaluate(
+                        query.kind, cloak_region, query.num_filters,
+                        query.radius, query.uid,
+                    )
+                watch = candidates.search_region
             new_answer = frozenset(candidates.oids())
             change = AnswerChange(
                 query_id=query_id,
@@ -344,9 +505,10 @@ class ContinuousQueryMonitor:
             )
             query.cloak = cloak_region
             query.answer = new_answer
-            if query.a_ext != candidates.search_region:
-                self._regions.insert(query_id, candidates.search_region)
-                query.a_ext = candidates.search_region
+            query.last_candidates = candidates
+            if query.a_ext != watch:
+                self._regions.insert(query_id, watch)
+                query.a_ext = watch
             if change.changed:
                 changes.append(change)
         if obs is not None:
@@ -378,6 +540,51 @@ class ContinuousQueryMonitor:
     def answer_of(self, query_id: object) -> frozenset:
         """The current (last flushed) answer set of a query."""
         return self._queries[query_id].answer
+
+    def candidates_of(self, query_id: object) -> CandidateList:
+        """The last candidate list served for a query — what the client
+        refines against its exact position.  For a safe-region kNN query
+        this may be *stale* (computed for an earlier cloak), which is
+        the point: while the cloak stays inside the validity region the
+        refinement is provably identical to a fresh re-query."""
+        candidates = self._queries[query_id].last_candidates
+        assert candidates is not None
+        return candidates
+
+    def validity_of(self, query_id: object) -> Rect | None:
+        """The current validity region of a safe-region kNN query
+        (``None`` for other kinds, oracle-mode kNN and degraded
+        registrations)."""
+        return self._queries[query_id].validity
+
+    @property
+    def mean_validity_lifetime(self) -> float:
+        """Mean ticks a validity region survived before re-evaluation
+        (0.0 until the first safe-region re-evaluation happens)."""
+        if not self.validity_lifetimes:
+            return 0.0
+        return sum(self.validity_lifetimes) / len(self.validity_lifetimes)
+
+    def _evaluate_knn(
+        self, cloak: Rect, k: int, num_filters: int, margin: float | None,
+        use_safe_region: bool,
+    ) -> SafeRegionResult:
+        if not use_safe_region:
+            effective = 0.0  # oracle mode: plain snapshot kNN geometry
+        elif margin is not None:
+            effective = margin
+        else:
+            effective = default_margin(cloak, self.validity_margin_factor)
+        return self.casper.server.knn_public_with_validity(
+            cloak, k, num_filters, effective
+        )
+
+    def _watch_region(self, result: SafeRegionResult) -> Rect:
+        # A clamped k (fewer targets than requested) makes any insert
+        # anywhere answer-changing; watch the whole service area then.
+        if result.clamped:
+            return self.casper.bounds
+        return result.watch_region.clipped_to(self.casper.bounds)
 
     def _evaluate(
         self, kind: str, cloak: Rect, num_filters: int, radius: float,

@@ -49,6 +49,10 @@ __all__ = [
     "record_server_request",
     "note_server_request",
     "record_monitor_flush",
+    "record_safe_region_event",
+    "note_safe_region_event",
+    "record_validity_lifetime",
+    "note_validity_lifetime",
     "record_fault",
     "note_fault",
     "record_retry",
@@ -570,3 +574,44 @@ def record_monitor_flush(
     m.histogram(
         "casper_monitor_flush_seconds", (), help="flush latency"
     ).observe(seconds)
+
+
+def record_safe_region_event(obs: Observability, event: str) -> None:
+    """One safe-region bookkeeping event on the continuous monitor.
+
+    ``event`` is the outcome *class* of a registered moving-kNN query
+    at a flush boundary — ``evaluation`` (the server was re-queried),
+    ``suppressed`` (the cloak moved but stayed inside its validity
+    region, so the stale candidate list was provably still exact) or
+    ``validity_exit`` (the cloak left the region and forced the
+    re-query).  The suppressed/evaluation quotient is the re-query-rate
+    the ``continuous_mobility`` bench gates on.
+    """
+    obs.metrics.counter(
+        "casper_monitor_safe_region_events_total", (("event", event),),
+        help="safe-region moving-kNN outcomes at flush boundaries, by class",
+    ).inc()
+
+
+def note_safe_region_event(event: str) -> None:
+    """Null-safe :func:`record_safe_region_event` — a no-op while disabled."""
+    obs = _active
+    if obs is not None:
+        record_safe_region_event(obs, event)
+
+
+def record_validity_lifetime(obs: Observability, ticks: int) -> None:
+    """How many monitor ticks one validity region survived before its
+    query had to be re-evaluated (recorded at re-evaluation time)."""
+    obs.metrics.histogram(
+        "casper_monitor_validity_lifetime_ticks", (),
+        boundaries=(0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0),
+        help="ticks a safe-region candidate list stayed valid",
+    ).observe(float(ticks))
+
+
+def note_validity_lifetime(ticks: int) -> None:
+    """Null-safe :func:`record_validity_lifetime` — a no-op while disabled."""
+    obs = _active
+    if obs is not None:
+        record_validity_lifetime(obs, ticks)

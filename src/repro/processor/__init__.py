@@ -31,6 +31,11 @@ from repro.processor.knn import (
     private_knn_over_public,
 )
 from repro.processor.naive import naive_center_nn, naive_send_all
+from repro.processor.safe_region import (
+    SafeRegionResult,
+    default_margin,
+    private_knn_with_validity,
+)
 from repro.processor.nn_private import private_nn_over_private
 from repro.processor.nn_public import private_nn_over_public
 from repro.processor.probabilistic import (
@@ -63,6 +68,9 @@ __all__ = [
     "private_nn_over_private",
     "private_knn_over_public",
     "private_knn_over_private",
+    "private_knn_with_validity",
+    "SafeRegionResult",
+    "default_margin",
     "private_range_over_public",
     "private_range_over_private",
     "public_range_count_over_private",

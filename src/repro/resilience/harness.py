@@ -51,6 +51,10 @@ class ChaosWorkload:
     bounds: Rect = field(default=Rect(0.0, 0.0, 1024.0, 1024.0))
     #: Continuous NN queries registered on the monitor (0 disables it).
     continuous_queries: int = 6
+    #: Safe-region continuous kNN queries (k=3) registered on the
+    #: monitor, drawn from the *end* of the sorted user list so they can
+    #: coexist with the NN queries on small populations.
+    continuous_knn: int = 0
     #: Steps between monitor flushes.
     flush_every: int = 40
     #: Anonymizer shard count (1 = the single-pyramid implementations).
@@ -67,6 +71,8 @@ class ChaosWorkload:
             raise ValueError(f"unknown anonymizer kind {self.anonymizer!r}")
         if self.continuous_queries > self.users:
             raise ValueError("more continuous queries than users")
+        if self.continuous_knn < 0 or self.continuous_knn > self.users:
+            raise ValueError("continuous_knn must be in [0, users]")
         if self.flush_every < 1:
             raise ValueError("flush_every must be >= 1")
         if self.shards < 1:
@@ -181,10 +187,13 @@ def _build_deployment(
     }
     casper.add_public_targets(dict(sorted(targets.items())))
     monitor: ContinuousQueryMonitor | None = None
-    if workload.continuous_queries:
+    if workload.continuous_queries or workload.continuous_knn:
         monitor = ContinuousQueryMonitor(casper)
         for uid in sorted(users)[: workload.continuous_queries]:
             monitor.register_nn(f"cq-{uid}", uid)
+        if workload.continuous_knn:
+            for uid in sorted(users)[-workload.continuous_knn:]:
+                monitor.register_knn(f"ck-{uid}", uid, k=3)
     return casper, clients, monitor
 
 
@@ -198,6 +207,7 @@ class _RunOutcome:
     degraded_queries: int = 0
     monitor_degraded_max: int = 0
     flushes: int = 0
+    safe_region_counters: dict[str, int] = field(default_factory=dict)
 
 
 def _run_one(
@@ -263,11 +273,20 @@ def _drive(
         outcome.monitor_degraded_max = max(
             outcome.monitor_degraded_max, len(monitor.last_degraded)
         )
-        for uid in sorted(users)[: workload.continuous_queries]:
-            query_id = f"cq-{uid}"
+        query_ids = [
+            f"cq-{uid}"
+            for uid in sorted(users)[: workload.continuous_queries]
+        ]
+        if workload.continuous_knn:
+            query_ids += [
+                f"ck-{uid}"
+                for uid in sorted(users)[-workload.continuous_knn:]
+            ]
+        for query_id in query_ids:
             outcome.monitor_answers[query_id] = tuple(
                 sorted(str(o) for o in monitor.answer_of(query_id))
             )
+        outcome.safe_region_counters = dict(monitor.counters)
     # Whatever the faults did, the surviving state must be internally
     # consistent — a corrupted pyramid would be a resilience bug even if
     # no query happened to observe it.
@@ -314,7 +333,11 @@ def run_chaos(
         "monitor_flushes": faulted.flushes,
         "monitor_degraded_max": faulted.monitor_degraded_max,
         "monitor_queries_matching_baseline": monitor_matching,
-        "monitor_queries_total": workload.continuous_queries,
+        "monitor_queries_total": (
+            workload.continuous_queries + workload.continuous_knn
+        ),
+        "monitor_knn_queries_total": workload.continuous_knn,
+        "safe_region_counters": dict(faulted.safe_region_counters),
     }
     violations = runtime.privacy_violations()
     return ChaosReport(
@@ -328,6 +351,7 @@ def run_chaos(
             "anonymizer": workload.anonymizer,
             "pyramid_height": workload.pyramid_height,
             "continuous_queries": workload.continuous_queries,
+            "continuous_knn": workload.continuous_knn,
             "flush_every": workload.flush_every,
             "shards": workload.shards,
             "parallel": workload.parallel,

@@ -21,7 +21,14 @@ The three the CI ``resilience`` job gates on every push:
 * ``worker-crash`` — periodic shard-worker *process* kills with light
   message loss: exercises the supervisor's respawn-and-heal over the
   real wire (run with ``--parallel``; in-process deployments degenerate
-  it to whole-process crashes).
+  it to whole-process crashes);
+* ``continuous-drift`` — moderate loss, reordering and delay plus
+  periodic worker kills, aimed at the safe-region continuous-kNN
+  monitor (run with ``--continuous-knn``): validity regions computed
+  from stale-but-audited cloaks must still suppress correctly, and the
+  gate requires zero privacy violations — faults degrade availability,
+  never answers (in-process deployments degenerate the worker kills to
+  whole-process crashes).
 """
 
 from __future__ import annotations
@@ -60,6 +67,15 @@ SCENARIOS: dict[str, FaultPlan] = {
             drop=0.05,
         ),
         FaultPlan(
+            name="continuous-drift",
+            seed=37,
+            drop=0.10,
+            reorder=0.10,
+            delay=0.05,
+            delay_ticks=2,
+            worker_crash_period=45,
+        ),
+        FaultPlan(
             name="flaky-everything",
             seed=23,
             drop=0.10,
@@ -75,7 +91,13 @@ SCENARIOS: dict[str, FaultPlan] = {
 }
 
 #: The subset every push's CI ``resilience`` job runs.
-CI_SCENARIOS = ("drop-heavy", "crash-restart", "reorder", "shard-crash")
+CI_SCENARIOS = (
+    "drop-heavy",
+    "crash-restart",
+    "reorder",
+    "shard-crash",
+    "continuous-drift",
+)
 
 
 def get_scenario(name: str, seed: int | None = None) -> FaultPlan:

@@ -370,6 +370,30 @@ ContinuousQueryMonitor` flushes at.  With a resilience runtime
             transmission_seconds=self.transmission.time_for(len(candidates)),
         )
 
+    def query_k_nearest_public(
+        self, uid: object, k: int, num_filters: int = 4
+    ) -> PrivateQueryResult:
+        """"Where are my k nearest gas stations?" — the kNN extension,
+        refined locally to the exact ordered answer."""
+        with _telemetry.query_scope("knn_public"):
+            t0 = monotonic()
+            cloak = self.cloak_for(uid)
+            t1 = monotonic()
+            candidates = self.server.knn_public(cloak.region, k, num_filters)
+            t2 = monotonic()
+            candidates = self._deliver(candidates)
+            answer = tuple(
+                candidates.refine_k_nearest(self._refine_location(uid), k)
+            )
+        return PrivateQueryResult(
+            cloak=cloak,
+            candidates=candidates,
+            answer=answer,
+            anonymizer_seconds=t1 - t0,
+            processing_seconds=t2 - t1,
+            transmission_seconds=self.transmission.time_for(len(candidates)),
+        )
+
     def query_nearest_private(
         self,
         uid: object,

@@ -23,8 +23,11 @@ from repro.processor import (
     CandidateList,
     OverlapPolicy,
     RangeCountResult,
+    SafeRegionResult,
     naive_center_nn,
     naive_send_all,
+    private_knn_over_public,
+    private_knn_with_validity,
     private_nn_over_private,
     private_nn_over_public,
     private_range_over_private,
@@ -115,6 +118,29 @@ class LocationServer:
                 self.private_index.insert(exclude, region)
         return private_nn_over_private(
             self.private_index, cloaked_area, num_filters, policy
+        )
+
+    def knn_public(
+        self, cloaked_area: Rect, k: int, num_filters: int = 4
+    ) -> CandidateList:
+        """Private kNN query over public data (snapshot form)."""
+        _telemetry.note_server_request("knn_public")
+        return private_knn_over_public(
+            self.public_index, cloaked_area, k, num_filters
+        )
+
+    def knn_public_with_validity(
+        self,
+        cloaked_area: Rect,
+        k: int,
+        num_filters: int = 4,
+        margin: float = 0.0,
+    ) -> SafeRegionResult:
+        """Private kNN over public data with a validity region: the
+        moving-client form (see :mod:`repro.processor.safe_region`)."""
+        _telemetry.note_server_request("knn_public_safe")
+        return private_knn_with_validity(
+            self.public_index, cloaked_area, k, num_filters, margin
         )
 
     def range_public(self, cloaked_area: Rect, radius: float) -> CandidateList:

@@ -8,7 +8,12 @@ from repro.workloads.profiles import (
     uniform_profiles,
 )
 from repro.workloads.queries import query_regions_of_cells, random_query_points
-from repro.workloads.scenario import Scenario, build_scenario
+from repro.workloads.scenario import (
+    Scenario,
+    build_commuter_scenario,
+    build_scenario,
+)
+from repro.workloads.trajectory import TrajectoryReport, drive_trace
 from repro.workloads.targets import (
     cell_region,
     uniform_points,
@@ -25,6 +30,9 @@ __all__ = [
     "random_query_points",
     "Scenario",
     "build_scenario",
+    "build_commuter_scenario",
+    "TrajectoryReport",
+    "drive_trace",
     "cell_region",
     "uniform_points",
     "uniform_private_regions",

@@ -1,8 +1,13 @@
 """Assembled experiment scenarios.
 
-A ``Scenario`` bundles the moving-object population (positions from the
+A ``Scenario`` bundles the moving-object population (positions from a
 network-based generator over the synthetic county map) with privacy
-profiles — the common substrate of every Section 6 experiment.
+profiles — the common substrate of every Section 6 experiment.  Two
+builders cover the two traffic shapes: :func:`build_scenario` wraps the
+Brinkhoff-style wandering :class:`~repro.mobility.NetworkGenerator`,
+:func:`build_commuter_scenario` the tide-producing
+:class:`~repro.mobility.CommuterGenerator` (the trajectory-shaped
+workload the safe-region continuous-kNN path is measured on).
 """
 
 from __future__ import annotations
@@ -11,11 +16,16 @@ from dataclasses import dataclass
 
 from repro.anonymizer import PrivacyProfile
 from repro.geometry import Point, Rect
-from repro.mobility import NetworkGenerator, RoadNetwork, synthetic_county_map
+from repro.mobility import (
+    CommuterGenerator,
+    NetworkGenerator,
+    RoadNetwork,
+    synthetic_county_map,
+)
 from repro.utils.rng import SeedLike, spawn_rngs
 from repro.workloads.profiles import uniform_profiles
 
-__all__ = ["Scenario", "build_scenario"]
+__all__ = ["Scenario", "build_scenario", "build_commuter_scenario"]
 
 UNIT = Rect(0.0, 0.0, 1.0, 1.0)
 
@@ -26,7 +36,7 @@ class Scenario:
 
     bounds: Rect
     network: RoadNetwork
-    generator: NetworkGenerator
+    generator: NetworkGenerator | CommuterGenerator
     profiles: list[PrivacyProfile]
 
     @property
@@ -38,9 +48,13 @@ class Scenario:
 
     def register_all(self, anonymizer) -> None:
         """Register the whole population with an anonymizer-like object
-        (anything exposing ``register(uid, point, profile)``)."""
+        (anything exposing ``register(uid, point, profile)``) or a
+        :class:`~repro.server.casper.Casper` facade (``register_user``)."""
+        register = getattr(anonymizer, "register", None)
+        if register is None:
+            register = anonymizer.register_user
         for uid, point in sorted(self.generator.positions().items()):
-            anonymizer.register(uid, point, self.profiles[uid])
+            register(uid, point, self.profiles[uid])
 
     def step(self, dt: float = 1.0):
         """Advance the population; returns the location-update batch."""
@@ -59,6 +73,45 @@ def build_scenario(
     map_rng, gen_rng, profile_rng = spawn_rngs(seed, 3)
     network = synthetic_county_map(seed=map_rng, bounds=bounds, grid_size=grid_size)
     generator = NetworkGenerator(network, num_users, seed=gen_rng)
+    profiles = uniform_profiles(
+        num_users,
+        bounds,
+        k_range=k_range,
+        a_min_fraction_range=a_min_fraction_range,
+        seed=profile_rng,
+    )
+    return Scenario(
+        bounds=bounds, network=network, generator=generator, profiles=profiles
+    )
+
+
+def build_commuter_scenario(
+    num_users: int,
+    bounds: Rect = UNIT,
+    k_range: tuple[int, int] = (1, 50),
+    a_min_fraction_range: tuple[float, float] = (0.00005, 0.0001),
+    seed: SeedLike = 0,
+    grid_size: int = 12,
+    downtown_fraction: float = 0.15,
+    dwell_range: tuple[float, float] = (3.0, 10.0),
+) -> Scenario:
+    """The commuter (home/work tide) workload at any population size.
+
+    Same map/profile construction as :func:`build_scenario`, but the
+    population commutes between home and downtown work anchors with
+    dwell phases — trajectory-shaped traffic where a client's position
+    is static for stretches and then moves along a road for many
+    consecutive ticks, the regime validity regions pay off in.
+    """
+    map_rng, gen_rng, profile_rng = spawn_rngs(seed, 3)
+    network = synthetic_county_map(seed=map_rng, bounds=bounds, grid_size=grid_size)
+    generator = CommuterGenerator(
+        network,
+        num_users,
+        seed=gen_rng,
+        downtown_fraction=downtown_fraction,
+        dwell_range=dwell_range,
+    )
     profiles = uniform_profiles(
         num_users,
         bounds,

@@ -26,6 +26,7 @@ def make_report(quick: bool = True, **ratios: float) -> dict:
         "shard_scaling": 1.8,
         "shard_parallel": 4.0,
         "pyramid_scale": 30.0,
+        "continuous_mobility": 12.0,
     }
     base.update(ratios)
     report: dict = {"quick": quick}

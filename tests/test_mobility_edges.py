@@ -1,0 +1,206 @@
+"""Edge cases of the mobility layer feeding the continuous monitor.
+
+Trajectory traffic is only as trustworthy as its degenerate cases:
+zero-length segments (a commuter dwelling at home), users parked across
+many ticks, empty traces, and users deregistered and re-registered at a
+tick boundary must all flow through ``Trace`` replay and the safe-region
+monitor without spurious re-evaluations or stale answers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.anonymizer import PrivacyProfile
+from repro.continuous import ContinuousQueryMonitor
+from repro.geometry import Point
+from repro.mobility import (
+    CommuterGenerator,
+    LocationUpdate,
+    Trace,
+    synthetic_county_map,
+)
+from repro.server import Casper
+from repro.workloads import drive_trace
+from tests.conftest import UNIT, random_points
+
+
+@pytest.fixture(scope="module")
+def network():
+    return synthetic_county_map(seed=5)
+
+
+class TestTraceEdges:
+    def test_empty_trace_roundtrip(self, tmp_path):
+        trace = Trace(initial={}, ticks=[])
+        path = tmp_path / "empty.npz"
+        trace.save(path)
+        loaded = Trace.load(path)
+        assert loaded.num_users == 0
+        assert loaded.num_ticks == 0
+        assert loaded.num_updates == 0
+        assert list(loaded.all_updates()) == []
+
+    def test_empty_tick_batches_roundtrip(self, tmp_path):
+        """A tick in which nobody reported (tick_sizes entry of 0) must
+        survive serialization without shifting later batches."""
+        p = Point(0.25, 0.75)
+        trace = Trace(
+            initial={0: p},
+            ticks=[[], [LocationUpdate(0, Point(0.3, 0.75), 1.0)], []],
+        )
+        path = tmp_path / "gaps.npz"
+        trace.save(path)
+        loaded = Trace.load(path)
+        assert loaded.num_ticks == 3
+        assert [len(b) for b in loaded.ticks] == [0, 1, 0]
+        assert loaded.ticks[1][0].uid == 0
+        assert loaded.ticks[1][0].point == Point(0.3, 0.75)
+        assert loaded.initial == {0: p}
+
+    def test_zero_length_segments_roundtrip(self, tmp_path):
+        """Zero-length movement (update to the current position) is a
+        legitimate report, not something serialization may drop."""
+        p = Point(0.5, 0.5)
+        trace = Trace(
+            initial={3: p},
+            ticks=[[LocationUpdate(3, p, float(t))] for t in range(4)],
+        )
+        path = tmp_path / "parked.npz"
+        trace.save(path)
+        loaded = Trace.load(path)
+        assert loaded.num_updates == 4
+        assert all(b[0].point == p for b in loaded.ticks)
+
+
+def build_parked_stack(num_users=20, num_targets=40, num_queries=4):
+    rng = np.random.default_rng(11)
+    casper = Casper(UNIT, pyramid_height=6, anonymizer="adaptive")
+    positions = random_points(rng, num_users)
+    for uid, p in enumerate(positions):
+        casper.register_user(uid, p, PrivacyProfile(k=3))
+    targets = {
+        f"t{i}": p for i, p in enumerate(random_points(rng, num_targets))
+    }
+    casper.add_public_targets(targets)
+    monitor = ContinuousQueryMonitor(casper)
+    for uid in range(num_queries):
+        monitor.register_knn(f"q{uid}", uid, k=2)
+    return casper, monitor, positions, targets
+
+
+class TestParkedUsers:
+    def test_zero_length_segments_cause_no_evaluations(self):
+        """A tick whose every move lands on the current position changes
+        no cloak, so the monitor must do zero server work."""
+        _casper, monitor, positions, _targets = build_parked_stack()
+        before = {
+            uid: monitor.candidates_of(f"q{uid}") for uid in range(4)
+        }
+        ticks = [
+            [
+                LocationUpdate(uid, positions[uid], float(t))
+                for uid in range(len(positions))
+            ]
+            for t in range(6)
+        ]
+        report = drive_trace(monitor, ticks)
+        assert report.ticks == 6
+        assert report.evaluations == 0
+        assert report.knn_evaluations == 0
+        assert report.suppressed == 0
+        assert report.validity_exits == 0
+        for uid in range(4):
+            assert monitor.candidates_of(f"q{uid}") is before[uid]
+
+    def test_parked_queriers_survive_neighbours_moving(self):
+        """Queriers parked across many ticks while *other* users wander:
+        whatever cloak drift that causes, refined answers must equal a
+        brute-force kNN at the parked position every tick."""
+        rng = np.random.default_rng(13)
+        _casper, monitor, positions, targets = build_parked_stack()
+        wanderers = list(range(4, len(positions)))
+        for t in range(8):
+            moves = [
+                (uid, p)
+                for uid, p in zip(wanderers, random_points(rng, len(wanderers)))
+            ]
+            monitor.on_users_moved(moves)
+            monitor.flush()
+            for uid in range(4):
+                u = positions[uid]
+                refined = monitor.candidates_of(f"q{uid}").refine_k_nearest(
+                    u, 2
+                )
+                truth = sorted(
+                    targets, key=lambda oid: targets[oid].squared_distance_to(u)
+                )[:2]
+                assert sorted(str(o) for o in refined) == sorted(truth)
+
+    def test_tick_boundary_re_registration(self):
+        """Deregister a standing query, remove and re-add its user at a
+        new position between ticks, re-register under the same id: the
+        fresh registration must answer for the *new* position."""
+        casper, monitor, _positions, targets = build_parked_stack()
+        monitor.deregister("q0")
+        assert monitor.num_queries == 3
+        casper.remove_user(0)
+        new_point = Point(0.91, 0.07)
+        casper.register_user(0, new_point, PrivacyProfile(k=3))
+        monitor.register_knn("q0", 0, k=2)
+        refined = monitor.candidates_of("q0").refine_k_nearest(new_point, 2)
+        truth = sorted(
+            targets,
+            key=lambda oid: targets[oid].squared_distance_to(new_point),
+        )[:2]
+        assert sorted(str(o) for o in refined) == sorted(truth)
+        # And the re-registered query participates in later ticks.
+        monitor.on_users_moved([(0, Point(0.12, 0.88))])
+        monitor.flush()
+        moved = monitor.candidates_of("q0").refine_k_nearest(
+            Point(0.12, 0.88), 2
+        )
+        truth_moved = sorted(
+            targets,
+            key=lambda oid: targets[oid].squared_distance_to(Point(0.12, 0.88)),
+        )[:2]
+        assert sorted(str(o) for o in moved) == sorted(truth_moved)
+
+
+class TestCommuterDegenerate:
+    def test_long_dwell_emits_zero_length_segments(self, network):
+        """Commuters still inside their initial dwell report their
+        unchanged home position every tick."""
+        gen = CommuterGenerator(
+            network, 30, seed=8, dwell_range=(50.0, 60.0)
+        )
+        initial = gen.positions()
+        for t in range(5):
+            updates = gen.step(1.0)
+            assert sorted(u.uid for u in updates) == list(range(30))
+            assert all(u.point == initial[u.uid] for u in updates)
+
+    def test_dwelling_population_through_monitor(self, network):
+        """A fully-dwelling commuter population drives the monitor with
+        zero evaluations — the whole trace is zero-length segments."""
+        gen = CommuterGenerator(network, 30, seed=8, dwell_range=(50.0, 60.0))
+        rng = np.random.default_rng(17)
+        casper = Casper(UNIT, pyramid_height=6, anonymizer="adaptive")
+        for uid, p in sorted(gen.positions().items()):
+            casper.register_user(uid, p, PrivacyProfile(k=3))
+        casper.add_public_targets(
+            {f"t{i}": p for i, p in enumerate(random_points(rng, 50))}
+        )
+        monitor = ContinuousQueryMonitor(casper)
+        for uid in range(5):
+            monitor.register_knn(f"q{uid}", uid, k=2)
+        ticks = [gen.step(1.0) for _ in range(6)]
+        report = drive_trace(monitor, ticks)
+        assert report.knn_evaluations == 0
+        assert report.answer_changes == 0
+
+    def test_zero_users(self, network):
+        gen = CommuterGenerator(network, 0, seed=1)
+        assert gen.positions() == {}
+        assert gen.step(1.0) == []

@@ -1,0 +1,205 @@
+"""Tests for the safe-region private kNN (processor layer).
+
+The contract under test: ``private_knn_with_validity(idx, A, k,
+margin=m)`` returns a candidate list that stays *inclusive* — contains
+every exact kNN member — for any query point in any cloak contained in
+``validity = A expanded by m``.  Hence a client whose cloak drifts
+within the validity region refines the stale list to the same exact
+answer a fresh query would produce.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import EmptyDatasetError
+from repro.geometry import Point, Rect
+from repro.processor import (
+    default_margin,
+    private_knn_over_public,
+    private_knn_with_validity,
+)
+from repro.spatial import BruteForceIndex
+from tests.conftest import random_points
+
+
+def point_index(points):
+    idx = BruteForceIndex()
+    for i, p in enumerate(points):
+        idx.insert_point(i, p)
+    return idx
+
+
+def true_knn(points, u: Point, k: int) -> set[int]:
+    order = sorted(
+        range(len(points)), key=lambda i: points[i].squared_distance_to(u)
+    )
+    return set(order[:k])
+
+
+def random_cloak(rng, lo=0.03, hi=0.15) -> Rect:
+    w, h = rng.uniform(lo, hi, 2)
+    x = float(rng.uniform(0, 1 - w))
+    y = float(rng.uniform(0, 1 - h))
+    return Rect(x, y, x + float(w), y + float(h))
+
+
+def points_inside(rng, region: Rect, n: int) -> list[Point]:
+    xs = rng.uniform(region.x_min, region.x_max, n)
+    ys = rng.uniform(region.y_min, region.y_max, n)
+    return [Point(float(x), float(y)) for x, y in zip(xs, ys)]
+
+
+class TestZeroMargin:
+    @pytest.mark.parametrize("num_filters", [1, 4])
+    def test_equals_plain_knn(self, rng, num_filters):
+        """margin=0 degenerates to the existing private kNN exactly."""
+        points = random_points(rng, 300)
+        idx = point_index(points)
+        for _ in range(10):
+            area = random_cloak(rng)
+            plain = private_knn_over_public(idx, area, 4, num_filters)
+            result = private_knn_with_validity(
+                idx, area, 4, num_filters, margin=0.0
+            )
+            assert set(result.candidates.oids()) == set(plain.oids())
+            assert result.validity == area
+            assert result.k == result.k_effective == 4
+            assert not result.clamped
+
+
+class TestValidityInclusiveness:
+    @pytest.mark.parametrize("k", [1, 3, 8])
+    @pytest.mark.parametrize("num_filters", [1, 4])
+    def test_inclusive_everywhere_in_validity(self, rng, k, num_filters):
+        """The inflated list contains the true kNN of every point of the
+        validity region, not just of the original cloak."""
+        points = random_points(rng, 350)
+        idx = point_index(points)
+        for _ in range(8):
+            area = random_cloak(rng)
+            margin = 0.5 * max(area.width, area.height)
+            result = private_knn_with_validity(
+                idx, area, k, num_filters, margin=margin
+            )
+            oids = set(result.candidates.oids())
+            validity = result.validity
+            assert validity.contains_rect(area)
+            for u in points_inside(rng, validity, 40):
+                assert true_knn(points, u, k) <= oids
+
+    def test_drifted_cloak_refines_identically(self, rng):
+        """The property the monitor relies on: for any drifted cloak
+        inside the validity region, refining the stale candidates at the
+        client's exact position equals a fresh private kNN refined at
+        the same position."""
+        points = random_points(rng, 400)
+        idx = point_index(points)
+        k = 5
+        for _ in range(8):
+            area = random_cloak(rng)
+            margin = default_margin(area, 0.75)
+            stale = private_knn_with_validity(idx, area, k, margin=margin)
+            validity = stale.validity
+            for _ in range(6):
+                w = min(0.08, validity.width, validity.height)
+                x = float(rng.uniform(validity.x_min, validity.x_max - w))
+                y = float(rng.uniform(validity.y_min, validity.y_max - w))
+                drifted = Rect(x, y, x + w, y + w)
+                assert validity.contains_rect(drifted)
+                fresh = private_knn_over_public(idx, drifted, k)
+                (u,) = points_inside(rng, drifted, 1)
+                assert stale.candidates.refine_k_nearest(
+                    u, k
+                ) == fresh.refine_k_nearest(u, k)
+
+
+class TestClampAndWatch:
+    def test_k_clamped_to_dataset(self, rng):
+        points = random_points(rng, 4)
+        idx = point_index(points)
+        result = private_knn_with_validity(idx, random_cloak(rng), 10)
+        assert result.k == 10
+        assert result.k_effective == 4
+        assert result.clamped
+        assert set(result.candidates.oids()) == {0, 1, 2, 3}
+
+    def test_watch_region_covers_validity_and_discs(self, rng):
+        """Every anchor's witness disc bbox sits inside the watch
+        region: a target landing outside it can never change any answer
+        for a cloak inside the validity region."""
+        points = random_points(rng, 300)
+        idx = point_index(points)
+        area = random_cloak(rng)
+        result = private_knn_with_validity(idx, area, 3, margin=0.02)
+        assert result.watch_region.contains_rect(area)
+        for v in area.vertices():
+            d = sorted(p.distance_to(v) for p in points)[2]
+            disc = Rect(v.x - d, v.y - d, v.x + d, v.y + d)
+            assert result.watch_region.contains_rect(disc)
+
+    def test_inserting_outside_watch_never_changes_answers(self, rng):
+        points = random_points(rng, 250)
+        idx = point_index(points)
+        area = Rect(0.42, 0.42, 0.5, 0.5)
+        k = 3
+        result = private_knn_with_validity(idx, area, k, margin=0.01)
+        watch = result.watch_region
+        outside = [
+            p
+            for p in random_points(rng, 500)
+            if not watch.contains_point(p)
+        ]
+        assume_some = outside[:20]
+        for u in points_inside(rng, result.validity, 15):
+            before = sorted(
+                range(len(points)),
+                key=lambda i: points[i].squared_distance_to(u),
+            )[:k]
+            worst = max(points[i].distance_to(u) for i in before)
+            for q in assume_some:
+                assert q.distance_to(u) >= worst
+
+
+class TestValidation:
+    def test_empty_dataset(self, rng):
+        with pytest.raises(EmptyDatasetError):
+            private_knn_with_validity(BruteForceIndex(), random_cloak(rng), 1)
+
+    def test_bad_k_and_margin(self, rng):
+        idx = point_index(random_points(rng, 10))
+        area = random_cloak(rng)
+        with pytest.raises(ValueError):
+            private_knn_with_validity(idx, area, 0)
+        with pytest.raises(ValueError):
+            private_knn_with_validity(idx, area, 2, margin=-0.1)
+
+    def test_default_margin(self):
+        cloak = Rect(0.0, 0.0, 0.2, 0.1)
+        assert default_margin(cloak) == pytest.approx(1.5 * 0.2)
+        assert default_margin(cloak, 0.5) == pytest.approx(0.1)
+        with pytest.raises(ValueError):
+            default_margin(cloak, -1.0)
+
+
+@settings(max_examples=30)
+@given(
+    seed=st.integers(0, 10_000),
+    k=st.integers(1, 6),
+    margin_factor=st.floats(0.0, 2.0, allow_nan=False),
+)
+def test_inclusiveness_property(seed, k, margin_factor):
+    """Property sweep: for random datasets, cloaks and margins, the
+    candidate list is inclusive at random points of the validity region."""
+    rng = np.random.default_rng(seed)
+    points = random_points(rng, 120)
+    idx = point_index(points)
+    area = random_cloak(rng)
+    margin = margin_factor * max(area.width, area.height)
+    result = private_knn_with_validity(idx, area, k, margin=margin)
+    oids = set(result.candidates.oids())
+    for u in points_inside(rng, result.validity, 12):
+        assert true_knn(points, u, k) <= oids

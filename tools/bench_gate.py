@@ -4,8 +4,10 @@
 ``tools/bench.py`` writes absolute timings, which vary with the host, so
 this gate compares only the *dimensionless* speedup ratios the
 engine-performance pass claims (cached-vs-uncached cloaking, pruned
-kNN vs the full sort, batched vs sequential queries, and the sharded
-runtimes' 8-way cloak/update scaling quotients).  Each ratio is a
+kNN vs the full sort, batched vs sequential queries, the sharded
+runtimes' 8-way cloak/update scaling quotients, and the safe-region
+monitor's evaluation-suppression ratio over the naive per-tick
+re-query baseline).  Each ratio is a
 same-machine, same-run quotient, so it is stable across hardware — a
 drop means the optimization itself regressed, not the runner.
 
@@ -40,6 +42,7 @@ GATED_RATIOS = (
     ("shard_parallel", "cloak_scaling_8x"),
     ("shard_parallel", "update_scaling_8x"),
     ("pyramid_scale", "speedup"),
+    ("continuous_mobility", "evaluation_suppression"),
 )
 
 
