@@ -286,13 +286,15 @@ def main(argv: list[str] | None = None) -> int:
     demo = sub.add_parser("demo", help="run a compact end-to-end demo")
     demo.set_defaults(func=_cmd_demo)
 
+    from repro.anonymizer.policy import available_policies
+
     simulate = sub.add_parser("simulate", help="drive the full stack")
     simulate.add_argument("--ticks", type=int, default=5)
     simulate.add_argument("--users", type=int, default=1000)
     simulate.add_argument("--targets", type=int, default=500)
     simulate.add_argument("--queries", type=int, default=20)
     simulate.add_argument(
-        "--anonymizer", choices=("basic", "adaptive"), default="adaptive"
+        "--anonymizer", choices=available_policies(), default="adaptive"
     )
     simulate.add_argument("--seed", type=int, default=0)
     simulate.set_defaults(func=_cmd_simulate)
@@ -351,7 +353,7 @@ def main(argv: list[str] | None = None) -> int:
         help="seed of the replayed workload (independent of the fault seed)",
     )
     chaos.add_argument(
-        "--anonymizer", choices=("basic", "adaptive"), default="adaptive"
+        "--anonymizer", choices=available_policies(), default="adaptive"
     )
     chaos.add_argument(
         "--shards", type=int, default=1, metavar="N",

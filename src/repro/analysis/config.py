@@ -118,6 +118,13 @@ class LintConfig:
     protocol_decoders: tuple[str, ...] = ("decode_op", "decode_response")
     protocol_constant_prefixes: tuple[str, ...] = ("OP_", "RE_", "KIND_")
 
+    # CSP014 policy encapsulation ---------------------------------------
+    # Packages holding CloakingPolicy implementations; inside them, the
+    # only sanctioned route to pyramid state is the PyramidEngine /
+    # maintenance-mixin API — never another object's underscore
+    # attributes.
+    policy_modules: tuple[str, ...] = ("repro.anonymizer.policies",)
+
     # Baseline policy ---------------------------------------------------
     # Rules whose findings may never be grandfathered: privacy/runtime
     # invariants must be fixed (or carry a justified inline pragma).
@@ -178,6 +185,7 @@ class LintConfig:
             "dispatch_modules",
             "protocol_decoders",
             "protocol_constant_prefixes",
+            "policy_modules",
         ):
             if key in table:
                 updates[key] = tuple(str(v) for v in table[key])

@@ -23,6 +23,7 @@ def load_builtin_rules() -> None:
         determinism,
         index_contract,
         lifecycle,
+        policy_api,
         privacy,
         protocol,
         taint,

@@ -1,0 +1,74 @@
+"""CSP014 — policy encapsulation.
+
+The anonymizer refactor split every cloaker into shared mechanics
+(:class:`repro.anonymizer.engine.PyramidEngine`) plus one
+:class:`~repro.anonymizer.policy.CloakingPolicy` module that holds only
+what differs between algorithms.  The contract that keeps the split
+real: a policy touches pyramid state **only through the engine and
+mixin hook APIs**.  The moment a policy reaches into another object's
+underscore attributes, the engine's representation leaks back into the
+policies and the next engine change breaks them silently — exactly the
+coupling the refactor removed.
+
+Mechanically: inside ``policy_modules`` (default
+``repro.anonymizer.policies``), any attribute access ``obj._name``
+where ``obj`` is not ``self``/``cls`` is flagged, reads and writes
+alike.  Dunder attributes (``__class__``-style introspection) and a
+policy's own private state (``self._users``) are fine — the rule
+guards *other* objects' representations, not privacy of the policy
+itself.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.analysis.config import LintConfig
+from repro.analysis.core import ModuleInfo, Project, RawFinding, Rule, register_rule
+
+__all__ = ["PolicyEncapsulationRule"]
+
+
+def _is_dunder(name: str) -> bool:
+    return name.startswith("__") and name.endswith("__")
+
+
+def _is_self_or_cls(node: ast.AST) -> bool:
+    return isinstance(node, ast.Name) and node.id in ("self", "cls")
+
+
+@register_rule
+class PolicyEncapsulationRule(Rule):
+    code = "CSP014"
+    name = "policy-encapsulation"
+    description = (
+        "cloaking-policy modules may touch pyramid state only through "
+        "the PyramidEngine API — no underscore attributes of non-self "
+        "objects"
+    )
+    default_severity = "error"
+
+    def check(
+        self, module: ModuleInfo, project: Project, config: LintConfig
+    ) -> Iterable[RawFinding]:
+        if not module.in_package(config.policy_modules):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Attribute):
+                continue
+            if not node.attr.startswith("_") or _is_dunder(node.attr):
+                continue
+            if _is_self_or_cls(node.value):
+                continue
+            verb = (
+                "mutates"
+                if isinstance(node.ctx, (ast.Store, ast.Del))
+                else "reaches into"
+            )
+            yield RawFinding.at(
+                node,
+                f"policy module '{module.name}' {verb} private attribute "
+                f"'{node.attr}' of a non-self object; policies may touch "
+                f"pyramid state only through the PyramidEngine API",
+            )

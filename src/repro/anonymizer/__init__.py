@@ -3,6 +3,12 @@
 Two pyramid-based anonymizers (basic: complete pyramid; adaptive:
 incomplete pyramid with cell splitting/merging) share the bottom-up
 cloaking of Algorithm 1 and the ``(k, A_min)`` privacy-profile model.
+Both are engine + policy compositions: shared state and mechanics live
+in :class:`~repro.anonymizer.engine.PyramidEngine`, and what differs —
+cell maintenance, split/merge decisions — is a
+:class:`~repro.anonymizer.policy.CloakingPolicy` registered by name
+(see :mod:`repro.anonymizer.policies`, which also hosts the
+related-work baseline cloakers on the same protocol).
 """
 
 from repro.anonymizer.adaptive import AdaptiveAnonymizer
@@ -10,6 +16,14 @@ from repro.anonymizer.basic import BasicAnonymizer
 from repro.anonymizer.cache import CloakCache
 from repro.anonymizer.cells import CellGrid, CellId
 from repro.anonymizer.cloak import CloakedRegion, bottom_up_cloak
+from repro.anonymizer.engine import PyramidEngine
+from repro.anonymizer.policy import (
+    CloakingPolicy,
+    PolicySpec,
+    available_policies,
+    get_policy,
+    register_policy,
+)
 from repro.anonymizer.profile import PUBLIC_PROFILE, PrivacyProfile
 from repro.anonymizer.stats import MaintenanceStats
 
@@ -25,7 +39,13 @@ __all__ = [
     "CellId",
     "CloakCache",
     "CloakedRegion",
+    "CloakingPolicy",
+    "PolicySpec",
+    "PyramidEngine",
+    "available_policies",
     "bottom_up_cloak",
+    "get_policy",
+    "register_policy",
     "PrivacyProfile",
     "PUBLIC_PROFILE",
     "MaintenanceStats",

@@ -9,15 +9,10 @@ points at the lowest *maintained* cell, so both location updates and
 Algorithm 1 touch far fewer cells than the basic anonymizer when users
 have strict privacy profiles.
 
-Cell *splitting* and *merging* follow Section 4.2's criteria:
-
-* a leaf at level ``i < H`` splits when at least one user inside it has a
-  profile that some cell at level ``i + 1`` would satisfy;
-* four sibling leaves merge into their parent when no user under the
-  parent has a profile satisfiable at the children's level.
-
-Per the paper, the check is driven by tracking each cell's *most relaxed
-user*: a cheap aggregate test gates the exact per-user check.
+The split/merge decisions and the cut-maintenance walk live in
+:mod:`repro.anonymizer.policies.adaptive` (shared verbatim with the
+sharded fleet); this class is the single-pyramid host: a local cell
+dict, one mutation epoch, and the engine's instrumented cloak.
 
 With ``vectorized=True`` (the default) the maintained cut stays a dict —
 it is sparse by design — but every per-user scan (the split gate and
@@ -30,84 +25,30 @@ reference oracle for the differential-equivalence suite.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Iterable, Sequence
+from dataclasses import dataclass
+from typing import Sequence
 
 from repro.anonymizer.cache import CloakCache
-from repro.anonymizer.cells import CellGrid, CellId
+from repro.anonymizer.cells import CellId
 from repro.anonymizer.cloak import CloakedRegion
-from repro.anonymizer.profile import PrivacyProfile
-from repro.anonymizer.soa import (
-    UserTable,
-    choose_split_vec,
-    default_vectorized,
-    merge_blocked_vec,
+from repro.anonymizer.engine import PyramidEngine
+from repro.anonymizer.policies.adaptive import (
+    CutCell,
+    CutMaintainer,
+    choose_split,
+    merge_is_blocked,
 )
-from repro.anonymizer.stats import MaintenanceStats
+from repro.anonymizer.profile import PrivacyProfile
+from repro.anonymizer.soa import UserTable, default_vectorized
 from repro.errors import DuplicateUserError, UnknownUserError
 from repro.geometry import Point, Rect
-from repro.observability import runtime as _telemetry
-from repro.utils.timer import monotonic
 
 __all__ = ["AdaptiveAnonymizer", "choose_split", "merge_is_blocked"]
 
-
-def choose_split(
-    grid: CellGrid,
-    leaf: CellId,
-    count: int,
-    users: set[object],
-    point_of: Callable[[object], Point],
-    profile_of: Callable[[object], PrivacyProfile],
-) -> tuple[dict[CellId, set[object]], CellId] | None:
-    """Section 4.2's split criterion as a pure decision function.
-
-    Returns ``(child_users, satisfiable_child)`` when ``leaf`` must
-    split — the user distribution over the four children plus the first
-    child (in :meth:`CellId.children` order) containing a user whose
-    profile that child satisfies — or ``None`` when the leaf stays.
-
-    The result depends only on the *membership* of ``users``, never on
-    its iteration order (the chosen child is the first in a fixed scan
-    order with *any* satisfied user), so single-shard and sharded
-    maintenance reach byte-identical cuts.  Shared by
-    :class:`AdaptiveAnonymizer` and the sharded adaptive core.
-    """
-    if not users:
-        return None
-    child_area = grid.cell_area(leaf.level + 1)
-    # Cheap gate via the most relaxed user: if even the minimum
-    # requirements in this cell rule out level i+1, skip the exact check.
-    min_a = min(profile_of(u).a_min for u in users)
-    min_k = min(profile_of(u).k for u in users)
-    if child_area < min_a - 1e-15 or count < min_k:
-        return None
-    # Exact check: distribute users over the four children and test each
-    # user against the child that would contain them.
-    child_users: dict[CellId, set[object]] = {c: set() for c in leaf.children()}
-    for uid in users:
-        child_users[grid.cell_of(point_of(uid), leaf.level + 1)].add(uid)
-    for child, members in child_users.items():
-        for uid in members:
-            if profile_of(uid).is_satisfied_by(len(members), child_area):
-                return child_users, child
-    return None
-
-
-def merge_is_blocked(
-    child_area: float,
-    child_stats: Sequence[tuple[int, Iterable[object]]],
-    profile_of: Callable[[object], PrivacyProfile],
-) -> bool:
-    """Section 4.2's merge blocker: a sibling-leaf group must stay split
-    while any user in any child has a profile that child satisfies.
-    Shared by :class:`AdaptiveAnonymizer` and the sharded adaptive core.
-    """
-    for count, users in child_stats:
-        for uid in users:
-            if profile_of(uid).is_satisfied_by(count, child_area):
-                return True
-    return False
+# Historical spelling: the maintained-cell dataclass grew up here before
+# moving to the shared policy module; the sharded host imports it under
+# this name.
+_Cell = CutCell
 
 
 @dataclass
@@ -117,29 +58,15 @@ class _UserRecord:
     leaf: CellId
 
 
-@dataclass
-class _Cell:
-    """One maintained pyramid cell.
-
-    ``count`` is the user population under the cell.  ``users`` is
-    populated only while the cell is a leaf; internal cells keep just the
-    counter (mirroring the paper's ``(cid, N)`` contents).
-    """
-
-    count: int = 0
-    is_leaf: bool = True
-    users: set[object] = field(default_factory=set)
-
-
 @dataclass(frozen=True)
 class _AdaptiveSnapshot:
     """Deep copy of an :class:`AdaptiveAnonymizer`'s population state."""
 
-    cells: dict[CellId, _Cell]
+    cells: dict[CellId, CutCell]
     users: dict[object, _UserRecord]
 
 
-class AdaptiveAnonymizer:
+class AdaptiveAnonymizer(CutMaintainer, PyramidEngine):
     """Incomplete-pyramid location anonymizer.
 
     ``vectorized`` selects the numpy gate-table backend for the per-user
@@ -148,6 +75,8 @@ class AdaptiveAnonymizer:
     produce byte-identical cuts, cloaks and snapshots.
     """
 
+    label = "adaptive"
+
     def __init__(
         self,
         bounds: Rect,
@@ -155,9 +84,8 @@ class AdaptiveAnonymizer:
         cloak_cache_size: int = 8192,
         vectorized: bool | None = None,
     ) -> None:
-        self.grid = CellGrid(bounds, height)
-        self.stats = MaintenanceStats()
-        self._cells: dict[CellId, _Cell] = {CellId(0, 0, 0): _Cell()}
+        self._init_engine(bounds, height)
+        self._cells: dict[CellId, CutCell] = {CellId(0, 0, 0): CutCell()}
         self._users: dict[object, _UserRecord] = {}
         # Generation counters outlive the cells they describe: a merged
         # (deleted) cell's count reads as 0, which is still a change the
@@ -177,14 +105,6 @@ class AdaptiveAnonymizer:
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
-    @property
-    def bounds(self) -> Rect:
-        return self.grid.bounds
-
-    @property
-    def height(self) -> int:
-        return self.grid.height
-
     @property
     def num_users(self) -> int:
         return len(self._users)
@@ -225,14 +145,37 @@ class AdaptiveAnonymizer:
             raise UnknownUserError(uid) from None
 
     # ------------------------------------------------------------------
-    # Leaf location
+    # CutMaintainer host hooks: local dict storage, one mutation epoch
     # ------------------------------------------------------------------
-    def leaf_for_point(self, point: Point) -> CellId:
-        """Descend the maintained cut to the leaf containing ``point``."""
-        cell = CellId(0, 0, 0)
-        while not self._cells[cell].is_leaf:
-            cell = self.grid.cell_of(point, cell.level + 1)
-        return cell
+    def _entry(self, cell: CellId) -> CutCell | None:
+        return self._cells.get(cell)
+
+    def _entry_required(self, cell: CellId) -> CutCell:
+        return self._cells[cell]
+
+    def _set_entry(self, cell: CellId, entry: CutCell) -> None:
+        self._cells[cell] = entry
+
+    def _del_entry(self, cell: CellId) -> None:
+        del self._cells[cell]
+
+    def _bump_gen(self, cell: CellId) -> None:
+        self._gens[cell] = self._gens.get(cell, 0) + 1
+
+    def _gen_of(self, cell: CellId) -> int:
+        return self._gens.get(cell, 0)
+
+    def _commit(self, touched: Sequence[CellId]) -> None:
+        self._epoch += 1
+
+    def _point_of(self, uid: object) -> Point:
+        return self._users[uid].point
+
+    def _profile_of(self, uid: object) -> PrivacyProfile:
+        return self._users[uid].profile
+
+    def _set_leaf(self, uid: object, leaf: CellId) -> None:
+        self._users[uid].leaf = leaf
 
     # ------------------------------------------------------------------
     # Registration and location updates
@@ -302,149 +245,6 @@ class AdaptiveAnonymizer:
         """
         return [self.update(uid, point) for uid, point in moves]
 
-    def _move_between_leaves(self, uid: object, old: CellId, new: CellId) -> int:
-        """Transfer one user between leaves, updating branch counters;
-        returns the number of counters touched."""
-        self._cells[old].users.discard(uid)
-        self._cells[new].users.add(uid)
-        # Walk both branches up to the common ancestor (exclusive).
-        old_path = self.grid.path_to_root(old)
-        new_path = self.grid.path_to_root(new)
-        common = {c for c in new_path}
-        cost = 0
-        for cell in old_path:
-            if cell in common:
-                break
-            self._cells[cell].count -= 1
-            self._bump_gen(cell)
-            cost += 1
-        stop_at = None
-        for cell in old_path:
-            if cell in common:
-                stop_at = cell
-                break
-        for cell in new_path:
-            if cell == stop_at:
-                break
-            self._cells[cell].count += 1
-            self._bump_gen(cell)
-            cost += 1
-        self._epoch += 1
-        return cost
-
-    def _add_to_leaf(self, uid: object, leaf: CellId) -> None:
-        self._cells[leaf].users.add(uid)
-        path = self.grid.path_to_root(leaf)
-        for cell in path:
-            self._cells[cell].count += 1
-            self._bump_gen(cell)
-        self._epoch += 1
-        self.stats.counter_updates += len(path)
-
-    def _remove_from_leaf(self, uid: object, leaf: CellId) -> None:
-        self._cells[leaf].users.discard(uid)
-        path = self.grid.path_to_root(leaf)
-        for cell in path:
-            self._cells[cell].count -= 1
-            self._bump_gen(cell)
-        self._epoch += 1
-        self.stats.counter_updates += len(path)
-
-    def _bump_gen(self, cell: CellId) -> None:
-        self._gens[cell] = self._gens.get(cell, 0) + 1
-
-    def _gen_of(self, cell: CellId) -> int:
-        return self._gens.get(cell, 0)
-
-    # ------------------------------------------------------------------
-    # Splitting and merging
-    # ------------------------------------------------------------------
-    def _maybe_split(self, leaf: CellId) -> None:
-        """Split ``leaf`` (recursively) while Section 4.2's criterion
-        holds: some user inside could be satisfied one level deeper."""
-        while True:
-            entry = self._cells.get(leaf)
-            if entry is None or not entry.is_leaf or leaf.level >= self.height:
-                return
-            if self._table is not None:
-                decision = choose_split_vec(
-                    self.grid, leaf, entry.count, entry.users, self._table
-                )
-            else:
-                decision = choose_split(
-                    self.grid, leaf, entry.count, entry.users,
-                    lambda u: self._users[u].point,
-                    lambda u: self._users[u].profile,
-                )
-            if decision is None:
-                return
-            child_users, satisfiable = decision
-            self._split(leaf, child_users)
-            # A fresh leaf may itself be splittable; continue there.
-            leaf = satisfiable
-
-    def _split(self, leaf: CellId, child_users: dict[CellId, set[object]]) -> None:
-        entry = self._cells[leaf]
-        entry.is_leaf = False
-        entry.users = set()
-        for child, members in child_users.items():
-            self._cells[child] = _Cell(
-                count=len(members), is_leaf=True, users=members
-            )
-            # The child's count was readable as 0 while unmaintained;
-            # materialising it is a visible change for cached cloaks.
-            self._bump_gen(child)
-            for uid in members:
-                self._users[uid].leaf = child
-        self._epoch += 1
-        self.stats.splits += 1
-        # Restructuring cost: four new counters plus one hash-table
-        # relocation per affected user.
-        self.stats.counter_updates += 4 + sum(len(m) for m in child_users.values())
-
-    def _maybe_merge(self, leaf: CellId) -> None:
-        """Merge ``leaf``'s sibling group (recursively upward) while no
-        user under the parent needs cells at the leaves' level."""
-        while leaf.level > 0:
-            parent = leaf.parent()
-            children = parent.children()
-            entries = [self._cells.get(c) for c in children]
-            if any(e is None or not e.is_leaf for e in entries):
-                return
-            child_area = self.grid.cell_area(leaf.level)
-            # A child level is still needed if any user in any child has
-            # a profile that child satisfies.
-            if self._table is not None:
-                blocked = merge_blocked_vec(
-                    self._table,
-                    child_area,
-                    [(entry.count, entry.users) for entry in entries],
-                )
-            else:
-                blocked = merge_is_blocked(
-                    child_area,
-                    [(entry.count, entry.users) for entry in entries],
-                    lambda u: self._users[u].profile,
-                )
-            if blocked:
-                return
-            merged_users: set[object] = set()
-            for entry in entries:
-                merged_users |= entry.users
-            parent_entry = self._cells[parent]
-            parent_entry.is_leaf = True
-            parent_entry.users = merged_users
-            for uid in merged_users:
-                self._users[uid].leaf = parent
-            for child in children:
-                del self._cells[child]
-                # Deleted cells read as count 0 from now on.
-                self._bump_gen(child)
-            self._epoch += 1
-            self.stats.merges += 1
-            self.stats.counter_updates += 4 + len(merged_users)
-            leaf = parent
-
     # ------------------------------------------------------------------
     # Cloaking
     # ------------------------------------------------------------------
@@ -459,23 +259,10 @@ class AdaptiveAnonymizer:
         return self._cloak_cell(profile, self.leaf_for_point(point))
 
     def _cloak_cell(self, profile: PrivacyProfile, leaf: CellId) -> CloakedRegion:
-        self.stats.cloak_requests += 1
-        obs = _telemetry.active()
-        if obs is None:
-            return self.cloak_cache.cloak(
-                self.grid, self.cell_count, self._gen_of, self._epoch,
-                profile, leaf,
-            )
-        start = monotonic()
-        region = self.cloak_cache.cloak(
-            self.grid, self.cell_count, self._gen_of, self._epoch,
+        return self._cloak_via(
+            self.cloak_cache, self.cell_count, self._gen_of, self._epoch,
             profile, leaf,
         )
-        _telemetry.record_cloak(
-            obs, "adaptive", monotonic() - start, region.area,
-            profile.a_min, region.achieved_k, profile.k,
-        )
-        return region
 
     # ------------------------------------------------------------------
     # Crash recovery (snapshot/restore of incomplete pyramid + users)
@@ -486,7 +273,7 @@ class AdaptiveAnonymizer:
         excluded — they are monotone observability state."""
         return _AdaptiveSnapshot(
             cells={
-                cid: _Cell(cell.count, cell.is_leaf, set(cell.users))
+                cid: CutCell(cell.count, cell.is_leaf, set(cell.users))
                 for cid, cell in self._cells.items()
             },
             users={
@@ -506,7 +293,7 @@ class AdaptiveAnonymizer:
         if not isinstance(state, _AdaptiveSnapshot):
             raise TypeError("not an AdaptiveAnonymizer snapshot")
         self._cells = {
-            cid: _Cell(cell.count, cell.is_leaf, set(cell.users))
+            cid: CutCell(cell.count, cell.is_leaf, set(cell.users))
             for cid, cell in state.cells.items()
         }
         self._users = {

@@ -6,7 +6,11 @@ continuous location updates.  A hash table maps each registered user to
 ``(profile, lowest-level cell)``.  Cloaking runs Algorithm 1 starting
 from the user's lowest-level cell.
 
-Two interchangeable state backends implement that contract:
+The scalar maintenance walk lives in
+:mod:`repro.anonymizer.policies.basic` (shared with the sharded fleet);
+this class is the single-pyramid host supplying the storage hooks and
+one mutation epoch.  Two interchangeable state backends implement the
+population contract:
 
 * ``vectorized=True`` (the default) keeps the pyramid as per-level flat
   Morton-indexed numpy arrays and the user table as parallel arrays
@@ -21,12 +25,15 @@ Two interchangeable state backends implement that contract:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
 from repro.anonymizer.cache import CloakCache
-from repro.anonymizer.cells import CellGrid, CellId, branch_pairs
+from repro.anonymizer.cells import CellId
 from repro.anonymizer.cloak import CloakedRegion
+from repro.anonymizer.engine import PyramidEngine
+from repro.anonymizer.policies.basic import CompletePyramidMaintainer
 from repro.anonymizer.profile import PrivacyProfile
 from repro.anonymizer.soa import (
     MAX_SOA_HEIGHT,
@@ -37,11 +44,8 @@ from repro.anonymizer.soa import (
     morton_encode,
     morton_of_xy,
 )
-from repro.anonymizer.stats import MaintenanceStats
 from repro.errors import DuplicateUserError, UnknownUserError
 from repro.geometry import Point, Rect
-from repro.observability import runtime as _telemetry
-from repro.utils.timer import monotonic
 
 __all__ = ["BasicAnonymizer"]
 
@@ -68,7 +72,7 @@ class _BasicSnapshot:
     users: dict[object, _UserRecord]
 
 
-class BasicAnonymizer:
+class BasicAnonymizer(CompletePyramidMaintainer, PyramidEngine):
     """Complete-pyramid location anonymizer.
 
     Parameters
@@ -84,6 +88,8 @@ class BasicAnonymizer:
         for pyramids too deep for complete per-level arrays.
     """
 
+    label = "basic"
+
     def __init__(
         self,
         bounds: Rect,
@@ -91,8 +97,7 @@ class BasicAnonymizer:
         cloak_cache_size: int = 8192,
         vectorized: bool | None = None,
     ) -> None:
-        self.grid = CellGrid(bounds, height)
-        self.stats = MaintenanceStats()
+        self._init_engine(bounds, height)
         if vectorized is None:
             vectorized = default_vectorized() and height <= MAX_SOA_HEIGHT
         self.vectorized = vectorized
@@ -121,14 +126,6 @@ class BasicAnonymizer:
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
-    @property
-    def bounds(self) -> Rect:
-        return self.grid.bounds
-
-    @property
-    def height(self) -> int:
-        return self.grid.height
-
     @property
     def num_users(self) -> int:
         if self.vectorized:
@@ -194,6 +191,16 @@ class BasicAnonymizer:
         return slot
 
     # ------------------------------------------------------------------
+    # CompletePyramidMaintainer host hooks (scalar backend)
+    # ------------------------------------------------------------------
+    def _apply_cell(self, cell: CellId, delta: int) -> None:
+        self._counts[cell.level][cell.ix, cell.iy] += delta
+        self._gens[cell.level][cell.ix, cell.iy] += 1
+
+    def _commit(self, touched: Sequence[CellId]) -> None:
+        self._epoch += 1
+
+    # ------------------------------------------------------------------
     # Registration and location updates
     # ------------------------------------------------------------------
     def register(self, uid: object, point: Point, profile: PrivacyProfile) -> None:
@@ -255,6 +262,7 @@ class BasicAnonymizer:
                 return 0
             cost = self._soa.move_chain(old_m, new_m)
             table.cells[slot] = new_m
+            self._epoch += 1
         else:
             record = self._record(uid)
             new_cell = self.grid.cell_of(point)
@@ -262,19 +270,9 @@ class BasicAnonymizer:
             self.stats.location_updates += 1
             if new_cell == record.cell:
                 return 0
-            # Counters change on both branches strictly below the common
-            # ancestor of the old and new lowest-level cells.
             ancestor_level = self.grid.common_ancestor_level(record.cell, new_cell)
-            cost = 0
-            for old, new in branch_pairs(record.cell, new_cell, ancestor_level):
-                level = old.level
-                self._counts[level][old.ix, old.iy] -= 1
-                self._counts[level][new.ix, new.iy] += 1
-                self._gens[level][old.ix, old.iy] += 1
-                self._gens[level][new.ix, new.iy] += 1
-                cost += 2
+            cost = self._apply_branches(record.cell, new_cell, ancestor_level)
             record.cell = new_cell
-        self._epoch += 1
         self.stats.counter_updates += cost
         self.stats.cell_changes += 1
         return cost
@@ -354,13 +352,6 @@ class BasicAnonymizer:
         self.stats.cell_changes += changed
         return [int(cost) for cost in costs]
 
-    def _apply_delta(self, cell: CellId, delta: int) -> None:
-        for ancestor in self.grid.path_to_root(cell):
-            self._counts[ancestor.level][ancestor.ix, ancestor.iy] += delta
-            self._gens[ancestor.level][ancestor.ix, ancestor.iy] += 1
-        self._epoch += 1
-        self.stats.counter_updates += cell.level + 1
-
     def _gen_of(self, cell: CellId) -> int:
         if self.vectorized:
             return self._soa.gen_of(cell.level, morton_of_xy(cell.ix, cell.iy))
@@ -387,23 +378,10 @@ class BasicAnonymizer:
         return self._cloak_cell(profile, self.grid.cell_of(point))
 
     def _cloak_cell(self, profile: PrivacyProfile, cell: CellId) -> CloakedRegion:
-        self.stats.cloak_requests += 1
-        obs = _telemetry.active()
-        if obs is None:
-            return self.cloak_cache.cloak(
-                self.grid, self.cell_count, self._gen_of, self._epoch,
-                profile, cell,
-            )
-        start = monotonic()
-        region = self.cloak_cache.cloak(
-            self.grid, self.cell_count, self._gen_of, self._epoch,
+        return self._cloak_via(
+            self.cloak_cache, self.cell_count, self._gen_of, self._epoch,
             profile, cell,
         )
-        _telemetry.record_cloak(
-            obs, "basic", monotonic() - start, region.area,
-            profile.a_min, region.achieved_k, profile.k,
-        )
-        return region
 
     # ------------------------------------------------------------------
     # Crash recovery (snapshot/restore of pyramid + user table)

@@ -1,0 +1,42 @@
+"""Built-in cloaking policies.
+
+Importing this package registers every built-in policy with the
+registry in :mod:`repro.anonymizer.policy` (the registry does this
+lazily on first lookup).  Each submodule is one policy: the algorithm's
+decision logic and maintenance mixin, plus its :class:`PolicySpec`.
+
+* :mod:`~repro.anonymizer.policies.basic` — complete pyramid (§4.1);
+* :mod:`~repro.anonymizer.policies.adaptive` — incomplete pyramid with
+  splitting/merging (§4.2);
+* :mod:`~repro.anonymizer.policies.interval` /
+  :mod:`~repro.anonymizer.policies.clique` /
+  :mod:`~repro.anonymizer.policies.temporal` — the related-work
+  baselines ported onto the protocol.
+
+Policy implementations may touch pyramid state only through the engine
+and mixin hook APIs — casperlint rule CSP014 enforces that no module
+under this package mutates another object's underscore attributes
+directly.
+"""
+
+from repro.anonymizer.policies.adaptive import (
+    CutCell,
+    CutMaintainer,
+    choose_split,
+    merge_is_blocked,
+)
+from repro.anonymizer.policies.basic import CompletePyramidMaintainer
+from repro.anonymizer.policies.clique import CliquePolicy
+from repro.anonymizer.policies.interval import IntervalPolicy
+from repro.anonymizer.policies.temporal import TemporalPolicy
+
+__all__ = [
+    "CliquePolicy",
+    "CompletePyramidMaintainer",
+    "CutCell",
+    "CutMaintainer",
+    "IntervalPolicy",
+    "TemporalPolicy",
+    "choose_split",
+    "merge_is_blocked",
+]

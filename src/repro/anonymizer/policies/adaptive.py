@@ -1,0 +1,337 @@
+"""The adaptive (incomplete-pyramid) cloaking policy — Section 4.2.
+
+This module is the single definition site of the adaptive pyramid's
+*algorithm*: the split/merge decision functions and
+:class:`CutMaintainer`, the maintenance mixin that keeps a quadtree cut
+consistent under registration, deregistration and movement.
+``repro.anonymizer.adaptive`` (single pyramid) and
+``repro.sharding.adaptive`` (partitioned fleet) are thin hosts: they
+supply storage and epoch semantics through the small hook surface
+below, and the mixin runs the identical walk on both — which is what
+makes the single-shard oracle and the sharded fleet byte-identical.
+
+Hook surface a host implements:
+
+* ``_entry`` / ``_entry_required`` / ``_set_entry`` / ``_del_entry`` —
+  maintained-cut storage (a local dict, or dicts routed across shard
+  cores and the replicated spine);
+* ``_bump_gen`` — per-cell generation counters for cache invalidation;
+* ``_commit(touched)`` — epoch effects of one maintenance primitive
+  (single pyramid: one mutation-epoch tick; sharded fleet: per-owning-
+  shard core epochs plus the boundary epoch, derived from the touched
+  cells' levels);
+* ``_point_of`` / ``_profile_of`` / ``_set_leaf`` — user-record access.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+from repro.anonymizer.cells import CellGrid, CellId
+from repro.anonymizer.policy import CloakingPolicy, PolicySpec, register_policy
+from repro.anonymizer.profile import PrivacyProfile
+from repro.anonymizer.soa import UserTable, choose_split_vec, merge_blocked_vec
+from repro.anonymizer.stats import MaintenanceStats
+from repro.geometry import Point, Rect
+
+__all__ = ["CutCell", "CutMaintainer", "choose_split", "merge_is_blocked"]
+
+_ROOT = CellId(0, 0, 0)
+
+
+def choose_split(
+    grid: CellGrid,
+    leaf: CellId,
+    count: int,
+    users: set[object],
+    point_of: Callable[[object], Point],
+    profile_of: Callable[[object], PrivacyProfile],
+) -> tuple[dict[CellId, set[object]], CellId] | None:
+    """Section 4.2's split criterion as a pure decision function.
+
+    Returns ``(child_users, satisfiable_child)`` when ``leaf`` must
+    split — the user distribution over the four children plus the first
+    child (in :meth:`CellId.children` order) containing a user whose
+    profile that child satisfies — or ``None`` when the leaf stays.
+
+    The result depends only on the *membership* of ``users``, never on
+    its iteration order (the chosen child is the first in a fixed scan
+    order with *any* satisfied user), so single-shard and sharded
+    maintenance reach byte-identical cuts.
+    """
+    if not users:
+        return None
+    child_area = grid.cell_area(leaf.level + 1)
+    # Cheap gate via the most relaxed user: if even the minimum
+    # requirements in this cell rule out level i+1, skip the exact check.
+    min_a = min(profile_of(u).a_min for u in users)
+    min_k = min(profile_of(u).k for u in users)
+    if child_area < min_a - 1e-15 or count < min_k:
+        return None
+    # Exact check: distribute users over the four children and test each
+    # user against the child that would contain them.
+    child_users: dict[CellId, set[object]] = {c: set() for c in leaf.children()}
+    for uid in users:
+        child_users[grid.cell_of(point_of(uid), leaf.level + 1)].add(uid)
+    for child, members in child_users.items():
+        for uid in members:
+            if profile_of(uid).is_satisfied_by(len(members), child_area):
+                return child_users, child
+    return None
+
+
+def merge_is_blocked(
+    child_area: float,
+    child_stats: Sequence[tuple[int, Iterable[object]]],
+    profile_of: Callable[[object], PrivacyProfile],
+) -> bool:
+    """Section 4.2's merge blocker: a sibling-leaf group must stay split
+    while any user in any child has a profile that child satisfies.
+    """
+    for count, users in child_stats:
+        for uid in users:
+            if profile_of(uid).is_satisfied_by(count, child_area):
+                return True
+    return False
+
+
+@dataclass
+class CutCell:
+    """One maintained pyramid cell.
+
+    ``count`` is the user population under the cell.  ``users`` is
+    populated only while the cell is a leaf; internal cells keep just the
+    counter (mirroring the paper's ``(cid, N)`` contents).
+    """
+
+    count: int = 0
+    is_leaf: bool = True
+    users: set[object] = field(default_factory=set)
+
+
+class CutMaintainer:
+    """Quadtree-cut maintenance over host-supplied storage hooks."""
+
+    grid: CellGrid
+    stats: MaintenanceStats
+    # Gate table: parallel (x, y, k, A_min) arrays mirroring the user
+    # records, powering the vectorized split/merge scans; ``None``
+    # selects the scalar reference path.
+    _table: UserTable | None
+
+    # ------------------------------------------------------------------
+    # Host hooks
+    # ------------------------------------------------------------------
+    def _entry(self, cell: CellId) -> CutCell | None:
+        raise NotImplementedError
+
+    def _entry_required(self, cell: CellId) -> CutCell:
+        raise NotImplementedError
+
+    def _set_entry(self, cell: CellId, entry: CutCell) -> None:
+        raise NotImplementedError
+
+    def _del_entry(self, cell: CellId) -> None:
+        raise NotImplementedError
+
+    def _bump_gen(self, cell: CellId) -> None:
+        raise NotImplementedError
+
+    def _commit(self, touched: Sequence[CellId]) -> None:
+        raise NotImplementedError
+
+    def _point_of(self, uid: object) -> Point:
+        raise NotImplementedError
+
+    def _profile_of(self, uid: object) -> PrivacyProfile:
+        raise NotImplementedError
+
+    def _set_leaf(self, uid: object, leaf: CellId) -> None:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Leaf location
+    # ------------------------------------------------------------------
+    def leaf_for_point(self, point: Point) -> CellId:
+        """Descend the maintained cut to the leaf containing ``point``."""
+        cell = _ROOT
+        while not self._entry_required(cell).is_leaf:
+            cell = self.grid.cell_of(point, cell.level + 1)
+        return cell
+
+    # ------------------------------------------------------------------
+    # Counter maintenance
+    # ------------------------------------------------------------------
+    def _move_between_leaves(self, uid: object, old: CellId, new: CellId) -> int:
+        """Transfer one user between leaves, updating branch counters;
+        returns the number of counters touched."""
+        self._entry_required(old).users.discard(uid)
+        self._entry_required(new).users.add(uid)
+        # Walk both branches up to the common ancestor (exclusive).
+        old_path = self.grid.path_to_root(old)
+        new_path = self.grid.path_to_root(new)
+        common = {c for c in new_path}
+        touched: list[CellId] = []
+        cost = 0
+        for cell in old_path:
+            if cell in common:
+                break
+            self._entry_required(cell).count -= 1
+            self._bump_gen(cell)
+            touched.append(cell)
+            cost += 1
+        stop_at = None
+        for cell in old_path:
+            if cell in common:
+                stop_at = cell
+                break
+        for cell in new_path:
+            if cell == stop_at:
+                break
+            self._entry_required(cell).count += 1
+            self._bump_gen(cell)
+            touched.append(cell)
+            cost += 1
+        self._commit(touched)
+        return cost
+
+    def _add_to_leaf(self, uid: object, leaf: CellId) -> None:
+        self._entry_required(leaf).users.add(uid)
+        path = self.grid.path_to_root(leaf)
+        for cell in path:
+            self._entry_required(cell).count += 1
+            self._bump_gen(cell)
+        self._commit(path)
+        self.stats.counter_updates += len(path)
+
+    def _remove_from_leaf(self, uid: object, leaf: CellId) -> None:
+        self._entry_required(leaf).users.discard(uid)
+        path = self.grid.path_to_root(leaf)
+        for cell in path:
+            self._entry_required(cell).count -= 1
+            self._bump_gen(cell)
+        self._commit(path)
+        self.stats.counter_updates += len(path)
+
+    # ------------------------------------------------------------------
+    # Splitting and merging
+    # ------------------------------------------------------------------
+    def _maybe_split(self, leaf: CellId) -> None:
+        """Split ``leaf`` (recursively) while Section 4.2's criterion
+        holds: some user inside could be satisfied one level deeper."""
+        while True:
+            entry = self._entry(leaf)
+            if entry is None or not entry.is_leaf or leaf.level >= self.grid.height:
+                return
+            if self._table is not None:
+                decision = choose_split_vec(
+                    self.grid, leaf, entry.count, entry.users, self._table
+                )
+            else:
+                decision = choose_split(
+                    self.grid, leaf, entry.count, entry.users,
+                    self._point_of, self._profile_of,
+                )
+            if decision is None:
+                return
+            child_users, satisfiable = decision
+            self._split(leaf, child_users)
+            # A fresh leaf may itself be splittable; continue there.
+            leaf = satisfiable
+
+    def _split(self, leaf: CellId, child_users: dict[CellId, set[object]]) -> None:
+        entry = self._entry_required(leaf)
+        entry.is_leaf = False
+        entry.users = set()
+        children: list[CellId] = []
+        for child, members in child_users.items():
+            self._set_entry(
+                child, CutCell(count=len(members), is_leaf=True, users=members)
+            )
+            # The child's count was readable as 0 while unmaintained;
+            # materialising it is a visible change for cached cloaks.
+            self._bump_gen(child)
+            children.append(child)
+            for uid in members:
+                self._set_leaf(uid, child)
+        self._commit(children)
+        self.stats.splits += 1
+        # Restructuring cost: four new counters plus one hash-table
+        # relocation per affected user.
+        self.stats.counter_updates += 4 + sum(len(m) for m in child_users.values())
+
+    def _maybe_merge(self, leaf: CellId) -> None:
+        """Merge ``leaf``'s sibling group (recursively upward) while no
+        user under the parent needs cells at the leaves' level."""
+        while leaf.level > 0:
+            parent = leaf.parent()
+            children = parent.children()
+            entries = [self._entry(c) for c in children]
+            if any(e is None or not e.is_leaf for e in entries):
+                return
+            child_area = self.grid.cell_area(leaf.level)
+            # A child level is still needed if any user in any child has
+            # a profile that child satisfies.
+            child_stats = [
+                (entry.count, entry.users) for entry in entries if entry is not None
+            ]
+            if self._table is not None:
+                blocked = merge_blocked_vec(self._table, child_area, child_stats)
+            else:
+                blocked = merge_is_blocked(child_area, child_stats, self._profile_of)
+            if blocked:
+                return
+            merged_users: set[object] = set()
+            for _, users in child_stats:
+                merged_users |= users
+            parent_entry = self._entry_required(parent)
+            parent_entry.is_leaf = True
+            parent_entry.users = merged_users
+            for uid in merged_users:
+                self._set_leaf(uid, parent)
+            for child in children:
+                self._del_entry(child)
+                # Deleted cells read as count 0 from now on.
+                self._bump_gen(child)
+            self._commit(children)
+            self.stats.merges += 1
+            self.stats.counter_updates += 4 + len(merged_users)
+            leaf = parent
+
+
+def _single(
+    bounds: Rect, height: int, cloak_cache_size: int, vectorized: bool | None
+) -> CloakingPolicy:
+    from repro.anonymizer.adaptive import AdaptiveAnonymizer
+
+    return AdaptiveAnonymizer(bounds, height, cloak_cache_size, vectorized)
+
+
+def _sharded(
+    bounds: Rect,
+    height: int,
+    num_shards: int,
+    cloak_cache_size: int,
+    vectorized: bool | None,
+) -> object:
+    from repro.sharding.adaptive import ShardedAdaptiveAnonymizer
+
+    return ShardedAdaptiveAnonymizer(
+        bounds,
+        height=height,
+        num_shards=num_shards,
+        cloak_cache_size=cloak_cache_size,
+        vectorized=vectorized,
+    )
+
+
+register_policy(
+    PolicySpec(
+        name="adaptive",
+        single=_single,
+        sharded=_sharded,
+        replication="broadcast",
+        description="Incomplete pyramid with cell splitting/merging (Section 4.2)",
+    )
+)

@@ -1,0 +1,165 @@
+"""The cloaking-policy protocol and registry.
+
+A *cloaking policy* is one algorithm for blurring user locations — the
+paper's basic and adaptive pyramid cloakers, or a related-work baseline.
+Every policy registers a :class:`PolicySpec` here, and every deployment
+seam resolves policies by name through :func:`get_policy`:
+
+* ``Casper(policy="adaptive")`` — the trusted-server facade;
+* ``make_sharded(kind=...)`` — in-process sharded fleets;
+* the parallel runtime's worker spawn configs
+  (``sharding/workers.py``), which rebuild replicas by policy name on
+  the far side of a process boundary;
+* the simulate/chaos/bench CLIs, whose ``--anonymizer`` choices are
+  :func:`available_policies`.
+
+A new cloaker is therefore one module: implement the
+:class:`CloakingPolicy` surface (typically by composing
+:class:`repro.anonymizer.engine.PyramidEngine` with a maintenance mixin
+from :mod:`repro.anonymizer.policies`), register a spec, and every
+harness — sharding, process parallelism, resilience, conformance tests
+— picks it up by name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Literal,
+    Protocol,
+    runtime_checkable,
+)
+
+if TYPE_CHECKING:
+    from repro.anonymizer.cloak import CloakedRegion
+    from repro.anonymizer.profile import PrivacyProfile
+    from repro.anonymizer.stats import MaintenanceStats
+    from repro.geometry import Point, Rect
+
+__all__ = [
+    "CloakingPolicy",
+    "PolicySpec",
+    "available_policies",
+    "get_policy",
+    "register_policy",
+]
+
+
+@runtime_checkable
+class CloakingPolicy(Protocol):
+    """What every deployment seam requires of a cloaking algorithm.
+
+    This is the single-instance surface; sharded/parallel deployments
+    wrap it (natively via :attr:`PolicySpec.sharded`, or generically via
+    ``repro.sharding.replicated``) without the policy's involvement.
+    """
+
+    stats: MaintenanceStats
+
+    @property
+    def bounds(self) -> Rect: ...
+
+    @property
+    def num_users(self) -> int: ...
+
+    def __contains__(self, uid: object) -> bool: ...
+
+    def register(
+        self, uid: object, point: Point, profile: PrivacyProfile
+    ) -> None: ...
+
+    def deregister(self, uid: object) -> None: ...
+
+    def set_profile(self, uid: object, profile: PrivacyProfile) -> None: ...
+
+    def update(self, uid: object, point: Point) -> int: ...
+
+    def update_batch(self, moves: list[tuple[object, Point]]) -> list[int]: ...
+
+    def cloak(self, uid: object) -> CloakedRegion: ...
+
+    def cloak_location(
+        self, point: Point, profile: PrivacyProfile
+    ) -> CloakedRegion: ...
+
+    def profile_of(self, uid: object) -> PrivacyProfile: ...
+
+    def location_of(self, uid: object) -> Point: ...
+
+    def users_in_rect(self, rect: Rect) -> int: ...
+
+    def snapshot(self) -> object: ...
+
+    def restore(self, state: object) -> None: ...
+
+    def check_invariants(self) -> None: ...
+
+
+# Factory signatures (positional): single builds one in-process
+# instance from (bounds, height, cloak_cache_size, vectorized); sharded
+# builds a native sharded fleet from (bounds, height, num_shards,
+# cloak_cache_size, vectorized).  The sharded return type is ``Any``
+# because fleets expose a superset surface the protocol doesn't name.
+SingleFactory = Callable[["Rect", int, int, "bool | None"], CloakingPolicy]
+ShardedFactory = Callable[["Rect", int, int, int, "bool | None"], Any]
+
+
+@dataclass(frozen=True)
+class PolicySpec:
+    """Registry entry for one cloaking policy.
+
+    ``replication`` tells the parallel runtime how worker replicas stay
+    consistent: ``"partition"`` (each worker authoritative for its own
+    shard's cells, confined mutations routed to one worker — the basic
+    pyramid) or ``"broadcast"`` (every mutation reaches every worker,
+    each holding the full structure — the adaptive pyramid, and any
+    policy without a native sharded implementation).
+    """
+
+    name: str
+    single: SingleFactory
+    sharded: ShardedFactory | None = None
+    replication: Literal["partition", "broadcast"] = "broadcast"
+    description: str = ""
+
+
+_REGISTRY: dict[str, PolicySpec] = {}
+_builtins_loaded = False
+
+
+def register_policy(spec: PolicySpec) -> PolicySpec:
+    """Add a policy to the registry; names are unique."""
+    if spec.name in _REGISTRY:
+        raise ValueError(f"policy {spec.name!r} is already registered")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def _load_builtins() -> None:
+    # The built-in policies register on import; deferred so importing
+    # repro.anonymizer.policy alone never drags in numpy-heavy modules.
+    global _builtins_loaded
+    if not _builtins_loaded:
+        _builtins_loaded = True
+        import repro.anonymizer.policies  # noqa: F401
+
+
+def get_policy(name: str) -> PolicySpec:
+    """Resolve a policy by name; raises ``ValueError`` for unknowns."""
+    _load_builtins()
+    spec = _REGISTRY.get(name)
+    if spec is None:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ValueError(
+            f"unknown anonymizer kind {name!r} (registered policies: {known})"
+        )
+    return spec
+
+
+def available_policies() -> tuple[str, ...]:
+    """All registered policy names, sorted."""
+    _load_builtins()
+    return tuple(sorted(_REGISTRY))

@@ -35,6 +35,16 @@ import numpy.typing as npt
 from repro.anonymizer.cells import CellGrid, CellId
 from repro.geometry import EPSILON, Rect
 
+# Morton codes now live in :mod:`repro.morton` (one definition shared
+# with the shard router); re-exported here for compatibility.
+from repro.morton import (  # noqa: F401
+    cell_of_morton,
+    morton_decode,
+    morton_encode,
+    morton_of_cell,
+    morton_of_xy,
+)
+
 __all__ = [
     "PyramidSoA",
     "UserTable",
@@ -58,87 +68,11 @@ BoolArray = npt.NDArray[np.bool_]
 #: ``vectorized=False``.
 MAX_SOA_HEIGHT = 13
 
-_M1 = np.int64(0x5555555555555555)
-_M2 = np.int64(0x3333333333333333)
-_M4 = np.int64(0x0F0F0F0F0F0F0F0F)
-_M8 = np.int64(0x00FF00FF00FF00FF)
-_M16 = np.int64(0x0000FFFF0000FFFF)
-_M32 = np.int64(0x00000000FFFFFFFF)
-
-
 def default_vectorized() -> bool:
     """The process-wide default for the anonymizers' ``vectorized``
     switch: on, unless ``REPRO_VECTORIZED=0`` — the environment knob CI
     uses to run the whole suite against the scalar reference oracle."""
     return os.environ.get("REPRO_VECTORIZED", "1") != "0"
-
-
-# ----------------------------------------------------------------------
-# Morton (Z-order) codes — vectorized magic-mask spread/compact
-# ----------------------------------------------------------------------
-def _spread(v: IntArray) -> IntArray:
-    """Insert a zero bit above every bit of ``v`` (values < 2**31)."""
-    v = (v | (v << 16)) & _M16
-    v = (v | (v << 8)) & _M8
-    v = (v | (v << 4)) & _M4
-    v = (v | (v << 2)) & _M2
-    v = (v | (v << 1)) & _M1
-    return v
-
-
-def _compact(v: IntArray) -> IntArray:
-    """Inverse of :func:`_spread`: drop every odd-position bit."""
-    v = v & _M1
-    v = (v | (v >> 1)) & _M2
-    v = (v | (v >> 2)) & _M4
-    v = (v | (v >> 4)) & _M8
-    v = (v | (v >> 8)) & _M16
-    v = (v | (v >> 16)) & _M32
-    return v
-
-
-def morton_encode(ix: IntArray, iy: IntArray) -> IntArray:
-    """Z-order index of ``(ix, iy)`` grid coordinates, elementwise."""
-    return _spread(ix) | (_spread(iy) << 1)
-
-
-def morton_decode(m: IntArray) -> tuple[IntArray, IntArray]:
-    """Inverse of :func:`morton_encode`: ``(ix, iy)`` arrays."""
-    return _compact(m), _compact(m >> 1)
-
-
-# 16-bit spread lookup for scalar (single-cell) encodes: one table probe
-# per coordinate instead of five mask/shift rounds on a python int.
-_SPREAD_TABLE: IntArray = _spread(np.arange(1 << 16, dtype=np.int64))
-
-
-def morton_of_cell(cell: CellId) -> int:
-    """Z-order index of one cell among the ``4**level`` of its level."""
-    return int(_SPREAD_TABLE[cell.ix]) | (int(_SPREAD_TABLE[cell.iy]) << 1)
-
-
-def morton_of_xy(ix: int, iy: int) -> int:
-    """Z-order index of raw grid coordinates (scalar fast path)."""
-    return int(_SPREAD_TABLE[ix]) | (int(_SPREAD_TABLE[iy]) << 1)
-
-
-def _compact_int(v: int) -> int:
-    """Scalar inverse of ``_spread``: keep every even-position bit.
-
-    Pure-int bit twiddling — this sits on the cloak fast path, where a
-    per-call one-element numpy decode would dominate the cache-hit cost.
-    """
-    v &= 0x5555555555555555
-    v = (v | (v >> 1)) & 0x3333333333333333
-    v = (v | (v >> 2)) & 0x0F0F0F0F0F0F0F0F
-    v = (v | (v >> 4)) & 0x00FF00FF00FF00FF
-    v = (v | (v >> 8)) & 0x0000FFFF0000FFFF
-    return (v | (v >> 16)) & 0xFFFFFFFF
-
-
-def cell_of_morton(level: int, m: int) -> CellId:
-    """The :class:`CellId` with Z-order index ``m`` at ``level``."""
-    return CellId._trusted(level, _compact_int(m), _compact_int(m >> 1))
 
 
 # Cached per-level decode of every Morton index, for flat <-> (side,

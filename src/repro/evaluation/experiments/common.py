@@ -19,7 +19,7 @@ import os
 import time
 from dataclasses import dataclass
 
-from repro.anonymizer import AdaptiveAnonymizer, BasicAnonymizer
+from repro.anonymizer import AdaptiveAnonymizer
 from repro.errors import ProfileUnsatisfiableError
 from repro.geometry import Rect
 from repro.mobility import Trace, generate_trace
@@ -105,12 +105,10 @@ def active_scale() -> ScalePreset:
 
 
 def make_anonymizer(kind: str, height: int, bounds: Rect = UNIT):
-    """Instantiate a 'basic' or 'adaptive' anonymizer."""
-    if kind == "basic":
-        return BasicAnonymizer(bounds, height)
-    if kind == "adaptive":
-        return AdaptiveAnonymizer(bounds, height)
-    raise ValueError(f"unknown anonymizer kind {kind!r}")
+    """Instantiate any registered cloaking policy by name."""
+    from repro.anonymizer.policy import get_policy
+
+    return get_policy(kind).single(bounds, height, 8192, None)
 
 
 def register_population(anonymizer, trace: Trace, profiles) -> None:

@@ -46,7 +46,7 @@ class ChaosWorkload:
     targets: int = 48
     steps: int = 240
     seed: int = 0
-    anonymizer: str = "adaptive"  # "basic" | "adaptive"
+    anonymizer: str = "adaptive"  # any registered policy name
     pyramid_height: int = 6
     bounds: Rect = field(default=Rect(0.0, 0.0, 1024.0, 1024.0))
     #: Continuous NN queries registered on the monitor (0 disables it).
@@ -67,8 +67,9 @@ class ChaosWorkload:
     def __post_init__(self) -> None:
         if self.users < 2 or self.targets < 1 or self.steps < 1:
             raise ValueError("workload needs >= 2 users, >= 1 target, >= 1 step")
-        if self.anonymizer not in ("basic", "adaptive"):
-            raise ValueError(f"unknown anonymizer kind {self.anonymizer!r}")
+        from repro.anonymizer.policy import get_policy
+
+        get_policy(self.anonymizer)  # raises ValueError for unknown names
         if self.continuous_queries > self.users:
             raise ValueError("more continuous queries than users")
         if self.continuous_knn < 0 or self.continuous_knn > self.users:

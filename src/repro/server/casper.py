@@ -16,7 +16,7 @@ private query.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Literal, Sequence
+from typing import TYPE_CHECKING, Sequence
 
 # Justified CSP001 suppression: the facade *is* the trusted boundary —
 # it plays the mobile-user + anonymizer roles of Figure 1 in-process and
@@ -27,6 +27,7 @@ from repro.anonymizer import (  # casperlint: ignore[CSP001] trusted facade
     BasicAnonymizer,
     CloakedRegion,
     PrivacyProfile,
+    get_policy,
 )
 from repro.errors import DegradedModeError, UnknownUserError
 from repro.geometry import Point, Rect
@@ -61,7 +62,9 @@ if TYPE_CHECKING:  # pragma: no cover - typing-only, the runtime is injected
 
 __all__ = ["Casper"]
 
-AnonymizerKind = Literal["basic", "adaptive"]
+AnonymizerKind = str
+"""A registered policy name (see
+:func:`repro.anonymizer.policy.available_policies`)."""
 
 AnonymizerLike = (
     BasicAnonymizer
@@ -69,14 +72,7 @@ AnonymizerLike = (
     | ShardedBasicAnonymizer
     | ShardedAdaptiveAnonymizer
     | ParallelShardedAnonymizer
-)
-
-_ANONYMIZER_TYPES = (
-    BasicAnonymizer,
-    AdaptiveAnonymizer,
-    ShardedBasicAnonymizer,
-    ShardedAdaptiveAnonymizer,
-    ParallelShardedAnonymizer,
+    | object
 )
 
 
@@ -94,14 +90,37 @@ class Casper:
         shards: int = 1,
         parallel: bool = False,
         vectorized: bool | None = None,
+        policy: AnonymizerKind | AnonymizerLike | None = None,
     ) -> None:
         # Routing seam: `shards > 1` swaps the single-pyramid anonymizer
         # for the sharded runtime, which is byte-for-byte equivalent —
         # every facade path below is unchanged.  `parallel=True` moves
         # each shard into its own worker process over the wire protocol
         # (still byte-equivalent; close the deployment to reap workers).
+        #
+        # `policy` is the registry-era name for `anonymizer` and accepts
+        # the same values: any registered policy name, or a pre-built
+        # anonymizer/fleet instance (duck-typed on the CloakingPolicy
+        # surface).
         self._closed = False
-        if isinstance(anonymizer, _ANONYMIZER_TYPES):
+        if policy is not None:
+            anonymizer = policy
+        if isinstance(anonymizer, str):
+            spec = get_policy(anonymizer)
+            if shards > 1 or parallel:
+                self.anonymizer = make_sharded(
+                    bounds,
+                    pyramid_height,
+                    num_shards=shards,
+                    kind=anonymizer,
+                    parallel=parallel,
+                    vectorized=vectorized,
+                )
+            else:
+                self.anonymizer = spec.single(
+                    bounds, pyramid_height, 8192, vectorized
+                )
+        elif hasattr(anonymizer, "cloak") and hasattr(anonymizer, "register"):
             if anonymizer.bounds != bounds:
                 raise ValueError(
                     "anonymizer instance bounds differ from the service area"
@@ -119,24 +138,6 @@ class Casper:
                     "string instead"
                 )
             self.anonymizer = anonymizer
-        elif anonymizer in ("basic", "adaptive"):
-            if shards > 1 or parallel:
-                self.anonymizer = make_sharded(
-                    bounds,
-                    pyramid_height,
-                    num_shards=shards,
-                    kind=anonymizer,
-                    parallel=parallel,
-                    vectorized=vectorized,
-                )
-            elif anonymizer == "basic":
-                self.anonymizer = BasicAnonymizer(
-                    bounds, pyramid_height, vectorized=vectorized
-                )
-            else:
-                self.anonymizer = AdaptiveAnonymizer(
-                    bounds, pyramid_height, vectorized=vectorized
-                )
         else:
             raise ValueError(f"unknown anonymizer kind {anonymizer!r}")
         self.server = server if server is not None else LocationServer()

@@ -29,9 +29,11 @@ cache-epoch rule, the wire format and the worker crash/heal protocol.
 
 from __future__ import annotations
 
+from repro.anonymizer.policy import get_policy
 from repro.geometry import Rect
 from repro.sharding.adaptive import ShardedAdaptiveAnonymizer
 from repro.sharding.basic import ShardedBasicAnonymizer
+from repro.sharding.replicated import ReplicatedShardedAnonymizer
 from repro.sharding.router import ShardRouter, morton_cell, morton_rank
 from repro.sharding.workers import (
     ParallelShardedAnonymizer,
@@ -41,6 +43,7 @@ from repro.sharding.workers import (
 
 __all__ = [
     "ParallelShardedAnonymizer",
+    "ReplicatedShardedAnonymizer",
     "ShardRouter",
     "ShardWorker",
     "ShardedAdaptiveAnonymizer",
@@ -53,7 +56,10 @@ __all__ = [
 ]
 
 ShardedAnonymizer = (
-    ShardedBasicAnonymizer | ShardedAdaptiveAnonymizer | ParallelShardedAnonymizer
+    ShardedBasicAnonymizer
+    | ShardedAdaptiveAnonymizer
+    | ParallelShardedAnonymizer
+    | ReplicatedShardedAnonymizer
 )
 """Union of the sharded anonymizer implementations."""
 
@@ -67,24 +73,26 @@ def make_sharded(
     parallel: bool = False,
     vectorized: bool | None = None,
 ) -> ShardedAnonymizer:
-    """Build a sharded anonymizer of the requested ``kind``
-    (``"basic"`` or ``"adaptive"``); ``parallel=True`` runs each shard
-    in its own worker process over the wire protocol.  ``vectorized``
-    selects the numpy array backend (``None`` = environment default,
-    see :func:`repro.anonymizer.soa.default_vectorized`)."""
-    if kind not in ("basic", "adaptive"):
-        raise ValueError(f"unknown anonymizer kind {kind!r}")
+    """Build a sharded anonymizer of the requested ``kind`` — any name
+    in :func:`repro.anonymizer.policy.available_policies`;
+    ``parallel=True`` runs each shard in its own worker process over
+    the wire protocol.  Policies without a native sharded fleet deploy
+    through the generic broadcast wrapper
+    (:class:`~repro.sharding.replicated.ReplicatedShardedAnonymizer`).
+    ``vectorized`` selects the numpy array backend (``None`` =
+    environment default, see
+    :func:`repro.anonymizer.soa.default_vectorized`)."""
+    spec = get_policy(kind)
     if parallel:
         return ParallelShardedAnonymizer(
             bounds, height=height, num_shards=num_shards, kind=kind,
             cloak_cache_size=cloak_cache_size, vectorized=vectorized,
         )
-    if kind == "basic":
-        return ShardedBasicAnonymizer(
-            bounds, height=height, num_shards=num_shards,
-            cloak_cache_size=cloak_cache_size, vectorized=vectorized,
+    if spec.sharded is not None:
+        return spec.sharded(
+            bounds, height, num_shards, cloak_cache_size, vectorized
         )
-    return ShardedAdaptiveAnonymizer(
-        bounds, height=height, num_shards=num_shards,
+    return ReplicatedShardedAnonymizer(
+        spec, bounds, height=height, num_shards=num_shards,
         cloak_cache_size=cloak_cache_size, vectorized=vectorized,
     )

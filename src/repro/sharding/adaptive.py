@@ -21,11 +21,17 @@ Partition facts that make this sound:
 * splitting a spine leaf at level ``S - 1`` materialises block roots
   across several shards — the one maintenance action that fans out,
   and it routes through the spine by construction.
+
+This module is routing glue: the maintenance walk *is* the shared
+:class:`~repro.anonymizer.policies.adaptive.CutMaintainer` (its storage
+hooks route each cell to its owning core or the spine, and its commit
+is the fleet's touched-set epoch rule), the facade is
+:class:`~repro.sharding.fleet.ShardedFleet`, and the snapshot/restore
+and invariant bodies live in :mod:`repro.sharding.recovery` /
+:mod:`repro.sharding.invariants`.
 """
 
 from __future__ import annotations
-
-from dataclasses import dataclass
 
 from repro.anonymizer.adaptive import (
     _Cell,
@@ -33,64 +39,31 @@ from repro.anonymizer.adaptive import (
     choose_split,
     merge_is_blocked,
 )
-from repro.anonymizer.soa import (
-    UserTable,
-    choose_split_vec,
-    default_vectorized,
-    merge_blocked_vec,
-)
-from repro.anonymizer.cache import CloakCache
-from repro.anonymizer.cells import CellGrid, CellId
+from repro.anonymizer.cells import CellId
 from repro.anonymizer.cloak import CloakedRegion
+from repro.anonymizer.policies.adaptive import CutMaintainer
 from repro.anonymizer.profile import PrivacyProfile
-from repro.anonymizer.stats import MaintenanceStats
-from repro.errors import DuplicateUserError, UnknownUserError
+from repro.anonymizer.soa import UserTable, default_vectorized
+from repro.errors import DuplicateUserError
 from repro.geometry import Point, Rect
-from repro.observability import runtime as _telemetry
-from repro.sharding.core import AdaptiveShardCore, SpineState, cache_counters
-from repro.sharding.router import ShardRouter
-from repro.utils.timer import monotonic
+from repro.sharding import invariants, recovery
+from repro.sharding.core import AdaptiveShardCore
+from repro.sharding.fleet import ShardedFleet
 
 __all__ = ["ShardedAdaptiveAnonymizer"]
 
 _ROOT = CellId(0, 0, 0)
 
-
-@dataclass(frozen=True)
-class _CoreSnapshot:
-    """Deep copy of one adaptive core's population state."""
-
-    cells: dict[CellId, _Cell]
-    users: dict[object, _UserRecord]
+# Re-exported for the worker runtime and tests that patch the shared
+# decision functions at this import site.
+_ = (choose_split, merge_is_blocked)
 
 
-@dataclass(frozen=True)
-class _FleetSnapshot:
-    """Atomic deep copy of the whole adaptive fleet."""
-
-    cores: tuple[_CoreSnapshot, ...]
-    spine_cells: dict[CellId, _Cell]
-    directory: dict[object, int]
-
-
-def _copy_cells(cells: dict[CellId, _Cell]) -> dict[CellId, _Cell]:
-    return {
-        cid: _Cell(cell.count, cell.is_leaf, set(cell.users))
-        for cid, cell in cells.items()
-    }
-
-
-def _copy_users(users: dict[object, _UserRecord]) -> dict[object, _UserRecord]:
-    return {
-        uid: _UserRecord(rec.profile, rec.point, rec.leaf)
-        for uid, rec in users.items()
-    }
-
-
-class ShardedAdaptiveAnonymizer:
+class ShardedAdaptiveAnonymizer(ShardedFleet, CutMaintainer):
     """Incomplete-pyramid anonymizer partitioned across ``num_shards``."""
 
     kind = "adaptive"
+    label = "adaptive"
 
     def __init__(
         self,
@@ -100,9 +73,9 @@ class ShardedAdaptiveAnonymizer:
         cloak_cache_size: int = 8192,
         vectorized: bool | None = None,
     ) -> None:
-        self.grid = CellGrid(bounds, height)
-        self.stats = MaintenanceStats()
-        self.router = ShardRouter(num_shards, height)
+        self._init_fleet(
+            bounds, height, num_shards, cloak_cache_size, AdaptiveShardCore
+        )
         if vectorized is None:
             vectorized = default_vectorized()
         self.vectorized = vectorized
@@ -112,16 +85,6 @@ class ShardedAdaptiveAnonymizer:
         # itself stays dicts: maintenance walks are pointer-chasing by
         # nature, the wins are in the gate scans.
         self._table: UserTable | None = UserTable() if vectorized else None
-        self._spine = SpineState(
-            cache=CloakCache(cloak_cache_size, shard_label="spine")
-        )
-        self._cores = [
-            AdaptiveShardCore(
-                index=i, cache=CloakCache(cloak_cache_size, shard_label=str(i))
-            )
-            for i in range(num_shards)
-        ]
-        self._directory: dict[object, int] = {}
         # The root is always maintained; it is a spine cell whenever a
         # spine exists at all (S > 0), else it belongs to shard 0.
         if self.router.spine_level > 0:
@@ -133,89 +96,17 @@ class ShardedAdaptiveAnonymizer:
     # Introspection
     # ------------------------------------------------------------------
     @property
-    def bounds(self) -> Rect:
-        return self.grid.bounds
-
-    @property
-    def height(self) -> int:
-        return self.grid.height
-
-    @property
-    def num_shards(self) -> int:
-        return self.router.num_shards
-
-    @property
-    def num_users(self) -> int:
-        return len(self._directory)
-
-    @property
     def num_maintained_cells(self) -> int:
         return len(self._spine.cells) + sum(
             len(core.cells) for core in self._cores
         )
 
-    def __contains__(self, uid: object) -> bool:
-        return uid in self._directory
-
-    def shard_of_user(self, uid: object) -> int:
-        """The shard currently homing ``uid``."""
-        try:
-            return self._directory[uid]
-        except KeyError:
-            raise UnknownUserError(uid) from None
-
-    def shard_occupancy(self) -> list[int]:
-        """Registered users homed per shard, indexed by shard id."""
-        return [len(core.users) for core in self._cores]
-
-    def cache_stats(self) -> dict[str, int]:
-        """Aggregate cloak-cache traffic across all cores + spine."""
-        caches = [core.cache for core in self._cores] + [self._spine.cache]
-        return {
-            "hits": sum(c.hits for c in caches),
-            "misses": sum(c.misses for c in caches),
-            "invalidations": sum(c.invalidations for c in caches),
-            "evictions": sum(c.evictions for c in caches),
-        }
-
-    def cache_stats_per_shard(self) -> dict[str, dict[str, int]]:
-        """Cloak-cache traffic per shard core (plus the spine cache),
-        keyed ``"0"``..``"N-1"`` / ``"spine"``."""
-        stats = {
-            str(core.index): cache_counters(core.cache)
-            for core in self._cores
-        }
-        stats["spine"] = cache_counters(self._spine.cache)
-        return stats
-
-    def profile_of(self, uid: object) -> PrivacyProfile:
-        return self._record(uid).profile
-
-    def location_of(self, uid: object) -> Point:
-        return self._record(uid).point
-
     def cell_count(self, cell: CellId) -> int:
         entry = self._entry(cell)
         return entry.count if entry is not None else 0
 
-    def users_in_rect(self, rect: Rect) -> int:
-        if self._table is not None:
-            return self._table.count_in_rect(rect)
-        return sum(
-            1
-            for core in self._cores
-            for rec in core.users.values()
-            if rect.contains_point(rec.point)
-        )
-
-    def _record(self, uid: object) -> _UserRecord:
-        try:
-            return self._cores[self._directory[uid]].users[uid]
-        except KeyError:
-            raise UnknownUserError(uid) from None
-
     # ------------------------------------------------------------------
-    # Routed cell access
+    # Routed cell access (the maintainer's storage hooks)
     # ------------------------------------------------------------------
     def _entry(self, cell: CellId) -> _Cell | None:
         if cell.level < self.router.spine_level:
@@ -247,18 +138,14 @@ class ShardedAdaptiveAnonymizer:
             gens = self._cores[self.router.shard_of(cell)].gens
             gens[cell] = gens.get(cell, 0) + 1
 
-    def _gen_of(self, cell: CellId) -> int:
-        if cell.level < self.router.spine_level:
-            return self._spine.gens.get(cell, 0)
-        return self._cores[self.router.shard_of(cell)].gens.get(cell, 0)
+    def _point_of(self, uid: object) -> Point:
+        return self._cores[self._directory[uid]].users[uid].point
 
-    def leaf_for_point(self, point: Point) -> CellId:
-        """Descend the maintained cut to the leaf containing ``point``
-        (spine first, then the owning core's subtree)."""
-        cell = _ROOT
-        while not self._entry_required(cell).is_leaf:
-            cell = self.grid.cell_of(point, cell.level + 1)
-        return cell
+    def _profile_of(self, uid: object) -> PrivacyProfile:
+        return self._cores[self._directory[uid]].users[uid].profile
+
+    def _set_leaf(self, uid: object, leaf: CellId) -> None:
+        self._cores[self._directory[uid]].users[uid].leaf = leaf
 
     # ------------------------------------------------------------------
     # Registration and location updates
@@ -274,10 +161,7 @@ class ShardedAdaptiveAnonymizer:
             self._table.add(uid, point.x, point.y, profile.k, profile.a_min, 0)
         self._add_to_leaf(uid, leaf)
         self.stats.registrations += 1
-        obs = _telemetry.active()
-        if obs is not None:
-            _telemetry.record_shard_op(obs, home, "register")
-            _telemetry.record_shard_occupancy(obs, self.shard_occupancy())
+        self._notify_op(home, "register")
         self._maybe_split(leaf)
 
     def deregister(self, uid: object) -> None:
@@ -289,10 +173,7 @@ class ShardedAdaptiveAnonymizer:
         if self._table is not None:
             self._table.remove(uid)
         self.stats.deregistrations += 1
-        obs = _telemetry.active()
-        if obs is not None:
-            _telemetry.record_shard_op(obs, home, "deregister")
-            _telemetry.record_shard_occupancy(obs, self.shard_occupancy())
+        self._notify_op(home, "deregister")
         self._maybe_merge(record.leaf)
 
     def set_profile(self, uid: object, profile: PrivacyProfile) -> None:
@@ -329,20 +210,18 @@ class ShardedAdaptiveAnonymizer:
             if home_hint is not None
             else self.router.shard_of(self.grid.cell_of(point))
         )
-        obs = _telemetry.active()
-        if obs is not None:
-            _telemetry.record_shard_op(obs, home, "update")
+        self._notify_op(home, "update", occupancy=False)
         if new_leaf == record.leaf:
             # Same cut leaf (possibly a spine leaf spanning blocks); the
             # record may still need rehoming even though no count moved.
             if new_home != home:
-                self._rehome(uid, record, home, new_home, obs)
+                self._rehome(uid, record, home, new_home)
             return 0
         old_leaf = record.leaf
         cost = self._move_between_leaves(uid, old_leaf, new_leaf)
         record.leaf = new_leaf
         if new_home != home:
-            self._rehome(uid, record, home, new_home, obs)
+            self._rehome(uid, record, home, new_home)
         self.stats.counter_updates += cost
         self.stats.cell_changes += 1
         self._maybe_split(new_leaf)
@@ -368,185 +247,12 @@ class ShardedAdaptiveAnonymizer:
         ]
 
     def _rehome(
-        self,
-        uid: object,
-        record: _UserRecord,
-        home: int,
-        new_home: int,
-        obs: object,
+        self, uid: object, record: _UserRecord, home: int, new_home: int
     ) -> None:
         del self._cores[home].users[uid]
         self._cores[new_home].users[uid] = record
         self._directory[uid] = new_home
-        if obs is not None:
-            _telemetry.record_shard_op(obs, new_home, "rehome")
-            _telemetry.record_shard_occupancy(obs, self.shard_occupancy())
-
-    def _move_between_leaves(self, uid: object, old: CellId, new: CellId) -> int:
-        """Transfer one user between cut leaves; identical walk (and
-        cost) to the single-pyramid implementation, with epoch effects
-        routed per touched shard."""
-        self._entry_required(old).users.discard(uid)
-        self._entry_required(new).users.add(uid)
-        old_path = self.grid.path_to_root(old)
-        new_path = self.grid.path_to_root(new)
-        common = {c for c in new_path}
-        spine_level = self.router.spine_level
-        shards: set[int] = set()
-        boundary = False
-        cost = 0
-        for cell in old_path:
-            if cell in common:
-                break
-            self._entry_required(cell).count -= 1
-            self._bump_gen(cell)
-            if cell.level >= spine_level:
-                shards.add(self.router.shard_of(cell))
-            if cell.level <= spine_level:
-                boundary = True
-            cost += 1
-        stop_at = None
-        for cell in old_path:
-            if cell in common:
-                stop_at = cell
-                break
-        for cell in new_path:
-            if cell == stop_at:
-                break
-            self._entry_required(cell).count += 1
-            self._bump_gen(cell)
-            if cell.level >= spine_level:
-                shards.add(self.router.shard_of(cell))
-            if cell.level <= spine_level:
-                boundary = True
-            cost += 1
-        for shard in shards:
-            self._cores[shard].epoch += 1
-        if boundary:
-            self._spine.boundary_epoch += 1
-        return cost
-
-    def _add_to_leaf(self, uid: object, leaf: CellId) -> None:
-        self._entry_required(leaf).users.add(uid)
-        path = self.grid.path_to_root(leaf)
-        for cell in path:
-            self._entry_required(cell).count += 1
-            self._bump_gen(cell)
-        if leaf.level >= self.router.spine_level:
-            self._cores[self.router.shard_of(leaf)].epoch += 1
-        self._spine.boundary_epoch += 1
-        self.stats.counter_updates += len(path)
-
-    def _remove_from_leaf(self, uid: object, leaf: CellId) -> None:
-        self._entry_required(leaf).users.discard(uid)
-        path = self.grid.path_to_root(leaf)
-        for cell in path:
-            self._entry_required(cell).count -= 1
-            self._bump_gen(cell)
-        if leaf.level >= self.router.spine_level:
-            self._cores[self.router.shard_of(leaf)].epoch += 1
-        self._spine.boundary_epoch += 1
-        self.stats.counter_updates += len(path)
-
-    # ------------------------------------------------------------------
-    # Splitting and merging (decisions shared with the single pyramid)
-    # ------------------------------------------------------------------
-    def _point_of(self, uid: object) -> Point:
-        return self._cores[self._directory[uid]].users[uid].point
-
-    def _profile_of(self, uid: object) -> PrivacyProfile:
-        return self._cores[self._directory[uid]].users[uid].profile
-
-    def _maybe_split(self, leaf: CellId) -> None:
-        while True:
-            entry = self._entry(leaf)
-            if entry is None or not entry.is_leaf or leaf.level >= self.height:
-                return
-            if self._table is not None:
-                decision = choose_split_vec(
-                    self.grid, leaf, entry.count, entry.users, self._table
-                )
-            else:
-                decision = choose_split(
-                    self.grid, leaf, entry.count, entry.users,
-                    self._point_of, self._profile_of,
-                )
-            if decision is None:
-                return
-            child_users, satisfiable = decision
-            self._split(leaf, child_users)
-            leaf = satisfiable
-
-    def _split(self, leaf: CellId, child_users: dict[CellId, set[object]]) -> None:
-        entry = self._entry_required(leaf)
-        entry.is_leaf = False
-        entry.users = set()
-        spine_level = self.router.spine_level
-        child_level = leaf.level + 1
-        shards: set[int] = set()
-        for child, members in child_users.items():
-            self._set_entry(
-                child, _Cell(count=len(members), is_leaf=True, users=members)
-            )
-            self._bump_gen(child)
-            if child_level >= spine_level:
-                shards.add(self.router.shard_of(child))
-            for uid in members:
-                self._cores[self._directory[uid]].users[uid].leaf = child
-        for shard in shards:
-            self._cores[shard].epoch += 1
-        if child_level <= spine_level:
-            self._spine.boundary_epoch += 1
-        self.stats.splits += 1
-        self.stats.counter_updates += 4 + sum(
-            len(m) for m in child_users.values()
-        )
-
-    def _maybe_merge(self, leaf: CellId) -> None:
-        while leaf.level > 0:
-            parent = leaf.parent()
-            children = parent.children()
-            entries = [self._entry(c) for c in children]
-            if any(e is None or not e.is_leaf for e in entries):
-                return
-            child_area = self.grid.cell_area(leaf.level)
-            if self._table is not None:
-                blocked = merge_blocked_vec(
-                    self._table,
-                    child_area,
-                    [(e.count, e.users) for e in entries if e is not None],
-                )
-            else:
-                blocked = merge_is_blocked(
-                    child_area,
-                    [(e.count, e.users) for e in entries if e is not None],
-                    self._profile_of,
-                )
-            if blocked:
-                return
-            merged_users: set[object] = set()
-            for e in entries:
-                if e is not None:
-                    merged_users |= e.users
-            parent_entry = self._entry_required(parent)
-            parent_entry.is_leaf = True
-            parent_entry.users = merged_users
-            for uid in merged_users:
-                self._cores[self._directory[uid]].users[uid].leaf = parent
-            spine_level = self.router.spine_level
-            shards: set[int] = set()
-            for child in children:
-                self._del_entry(child)
-                self._bump_gen(child)
-                if child.level >= spine_level:
-                    shards.add(self.router.shard_of(child))
-            for shard in shards:
-                self._cores[shard].epoch += 1
-            if leaf.level <= spine_level:
-                self._spine.boundary_epoch += 1
-            self.stats.merges += 1
-            self.stats.counter_updates += 4 + len(merged_users)
-            leaf = parent
+        self._notify_op(new_home, "rehome")
 
     # ------------------------------------------------------------------
     # Cloaking
@@ -560,282 +266,27 @@ class ShardedAdaptiveAnonymizer:
         shard = self.router.shard_of(self.grid.cell_of(point))
         return self._cloak_cell(profile, leaf, shard)
 
-    def _cloak_cell(
-        self, profile: PrivacyProfile, leaf: CellId, shard: int
-    ) -> CloakedRegion:
-        self.stats.cloak_requests += 1
-        if leaf.level < self.router.spine_level:
-            # Cut sits above the block level: the climb reads boundary
-            # state only, so the shared spine cache serves every shard.
-            cache = self._spine.cache
-            epoch: tuple[int, int] = (-1, self._spine.boundary_epoch)
-        else:
-            core = self._cores[shard]
-            cache = core.cache
-            epoch = (core.epoch, self._spine.boundary_epoch)
-        obs = _telemetry.active()
-        if obs is None:
-            return cache.cloak(
-                self.grid, self.cell_count, self._gen_of, epoch, profile, leaf
-            )
-        start = monotonic()
-        region = cache.cloak(
-            self.grid, self.cell_count, self._gen_of, epoch, profile, leaf
-        )
-        _telemetry.record_cloak(
-            obs, "adaptive", monotonic() - start, region.area,
-            profile.a_min, region.achieved_k, profile.k,
-        )
-        _telemetry.record_shard_cloak(obs, shard, self._route_of(region))
-        return region
-
-    def _route_of(self, region: CloakedRegion) -> str:
-        settled = min(c.level for c in region.cells)
-        if settled > self.router.spine_level:
-            return "local"
-        if settled == self.router.spine_level:
-            return "boundary"
-        return "spine"
-
     # ------------------------------------------------------------------
-    # Crash recovery — whole fleet and per shard
+    # Crash recovery and diagnostics
     # ------------------------------------------------------------------
     def snapshot(self) -> object:
         """Atomic whole-fleet snapshot (cut + user tables + directory)."""
-        return _FleetSnapshot(
-            cores=tuple(
-                _CoreSnapshot(_copy_cells(core.cells), _copy_users(core.users))
-                for core in self._cores
-            ),
-            spine_cells=_copy_cells(self._spine.cells),
-            directory=dict(self._directory),
-        )
+        return recovery.adaptive_snapshot(self)
 
     def restore(self, state: object) -> None:
         """Replace the whole fleet's population state atomically."""
-        if not isinstance(state, _FleetSnapshot):
-            raise TypeError("not a ShardedAdaptiveAnonymizer snapshot")
-        if len(state.cores) != self.num_shards:
-            raise ValueError("snapshot shard count mismatch")
-        for core, snap in zip(self._cores, state.cores):
-            core.cells = _copy_cells(snap.cells)
-            core.users = _copy_users(snap.users)
-            core.epoch += 1
-            core.cache.clear()
-        self._spine.cells = _copy_cells(state.spine_cells)
-        self._spine.boundary_epoch += 1
-        self._spine.cache.clear()
-        self._directory = dict(state.directory)
-        self._rebuild_table()
+        recovery.adaptive_restore(self, state)
 
     def snapshot_shard(self, shard: int) -> object:
         """Deep copy of one core's population state."""
-        core = self._cores[shard]
-        return _CoreSnapshot(_copy_cells(core.cells), _copy_users(core.users))
+        return recovery.copy_adaptive_core(self._cores[shard])
 
     def restore_shard(self, shard: int, state: object) -> list[object]:
         """Restore one crashed core, reconciling it with the surviving
-        fleet.
-
-        The spine's structure is authoritative: the restored shard's
-        part of the cut is *rebuilt* from its surviving user records —
-        one leaf per still-maintained block, re-deepened through the
-        standard split rule — rather than trusting a snapshot cut that
-        may contradict post-snapshot spine splits/merges.  Users whose
-        directory entry moved away keep their live record elsewhere;
-        directory entries pointing here with no restored record are
-        purged and returned (they heal via re-registration).
-        """
-        if not isinstance(state, _CoreSnapshot):
-            raise TypeError("not a ShardedAdaptiveAnonymizer shard snapshot")
-        core = self._cores[shard]
-        spine_level = self.router.spine_level
-        users = {
-            uid: _UserRecord(rec.profile, rec.point, rec.leaf)
-            for uid, rec in state.users.items()
-            if self._directory.get(uid) == shard
-        }
-        purged = [
-            uid
-            for uid, home in self._directory.items()
-            if home == shard and uid not in users
-        ]
-        for uid in purged:
-            del self._directory[uid]
-        # Strip this shard's (and the purged) uids from every spine
-        # leaf; survivors are re-attached below.
-        for entry in self._spine.cells.values():
-            if entry.is_leaf and entry.users:
-                entry.users = {
-                    u
-                    for u in entry.users
-                    if u in self._directory and self._directory[u] != shard
-                }
-        old_cells = core.cells
-        core.cells = {}
-        core.users = users
-        # Gate table resyncs to the post-reconciliation fleet before the
-        # split/merge passes below consult it.
-        self._rebuild_table()
-        # Rebuild one leaf per block the spine still maintains.
-        maintained: list[CellId] = []
-        for block in self.router.blocks_of(shard):
-            if spine_level == 0:
-                is_maintained = True  # the root block always exists
-            else:
-                parent_entry = self._spine.cells.get(block.parent())
-                is_maintained = (
-                    parent_entry is not None and not parent_entry.is_leaf
-                )
-            if is_maintained:
-                members = {
-                    uid
-                    for uid, rec in users.items()
-                    if block.is_ancestor_of(self.grid.cell_of(rec.point))
-                }
-                core.cells[block] = _Cell(
-                    count=len(members), is_leaf=True, users=members
-                )
-                maintained.append(block)
-        # Re-attach every survivor to its cut leaf (a rebuilt block, or
-        # a spine leaf when the cut sits above the block level).
-        for uid, rec in users.items():
-            leaf = self.leaf_for_point(rec.point)
-            rec.leaf = leaf
-            if leaf.level < spine_level:
-                self._spine.cells[leaf].users.add(uid)
-        for cell in set(old_cells) | set(core.cells):
-            core.gens[cell] = core.gens.get(cell, 0) + 1
-        self._recompute_spine_counts()
-        core.epoch += 1
-        self._spine.boundary_epoch += 1
-        core.cache.clear()
-        self._spine.cache.clear()
-        # Let the standard criteria re-deepen the rebuilt cut, and let
-        # underpopulated sibling groups merge upward.
-        for block in maintained:
-            self._maybe_split(block)
-        for cell in [c for c, e in self._spine.cells.items() if e.is_leaf]:
-            self._maybe_split(cell)
-        for block in maintained:
-            self._maybe_merge(block)
-        obs = _telemetry.active()
-        if obs is not None:
-            _telemetry.record_shard_op(obs, shard, "restore")
-            _telemetry.record_shard_occupancy(obs, self.shard_occupancy())
-        return purged
-
-    def _rebuild_table(self) -> None:
-        """Resync the fleet-wide gate table from every core's live user
-        records (no-op on the scalar backend)."""
-        if self._table is None:
-            return
-        self._table.clear()
-        for core in self._cores:
-            for uid, rec in core.users.items():
-                self._table.add(
-                    uid,
-                    rec.point.x,
-                    rec.point.y,
-                    rec.profile.k,
-                    rec.profile.a_min,
-                    0,
-                )
-
-    def _recompute_spine_counts(self) -> None:
-        """Recompute every spine cell's count bottom-up (leaves from
-        their user sets, split cells from their children), bumping
-        generations only where the count changed."""
-        for level in range(self.router.spine_level - 1, -1, -1):
-            for cell, entry in self._spine.cells.items():
-                if cell.level != level:
-                    continue
-                if entry.is_leaf:
-                    count = len(entry.users)
-                else:
-                    count = sum(self.cell_count(c) for c in cell.children())
-                if count != entry.count:
-                    entry.count = count
-                    self._spine.bump_gen(cell)
-
-    # ------------------------------------------------------------------
-    # Diagnostics
-    # ------------------------------------------------------------------
-    def _iter_cells(self) -> list[tuple[CellId, _Cell]]:
-        items = list(self._spine.cells.items())
-        for core in self._cores:
-            items.extend(core.cells.items())
-        return items
+        fleet; returns the purged uids (see
+        :func:`repro.sharding.recovery.adaptive_restore_shard`)."""
+        return recovery.adaptive_restore_shard(self, shard, state)
 
     def check_invariants(self) -> None:
         """Assert incomplete-pyramid + partition consistency."""
-        spine_level = self.router.spine_level
-        assert self._entry(_ROOT) is not None, "root must always be maintained"
-        leaf_population = 0
-        for cell, entry in self._iter_cells():
-            if entry.is_leaf:
-                leaf_population += entry.count
-                assert entry.count == len(entry.users), f"leaf {cell} count drift"
-                for uid in entry.users:
-                    rec = self._record(uid)
-                    assert rec.leaf == cell, f"hash table stale for {uid!r}"
-                    assert cell.is_ancestor_of(
-                        self.grid.cell_of(rec.point)
-                    ), f"user {uid!r} outside its leaf"
-                if cell.level < self.height:
-                    for child in cell.children():
-                        assert self._entry(child) is None, "leaf with children"
-            else:
-                children = cell.children()
-                child_entries = [self._entry(c) for c in children]
-                assert all(e is not None for e in child_entries), "partial split"
-                assert entry.count == sum(
-                    e.count for e in child_entries if e is not None
-                ), f"internal {cell} count != children sum"
-                assert not entry.users, "internal cell holds users"
-            if not cell.is_root:
-                parent_entry = self._entry(cell.parent())
-                assert parent_entry is not None, "orphan maintained cell"
-                assert not parent_entry.is_leaf, "parent is leaf"
-        assert leaf_population == len(self._directory), "population drift"
-        assert self.cell_count(_ROOT) == len(self._directory)
-        # Partition discipline.
-        for cell in self._spine.cells:
-            assert cell.level < spine_level, f"core cell {cell} in the spine"
-        for shard, core in enumerate(self._cores):
-            for cell, entry in core.cells.items():
-                assert cell.level >= spine_level, (
-                    f"spine cell {cell} in shard {shard}"
-                )
-                assert self.router.shard_of(cell) == shard, (
-                    f"shard {shard} holds foreign cell {cell}"
-                )
-                if entry.is_leaf:
-                    for uid in entry.users:
-                        assert self._directory.get(uid) == shard, (
-                            f"foreign user {uid!r} on shard {shard}'s leaf"
-                        )
-            for uid, rec in core.users.items():
-                assert self._directory.get(uid) == shard, (
-                    f"directory disagrees with core {shard} about {uid!r}"
-                )
-                assert self.router.shard_of(
-                    self.grid.cell_of(rec.point)
-                ) == shard, f"user {uid!r} homed in the wrong shard"
-        if self._table is not None:
-            assert len(self._table) == len(self._directory), (
-                "gate table size drift"
-            )
-            for core in self._cores:
-                for uid, rec in core.users.items():
-                    slot = self._table.slot_of(uid)
-                    assert slot is not None, f"{uid!r} missing from gate table"
-                    # Exact equality on purpose: the table is a bit-copy
-                    # of the record floats; any representational
-                    # difference IS the drift this assert catches.
-                    assert (
-                        float(self._table.xs[slot]) == rec.point.x  # casperlint: ignore[CSP004] bit-copy audit
-                        and float(self._table.ys[slot]) == rec.point.y  # casperlint: ignore[CSP004] bit-copy audit
-                        and int(self._table.ks[slot]) == rec.profile.k
-                        and float(self._table.a_mins[slot]) == rec.profile.a_min  # casperlint: ignore[CSP004] bit-copy audit
-                    ), f"gate table stale for {uid!r}"
+        invariants.check_adaptive_fleet(self)

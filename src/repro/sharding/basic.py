@@ -16,66 +16,41 @@ writes: a location update confined to one shard's blocks bumps only
 that shard's epoch, so every other shard keeps serving memoized cloaks
 through the single-probe epoch fast path (see
 :mod:`repro.sharding.core`).
+
+This module is routing glue: the maintenance walk is the shared
+:class:`~repro.anonymizer.policies.basic.CompletePyramidMaintainer`
+(hooked up to route each touched cell to its owning core or the spine),
+the facade is :class:`~repro.sharding.fleet.ShardedFleet`, and the
+snapshot/restore and invariant bodies live in
+:mod:`repro.sharding.recovery` / :mod:`repro.sharding.invariants`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Mapping
-
 import numpy as np
 
 from repro.anonymizer.basic import _UserRecord
-from repro.anonymizer.cache import CloakCache
-from repro.anonymizer.cells import CellGrid, CellId, branch_pairs
+from repro.anonymizer.cells import CellId, branch_pairs
 from repro.anonymizer.cloak import CloakedRegion
+from repro.anonymizer.policies.basic import CompletePyramidMaintainer
 from repro.anonymizer.profile import PrivacyProfile
-from repro.anonymizer.stats import MaintenanceStats
-from repro.errors import DuplicateUserError, UnknownUserError
+from repro.anonymizer.soa import MAX_SOA_HEIGHT, default_vectorized, morton_of_xy
+from repro.errors import DuplicateUserError
 from repro.geometry import Point, Rect
 from repro.observability import runtime as _telemetry
-from repro.anonymizer.soa import MAX_SOA_HEIGHT, default_vectorized, morton_of_xy
-from repro.sharding.core import BasicShardCore, SpineState, cache_counters
-from repro.sharding.router import ShardRouter
-from repro.sharding.soa import MortonSlice
-from repro.utils.timer import monotonic
+from repro.sharding import invariants, recovery
+from repro.sharding.core import BasicShardCore
+from repro.sharding.fleet import ShardedFleet
+from repro.sharding.soa import MortonSlice, scatter_confined_moves
 
 __all__ = ["ShardedBasicAnonymizer"]
 
 
-@dataclass(frozen=True)
-class _CoreSnapshot:
-    """Deep copy of one shard core's population state."""
-
-    counts: dict[CellId, int]
-    users: dict[object, _UserRecord]
-
-
-@dataclass(frozen=True)
-class _FleetSnapshot:
-    """Atomic deep copy of the whole fleet (all cores + spine +
-    directory), taken in one call so no cross-shard move can straddle
-    it."""
-
-    cores: tuple[_CoreSnapshot, ...]
-    spine_counts: dict[CellId, int]
-    directory: dict[object, int]
-
-
-def _copy_core(core: BasicShardCore) -> _CoreSnapshot:
-    return _CoreSnapshot(
-        counts=dict(core.counts),
-        users={
-            uid: _UserRecord(rec.profile, rec.point, rec.cell)
-            for uid, rec in core.users.items()
-        },
-    )
-
-
-class ShardedBasicAnonymizer:
+class ShardedBasicAnonymizer(ShardedFleet, CompletePyramidMaintainer):
     """Complete-pyramid anonymizer partitioned across ``num_shards``."""
 
     kind = "basic"
+    label = "basic"
 
     def __init__(
         self,
@@ -85,21 +60,12 @@ class ShardedBasicAnonymizer:
         cloak_cache_size: int = 8192,
         vectorized: bool | None = None,
     ) -> None:
-        self.grid = CellGrid(bounds, height)
-        self.stats = MaintenanceStats()
-        self.router = ShardRouter(num_shards, height)
-        self._spine = SpineState(
-            cache=CloakCache(cloak_cache_size, shard_label="spine")
+        self._init_fleet(
+            bounds, height, num_shards, cloak_cache_size, BasicShardCore
         )
         if vectorized is None:
             vectorized = default_vectorized() and height <= MAX_SOA_HEIGHT
         self.vectorized = vectorized
-        self._cores = [
-            BasicShardCore(
-                index=i, cache=CloakCache(cloak_cache_size, shard_label=str(i))
-            )
-            for i in range(num_shards)
-        ]
         if vectorized:
             # Counters as contiguous Morton slices (the spine stays a
             # dict: it holds at most 4**S / 3 cells, far too few to be
@@ -110,69 +76,10 @@ class ShardedBasicAnonymizer:
                 lo, hi = self.router.block_rank_range(core.index)
                 core.counts = MortonSlice(height, spine_level, lo, hi)
                 core.gens = MortonSlice(height, spine_level, lo, hi)
-        self._directory: dict[object, int] = {}
 
     # ------------------------------------------------------------------
-    # Introspection
+    # Routed counter access (the maintainer's storage hook)
     # ------------------------------------------------------------------
-    @property
-    def bounds(self) -> Rect:
-        return self.grid.bounds
-
-    @property
-    def height(self) -> int:
-        return self.grid.height
-
-    @property
-    def num_shards(self) -> int:
-        return self.router.num_shards
-
-    @property
-    def num_users(self) -> int:
-        return len(self._directory)
-
-    def __contains__(self, uid: object) -> bool:
-        return uid in self._directory
-
-    def shard_of_user(self, uid: object) -> int:
-        """The shard currently homing ``uid`` (the routing seam the
-        server facade exposes)."""
-        try:
-            return self._directory[uid]
-        except KeyError:
-            raise UnknownUserError(uid) from None
-
-    def shard_occupancy(self) -> list[int]:
-        """Registered users homed per shard, indexed by shard id."""
-        return [len(core.users) for core in self._cores]
-
-    def cache_stats(self) -> dict[str, int]:
-        """Aggregate cloak-cache traffic across all cores + spine."""
-        caches = [core.cache for core in self._cores] + [self._spine.cache]
-        return {
-            "hits": sum(c.hits for c in caches),
-            "misses": sum(c.misses for c in caches),
-            "invalidations": sum(c.invalidations for c in caches),
-            "evictions": sum(c.evictions for c in caches),
-        }
-
-    def cache_stats_per_shard(self) -> dict[str, dict[str, int]]:
-        """Cloak-cache traffic per shard core (plus the spine cache),
-        keyed ``"0"``..``"N-1"`` / ``"spine"`` — the unblended numbers
-        the ``shard_scaling`` bench and the ``metrics`` CLI report."""
-        stats = {
-            str(core.index): cache_counters(core.cache)
-            for core in self._cores
-        }
-        stats["spine"] = cache_counters(self._spine.cache)
-        return stats
-
-    def profile_of(self, uid: object) -> PrivacyProfile:
-        return self._record(uid).profile
-
-    def location_of(self, uid: object) -> Point:
-        return self._record(uid).point
-
     def cell_count(self, cell: CellId) -> int:
         """The number of users currently inside ``cell`` (routed to the
         owning core, or to the spine above the block level)."""
@@ -180,21 +87,11 @@ class ShardedBasicAnonymizer:
             return self._spine.counts.get(cell, 0)
         return self._cores[self.router.shard_of(cell)].counts.get(cell, 0)
 
-    def users_in_rect(self, rect: Rect) -> int:
-        """Exact population of an arbitrary rectangle (verification
-        aid; scans every core)."""
-        return sum(
-            1
-            for core in self._cores
-            for rec in core.users.values()
-            if rect.contains_point(rec.point)
-        )
-
-    def _record(self, uid: object) -> _UserRecord:
-        try:
-            return self._cores[self._directory[uid]].users[uid]
-        except KeyError:
-            raise UnknownUserError(uid) from None
+    def _apply_cell(self, cell: CellId, delta: int) -> None:
+        if cell.level < self.router.spine_level:
+            self._spine.apply(cell, delta)
+        else:
+            self._cores[self.router.shard_of(cell)].apply(cell, delta)
 
     # ------------------------------------------------------------------
     # Registration and location updates
@@ -208,10 +105,7 @@ class ShardedBasicAnonymizer:
         self._directory[uid] = shard
         self._apply_delta(cell, +1)
         self.stats.registrations += 1
-        obs = _telemetry.active()
-        if obs is not None:
-            _telemetry.record_shard_op(obs, shard, "register")
-            _telemetry.record_shard_occupancy(obs, self.shard_occupancy())
+        self._notify_op(shard, "register")
 
     def deregister(self, uid: object) -> None:
         record = self._record(uid)
@@ -220,10 +114,7 @@ class ShardedBasicAnonymizer:
         del self._cores[shard].users[uid]
         del self._directory[uid]
         self.stats.deregistrations += 1
-        obs = _telemetry.active()
-        if obs is not None:
-            _telemetry.record_shard_op(obs, shard, "deregister")
-            _telemetry.record_shard_occupancy(obs, self.shard_occupancy())
+        self._notify_op(shard, "deregister")
 
     def set_profile(self, uid: object, profile: PrivacyProfile) -> None:
         self._record(uid).profile = profile
@@ -239,45 +130,33 @@ class ShardedBasicAnonymizer:
         if new_cell == record.cell:
             return 0
         ancestor_level = self.grid.common_ancestor_level(record.cell, new_cell)
-        cost = 0
-        obs = _telemetry.active()
         if not self.router.crosses_boundary(ancestor_level):
             # Confined move: both branches stay strictly below the spine
             # inside the record's level-S block, so every delta lands on
             # the home core — no per-cell shard routing, no boundary or
             # spine effects, no rehome.
             core = self._cores[shard]
+            cost = 0
             for old, new in branch_pairs(record.cell, new_cell, ancestor_level):
                 core.apply(old, -1)
                 core.apply(new, +1)
                 cost += 2
             record.cell = new_cell
             core.epoch += 1
-            if obs is not None:
-                _telemetry.record_shard_op(obs, shard, "update")
+            self._notify_op(shard, "update", occupancy=False)
         else:
-            for old, new in branch_pairs(record.cell, new_cell, ancestor_level):
-                self._bump(old, -1)
-                self._bump(new, +1)
-                cost += 2
+            # Crossing move: per-cell routing through the shared walk;
+            # the commit bumps every touched core and the boundary
+            # epoch, then the user may need rehoming to another core.
+            cost = self._apply_branches(record.cell, new_cell, ancestor_level)
             record.cell = new_cell
-            self._cores[shard].epoch += 1
-            if obs is not None:
-                _telemetry.record_shard_op(obs, shard, "update")
-            # The move left its level-S block: spine/block-root counts
-            # changed, and the user may need rehoming to another core.
-            self._spine.boundary_epoch += 1
+            self._notify_op(shard, "update", occupancy=False)
             new_shard = self.router.shard_of(new_cell)
             if new_shard != shard:
-                self._cores[new_shard].epoch += 1
                 del self._cores[shard].users[uid]
                 self._cores[new_shard].users[uid] = record
                 self._directory[uid] = new_shard
-                if obs is not None:
-                    _telemetry.record_shard_op(obs, new_shard, "rehome")
-                    _telemetry.record_shard_occupancy(
-                        obs, self.shard_occupancy()
-                    )
+                self._notify_op(new_shard, "rehome")
         self.stats.counter_updates += cost
         self.stats.cell_changes += 1
         return cost
@@ -316,10 +195,11 @@ class ShardedBasicAnonymizer:
     ) -> list[int]:
         """The batched-update kernel: confined moves (the common case)
         become per-level ``np.add.at`` scatters on the home core's
-        Morton slices; boundary-crossing moves take the scalar routed
-        path.  All uids are distinct and known, and all points are in
-        bounds — checked by the caller — so deltas, gens and epochs
-        commute and the end state matches the sequential loop."""
+        Morton slices (:func:`~repro.sharding.soa.scatter_confined_moves`);
+        boundary-crossing moves take the scalar routed path.  All uids
+        are distinct and known, and all points are in bounds — checked
+        by the caller — so deltas, gens and epochs commute and the end
+        state matches the sequential loop."""
         n = len(moves)
         records = [self._record(uid) for uid, _ in moves]
         height = self.height
@@ -357,23 +237,10 @@ class ShardedBasicAnonymizer:
             gens = core.gens
             assert isinstance(counts, MortonSlice)
             assert isinstance(gens, MortonSlice)
-            old_group = old_ms[group]
-            new_group = new_ms[group]
-            ca_group = ancestor_level[group]
-            deepest_shared = int(ca_group.min())
-            for level in range(height, deepest_shared, -1):
-                mask = ca_group < level
-                shift = 2 * (height - level)
-                offset = counts.level_offset(level)
-                old_idx = (old_group[mask] >> shift) - offset
-                new_idx = (new_group[mask] >> shift) - offset
-                count_arr = counts.level_array(level)
-                gen_arr = gens.level_array(level)
-                np.subtract.at(count_arr, old_idx, 1)
-                np.add.at(count_arr, new_idx, 1)
-                np.add.at(gen_arr, old_idx, 1)
-                np.add.at(gen_arr, new_idx, 1)
-            group_costs = 2 * (height - ca_group)
+            group_costs = scatter_confined_moves(
+                counts, gens, old_ms[group], new_ms[group],
+                ancestor_level[group], height,
+            )
             for index, cost in zip(by_home[shard], group_costs.tolist()):
                 uid, point = moves[index]
                 record = records[index]
@@ -388,26 +255,6 @@ class ShardedBasicAnonymizer:
             self.stats.cell_changes += len(group)
         return costs
 
-    def _apply_delta(self, cell: CellId, delta: int) -> None:
-        for ancestor in self.grid.path_to_root(cell):
-            self._bump(ancestor, delta)
-        # Register/deregister paths always reach the root, so boundary
-        # state (levels <= S) always changes.
-        self._cores[self.router.shard_of(cell)].epoch += 1
-        self._spine.boundary_epoch += 1
-        self.stats.counter_updates += cell.level + 1
-
-    def _bump(self, cell: CellId, delta: int) -> None:
-        if cell.level < self.router.spine_level:
-            self._spine.apply(cell, delta)
-        else:
-            self._cores[self.router.shard_of(cell)].apply(cell, delta)
-
-    def _gen_of(self, cell: CellId) -> int:
-        if cell.level < self.router.spine_level:
-            return self._spine.gens.get(cell, 0)
-        return self._cores[self.router.shard_of(cell)].gens.get(cell, 0)
-
     # ------------------------------------------------------------------
     # Cloaking
     # ------------------------------------------------------------------
@@ -419,201 +266,32 @@ class ShardedBasicAnonymizer:
         cell = self.grid.cell_of(point)
         return self._cloak_cell(profile, cell, self.router.shard_of(cell))
 
-    def _cloak_cell(
-        self, profile: PrivacyProfile, cell: CellId, shard: int
-    ) -> CloakedRegion:
-        self.stats.cloak_requests += 1
-        core = self._cores[shard]
-        epoch = (core.epoch, self._spine.boundary_epoch)
-        obs = _telemetry.active()
-        if obs is None:
-            return core.cache.cloak(
-                self.grid, self.cell_count, self._gen_of, epoch, profile, cell
-            )
-        start = monotonic()
-        region = core.cache.cloak(
-            self.grid, self.cell_count, self._gen_of, epoch, profile, cell
-        )
-        _telemetry.record_cloak(
-            obs, "basic", monotonic() - start, region.area,
-            profile.a_min, region.achieved_k, profile.k,
-        )
-        _telemetry.record_shard_cloak(obs, shard, self._route_of(region))
-        return region
-
-    def _route_of(self, region: CloakedRegion) -> str:
-        settled = min(c.level for c in region.cells)
-        if settled > self.router.spine_level:
-            return "local"
-        if settled == self.router.spine_level:
-            return "boundary"
-        return "spine"
-
     # ------------------------------------------------------------------
-    # Crash recovery — whole fleet and per shard
+    # Crash recovery and diagnostics
     # ------------------------------------------------------------------
-    def _load_core_counts(
-        self, core: BasicShardCore, counts: Mapping[CellId, int]
-    ) -> None:
-        """Install a plain-dict counter snapshot into ``core``,
-        rebuilding the Morton-slice arrays in place on the vectorized
-        backend (snapshots are backend-independent dicts)."""
-        if isinstance(core.counts, MortonSlice):
-            core.counts.load(counts)
-        else:
-            core.counts = dict(counts)
-
     def snapshot(self) -> object:
         """Atomic whole-fleet snapshot (all cores + spine + directory).
         Generations, epochs and statistics are excluded: monotone
         observability state, exactly as in the single-pyramid
         implementations."""
-        return _FleetSnapshot(
-            cores=tuple(_copy_core(core) for core in self._cores),
-            spine_counts=dict(self._spine.counts),
-            directory=dict(self._directory),
-        )
+        return recovery.basic_snapshot(self)
 
     def restore(self, state: object) -> None:
         """Replace the whole fleet's population state with a
         :meth:`snapshot` copy (re-copied, so one snapshot serves many
         crashes).  Every epoch advances and every cache drops."""
-        if not isinstance(state, _FleetSnapshot):
-            raise TypeError("not a ShardedBasicAnonymizer snapshot")
-        if len(state.cores) != self.num_shards:
-            raise ValueError("snapshot shard count mismatch")
-        for core, snap in zip(self._cores, state.cores):
-            self._load_core_counts(core, snap.counts)
-            core.users = {
-                uid: _UserRecord(rec.profile, rec.point, rec.cell)
-                for uid, rec in snap.users.items()
-            }
-            core.epoch += 1
-            core.cache.clear()
-        self._spine.counts = dict(state.spine_counts)
-        self._spine.boundary_epoch += 1
-        self._spine.cache.clear()
-        self._directory = dict(state.directory)
+        recovery.basic_restore(self, state)
 
     def snapshot_shard(self, shard: int) -> object:
         """Deep copy of one core's population state."""
-        return _copy_core(self._cores[shard])
+        return recovery.copy_basic_core(self._cores[shard])
 
     def restore_shard(self, shard: int, state: object) -> list[object]:
         """Restore one crashed core from a :meth:`snapshot_shard` copy,
-        reconciling it with the surviving fleet.
+        reconciling it with the surviving fleet; returns the purged
+        uids (see :func:`repro.sharding.recovery.basic_restore_shard`)."""
+        return recovery.basic_restore_shard(self, shard, state)
 
-        Users the directory says have since moved *away* are dropped
-        from the restored copy (the destination shard's live record
-        wins); directory entries pointing here with no restored record
-        are purged and returned — those users lost state and heal
-        through the normal re-registration path.  Counters are rebuilt
-        from the surviving records and the spine is recomputed from all
-        cores' block contributions, so fleet-wide invariants hold
-        immediately after the restore.
-        """
-        if not isinstance(state, _CoreSnapshot):
-            raise TypeError("not a ShardedBasicAnonymizer shard snapshot")
-        core = self._cores[shard]
-        users = {
-            uid: _UserRecord(rec.profile, rec.point, rec.cell)
-            for uid, rec in state.users.items()
-            if self._directory.get(uid) == shard
-        }
-        purged = [
-            uid
-            for uid, home in self._directory.items()
-            if home == shard and uid not in users
-        ]
-        for uid in purged:
-            del self._directory[uid]
-        # Rebuild this core's counters from the surviving records.
-        spine_level = self.router.spine_level
-        counts: dict[CellId, int] = {}
-        for rec in users.values():
-            cell = rec.cell
-            while cell.level >= spine_level:
-                counts[cell] = counts.get(cell, 0) + 1
-                if cell.level == 0:
-                    break
-                cell = cell.parent()
-        for cell in set(core.counts) | set(counts):
-            if core.counts.get(cell, 0) != counts.get(cell, 0):
-                core.gens[cell] = core.gens.get(cell, 0) + 1
-        self._load_core_counts(core, counts)
-        core.users = users
-        core.epoch += 1
-        core.cache.clear()
-        self._rebuild_spine_counts()
-        self._spine.boundary_epoch += 1
-        obs = _telemetry.active()
-        if obs is not None:
-            _telemetry.record_shard_op(obs, shard, "restore")
-            _telemetry.record_shard_occupancy(obs, self.shard_occupancy())
-        return purged
-
-    def _rebuild_spine_counts(self) -> None:
-        """Recompute spine counts from every core's block populations,
-        bumping generations only where the count actually changed."""
-        new_counts: dict[CellId, int] = {}
-        for core in self._cores:
-            for block in self.router.blocks_of(core.index):
-                population = core.counts.get(block, 0)
-                if not population:
-                    continue
-                cell = block
-                while cell.level > 0:
-                    cell = cell.parent()
-                    new_counts[cell] = new_counts.get(cell, 0) + population
-        for cell in set(self._spine.counts) | set(new_counts):
-            if self._spine.counts.get(cell, 0) != new_counts.get(cell, 0):
-                self._spine.bump_gen(cell)
-        self._spine.counts = new_counts
-
-    # ------------------------------------------------------------------
-    # Diagnostics
-    # ------------------------------------------------------------------
     def check_invariants(self) -> None:
         """Assert fleet-wide pyramid + partition consistency."""
-        spine_level = self.router.spine_level
-        expected: list[dict[CellId, int]] = [dict() for _ in self._cores]
-        expected_spine: dict[CellId, int] = {}
-        population = 0
-        for shard, core in enumerate(self._cores):
-            for uid, rec in core.users.items():
-                assert self._directory.get(uid) == shard, (
-                    f"directory disagrees with core {shard} about {uid!r}"
-                )
-                assert rec.cell == self.grid.cell_of(rec.point), (
-                    f"stale cell for {uid!r}"
-                )
-                assert self.router.shard_of(rec.cell) == shard, (
-                    f"user {uid!r} homed in the wrong shard"
-                )
-                population += 1
-                for ancestor in self.grid.path_to_root(rec.cell):
-                    if ancestor.level < spine_level:
-                        expected_spine[ancestor] = (
-                            expected_spine.get(ancestor, 0) + 1
-                        )
-                    else:
-                        expected[shard][ancestor] = (
-                            expected[shard].get(ancestor, 0) + 1
-                        )
-        assert population == len(self._directory), "directory population drift"
-        for shard, core in enumerate(self._cores):
-            assert core.counts == expected[shard], (
-                f"shard {shard} counters inconsistent with its user table"
-            )
-            for cell in core.counts:
-                assert cell.level >= spine_level, (
-                    f"shard {shard} holds spine cell {cell}"
-                )
-                assert self.router.shard_of(cell) == shard, (
-                    f"shard {shard} holds foreign cell {cell}"
-                )
-        assert self._spine.counts == expected_spine, (
-            "spine counters inconsistent with core populations"
-        )
-        root_count = self.cell_count(CellId(0, 0, 0))
-        assert root_count == len(self._directory), "root count != population"
+        invariants.check_basic_fleet(self)

@@ -1,0 +1,266 @@
+"""Generic sharded deployment for policies without a native fleet.
+
+The pyramid policies ship purpose-built sharded implementations
+(:mod:`repro.sharding.basic` / :mod:`repro.sharding.adaptive`) whose
+cores partition the actual counter state.  Any other registered
+:class:`~repro.anonymizer.policy.CloakingPolicy` — the related-work
+baselines, or a user-registered cloaker — still has to run behind
+``make_sharded`` and the parallel worker runtime.  This module is that
+adapter: it wraps one *whole* single-instance policy per replica and
+adds the sharded surface on top (shard directory, occupancy, per-shard
+cache stats, shard-tagged snapshots), using broadcast replication —
+every worker applies every mutation, so every replica answers every
+question.  That is exactly the ``replication="broadcast"`` contract the
+parallel runtime already implements for the adaptive pyramid, which is
+why a policy gains process parallelism from nothing but its registry
+entry.
+
+Shard homes are geometric (the level-``S`` block of the user's lowest
+level cell, same as the fleets) so occupancy, routing and telemetry
+stay meaningful even though the wrapped policy keeps no per-shard
+state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.anonymizer.cells import CellGrid, CellId
+from repro.anonymizer.cloak import CloakedRegion
+from repro.anonymizer.policy import CloakingPolicy, PolicySpec
+from repro.anonymizer.profile import PrivacyProfile
+from repro.anonymizer.stats import MaintenanceStats
+from repro.errors import UnknownUserError
+from repro.geometry import Point, Rect
+from repro.observability import runtime as _telemetry
+from repro.sharding.core import cache_counters
+from repro.sharding.router import ShardRouter
+
+__all__ = ["ReplicatedShardedAnonymizer"]
+
+_CACHE_KEYS = ("hits", "misses", "invalidations", "evictions")
+
+
+@dataclass(frozen=True)
+class _ReplicatedSnapshot:
+    policy: str
+    inner: object
+    directory: dict[object, int]
+
+
+class ReplicatedShardedAnonymizer:
+    """One whole-policy replica with the sharded-anonymizer surface.
+
+    ``shard`` tags which worker this replica serves (its cloak-cache
+    traffic reports under that key); ``None`` for the in-process
+    deployment, which owns every shard at once.
+    """
+
+    def __init__(
+        self,
+        spec: PolicySpec,
+        bounds: Rect,
+        height: int = 9,
+        num_shards: int = 1,
+        cloak_cache_size: int = 8192,
+        vectorized: bool | None = None,
+        shard: int | None = None,
+    ) -> None:
+        self.kind = spec.name
+        self.label = spec.name
+        self.spec = spec
+        self.grid = CellGrid(bounds, height)
+        self.router = ShardRouter(num_shards, height)
+        self.shard = shard
+        self._inner: CloakingPolicy = spec.single(
+            bounds, height, cloak_cache_size, vectorized
+        )
+        self._directory: dict[object, int] = {}
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def bounds(self) -> Rect:
+        return self.grid.bounds
+
+    @property
+    def height(self) -> int:
+        return self.grid.height
+
+    @property
+    def num_shards(self) -> int:
+        return self.router.num_shards
+
+    @property
+    def num_users(self) -> int:
+        return self._inner.num_users
+
+    def __contains__(self, uid: object) -> bool:
+        return uid in self._inner
+
+    @property
+    def stats(self) -> MaintenanceStats:
+        return self._inner.stats
+
+    @stats.setter
+    def stats(self, value: MaintenanceStats) -> None:
+        self._inner.stats = value
+
+    def shard_of_user(self, uid: object) -> int:
+        try:
+            return self._directory[uid]
+        except KeyError:
+            raise UnknownUserError(uid) from None
+
+    def shard_occupancy(self) -> list[int]:
+        occupancy = [0] * self.num_shards
+        for home in self._directory.values():
+            occupancy[home] += 1
+        return occupancy
+
+    def profile_of(self, uid: object) -> PrivacyProfile:
+        return self._inner.profile_of(uid)
+
+    def location_of(self, uid: object) -> Point:
+        return self._inner.location_of(uid)
+
+    def users_in_rect(self, rect: Rect) -> int:
+        return self._inner.users_in_rect(rect)
+
+    def cell_count(self, cell: CellId) -> int:
+        """Population of one grid cell.  Most wrapped policies keep no
+        cell index, so this falls back to a rect count."""
+        counter = getattr(self._inner, "cell_count", None)
+        if counter is not None:
+            return counter(cell)
+        return self._inner.users_in_rect(self.grid.cell_rect(cell))
+
+    def cache_stats(self) -> dict[str, int]:
+        cache = getattr(self._inner, "cloak_cache", None)
+        if cache is not None:
+            return cache_counters(cache)
+        return dict.fromkeys(_CACHE_KEYS, 0)
+
+    def cache_stats_per_shard(self) -> dict[str, dict[str, int]]:
+        """Per-shard traffic in the fleet shape (``"0"``..``"N-1"`` +
+        ``"spine"``).  The single wrapped cache reports under this
+        replica's worker shard; everything else is zero."""
+        stats = {
+            str(shard): dict.fromkeys(_CACHE_KEYS, 0)
+            for shard in range(self.num_shards)
+        }
+        stats["spine"] = dict.fromkeys(_CACHE_KEYS, 0)
+        if self.shard is not None:
+            stats[str(self.shard)] = self.cache_stats()
+        return stats
+
+    def _home_of(self, point: Point) -> int:
+        return self.router.shard_of(self.grid.cell_of(point))
+
+    # ------------------------------------------------------------------
+    # Population maintenance
+    # ------------------------------------------------------------------
+    def register(self, uid: object, point: Point, profile: PrivacyProfile) -> None:
+        self._inner.register(uid, point, profile)
+        shard = self._home_of(point)
+        self._directory[uid] = shard
+        self._notify_op(shard, "register")
+
+    def deregister(self, uid: object) -> None:
+        self._inner.deregister(uid)
+        shard = self._directory.pop(uid)
+        self._notify_op(shard, "deregister")
+
+    def set_profile(self, uid: object, profile: PrivacyProfile) -> None:
+        self._inner.set_profile(uid, profile)
+
+    def update(self, uid: object, point: Point) -> int:
+        home = self.shard_of_user(uid)
+        cost = self._inner.update(uid, point)
+        obs = _telemetry.active()
+        if obs is not None:
+            _telemetry.record_shard_op(obs, home, "update")
+        new_home = self._home_of(point)
+        if new_home != home:
+            self._directory[uid] = new_home
+            self._notify_op(new_home, "rehome")
+        return cost
+
+    def update_batch(self, moves: list[tuple[object, Point]]) -> list[int]:
+        return [self.update(uid, point) for uid, point in moves]
+
+    def _notify_op(self, shard: int, op: str) -> None:
+        obs = _telemetry.active()
+        if obs is not None:
+            _telemetry.record_shard_op(obs, shard, op)
+            _telemetry.record_shard_occupancy(obs, self.shard_occupancy())
+
+    # ------------------------------------------------------------------
+    # Cloaking
+    # ------------------------------------------------------------------
+    def cloak(self, uid: object) -> CloakedRegion:
+        shard = self.shard_of_user(uid)
+        region = self._inner.cloak(uid)
+        self._note_cloak(shard, region)
+        return region
+
+    def cloak_location(self, point: Point, profile: PrivacyProfile) -> CloakedRegion:
+        shard = self._home_of(point)
+        region = self._inner.cloak_location(point, profile)
+        self._note_cloak(shard, region)
+        return region
+
+    def _note_cloak(self, shard: int, region: CloakedRegion) -> None:
+        obs = _telemetry.active()
+        if obs is not None:
+            _telemetry.record_shard_cloak(obs, shard, self._route_of(region))
+
+    def _route_of(self, region: CloakedRegion) -> str:
+        if not region.cells:
+            # Non-pyramid answer (no settled cells): the whole replica
+            # served it, which is what "local" means here.
+            return "local"
+        settled = min(c.level for c in region.cells)
+        if settled > self.router.spine_level:
+            return "local"
+        if settled == self.router.spine_level:
+            return "boundary"
+        return "spine"
+
+    # ------------------------------------------------------------------
+    # Crash recovery and diagnostics
+    # ------------------------------------------------------------------
+    def snapshot(self) -> object:
+        return _ReplicatedSnapshot(
+            self.kind, self._inner.snapshot(), dict(self._directory)
+        )
+
+    def restore(self, state: object) -> None:
+        if (
+            not isinstance(state, _ReplicatedSnapshot)
+            or state.policy != self.kind
+        ):
+            raise TypeError("not a ReplicatedShardedAnonymizer snapshot")
+        self._inner.restore(state.inner)
+        self._directory = dict(state.directory)
+
+    def snapshot_shard(self, shard: int) -> object:
+        # Broadcast replication: there is no narrower unit of state
+        # than the whole replica.
+        return self.snapshot()
+
+    def restore_shard(self, shard: int, state: object) -> list[object]:
+        self.restore(state)
+        return []
+
+    def check_invariants(self) -> None:
+        self._inner.check_invariants()
+        assert self.num_users == len(self._directory), (
+            "directory population drift"
+        )
+        for uid, home in self._directory.items():
+            assert uid in self._inner, f"directory ghost {uid!r}"
+            assert self._home_of(self._inner.location_of(uid)) == home, (
+                f"user {uid!r} homed in the wrong shard"
+            )

@@ -24,26 +24,11 @@ from __future__ import annotations
 
 from repro.anonymizer.cells import CellId
 
+# The rank helpers share their implementation with the vectorized
+# pyramid's Morton codes (repro.morton); re-exported for compatibility.
+from repro.morton import morton_cell, morton_rank  # noqa: F401
+
 __all__ = ["ShardRouter", "morton_rank", "morton_cell"]
-
-
-def morton_rank(cell: CellId) -> int:
-    """Z-order rank of ``cell`` among the ``4**level`` cells of its
-    level (bit-interleave of ``iy`` over ``ix``)."""
-    rank = 0
-    for bit in range(cell.level):
-        rank |= ((cell.ix >> bit) & 1) << (2 * bit)
-        rank |= ((cell.iy >> bit) & 1) << (2 * bit + 1)
-    return rank
-
-
-def morton_cell(rank: int, level: int) -> CellId:
-    """Inverse of :func:`morton_rank` at the given level."""
-    ix = iy = 0
-    for bit in range(level):
-        ix |= ((rank >> (2 * bit)) & 1) << bit
-        iy |= ((rank >> (2 * bit + 1)) & 1) << bit
-    return CellId(level, ix, iy)
 
 
 class ShardRouter:

@@ -27,7 +27,41 @@ import numpy as np
 from repro.anonymizer.cells import CellId
 from repro.anonymizer.soa import IntArray, cell_of_morton, morton_of_xy
 
-__all__ = ["MortonSlice"]
+__all__ = ["MortonSlice", "scatter_confined_moves"]
+
+
+def scatter_confined_moves(
+    counts: "MortonSlice",
+    gens: "MortonSlice",
+    old_group: IntArray,
+    new_group: IntArray,
+    ca_group: IntArray,
+    height: int,
+) -> IntArray:
+    """Apply a group of confined moves to one core's Morton slices.
+
+    ``old_group``/``new_group`` are lowest-level Morton codes and
+    ``ca_group`` the per-move common-ancestor levels (all ``>= S``, so
+    every touched cell lands on these slices).  Per level below the
+    shallowest shared ancestor, the moves still in flight scatter a
+    ``-1``/``+1`` counter pair and two generation bumps — the exact
+    per-cell writes of the scalar walk, batched.  Returns the per-move
+    counter-update costs ``2 * (height - ca)``.
+    """
+    deepest_shared = int(ca_group.min())
+    for level in range(height, deepest_shared, -1):
+        mask = ca_group < level
+        shift = 2 * (height - level)
+        offset = counts.level_offset(level)
+        old_idx = (old_group[mask] >> shift) - offset
+        new_idx = (new_group[mask] >> shift) - offset
+        count_arr = counts.level_array(level)
+        gen_arr = gens.level_array(level)
+        np.subtract.at(count_arr, old_idx, 1)
+        np.add.at(count_arr, new_idx, 1)
+        np.add.at(gen_arr, old_idx, 1)
+        np.add.at(gen_arr, new_idx, 1)
+    return 2 * (height - ca_group)
 
 
 class MortonSlice(MutableMapping[CellId, int]):

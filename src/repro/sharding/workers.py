@@ -74,6 +74,7 @@ from multiprocessing.connection import Connection
 
 from repro.anonymizer.cells import CellGrid, CellId
 from repro.anonymizer.cloak import CloakedRegion
+from repro.anonymizer.policy import get_policy
 from repro.anonymizer.profile import PrivacyProfile
 from repro.anonymizer.stats import MaintenanceStats
 from repro.errors import (
@@ -84,8 +85,7 @@ from repro.errors import (
 from repro.geometry import Point, Rect
 from repro.messages import ShardEnvelope
 from repro.observability import runtime as _telemetry
-from repro.sharding.adaptive import ShardedAdaptiveAnonymizer
-from repro.sharding.basic import ShardedBasicAnonymizer
+from repro.sharding.invariants import check_basic_replica
 from repro.sharding.router import ShardRouter
 from repro.sharding.wire import (
     KIND_NACK,
@@ -161,80 +161,31 @@ class _WorkerConfig:
     vectorized: bool | None = None
 
 
-def _build_replica(
-    config: _WorkerConfig,
-) -> ShardedBasicAnonymizer | ShardedAdaptiveAnonymizer:
-    cls = (
-        ShardedBasicAnonymizer
-        if config.kind == "basic"
-        else ShardedAdaptiveAnonymizer
-    )
-    return cls(
+def _build_replica(config: _WorkerConfig, shard: int | None = None) -> object:
+    """Build one worker's replica for ``config.kind`` via the policy
+    registry: a native sharded fleet when the policy ships one, else a
+    whole-policy :class:`~repro.sharding.replicated
+    .ReplicatedShardedAnonymizer` tagged with the worker's shard."""
+    spec = get_policy(config.kind)
+    if spec.sharded is not None:
+        return spec.sharded(
+            config.bounds,
+            config.height,
+            config.num_shards,
+            config.cloak_cache_size,
+            config.vectorized,
+        )
+    from repro.sharding.replicated import ReplicatedShardedAnonymizer
+
+    return ReplicatedShardedAnonymizer(
+        spec,
         config.bounds,
         height=config.height,
         num_shards=config.num_shards,
         cloak_cache_size=config.cloak_cache_size,
         vectorized=config.vectorized,
+        shard=shard,
     )
-
-
-def _check_basic_replica(replica: ShardedBasicAnonymizer, shard: int) -> None:
-    """Invariant check for a *partially replicated* basic worker.
-
-    A worker receives every boundary-crossing mutation but only its own
-    confined moves, so foreign records' lowest-level cells may be stale
-    — always within the record's true block, never across it.  What
-    must therefore be exact on every replica, and what this asserts:
-
-    * the worker's own core: fresh records, correct homing, counts
-      rebuilt from its own users' paths at levels ``>= S``;
-    * the spine and every block root: rebuilt from *all* records'
-      block ancestry (stale cells share the true block, so block-level
-      aggregation is immune to the staleness).
-    """
-    grid = replica.grid
-    router = replica.router
-    spine_level = router.spine_level
-    core = replica._cores[shard]
-    expected_own: dict[CellId, int] = {}
-    for uid, rec in core.users.items():
-        assert replica._directory.get(uid) == shard, (
-            f"worker {shard}: directory disagrees about own user {uid!r}"
-        )
-        assert rec.cell == grid.cell_of(rec.point), (
-            f"worker {shard}: stale cell for own user {uid!r}"
-        )
-        assert router.shard_of(rec.cell) == shard, (
-            f"worker {shard}: own user {uid!r} homed in a foreign block"
-        )
-        for ancestor in grid.path_to_root(rec.cell):
-            if ancestor.level >= spine_level:
-                expected_own[ancestor] = expected_own.get(ancestor, 0) + 1
-    assert core.counts == expected_own, (
-        f"worker {shard}: own-core counters inconsistent with its users"
-    )
-    expected_spine: dict[CellId, int] = {}
-    expected_roots: dict[CellId, int] = {}
-    population = 0
-    for other in replica._cores:
-        for rec in other.users.values():
-            population += 1
-            block = rec.cell.ancestor(spine_level)
-            expected_roots[block] = expected_roots.get(block, 0) + 1
-            cell = block
-            while cell.level > 0:
-                cell = cell.parent()
-                expected_spine[cell] = expected_spine.get(cell, 0) + 1
-    assert population == len(replica._directory), (
-        f"worker {shard}: directory population drift"
-    )
-    assert replica._spine.counts == expected_spine, (
-        f"worker {shard}: spine counters inconsistent with block ancestry"
-    )
-    for block, count in expected_roots.items():
-        assert replica.cell_count(block) == count, (
-            f"worker {shard}: block root {block} count drift"
-        )
 
 
 class ShardWorker:
@@ -254,14 +205,17 @@ class ShardWorker:
         config: _WorkerConfig,
         shard: int,
         conn: Connection | None,
-        replica: ShardedBasicAnonymizer | ShardedAdaptiveAnonymizer | None = None,
+        replica: object | None = None,
     ) -> None:
         self.config = config
         self.shard = shard
         self._conn = conn
+        self._replication = get_policy(config.kind).replication
         # The socket front door injects an existing anonymizer as the
         # replica and drives :meth:`_apply` directly (no pipe).
-        self._replica = replica if replica is not None else _build_replica(config)
+        self._replica = (
+            replica if replica is not None else _build_replica(config, shard)
+        )
         self._last_seq: int | None = None
         self._last_reply: bytes = b""
 
@@ -349,11 +303,13 @@ class ShardWorker:
                 self._install(pickle.loads(op[1]))
                 return response_ack(), False
             if name == "reset":
-                self._replica = _build_replica(self.config)
+                self._replica = _build_replica(self.config, self.shard)
                 return response_ack(), False
             if name == "check":
-                if self.config.kind == "basic":
-                    _check_basic_replica(self._replica, self.shard)  # type: ignore[arg-type]
+                if self._replication == "partition":
+                    # Partition replication: foreign interior cells may
+                    # be stale, so run the partial-replication check.
+                    check_basic_replica(self._replica, self.shard)  # type: ignore[arg-type]
                 else:
                     self._replica.check_invariants()
                 return response_ack(), False
@@ -381,7 +337,7 @@ class ShardWorker:
         """
         tag, body = package
         if tag == "bootstrap":
-            replica = _build_replica(self.config)
+            replica = _build_replica(self.config, self.shard)
             for uid, point, profile in body:
                 replica.register(uid, point, profile)
             self._replica = replica
@@ -562,9 +518,13 @@ class ParallelShardedAnonymizer:
         hang_timeout: float = 5.0,
         vectorized: bool | None = None,
     ) -> None:
-        if kind not in ("basic", "adaptive"):
-            raise ValueError(f"unknown anonymizer kind: {kind!r}")
+        spec = get_policy(kind)
         self.kind = kind
+        #: How worker replicas stay consistent — ``"partition"`` routes
+        #: confined mutations to one worker and lets the parent compute
+        #: maintenance stats; ``"broadcast"`` ships every mutation to
+        #: every worker and reads stats/costs off the wire.
+        self._replication = spec.replication
         self.grid = CellGrid(bounds, height)
         self.router = ShardRouter(num_shards, height)
         self._stats = MaintenanceStats()
@@ -629,7 +589,7 @@ class ParallelShardedAnonymizer:
         pure functions of the cell walk), fetched from worker 0 for
         adaptive (split/merge costs happen inside the workers), with
         ``cloak_requests`` always counted at the routing seam."""
-        if self.kind == "basic":
+        if self._replication == "partition":
             return self._stats
         payload = self._fetch_stats()[0]["stats"]
         payload["cloak_requests"] = self._stats.cloak_requests
@@ -682,7 +642,7 @@ class ParallelShardedAnonymizer:
         for payload in payloads:
             for key in keys:
                 totals[key] += payload["own_cache"][key]
-                if self.kind == "adaptive":
+                if self._replication == "broadcast":
                     totals[key] += payload["spine_cache"][key]
         return totals
 
@@ -721,7 +681,7 @@ class ParallelShardedAnonymizer:
         shard = self.router.shard_of(cell)
         self._records[uid] = _MirrorRecord(profile, point, cell)
         self._directory[uid] = shard
-        if self.kind == "basic":
+        if self._replication == "partition":
             self._stats.registrations += 1
             self._stats.counter_updates += cell.level + 1
         obs = _telemetry.active()
@@ -733,7 +693,7 @@ class ParallelShardedAnonymizer:
     def deregister(self, uid: object) -> None:
         record = self._require(uid)
         shard = self._directory[uid]
-        if self.kind == "basic":
+        if self._replication == "partition":
             self._stats.deregistrations += 1
             self._stats.counter_updates += record.cell.level + 1
         del self._records[uid]
@@ -751,8 +711,8 @@ class ParallelShardedAnonymizer:
     def update(self, uid: object, point: Point) -> int:
         """Process a location update; returns its counter-update cost
         (identical to the in-process cost)."""
-        if self.kind == "adaptive":
-            return self._update_adaptive(uid, point)
+        if self._replication == "broadcast":
+            return self._update_broadcast(uid, point)
         record = self._require(uid)
         shard = self._directory[uid]
         new_cell = self.grid.cell_of(point)
@@ -786,7 +746,7 @@ class ParallelShardedAnonymizer:
         self._stats.cell_changes += 1
         return cost
 
-    def _update_adaptive(self, uid: object, point: Point) -> int:
+    def _update_broadcast(self, uid: object, point: Point) -> int:
         record = self._require(uid)
         home = self._directory[uid]
         new_cell = self.grid.cell_of(point)
@@ -824,7 +784,7 @@ class ParallelShardedAnonymizer:
         wire) and apply in arrival order.
         """
         costs = [self.update(uid, point) for uid, point in moves]
-        if self.kind == "basic":
+        if self._replication == "partition":
             self.flush()
         return costs
 
@@ -921,7 +881,10 @@ class ParallelShardedAnonymizer:
     def cell_count(self, cell: CellId) -> int:
         """Population of one maintained cell, read from the replica
         that is authoritative for it."""
-        if self.kind == "adaptive" or cell.level < self.router.spine_level:
+        if (
+            self._replication == "broadcast"
+            or cell.level < self.router.spine_level
+        ):
             shard = 0
         else:
             shard = self.router.shard_of(cell)
@@ -946,12 +909,12 @@ class ParallelShardedAnonymizer:
         records = tuple(
             (uid, rec.point, rec.profile) for uid, rec in self._records.items()
         )
-        if self.kind == "basic":
-            return _ParallelSnapshot("basic", records)
+        if self._replication == "partition":
+            return _ParallelSnapshot(self.kind, records)
         self.flush()
         self._enqueue(0, op_snapshot(), "blob")
         blob = self._flush_shard(0)[-1]
-        return _ParallelSnapshot("adaptive", records, blob)
+        return _ParallelSnapshot(self.kind, records, blob)
 
     def restore(self, state: object) -> None:
         """Restore the fleet from a :meth:`snapshot` copy.
@@ -973,7 +936,7 @@ class ParallelShardedAnonymizer:
             uid: self.router.shard_of(rec.cell)
             for uid, rec in self._records.items()
         }
-        if self.kind == "basic":
+        if self._replication == "partition":
             package = ("bootstrap", list(state.records))
         else:
             snapshot, _stats = pickle.loads(state.blob)
@@ -1345,17 +1308,18 @@ class ParallelShardedAnonymizer:
             and self._pool.alive(shard)
             and self._authoritative[shard]
         ]
-        if self.kind == "adaptive" and survivors:
+        if self._replication == "broadcast" and survivors:
             source = survivors[0]
             self._enqueue(source, op_snapshot(), "blob")
             blob = self._flush_shard(source)[-1]
             snapshot, stats = pickle.loads(blob)
             package = ("install", (snapshot, stats))
         else:
-            # Basic always heals from the parent mirror (lossless: the
-            # mirror is authoritative for every record).  Adaptive
-            # falls back to it only with no survivor; the rebuilt cut
-            # re-deepens from current points, and worker stats restart.
+            # Partition replication always heals from the parent mirror
+            # (lossless: the mirror is authoritative for every record).
+            # Broadcast policies fall back to it only with no survivor;
+            # history-dependent structure (the adaptive cut) re-deepens
+            # from current points, and worker stats restart.
             package = (
                 "bootstrap",
                 [

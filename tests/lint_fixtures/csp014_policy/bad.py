@@ -1,0 +1,20 @@
+# module: pol.policies.bad
+"""A cloaking policy that pokes at engine internals directly."""
+
+
+class SneakyPolicy:
+    def __init__(self, engine):
+        self.engine = engine
+        self._users = {}  # a policy's own private state is fine
+
+    def register(self, uid, point):
+        self.engine._cells[uid] = point  # reach into engine state
+        self._users[uid] = point
+
+    def deregister(self, uid):
+        del self.engine._cells[uid]
+        del self._users[uid]
+
+    def cloak(self, uid):
+        self.engine._generation = 0  # mutate engine private outright
+        return len(self.engine._cells)

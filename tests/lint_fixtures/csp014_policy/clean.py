@@ -1,0 +1,19 @@
+# module: pol.policies.clean
+"""A cloaking policy confined to the engine's public API."""
+
+
+class PolitePolicy:
+    def __init__(self, engine):
+        self.engine = engine
+        self._users = {}  # own private state: allowed
+
+    def register(self, uid, point):
+        self.engine.set_entry(uid, point)
+        self._users[uid] = point
+
+    def _leaf_of(self, uid):  # own private helper: allowed
+        return self._users[uid]
+
+    def cloak(self, uid):
+        kind = self.engine.__class__.__name__  # dunder introspection: allowed
+        return self.engine.cloak_cell(self._leaf_of(uid), kind)

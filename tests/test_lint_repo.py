@@ -132,7 +132,9 @@ def test_facade_suppression_is_justified_and_unique() -> None:
     the parent re-raises, and the reap-everything teardown path), one
     CSP010 in the front door (the remaining ``_apply`` dispatch after
     the chaos ``hang`` op is intercepted and awaited), and six CSP004
-    in the two adaptive anonymizers' ``check_invariants`` (the gate
+    in the adaptive invariant audits — the single anonymizer's
+    ``check_invariants`` and the shared fleet audit in
+    ``sharding/invariants.py`` (the gate
     table is asserted to be a *bit-copy* of the user records —
     epsilon-tolerant comparison would mask exactly the drift the audit
     exists to catch)."""
@@ -146,7 +148,7 @@ def test_facade_suppression_is_justified_and_unique() -> None:
     assert frontdoor.count("casperlint: ignore[CSP010]") == 1
     adaptive = (REPO_ROOT / "src/repro/anonymizer/adaptive.py").read_text()
     assert adaptive.count("casperlint: ignore[CSP004] bit-copy audit") == 3
-    sharded = (REPO_ROOT / "src/repro/sharding/adaptive.py").read_text()
+    sharded = (REPO_ROOT / "src/repro/sharding/invariants.py").read_text()
     assert sharded.count("casperlint: ignore[CSP004] bit-copy audit") == 3
 
 

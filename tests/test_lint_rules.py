@@ -29,6 +29,7 @@ FIXTURE_CONFIG = LintConfig(
     pickle_boundary_modules=("proto.workers",),
     protocol_modules=("proto.wire",),
     dispatch_modules=("proto.workers",),
+    policy_modules=("pol.policies",),
 )
 
 
@@ -87,6 +88,8 @@ CASES = [
     ("csp012_lifecycle/clean.py", "CSP012", 0),
     ("csp013_protocol/bad.py", "CSP013", 3),
     ("csp013_protocol/clean.py", "CSP013", 0),
+    ("csp014_policy/bad.py", "CSP014", 4),
+    ("csp014_policy/clean.py", "CSP014", 0),
 ]
 
 
@@ -99,7 +102,7 @@ def test_fixture_finding_counts(rel: str, code: str, expected: int) -> None:
 def test_every_rule_has_violating_and_clean_fixture() -> None:
     codes_with_bad = {c for _, c, n in CASES if n > 0}
     codes_with_clean = {c for _, c, n in CASES if n == 0}
-    all_codes = {f"CSP{i:03d}" for i in range(1, 14)}
+    all_codes = {f"CSP{i:03d}" for i in range(1, 15)}
     assert codes_with_bad == all_codes
     assert codes_with_clean == all_codes
 

@@ -1,0 +1,188 @@
+"""Conformance suite for the cloaking-policy registry.
+
+Every policy registered in ``repro.anonymizer.policy`` — the paper's
+pyramid cloakers and the related-work baselines alike — must satisfy
+the :class:`CloakingPolicy` contract: honour ``(k, A_min)`` profiles,
+include the requesting user in the cloak, survive snapshot round-trips,
+and run unchanged behind the sharded and parallel deployment seams.
+The suite auto-parametrizes over :func:`available_policies`, so a newly
+registered policy is covered without touching this file.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.anonymizer import CloakingPolicy, available_policies, get_policy
+from repro.anonymizer.profile import PrivacyProfile
+from repro.errors import UnknownUserError
+from repro.geometry import Point
+from repro.server import Casper
+from repro.sharding import make_sharded
+from tests.conftest import UNIT, random_points
+
+HEIGHT = 6
+A_MIN = 0.004  # large enough to force climbing above the leaf level
+
+
+def build(name: str) -> CloakingPolicy:
+    return get_policy(name).single(UNIT, HEIGHT, 8192, None)
+
+
+def populate(anonymizer, n: int = 160, k: int = 8, seed: int = 7):
+    rng = np.random.default_rng(seed)
+    points = random_points(rng, n)
+    profile = PrivacyProfile(k=k, a_min=A_MIN)
+    for uid, point in enumerate(points):
+        anonymizer.register(uid, point, profile)
+    return points, profile
+
+
+@pytest.fixture(params=available_policies())
+def policy_name(request) -> str:
+    return request.param
+
+
+class TestRegistry:
+    def test_spec_shape(self, policy_name):
+        spec = get_policy(policy_name)
+        assert spec.name == policy_name
+        assert spec.replication in ("partition", "broadcast")
+        assert callable(spec.single)
+
+    def test_unknown_name_lists_known(self):
+        with pytest.raises(ValueError, match="registered policies"):
+            get_policy("does-not-exist")
+
+    def test_instance_satisfies_protocol(self, policy_name):
+        assert isinstance(build(policy_name), CloakingPolicy)
+
+
+class TestCloakContract:
+    def test_k_satisfaction_and_inclusiveness(self, policy_name):
+        anonymizer = build(policy_name)
+        points, profile = populate(anonymizer)
+        for uid in range(0, 160, 13):
+            cloaked = anonymizer.cloak(uid)
+            assert cloaked.achieved_k >= profile.k
+            assert cloaked.region.contains_point(points[uid])
+            assert UNIT.contains_rect(cloaked.region)
+
+    def test_a_min_respected(self, policy_name):
+        anonymizer = build(policy_name)
+        populate(anonymizer)
+        for uid in range(0, 160, 29):
+            area = anonymizer.cloak(uid).region.area
+            assert area >= A_MIN * (1 - 1e-9)
+
+    def test_cloak_location_matches_cloak(self, policy_name):
+        anonymizer = build(policy_name)
+        points, profile = populate(anonymizer)
+        assert (
+            anonymizer.cloak_location(points[3], profile).region
+            == anonymizer.cloak(3).region
+        )
+
+    def test_unknown_user_raises(self, policy_name):
+        anonymizer = build(policy_name)
+        with pytest.raises(UnknownUserError):
+            anonymizer.cloak("ghost")
+        with pytest.raises(UnknownUserError):
+            anonymizer.update("ghost", Point(0.5, 0.5))
+        with pytest.raises(UnknownUserError):
+            anonymizer.deregister("ghost")
+
+
+class TestLifecycle:
+    def test_register_update_deregister(self, policy_name):
+        anonymizer = build(policy_name)
+        populate(anonymizer, n=40)
+        assert anonymizer.num_users == 40
+        assert 7 in anonymizer
+        anonymizer.update(7, Point(0.9, 0.9))
+        assert anonymizer.location_of(7) == Point(0.9, 0.9)
+        anonymizer.deregister(7)
+        assert 7 not in anonymizer
+        assert anonymizer.num_users == 39
+        anonymizer.check_invariants()
+
+    def test_update_batch_matches_loop(self, policy_name):
+        a, b = build(policy_name), build(policy_name)
+        populate(a, n=60)
+        populate(b, n=60)
+        rng = np.random.default_rng(23)
+        moves = [(uid, p) for uid, p in zip(range(0, 60, 7), random_points(rng, 9))]
+        batched = a.update_batch(list(moves))
+        looped = [b.update(uid, p) for uid, p in moves]
+        assert batched == looped
+        for uid, p in moves:
+            assert a.location_of(uid) == b.location_of(uid) == p
+
+    def test_users_in_rect_counts_population(self, policy_name):
+        anonymizer = build(policy_name)
+        populate(anonymizer, n=50)
+        assert anonymizer.users_in_rect(UNIT) == 50
+
+
+class TestSnapshot:
+    def test_roundtrip_preserves_cloaks(self, policy_name):
+        anonymizer = build(policy_name)
+        points, profile = populate(anonymizer)
+        before = {uid: anonymizer.cloak(uid).region for uid in range(0, 160, 31)}
+        state = anonymizer.snapshot()
+        # Mutate past the snapshot, then restore.
+        anonymizer.register("late", Point(0.25, 0.75), profile)
+        anonymizer.deregister(5)
+        anonymizer.restore(state)
+        assert anonymizer.num_users == 160
+        assert "late" not in anonymizer
+        assert 5 in anonymizer
+        for uid, region in before.items():
+            assert anonymizer.cloak(uid).region == region
+        anonymizer.check_invariants()
+
+    def test_restore_rejects_foreign_state(self, policy_name):
+        anonymizer = build(policy_name)
+        with pytest.raises(TypeError):
+            anonymizer.restore(object())
+
+
+class TestDeploymentSeams:
+    def test_sharded_matches_single(self, policy_name):
+        single = build(policy_name)
+        fleet = make_sharded(
+            UNIT, height=HEIGHT, num_shards=4, kind=policy_name
+        )
+        points, _ = populate(single)
+        populate(fleet)
+        for uid in range(0, 160, 17):
+            assert fleet.cloak(uid).region == single.cloak(uid).region
+        fleet.check_invariants()
+
+    def test_sharded_snapshot_roundtrip(self, policy_name):
+        fleet = make_sharded(UNIT, height=HEIGHT, num_shards=4, kind=policy_name)
+        populate(fleet, n=80)
+        state = fleet.snapshot()
+        regions = {uid: fleet.cloak(uid).region for uid in range(0, 80, 19)}
+        restored = make_sharded(
+            UNIT, height=HEIGHT, num_shards=4, kind=policy_name
+        )
+        restored.restore(state)
+        assert restored.num_users == 80
+        for uid, region in regions.items():
+            assert restored.cloak(uid).region == region
+        restored.check_invariants()
+
+
+def test_baseline_policy_runs_parallel_end_to_end():
+    """A non-paper cloaker answers a private query through the full
+    ``Casper(policy=..., shards=4, parallel=True)`` process pool."""
+    rng = np.random.default_rng(11)
+    with Casper(UNIT, pyramid_height=5, policy="interval", shards=4, parallel=True) as casper:
+        for uid, point in enumerate(random_points(rng, 64)):
+            casper.register_user(uid, point, PrivacyProfile(k=4))
+        casper.add_public_targets({"t1": Point(0.5, 0.5), "t2": Point(0.9, 0.1)})
+        answer = casper.query_nearest_private(3)
+        assert answer.candidates
+        casper.anonymizer.check_invariants()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Duplication budget for the sharded anonymizer modules.
+
+The PyramidEngine/CloakingPolicy refactor shrank ``sharding/basic.py``
+and ``sharding/adaptive.py`` to routing and spine glue: everything the
+two variants share now lives in ``sharding/fleet.py``, ``recovery.py``,
+``invariants.py`` and the engine/policy layer.  The cheapest way for
+that split to rot is for variant-specific modules to quietly re-absorb
+shared mechanics, one pasted helper at a time.
+
+This gate freezes each module's post-refactor line count and fails CI
+when a file regrows past its baseline plus 10% — growth beyond that
+band means either duplication creeping back (hoist it into the shared
+layers) or a genuine new responsibility (then move the baseline in the
+same PR, with the reasoning in the commit).
+
+Usage::
+
+    python tools/dup_budget.py [--root PATH]
+
+Exit codes: 0 — every file within budget; 1 — a file over budget;
+2 — a budgeted file is missing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: path (repo-relative) -> post-refactor baseline line count.
+BASELINES = {
+    "src/repro/sharding/basic.py": 297,
+    "src/repro/sharding/adaptive.py": 292,
+}
+
+#: Allowed growth over baseline before the gate fails.
+HEADROOM = 0.10
+
+
+def budget_of(baseline: int) -> int:
+    return int(baseline * (1 + HEADROOM))
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--root", type=Path, default=REPO_ROOT, help="repository root"
+    )
+    args = parser.parse_args(argv)
+
+    failures = 0
+    for rel, baseline in sorted(BASELINES.items()):
+        path = args.root / rel
+        if not path.is_file():
+            print(f"dup-budget: {rel}: budgeted file is missing", file=sys.stderr)
+            return 2
+        lines = len(path.read_text().splitlines())
+        budget = budget_of(baseline)
+        status = "ok" if lines <= budget else "OVER BUDGET"
+        print(f"dup-budget: {rel}: {lines} lines (budget {budget}) {status}")
+        if lines > budget:
+            failures += 1
+            print(
+                f"dup-budget: {rel} regrew past its post-refactor baseline "
+                f"({baseline} + {HEADROOM:.0%}); hoist shared mechanics into "
+                f"sharding/fleet.py / recovery.py / invariants.py or move the "
+                f"baseline deliberately in this PR",
+                file=sys.stderr,
+            )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
